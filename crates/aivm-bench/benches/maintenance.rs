@@ -1,0 +1,104 @@
+//! Maintenance-flush benches on the paper's TPC-R view: per-table batch
+//! costs (the Fig. 1 / Fig. 4 asymmetry as a benchmark) and the MIN
+//! strategy ablation.
+
+use aivm_engine::{Database, MaterializedView, MinStrategy};
+use aivm_tpcr::{generate, install_paper_view, TpcrConfig, UpdateGen};
+use criterion::{criterion_group, criterion_main, BatchSize, BenchmarkId, Criterion};
+use std::hint::black_box;
+
+struct Prepared {
+    db: Database,
+    view: MaterializedView,
+    counts: Vec<u64>,
+}
+
+/// Builds a database + view with `k` pending modifications of one table.
+fn prepared(scale: &TpcrConfig, strategy: MinStrategy, table: &str, k: u64) -> Prepared {
+    let mut data = generate(scale, 42);
+    let mut view = install_paper_view(&data.db, strategy).unwrap();
+    let mut gen = UpdateGen::new(&data, 43);
+    let pos = view.table_position(table).unwrap();
+    let db_table = match table {
+        "partsupp" => data.partsupp,
+        "supplier" => data.supplier,
+        other => panic!("unexpected table {other}"),
+    };
+    for _ in 0..k {
+        let m = match table {
+            "partsupp" => gen.partsupp_update(&data.db),
+            _ => gen.supplier_update(&data.db),
+        };
+        data.db.apply(db_table, &m).unwrap();
+        view.enqueue(pos, m);
+    }
+    let mut counts = vec![0u64; view.n()];
+    counts[pos] = k;
+    Prepared {
+        db: data.db,
+        view,
+        counts,
+    }
+}
+
+fn bench_flush_batches(c: &mut Criterion) {
+    let scale = TpcrConfig::small();
+    let mut g = c.benchmark_group("flush");
+    for table in ["partsupp", "supplier"] {
+        for k in [16u64, 64, 256] {
+            let p = prepared(&scale, MinStrategy::Multiset, table, k);
+            g.bench_with_input(
+                BenchmarkId::new(table, k),
+                &p,
+                |b, p| {
+                    b.iter_batched(
+                        || p.view.clone(),
+                        |mut view| {
+                            view.flush(&p.db, &p.counts).unwrap();
+                            black_box(view.stats.mods_processed)
+                        },
+                        BatchSize::SmallInput,
+                    )
+                },
+            );
+        }
+    }
+    g.finish();
+}
+
+fn bench_min_strategies(c: &mut Criterion) {
+    let scale = TpcrConfig::small();
+    let mut g = c.benchmark_group("min_strategy");
+    for (label, strategy) in [
+        ("multiset", MinStrategy::Multiset),
+        ("recompute", MinStrategy::Recompute),
+    ] {
+        let p = prepared(&scale, strategy, "partsupp", 128);
+        g.bench_with_input(BenchmarkId::from_parameter(label), &p, |b, p| {
+            b.iter_batched(
+                || p.view.clone(),
+                |mut view| {
+                    view.flush(&p.db, &p.counts).unwrap();
+                    black_box(view.stats.recomputes)
+                },
+                BatchSize::SmallInput,
+            )
+        });
+    }
+    g.finish();
+}
+
+fn bench_view_initialization(c: &mut Criterion) {
+    let data = generate(&TpcrConfig::small(), 42);
+    c.bench_function("view_init_small", |b| {
+        b.iter(|| black_box(install_paper_view(&data.db, MinStrategy::Multiset).unwrap().n()))
+    });
+}
+
+criterion_group!(
+    benches,
+    bench_flush_batches,
+    bench_min_strategies,
+    bench_view_initialization
+);
+criterion_main!(benches);

@@ -1,0 +1,77 @@
+//! Solver kernels: A\* under each heuristic, the ONLINE policy loop,
+//! and the action-enumeration primitive it is built on.
+
+use aivm_bench::{standard_instance, wide_instance};
+use aivm_core::Counts;
+use aivm_solver::{
+    minimal_greedy_actions, optimal_lgm_plan_with, run_policy, HeuristicMode, OnlinePolicy,
+};
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::hint::black_box;
+
+fn bench_astar(c: &mut Criterion) {
+    let mut g = c.benchmark_group("astar");
+    for horizon in [200usize, 400, 800] {
+        let inst = standard_instance(horizon, 12.0);
+        for (label, mode) in [
+            ("paper", HeuristicMode::Paper),
+            ("subadditive", HeuristicMode::Subadditive),
+            ("dijkstra", HeuristicMode::None),
+        ] {
+            g.bench_with_input(
+                BenchmarkId::new(label, horizon),
+                &inst,
+                |b, inst| b.iter(|| black_box(optimal_lgm_plan_with(inst, mode).cost)),
+            );
+        }
+    }
+    g.finish();
+}
+
+fn bench_online(c: &mut Criterion) {
+    let mut g = c.benchmark_group("online_policy");
+    for horizon in [400usize, 1600] {
+        let inst = standard_instance(horizon, 12.0);
+        g.bench_with_input(BenchmarkId::from_parameter(horizon), &inst, |b, inst| {
+            b.iter(|| {
+                let (_, stats) = run_policy(inst, &mut OnlinePolicy::new()).expect("valid");
+                black_box(stats.total_cost)
+            })
+        });
+    }
+    g.finish();
+}
+
+fn bench_action_enumeration(c: &mut Criterion) {
+    let mut g = c.benchmark_group("minimal_greedy_actions");
+    for n in [2usize, 4, 8, 12] {
+        // A full state with every table pending: worst-case 2^n sweep.
+        let inst = wide_instance(n, 10, 3.0);
+        let s: Counts = (0..n).map(|i| (i as u64 % 3) + 2).collect();
+        g.bench_with_input(BenchmarkId::from_parameter(n), &inst, |b, inst| {
+            b.iter(|| black_box(minimal_greedy_actions(inst, &s).len()))
+        });
+    }
+    g.finish();
+}
+
+fn bench_exhaustive_vs_astar(c: &mut Criterion) {
+    let mut g = c.benchmark_group("ground_truth");
+    let inst = standard_instance(60, 12.0);
+    g.bench_function("astar_T60", |b| {
+        b.iter(|| black_box(optimal_lgm_plan_with(&inst, HeuristicMode::Paper).cost))
+    });
+    g.bench_function("exhaustive_T60", |b| {
+        b.iter(|| black_box(aivm_solver::optimal_plan(&inst, 5_000_000).unwrap().1))
+    });
+    g.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_astar,
+    bench_online,
+    bench_action_enumeration,
+    bench_exhaustive_vs_astar
+);
+criterion_main!(benches);

@@ -1,0 +1,288 @@
+//! `repro` — regenerates every figure of the paper as a text table.
+//!
+//! ```text
+//! repro [--csv] [--quick] <target>...
+//!
+//! targets:
+//!   intro      §1 worked example (symmetric vs asymmetric cost/mod)
+//!   fig1       measured cost functions of R ⋈ S (scan vs probe side)
+//!   fig4       measured cost functions of the 4-way MIN view
+//!   fig5       simulation validation (simulated vs actual cost)
+//!   fig6       total cost vs refresh time (NAIVE/OPT/ADAPT/ONLINE)
+//!   fig7       non-uniform streams SS/SU/FS/FU
+//!   bounds     Theorems 1 & 2 + §3.2 tightness verification
+//!   adapt      ADAPT sensitivity sweep with Theorem 4 bounds (extension)
+//!   concave    LGM gap by cost family, §7 future work (extension)
+//!   refresh    condition-driven refresh processes (extension)
+//!   ablation   heuristic & candidate-set ablations (extension)
+//!   all        everything above, in paper order
+//! ```
+//!
+//! `--quick` shrinks scales so the whole suite finishes in well under a
+//! minute; default scales match the paper's shapes (minutes).
+
+use aivm_sim::experiments::{
+    adapt_sweep, bounds, concave, fig1, fig4, fig5, fig6, fig7, intro, refresh_process,
+};
+use aivm_sim::report::ExpTable;
+use aivm_tpcr::TpcrConfig;
+
+fn print_table(t: &ExpTable, csv: bool) {
+    if csv {
+        println!("# {}", t.title);
+        print!("{}", t.to_csv());
+    } else {
+        println!("{}", t.render());
+    }
+}
+
+fn run_intro(csv: bool) {
+    let (c_dr, c_ds, budget) = intro::paper_costs();
+    print_table(&intro::table(&c_dr, &c_ds, budget), csv);
+}
+
+fn run_fig1(csv: bool, quick: bool) {
+    let config = if quick {
+        fig1::Fig1Config {
+            scale: TpcrConfig::small(),
+            batch_sizes: vec![10, 30, 60, 120, 240],
+            trials: 2,
+            ..Default::default()
+        }
+    } else {
+        fig1::Fig1Config::default()
+    };
+    print_table(&fig1::table(&config), csv);
+}
+
+fn run_fig4(csv: bool, quick: bool) {
+    let config = if quick {
+        fig4::Fig4Config {
+            scale: TpcrConfig::small(),
+            batch_sizes: vec![10, 25, 50, 100, 200],
+            trials: 2,
+            ..Default::default()
+        }
+    } else {
+        fig4::Fig4Config::default()
+    };
+    print_table(&fig4::table(&config), csv);
+}
+
+fn run_fig5(csv: bool, quick: bool) {
+    let config = if quick {
+        fig5::Fig5Config {
+            scale: TpcrConfig::small(),
+            horizon: 60,
+            measure_batches: vec![5, 15, 30],
+            trials: 2,
+            ..Default::default()
+        }
+    } else {
+        fig5::Fig5Config::default()
+    };
+    print_table(&fig5::table(&config), csv);
+}
+
+fn run_fig6(csv: bool, quick: bool) {
+    let config = if quick {
+        fig6::Fig6Config {
+            refresh_times: vec![100, 300, 500, 700, 1000],
+            ..Default::default()
+        }
+    } else {
+        fig6::Fig6Config::default()
+    };
+    print_table(&fig6::table(&config), csv);
+}
+
+fn run_fig7(csv: bool, quick: bool) {
+    let config = if quick {
+        fig7::Fig7Config {
+            horizon: 400,
+            ..Default::default()
+        }
+    } else {
+        fig7::Fig7Config::default()
+    };
+    print_table(&fig7::table(&config), csv);
+}
+
+fn run_bounds(csv: bool, quick: bool) {
+    let trials = if quick { 4 } else { 12 };
+    print_table(&bounds::table(trials, 2005), csv);
+}
+
+fn run_adapt(csv: bool, quick: bool) {
+    let config = if quick {
+        adapt_sweep::AdaptSweepConfig {
+            t0: 200,
+            refresh_times: vec![50, 100, 200, 400, 600],
+            ..Default::default()
+        }
+    } else {
+        adapt_sweep::AdaptSweepConfig::default()
+    };
+    print_table(&adapt_sweep::table(&config), csv);
+}
+
+fn run_concave(csv: bool, quick: bool) {
+    let trials = if quick { 6 } else { 20 };
+    print_table(&concave::table(trials, 2005), csv);
+}
+
+fn run_refresh(csv: bool, quick: bool) {
+    let config = if quick {
+        refresh_process::RefreshProcessConfig {
+            horizon: 400,
+            ..Default::default()
+        }
+    } else {
+        refresh_process::RefreshProcessConfig::default()
+    };
+    print_table(&refresh_process::table(&config), csv);
+}
+
+fn run_ablation(csv: bool, quick: bool) {
+    use aivm_bench::standard_instance;
+    use aivm_sim::report::fnum;
+    use aivm_solver::{optimal_lgm_plan_with, HeuristicMode};
+
+    let horizons: &[usize] = if quick {
+        &[200, 400]
+    } else {
+        &[200, 400, 800, 1600]
+    };
+    let mut t = ExpTable::new(
+        "Ablation: A* heuristic modes (nodes expanded / reopened)",
+        &["T", "paper.nodes", "paper.reopen", "subadd.nodes", "dijkstra.nodes", "cost"],
+    );
+    t.note("all modes find the same optimal cost; heuristics prune expansions");
+    for &h in horizons {
+        let inst = standard_instance(h, 12.0);
+        let p = optimal_lgm_plan_with(&inst, HeuristicMode::Paper);
+        let s = optimal_lgm_plan_with(&inst, HeuristicMode::Subadditive);
+        let d = optimal_lgm_plan_with(&inst, HeuristicMode::None);
+        assert!((p.cost - d.cost).abs() < 1e-6 && (s.cost - d.cost).abs() < 1e-6);
+        t.row(vec![
+            h.to_string(),
+            p.stats.nodes_expanded.to_string(),
+            p.stats.reopened.to_string(),
+            s.stats.nodes_expanded.to_string(),
+            d.stats.nodes_expanded.to_string(),
+            fnum(p.cost),
+        ]);
+    }
+    print_table(&t, csv);
+
+    // ONLINE candidate-set / estimator ablation, on an unstable stream
+    // where prediction quality matters (uniform streams make every
+    // variant behave identically).
+    use aivm_core::Instance;
+    use aivm_solver::{run_policy, CandidateSet, OnlineConfig, OnlinePolicy, RateEstimator};
+    use aivm_workload::{preset_arrivals, StreamKind};
+    let mut t2 = ExpTable::new(
+        "Ablation: ONLINE configuration (total cost, fast/unstable stream)",
+        &["config", "T=400", "T=800"],
+    );
+    let variants: Vec<(&str, OnlineConfig)> = vec![
+        ("minimal+ewma(0.2)", OnlineConfig::default()),
+        (
+            "minimal+window(20)",
+            OnlineConfig {
+                estimator: RateEstimator::Window { window: 20 },
+                ..OnlineConfig::default()
+            },
+        ),
+        (
+            "all-greedy+ewma(0.2)",
+            OnlineConfig {
+                candidates: CandidateSet::AllGreedy,
+                ..OnlineConfig::default()
+            },
+        ),
+    ];
+    for (name, cfg) in variants {
+        let mut cells = vec![name.to_string()];
+        for h in [400usize, 800] {
+            let inst = Instance::new(
+                aivm_sim::experiments::default_costs(),
+                preset_arrivals(StreamKind::FastUnstable, 2, h, 77),
+                12.0,
+            );
+            let (_, stats) = run_policy(&inst, &mut OnlinePolicy::with_config(cfg.clone()))
+                .expect("online valid");
+            cells.push(fnum(stats.total_cost));
+        }
+        t2.row(cells);
+    }
+    // LOOKAHEAD (receding horizon) and the OPT reference.
+    {
+        let mut cells = vec!["lookahead(W=64)".to_string()];
+        for h in [400usize, 800] {
+            let inst = Instance::new(
+                aivm_sim::experiments::default_costs(),
+                preset_arrivals(StreamKind::FastUnstable, 2, h, 77),
+                12.0,
+            );
+            let (_, stats) =
+                run_policy(&inst, &mut aivm_solver::LookaheadPolicy::new()).expect("valid");
+            cells.push(fnum(stats.total_cost));
+        }
+        t2.row(cells);
+    }
+    {
+        let mut cells = vec!["OPT^LGM (reference)".to_string()];
+        for h in [400usize, 800] {
+            let inst = Instance::new(
+                aivm_sim::experiments::default_costs(),
+                preset_arrivals(StreamKind::FastUnstable, 2, h, 77),
+                12.0,
+            );
+            cells.push(fnum(aivm_solver::optimal_lgm_plan(&inst).cost));
+        }
+        t2.row(cells);
+    }
+    print_table(&t2, csv);
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let csv = args.iter().any(|a| a == "--csv");
+    let quick = args.iter().any(|a| a == "--quick");
+    let targets: Vec<&str> = args
+        .iter()
+        .filter(|a| !a.starts_with("--"))
+        .map(String::as_str)
+        .collect();
+    let targets: Vec<&str> = if targets.is_empty() || targets.contains(&"all") {
+        vec![
+            "intro", "fig1", "fig4", "fig5", "fig6", "fig7", "bounds", "adapt", "concave",
+            "refresh", "ablation",
+        ]
+    } else {
+        targets
+    };
+    for target in targets {
+        match target {
+            "intro" => run_intro(csv),
+            "fig1" => run_fig1(csv, quick),
+            "fig4" => run_fig4(csv, quick),
+            "fig5" => run_fig5(csv, quick),
+            "fig6" => run_fig6(csv, quick),
+            "fig7" => run_fig7(csv, quick),
+            "bounds" => run_bounds(csv, quick),
+            "adapt" => run_adapt(csv, quick),
+            "concave" => run_concave(csv, quick),
+            "refresh" => run_refresh(csv, quick),
+            "ablation" => run_ablation(csv, quick),
+            other => {
+                eprintln!("unknown target: {other}");
+                eprintln!(
+                    "targets: intro fig1 fig4 fig5 fig6 fig7 bounds adapt concave refresh ablation all"
+                );
+                std::process::exit(2);
+            }
+        }
+    }
+}

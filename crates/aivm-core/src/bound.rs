@@ -1,0 +1,214 @@
+//! The bipartite-graph machinery behind Theorem 1 (§3.2).
+//!
+//! For a fixed base table `R_i`, actions of a reference plan `P` and of
+//! its LGM transformation `Q` each process a contiguous FIFO range of
+//! `R_i`'s modification stream. Two actions are connected when their
+//! ranges intersect. Lemma 3 says every `P`-node has degree ≤ 2; Lemma 4
+//! says each `Q`-node's cost is bounded by the sum of its neighbours'
+//! costs. This module materializes that graph so tests (and the `repro
+//! bounds` harness) can check the lemmas on arbitrary plan pairs.
+
+use crate::cost::CostFn;
+use crate::instance::Instance;
+use crate::plan::Plan;
+
+/// One action restricted to a single table: processed modifications form
+/// the FIFO half-open range `[start, start + count)` of that table's
+/// arrival stream.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct TableAction {
+    /// Time of the action.
+    pub t: usize,
+    /// First processed modification (0-based position in arrival order).
+    pub start: u64,
+    /// Number of modifications processed.
+    pub count: u64,
+}
+
+impl TableAction {
+    /// End of the processed range (exclusive).
+    pub fn end(&self) -> u64 {
+        self.start + self.count
+    }
+
+    /// True when the two actions process at least one modification in
+    /// common.
+    pub fn intersects(&self, other: &TableAction) -> bool {
+        self.start < other.end() && other.start < self.end()
+    }
+}
+
+/// Extracts `P(i)` — the per-table action list with FIFO ranges — from a
+/// plan.
+pub fn table_actions(plan: &Plan, i: usize) -> Vec<TableAction> {
+    let mut processed = 0u64;
+    let mut out = Vec::new();
+    for (t, p) in plan.actions.iter().enumerate() {
+        let k = p[i];
+        if k > 0 {
+            out.push(TableAction {
+                t,
+                start: processed,
+                count: k,
+            });
+            processed += k;
+        }
+    }
+    out
+}
+
+/// The bipartite intersection graph `G = (V_P(i), V_Q(i), E)` for one
+/// table.
+#[derive(Clone, Debug)]
+pub struct BipartiteBound {
+    /// Actions of the reference plan on table `i`.
+    pub p_nodes: Vec<TableAction>,
+    /// Actions of the LGM plan on table `i`.
+    pub q_nodes: Vec<TableAction>,
+    /// Edges as `(p_index, q_index)` pairs.
+    pub edges: Vec<(usize, usize)>,
+}
+
+impl BipartiteBound {
+    /// Builds the graph for table `i` from a plan pair.
+    pub fn build(p: &Plan, q: &Plan, i: usize) -> Self {
+        let p_nodes = table_actions(p, i);
+        let q_nodes = table_actions(q, i);
+        let mut edges = Vec::new();
+        for (pi, pa) in p_nodes.iter().enumerate() {
+            for (qi, qa) in q_nodes.iter().enumerate() {
+                if pa.intersects(qa) {
+                    edges.push((pi, qi));
+                }
+            }
+        }
+        BipartiteBound {
+            p_nodes,
+            q_nodes,
+            edges,
+        }
+    }
+
+    /// Degree of each `P`-node.
+    pub fn p_degrees(&self) -> Vec<usize> {
+        let mut d = vec![0; self.p_nodes.len()];
+        for &(pi, _) in &self.edges {
+            d[pi] += 1;
+        }
+        d
+    }
+
+    /// Lemma 3 check: every `P`-node has degree at most 2.
+    pub fn lemma3_holds(&self) -> bool {
+        self.p_degrees().iter().all(|&d| d <= 2)
+    }
+
+    /// Lemma 4 check under cost function `f`: for every `Q`-node `x`,
+    /// `f(x) ≤ Σ_{y ∈ N(x)} f(y)`.
+    pub fn lemma4_holds(&self, f: &dyn CostFn) -> bool {
+        self.q_nodes.iter().enumerate().all(|(qi, qa)| {
+            let neighbour_sum: f64 = self
+                .edges
+                .iter()
+                .filter(|&&(_, q)| q == qi)
+                .map(|&(p, _)| f.eval(self.p_nodes[p].count))
+                .sum();
+            f.eval(qa.count) <= neighbour_sum + crate::cost::COST_EPS
+        })
+    }
+}
+
+/// Verifies the per-table cost bound of Theorem 1's proof on a concrete
+/// plan pair: for each table `i`,
+/// `Σ_{x ∈ Q(i)} f_i(x) ≤ 2 · Σ_{y ∈ P(i)} f_i(y)`, and the Lemma 3/4
+/// structural conditions. Returns the per-table `(q_cost, p_cost)` pairs.
+pub fn verify_theorem1_structure(
+    inst: &Instance,
+    p: &Plan,
+    q: &Plan,
+) -> Result<Vec<(f64, f64)>, String> {
+    let mut out = Vec::with_capacity(inst.n());
+    for i in 0..inst.n() {
+        let g = BipartiteBound::build(p, q, i);
+        if !g.lemma3_holds() {
+            return Err(format!("Lemma 3 violated on table {i}: degrees {:?}", g.p_degrees()));
+        }
+        if !g.lemma4_holds(&inst.costs[i]) {
+            return Err(format!("Lemma 4 violated on table {i}"));
+        }
+        let pc: f64 = g.p_nodes.iter().map(|a| inst.costs[i].eval(a.count)).sum();
+        let qc: f64 = g.q_nodes.iter().map(|a| inst.costs[i].eval(a.count)).sum();
+        if qc > 2.0 * pc + crate::cost::COST_EPS {
+            return Err(format!("per-table 2x bound violated on table {i}: {qc} > 2×{pc}"));
+        }
+        out.push((qc, pc));
+    }
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::cost::CostModel;
+    use crate::instance::Arrivals;
+    use crate::counts::Counts;
+    use crate::plan::naive_plan;
+    use crate::transform::make_lgm_plan;
+
+    fn inst() -> Instance {
+        Instance::new(
+            vec![CostModel::linear(1.0, 1.0), CostModel::linear(1.0, 4.0)],
+            Arrivals::uniform(Counts::from_slice(&[1, 1]), 19),
+            8.0,
+        )
+    }
+
+    #[test]
+    fn table_actions_track_fifo_ranges() {
+        let inst = inst();
+        let p = naive_plan(&inst);
+        let acts = table_actions(&p, 0);
+        assert!(!acts.is_empty());
+        // Ranges must tile the arrival stream without gaps.
+        let mut pos = 0;
+        for a in &acts {
+            assert_eq!(a.start, pos);
+            pos = a.end();
+        }
+        assert_eq!(pos, inst.arrivals.totals()[0]);
+    }
+
+    #[test]
+    fn intersection_is_range_overlap() {
+        let a = TableAction { t: 0, start: 0, count: 5 };
+        let b = TableAction { t: 1, start: 4, count: 2 };
+        let c = TableAction { t: 2, start: 5, count: 3 };
+        assert!(a.intersects(&b));
+        assert!(!a.intersects(&c));
+        assert!(b.intersects(&c));
+    }
+
+    #[test]
+    fn theorem1_structure_holds_for_lgm_of_naive() {
+        let inst = inst();
+        let p = naive_plan(&inst);
+        let q = make_lgm_plan(&inst, &p);
+        q.validate(&inst).expect("lgm valid");
+        let per_table = verify_theorem1_structure(&inst, &p, &q).expect("bounds hold");
+        assert_eq!(per_table.len(), 2);
+        let q_total: f64 = per_table.iter().map(|(q, _)| q).sum();
+        let p_total: f64 = per_table.iter().map(|(_, p)| p).sum();
+        assert!(q_total <= 2.0 * p_total + 1e-9);
+    }
+
+    #[test]
+    fn theorem1_structure_holds_for_lgm_of_eager() {
+        let inst = inst();
+        let eager = Plan {
+            actions: (0..=inst.horizon()).map(|t| inst.arrivals.at(t)).collect(),
+        };
+        let q = make_lgm_plan(&inst, &eager);
+        q.validate(&inst).expect("lgm valid");
+        verify_theorem1_structure(&inst, &eager, &q).expect("bounds hold");
+    }
+}

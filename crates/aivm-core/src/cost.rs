@@ -1,0 +1,381 @@
+//! Batch-processing cost functions `f_i : Z⁺ → R`.
+//!
+//! The paper assumes each per-table cost function is **monotone**
+//! (`f(x) ≥ f(y)` for `x ≥ y`) and **subadditive** (`f(0) = 0` and
+//! `f(x+y) ≤ f(x) + f(y)`). Subadditivity is what makes batching pay off.
+//!
+//! [`CostModel`] provides every shape used in the paper:
+//!
+//! * [`CostModel::Linear`] — `f(k) = a·k + b` for `k ≥ 1` (§3.3). This is
+//!   the shape the paper measures on its commercial DBMS (Figs. 1 and 4):
+//!   a fixed setup cost `b` (parsing, hash-table builds, index loading)
+//!   plus a per-modification cost `a`.
+//! * [`CostModel::Step`] — `f(k) = ⌈k/B⌉·c`, the I/O-scan example of a
+//!   subadditive but *non-concave* function (§2).
+//! * [`CostModel::Power`] — `f(k) = b + s·k^e` with `e ≤ 1`, a concave
+//!   shape (§7 future work discusses concavity).
+//! * [`CostModel::Piecewise`] — monotone linear interpolation through
+//!   measured sample points, the "measured by experiments" acquisition
+//!   path of §2; produced by `aivm-engine`'s measurement harness.
+//! * [`CostModel::Capped`] — the §3.2 tightness construction:
+//!   `f(x) = (ε·x/2)·C` for `x ≤ 2/ε`, else `(1 + ε/2)·C`.
+
+use serde::{Deserialize, Serialize};
+
+/// Tolerance used when comparing costs against the response-time budget.
+/// Costs are `f64`s built from sums of per-table terms; a strict `<=`
+/// comparison would make validity judgements flap on the last ulp.
+pub const COST_EPS: f64 = 1e-9;
+
+/// `true` when a refresh of cost `cost` fits within budget `c`.
+#[inline]
+pub fn fits(cost: f64, c: f64) -> bool {
+    cost <= c + COST_EPS
+}
+
+/// Behaviour shared by all cost functions.
+pub trait CostFn {
+    /// Cost of processing a batch of `k` modifications.
+    fn eval(&self, k: u64) -> f64;
+
+    /// Largest batch size `k` with `eval(k) ≤ budget`, or 0 when even a
+    /// single modification exceeds the budget.
+    ///
+    /// The default implementation exploits monotonicity: exponential
+    /// search for an upper bound followed by binary search.
+    fn max_batch(&self, budget: f64) -> u64 {
+        if !fits(self.eval(1), budget) {
+            return 0;
+        }
+        // Exponential search for the first power-of-two batch that busts
+        // the budget.
+        let mut hi: u64 = 2;
+        while fits(self.eval(hi), budget) {
+            if hi >= u64::MAX / 2 {
+                return u64::MAX;
+            }
+            hi *= 2;
+        }
+        let mut lo = hi / 2; // fits
+        // Invariant: eval(lo) fits, eval(hi) does not.
+        while hi - lo > 1 {
+            let mid = lo + (hi - lo) / 2;
+            if fits(self.eval(mid), budget) {
+                lo = mid;
+            } else {
+                hi = mid;
+            }
+        }
+        lo
+    }
+}
+
+/// A concrete, serializable cost function. See the module docs for the
+/// provenance of each variant.
+#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
+pub enum CostModel {
+    /// `f(0) = 0`, `f(k) = a·k + b` for `k ≥ 1`.
+    Linear {
+        /// Per-modification cost.
+        a: f64,
+        /// Fixed batch-setup cost.
+        b: f64,
+    },
+    /// `f(k) = ⌈k / block⌉ · cost_per_block` — subadditive, not concave.
+    Step {
+        /// Number of modifications per block.
+        block: u64,
+        /// Cost of processing one block.
+        cost_per_block: f64,
+    },
+    /// `f(0) = 0`, `f(k) = setup + scale · k^exponent` for `k ≥ 1`,
+    /// with `0 < exponent ≤ 1` (concave).
+    Power {
+        /// Fixed batch-setup cost.
+        setup: f64,
+        /// Multiplier of the power term.
+        scale: f64,
+        /// Exponent in `(0, 1]`.
+        exponent: f64,
+    },
+    /// Monotone piecewise-linear interpolation through `(k, cost)` sample
+    /// points. Extrapolates the final segment's slope beyond the last
+    /// sample. Samples must be strictly increasing in `k`.
+    Piecewise {
+        /// Sample points, sorted by batch size. An implicit `(0, 0)` point
+        /// is always prepended.
+        points: Vec<(u64, f64)>,
+    },
+    /// The §3.2 tightness construction, parameterized by `ε` and the
+    /// response-time budget `c` it is built against:
+    /// `f(x) = (ε·x/2)·c` for `0 ≤ x ≤ 2/ε`, else `(1 + ε/2)·c`.
+    Capped {
+        /// The ε of the construction; `1/ε` should be an integer.
+        eps: f64,
+        /// The response-time budget the function is calibrated to.
+        c: f64,
+    },
+}
+
+impl CostModel {
+    /// Convenience constructor for the linear shape of §3.3.
+    pub fn linear(a: f64, b: f64) -> Self {
+        CostModel::Linear { a, b }
+    }
+
+    /// Fits a least-squares line through `(k, cost)` samples and returns
+    /// the corresponding [`CostModel::Linear`]. Used to turn measured
+    /// curves (Figs. 1/4) into the analytic form §3.3 reasons about.
+    ///
+    /// Returns `None` with fewer than two samples or zero variance in `k`.
+    pub fn fit_linear(samples: &[(u64, f64)]) -> Option<Self> {
+        if samples.len() < 2 {
+            return None;
+        }
+        let n = samples.len() as f64;
+        let sx: f64 = samples.iter().map(|&(k, _)| k as f64).sum();
+        let sy: f64 = samples.iter().map(|&(_, c)| c).sum();
+        let sxx: f64 = samples.iter().map(|&(k, _)| (k as f64) * (k as f64)).sum();
+        let sxy: f64 = samples.iter().map(|&(k, c)| (k as f64) * c).sum();
+        let denom = n * sxx - sx * sx;
+        if denom.abs() < f64::EPSILON {
+            return None;
+        }
+        let a = (n * sxy - sx * sy) / denom;
+        let b = (sy - a * sx) / n;
+        Some(CostModel::Linear { a, b: b.max(0.0) })
+    }
+
+    /// Checks monotonicity empirically over `k ∈ [0, upto]`.
+    pub fn check_monotone(&self, upto: u64) -> bool {
+        let mut prev = self.eval(0);
+        for k in 1..=upto {
+            let cur = self.eval(k);
+            if cur + COST_EPS < prev {
+                return false;
+            }
+            prev = cur;
+        }
+        true
+    }
+
+    /// Checks subadditivity empirically: `f(0) = 0` and
+    /// `f(x+y) ≤ f(x) + f(y)` for all `1 ≤ x ≤ y`, `x + y ≤ upto`.
+    pub fn check_subadditive(&self, upto: u64) -> bool {
+        if self.eval(0).abs() > COST_EPS {
+            return false;
+        }
+        for x in 1..=upto / 2 {
+            for y in x..=(upto - x) {
+                if self.eval(x + y) > self.eval(x) + self.eval(y) + COST_EPS {
+                    return false;
+                }
+            }
+        }
+        true
+    }
+}
+
+impl CostFn for CostModel {
+    fn eval(&self, k: u64) -> f64 {
+        if k == 0 {
+            return 0.0;
+        }
+        match self {
+            CostModel::Linear { a, b } => a * k as f64 + b,
+            CostModel::Step {
+                block,
+                cost_per_block,
+            } => {
+                let blocks = k.div_ceil((*block).max(1));
+                blocks as f64 * cost_per_block
+            }
+            CostModel::Power {
+                setup,
+                scale,
+                exponent,
+            } => setup + scale * (k as f64).powf(*exponent),
+            CostModel::Piecewise { points } => {
+                // Walk segments; an implicit (0, 0) anchors the first one.
+                let (mut k0, mut c0) = (0u64, 0.0f64);
+                for &(k1, c1) in points {
+                    if k <= k1 {
+                        let span = (k1 - k0) as f64;
+                        if span == 0.0 {
+                            return c1;
+                        }
+                        let frac = (k - k0) as f64 / span;
+                        return c0 + frac * (c1 - c0);
+                    }
+                    (k0, c0) = (k1, c1);
+                }
+                // Extrapolate with the slope of the last segment (or flat
+                // if there is only the implicit origin).
+                match points.len() {
+                    0 => 0.0,
+                    1 => {
+                        let (k1, c1) = points[0];
+                        let slope = c1 / k1.max(1) as f64;
+                        c1 + slope * (k - k1) as f64
+                    }
+                    _ => {
+                        let (ka, ca) = points[points.len() - 2];
+                        let (kb, cb) = points[points.len() - 1];
+                        let slope = (cb - ca) / (kb - ka).max(1) as f64;
+                        cb + slope * (k - kb) as f64
+                    }
+                }
+            }
+            CostModel::Capped { eps, c } => {
+                let x = k as f64;
+                if x <= 2.0 / eps {
+                    (eps * x / 2.0) * c
+                } else {
+                    (1.0 + eps / 2.0) * c
+                }
+            }
+        }
+    }
+}
+
+/// Evaluates the aggregate refresh cost `f(v) = Σ_i f_i(v[i])` of a state
+/// vector under per-table cost functions.
+pub fn total_cost(costs: &[CostModel], v: &crate::counts::Counts) -> f64 {
+    debug_assert_eq!(costs.len(), v.len());
+    costs
+        .iter()
+        .zip(v.iter())
+        .map(|(f, k)| f.eval(k))
+        .sum()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::counts::Counts;
+
+    #[test]
+    fn linear_has_zero_at_origin() {
+        let f = CostModel::linear(0.5, 3.0);
+        assert_eq!(f.eval(0), 0.0);
+        assert!((f.eval(1) - 3.5).abs() < 1e-12);
+        assert!((f.eval(10) - 8.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn linear_is_monotone_and_subadditive() {
+        let f = CostModel::linear(0.25, 2.0);
+        assert!(f.check_monotone(200));
+        assert!(f.check_subadditive(200));
+    }
+
+    #[test]
+    fn step_is_subadditive_but_not_concave() {
+        let f = CostModel::Step {
+            block: 10,
+            cost_per_block: 1.0,
+        };
+        assert!(f.check_monotone(100));
+        assert!(f.check_subadditive(100));
+        // Non-concavity: the jump at k = 11 exceeds the jump at k = 2.
+        let d_small = f.eval(2) - f.eval(1);
+        let d_jump = f.eval(11) - f.eval(10);
+        assert!(d_jump > d_small);
+    }
+
+    #[test]
+    fn power_is_monotone_and_subadditive() {
+        let f = CostModel::Power {
+            setup: 1.0,
+            scale: 2.0,
+            exponent: 0.5,
+        };
+        assert!(f.check_monotone(300));
+        assert!(f.check_subadditive(300));
+    }
+
+    #[test]
+    fn capped_matches_paper_definition() {
+        // ε = 0.5, C = 10: f(x) = 2.5x for x ≤ 4, 12.5 beyond.
+        let f = CostModel::Capped { eps: 0.5, c: 10.0 };
+        assert!((f.eval(2) - 5.0).abs() < 1e-12);
+        assert!((f.eval(4) - 10.0).abs() < 1e-12);
+        assert!((f.eval(5) - 12.5).abs() < 1e-12);
+        assert!((f.eval(1000) - 12.5).abs() < 1e-12);
+        assert!(f.check_monotone(50));
+        assert!(f.check_subadditive(50));
+    }
+
+    #[test]
+    fn piecewise_interpolates_and_extrapolates() {
+        let f = CostModel::Piecewise {
+            points: vec![(10, 5.0), (20, 7.0)],
+        };
+        assert_eq!(f.eval(0), 0.0);
+        assert!((f.eval(5) - 2.5).abs() < 1e-12);
+        assert!((f.eval(10) - 5.0).abs() < 1e-12);
+        assert!((f.eval(15) - 6.0).abs() < 1e-12);
+        // Beyond the last point: slope (7-5)/(20-10) = 0.2.
+        assert!((f.eval(30) - 9.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn piecewise_single_point_extrapolates_through_origin() {
+        let f = CostModel::Piecewise {
+            points: vec![(10, 5.0)],
+        };
+        assert!((f.eval(20) - 10.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn max_batch_is_exact_boundary() {
+        let f = CostModel::linear(1.0, 2.0); // f(k) = k + 2
+        assert_eq!(f.max_batch(10.0), 8);
+        assert_eq!(f.max_batch(2.5), 0, "f(1) = 3 > 2.5");
+        assert_eq!(f.max_batch(3.0), 1);
+    }
+
+    #[test]
+    fn max_batch_handles_flat_functions() {
+        let f = CostModel::Capped { eps: 0.5, c: 10.0 };
+        // f caps at 12.5, so any budget >= 12.5 admits unbounded batches.
+        assert_eq!(f.max_batch(12.5), u64::MAX);
+        // Budget 10 admits exactly 2/eps = 4.
+        assert_eq!(f.max_batch(10.0), 4);
+    }
+
+    #[test]
+    fn fit_linear_recovers_exact_line() {
+        let samples: Vec<(u64, f64)> = (1..=20).map(|k| (k, 0.7 * k as f64 + 4.0)).collect();
+        let fit = CostModel::fit_linear(&samples).unwrap();
+        match fit {
+            CostModel::Linear { a, b } => {
+                assert!((a - 0.7).abs() < 1e-9);
+                assert!((b - 4.0).abs() < 1e-9);
+            }
+            other => panic!("expected linear fit, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn fit_linear_rejects_degenerate_input() {
+        assert!(CostModel::fit_linear(&[(1, 1.0)]).is_none());
+        assert!(CostModel::fit_linear(&[(5, 1.0), (5, 2.0)]).is_none());
+    }
+
+    #[test]
+    fn total_cost_sums_components() {
+        let costs = vec![CostModel::linear(1.0, 1.0), CostModel::linear(2.0, 0.5)];
+        let v = Counts::from_slice(&[3, 2]);
+        // (3 + 1) + (4 + 0.5) = 8.5
+        assert!((total_cost(&costs, &v) - 8.5).abs() < 1e-12);
+        let z = Counts::zero(2);
+        assert_eq!(total_cost(&costs, &z), 0.0);
+    }
+
+    #[test]
+    fn fits_tolerates_rounding() {
+        assert!(fits(10.0 + 1e-12, 10.0));
+        assert!(!fits(10.1, 10.0));
+    }
+}

@@ -1,0 +1,199 @@
+//! Fixed-length vectors of modification counts.
+//!
+//! The paper models both system states (sizes of the delta tables
+//! `ΔR_1..ΔR_n`) and maintenance actions as n-vectors of non-negative
+//! integers. [`Counts`] is that n-vector.
+
+use serde::{Deserialize, Serialize};
+use std::fmt;
+use std::ops::{Index, IndexMut};
+
+/// An n-vector of non-negative modification counts.
+///
+/// Component `i` is the number of modifications of base table `R_i`
+/// represented by this vector (pending in a state, or processed by an
+/// action).
+#[derive(Clone, PartialEq, Eq, Hash, Default, Serialize, Deserialize)]
+pub struct Counts(Vec<u64>);
+
+impl Counts {
+    /// Creates the zero vector of dimension `n`.
+    pub fn zero(n: usize) -> Self {
+        Counts(vec![0; n])
+    }
+
+    /// Creates a vector from explicit components.
+    pub fn from_slice(v: &[u64]) -> Self {
+        Counts(v.to_vec())
+    }
+
+    /// Number of components (the number of base tables `n`).
+    pub fn len(&self) -> usize {
+        self.0.len()
+    }
+
+    /// True when the vector has no components.
+    pub fn is_empty(&self) -> bool {
+        self.0.is_empty()
+    }
+
+    /// True when every component is zero (`s = 0`: the view is up to date,
+    /// or `p = 0`: the plan takes no action).
+    pub fn is_zero(&self) -> bool {
+        self.0.iter().all(|&c| c == 0)
+    }
+
+    /// Sum of all components.
+    pub fn total(&self) -> u64 {
+        self.0.iter().sum()
+    }
+
+    /// Component-wise sum.
+    pub fn add(&self, other: &Counts) -> Counts {
+        debug_assert_eq!(self.len(), other.len());
+        Counts(
+            self.0
+                .iter()
+                .zip(&other.0)
+                .map(|(a, b)| a + b)
+                .collect(),
+        )
+    }
+
+    /// Adds `other` into `self` in place.
+    pub fn add_assign(&mut self, other: &Counts) {
+        debug_assert_eq!(self.len(), other.len());
+        for (a, b) in self.0.iter_mut().zip(&other.0) {
+            *a += b;
+        }
+    }
+
+    /// Component-wise difference. Returns `None` when any component would
+    /// go negative, i.e. when `other` is not dominated by `self`.
+    pub fn checked_sub(&self, other: &Counts) -> Option<Counts> {
+        debug_assert_eq!(self.len(), other.len());
+        self.0
+            .iter()
+            .zip(&other.0)
+            .map(|(a, b)| a.checked_sub(*b))
+            .collect::<Option<Vec<_>>>()
+            .map(Counts)
+    }
+
+    /// Component-wise `self ≤ other`.
+    pub fn dominated_by(&self, other: &Counts) -> bool {
+        debug_assert_eq!(self.len(), other.len());
+        self.0.iter().zip(&other.0).all(|(a, b)| a <= b)
+    }
+
+    /// Iterator over components.
+    pub fn iter(&self) -> impl Iterator<Item = u64> + '_ {
+        self.0.iter().copied()
+    }
+
+    /// Underlying slice.
+    pub fn as_slice(&self) -> &[u64] {
+        &self.0
+    }
+
+    /// Indices of the non-zero components.
+    pub fn support(&self) -> Vec<usize> {
+        self.0
+            .iter()
+            .enumerate()
+            .filter(|(_, &c)| c > 0)
+            .map(|(i, _)| i)
+            .collect()
+    }
+}
+
+impl Index<usize> for Counts {
+    type Output = u64;
+    fn index(&self, i: usize) -> &u64 {
+        &self.0[i]
+    }
+}
+
+impl IndexMut<usize> for Counts {
+    fn index_mut(&mut self, i: usize) -> &mut u64 {
+        &mut self.0[i]
+    }
+}
+
+impl fmt::Debug for Counts {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "⟨")?;
+        for (i, c) in self.0.iter().enumerate() {
+            if i > 0 {
+                write!(f, ",")?;
+            }
+            write!(f, "{c}")?;
+        }
+        write!(f, "⟩")
+    }
+}
+
+impl From<Vec<u64>> for Counts {
+    fn from(v: Vec<u64>) -> Self {
+        Counts(v)
+    }
+}
+
+impl FromIterator<u64> for Counts {
+    fn from_iter<I: IntoIterator<Item = u64>>(iter: I) -> Self {
+        Counts(iter.into_iter().collect())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn zero_is_zero() {
+        let z = Counts::zero(3);
+        assert!(z.is_zero());
+        assert_eq!(z.len(), 3);
+        assert_eq!(z.total(), 0);
+    }
+
+    #[test]
+    fn add_and_sub_roundtrip() {
+        let a = Counts::from_slice(&[3, 0, 7]);
+        let b = Counts::from_slice(&[1, 2, 3]);
+        let s = a.add(&b);
+        assert_eq!(s, Counts::from_slice(&[4, 2, 10]));
+        assert_eq!(s.checked_sub(&b), Some(a.clone()));
+        assert_eq!(a.checked_sub(&b), None, "component 1 would go negative");
+    }
+
+    #[test]
+    fn dominated_by_is_componentwise() {
+        let a = Counts::from_slice(&[1, 2]);
+        let b = Counts::from_slice(&[2, 2]);
+        assert!(a.dominated_by(&b));
+        assert!(!b.dominated_by(&a));
+        assert!(a.dominated_by(&a));
+    }
+
+    #[test]
+    fn support_lists_nonzero_indices() {
+        let a = Counts::from_slice(&[0, 5, 0, 1]);
+        assert_eq!(a.support(), vec![1, 3]);
+    }
+
+    #[test]
+    fn add_assign_matches_add() {
+        let mut a = Counts::from_slice(&[1, 1]);
+        let b = Counts::from_slice(&[4, 0]);
+        let expect = a.add(&b);
+        a.add_assign(&b);
+        assert_eq!(a, expect);
+    }
+
+    #[test]
+    fn debug_format_is_compact() {
+        let a = Counts::from_slice(&[1, 2]);
+        assert_eq!(format!("{a:?}"), "⟨1,2⟩");
+    }
+}

@@ -1,0 +1,125 @@
+//! The §3.2 tightness construction showing `OPT^LGM ≥ (2 − ε)·OPT`.
+//!
+//! One base table with the capped cost function
+//! `f(x) = (ε·x/2)·C` for `x ≤ 2/ε`, `(1 + ε/2)·C` beyond, and
+//! `2/ε + 1` arrivals at each of `2m` steps. Any LGM plan is forced to
+//! flush all arrivals every step (cost `(1 + ε/2)·C` each), while a
+//! non-greedy plan can leave `2/ε` modifications behind at even steps and
+//! clear `4/ε + 1` at odd steps.
+
+use crate::cost::CostModel;
+use crate::counts::Counts;
+use crate::instance::{Arrivals, Instance};
+use crate::plan::Plan;
+
+/// The tightness instance for a given `ε` (where `1/ε` must be integral)
+/// and `m` (the horizon is `T = 2m − 1`).
+pub fn tightness_instance(eps: f64, m: usize, c: f64) -> Instance {
+    assert!(eps > 0.0 && (1.0 / eps).fract().abs() < 1e-9, "1/ε must be an integer");
+    assert!(m >= 1);
+    let per_step = (2.0 / eps) as u64 + 1;
+    Instance::new(
+        vec![CostModel::Capped { eps, c }],
+        Arrivals::uniform(Counts::from_slice(&[per_step]), 2 * m - 1),
+        c,
+    )
+}
+
+/// The (unique) LGM plan on the tightness instance: every step's arrivals
+/// alone already bust the budget, so each step flushes everything.
+/// Total cost: `2m · (1 + ε/2) · C = (2 + ε)·m·C`.
+pub fn tightness_lgm_plan(inst: &Instance) -> Plan {
+    let horizon = inst.horizon();
+    let actions = (0..=horizon).map(|t| inst.arrivals.at(t)).collect();
+    Plan { actions }
+}
+
+/// The non-LGM witness plan of §3.2: at even steps process all but `2/ε`
+/// modifications (cost `f(1)`), at odd steps process the leftover plus the
+/// new arrivals together (cost `f(4/ε + 1)`).
+/// Total cost: `(f(1) + f(4/ε + 1))·m = (1 + ε)·m·C`.
+pub fn tightness_witness_plan(inst: &Instance) -> Plan {
+    let horizon = inst.horizon();
+    let per_step = inst.arrivals.at(0)[0];
+    let leave = per_step - 1; // 2/ε
+    let mut actions = Vec::with_capacity(horizon + 1);
+    for t in 0..=horizon {
+        if t % 2 == 0 {
+            // Process one modification, leave 2/ε pending.
+            actions.push(Counts::from_slice(&[1]));
+        } else {
+            // Process the 2/ε leftovers plus the 2/ε + 1 new arrivals.
+            actions.push(Counts::from_slice(&[leave + per_step]));
+        }
+    }
+    Plan { actions }
+}
+
+/// Analytic costs `(OPT^LGM, witness upper bound on OPT)` of the
+/// construction: `((2 + ε)·m·C, (1 + ε)·m·C)`.
+pub fn tightness_analytic_costs(eps: f64, m: usize, c: f64) -> (f64, f64) {
+    let m = m as f64;
+    ((2.0 + eps) * m * c, (1.0 + eps) * m * c)
+}
+
+/// The ratio `OPT^LGM / OPT ≥ (2 + ε)/(1 + ε) ≥ 2 − ε` realized by the
+/// construction.
+pub fn tightness_ratio(eps: f64) -> f64 {
+    (2.0 + eps) / (1.0 + eps)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::cost::CostFn;
+
+    #[test]
+    fn lgm_plan_is_forced_every_step() {
+        let inst = tightness_instance(0.5, 3, 10.0);
+        // 2/ε + 1 = 5 arrivals/step; f(5) = 12.5 > 10 so every pre-action
+        // state is full even right after a flush.
+        let plan = tightness_lgm_plan(&inst);
+        plan.validate(&inst).expect("valid");
+        assert!(plan.is_lgm(&inst));
+        let (lgm_cost, _) = tightness_analytic_costs(0.5, 3, 10.0);
+        assert!((plan.cost(&inst) - lgm_cost).abs() < 1e-9);
+    }
+
+    #[test]
+    fn witness_plan_is_valid_and_cheaper() {
+        let inst = tightness_instance(0.5, 3, 10.0);
+        let lgm = tightness_lgm_plan(&inst);
+        let witness = tightness_witness_plan(&inst);
+        witness.validate(&inst).expect("witness valid");
+        assert!(!witness.is_greedy(&inst), "the witness is deliberately non-greedy");
+        let (lgm_cost, witness_cost) = tightness_analytic_costs(0.5, 3, 10.0);
+        assert!((lgm.cost(&inst) - lgm_cost).abs() < 1e-9);
+        assert!((witness.cost(&inst) - witness_cost).abs() < 1e-9);
+        let ratio = lgm.cost(&inst) / witness.cost(&inst);
+        assert!((ratio - tightness_ratio(0.5)).abs() < 1e-9);
+        assert!(ratio > 2.0 - 0.5);
+    }
+
+    #[test]
+    fn ratio_approaches_two_as_eps_shrinks() {
+        let mut prev = 0.0;
+        for k in [2u32, 4, 10, 100, 1000] {
+            let eps = 1.0 / k as f64;
+            let r = tightness_ratio(eps);
+            assert!(r > prev, "ratio must increase as ε shrinks");
+            assert!(r < 2.0);
+            assert!(r >= 2.0 - eps - 1e-12);
+            prev = r;
+        }
+        assert!(tightness_ratio(0.001) > 1.998);
+    }
+
+    #[test]
+    fn capped_cost_is_flat_beyond_threshold() {
+        let inst = tightness_instance(0.25, 2, 8.0);
+        let f = &inst.costs[0];
+        // threshold 2/ε = 8
+        assert!((f.eval(8) - 8.0).abs() < 1e-9);
+        assert!((f.eval(9) - f.eval(10_000)).abs() < 1e-12);
+    }
+}

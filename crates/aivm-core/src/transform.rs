@@ -1,0 +1,232 @@
+//! Plan transformations of §3: `MakeLazyPlan` (Lemma 1),
+//! `MinimizeAction`, and `MakeLGMPlan` (Lemma 2 / Theorem 1).
+//!
+//! These procedures are constructive proofs in the paper; here they are
+//! executable, which lets the test suite verify the paper's bounds
+//! (`f(MakeLazyPlan(P)) ≤ f(P)`, `f(MakeLGMPlan(P)) ≤ 2·f(P)`) on
+//! arbitrary randomly generated valid plans.
+
+use crate::cost::{fits, CostFn};
+use crate::counts::Counts;
+use crate::instance::Instance;
+use crate::plan::Plan;
+
+/// `MakeLazyPlan` (§3.1): postpones every action of `plan` until an
+/// action is forced (the pre-action state is full) or `t = T`, at which
+/// point all accumulated actions are applied at once.
+///
+/// Guarantees (Lemma 1): the result is valid and lazy, and by
+/// subadditivity costs no more than `plan`.
+pub fn make_lazy_plan(inst: &Instance, plan: &Plan) -> Plan {
+    let horizon = inst.horizon();
+    let n = inst.n();
+    let mut accumulated = Counts::zero(n);
+    let mut actions = Vec::with_capacity(horizon + 1);
+    let mut s = Counts::zero(n); // pre-action state under the lazy plan
+    for t in 0..=horizon {
+        accumulated.add_assign(&plan.actions[t]);
+        s.add_assign(&inst.arrivals.at(t));
+        if inst.is_full(&s) || t == horizon {
+            actions.push(accumulated.clone());
+            s = s
+                .checked_sub(&accumulated)
+                .expect("accumulated actions never exceed accumulated arrivals for a valid input plan");
+            accumulated = Counts::zero(n);
+        } else {
+            actions.push(Counts::zero(n));
+        }
+    }
+    Plan { actions }
+}
+
+/// `MinimizeAction` (§3.2): given a greedy action `q` (a set of tables to
+/// empty) and the pre-action state `s`, returns a *minimal* greedy action
+/// that empties a subset of the tables emptied by `q` while still
+/// satisfying `f(s − q') ≤ C`.
+///
+/// Components are considered for dropping in decreasing order of the cost
+/// they would save if kept batched (`f_i(s[i])`), a deterministic choice
+/// among the generally many minimal sub-actions.
+pub fn minimize_action(inst: &Instance, q: &Counts, s: &Counts) -> Counts {
+    let mut keep: Vec<usize> = q.support();
+    debug_assert!(
+        keep.iter().all(|&i| q[i] == s[i]),
+        "minimize_action expects a greedy action"
+    );
+    // Try to drop the most expensive flushes first: dropping them saves
+    // the most cost now, and if the budget still holds afterwards we have
+    // found a cheaper minimal action.
+    let mut order = keep.clone();
+    order.sort_by(|&a, &b| {
+        inst.costs[b]
+            .eval(s[b])
+            .partial_cmp(&inst.costs[a].eval(s[a]))
+            .unwrap_or(std::cmp::Ordering::Equal)
+    });
+    for &i in &order {
+        // Tentatively drop i from the flush set.
+        let trial: Vec<usize> = keep.iter().copied().filter(|&j| j != i).collect();
+        let mut post = s.clone();
+        for &j in &trial {
+            post[j] = 0;
+        }
+        if fits(inst.refresh_cost(&post), inst.budget) {
+            keep = trial;
+        }
+    }
+    let mut result = Counts::zero(s.len());
+    for &i in &keep {
+        result[i] = s[i];
+    }
+    result
+}
+
+/// `MakeLGMPlan` (§3.2): converts any valid plan into a valid LGM plan.
+/// At each forced instant, table `i` is flushed iff the LGM plan's
+/// pending count strictly exceeds the reference plan's post-action count
+/// (`s_Q[i] > s_P⁺[i]`), then the flush set is minimized.
+///
+/// Guarantees (Lemma 2, Theorem 1): the result is valid, LGM, and costs
+/// at most `2 · f(plan)`.
+pub fn make_lgm_plan(inst: &Instance, plan: &Plan) -> Plan {
+    let horizon = inst.horizon();
+    let n = inst.n();
+    // Post-action states of the reference plan P.
+    let p_pre = plan.pre_action_states(inst);
+    let mut actions = Vec::with_capacity(horizon + 1);
+    let mut s_q = Counts::zero(n); // pre-action state under Q
+    for t in 0..=horizon {
+        s_q.add_assign(&inst.arrivals.at(t));
+        if t == horizon {
+            actions.push(s_q.clone());
+            break;
+        }
+        if inst.is_full(&s_q) {
+            let p_post = p_pre[t]
+                .checked_sub(&plan.actions[t])
+                .expect("reference plan must be valid");
+            let mut q = Counts::zero(n);
+            for i in 0..n {
+                if s_q[i] > p_post[i] {
+                    q[i] = s_q[i];
+                }
+            }
+            let q = minimize_action(inst, &q, &s_q);
+            s_q = s_q.checked_sub(&q).expect("q flushes at most s_q");
+            actions.push(q);
+        } else {
+            actions.push(Counts::zero(n));
+        }
+    }
+    Plan { actions }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::cost::CostModel;
+    use crate::instance::Arrivals;
+    use crate::plan::naive_plan;
+
+    fn inst() -> Instance {
+        Instance::new(
+            vec![CostModel::linear(1.0, 1.0), CostModel::linear(1.0, 4.0)],
+            Arrivals::uniform(Counts::from_slice(&[1, 1]), 9),
+            8.0,
+        )
+    }
+
+    /// An eager plan that flushes everything every step.
+    fn eager(inst: &Instance) -> Plan {
+        let mut actions = Vec::new();
+        for t in 0..=inst.horizon() {
+            actions.push(inst.arrivals.at(t));
+        }
+        Plan { actions }
+    }
+
+    #[test]
+    fn make_lazy_never_increases_cost() {
+        let inst = inst();
+        let p = eager(&inst);
+        p.validate(&inst).expect("eager plan valid");
+        let q = make_lazy_plan(&inst, &p);
+        q.validate(&inst).expect("lazy plan valid");
+        assert!(q.is_lazy(&inst));
+        assert!(q.cost(&inst) <= p.cost(&inst) + 1e-9);
+        assert!(
+            q.cost(&inst) < p.cost(&inst),
+            "batching must strictly help with setup costs"
+        );
+    }
+
+    #[test]
+    fn make_lazy_is_identity_on_lazy_plans() {
+        let inst = inst();
+        let p = naive_plan(&inst);
+        let q = make_lazy_plan(&inst, &p);
+        assert_eq!(p, q);
+    }
+
+    #[test]
+    fn minimize_action_drops_redundant_components() {
+        let inst = inst();
+        // State ⟨3,3⟩ costs 4 + 7 = 11 > 8. Flushing both is valid but
+        // dropping table 0 leaves ⟨3,0⟩ = 4 ≤ 8, and dropping table 1
+        // leaves ⟨0,3⟩ = 7 ≤ 8; minimality keeps exactly one.
+        let s = Counts::from_slice(&[3, 3]);
+        let q = minimize_action(&inst, &s.clone(), &s);
+        let flushed = q.support();
+        assert_eq!(flushed.len(), 1, "one flush suffices: {q:?}");
+        // Deterministic tie-break: table 1 is the more expensive flush
+        // (7 > 4) so it is dropped first, leaving table 0... dropping
+        // table 1 leaves ⟨0,3⟩ (cost 7 ≤ 8) so table 1 IS dropped,
+        // then dropping table 0 would leave ⟨3,3⟩ (11 > 8), kept.
+        assert_eq!(q, Counts::from_slice(&[3, 0]));
+    }
+
+    #[test]
+    fn minimize_action_keeps_necessary_components() {
+        let inst = Instance::new(
+            vec![CostModel::linear(1.0, 0.0), CostModel::linear(1.0, 0.0)],
+            Arrivals::uniform(Counts::from_slice(&[1, 1]), 3),
+            4.0,
+        );
+        // ⟨5,5⟩ costs 10; flushing either alone leaves cost 5 > 4, so the
+        // minimal action must flush both.
+        let s = Counts::from_slice(&[5, 5]);
+        let q = minimize_action(&inst, &s.clone(), &s);
+        assert_eq!(q, s);
+    }
+
+    #[test]
+    fn make_lgm_produces_valid_lgm_plan_within_2x() {
+        let inst = inst();
+        for reference in [eager(&inst), naive_plan(&inst)] {
+            reference.validate(&inst).expect("reference valid");
+            let q = make_lgm_plan(&inst, &reference);
+            q.validate(&inst).expect("LGM plan valid");
+            assert!(q.is_lgm(&inst), "plan must be LGM");
+            assert!(
+                q.cost(&inst) <= 2.0 * reference.cost(&inst) + 1e-9,
+                "Theorem 1 bound violated: {} > 2 × {}",
+                q.cost(&inst),
+                reference.cost(&inst)
+            );
+        }
+    }
+
+    #[test]
+    fn make_lgm_handles_single_table() {
+        let inst = Instance::new(
+            vec![CostModel::linear(1.0, 2.0)],
+            Arrivals::uniform(Counts::from_slice(&[2]), 7),
+            9.0,
+        );
+        let p = eager(&inst);
+        let q = make_lgm_plan(&inst, &p);
+        q.validate(&inst).expect("valid");
+        assert!(q.is_lgm(&inst));
+        assert!(q.cost(&inst) <= 2.0 * p.cost(&inst) + 1e-9);
+    }
+}

@@ -1,0 +1,294 @@
+//! Multi-view maintenance: one database, many materialized views.
+//!
+//! The paper's motivating pub/sub system maintains *many* subscription
+//! content queries over the same base data. [`ViewCatalog`] owns the
+//! database plus any number of views, routes every base-table
+//! modification to the delta tables of exactly the views that reference
+//! that table, and exposes per-view flush/refresh so a scheduler (one
+//! `aivm-solver` policy per view, or a shared one) can drive maintenance.
+
+use crate::db::{Database, TableId};
+use crate::delta::Modification;
+use crate::error::EngineError;
+use crate::exec::WRow;
+use crate::ivm::{FlushReport, MaterializedView, MinStrategy, ViewDef};
+use std::collections::HashMap;
+
+/// Identifier of a view within a [`ViewCatalog`].
+pub type ViewId = usize;
+
+/// A database bundled with its registered materialized views.
+#[derive(Clone, Debug)]
+pub struct ViewCatalog {
+    db: Database,
+    views: Vec<MaterializedView>,
+    names: HashMap<String, ViewId>,
+    /// `routes[table_id]` = views referencing that base table, with the
+    /// table's position inside each view.
+    routes: Vec<Vec<(ViewId, usize)>>,
+}
+
+impl ViewCatalog {
+    /// Wraps a database with no views yet.
+    pub fn new(db: Database) -> Self {
+        let tables = db.table_count();
+        ViewCatalog {
+            db,
+            views: Vec::new(),
+            names: HashMap::new(),
+            routes: vec![Vec::new(); tables],
+        }
+    }
+
+    /// Read access to the database.
+    pub fn db(&self) -> &Database {
+        &self.db
+    }
+
+    /// Number of registered views.
+    pub fn view_count(&self) -> usize {
+        self.views.len()
+    }
+
+    /// Registers a view; its state initializes from current contents.
+    pub fn create_view(
+        &mut self,
+        def: ViewDef,
+        strategy: MinStrategy,
+    ) -> Result<ViewId, EngineError> {
+        if self.names.contains_key(&def.name) {
+            return Err(EngineError::Unsupported {
+                message: format!("view {} already exists", def.name),
+            });
+        }
+        let view = MaterializedView::new(&self.db, def, strategy)?;
+        let id = self.views.len();
+        for (pos, table_name) in view.def().tables.iter().enumerate() {
+            let table_id = self.db.table_id(table_name)?;
+            self.routes[table_id].push((id, pos));
+        }
+        self.names.insert(view.def().name.clone(), id);
+        self.views.push(view);
+        Ok(id)
+    }
+
+    /// Resolves a view by name.
+    pub fn view_id(&self, name: &str) -> Option<ViewId> {
+        self.names.get(name).copied()
+    }
+
+    /// Read access to a view.
+    pub fn view(&self, id: ViewId) -> &MaterializedView {
+        &self.views[id]
+    }
+
+    /// Applies a modification to the base table and defers it into
+    /// every dependent view's delta table.
+    pub fn modify(&mut self, table: TableId, m: Modification) -> Result<(), EngineError> {
+        self.db.apply(table, &m)?;
+        let routes = &self.routes[table];
+        match routes.len() {
+            0 => {}
+            1 => {
+                let (vid, pos) = routes[0];
+                self.views[vid].enqueue(pos, m);
+            }
+            _ => {
+                for &(vid, pos) in routes {
+                    self.views[vid].enqueue(pos, m.clone());
+                }
+            }
+        }
+        Ok(())
+    }
+
+    /// Executes a DML statement (`INSERT` / `UPDATE` / `DELETE`),
+    /// applying it to the base table and routing every implied
+    /// modification into dependent views' delta tables. Returns the
+    /// number of modifications.
+    pub fn execute_sql(&mut self, sql: &str) -> Result<usize, EngineError> {
+        let stmt = crate::dml::compile_dml(&self.db, sql)?;
+        let count = stmt.modifications.len();
+        for m in stmt.modifications {
+            self.modify(stmt.table, m)?;
+        }
+        Ok(count)
+    }
+
+    /// Flushes `counts` pending modifications of one view.
+    pub fn flush(&mut self, id: ViewId, counts: &[u64]) -> Result<FlushReport, EngineError> {
+        self.views[id].flush(&self.db, counts)
+    }
+
+    /// Refreshes (fully flushes) one view.
+    pub fn refresh(&mut self, id: ViewId) -> Result<FlushReport, EngineError> {
+        self.views[id].refresh(&self.db)
+    }
+
+    /// Refreshes every view.
+    pub fn refresh_all(&mut self) -> Result<(), EngineError> {
+        for id in 0..self.views.len() {
+            self.refresh(id)?;
+        }
+        Ok(())
+    }
+
+    /// A view's current result.
+    pub fn result(&self, id: ViewId) -> Vec<WRow> {
+        self.views[id].result()
+    }
+
+    /// Pending counts of every view (state vectors for a scheduler).
+    pub fn pending(&self) -> Vec<Vec<u64>> {
+        self.views.iter().map(|v| v.pending_counts()).collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::expr::Expr;
+    use crate::ivm::{AggSpec, JoinPred};
+    use crate::logical::AggFunc;
+    use crate::row;
+    use crate::schema::Schema;
+    use crate::value::{DataType, Value};
+    use crate::IndexKind;
+
+    fn base() -> (Database, TableId, TableId) {
+        let mut db = Database::new();
+        let r = db
+            .create_table(
+                "r",
+                Schema::new(vec![("k", DataType::Int), ("x", DataType::Float)]),
+            )
+            .unwrap();
+        let s = db
+            .create_table(
+                "s",
+                Schema::new(vec![("k", DataType::Int), ("tag", DataType::Str)]),
+            )
+            .unwrap();
+        db.table_mut(r).create_index(IndexKind::Hash, 0).unwrap();
+        (db, r, s)
+    }
+
+    fn join_def(name: &str) -> ViewDef {
+        ViewDef {
+            name: name.into(),
+            tables: vec!["r".into(), "s".into()],
+            join_preds: vec![JoinPred {
+                left: (0, 0),
+                right: (1, 0),
+            }],
+            filters: vec![None, None],
+            residual: None,
+            projection: None,
+            aggregate: None,
+            distinct: false,
+        }
+    }
+
+    fn min_def(name: &str) -> ViewDef {
+        ViewDef {
+            aggregate: Some(AggSpec {
+                group_by: vec![],
+                aggs: vec![(AggFunc::Min, Expr::col(1), "m".into())],
+            }),
+            ..join_def(name)
+        }
+    }
+
+    fn single_table_def(name: &str) -> ViewDef {
+        ViewDef {
+            name: name.into(),
+            tables: vec!["r".into()],
+            join_preds: vec![],
+            filters: vec![None],
+            residual: None,
+            projection: Some(vec![(Expr::col(1), "x".into())]),
+            aggregate: None,
+            distinct: false,
+        }
+    }
+
+    #[test]
+    fn modifications_route_to_dependent_views_only() {
+        let (db, r, s) = base();
+        let mut cat = ViewCatalog::new(db);
+        let join = cat.create_view(join_def("join"), MinStrategy::Multiset).unwrap();
+        let solo = cat
+            .create_view(single_table_def("solo"), MinStrategy::Multiset)
+            .unwrap();
+        cat.modify(r, Modification::Insert(row![1i64, 10.0f64])).unwrap();
+        cat.modify(s, Modification::Insert(row![1i64, "a"])).unwrap();
+        // Both views see the r modification; only the join view sees s.
+        assert_eq!(cat.view(join).pending_counts(), vec![1, 1]);
+        assert_eq!(cat.view(solo).pending_counts(), vec![1]);
+        cat.refresh_all().unwrap();
+        assert_eq!(cat.result(join).len(), 1);
+        assert_eq!(cat.result(solo), vec![(row![10.0f64], 1)]);
+    }
+
+    #[test]
+    fn views_flush_independently() {
+        let (db, r, s) = base();
+        let mut cat = ViewCatalog::new(db);
+        let v1 = cat.create_view(join_def("v1"), MinStrategy::Multiset).unwrap();
+        let v2 = cat.create_view(min_def("v2"), MinStrategy::Multiset).unwrap();
+        cat.modify(r, Modification::Insert(row![1i64, 3.0f64])).unwrap();
+        cat.modify(s, Modification::Insert(row![1i64, "t"])).unwrap();
+        // Flush only v1's r-delta.
+        cat.flush(v1, &[1, 0]).unwrap();
+        assert_eq!(cat.view(v1).pending_counts(), vec![0, 1]);
+        assert_eq!(cat.view(v2).pending_counts(), vec![1, 1], "v2 untouched");
+        cat.refresh_all().unwrap();
+        assert_eq!(cat.result(v2), vec![(row![3.0f64], 1)]);
+        assert_eq!(
+            cat.view(v2).scalar(),
+            Some(Value::Float(3.0))
+        );
+    }
+
+    #[test]
+    fn sql_dml_routes_through_views() {
+        let (db, _, _) = base();
+        let mut cat = ViewCatalog::new(db);
+        let v = cat.create_view(min_def("m"), MinStrategy::Multiset).unwrap();
+        let n1 = cat
+            .execute_sql("INSERT INTO r VALUES (1, 5.0), (1, 3.0)")
+            .unwrap();
+        let n2 = cat.execute_sql("INSERT INTO s VALUES (1, 'x')").unwrap();
+        assert_eq!((n1, n2), (2, 1));
+        cat.refresh(v).unwrap();
+        assert_eq!(cat.view(v).scalar(), Some(Value::Float(3.0)));
+        // UPDATE flows through too: raising the min re-evaluates it.
+        cat.execute_sql("UPDATE r SET x = 10.0 WHERE x < 4").unwrap();
+        cat.refresh(v).unwrap();
+        assert_eq!(cat.view(v).scalar(), Some(Value::Float(5.0)));
+        // DELETE empties the group.
+        cat.execute_sql("DELETE FROM s").unwrap();
+        cat.refresh(v).unwrap();
+        assert_eq!(cat.view(v).scalar(), Some(Value::Null));
+    }
+
+    #[test]
+    fn duplicate_view_names_rejected() {
+        let (db, _, _) = base();
+        let mut cat = ViewCatalog::new(db);
+        cat.create_view(join_def("v"), MinStrategy::Multiset).unwrap();
+        assert!(cat.create_view(join_def("v"), MinStrategy::Multiset).is_err());
+        assert_eq!(cat.view_id("v"), Some(0));
+        assert_eq!(cat.view_id("zz"), None);
+    }
+
+    #[test]
+    fn pending_reports_all_state_vectors() {
+        let (db, r, _) = base();
+        let mut cat = ViewCatalog::new(db);
+        cat.create_view(join_def("a"), MinStrategy::Multiset).unwrap();
+        cat.create_view(single_table_def("b"), MinStrategy::Multiset).unwrap();
+        cat.modify(r, Modification::Insert(row![2i64, 1.0f64])).unwrap();
+        assert_eq!(cat.pending(), vec![vec![1, 0], vec![1]]);
+    }
+}

@@ -1,0 +1,144 @@
+//! Base-table modifications and pending delta tables.
+//!
+//! Following §2 of the paper, modifications are applied to base tables
+//! immediately upon arrival, while a copy is appended to a per-view,
+//! per-table *delta table* for deferred batch processing. Delta tables
+//! preserve arrival (FIFO) order because maintenance actions process
+//! prefixes.
+
+use crate::schema::Row;
+use std::collections::VecDeque;
+
+/// A logical modification of one base table.
+#[derive(Clone, Debug, PartialEq)]
+pub enum Modification {
+    /// A new row.
+    Insert(Row),
+    /// Removal of an existing row (identified by full contents).
+    Delete(Row),
+    /// Replacement of an existing row.
+    Update {
+        /// The row's contents before the update.
+        old: Row,
+        /// The row's contents after the update.
+        new: Row,
+    },
+}
+
+impl Modification {
+    /// The modification as signed-multiset (Z-set) entries:
+    /// inserts are `+1`, deletes `−1`, updates a `−1`/`+1` pair.
+    pub fn weighted(&self) -> Vec<(Row, i64)> {
+        match self {
+            Modification::Insert(r) => vec![(r.clone(), 1)],
+            Modification::Delete(r) => vec![(r.clone(), -1)],
+            Modification::Update { old, new } => {
+                vec![(old.clone(), -1), (new.clone(), 1)]
+            }
+        }
+    }
+}
+
+/// A FIFO delta table: the pending, not-yet-propagated modifications of
+/// one base table for one materialized view.
+#[derive(Clone, Debug, Default)]
+pub struct DeltaTable {
+    queue: VecDeque<Modification>,
+}
+
+impl DeltaTable {
+    /// Creates an empty delta table.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Number of pending modifications (the component of the paper's
+    /// state vector for this table).
+    pub fn len(&self) -> usize {
+        self.queue.len()
+    }
+
+    /// True when no modifications are pending.
+    pub fn is_empty(&self) -> bool {
+        self.queue.is_empty()
+    }
+
+    /// Appends a newly arrived modification.
+    pub fn push(&mut self, m: Modification) {
+        self.queue.push_back(m);
+    }
+
+    /// Removes and returns the earliest `k` modifications (fewer if less
+    /// are pending).
+    pub fn take_prefix(&mut self, k: usize) -> Vec<Modification> {
+        let k = k.min(self.queue.len());
+        self.queue.drain(..k).collect()
+    }
+
+    /// Iterates over the pending modifications in arrival order without
+    /// removing them (used to compensate joins against tables whose
+    /// deltas are still pending).
+    pub fn iter(&self) -> impl Iterator<Item = &Modification> {
+        self.queue.iter()
+    }
+
+    /// The pending modifications as signed-multiset entries.
+    pub fn weighted(&self) -> Vec<(Row, i64)> {
+        self.queue.iter().flat_map(|m| m.weighted()).collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::row;
+
+    #[test]
+    fn weighted_entries_per_kind() {
+        let ins = Modification::Insert(row![1i64]);
+        assert_eq!(ins.weighted(), vec![(row![1i64], 1)]);
+        let del = Modification::Delete(row![2i64]);
+        assert_eq!(del.weighted(), vec![(row![2i64], -1)]);
+        let upd = Modification::Update {
+            old: row![3i64],
+            new: row![4i64],
+        };
+        assert_eq!(upd.weighted(), vec![(row![3i64], -1), (row![4i64], 1)]);
+    }
+
+    #[test]
+    fn fifo_prefix_extraction() {
+        let mut d = DeltaTable::new();
+        for i in 0..5i64 {
+            d.push(Modification::Insert(row![i]));
+        }
+        assert_eq!(d.len(), 5);
+        let first2 = d.take_prefix(2);
+        assert_eq!(
+            first2,
+            vec![
+                Modification::Insert(row![0i64]),
+                Modification::Insert(row![1i64])
+            ]
+        );
+        assert_eq!(d.len(), 3);
+        // Taking more than pending drains everything.
+        let rest = d.take_prefix(10);
+        assert_eq!(rest.len(), 3);
+        assert!(d.is_empty());
+    }
+
+    #[test]
+    fn weighted_view_of_pending() {
+        let mut d = DeltaTable::new();
+        d.push(Modification::Update {
+            old: row![1i64],
+            new: row![2i64],
+        });
+        d.push(Modification::Insert(row![3i64]));
+        assert_eq!(
+            d.weighted(),
+            vec![(row![1i64], -1), (row![2i64], 1), (row![3i64], 1)]
+        );
+    }
+}

@@ -1,0 +1,85 @@
+//! Engine error types.
+
+use std::fmt;
+
+/// Errors raised by the storage and execution layers.
+#[derive(Clone, Debug, PartialEq)]
+pub enum EngineError {
+    /// A referenced table does not exist.
+    NoSuchTable {
+        /// The missing table's name.
+        name: String,
+    },
+    /// A referenced column does not exist.
+    NoSuchColumn {
+        /// Table searched.
+        table: String,
+        /// Column looked up.
+        column: String,
+    },
+    /// A row id does not refer to a live row.
+    NoSuchRow {
+        /// The dangling row id.
+        id: usize,
+    },
+    /// A row does not match its table's schema.
+    SchemaMismatch {
+        /// The table whose schema was violated.
+        table: String,
+    },
+    /// SQL text failed to parse.
+    Parse {
+        /// Human-readable description with position info.
+        message: String,
+    },
+    /// A query or view definition is not supported by the engine.
+    Unsupported {
+        /// What was attempted.
+        message: String,
+    },
+    /// A view maintenance invariant was violated (internal error).
+    Maintenance {
+        /// Description of the violated invariant.
+        message: String,
+    },
+}
+
+impl fmt::Display for EngineError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            EngineError::NoSuchTable { name } => write!(f, "no such table: {name}"),
+            EngineError::NoSuchColumn { table, column } => {
+                write!(f, "no such column: {table}.{column}")
+            }
+            EngineError::NoSuchRow { id } => write!(f, "no live row with id {id}"),
+            EngineError::SchemaMismatch { table } => {
+                write!(f, "row does not match schema of table {table}")
+            }
+            EngineError::Parse { message } => write!(f, "parse error: {message}"),
+            EngineError::Unsupported { message } => write!(f, "unsupported: {message}"),
+            EngineError::Maintenance { message } => {
+                write!(f, "maintenance invariant violated: {message}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for EngineError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_messages_are_informative() {
+        let e = EngineError::NoSuchTable {
+            name: "foo".into(),
+        };
+        assert!(e.to_string().contains("foo"));
+        let e = EngineError::NoSuchColumn {
+            table: "t".into(),
+            column: "c".into(),
+        };
+        assert!(e.to_string().contains("t.c"));
+    }
+}

@@ -1,0 +1,385 @@
+//! The weighted (signed-multiset / Z-set) executor.
+//!
+//! Every intermediate result is a bag of `(Row, i64)` pairs: base rows
+//! carry weight `+1`, deletions `−1`; joins multiply weights. This makes
+//! *compensation* — reading a base table as `physical − pending Δ`, the
+//! state-bug-safe view of §1's footnote — purely algebraic: append the
+//! pending delta's entries with negated weights.
+//!
+//! Two physical join shapes matter for the paper's cost asymmetry:
+//!
+//! * [`join_index`] probes the inner table's index once per delta row —
+//!   cost linear in the delta with a small slope (the `c_ΔS` shape of
+//!   Fig. 1).
+//! * [`join_scan`] builds a hash table from the delta and scans the
+//!   entire inner table — cost dominated by a batch-size-independent
+//!   scan (the `c_ΔR` shape of Fig. 1).
+
+use crate::expr::Expr;
+use crate::schema::Row;
+use crate::table::Table;
+use crate::value::Value;
+use std::collections::HashMap;
+
+/// A weighted row.
+pub type WRow = (Row, i64);
+
+/// Executor effort counters; the analytic cost model is calibrated
+/// against these.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct ExecStats {
+    /// Physical rows visited by scans.
+    pub rows_scanned: u64,
+    /// Index point lookups performed.
+    pub index_probes: u64,
+    /// Rows emitted.
+    pub rows_emitted: u64,
+}
+
+impl ExecStats {
+    /// Adds another counter set into this one.
+    pub fn merge(&mut self, other: &ExecStats) {
+        self.rows_scanned += other.rows_scanned;
+        self.index_probes += other.index_probes;
+        self.rows_emitted += other.rows_emitted;
+    }
+}
+
+/// Sums weights of identical rows and drops zero-weight entries.
+pub fn consolidate(rows: Vec<WRow>) -> Vec<WRow> {
+    let mut map: HashMap<Row, i64> = HashMap::with_capacity(rows.len());
+    for (r, w) in rows {
+        *map.entry(r).or_insert(0) += w;
+    }
+    map.into_iter().filter(|&(_, w)| w != 0).collect()
+}
+
+/// Keeps rows satisfying the predicate.
+pub fn filter(rows: Vec<WRow>, predicate: &Expr) -> Vec<WRow> {
+    rows.into_iter()
+        .filter(|(r, _)| predicate.eval_bool(r))
+        .collect()
+}
+
+/// Maps each row through projection expressions.
+pub fn project(rows: &[WRow], exprs: &[Expr]) -> Vec<WRow> {
+    rows.iter()
+        .map(|(r, w)| {
+            (
+                Row::new(exprs.iter().map(|e| e.eval(r)).collect()),
+                *w,
+            )
+        })
+        .collect()
+}
+
+/// Negates every weight (set difference's second operand).
+pub fn negate(rows: Vec<WRow>) -> Vec<WRow> {
+    rows.into_iter().map(|(r, w)| (r, -w)).collect()
+}
+
+/// Materializes a table as weighted rows under compensation: physical
+/// rows at `+1` minus the pending delta entries, with an optional local
+/// filter applied to both sides.
+pub fn compensated_rows(
+    table: &Table,
+    pending: &[WRow],
+    local_filter: Option<&Expr>,
+    stats: &mut ExecStats,
+) -> Vec<WRow> {
+    let mut out = Vec::with_capacity(table.len());
+    for (_, row) in table.iter() {
+        stats.rows_scanned += 1;
+        if local_filter.map_or(true, |f| f.eval_bool(row)) {
+            out.push((row.clone(), 1));
+        }
+    }
+    for (row, w) in pending {
+        if local_filter.map_or(true, |f| f.eval_bool(row)) {
+            out.push((row.clone(), -w));
+        }
+    }
+    out
+}
+
+/// Groups weighted rows by a single key column.
+fn group_by_key(rows: &[WRow], key: usize) -> HashMap<Value, Vec<WRow>> {
+    let mut map: HashMap<Value, Vec<WRow>> = HashMap::new();
+    for (r, w) in rows {
+        map.entry(r.get(key).clone())
+            .or_default()
+            .push((r.clone(), *w));
+    }
+    map
+}
+
+/// Joins a (small) delta stream against a compensated table by scanning
+/// the table once: builds a hash table over the delta's join key, scans
+/// every physical row, then corrects with the pending delta.
+///
+/// Output rows are `delta_row ++ table_row` with multiplied weights.
+pub fn join_scan(
+    delta: &[WRow],
+    delta_key: usize,
+    table: &Table,
+    table_key: usize,
+    pending: &[WRow],
+    table_filter: Option<&Expr>,
+    stats: &mut ExecStats,
+) -> Vec<WRow> {
+    let by_key = group_by_key(delta, delta_key);
+    let mut out = Vec::new();
+    // The scan: every physical row is visited regardless of delta size —
+    // this is the constant-dominated cost shape.
+    for (_, row) in table.iter() {
+        stats.rows_scanned += 1;
+        if !table_filter.map_or(true, |f| f.eval_bool(row)) {
+            continue;
+        }
+        if let Some(matches) = by_key.get(row.get(table_key)) {
+            for (d, w) in matches {
+                out.push((d.concat(row), *w));
+            }
+        }
+    }
+    // Compensation: subtract matches against the pending delta.
+    for (row, pw) in pending {
+        if !table_filter.map_or(true, |f| f.eval_bool(row)) {
+            continue;
+        }
+        if let Some(matches) = by_key.get(row.get(table_key)) {
+            for (d, w) in matches {
+                out.push((d.concat(row), -pw * w));
+            }
+        }
+    }
+    stats.rows_emitted += out.len() as u64;
+    out
+}
+
+/// Joins a delta stream against a compensated table via the table's
+/// index on `table_key`: one probe per delta row — the per-modification
+/// cost shape.
+///
+/// # Panics
+/// Panics when the table has no index on `table_key`; the planner must
+/// only choose this operator when one exists.
+pub fn join_index(
+    delta: &[WRow],
+    delta_key: usize,
+    table: &Table,
+    table_key: usize,
+    pending: &[WRow],
+    table_filter: Option<&Expr>,
+    stats: &mut ExecStats,
+) -> Vec<WRow> {
+    let index = table
+        .index_on(table_key)
+        .expect("join_index requires an index on the join column");
+    // Pending entries grouped by join key for O(1) compensation probes.
+    let pending_by_key = group_by_key(pending, table_key);
+    let mut out = Vec::new();
+    for (d, w) in delta {
+        let key = d.get(delta_key);
+        stats.index_probes += 1;
+        for &rid in index.lookup(key) {
+            let row = table.get(rid).expect("index points at live rows");
+            if table_filter.map_or(true, |f| f.eval_bool(row)) {
+                out.push((d.concat(row), *w));
+            }
+        }
+        if let Some(pend) = pending_by_key.get(key) {
+            for (row, pw) in pend {
+                if table_filter.map_or(true, |f| f.eval_bool(row)) {
+                    out.push((d.concat(row), -pw * w));
+                }
+            }
+        }
+    }
+    stats.rows_emitted += out.len() as u64;
+    out
+}
+
+/// Generic multi-column hash equi-join of two weighted bags (used by the
+/// full-query executor). `on` pairs are `(left_col, right_col)` with
+/// `right_col` relative to the right schema. Output is
+/// `left_row ++ right_row`.
+pub fn hash_join(left: &[WRow], right: &[WRow], on: &[(usize, usize)]) -> Vec<WRow> {
+    let key_of = |r: &Row, cols: &[usize]| -> Vec<Value> {
+        cols.iter().map(|&c| r.get(c).clone()).collect()
+    };
+    let left_cols: Vec<usize> = on.iter().map(|&(l, _)| l).collect();
+    let right_cols: Vec<usize> = on.iter().map(|&(_, r)| r).collect();
+    let mut build: HashMap<Vec<Value>, Vec<WRow>> = HashMap::new();
+    for (r, w) in right {
+        build
+            .entry(key_of(r, &right_cols))
+            .or_default()
+            .push((r.clone(), *w));
+    }
+    let mut out = Vec::new();
+    for (l, lw) in left {
+        if let Some(matches) = build.get(&key_of(l, &left_cols)) {
+            for (r, rw) in matches {
+                out.push((l.concat(r), lw * rw));
+            }
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::index::IndexKind;
+    use crate::row;
+    use crate::schema::Schema;
+    use crate::value::DataType;
+
+    fn table_rs() -> Table {
+        // R(k, v) with an index on k.
+        let mut t = Table::new(
+            "r",
+            Schema::new(vec![("k", DataType::Int), ("v", DataType::Str)]),
+        );
+        t.create_index(IndexKind::Hash, 0).unwrap();
+        t.insert(row![1i64, "a"]).unwrap();
+        t.insert(row![1i64, "b"]).unwrap();
+        t.insert(row![2i64, "c"]).unwrap();
+        t
+    }
+
+    #[test]
+    fn consolidate_merges_and_drops_zeros() {
+        let rows = vec![
+            (row![1i64], 1),
+            (row![1i64], 2),
+            (row![2i64], 1),
+            (row![2i64], -1),
+        ];
+        let mut c = consolidate(rows);
+        c.sort();
+        assert_eq!(c, vec![(row![1i64], 3)]);
+    }
+
+    #[test]
+    fn join_scan_matches_and_multiplies_weights() {
+        let t = table_rs();
+        let delta = vec![(row![1i64, 10i64], 2), (row![3i64, 30i64], 1)];
+        let mut stats = ExecStats::default();
+        let mut out = join_scan(&delta, 0, &t, 0, &[], None, &mut stats);
+        out.sort();
+        assert_eq!(
+            out,
+            vec![
+                (row![1i64, 10i64, 1i64, "a"], 2),
+                (row![1i64, 10i64, 1i64, "b"], 2),
+            ]
+        );
+        assert_eq!(stats.rows_scanned, 3, "scan visits every row");
+    }
+
+    #[test]
+    fn join_index_equals_join_scan() {
+        let t = table_rs();
+        let delta = vec![(row![1i64, 10i64], 1), (row![2i64, 20i64], -1)];
+        let mut s1 = ExecStats::default();
+        let mut s2 = ExecStats::default();
+        let mut a = join_scan(&delta, 0, &t, 0, &[], None, &mut s1);
+        let mut b = join_index(&delta, 0, &t, 0, &[], None, &mut s2);
+        a.sort();
+        b.sort();
+        assert_eq!(a, b);
+        assert_eq!(s2.index_probes, 2, "one probe per delta row");
+        assert_eq!(s2.rows_scanned, 0, "index join never scans");
+    }
+
+    #[test]
+    fn compensation_subtracts_pending() {
+        let t = table_rs();
+        // Pending: the row (2, "c") was inserted but not yet propagated,
+        // so the compensated view of R must exclude it.
+        let pending = vec![(row![2i64, "c"], 1)];
+        let delta = vec![(row![2i64, 20i64], 1)];
+        let mut stats = ExecStats::default();
+        let out = consolidate(join_scan(&delta, 0, &t, 0, &pending, None, &mut stats));
+        assert!(out.is_empty(), "physical match cancelled by compensation: {out:?}");
+        // Same through the index path.
+        let out = consolidate(join_index(&delta, 0, &t, 0, &pending, None, &mut stats));
+        assert!(out.is_empty());
+    }
+
+    #[test]
+    fn compensation_restores_deleted_rows() {
+        let t = table_rs(); // contains (2, "c") physically
+        // Pending: (2, "x") was *deleted* (weight −1) but the delete is
+        // unpropagated; compensated R = physical − (−1·row) = physical +
+        // the deleted row.
+        let pending = vec![(row![2i64, "x"], -1)];
+        let delta = vec![(row![2i64, 20i64], 1)];
+        let mut stats = ExecStats::default();
+        let mut out = consolidate(join_scan(&delta, 0, &t, 0, &pending, None, &mut stats));
+        out.sort();
+        assert_eq!(
+            out,
+            vec![
+                (row![2i64, 20i64, 2i64, "c"], 1),
+                (row![2i64, 20i64, 2i64, "x"], 1),
+            ]
+        );
+    }
+
+    #[test]
+    fn local_filter_applies_to_both_sides() {
+        let t = table_rs();
+        let keep_a = Expr::col(1).eq(Expr::lit("a"));
+        let pending = vec![(row![1i64, "a"], 1), (row![1i64, "zz"], 1)];
+        let delta = vec![(row![1i64, 0i64], 1)];
+        let mut stats = ExecStats::default();
+        let mut out = consolidate(join_index(
+            &delta,
+            0,
+            &t,
+            0,
+            &pending,
+            Some(&keep_a),
+            &mut stats,
+        ));
+        out.sort();
+        // Physical (1,a) matches (+1); pending (1,a) compensates (−1);
+        // pending (1,zz) filtered out; physical (1,b) filtered out.
+        assert!(out.is_empty(), "{out:?}");
+    }
+
+    #[test]
+    fn hash_join_multi_key() {
+        let left = vec![(row![1i64, 2i64], 1), (row![1i64, 3i64], 1)];
+        let right = vec![(row![2i64, 1i64, "m"], 2)];
+        // join on left(0)=right(1) and left(1)=right(0)
+        let out = hash_join(&left, &right, &[(0, 1), (1, 0)]);
+        assert_eq!(out, vec![(row![1i64, 2i64, 2i64, 1i64, "m"], 2)]);
+    }
+
+    #[test]
+    fn compensated_rows_filters_and_negates() {
+        let t = table_rs();
+        let pending = vec![(row![9i64, "p"], 1)];
+        let mut stats = ExecStats::default();
+        let mut rows = compensated_rows(&t, &pending, None, &mut stats);
+        rows.sort();
+        assert_eq!(rows.len(), 4);
+        assert!(rows.contains(&(row![9i64, "p"], -1)));
+        assert_eq!(stats.rows_scanned, 3);
+    }
+
+    #[test]
+    fn project_and_filter_and_negate() {
+        let rows = vec![(row![1i64, 5i64], 2), (row![2i64, 6i64], 1)];
+        let p = project(&rows, &[Expr::col(1)]);
+        assert_eq!(p, vec![(row![5i64], 2), (row![6i64], 1)]);
+        let f = filter(rows.clone(), &Expr::col(0).eq(Expr::lit(1i64)));
+        assert_eq!(f, vec![(row![1i64, 5i64], 2)]);
+        let n = negate(rows);
+        assert_eq!(n[0].1, -2);
+    }
+}

@@ -1,0 +1,207 @@
+//! Secondary indexes over single columns.
+//!
+//! Index availability is the canonical source of the cost asymmetry the
+//! paper exploits (§1): a delta joined through an index costs a small
+//! amount per modification, while a delta joined against an unindexed
+//! table forces a full scan per batch.
+
+use crate::schema::Row;
+use crate::value::Value;
+use std::collections::{BTreeMap, HashMap};
+
+/// Physical row identifier within a table (slot position).
+pub type RowId = usize;
+
+/// The physical kind of an index.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum IndexKind {
+    /// Hash index: O(1) point lookups, no range scans.
+    Hash,
+    /// B-tree (ordered) index: point and range lookups.
+    BTree,
+}
+
+/// A single-column secondary index.
+#[derive(Clone, Debug)]
+pub enum Index {
+    /// Hash-backed index.
+    Hash {
+        /// Indexed column position.
+        column: usize,
+        /// Key → row ids.
+        map: HashMap<Value, Vec<RowId>>,
+    },
+    /// Ordered (B-tree) index.
+    BTree {
+        /// Indexed column position.
+        column: usize,
+        /// Key → row ids.
+        map: BTreeMap<Value, Vec<RowId>>,
+    },
+}
+
+impl Index {
+    /// Creates an empty index of the given kind over `column`.
+    pub fn new(kind: IndexKind, column: usize) -> Self {
+        match kind {
+            IndexKind::Hash => Index::Hash {
+                column,
+                map: HashMap::new(),
+            },
+            IndexKind::BTree => Index::BTree {
+                column,
+                map: BTreeMap::new(),
+            },
+        }
+    }
+
+    /// The indexed column position.
+    pub fn column(&self) -> usize {
+        match self {
+            Index::Hash { column, .. } | Index::BTree { column, .. } => *column,
+        }
+    }
+
+    /// The index kind.
+    pub fn kind(&self) -> IndexKind {
+        match self {
+            Index::Hash { .. } => IndexKind::Hash,
+            Index::BTree { .. } => IndexKind::BTree,
+        }
+    }
+
+    /// Registers a row.
+    pub fn insert(&mut self, row: &Row, id: RowId) {
+        let key = row.get(self.column()).clone();
+        match self {
+            Index::Hash { map, .. } => map.entry(key).or_default().push(id),
+            Index::BTree { map, .. } => map.entry(key).or_default().push(id),
+        }
+    }
+
+    /// Unregisters a row. The row must have been inserted with the same
+    /// contents.
+    pub fn remove(&mut self, row: &Row, id: RowId) {
+        let key = row.get(self.column()).clone();
+        let bucket = match self {
+            Index::Hash { map, .. } => map.get_mut(&key),
+            Index::BTree { map, .. } => map.get_mut(&key),
+        };
+        if let Some(ids) = bucket {
+            if let Some(pos) = ids.iter().position(|&x| x == id) {
+                ids.swap_remove(pos);
+            }
+            if ids.is_empty() {
+                match self {
+                    Index::Hash { map, .. } => {
+                        map.remove(&key);
+                    }
+                    Index::BTree { map, .. } => {
+                        map.remove(&key);
+                    }
+                }
+            }
+        }
+    }
+
+    /// Row ids matching a key (point lookup).
+    pub fn lookup(&self, key: &Value) -> &[RowId] {
+        match self {
+            Index::Hash { map, .. } => map.get(key).map(Vec::as_slice).unwrap_or(&[]),
+            Index::BTree { map, .. } => map.get(key).map(Vec::as_slice).unwrap_or(&[]),
+        }
+    }
+
+    /// Row ids within an inclusive key range. Only supported by B-tree
+    /// indexes; returns `None` for hash indexes.
+    pub fn range(&self, lo: &Value, hi: &Value) -> Option<Vec<RowId>> {
+        self.range_bounds(Some(lo), Some(hi))
+    }
+
+    /// Row ids within an optionally half-open inclusive range
+    /// (`None` = unbounded on that side). Only B-tree indexes support
+    /// range scans; hash indexes return `None`.
+    pub fn range_bounds(&self, lo: Option<&Value>, hi: Option<&Value>) -> Option<Vec<RowId>> {
+        use std::ops::Bound;
+        match self {
+            Index::Hash { .. } => None,
+            Index::BTree { map, .. } => {
+                let lo = lo.map_or(Bound::Unbounded, |v| Bound::Included(v.clone()));
+                let hi = hi.map_or(Bound::Unbounded, |v| Bound::Included(v.clone()));
+                Some(
+                    map.range((lo, hi))
+                        .flat_map(|(_, ids)| ids.iter().copied())
+                        .collect(),
+                )
+            }
+        }
+    }
+
+    /// Number of distinct keys.
+    pub fn distinct_keys(&self) -> usize {
+        match self {
+            Index::Hash { map, .. } => map.len(),
+            Index::BTree { map, .. } => map.len(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::row;
+
+    #[test]
+    fn hash_index_point_lookup() {
+        let mut idx = Index::new(IndexKind::Hash, 0);
+        idx.insert(&row![5i64, "a"], 0);
+        idx.insert(&row![5i64, "b"], 1);
+        idx.insert(&row![7i64, "c"], 2);
+        let mut hits = idx.lookup(&Value::Int(5)).to_vec();
+        hits.sort_unstable();
+        assert_eq!(hits, vec![0, 1]);
+        assert!(idx.lookup(&Value::Int(6)).is_empty());
+        assert_eq!(idx.distinct_keys(), 2);
+    }
+
+    #[test]
+    fn remove_cleans_empty_buckets() {
+        let mut idx = Index::new(IndexKind::Hash, 0);
+        idx.insert(&row![1i64], 0);
+        idx.remove(&row![1i64], 0);
+        assert!(idx.lookup(&Value::Int(1)).is_empty());
+        assert_eq!(idx.distinct_keys(), 0);
+    }
+
+    #[test]
+    fn btree_range_scan() {
+        let mut idx = Index::new(IndexKind::BTree, 0);
+        for (i, k) in [10i64, 20, 30, 40].iter().enumerate() {
+            idx.insert(&row![*k], i);
+        }
+        let hits = idx.range(&Value::Int(15), &Value::Int(35)).unwrap();
+        assert_eq!(hits, vec![1, 2]);
+        let hash = Index::new(IndexKind::Hash, 0);
+        assert!(hash.range(&Value::Int(0), &Value::Int(1)).is_none());
+    }
+
+    #[test]
+    fn half_open_range_bounds() {
+        let mut idx = Index::new(IndexKind::BTree, 0);
+        for (i, k) in [10i64, 20, 30].iter().enumerate() {
+            idx.insert(&row![*k], i);
+        }
+        assert_eq!(idx.range_bounds(None, Some(&Value::Int(20))).unwrap(), vec![0, 1]);
+        assert_eq!(idx.range_bounds(Some(&Value::Int(20)), None).unwrap(), vec![1, 2]);
+        assert_eq!(idx.range_bounds(None, None).unwrap(), vec![0, 1, 2]);
+    }
+
+    #[test]
+    fn duplicate_ids_under_same_key_removed_individually() {
+        let mut idx = Index::new(IndexKind::BTree, 0);
+        idx.insert(&row![1i64], 3);
+        idx.insert(&row![1i64], 9);
+        idx.remove(&row![1i64], 3);
+        assert_eq!(idx.lookup(&Value::Int(1)), &[9]);
+    }
+}

@@ -1,0 +1,1209 @@
+//! Incremental view maintenance with state-bug-safe compensation.
+//!
+//! A [`MaterializedView`] owns one FIFO delta table per base table (§2 of
+//! the paper) and an incrementally maintained result state. Flushing a
+//! batch of `k` pending modifications of table `R_i` propagates their
+//! join delta into the state:
+//!
+//! ```text
+//! ΔV = δ_i ⋈ ⨝_{j≠i} (physical(R_j) − pending(ΔR_j))
+//! ```
+//!
+//! Base tables are updated immediately on arrival, so a naive join of
+//! `δ_i` against the *physical* other tables would double-count the
+//! interaction of two pending deltas — the classic *state bug* [Colby et
+//! al. 1996] the paper's footnote 1 refers to. Subtracting each table's
+//! still-pending delta (algebraically, with negated weights) restores
+//! the correct semantics: at every instant the view equals the query
+//! evaluated over each table's *processed prefix*.
+//!
+//! `MIN`/`MAX` maintenance comes in two flavours (§5 discusses the
+//! paper's choice):
+//!
+//! * [`MinStrategy::Multiset`] — an ordered multiset (`BTreeMap`) per
+//!   group makes deletions exact; the production approach.
+//! * [`MinStrategy::Recompute`] — the paper-faithful fallback: deleting
+//!   the current extremum marks the state dirty and the view is
+//!   recomputed from the processed-prefix states at the end of the
+//!   flush.
+
+use crate::db::{Database, TableId};
+use crate::delta::{DeltaTable, Modification};
+use crate::error::EngineError;
+use crate::exec::{self, ExecStats, WRow};
+use crate::expr::Expr;
+use crate::logical::{AggFunc, LogicalPlan};
+use crate::schema::Row;
+use crate::value::Value;
+use std::collections::{BTreeMap, HashMap};
+
+/// An equi-join predicate between two base tables of a view:
+/// `tables[left.0].col(left.1) = tables[right.0].col(right.1)`.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct JoinPred {
+    /// `(table index, column index)` of the left side.
+    pub left: (usize, usize),
+    /// `(table index, column index)` of the right side.
+    pub right: (usize, usize),
+}
+
+/// An aggregate specification over the canonical joined schema.
+#[derive(Clone, Debug, PartialEq)]
+pub struct AggSpec {
+    /// Grouping columns (canonical joined-schema positions).
+    pub group_by: Vec<usize>,
+    /// `(function, argument, output name)` triples.
+    pub aggs: Vec<(AggFunc, Expr, String)>,
+}
+
+/// A view definition: a select-project-join core over `n` base tables
+/// with an optional aggregate on top.
+///
+/// The *canonical joined schema* is the concatenation of the base-table
+/// schemas in `tables` order; `filters`, `residual`, `projection` and
+/// `aggregate` are all expressed against it (except `filters`, which are
+/// per-table).
+#[derive(Clone, Debug)]
+pub struct ViewDef {
+    /// View name.
+    pub name: String,
+    /// Base tables, in canonical order.
+    pub tables: Vec<String>,
+    /// Equi-join predicates connecting the tables.
+    pub join_preds: Vec<JoinPred>,
+    /// Optional per-table local filter (over that table's schema).
+    pub filters: Vec<Option<Expr>>,
+    /// Optional residual predicate over the canonical joined schema
+    /// (non-equi or multi-table conditions).
+    pub residual: Option<Expr>,
+    /// Optional projection over the canonical joined schema; `None`
+    /// keeps every column. Ignored when `aggregate` is set.
+    pub projection: Option<Vec<(Expr, String)>>,
+    /// Optional aggregate on top of the join.
+    pub aggregate: Option<AggSpec>,
+    /// `SELECT DISTINCT` semantics: the result exposes each distinct
+    /// output row once. The maintained state still tracks exact
+    /// multiplicities (that is what makes DISTINCT views incrementally
+    /// maintainable under deletions); only reads collapse them.
+    pub distinct: bool,
+}
+
+impl ViewDef {
+    /// Per-table column offsets in the canonical joined schema.
+    pub fn offsets(&self, db: &Database) -> Result<Vec<usize>, EngineError> {
+        let mut offsets = Vec::with_capacity(self.tables.len());
+        let mut acc = 0;
+        for name in &self.tables {
+            offsets.push(acc);
+            acc += db.table_by_name(name)?.schema().arity();
+        }
+        Ok(offsets)
+    }
+
+    /// Builds the left-deep logical plan of the view's SPJ core (no
+    /// aggregate), used for recomputation and as the test oracle.
+    pub fn spj_plan(&self, db: &Database) -> Result<LogicalPlan, EngineError> {
+        let offsets = self.offsets(db)?;
+        let mut plan = LogicalPlan::Scan {
+            table: self.tables[0].clone(),
+            filter: self.filters[0].clone(),
+        };
+        for (idx, name) in self.tables.iter().enumerate().skip(1) {
+            // Equi-join conditions between already-joined tables and this
+            // one; canonical offsets equal left-deep offsets because we
+            // join in canonical order.
+            let mut on = Vec::new();
+            for p in &self.join_preds {
+                let (a, b) = (p.left, p.right);
+                let (bound, new) = if b.0 == idx && a.0 < idx {
+                    (a, b)
+                } else if a.0 == idx && b.0 < idx {
+                    (b, a)
+                } else {
+                    continue;
+                };
+                on.push((offsets[bound.0] + bound.1, new.1));
+            }
+            plan = LogicalPlan::Join {
+                left: Box::new(plan),
+                right: Box::new(LogicalPlan::Scan {
+                    table: name.clone(),
+                    filter: self.filters[idx].clone(),
+                }),
+                on,
+            };
+        }
+        if let Some(residual) = &self.residual {
+            plan = LogicalPlan::Filter {
+                input: Box::new(plan),
+                predicate: residual.clone(),
+            };
+        }
+        Ok(plan)
+    }
+
+    /// The full logical plan including aggregate/projection, matching
+    /// what [`MaterializedView::result`] materializes.
+    pub fn full_plan(&self, db: &Database) -> Result<LogicalPlan, EngineError> {
+        let spj = self.spj_plan(db)?;
+        let plan = if let Some(agg) = &self.aggregate {
+            LogicalPlan::Aggregate {
+                input: Box::new(spj),
+                group_by: agg.group_by.clone(),
+                aggs: agg.aggs.clone(),
+            }
+        } else if let Some(proj) = &self.projection {
+            LogicalPlan::Project {
+                input: Box::new(spj),
+                exprs: proj.clone(),
+            }
+        } else {
+            spj
+        };
+        if self.distinct && self.aggregate.is_none() {
+            Ok(LogicalPlan::Distinct {
+                input: Box::new(plan),
+            })
+        } else {
+            Ok(plan)
+        }
+    }
+}
+
+/// How `MIN`/`MAX` deletions are handled.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Default)]
+pub enum MinStrategy {
+    /// Ordered multiset per group: exact incremental deletes.
+    #[default]
+    Multiset,
+    /// Track only the current extremum; deleting it forces a view
+    /// recomputation (the paper's behaviour).
+    Recompute,
+}
+
+/// Cumulative maintenance effort counters.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct MaintenanceStats {
+    /// Flush invocations.
+    pub flushes: u64,
+    /// Modifications propagated.
+    pub mods_processed: u64,
+    /// Executor counters accumulated across flushes.
+    pub exec: ExecStats,
+    /// Full recomputations triggered (Recompute strategy).
+    pub recomputes: u64,
+}
+
+/// Per-aggregate incremental state within one group.
+#[derive(Clone, Debug)]
+enum AggState {
+    /// COUNT: derived from the group's net weight.
+    Count,
+    /// SUM / AVG share a weighted sum plus the net weight of non-null
+    /// contributions (SQL semantics: SUM/AVG over only-NULL inputs is
+    /// NULL, and AVG divides by the non-null count).
+    Sum { sum: f64, non_null: i64 },
+    /// MIN/MAX with an exact ordered multiset of argument values.
+    Extremum { multiset: BTreeMap<Value, i64> },
+    /// MIN/MAX tracking only the current extremum (Recompute strategy).
+    ExtremumLight { current: Option<Value> },
+}
+
+/// One group's incremental state.
+#[derive(Clone, Debug)]
+struct GroupState {
+    /// Net weight (number of join rows) in the group.
+    weight: i64,
+    aggs: Vec<AggState>,
+}
+
+/// The maintained result state.
+#[derive(Clone, Debug)]
+enum ViewState {
+    /// SPJ views: a weighted bag of output rows.
+    Bag(HashMap<Row, i64>),
+    /// Aggregate views: per-group incremental state.
+    Agg(HashMap<Row, GroupState>),
+}
+
+/// A materialized view with per-table delta tables and incremental
+/// maintenance.
+#[derive(Clone, Debug)]
+pub struct MaterializedView {
+    def: ViewDef,
+    table_ids: Vec<TableId>,
+    pending: Vec<DeltaTable>,
+    state: ViewState,
+    min_strategy: MinStrategy,
+    dirty: bool,
+    /// Cumulative maintenance counters.
+    pub stats: MaintenanceStats,
+}
+
+/// Report of one flush invocation.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct FlushReport {
+    /// Modifications processed per the requested counts.
+    pub mods_processed: u64,
+    /// Executor counters for this flush only.
+    pub exec: ExecStats,
+    /// Whether a full recomputation was triggered.
+    pub recomputed: bool,
+}
+
+impl MaterializedView {
+    /// Creates the view and initializes its state from the current
+    /// database contents (all delta tables start empty).
+    pub fn new(
+        db: &Database,
+        def: ViewDef,
+        min_strategy: MinStrategy,
+    ) -> Result<Self, EngineError> {
+        let n = def.tables.len();
+        if def.filters.len() != n {
+            return Err(EngineError::Unsupported {
+                message: "one (optional) filter per base table required".into(),
+            });
+        }
+        let table_ids = def
+            .tables
+            .iter()
+            .map(|t| db.table_id(t))
+            .collect::<Result<Vec<_>, _>>()?;
+        let mut view = MaterializedView {
+            def,
+            table_ids,
+            pending: (0..n).map(|_| DeltaTable::new()).collect(),
+            state: ViewState::Bag(HashMap::new()),
+            min_strategy,
+            dirty: false,
+            stats: MaintenanceStats::default(),
+        };
+        view.recompute(db)?;
+        view.stats.recomputes = 0; // initialization is not a recompute
+        Ok(view)
+    }
+
+    /// The view definition.
+    pub fn def(&self) -> &ViewDef {
+        &self.def
+    }
+
+    /// Number of base tables.
+    pub fn n(&self) -> usize {
+        self.def.tables.len()
+    }
+
+    /// Position of a base table within the view, by name.
+    pub fn table_position(&self, name: &str) -> Option<usize> {
+        self.def.tables.iter().position(|t| t == name)
+    }
+
+    /// Appends a newly arrived modification of the `i`-th base table to
+    /// its delta table. The caller must have already applied it to the
+    /// base table (arrival-time semantics of §2).
+    pub fn enqueue(&mut self, i: usize, m: Modification) {
+        self.pending[i].push(m);
+    }
+
+    /// Pending modification counts — the paper's state vector `s`.
+    pub fn pending_counts(&self) -> Vec<u64> {
+        self.pending.iter().map(|d| d.len() as u64).collect()
+    }
+
+    /// The `i`-th table's pending delta as signed-multiset entries
+    /// (diagnostics and test oracles).
+    pub fn pending_weighted(&self, i: usize) -> Vec<WRow> {
+        self.pending[i].weighted()
+    }
+
+    /// Flushes `counts[i]` pending modifications from each base table
+    /// (tables processed in ascending index order).
+    pub fn flush(&mut self, db: &Database, counts: &[u64]) -> Result<FlushReport, EngineError> {
+        if counts.len() != self.n() {
+            return Err(EngineError::Maintenance {
+                message: format!("flush counts arity {} != {}", counts.len(), self.n()),
+            });
+        }
+        let mut report = FlushReport::default();
+        for i in 0..self.n() {
+            let k = counts[i] as usize;
+            if k == 0 {
+                continue;
+            }
+            if k > self.pending[i].len() {
+                return Err(EngineError::Maintenance {
+                    message: format!(
+                        "flush of {k} from table {i} exceeds pending {}",
+                        self.pending[i].len()
+                    ),
+                });
+            }
+            let mods = self.pending[i].take_prefix(k);
+            report.mods_processed += k as u64;
+            let mut delta: Vec<WRow> = mods.iter().flat_map(|m| m.weighted()).collect();
+            if let Some(f) = &self.def.filters[i] {
+                delta = exec::filter(delta, f);
+            }
+            if delta.is_empty() {
+                continue;
+            }
+            let mut stats = ExecStats::default();
+            let dj = self.propagate(db, i, delta, &mut stats)?;
+            report.exec.merge(&stats);
+            self.apply_delta(&dj)?;
+        }
+        if self.dirty {
+            self.recompute(db)?;
+            report.recomputed = true;
+        }
+        self.stats.flushes += 1;
+        self.stats.mods_processed += report.mods_processed;
+        self.stats.exec.merge(&report.exec);
+        Ok(report)
+    }
+
+    /// Flushes everything pending (the refresh action at time `T`).
+    pub fn refresh(&mut self, db: &Database) -> Result<FlushReport, EngineError> {
+        let counts = self.pending_counts();
+        self.flush(db, &counts)
+    }
+
+    /// Propagates a start-table delta through the other tables with
+    /// compensation, returning the join delta in canonical column order
+    /// with the residual filter applied.
+    fn propagate(
+        &self,
+        db: &Database,
+        start: usize,
+        delta: Vec<WRow>,
+        stats: &mut ExecStats,
+    ) -> Result<Vec<WRow>, EngineError> {
+        let n = self.n();
+        let mut stream = delta;
+        // layout[j] = Some(position block) of table j in the current
+        // stream; maintained as the list of table indices in concat order.
+        let mut layout = vec![start];
+        let mut bound = vec![false; n];
+        bound[start] = true;
+
+        while layout.len() < n {
+            // Find a predicate connecting a bound table to an unbound one,
+            // preferring targets with an index on the join column.
+            let mut candidate: Option<(usize, usize, usize)> = None; // (delta_key, target, target_col)
+            for p in &self.def.join_preds {
+                let (a, b) = (p.left, p.right);
+                let pair = if bound[a.0] && !bound[b.0] {
+                    Some((a, b))
+                } else if bound[b.0] && !bound[a.0] {
+                    Some((b, a))
+                } else {
+                    None
+                };
+                if let Some((src, dst)) = pair {
+                    let delta_key = self.stream_offset(db, &layout, src.0)? + src.1;
+                    let has_index = db
+                        .table(self.table_ids[dst.0])
+                        .index_on(dst.1)
+                        .is_some();
+                    if has_index {
+                        candidate = Some((delta_key, dst.0, dst.1));
+                        break;
+                    }
+                    if candidate.is_none() {
+                        candidate = Some((delta_key, dst.0, dst.1));
+                    }
+                }
+            }
+            match candidate {
+                Some((delta_key, target, target_col)) => {
+                    let table = db.table(self.table_ids[target]);
+                    let pending = self.pending[target].weighted();
+                    let filter = self.def.filters[target].as_ref();
+                    stream = if table.index_on(target_col).is_some() {
+                        exec::join_index(
+                            &stream, delta_key, table, target_col, &pending, filter, stats,
+                        )
+                    } else {
+                        exec::join_scan(
+                            &stream, delta_key, table, target_col, &pending, filter, stats,
+                        )
+                    };
+                    layout.push(target);
+                    bound[target] = true;
+                }
+                None => {
+                    // Disconnected join graph: cross product with the next
+                    // unbound table (compensated).
+                    let target = (0..n).find(|&j| !bound[j]).expect("unbound table exists");
+                    let table = db.table(self.table_ids[target]);
+                    let pending = self.pending[target].weighted();
+                    let filter = self.def.filters[target].as_ref();
+                    let rows = exec::compensated_rows(table, &pending, filter, stats);
+                    stream = exec::hash_join(&stream, &rows, &[]);
+                    layout.push(target);
+                    bound[target] = true;
+                }
+            }
+            // Early exit: an empty delta stays empty through joins.
+            if stream.is_empty() {
+                return Ok(Vec::new());
+            }
+        }
+
+        // Remap to canonical column order.
+        let mut proj = Vec::new();
+        for t in 0..n {
+            let cur = self.stream_offset(db, &layout, t)?;
+            let arity = db.table(self.table_ids[t]).schema().arity();
+            proj.extend(cur..cur + arity);
+        }
+        let identity = proj.iter().enumerate().all(|(i, &p)| i == p);
+        let mut out: Vec<WRow> = if identity {
+            stream
+        } else {
+            stream
+                .into_iter()
+                .map(|(r, w)| (r.project(&proj), w))
+                .collect()
+        };
+        if let Some(residual) = &self.def.residual {
+            out = exec::filter(out, residual);
+        }
+        Ok(exec::consolidate(out))
+    }
+
+    /// Column offset of table `t` inside a stream with the given layout.
+    fn stream_offset(
+        &self,
+        db: &Database,
+        layout: &[usize],
+        t: usize,
+    ) -> Result<usize, EngineError> {
+        let mut off = 0;
+        for &l in layout {
+            if l == t {
+                return Ok(off);
+            }
+            off += db.table(self.table_ids[l]).schema().arity();
+        }
+        Err(EngineError::Maintenance {
+            message: format!("table {t} not in stream layout"),
+        })
+    }
+
+    /// Applies a canonical-order join delta to the view state.
+    fn apply_delta(&mut self, dj: &[WRow]) -> Result<(), EngineError> {
+        match (&mut self.state, &self.def.aggregate) {
+            (ViewState::Bag(bag), None) => {
+                for (row, w) in dj {
+                    let out = match &self.def.projection {
+                        Some(proj) => Row::new(proj.iter().map(|(e, _)| e.eval(row)).collect()),
+                        None => row.clone(),
+                    };
+                    let entry = bag.entry(out.clone()).or_insert(0);
+                    *entry += w;
+                    if *entry == 0 {
+                        bag.remove(&out);
+                    } else if *entry < 0 {
+                        return Err(EngineError::Maintenance {
+                            message: "bag multiplicity went negative".into(),
+                        });
+                    }
+                }
+                Ok(())
+            }
+            (ViewState::Agg(groups), Some(spec)) => {
+                let mut dirty = self.dirty;
+                for (row, w) in dj {
+                    let key = row.project(&spec.group_by);
+                    let group = groups.entry(key.clone()).or_insert_with(|| GroupState {
+                        weight: 0,
+                        aggs: spec
+                            .aggs
+                            .iter()
+                            .map(|(func, _, _)| new_agg_state(*func, self.min_strategy))
+                            .collect(),
+                    });
+                    group.weight += w;
+                    for (state, (func, arg, _)) in group.aggs.iter_mut().zip(&spec.aggs) {
+                        let v = arg.eval(row);
+                        match state {
+                            AggState::Count => {}
+                            AggState::Sum { sum, non_null } => {
+                                if let Some(x) = v.as_float() {
+                                    *sum += x * *w as f64;
+                                    *non_null += w;
+                                }
+                            }
+                            AggState::Extremum { multiset } => {
+                                if !v.is_null() {
+                                    let e = multiset.entry(v.clone()).or_insert(0);
+                                    *e += w;
+                                    if *e == 0 {
+                                        multiset.remove(&v);
+                                    } else if *e < 0 {
+                                        return Err(EngineError::Maintenance {
+                                            message: "extremum multiset went negative".into(),
+                                        });
+                                    }
+                                }
+                            }
+                            AggState::ExtremumLight { current } => {
+                                if v.is_null() {
+                                    continue;
+                                }
+                                let is_min = matches!(func, AggFunc::Min);
+                                if *w > 0 {
+                                    match current {
+                                        None => *current = Some(v),
+                                        Some(c) => {
+                                            if (is_min && v < *c) || (!is_min && v > *c) {
+                                                *current = Some(v);
+                                            }
+                                        }
+                                    }
+                                } else {
+                                    // Deletion: losing the extremum (or
+                                    // deleting from an untracked state)
+                                    // cannot be resolved locally.
+                                    match current {
+                                        Some(c) if *c == v => dirty = true,
+                                        None => dirty = true,
+                                        _ => {}
+                                    }
+                                }
+                            }
+                        }
+                    }
+                    if group.weight == 0 {
+                        groups.remove(&key);
+                    } else if group.weight < 0 {
+                        return Err(EngineError::Maintenance {
+                            message: "group weight went negative".into(),
+                        });
+                    }
+                }
+                self.dirty = dirty;
+                Ok(())
+            }
+            _ => Err(EngineError::Maintenance {
+                message: "view state kind disagrees with definition".into(),
+            }),
+        }
+    }
+
+    /// Rebuilds the state from the processed-prefix table states
+    /// (`physical − pending`).
+    fn recompute(&mut self, db: &Database) -> Result<(), EngineError> {
+        let spj = self.def.spj_plan(db)?;
+        // Overlay: compensated contents per table. Filters already live
+        // in the Scan nodes, so the overlay provides raw rows.
+        let pending_by_name: HashMap<&str, Vec<WRow>> = self
+            .def
+            .tables
+            .iter()
+            .enumerate()
+            .map(|(i, name)| (name.as_str(), self.pending[i].weighted()))
+            .collect();
+        let overlay = |name: &str| -> Option<Vec<WRow>> {
+            let pending = pending_by_name.get(name)?;
+            let id = db.table_id(name).ok()?;
+            let mut rows: Vec<WRow> = db
+                .table(id)
+                .iter()
+                .map(|(_, r)| (r.clone(), 1))
+                .collect();
+            rows.extend(pending.iter().map(|(r, w)| (r.clone(), -w)));
+            Some(rows)
+        };
+        let j = exec::consolidate(spj.execute_with(db, &overlay)?);
+        // Rebuild state.
+        match &self.def.aggregate {
+            None => {
+                let mut bag = HashMap::new();
+                for (row, w) in &j {
+                    let out = match &self.def.projection {
+                        Some(proj) => Row::new(proj.iter().map(|(e, _)| e.eval(row)).collect()),
+                        None => row.clone(),
+                    };
+                    *bag.entry(out).or_insert(0) += w;
+                }
+                bag.retain(|_, w| *w != 0);
+                if bag.values().any(|&w| w < 0) {
+                    return Err(EngineError::Maintenance {
+                        message: "recomputed bag has negative multiplicity".into(),
+                    });
+                }
+                self.state = ViewState::Bag(bag);
+            }
+            Some(spec) => {
+                let mut groups: HashMap<Row, GroupState> = HashMap::new();
+                for (row, w) in &j {
+                    let key = row.project(&spec.group_by);
+                    let group = groups.entry(key).or_insert_with(|| GroupState {
+                        weight: 0,
+                        aggs: spec
+                            .aggs
+                            .iter()
+                            .map(|(func, _, _)| new_agg_state(*func, self.min_strategy))
+                            .collect(),
+                    });
+                    group.weight += w;
+                    for (state, (func, arg, _)) in group.aggs.iter_mut().zip(&spec.aggs) {
+                        let v = arg.eval(row);
+                        match state {
+                            AggState::Count => {}
+                            AggState::Sum { sum, non_null } => {
+                                if let Some(x) = v.as_float() {
+                                    *sum += x * *w as f64;
+                                    *non_null += w;
+                                }
+                            }
+                            AggState::Extremum { multiset } => {
+                                if !v.is_null() {
+                                    *multiset.entry(v).or_insert(0) += w;
+                                }
+                            }
+                            AggState::ExtremumLight { current } => {
+                                if v.is_null() {
+                                    continue;
+                                }
+                                let is_min = matches!(func, AggFunc::Min);
+                                match current {
+                                    None => *current = Some(v),
+                                    Some(c) => {
+                                        if (is_min && v < *c) || (!is_min && v > *c) {
+                                            *current = Some(v);
+                                        }
+                                    }
+                                }
+                            }
+                        }
+                    }
+                }
+                groups.retain(|_, g| g.weight != 0);
+                for g in groups.values_mut() {
+                    for state in &mut g.aggs {
+                        if let AggState::Extremum { multiset } = state {
+                            multiset.retain(|_, w| *w != 0);
+                        }
+                    }
+                }
+                self.state = ViewState::Agg(groups);
+            }
+        }
+        self.dirty = false;
+        self.stats.recomputes += 1;
+        Ok(())
+    }
+
+    /// The current view contents as consolidated weighted rows.
+    ///
+    /// For aggregate views every row has weight 1; a scalar aggregate
+    /// over an empty input yields its SQL default (`COUNT` → 0, others →
+    /// `NULL`).
+    pub fn result(&self) -> Vec<WRow> {
+        match (&self.state, &self.def.aggregate) {
+            (ViewState::Bag(bag), _) => bag
+                .iter()
+                .filter(|&(_, w)| *w != 0)
+                .map(|(r, w)| {
+                    if self.def.distinct {
+                        (r.clone(), 1)
+                    } else {
+                        (r.clone(), *w)
+                    }
+                })
+                .collect(),
+            (ViewState::Agg(groups), Some(spec)) => {
+                let mut out: Vec<WRow> = groups
+                    .iter()
+                    .map(|(key, g)| {
+                        let mut cells: Vec<Value> = key.values().to_vec();
+                        for (state, (func, _, _)) in g.aggs.iter().zip(&spec.aggs) {
+                            cells.push(read_agg(state, *func, g.weight));
+                        }
+                        (Row::new(cells), 1)
+                    })
+                    .collect();
+                if spec.group_by.is_empty() && out.is_empty() {
+                    let cells: Vec<Value> = spec
+                        .aggs
+                        .iter()
+                        .map(|(func, _, _)| match func {
+                            AggFunc::Count => Value::Int(0),
+                            _ => Value::Null,
+                        })
+                        .collect();
+                    out.push((Row::new(cells), 1));
+                }
+                out
+            }
+            (ViewState::Agg(_), None) => unreachable!("state kind checked at construction"),
+        }
+    }
+
+    /// Convenience for scalar aggregate views: the single aggregate cell.
+    pub fn scalar(&self) -> Option<Value> {
+        let rows = self.result();
+        if rows.len() == 1 && rows[0].0.len() == 1 {
+            Some(rows[0].0.get(0).clone())
+        } else {
+            None
+        }
+    }
+}
+
+fn new_agg_state(func: AggFunc, strategy: MinStrategy) -> AggState {
+    match func {
+        AggFunc::Count => AggState::Count,
+        AggFunc::Sum | AggFunc::Avg => AggState::Sum {
+            sum: 0.0,
+            non_null: 0,
+        },
+        AggFunc::Min | AggFunc::Max => match strategy {
+            MinStrategy::Multiset => AggState::Extremum {
+                multiset: BTreeMap::new(),
+            },
+            MinStrategy::Recompute => AggState::ExtremumLight { current: None },
+        },
+    }
+}
+
+fn read_agg(state: &AggState, func: AggFunc, weight: i64) -> Value {
+    match state {
+        AggState::Count => Value::Int(weight),
+        AggState::Sum { sum, non_null } => {
+            if *non_null == 0 {
+                Value::Null
+            } else if func == AggFunc::Avg {
+                Value::Float(sum / *non_null as f64)
+            } else {
+                Value::Float(*sum)
+            }
+        }
+        AggState::Extremum { multiset } => {
+            let entry = if func == AggFunc::Min {
+                multiset.iter().find(|&(_, w)| *w > 0)
+            } else {
+                multiset.iter().rev().find(|&(_, w)| *w > 0)
+            };
+            entry.map(|(v, _)| v.clone()).unwrap_or(Value::Null)
+        }
+        AggState::ExtremumLight { current } => current.clone().unwrap_or(Value::Null),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::index::IndexKind;
+    use crate::row;
+    use crate::schema::Schema;
+    use crate::value::DataType;
+
+    /// R(k, x) indexed on k; S(k, tag) unindexed — the Fig. 1 setup.
+    fn setup_rs() -> (Database, TableId, TableId) {
+        let mut db = Database::new();
+        let r = db
+            .create_table(
+                "r",
+                Schema::new(vec![("k", DataType::Int), ("x", DataType::Float)]),
+            )
+            .unwrap();
+        let s = db
+            .create_table(
+                "s",
+                Schema::new(vec![("k", DataType::Int), ("tag", DataType::Str)]),
+            )
+            .unwrap();
+        db.table_mut(r).create_index(IndexKind::Hash, 0).unwrap();
+        (db, r, s)
+    }
+
+    fn join_view_def() -> ViewDef {
+        ViewDef {
+            name: "rs".into(),
+            tables: vec!["r".into(), "s".into()],
+            join_preds: vec![JoinPred {
+                left: (0, 0),
+                right: (1, 0),
+            }],
+            filters: vec![None, None],
+            residual: None,
+            projection: None,
+            aggregate: None,
+            distinct: false,
+        }
+    }
+
+    /// Oracle: the view query evaluated over processed-prefix states
+    /// (physical − pending), which is what the maintained state must
+    /// always equal.
+    fn oracle(db: &Database, view: &MaterializedView) -> Vec<WRow> {
+        let plan = view.def().full_plan(db).unwrap();
+        let pending: Vec<(String, Vec<WRow>)> = view
+            .def()
+            .tables
+            .iter()
+            .enumerate()
+            .map(|(i, name)| (name.clone(), view.pending[i].weighted()))
+            .collect();
+        let overlay = |name: &str| -> Option<Vec<WRow>> {
+            let (_, pend) = pending.iter().find(|(n, _)| n == name)?;
+            let id = db.table_id(name).ok()?;
+            let mut rows: Vec<WRow> =
+                db.table(id).iter().map(|(_, r)| (r.clone(), 1)).collect();
+            rows.extend(pend.iter().map(|(r, w)| (r.clone(), -w)));
+            Some(rows)
+        };
+        let mut rows = exec::consolidate(plan.execute_with(db, &overlay).unwrap());
+        rows.sort();
+        rows
+    }
+
+    fn assert_consistent(db: &Database, view: &MaterializedView) {
+        let mut got = exec::consolidate(view.result());
+        got.sort();
+        let want = oracle(db, view);
+        assert_eq!(got, want, "maintained state diverged from oracle");
+    }
+
+    /// Routes a modification: applies to the base table and enqueues.
+    fn modify(db: &mut Database, view: &mut MaterializedView, table: &str, m: Modification) {
+        let id = db.table_id(table).unwrap();
+        db.apply(id, &m).unwrap();
+        let pos = view.table_position(table).unwrap();
+        view.enqueue(pos, m);
+    }
+
+    #[test]
+    fn join_view_initializes_from_existing_data() {
+        let (mut db, r, s) = setup_rs();
+        db.table_mut(r).insert(row![1i64, 10.0f64]).unwrap();
+        db.table_mut(s).insert(row![1i64, "a"]).unwrap();
+        let view = MaterializedView::new(&db, join_view_def(), MinStrategy::Multiset).unwrap();
+        let mut res = view.result();
+        res.sort();
+        assert_eq!(res, vec![(row![1i64, 10.0f64, 1i64, "a"], 1)]);
+    }
+
+    #[test]
+    fn state_bug_scenario_is_handled() {
+        // Both tables receive pending modifications; flushing them in
+        // separate actions must not double-count ΔR ⋈ ΔS.
+        let (mut db, _, _) = setup_rs();
+        let mut view =
+            MaterializedView::new(&db, join_view_def(), MinStrategy::Multiset).unwrap();
+        modify(&mut db, &mut view, "r", Modification::Insert(row![1i64, 10.0f64]));
+        modify(&mut db, &mut view, "s", Modification::Insert(row![1i64, "a"]));
+        // Nothing flushed yet: view must still be empty.
+        assert_consistent(&db, &view);
+        assert!(view.result().is_empty());
+
+        // Flush only ΔR: the new R row must join only the *old* S (empty).
+        view.flush(&db, &[1, 0]).unwrap();
+        assert_consistent(&db, &view);
+        assert!(view.result().is_empty(), "ΔR ⋈ S_old is empty");
+
+        // Flush ΔS: now the pair appears exactly once.
+        view.flush(&db, &[0, 1]).unwrap();
+        assert_consistent(&db, &view);
+        let res = exec::consolidate(view.result());
+        assert_eq!(res, vec![(row![1i64, 10.0f64, 1i64, "a"], 1)]);
+    }
+
+    #[test]
+    fn simultaneous_flush_equals_sequential() {
+        let (mut db, _, _) = setup_rs();
+        let mut v1 =
+            MaterializedView::new(&db.clone(), join_view_def(), MinStrategy::Multiset).unwrap();
+        let mut v2 =
+            MaterializedView::new(&db.clone(), join_view_def(), MinStrategy::Multiset).unwrap();
+        let mods: Vec<(&str, Modification)> = vec![
+            ("r", Modification::Insert(row![1i64, 10.0f64])),
+            ("s", Modification::Insert(row![1i64, "a"])),
+            ("r", Modification::Insert(row![2i64, 20.0f64])),
+            ("s", Modification::Insert(row![2i64, "b"])),
+            ("s", Modification::Insert(row![1i64, "c"])),
+        ];
+        for (t, m) in &mods {
+            let id = db.table_id(t).unwrap();
+            db.apply(id, m).unwrap();
+            for v in [&mut v1, &mut v2] {
+                let pos = v.table_position(t).unwrap();
+                v.enqueue(pos, m.clone());
+            }
+        }
+        // v1 flushes both tables at once; v2 in two asymmetric steps.
+        v1.flush(&db, &[2, 3]).unwrap();
+        v2.flush(&db, &[2, 0]).unwrap();
+        v2.flush(&db, &[0, 3]).unwrap();
+        let mut a = exec::consolidate(v1.result());
+        let mut b = exec::consolidate(v2.result());
+        a.sort();
+        b.sort();
+        assert_eq!(a, b);
+        assert_consistent(&db, &v1);
+        assert_consistent(&db, &v2);
+    }
+
+    #[test]
+    fn deletes_and_updates_propagate() {
+        let (mut db, _, _) = setup_rs();
+        let mut view =
+            MaterializedView::new(&db, join_view_def(), MinStrategy::Multiset).unwrap();
+        modify(&mut db, &mut view, "r", Modification::Insert(row![1i64, 10.0f64]));
+        modify(&mut db, &mut view, "s", Modification::Insert(row![1i64, "a"]));
+        view.refresh(&db).unwrap();
+        assert_eq!(view.result().len(), 1);
+
+        // Update the R row's key so the pair dissolves.
+        modify(
+            &mut db,
+            &mut view,
+            "r",
+            Modification::Update {
+                old: row![1i64, 10.0f64],
+                new: row![9i64, 10.0f64],
+            },
+        );
+        view.refresh(&db).unwrap();
+        assert_consistent(&db, &view);
+        assert!(view.result().is_empty());
+
+        // Delete the S row while R points elsewhere: still empty, and no
+        // negative multiplicities.
+        modify(&mut db, &mut view, "s", Modification::Delete(row![1i64, "a"]));
+        view.refresh(&db).unwrap();
+        assert_consistent(&db, &view);
+    }
+
+    fn min_view_def() -> ViewDef {
+        ViewDef {
+            name: "minx".into(),
+            tables: vec!["r".into(), "s".into()],
+            join_preds: vec![JoinPred {
+                left: (0, 0),
+                right: (1, 0),
+            }],
+            filters: vec![None, None],
+            residual: None,
+            projection: None,
+            aggregate: Some(AggSpec {
+                group_by: vec![],
+                aggs: vec![(AggFunc::Min, Expr::col(1), "m".into())],
+            }),
+            distinct: false,
+        }
+    }
+
+    #[test]
+    fn min_multiset_handles_min_deletion_without_recompute() {
+        let (mut db, _, _) = setup_rs();
+        let mut view = MaterializedView::new(&db, min_view_def(), MinStrategy::Multiset).unwrap();
+        for (k, x) in [(1i64, 5.0f64), (1, 7.0), (1, 9.0)] {
+            modify(&mut db, &mut view, "r", Modification::Insert(row![k, x]));
+        }
+        modify(&mut db, &mut view, "s", Modification::Insert(row![1i64, "a"]));
+        view.refresh(&db).unwrap();
+        assert_eq!(view.scalar(), Some(Value::Float(5.0)));
+
+        // Delete the row holding the minimum.
+        modify(&mut db, &mut view, "r", Modification::Delete(row![1i64, 5.0f64]));
+        view.refresh(&db).unwrap();
+        assert_eq!(view.scalar(), Some(Value::Float(7.0)));
+        assert_eq!(view.stats.recomputes, 0, "multiset never recomputes");
+        assert_consistent(&db, &view);
+    }
+
+    #[test]
+    fn min_recompute_strategy_matches_multiset() {
+        let (mut db, _, _) = setup_rs();
+        let mut ms = MaterializedView::new(&db, min_view_def(), MinStrategy::Multiset).unwrap();
+        let mut rc = MaterializedView::new(&db, min_view_def(), MinStrategy::Recompute).unwrap();
+        let script: Vec<(&str, Modification)> = vec![
+            ("r", Modification::Insert(row![1i64, 5.0f64])),
+            ("r", Modification::Insert(row![1i64, 3.0f64])),
+            ("s", Modification::Insert(row![1i64, "a"])),
+            ("r", Modification::Delete(row![1i64, 3.0f64])), // removes min
+            ("r", Modification::Update {
+                old: row![1i64, 5.0f64],
+                new: row![1i64, 2.0f64],
+            }),
+        ];
+        for (t, m) in &script {
+            let id = db.table_id(t).unwrap();
+            db.apply(id, m).unwrap();
+            for v in [&mut ms, &mut rc] {
+                let pos = v.table_position(t).unwrap();
+                v.enqueue(pos, m.clone());
+            }
+            ms.refresh(&db).unwrap();
+            rc.refresh(&db).unwrap();
+            assert_eq!(ms.scalar(), rc.scalar(), "after {m:?}");
+        }
+        assert_eq!(ms.scalar(), Some(Value::Float(2.0)));
+        assert_eq!(ms.stats.recomputes, 0);
+        assert!(rc.stats.recomputes >= 1, "min deletion forces recompute");
+    }
+
+    #[test]
+    fn filters_and_residual_apply() {
+        let (mut db, _, _) = setup_rs();
+        let mut def = join_view_def();
+        // Keep only S rows tagged "keep", and joined rows with x < 100.
+        def.filters[1] = Some(Expr::col(1).eq(Expr::lit("keep")));
+        def.residual = Some(Expr::Cmp(
+            crate::expr::CmpOp::Lt,
+            Box::new(Expr::col(1)),
+            Box::new(Expr::lit(100.0f64)),
+        ));
+        let mut view = MaterializedView::new(&db, def, MinStrategy::Multiset).unwrap();
+        modify(&mut db, &mut view, "r", Modification::Insert(row![1i64, 50.0f64]));
+        modify(&mut db, &mut view, "r", Modification::Insert(row![2i64, 500.0f64]));
+        modify(&mut db, &mut view, "s", Modification::Insert(row![1i64, "keep"]));
+        modify(&mut db, &mut view, "s", Modification::Insert(row![1i64, "drop"]));
+        modify(&mut db, &mut view, "s", Modification::Insert(row![2i64, "keep"]));
+        view.refresh(&db).unwrap();
+        assert_consistent(&db, &view);
+        let res = exec::consolidate(view.result());
+        assert_eq!(res.len(), 1, "only (1, 50.0, 1, keep) qualifies: {res:?}");
+    }
+
+    #[test]
+    fn projection_view_maintains_projected_bag() {
+        let (mut db, _, _) = setup_rs();
+        let mut def = join_view_def();
+        def.projection = Some(vec![(Expr::col(3), "tag".into())]);
+        let mut view = MaterializedView::new(&db, def, MinStrategy::Multiset).unwrap();
+        modify(&mut db, &mut view, "r", Modification::Insert(row![1i64, 1.0f64]));
+        modify(&mut db, &mut view, "r", Modification::Insert(row![1i64, 2.0f64]));
+        modify(&mut db, &mut view, "s", Modification::Insert(row![1i64, "t"]));
+        view.refresh(&db).unwrap();
+        let res = exec::consolidate(view.result());
+        assert_eq!(res, vec![(row!["t"], 2)], "bag semantics with multiplicity");
+        assert_consistent(&db, &view);
+    }
+
+    #[test]
+    fn grouped_aggregates_maintained() {
+        let (mut db, _, _) = setup_rs();
+        let mut def = join_view_def();
+        def.aggregate = Some(AggSpec {
+            group_by: vec![0],
+            aggs: vec![
+                (AggFunc::Count, Expr::col(1), "c".into()),
+                (AggFunc::Sum, Expr::col(1), "s".into()),
+                (AggFunc::Max, Expr::col(1), "mx".into()),
+            ],
+        });
+        let mut view = MaterializedView::new(&db, def, MinStrategy::Multiset).unwrap();
+        for (k, x) in [(1i64, 5.0f64), (1, 7.0), (2, 1.0)] {
+            modify(&mut db, &mut view, "r", Modification::Insert(row![k, x]));
+        }
+        for k in [1i64, 2] {
+            modify(&mut db, &mut view, "s", Modification::Insert(row![k, "t"]));
+        }
+        view.refresh(&db).unwrap();
+        assert_consistent(&db, &view);
+        // Delete a grouped row and re-check.
+        modify(&mut db, &mut view, "r", Modification::Delete(row![1i64, 7.0f64]));
+        view.refresh(&db).unwrap();
+        assert_consistent(&db, &view);
+    }
+
+    #[test]
+    fn distinct_view_collapses_but_tracks_multiplicity() {
+        let (mut db, _, _) = setup_rs();
+        let mut def = join_view_def();
+        def.projection = Some(vec![(Expr::col(3), "tag".into())]);
+        def.distinct = true;
+        let mut view = MaterializedView::new(&db, def, MinStrategy::Multiset).unwrap();
+        // Two R rows joining one S row → projected tag appears twice in
+        // the bag but once in the DISTINCT result.
+        modify(&mut db, &mut view, "r", Modification::Insert(row![1i64, 1.0f64]));
+        modify(&mut db, &mut view, "r", Modification::Insert(row![1i64, 2.0f64]));
+        modify(&mut db, &mut view, "s", Modification::Insert(row![1i64, "t"]));
+        view.refresh(&db).unwrap();
+        assert_eq!(view.result(), vec![(row!["t"], 1)]);
+        assert_consistent(&db, &view);
+        // Deleting ONE of the R rows must keep the tag visible (this is
+        // why the state tracks multiplicities).
+        modify(&mut db, &mut view, "r", Modification::Delete(row![1i64, 1.0f64]));
+        view.refresh(&db).unwrap();
+        assert_eq!(view.result(), vec![(row!["t"], 1)]);
+        // Deleting the second one removes it.
+        modify(&mut db, &mut view, "r", Modification::Delete(row![1i64, 2.0f64]));
+        view.refresh(&db).unwrap();
+        assert!(view.result().is_empty());
+        assert_consistent(&db, &view);
+    }
+
+    #[test]
+    fn sum_and_avg_over_all_null_arguments_match_oracle() {
+        // Integer k / 0 evaluates to NULL: SUM/AVG over only-NULL inputs
+        // must be NULL in both the incremental state and the oracle.
+        let (mut db, _, _) = setup_rs();
+        let mut def = join_view_def();
+        let null_arg = Expr::Arith(
+            crate::expr::ArithOp::Div,
+            Box::new(Expr::col(0)),
+            Box::new(Expr::lit(0i64)),
+        );
+        def.aggregate = Some(AggSpec {
+            group_by: vec![],
+            aggs: vec![
+                (AggFunc::Sum, null_arg.clone(), "s".into()),
+                (AggFunc::Avg, null_arg, "a".into()),
+            ],
+        });
+        let mut view = MaterializedView::new(&db, def, MinStrategy::Multiset).unwrap();
+        modify(&mut db, &mut view, "r", Modification::Insert(row![1i64, 2.0f64]));
+        modify(&mut db, &mut view, "s", Modification::Insert(row![1i64, "t"]));
+        view.refresh(&db).unwrap();
+        assert_consistent(&db, &view);
+        let cells = view.result();
+        assert_eq!(cells.len(), 1);
+        assert!(cells[0].0.get(0).is_null(), "SUM of all-NULL is NULL");
+        assert!(cells[0].0.get(1).is_null(), "AVG of all-NULL is NULL");
+    }
+
+    #[test]
+    fn flush_count_validation() {
+        let (db, _, _) = setup_rs();
+        let mut view =
+            MaterializedView::new(&db, join_view_def(), MinStrategy::Multiset).unwrap();
+        assert!(matches!(
+            view.flush(&db, &[1, 0]),
+            Err(EngineError::Maintenance { .. })
+        ));
+        assert!(matches!(
+            view.flush(&db, &[0]),
+            Err(EngineError::Maintenance { .. })
+        ));
+    }
+
+    #[test]
+    fn partial_prefix_flushes_preserve_consistency() {
+        let (mut db, _, _) = setup_rs();
+        let mut view =
+            MaterializedView::new(&db, join_view_def(), MinStrategy::Multiset).unwrap();
+        for i in 0..6i64 {
+            modify(&mut db, &mut view, "r", Modification::Insert(row![i % 3, i as f64]));
+            modify(&mut db, &mut view, "s", Modification::Insert(row![i % 3, "t"]));
+        }
+        // Flush R in prefixes of 2 while S stays pending, checking the
+        // oracle at every step (non-greedy partial actions are legal for
+        // general plans even though LGM plans never use them).
+        for _ in 0..3 {
+            view.flush(&db, &[2, 0]).unwrap();
+            assert_consistent(&db, &view);
+        }
+        view.flush(&db, &[0, 6]).unwrap();
+        assert_consistent(&db, &view);
+        let pending = view.pending_counts();
+        assert_eq!(pending, vec![0, 0]);
+    }
+}

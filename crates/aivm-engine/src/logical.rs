@@ -1,0 +1,649 @@
+//! Logical query plans and the reference (full-recomputation) executor.
+//!
+//! The logical algebra covers what the paper's evaluation needs —
+//! select / project / equi-join / aggregate — and doubles as the oracle
+//! for testing incremental maintenance: a view recomputed from scratch
+//! with [`LogicalPlan::execute`] must always equal the incrementally
+//! maintained state.
+
+use crate::db::Database;
+use crate::error::EngineError;
+use crate::exec::{self, WRow};
+use crate::expr::Expr;
+use crate::schema::{Column, Row, Schema};
+use crate::value::{DataType, Value};
+use std::collections::HashMap;
+
+/// An aggregate function.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum AggFunc {
+    /// Row count.
+    Count,
+    /// Sum of a numeric expression.
+    Sum,
+    /// Minimum of an expression.
+    Min,
+    /// Maximum of an expression.
+    Max,
+    /// Arithmetic mean of a numeric expression.
+    Avg,
+}
+
+impl AggFunc {
+    /// The SQL keyword.
+    pub fn name(self) -> &'static str {
+        match self {
+            AggFunc::Count => "COUNT",
+            AggFunc::Sum => "SUM",
+            AggFunc::Min => "MIN",
+            AggFunc::Max => "MAX",
+            AggFunc::Avg => "AVG",
+        }
+    }
+}
+
+/// A logical relational plan.
+#[derive(Clone, Debug, PartialEq)]
+pub enum LogicalPlan {
+    /// Scan a base table, optionally filtering with a predicate over the
+    /// table's schema.
+    Scan {
+        /// Table name.
+        table: String,
+        /// Local predicate pushed into the scan.
+        filter: Option<Expr>,
+    },
+    /// Filter rows by a predicate over the input schema.
+    Filter {
+        /// Input plan.
+        input: Box<LogicalPlan>,
+        /// The predicate.
+        predicate: Expr,
+    },
+    /// Project each row through expressions.
+    Project {
+        /// Input plan.
+        input: Box<LogicalPlan>,
+        /// `(expression, output column name)` pairs.
+        exprs: Vec<(Expr, String)>,
+    },
+    /// Equi-join two plans. Output schema is `left ++ right`.
+    Join {
+        /// Left input.
+        left: Box<LogicalPlan>,
+        /// Right input.
+        right: Box<LogicalPlan>,
+        /// `(left_col, right_col)` pairs; right indices are relative to
+        /// the right schema.
+        on: Vec<(usize, usize)>,
+    },
+    /// Group-and-aggregate. Output schema is the group columns followed
+    /// by one column per aggregate.
+    Aggregate {
+        /// Input plan.
+        input: Box<LogicalPlan>,
+        /// Grouping column indices over the input schema.
+        group_by: Vec<usize>,
+        /// `(function, argument, output name)` triples.
+        aggs: Vec<(AggFunc, Expr, String)>,
+    },
+    /// Collapse duplicate rows (set semantics: every weight becomes 1).
+    Distinct {
+        /// Input plan.
+        input: Box<LogicalPlan>,
+    },
+    /// Order rows by key columns. Output rows are consolidated and
+    /// emitted in sorted order (weights preserved).
+    Sort {
+        /// Input plan.
+        input: Box<LogicalPlan>,
+        /// `(column, ascending)` sort keys, major first.
+        keys: Vec<(usize, bool)>,
+    },
+    /// Keep the first `count` result rows (counting multiplicities).
+    /// Deterministic only after a [`LogicalPlan::Sort`].
+    Limit {
+        /// Input plan.
+        input: Box<LogicalPlan>,
+        /// Maximum number of rows (bag cardinality) to emit.
+        count: usize,
+    },
+}
+
+/// Replacement source for table contents during execution: maps a table
+/// name to weighted rows, or `None` to read the physical table. Used by
+/// the IVM layer to recompute over `physical − pending` states.
+pub type TableOverlay<'a> = &'a dyn Fn(&str) -> Option<Vec<WRow>>;
+
+impl LogicalPlan {
+    /// Derives the output schema.
+    pub fn schema(&self, db: &Database) -> Result<Schema, EngineError> {
+        match self {
+            LogicalPlan::Scan { table, .. } => {
+                Ok(db.table_by_name(table)?.schema().clone())
+            }
+            LogicalPlan::Filter { input, .. } => input.schema(db),
+            LogicalPlan::Project { input, exprs } => {
+                let _ = input.schema(db)?;
+                Ok(Schema::from_columns(
+                    exprs
+                        .iter()
+                        .map(|(_, name)| Column {
+                            name: name.clone(),
+                            // Projection output types are dynamic; declare
+                            // Float as the widest numeric for display.
+                            ty: DataType::Float,
+                        })
+                        .collect(),
+                ))
+            }
+            LogicalPlan::Join { left, right, .. } => {
+                Ok(left.schema(db)?.concat(&right.schema(db)?))
+            }
+            LogicalPlan::Distinct { input }
+            | LogicalPlan::Sort { input, .. }
+            | LogicalPlan::Limit { input, .. } => input.schema(db),
+            LogicalPlan::Aggregate {
+                input,
+                group_by,
+                aggs,
+            } => {
+                let in_schema = input.schema(db)?;
+                let mut cols: Vec<Column> = group_by
+                    .iter()
+                    .map(|&i| in_schema.columns()[i].clone())
+                    .collect();
+                for (_, _, name) in aggs {
+                    cols.push(Column {
+                        name: name.clone(),
+                        ty: DataType::Float,
+                    });
+                }
+                Ok(Schema::from_columns(cols))
+            }
+        }
+    }
+
+    /// Executes against the database, reading physical table contents.
+    pub fn execute(&self, db: &Database) -> Result<Vec<WRow>, EngineError> {
+        self.execute_with(db, &|_| None)
+    }
+
+    /// Executes with a table overlay (see [`TableOverlay`]).
+    pub fn execute_with(
+        &self,
+        db: &Database,
+        overlay: TableOverlay<'_>,
+    ) -> Result<Vec<WRow>, EngineError> {
+        match self {
+            LogicalPlan::Scan { table, filter } => {
+                let rows = match overlay(table) {
+                    Some(rows) => rows,
+                    None => {
+                        let t = db.table_by_name(table)?;
+                        // Range pushdown: a sargable conjunct over a
+                        // B-tree-indexed column narrows the scan to an
+                        // index range; the full filter still applies.
+                        if let Some(ids) = filter
+                            .as_ref()
+                            .and_then(|f| sargable_range_scan(t, f))
+                        {
+                            ids.into_iter()
+                                .filter_map(|id| t.get(id).map(|r| (r.clone(), 1)))
+                                .collect()
+                        } else {
+                            t.iter().map(|(_, r)| (r.clone(), 1)).collect()
+                        }
+                    }
+                };
+                Ok(match filter {
+                    Some(f) => exec::filter(rows, f),
+                    None => rows,
+                })
+            }
+            LogicalPlan::Filter { input, predicate } => {
+                Ok(exec::filter(input.execute_with(db, overlay)?, predicate))
+            }
+            LogicalPlan::Project { input, exprs } => {
+                let rows = input.execute_with(db, overlay)?;
+                let es: Vec<Expr> = exprs.iter().map(|(e, _)| e.clone()).collect();
+                Ok(exec::project(&rows, &es))
+            }
+            LogicalPlan::Join { left, right, on } => {
+                let l = left.execute_with(db, overlay)?;
+                let r = right.execute_with(db, overlay)?;
+                Ok(exec::hash_join(&l, &r, on))
+            }
+            LogicalPlan::Aggregate {
+                input,
+                group_by,
+                aggs,
+            } => {
+                let rows = exec::consolidate(input.execute_with(db, overlay)?);
+                Ok(evaluate_aggregate(&rows, group_by, aggs))
+            }
+            LogicalPlan::Distinct { input } => {
+                let rows = exec::consolidate(input.execute_with(db, overlay)?);
+                Ok(rows
+                    .into_iter()
+                    .filter(|&(_, w)| w > 0)
+                    .map(|(r, _)| (r, 1))
+                    .collect())
+            }
+            LogicalPlan::Sort { input, keys } => {
+                let mut rows = exec::consolidate(input.execute_with(db, overlay)?);
+                rows.sort_by(|(a, _), (b, _)| {
+                    for &(col, asc) in keys {
+                        let ord = a.get(col).cmp(b.get(col));
+                        let ord = if asc { ord } else { ord.reverse() };
+                        if ord != std::cmp::Ordering::Equal {
+                            return ord;
+                        }
+                    }
+                    a.cmp(b) // total order for determinism
+                });
+                Ok(rows)
+            }
+            LogicalPlan::Limit { input, count } => {
+                let rows = input.execute_with(db, overlay)?;
+                let mut remaining = *count as i64;
+                let mut out = Vec::new();
+                for (r, w) in rows {
+                    if remaining <= 0 {
+                        break;
+                    }
+                    if w <= 0 {
+                        continue; // limit over a proper bag
+                    }
+                    let take = w.min(remaining);
+                    out.push((r, take));
+                    remaining -= take;
+                }
+                Ok(out)
+            }
+        }
+    }
+}
+
+/// Finds a sargable `col cmp literal` conjunct over a B-tree-indexed
+/// column of `table` and returns the matching row ids, or `None` when no
+/// pushdown applies. Strict bounds over-approximate to inclusive ones —
+/// the caller re-applies the full predicate.
+fn sargable_range_scan(table: &crate::table::Table, filter: &Expr) -> Option<Vec<usize>> {
+    use crate::expr::CmpOp;
+    use crate::index::IndexKind;
+    // Walk top-level conjuncts.
+    let mut stack = vec![filter];
+    while let Some(e) = stack.pop() {
+        match e {
+            Expr::And(l, r) => {
+                stack.push(l);
+                stack.push(r);
+            }
+            Expr::Cmp(op, l, r) => {
+                let (col, lit, op) = match (l.as_ref(), r.as_ref()) {
+                    (Expr::Col(c), Expr::Lit(v)) => (*c, v, *op),
+                    (Expr::Lit(v), Expr::Col(c)) => {
+                        // Mirror the operator: `lit op col` ⇔ `col op' lit`.
+                        let mirrored = match *op {
+                            CmpOp::Lt => CmpOp::Gt,
+                            CmpOp::Le => CmpOp::Ge,
+                            CmpOp::Gt => CmpOp::Lt,
+                            CmpOp::Ge => CmpOp::Le,
+                            other => other,
+                        };
+                        (*c, v, mirrored)
+                    }
+                    _ => continue,
+                };
+                if lit.is_null() {
+                    continue;
+                }
+                let index = table.index_on(col)?;
+                if index.kind() != IndexKind::BTree {
+                    continue;
+                }
+                let (lo, hi) = match op {
+                    CmpOp::Eq => (Some(lit), Some(lit)),
+                    CmpOp::Lt | CmpOp::Le => (None, Some(lit)),
+                    CmpOp::Gt | CmpOp::Ge => (Some(lit), None),
+                    CmpOp::Ne => continue,
+                };
+                if let Some(ids) = index.range_bounds(lo, hi) {
+                    return Some(ids);
+                }
+            }
+            _ => {}
+        }
+    }
+    None
+}
+
+/// Computes a grouped aggregate over a consolidated weighted bag.
+///
+/// A scalar aggregate (empty `group_by`) always emits exactly one row:
+/// `COUNT` of an empty input is 0, other aggregates are `NULL`.
+pub fn evaluate_aggregate(
+    rows: &[WRow],
+    group_by: &[usize],
+    aggs: &[(AggFunc, Expr, String)],
+) -> Vec<WRow> {
+    let mut groups: HashMap<Row, Vec<WRow>> = HashMap::new();
+    for (r, w) in rows {
+        groups
+            .entry(r.project(group_by))
+            .or_default()
+            .push((r.clone(), *w));
+    }
+    if group_by.is_empty() && groups.is_empty() {
+        groups.insert(Row::new(vec![]), Vec::new());
+    }
+    let mut out = Vec::with_capacity(groups.len());
+    for (key, members) in groups {
+        let mut cells: Vec<Value> = key.values().to_vec();
+        for (func, arg, _) in aggs {
+            cells.push(aggregate_one(*func, arg, &members));
+        }
+        out.push((Row::new(cells), 1));
+    }
+    out
+}
+
+fn aggregate_one(func: AggFunc, arg: &Expr, members: &[WRow]) -> Value {
+    match func {
+        AggFunc::Count => {
+            let c: i64 = members.iter().map(|&(_, w)| w).sum();
+            Value::Int(c)
+        }
+        AggFunc::Sum | AggFunc::Avg => {
+            let mut sum = 0.0;
+            let mut count = 0i64;
+            for (r, w) in members {
+                if let Some(v) = arg.eval(r).as_float() {
+                    sum += v * *w as f64;
+                    count += w;
+                }
+            }
+            if count == 0 {
+                Value::Null
+            } else if func == AggFunc::Sum {
+                Value::Float(sum)
+            } else {
+                Value::Float(sum / count as f64)
+            }
+        }
+        AggFunc::Min | AggFunc::Max => {
+            let mut best: Option<Value> = None;
+            for (r, w) in members {
+                if *w <= 0 {
+                    continue; // consolidated input: non-positive ⇒ absent
+                }
+                let v = arg.eval(r);
+                if v.is_null() {
+                    continue;
+                }
+                best = Some(match best {
+                    None => v,
+                    Some(b) => {
+                        if (func == AggFunc::Min) == (v < b) {
+                            v
+                        } else {
+                            b
+                        }
+                    }
+                });
+            }
+            best.unwrap_or(Value::Null)
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::index::IndexKind;
+    use crate::row;
+
+    fn sample_db() -> Database {
+        let mut db = Database::new();
+        let r = db
+            .create_table(
+                "r",
+                Schema::new(vec![("k", DataType::Int), ("x", DataType::Float)]),
+            )
+            .unwrap();
+        let s = db
+            .create_table(
+                "s",
+                Schema::new(vec![("k", DataType::Int), ("tag", DataType::Str)]),
+            )
+            .unwrap();
+        db.table_mut(r).create_index(IndexKind::Hash, 0).unwrap();
+        for (k, x) in [(1i64, 10.0f64), (1, 20.0), (2, 30.0), (3, 40.0)] {
+            db.table_mut(r).insert(row![k, x]).unwrap();
+        }
+        for (k, tag) in [(1i64, "a"), (2, "b"), (2, "b2")] {
+            db.table_mut(s).insert(row![k, tag]).unwrap();
+        }
+        db
+    }
+
+    fn scan(t: &str) -> LogicalPlan {
+        LogicalPlan::Scan {
+            table: t.into(),
+            filter: None,
+        }
+    }
+
+    #[test]
+    fn scan_filter_project() {
+        let db = sample_db();
+        let plan = LogicalPlan::Project {
+            input: Box::new(LogicalPlan::Filter {
+                input: Box::new(scan("r")),
+                predicate: Expr::col(0).eq(Expr::lit(1i64)),
+            }),
+            exprs: vec![(Expr::col(1), "x".into())],
+        };
+        let mut out = plan.execute(&db).unwrap();
+        out.sort();
+        assert_eq!(out, vec![(row![10.0f64], 1), (row![20.0f64], 1)]);
+    }
+
+    #[test]
+    fn join_produces_concatenated_rows() {
+        let db = sample_db();
+        let plan = LogicalPlan::Join {
+            left: Box::new(scan("r")),
+            right: Box::new(scan("s")),
+            on: vec![(0, 0)],
+        };
+        let out = plan.execute(&db).unwrap();
+        // k=1: 2 r-rows × 1 s-row; k=2: 1 × 2 → 4 rows total.
+        assert_eq!(out.len(), 4);
+        let schema = plan.schema(&db).unwrap();
+        assert_eq!(schema.arity(), 4);
+    }
+
+    #[test]
+    fn scalar_min_aggregate() {
+        let db = sample_db();
+        let plan = LogicalPlan::Aggregate {
+            input: Box::new(scan("r")),
+            group_by: vec![],
+            aggs: vec![(AggFunc::Min, Expr::col(1), "m".into())],
+        };
+        let out = plan.execute(&db).unwrap();
+        assert_eq!(out, vec![(row![10.0f64], 1)]);
+    }
+
+    #[test]
+    fn scalar_aggregate_of_empty_input() {
+        let db = sample_db();
+        let empty = LogicalPlan::Filter {
+            input: Box::new(scan("r")),
+            predicate: Expr::col(0).eq(Expr::lit(99i64)),
+        };
+        let min = LogicalPlan::Aggregate {
+            input: Box::new(empty.clone()),
+            group_by: vec![],
+            aggs: vec![(AggFunc::Min, Expr::col(1), "m".into())],
+        };
+        assert_eq!(min.execute(&db).unwrap(), vec![(Row::new(vec![Value::Null]), 1)]);
+        let count = LogicalPlan::Aggregate {
+            input: Box::new(empty),
+            group_by: vec![],
+            aggs: vec![(AggFunc::Count, Expr::col(0), "c".into())],
+        };
+        assert_eq!(count.execute(&db).unwrap(), vec![(row![0i64], 1)]);
+    }
+
+    #[test]
+    fn grouped_aggregates() {
+        let db = sample_db();
+        let plan = LogicalPlan::Aggregate {
+            input: Box::new(scan("r")),
+            group_by: vec![0],
+            aggs: vec![
+                (AggFunc::Count, Expr::col(1), "c".into()),
+                (AggFunc::Sum, Expr::col(1), "s".into()),
+                (AggFunc::Avg, Expr::col(1), "a".into()),
+                (AggFunc::Max, Expr::col(1), "mx".into()),
+            ],
+        };
+        let mut out = plan.execute(&db).unwrap();
+        out.sort();
+        assert_eq!(
+            out,
+            vec![
+                (row![1i64, 2i64, 30.0f64, 15.0f64, 20.0f64], 1),
+                (row![2i64, 1i64, 30.0f64, 30.0f64, 30.0f64], 1),
+                (row![3i64, 1i64, 40.0f64, 40.0f64, 40.0f64], 1),
+            ]
+        );
+    }
+
+    #[test]
+    fn overlay_replaces_table_contents() {
+        let db = sample_db();
+        let plan = LogicalPlan::Aggregate {
+            input: Box::new(scan("r")),
+            group_by: vec![],
+            aggs: vec![(AggFunc::Min, Expr::col(1), "m".into())],
+        };
+        let replacement = vec![(row![5i64, 99.0f64], 1)];
+        let out = plan
+            .execute_with(&db, &|name| {
+                (name == "r").then(|| replacement.clone())
+            })
+            .unwrap();
+        assert_eq!(out, vec![(row![99.0f64], 1)]);
+    }
+
+    #[test]
+    fn btree_range_pushdown_matches_full_scan() {
+        let mut db = sample_db();
+        let r = db.table_id("r").unwrap();
+        db.table_mut(r)
+            .create_index(crate::index::IndexKind::BTree, 1)
+            .unwrap();
+        // x > 15 AND x <= 40: sargable over the B-tree on x.
+        let filt = Expr::And(
+            Box::new(Expr::Cmp(
+                crate::expr::CmpOp::Gt,
+                Box::new(Expr::col(1)),
+                Box::new(Expr::lit(15.0f64)),
+            )),
+            Box::new(Expr::Cmp(
+                crate::expr::CmpOp::Le,
+                Box::new(Expr::col(1)),
+                Box::new(Expr::lit(40.0f64)),
+            )),
+        );
+        let plan = LogicalPlan::Scan {
+            table: "r".into(),
+            filter: Some(filt.clone()),
+        };
+        let mut via_index = plan.execute(&db).unwrap();
+        via_index.sort();
+        // Oracle: the same filter over an unindexed clone.
+        let plan2 = LogicalPlan::Filter {
+            input: Box::new(scan("r")),
+            predicate: filt,
+        };
+        let mut via_scan = plan2.execute(&db).unwrap();
+        via_scan.sort();
+        assert_eq!(via_index, via_scan);
+        assert_eq!(via_index.len(), 3, "x ∈ {{20, 30, 40}}");
+    }
+
+    #[test]
+    fn distinct_collapses_multiplicities() {
+        let db = sample_db();
+        // Project r's k column: k=1 appears twice.
+        let plan = LogicalPlan::Distinct {
+            input: Box::new(LogicalPlan::Project {
+                input: Box::new(scan("r")),
+                exprs: vec![(Expr::col(0), "k".into())],
+            }),
+        };
+        let mut out = plan.execute(&db).unwrap();
+        out.sort();
+        assert_eq!(
+            out,
+            vec![(row![1i64], 1), (row![2i64], 1), (row![3i64], 1)]
+        );
+    }
+
+    #[test]
+    fn sort_orders_and_limit_counts_multiplicity() {
+        let db = sample_db();
+        let sorted = LogicalPlan::Sort {
+            input: Box::new(scan("r")),
+            keys: vec![(1, false)], // by x descending
+        };
+        let out = sorted.execute(&db).unwrap();
+        let xs: Vec<f64> = out.iter().map(|(r, _)| r.get(1).as_float().unwrap()).collect();
+        assert_eq!(xs, vec![40.0, 30.0, 20.0, 10.0]);
+
+        let limited = LogicalPlan::Limit {
+            input: Box::new(sorted),
+            count: 2,
+        };
+        let out = limited.execute(&db).unwrap();
+        assert_eq!(out.len(), 2);
+        assert_eq!(out[0].0.get(1).as_float(), Some(40.0));
+
+        // Limit counts bag multiplicity: a weight-3 row fills a limit 2.
+        let bag = vec![(row![7i64], 3)];
+        let plan = LogicalPlan::Limit {
+            input: Box::new(scan("r")), // placeholder, executed manually below
+            count: 2,
+        };
+        let _ = plan; // semantic check through the public path:
+        let lim = LogicalPlan::Limit {
+            input: Box::new(LogicalPlan::Project {
+                input: Box::new(scan("r")),
+                exprs: vec![(Expr::lit(7i64), "c".into())],
+            }),
+            count: 2,
+        };
+        let out = lim.execute(&db).unwrap();
+        let total: i64 = out.iter().map(|&(_, w)| w).sum();
+        assert_eq!(total, 2, "{out:?}");
+        let _ = bag;
+    }
+
+    #[test]
+    fn min_ignores_cancelled_rows() {
+        // A row inserted and deleted (weight 0 after consolidation)
+        // must not contribute to MIN.
+        let rows = vec![(row![1.0f64], 1), (row![1.0f64], -1), (row![5.0f64], 1)];
+        let out = evaluate_aggregate(
+            &exec::consolidate(rows),
+            &[],
+            &[(AggFunc::Min, Expr::col(0), "m".into())],
+        );
+        assert_eq!(out, vec![(row![5.0f64], 1)]);
+    }
+}

@@ -1,0 +1,1080 @@
+//! A small SQL `SELECT` parser producing view definitions.
+//!
+//! Supported grammar (enough to express the paper's evaluation view and
+//! the quickstart examples):
+//!
+//! ```text
+//! SELECT item [, item]*
+//! FROM table [AS alias] [, table [AS alias]]*
+//! [WHERE conjunct [AND conjunct]*]
+//! [GROUP BY column [, column]*]
+//!
+//! item     := expr [AS name] | AGG '(' expr ')' [AS name]
+//! conjunct := expr  (equality between two tables' columns becomes a
+//!             join predicate; single-table conjuncts become pushed-down
+//!             filters; everything else becomes a residual predicate)
+//! ```
+//!
+//! Identifiers may be qualified (`alias.column`); string literals use
+//! single quotes; keywords are case-insensitive.
+
+use crate::db::Database;
+use crate::error::EngineError;
+use crate::expr::{ArithOp, CmpOp, Expr};
+use crate::ivm::{AggSpec, JoinPred, ViewDef};
+use crate::logical::AggFunc;
+use crate::value::Value;
+
+// ---------------------------------------------------------------- lexer
+
+#[derive(Clone, Debug, PartialEq)]
+pub(crate) enum Tok {
+    Ident(String),
+    Int(i64),
+    Float(f64),
+    Str(String),
+    Sym(&'static str),
+}
+
+fn keyword_eq(t: &Tok, kw: &str) -> bool {
+    matches!(t, Tok::Ident(s) if s.eq_ignore_ascii_case(kw))
+}
+
+fn lex(input: &str) -> Result<Vec<Tok>, EngineError> {
+    let mut out = Vec::new();
+    let bytes: Vec<char> = input.chars().collect();
+    let mut i = 0;
+    while i < bytes.len() {
+        let c = bytes[i];
+        match c {
+            c if c.is_whitespace() => i += 1,
+            '\'' => {
+                let mut s = String::new();
+                i += 1;
+                loop {
+                    match bytes.get(i) {
+                        Some('\'') if bytes.get(i + 1) == Some(&'\'') => {
+                            s.push('\'');
+                            i += 2;
+                        }
+                        Some('\'') => {
+                            i += 1;
+                            break;
+                        }
+                        Some(&ch) => {
+                            s.push(ch);
+                            i += 1;
+                        }
+                        None => {
+                            return Err(EngineError::Parse {
+                                message: "unterminated string literal".into(),
+                            })
+                        }
+                    }
+                }
+                out.push(Tok::Str(s));
+            }
+            c if c.is_ascii_digit() => {
+                let start = i;
+                while i < bytes.len() && (bytes[i].is_ascii_digit() || bytes[i] == '.') {
+                    i += 1;
+                }
+                let text: String = bytes[start..i].iter().collect();
+                if text.contains('.') {
+                    out.push(Tok::Float(text.parse().map_err(|_| EngineError::Parse {
+                        message: format!("bad number: {text}"),
+                    })?));
+                } else {
+                    out.push(Tok::Int(text.parse().map_err(|_| EngineError::Parse {
+                        message: format!("bad number: {text}"),
+                    })?));
+                }
+            }
+            c if c.is_alphabetic() || c == '_' => {
+                let start = i;
+                while i < bytes.len() && (bytes[i].is_alphanumeric() || bytes[i] == '_') {
+                    i += 1;
+                }
+                out.push(Tok::Ident(bytes[start..i].iter().collect()));
+            }
+            '<' => {
+                if bytes.get(i + 1) == Some(&'=') {
+                    out.push(Tok::Sym("<="));
+                    i += 2;
+                } else if bytes.get(i + 1) == Some(&'>') {
+                    out.push(Tok::Sym("<>"));
+                    i += 2;
+                } else {
+                    out.push(Tok::Sym("<"));
+                    i += 1;
+                }
+            }
+            '>' => {
+                if bytes.get(i + 1) == Some(&'=') {
+                    out.push(Tok::Sym(">="));
+                    i += 2;
+                } else {
+                    out.push(Tok::Sym(">"));
+                    i += 1;
+                }
+            }
+            '!' if bytes.get(i + 1) == Some(&'=') => {
+                out.push(Tok::Sym("<>"));
+                i += 2;
+            }
+            '=' | '(' | ')' | ',' | '.' | '*' | '+' | '-' | '/' | ';' => {
+                out.push(Tok::Sym(match c {
+                    '=' => "=",
+                    '(' => "(",
+                    ')' => ")",
+                    ',' => ",",
+                    '.' => ".",
+                    '*' => "*",
+                    '+' => "+",
+                    '-' => "-",
+                    '/' => "/",
+                    ';' => ";",
+                    _ => unreachable!(),
+                }));
+                i += 1;
+            }
+            other => {
+                return Err(EngineError::Parse {
+                    message: format!("unexpected character {other:?}"),
+                })
+            }
+        }
+    }
+    Ok(out)
+}
+
+// --------------------------------------------------------------- parser
+
+/// A parsed (unresolved) expression.
+#[derive(Clone, Debug, PartialEq)]
+pub(crate) enum PExpr {
+    Col {
+        qualifier: Option<String>,
+        name: String,
+    },
+    Lit(Value),
+    Cmp(CmpOp, Box<PExpr>, Box<PExpr>),
+    Arith(ArithOp, Box<PExpr>, Box<PExpr>),
+    And(Box<PExpr>, Box<PExpr>),
+    Or(Box<PExpr>, Box<PExpr>),
+    Not(Box<PExpr>),
+}
+
+#[derive(Clone, Debug)]
+struct SelectItem {
+    agg: Option<AggFunc>,
+    expr: PExpr,
+    name: String,
+}
+
+#[derive(Clone, Debug)]
+struct SelectStmt {
+    distinct: bool,
+    items: Vec<SelectItem>,
+    tables: Vec<(String, String)>, // (table, alias)
+    conjuncts: Vec<PExpr>,
+    group_by: Vec<PExpr>,
+    /// `(output column name, ascending)` sort keys.
+    order_by: Vec<(String, bool)>,
+    limit: Option<usize>,
+}
+
+struct Parser {
+    toks: Vec<Tok>,
+    pos: usize,
+}
+
+impl Parser {
+    fn peek(&self) -> Option<&Tok> {
+        self.toks.get(self.pos)
+    }
+
+    fn bump(&mut self) -> Option<Tok> {
+        let t = self.toks.get(self.pos).cloned();
+        if t.is_some() {
+            self.pos += 1;
+        }
+        t
+    }
+
+    fn expect_sym(&mut self, sym: &str) -> Result<(), EngineError> {
+        match self.bump() {
+            Some(Tok::Sym(s)) if s == sym => Ok(()),
+            other => Err(EngineError::Parse {
+                message: format!("expected {sym:?}, found {other:?}"),
+            }),
+        }
+    }
+
+    fn expect_keyword(&mut self, kw: &str) -> Result<(), EngineError> {
+        match self.bump() {
+            Some(ref t) if keyword_eq(t, kw) => Ok(()),
+            other => Err(EngineError::Parse {
+                message: format!("expected keyword {kw}, found {other:?}"),
+            }),
+        }
+    }
+
+    fn eat_keyword(&mut self, kw: &str) -> bool {
+        if self.peek().is_some_and(|t| keyword_eq(t, kw)) {
+            self.pos += 1;
+            true
+        } else {
+            false
+        }
+    }
+
+    fn eat_sym(&mut self, sym: &str) -> bool {
+        if matches!(self.peek(), Some(Tok::Sym(s)) if *s == sym) {
+            self.pos += 1;
+            true
+        } else {
+            false
+        }
+    }
+
+    fn ident(&mut self) -> Result<String, EngineError> {
+        match self.bump() {
+            Some(Tok::Ident(s)) => Ok(s),
+            other => Err(EngineError::Parse {
+                message: format!("expected identifier, found {other:?}"),
+            }),
+        }
+    }
+
+    fn parse_select(&mut self) -> Result<SelectStmt, EngineError> {
+        self.expect_keyword("select")?;
+        let distinct = self.eat_keyword("distinct");
+        let mut items = Vec::new();
+        loop {
+            items.push(self.parse_item(items.len())?);
+            if !self.eat_sym(",") {
+                break;
+            }
+        }
+        self.expect_keyword("from")?;
+        let mut tables = Vec::new();
+        loop {
+            let table = self.ident()?;
+            let alias = if self.eat_keyword("as") {
+                self.ident()?
+            } else if matches!(self.peek(), Some(Tok::Ident(s))
+                if !["where", "group", "order", "limit"]
+                    .iter()
+                    .any(|k| s.eq_ignore_ascii_case(k)))
+            {
+                self.ident()?
+            } else {
+                table.clone()
+            };
+            tables.push((table, alias));
+            if !self.eat_sym(",") {
+                break;
+            }
+        }
+        let mut conjuncts = Vec::new();
+        if self.eat_keyword("where") {
+            // Parse the full boolean expression, then split top-level
+            // conjuncts so the planner can classify them independently.
+            let cond = self.parse_or()?;
+            flatten_and(cond, &mut conjuncts);
+        }
+        let mut group_by = Vec::new();
+        if self.eat_keyword("group") {
+            self.expect_keyword("by")?;
+            loop {
+                group_by.push(self.parse_primary()?);
+                if !self.eat_sym(",") {
+                    break;
+                }
+            }
+        }
+        let mut order_by = Vec::new();
+        if self.eat_keyword("order") {
+            self.expect_keyword("by")?;
+            loop {
+                let name = self.ident()?;
+                let asc = if self.eat_keyword("desc") {
+                    false
+                } else {
+                    self.eat_keyword("asc");
+                    true
+                };
+                order_by.push((name, asc));
+                if !self.eat_sym(",") {
+                    break;
+                }
+            }
+        }
+        let mut limit = None;
+        if self.eat_keyword("limit") {
+            match self.bump() {
+                Some(Tok::Int(n)) if n >= 0 => limit = Some(n as usize),
+                other => {
+                    return Err(EngineError::Parse {
+                        message: format!("expected row count after LIMIT, found {other:?}"),
+                    })
+                }
+            }
+        }
+        self.eat_sym(";");
+        if self.pos != self.toks.len() {
+            return Err(EngineError::Parse {
+                message: format!("trailing tokens at {:?}", self.peek()),
+            });
+        }
+        Ok(SelectStmt {
+            distinct,
+            items,
+            tables,
+            conjuncts,
+            group_by,
+            order_by,
+            limit,
+        })
+    }
+
+    fn parse_item(&mut self, ordinal: usize) -> Result<SelectItem, EngineError> {
+        // Aggregate function?
+        let agg = if let Some(Tok::Ident(id)) = self.peek() {
+            let maybe = match id.to_ascii_lowercase().as_str() {
+                "count" => Some(AggFunc::Count),
+                "sum" => Some(AggFunc::Sum),
+                "min" => Some(AggFunc::Min),
+                "max" => Some(AggFunc::Max),
+                "avg" => Some(AggFunc::Avg),
+                _ => None,
+            };
+            // Only treat as aggregate when followed by '('.
+            if maybe.is_some() && matches!(self.toks.get(self.pos + 1), Some(Tok::Sym("("))) {
+                self.pos += 1;
+                maybe
+            } else {
+                None
+            }
+        } else {
+            None
+        };
+        let expr = if agg.is_some() {
+            self.expect_sym("(")?;
+            let e = if matches!(self.peek(), Some(Tok::Sym("*"))) {
+                self.pos += 1;
+                PExpr::Lit(Value::Int(1)) // COUNT(*)
+            } else {
+                self.parse_additive()?
+            };
+            self.expect_sym(")")?;
+            e
+        } else {
+            self.parse_additive()?
+        };
+        let name = if self.eat_keyword("as") {
+            self.ident()?
+        } else {
+            match (&agg, &expr) {
+                (None, PExpr::Col { name, .. }) => name.clone(),
+                (Some(f), _) => format!("{}_{}", f.name().to_ascii_lowercase(), ordinal),
+                _ => format!("col_{ordinal}"),
+            }
+        };
+        Ok(SelectItem { agg, expr, name })
+    }
+
+    fn parse_or(&mut self) -> Result<PExpr, EngineError> {
+        let mut lhs = self.parse_and()?;
+        while self.eat_keyword("or") {
+            let rhs = self.parse_and()?;
+            lhs = PExpr::Or(Box::new(lhs), Box::new(rhs));
+        }
+        Ok(lhs)
+    }
+
+    fn parse_and(&mut self) -> Result<PExpr, EngineError> {
+        let mut lhs = self.parse_cmp()?;
+        while self.eat_keyword("and") {
+            let rhs = self.parse_cmp()?;
+            lhs = PExpr::And(Box::new(lhs), Box::new(rhs));
+        }
+        Ok(lhs)
+    }
+
+    fn parse_cmp(&mut self) -> Result<PExpr, EngineError> {
+        if self.eat_keyword("not") {
+            return Ok(PExpr::Not(Box::new(self.parse_cmp()?)));
+        }
+        let lhs = self.parse_additive()?;
+        let op = match self.peek() {
+            Some(Tok::Sym("=")) => CmpOp::Eq,
+            Some(Tok::Sym("<>")) => CmpOp::Ne,
+            Some(Tok::Sym("<")) => CmpOp::Lt,
+            Some(Tok::Sym("<=")) => CmpOp::Le,
+            Some(Tok::Sym(">")) => CmpOp::Gt,
+            Some(Tok::Sym(">=")) => CmpOp::Ge,
+            _ => return Ok(lhs),
+        };
+        self.pos += 1;
+        let rhs = self.parse_additive()?;
+        Ok(PExpr::Cmp(op, Box::new(lhs), Box::new(rhs)))
+    }
+
+    fn parse_additive(&mut self) -> Result<PExpr, EngineError> {
+        let mut lhs = self.parse_multiplicative()?;
+        loop {
+            let op = match self.peek() {
+                Some(Tok::Sym("+")) => ArithOp::Add,
+                Some(Tok::Sym("-")) => ArithOp::Sub,
+                _ => return Ok(lhs),
+            };
+            self.pos += 1;
+            let rhs = self.parse_multiplicative()?;
+            lhs = PExpr::Arith(op, Box::new(lhs), Box::new(rhs));
+        }
+    }
+
+    fn parse_multiplicative(&mut self) -> Result<PExpr, EngineError> {
+        let mut lhs = self.parse_primary()?;
+        loop {
+            let op = match self.peek() {
+                Some(Tok::Sym("*")) => ArithOp::Mul,
+                Some(Tok::Sym("/")) => ArithOp::Div,
+                _ => return Ok(lhs),
+            };
+            self.pos += 1;
+            let rhs = self.parse_primary()?;
+            lhs = PExpr::Arith(op, Box::new(lhs), Box::new(rhs));
+        }
+    }
+
+    fn parse_primary(&mut self) -> Result<PExpr, EngineError> {
+        match self.bump() {
+            Some(Tok::Int(i)) => Ok(PExpr::Lit(Value::Int(i))),
+            Some(Tok::Float(f)) => Ok(PExpr::Lit(Value::Float(f))),
+            Some(Tok::Str(s)) => Ok(PExpr::Lit(Value::str(s))),
+            Some(Tok::Sym("(")) => {
+                let e = self.parse_or()?;
+                self.expect_sym(")")?;
+                Ok(e)
+            }
+            Some(Tok::Sym("-")) => {
+                let e = self.parse_primary()?;
+                Ok(PExpr::Arith(
+                    ArithOp::Sub,
+                    Box::new(PExpr::Lit(Value::Int(0))),
+                    Box::new(e),
+                ))
+            }
+            Some(Tok::Ident(first)) => {
+                if self.eat_sym(".") {
+                    let col = self.ident()?;
+                    Ok(PExpr::Col {
+                        qualifier: Some(first),
+                        name: col,
+                    })
+                } else {
+                    Ok(PExpr::Col {
+                        qualifier: None,
+                        name: first,
+                    })
+                }
+            }
+            other => Err(EngineError::Parse {
+                message: format!("unexpected token {other:?}"),
+            }),
+        }
+    }
+}
+
+/// Splits a boolean expression into its top-level conjuncts.
+fn flatten_and(e: PExpr, out: &mut Vec<PExpr>) {
+    match e {
+        PExpr::And(l, r) => {
+            flatten_and(*l, out);
+            flatten_and(*r, out);
+        }
+        other => out.push(other),
+    }
+}
+
+// ------------------------------------------------------------- resolver
+
+struct Resolver<'a> {
+    db: &'a Database,
+    tables: Vec<(String, String)>, // (table, alias)
+    offsets: Vec<usize>,
+}
+
+impl<'a> Resolver<'a> {
+    fn new(db: &'a Database, tables: &[(String, String)]) -> Result<Self, EngineError> {
+        let mut offsets = Vec::with_capacity(tables.len());
+        let mut acc = 0;
+        for (t, _) in tables {
+            offsets.push(acc);
+            acc += db.table_by_name(t)?.schema().arity();
+        }
+        Ok(Resolver {
+            db,
+            tables: tables.to_vec(),
+            offsets,
+        })
+    }
+
+    /// Resolves a column reference to `(table_index, column_index)`.
+    fn resolve_col(
+        &self,
+        qualifier: Option<&str>,
+        name: &str,
+    ) -> Result<(usize, usize), EngineError> {
+        let mut found = None;
+        for (ti, (table, alias)) in self.tables.iter().enumerate() {
+            if let Some(q) = qualifier {
+                if !q.eq_ignore_ascii_case(alias) && !q.eq_ignore_ascii_case(table) {
+                    continue;
+                }
+            }
+            let schema = self.db.table_by_name(table)?.schema().clone();
+            if let Some(ci) = schema.index_of(name) {
+                if found.is_some() {
+                    return Err(EngineError::Parse {
+                        message: format!("ambiguous column {name}"),
+                    });
+                }
+                found = Some((ti, ci));
+            }
+        }
+        found.ok_or_else(|| EngineError::NoSuchColumn {
+            table: qualifier.unwrap_or("<any>").to_string(),
+            column: name.to_string(),
+        })
+    }
+
+    /// Lowers a parsed expression to a canonical-joined-schema [`Expr`],
+    /// recording the set of referenced tables.
+    fn lower(&self, e: &PExpr, tables_used: &mut Vec<usize>) -> Result<Expr, EngineError> {
+        Ok(match e {
+            PExpr::Col { qualifier, name } => {
+                let (ti, ci) = self.resolve_col(qualifier.as_deref(), name)?;
+                if !tables_used.contains(&ti) {
+                    tables_used.push(ti);
+                }
+                Expr::Col(self.offsets[ti] + ci)
+            }
+            PExpr::Lit(v) => Expr::Lit(v.clone()),
+            PExpr::Cmp(op, l, r) => Expr::Cmp(
+                *op,
+                Box::new(self.lower(l, tables_used)?),
+                Box::new(self.lower(r, tables_used)?),
+            ),
+            PExpr::Arith(op, l, r) => Expr::Arith(
+                *op,
+                Box::new(self.lower(l, tables_used)?),
+                Box::new(self.lower(r, tables_used)?),
+            ),
+            PExpr::And(l, r) => Expr::And(
+                Box::new(self.lower(l, tables_used)?),
+                Box::new(self.lower(r, tables_used)?),
+            ),
+            PExpr::Or(l, r) => Expr::Or(
+                Box::new(self.lower(l, tables_used)?),
+                Box::new(self.lower(r, tables_used)?),
+            ),
+            PExpr::Not(x) => Expr::Not(Box::new(self.lower(x, tables_used)?)),
+        })
+    }
+}
+
+/// Parses a flat `SELECT` into a [`ViewDef`] against the database's
+/// catalog. Join conditions, pushed-down filters, residual predicates,
+/// aggregates, grouping and `DISTINCT` are classified automatically;
+/// `ORDER BY` / `LIMIT` are rejected (views are unordered — use
+/// [`parse_query`] for ordered results).
+pub fn parse_view(db: &Database, name: &str, sql: &str) -> Result<ViewDef, EngineError> {
+    let toks = lex(sql)?;
+    let stmt = Parser { toks, pos: 0 }.parse_select()?;
+    if !stmt.order_by.is_empty() || stmt.limit.is_some() {
+        return Err(EngineError::Unsupported {
+            message: "materialized views are unordered: ORDER BY / LIMIT not allowed".into(),
+        });
+    }
+    build_view(db, name, &stmt)
+}
+
+fn build_view(db: &Database, name: &str, stmt: &SelectStmt) -> Result<ViewDef, EngineError> {
+    let resolver = Resolver::new(db, &stmt.tables)?;
+    let n = stmt.tables.len();
+
+    let mut join_preds = Vec::new();
+    let mut filters: Vec<Option<Expr>> = vec![None; n];
+    let mut residual: Option<Expr> = None;
+
+    for conj in &stmt.conjuncts {
+        // Equality between single columns of two different tables?
+        if let PExpr::Cmp(CmpOp::Eq, l, r) = conj {
+            if let (
+                PExpr::Col {
+                    qualifier: ql,
+                    name: nl,
+                },
+                PExpr::Col {
+                    qualifier: qr,
+                    name: nr,
+                },
+            ) = (l.as_ref(), r.as_ref())
+            {
+                let a = resolver.resolve_col(ql.as_deref(), nl)?;
+                let b = resolver.resolve_col(qr.as_deref(), nr)?;
+                if a.0 != b.0 {
+                    join_preds.push(JoinPred { left: a, right: b });
+                    continue;
+                }
+            }
+        }
+        let mut used = Vec::new();
+        let lowered = resolver.lower(conj, &mut used)?;
+        if used.len() <= 1 {
+            // Single-table filter: rebase onto the table's own schema.
+            let ti = used.first().copied().unwrap_or(0);
+            let local = rebase(&lowered, resolver.offsets[ti]);
+            filters[ti] = Some(match filters[ti].take() {
+                Some(f) => f.and(local),
+                None => local,
+            });
+        } else {
+            residual = Some(match residual.take() {
+                Some(f) => f.and(lowered),
+                None => lowered,
+            });
+        }
+    }
+
+    // Select items.
+    let has_agg = stmt.items.iter().any(|it| it.agg.is_some());
+    let mut aggregate = None;
+    let mut projection = None;
+    if has_agg {
+        let mut group_by = Vec::new();
+        for g in &stmt.group_by {
+            let mut used = Vec::new();
+            match resolver.lower(g, &mut used)? {
+                Expr::Col(i) => group_by.push(i),
+                other => {
+                    return Err(EngineError::Unsupported {
+                        message: format!("GROUP BY must reference columns, got {other:?}"),
+                    })
+                }
+            }
+        }
+        let mut aggs = Vec::new();
+        for item in &stmt.items {
+            match item.agg {
+                Some(func) => {
+                    let mut used = Vec::new();
+                    aggs.push((func, resolver.lower(&item.expr, &mut used)?, item.name.clone()));
+                }
+                None => {
+                    // Non-aggregated items must be grouping columns.
+                    let mut used = Vec::new();
+                    match resolver.lower(&item.expr, &mut used)? {
+                        Expr::Col(i) if group_by.contains(&i) => {}
+                        other => {
+                            return Err(EngineError::Unsupported {
+                                message: format!(
+                                    "non-aggregated select item must appear in GROUP BY: {other:?}"
+                                ),
+                            })
+                        }
+                    }
+                }
+            }
+        }
+        aggregate = Some(AggSpec { group_by, aggs });
+    } else {
+        if !stmt.group_by.is_empty() {
+            return Err(EngineError::Unsupported {
+                message: "GROUP BY without aggregates".into(),
+            });
+        }
+        let mut exprs = Vec::new();
+        for item in &stmt.items {
+            let mut used = Vec::new();
+            exprs.push((resolver.lower(&item.expr, &mut used)?, item.name.clone()));
+        }
+        projection = Some(exprs);
+    }
+
+    Ok(ViewDef {
+        name: name.to_string(),
+        tables: stmt.tables.iter().map(|(t, _)| t.clone()).collect(),
+        join_preds,
+        filters,
+        residual,
+        projection,
+        aggregate,
+        distinct: stmt.distinct,
+    })
+}
+
+/// Shifts canonical-schema column references back to a single table's
+/// local schema (inverse of `Expr::shift_cols`).
+fn rebase(e: &Expr, offset: usize) -> Expr {
+    match e {
+        Expr::Col(i) => Expr::Col(i - offset),
+        Expr::Lit(v) => Expr::Lit(v.clone()),
+        Expr::Cmp(op, l, r) => Expr::Cmp(
+            *op,
+            Box::new(rebase(l, offset)),
+            Box::new(rebase(r, offset)),
+        ),
+        Expr::Arith(op, l, r) => Expr::Arith(
+            *op,
+            Box::new(rebase(l, offset)),
+            Box::new(rebase(r, offset)),
+        ),
+        Expr::And(l, r) => Expr::And(Box::new(rebase(l, offset)), Box::new(rebase(r, offset))),
+        Expr::Or(l, r) => Expr::Or(Box::new(rebase(l, offset)), Box::new(rebase(r, offset))),
+        Expr::Not(x) => Expr::Not(Box::new(rebase(x, offset))),
+    }
+}
+
+/// Parses a flat `SELECT` and returns an executable logical plan,
+/// including `ORDER BY` / `LIMIT` on top when present.
+pub fn parse_query(db: &Database, sql: &str) -> Result<crate::logical::LogicalPlan, EngineError> {
+    let toks = lex(sql)?;
+    let stmt = Parser { toks, pos: 0 }.parse_select()?;
+    let def = build_view(db, "<query>", &stmt)?;
+    let mut plan = def.full_plan(db)?;
+    if !stmt.order_by.is_empty() {
+        // ORDER BY keys name output columns (aliases included).
+        let schema = plan.schema(db)?;
+        let mut keys = Vec::with_capacity(stmt.order_by.len());
+        for (name, asc) in &stmt.order_by {
+            let col = schema.index_of(name).ok_or_else(|| EngineError::NoSuchColumn {
+                table: "<output>".into(),
+                column: name.clone(),
+            })?;
+            keys.push((col, *asc));
+        }
+        plan = crate::logical::LogicalPlan::Sort {
+            input: Box::new(plan),
+            keys,
+        };
+    }
+    if let Some(count) = stmt.limit {
+        plan = crate::logical::LogicalPlan::Limit {
+            input: Box::new(plan),
+            count,
+        };
+    }
+    Ok(plan)
+}
+
+
+// ------------------------------------------------- shared DML support
+
+/// Lexes SQL text (shared with the DML frontend).
+pub(crate) fn lex_sql(input: &str) -> Result<Vec<Tok>, EngineError> {
+    lex(input)
+}
+
+/// A thin parser facade over the expression grammar, for statement
+/// frontends other than `SELECT` (currently DML).
+pub(crate) struct PExprParser {
+    inner: Parser,
+}
+
+impl PExprParser {
+    pub(crate) fn new(toks: Vec<Tok>) -> Self {
+        PExprParser {
+            inner: Parser { toks, pos: 0 },
+        }
+    }
+
+    pub(crate) fn eat_keyword(&mut self, kw: &str) -> bool {
+        self.inner.eat_keyword(kw)
+    }
+
+    pub(crate) fn expect_keyword(&mut self, kw: &str) -> Result<(), EngineError> {
+        self.inner.expect_keyword(kw)
+    }
+
+    pub(crate) fn expect_sym(&mut self, sym: &str) -> Result<(), EngineError> {
+        self.inner.expect_sym(sym)
+    }
+
+    pub(crate) fn eat_sym(&mut self, sym: &str) -> bool {
+        self.inner.eat_sym(sym)
+    }
+
+    pub(crate) fn ident(&mut self) -> Result<String, EngineError> {
+        self.inner.ident()
+    }
+
+    pub(crate) fn parse_additive(&mut self) -> Result<PExpr, EngineError> {
+        self.inner.parse_additive()
+    }
+
+    pub(crate) fn parse_or(&mut self) -> Result<PExpr, EngineError> {
+        self.inner.parse_or()
+    }
+
+    /// Consumes an optional trailing semicolon and requires end of input.
+    pub(crate) fn finish(&mut self) -> Result<(), EngineError> {
+        self.inner.eat_sym(";");
+        if self.inner.pos != self.inner.toks.len() {
+            return Err(EngineError::Parse {
+                message: format!("trailing tokens at {:?}", self.inner.peek()),
+            });
+        }
+        Ok(())
+    }
+}
+
+/// Lowers a parsed expression whose column references all belong to one
+/// table into an [`Expr`] over that table's own schema.
+pub(crate) fn lower_single_table(
+    db: &Database,
+    table: &str,
+    e: &PExpr,
+) -> Result<Expr, EngineError> {
+    let tables = vec![(table.to_string(), table.to_string())];
+    let resolver = Resolver::new(db, &tables)?;
+    let mut used = Vec::new();
+    // Single table ⇒ canonical offsets are 0, no rebase needed.
+    resolver.lower(e, &mut used)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::index::IndexKind;
+    use crate::row;
+    use crate::schema::Schema;
+    use crate::value::DataType;
+
+    fn sample_db() -> Database {
+        let mut db = Database::new();
+        let r = db
+            .create_table(
+                "r",
+                Schema::new(vec![("k", DataType::Int), ("x", DataType::Float)]),
+            )
+            .unwrap();
+        db.create_table(
+            "s",
+            Schema::new(vec![("k", DataType::Int), ("tag", DataType::Str)]),
+        )
+        .unwrap();
+        db.table_mut(r).create_index(IndexKind::Hash, 0).unwrap();
+        for (k, x) in [(1i64, 10.0f64), (2, 20.0)] {
+            db.table_mut(r).insert(row![k, x]).unwrap();
+        }
+        for (k, t) in [(1i64, "a"), (2, "b")] {
+            let s = db.table_id("s").unwrap();
+            db.table_mut(s).insert(row![k, t]).unwrap();
+        }
+        db
+    }
+
+    #[test]
+    fn lexer_handles_strings_numbers_symbols() {
+        let toks = lex("SELECT x, 'it''s' , 3.5 <= 7 <> ;").unwrap();
+        assert_eq!(
+            toks,
+            vec![
+                Tok::Ident("SELECT".into()),
+                Tok::Ident("x".into()),
+                Tok::Sym(","),
+                Tok::Str("it's".into()),
+                Tok::Sym(","),
+                Tok::Float(3.5),
+                Tok::Sym("<="),
+                Tok::Int(7),
+                Tok::Sym("<>"),
+                Tok::Sym(";"),
+            ]
+        );
+        assert!(lex("'open").is_err());
+        assert!(lex("@").is_err());
+    }
+
+    #[test]
+    fn parse_join_view_classifies_predicates() {
+        let db = sample_db();
+        let def = parse_view(
+            &db,
+            "v",
+            "SELECT r.x FROM r, s WHERE r.k = s.k AND s.tag = 'a' AND r.x + s.k > 5",
+        )
+        .unwrap();
+        assert_eq!(def.tables, vec!["r".to_string(), "s".to_string()]);
+        assert_eq!(
+            def.join_preds,
+            vec![JoinPred {
+                left: (0, 0),
+                right: (1, 0)
+            }]
+        );
+        assert!(def.filters[0].is_none());
+        assert!(def.filters[1].is_some(), "s.tag='a' pushed to s");
+        assert!(def.residual.is_some(), "cross-table non-equi is residual");
+        assert!(def.projection.is_some());
+        assert!(def.aggregate.is_none());
+    }
+
+    #[test]
+    fn parse_and_execute_aggregate_query() {
+        let db = sample_db();
+        let plan = parse_query(&db, "SELECT MIN(r.x) FROM r, s WHERE r.k = s.k").unwrap();
+        let out = plan.execute(&db).unwrap();
+        assert_eq!(out, vec![(row![10.0f64], 1)]);
+    }
+
+    #[test]
+    fn parse_grouped_aggregate() {
+        let db = sample_db();
+        let def = parse_view(
+            &db,
+            "v",
+            "SELECT s.tag, COUNT(*) AS c, SUM(r.x) FROM r, s WHERE r.k = s.k GROUP BY s.tag",
+        )
+        .unwrap();
+        let agg = def.aggregate.as_ref().unwrap();
+        assert_eq!(agg.group_by, vec![3], "s.tag at canonical offset 2+1");
+        assert_eq!(agg.aggs.len(), 2);
+        assert_eq!(agg.aggs[0].0, AggFunc::Count);
+        assert_eq!(agg.aggs[0].2, "c");
+        // Executable end-to-end.
+        let mut out = def.full_plan(&db).unwrap().execute(&db).unwrap();
+        out.sort();
+        assert_eq!(out.len(), 2);
+    }
+
+    #[test]
+    fn alias_resolution() {
+        let db = sample_db();
+        let def = parse_view(
+            &db,
+            "v",
+            "SELECT a.x FROM r AS a, s b WHERE a.k = b.k",
+        )
+        .unwrap();
+        assert_eq!(def.join_preds.len(), 1);
+    }
+
+    #[test]
+    fn ambiguous_column_rejected() {
+        let db = sample_db();
+        let err = parse_view(&db, "v", "SELECT k FROM r, s").unwrap_err();
+        assert!(matches!(err, EngineError::Parse { .. }), "{err}");
+    }
+
+    #[test]
+    fn unknown_column_and_table_errors() {
+        let db = sample_db();
+        assert!(matches!(
+            parse_view(&db, "v", "SELECT zz FROM r"),
+            Err(EngineError::NoSuchColumn { .. })
+        ));
+        assert!(matches!(
+            parse_view(&db, "v", "SELECT x FROM nope"),
+            Err(EngineError::NoSuchTable { .. })
+        ));
+    }
+
+    #[test]
+    fn group_by_required_for_bare_columns() {
+        let db = sample_db();
+        let err = parse_view(&db, "v", "SELECT tag, MIN(x) FROM r, s WHERE r.k = s.k").unwrap_err();
+        assert!(matches!(err, EngineError::Unsupported { .. }));
+    }
+
+    #[test]
+    fn trailing_tokens_rejected() {
+        let db = sample_db();
+        assert!(parse_view(&db, "v", "SELECT x FROM r LIMIT 5").is_err());
+    }
+
+    #[test]
+    fn single_table_filter_uses_local_indices() {
+        let db = sample_db();
+        let def = parse_view(&db, "v", "SELECT tag FROM s WHERE tag = 'a'").unwrap();
+        // Filter must be expressed over s's own schema (tag at index 1).
+        let f = def.filters[0].as_ref().unwrap();
+        assert_eq!(
+            *f,
+            Expr::col(1).eq(Expr::lit("a")),
+            "filter rebased to local schema"
+        );
+        let out = def.full_plan(&db).unwrap().execute(&db).unwrap();
+        assert_eq!(out, vec![(row!["a"], 1)]);
+    }
+
+    #[test]
+    fn arithmetic_projection_executes() {
+        let db = sample_db();
+        let plan = parse_query(&db, "SELECT x * 2 + 1 AS y FROM r WHERE k = 1").unwrap();
+        let out = plan.execute(&db).unwrap();
+        assert_eq!(out, vec![(row![21.0f64], 1)]);
+    }
+
+    #[test]
+    fn or_predicates_parse_and_execute() {
+        let db = sample_db();
+        let plan = parse_query(&db, "SELECT x FROM r WHERE k = 1 OR k = 2").unwrap();
+        assert_eq!(plan.execute(&db).unwrap().len(), 2);
+        // Parenthesized boolean combinations stay one conjunct.
+        let def = parse_view(
+            &db,
+            "v",
+            "SELECT r.x FROM r, s WHERE r.k = s.k AND (s.tag = 'a' OR s.tag = 'b')",
+        )
+        .unwrap();
+        assert_eq!(def.join_preds.len(), 1);
+        assert!(def.filters[1].is_some(), "OR filter pushed to s");
+    }
+
+    #[test]
+    fn order_by_and_limit_execute() {
+        let db = sample_db();
+        let plan = parse_query(&db, "SELECT x FROM r ORDER BY x DESC LIMIT 1").unwrap();
+        assert_eq!(plan.execute(&db).unwrap(), vec![(row![20.0f64], 1)]);
+        let plan = parse_query(&db, "SELECT k, x FROM r ORDER BY k ASC").unwrap();
+        let out = plan.execute(&db).unwrap();
+        assert_eq!(out[0].0.get(0), &crate::value::Value::Int(1));
+        // ORDER BY an alias.
+        let plan = parse_query(&db, "SELECT x * 2 AS y FROM r ORDER BY y").unwrap();
+        let out = plan.execute(&db).unwrap();
+        assert_eq!(out[0].0.get(0).as_float(), Some(20.0));
+    }
+
+    #[test]
+    fn distinct_views_allowed_ordered_views_rejected() {
+        let db = sample_db();
+        let def = parse_view(&db, "v", "SELECT DISTINCT tag FROM s").unwrap();
+        assert!(def.distinct);
+        let err = parse_view(&db, "v", "SELECT tag FROM s ORDER BY tag").unwrap_err();
+        assert!(matches!(err, EngineError::Unsupported { .. }));
+        let err = parse_view(&db, "v", "SELECT tag FROM s LIMIT 3").unwrap_err();
+        assert!(matches!(err, EngineError::Unsupported { .. }));
+    }
+
+    #[test]
+    fn order_by_unknown_output_column_fails() {
+        let db = sample_db();
+        assert!(matches!(
+            parse_query(&db, "SELECT x FROM r ORDER BY zz"),
+            Err(EngineError::NoSuchColumn { .. })
+        ));
+    }
+
+    #[test]
+    fn count_star_supported() {
+        let db = sample_db();
+        let plan = parse_query(&db, "SELECT COUNT(*) FROM r").unwrap();
+        assert_eq!(plan.execute(&db).unwrap(), vec![(row![2i64], 1)]);
+    }
+}

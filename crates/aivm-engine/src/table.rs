@@ -1,0 +1,274 @@
+//! Heap tables with slot storage and secondary indexes.
+
+use crate::error::EngineError;
+use crate::index::{Index, IndexKind, RowId};
+use crate::schema::{Row, Schema};
+use crate::value::Value;
+
+/// An in-memory heap table. Rows live in slots; deleted slots are
+/// recycled through a free list. Secondary indexes are kept in sync on
+/// every mutation.
+#[derive(Clone, Debug)]
+pub struct Table {
+    name: String,
+    schema: Schema,
+    slots: Vec<Option<Row>>,
+    free: Vec<RowId>,
+    live: usize,
+    indexes: Vec<Index>,
+}
+
+impl Table {
+    /// Creates an empty table.
+    pub fn new(name: impl Into<String>, schema: Schema) -> Self {
+        Table {
+            name: name.into(),
+            schema,
+            slots: Vec::new(),
+            free: Vec::new(),
+            live: 0,
+            indexes: Vec::new(),
+        }
+    }
+
+    /// Table name.
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// Table schema.
+    pub fn schema(&self) -> &Schema {
+        &self.schema
+    }
+
+    /// Number of live rows.
+    pub fn len(&self) -> usize {
+        self.live
+    }
+
+    /// True when the table holds no rows.
+    pub fn is_empty(&self) -> bool {
+        self.live == 0
+    }
+
+    /// Adds a secondary index over `column`, backfilling existing rows.
+    pub fn create_index(&mut self, kind: IndexKind, column: usize) -> Result<(), EngineError> {
+        if column >= self.schema.arity() {
+            return Err(EngineError::NoSuchColumn {
+                table: self.name.clone(),
+                column: format!("#{column}"),
+            });
+        }
+        let mut idx = Index::new(kind, column);
+        for (id, slot) in self.slots.iter().enumerate() {
+            if let Some(row) = slot {
+                idx.insert(row, id);
+            }
+        }
+        self.indexes.push(idx);
+        Ok(())
+    }
+
+    /// The index over `column`, if one exists.
+    pub fn index_on(&self, column: usize) -> Option<&Index> {
+        self.indexes.iter().find(|i| i.column() == column)
+    }
+
+    /// All indexes.
+    pub fn indexes(&self) -> &[Index] {
+        &self.indexes
+    }
+
+    /// Inserts a row, returning its id.
+    pub fn insert(&mut self, row: Row) -> Result<RowId, EngineError> {
+        if !self.schema.check_row(&row) {
+            return Err(EngineError::SchemaMismatch {
+                table: self.name.clone(),
+            });
+        }
+        let id = match self.free.pop() {
+            Some(id) => {
+                self.slots[id] = Some(row.clone());
+                id
+            }
+            None => {
+                self.slots.push(Some(row.clone()));
+                self.slots.len() - 1
+            }
+        };
+        for idx in &mut self.indexes {
+            idx.insert(&row, id);
+        }
+        self.live += 1;
+        Ok(id)
+    }
+
+    /// Removes the row at `id`, returning it.
+    pub fn delete(&mut self, id: RowId) -> Result<Row, EngineError> {
+        let row = self
+            .slots
+            .get_mut(id)
+            .and_then(Option::take)
+            .ok_or(EngineError::NoSuchRow { id })?;
+        for idx in &mut self.indexes {
+            idx.remove(&row, id);
+        }
+        self.free.push(id);
+        self.live -= 1;
+        Ok(row)
+    }
+
+    /// Replaces the row at `id`, returning the previous contents.
+    pub fn update(&mut self, id: RowId, new: Row) -> Result<Row, EngineError> {
+        if !self.schema.check_row(&new) {
+            return Err(EngineError::SchemaMismatch {
+                table: self.name.clone(),
+            });
+        }
+        let slot = self
+            .slots
+            .get_mut(id)
+            .ok_or(EngineError::NoSuchRow { id })?;
+        let old = slot.take().ok_or(EngineError::NoSuchRow { id })?;
+        for idx in &mut self.indexes {
+            idx.remove(&old, id);
+            idx.insert(&new, id);
+        }
+        *slot = Some(new);
+        Ok(old)
+    }
+
+    /// The row at `id`, if live.
+    pub fn get(&self, id: RowId) -> Option<&Row> {
+        self.slots.get(id).and_then(Option::as_ref)
+    }
+
+    /// Iterates over live `(id, row)` pairs in slot order.
+    pub fn iter(&self) -> impl Iterator<Item = (RowId, &Row)> {
+        self.slots
+            .iter()
+            .enumerate()
+            .filter_map(|(id, slot)| slot.as_ref().map(|r| (id, r)))
+    }
+
+    /// First live row id whose `column` equals `key`, using an index when
+    /// available and falling back to a scan.
+    pub fn find_by(&self, column: usize, key: &Value) -> Option<RowId> {
+        if let Some(idx) = self.index_on(column) {
+            return idx.lookup(key).first().copied();
+        }
+        self.iter()
+            .find(|(_, r)| r.get(column) == key)
+            .map(|(id, _)| id)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::row;
+    use crate::value::DataType;
+
+    fn table() -> Table {
+        Table::new(
+            "t",
+            Schema::new(vec![("id", DataType::Int), ("name", DataType::Str)]),
+        )
+    }
+
+    #[test]
+    fn insert_get_delete_roundtrip() {
+        let mut t = table();
+        let id = t.insert(row![1i64, "a"]).unwrap();
+        assert_eq!(t.len(), 1);
+        assert_eq!(t.get(id), Some(&row![1i64, "a"]));
+        let old = t.delete(id).unwrap();
+        assert_eq!(old, row![1i64, "a"]);
+        assert!(t.is_empty());
+        assert!(t.get(id).is_none());
+    }
+
+    #[test]
+    fn slots_recycled_after_delete() {
+        let mut t = table();
+        let a = t.insert(row![1i64, "a"]).unwrap();
+        t.delete(a).unwrap();
+        let b = t.insert(row![2i64, "b"]).unwrap();
+        assert_eq!(a, b, "freed slot should be reused");
+        assert_eq!(t.len(), 1);
+    }
+
+    #[test]
+    fn schema_mismatch_rejected() {
+        let mut t = table();
+        assert!(matches!(
+            t.insert(row![1i64]),
+            Err(EngineError::SchemaMismatch { .. })
+        ));
+        assert!(matches!(
+            t.insert(row!["x", "y"]),
+            Err(EngineError::SchemaMismatch { .. })
+        ));
+    }
+
+    #[test]
+    fn index_backfill_and_maintenance() {
+        let mut t = table();
+        let a = t.insert(row![1i64, "a"]).unwrap();
+        t.create_index(IndexKind::Hash, 0).unwrap();
+        let idx = t.index_on(0).unwrap();
+        assert_eq!(idx.lookup(&Value::Int(1)), &[a]);
+
+        let b = t.insert(row![1i64, "dup"]).unwrap();
+        let mut hits = t.index_on(0).unwrap().lookup(&Value::Int(1)).to_vec();
+        hits.sort_unstable();
+        assert_eq!(hits, vec![a, b]);
+
+        t.update(a, row![9i64, "a"]).unwrap();
+        assert_eq!(t.index_on(0).unwrap().lookup(&Value::Int(1)), &[b]);
+        assert_eq!(t.index_on(0).unwrap().lookup(&Value::Int(9)), &[a]);
+
+        t.delete(b).unwrap();
+        assert!(t.index_on(0).unwrap().lookup(&Value::Int(1)).is_empty());
+    }
+
+    #[test]
+    fn create_index_on_bad_column_fails() {
+        let mut t = table();
+        assert!(matches!(
+            t.create_index(IndexKind::Hash, 5),
+            Err(EngineError::NoSuchColumn { .. })
+        ));
+    }
+
+    #[test]
+    fn find_by_with_and_without_index() {
+        let mut t = table();
+        t.insert(row![1i64, "a"]).unwrap();
+        let b = t.insert(row![2i64, "b"]).unwrap();
+        assert_eq!(t.find_by(0, &Value::Int(2)), Some(b));
+        t.create_index(IndexKind::Hash, 0).unwrap();
+        assert_eq!(t.find_by(0, &Value::Int(2)), Some(b));
+        assert_eq!(t.find_by(0, &Value::Int(99)), None);
+    }
+
+    #[test]
+    fn update_missing_row_errors() {
+        let mut t = table();
+        assert!(matches!(
+            t.update(3, row![1i64, "x"]),
+            Err(EngineError::NoSuchRow { id: 3 })
+        ));
+        assert!(matches!(t.delete(0), Err(EngineError::NoSuchRow { id: 0 })));
+    }
+
+    #[test]
+    fn iter_skips_dead_slots() {
+        let mut t = table();
+        let a = t.insert(row![1i64, "a"]).unwrap();
+        t.insert(row![2i64, "b"]).unwrap();
+        t.delete(a).unwrap();
+        let rows: Vec<_> = t.iter().map(|(_, r)| r.clone()).collect();
+        assert_eq!(rows, vec![row![2i64, "b"]]);
+    }
+}

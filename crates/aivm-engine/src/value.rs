@@ -1,0 +1,239 @@
+//! Runtime values.
+//!
+//! The engine is dynamically typed at execution time: every cell is a
+//! [`Value`]. Floats are wrapped so that values are totally ordered and
+//! hashable — both properties the engine relies on for index keys, hash
+//! joins, and ordered MIN/MAX multisets.
+
+use std::cmp::Ordering;
+use std::fmt;
+use std::hash::{Hash, Hasher};
+use std::sync::Arc;
+
+/// The SQL-ish type of a column.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub enum DataType {
+    /// 64-bit signed integer.
+    Int,
+    /// 64-bit float with total ordering.
+    Float,
+    /// UTF-8 string.
+    Str,
+}
+
+/// A dynamically typed cell value.
+///
+/// `Null` only arises from aggregates over empty inputs; base tables are
+/// non-nullable. `Null` sorts before everything and equals only itself.
+#[derive(Clone, Debug)]
+pub enum Value {
+    /// Absent value (aggregate of an empty set).
+    Null,
+    /// 64-bit signed integer.
+    Int(i64),
+    /// 64-bit float (totally ordered via `f64::total_cmp`).
+    Float(f64),
+    /// Shared immutable string.
+    Str(Arc<str>),
+}
+
+impl Value {
+    /// Convenience constructor for strings.
+    pub fn str(s: impl AsRef<str>) -> Value {
+        Value::Str(Arc::from(s.as_ref()))
+    }
+
+    /// The value's runtime type, or `None` for `Null`.
+    pub fn data_type(&self) -> Option<DataType> {
+        match self {
+            Value::Null => None,
+            Value::Int(_) => Some(DataType::Int),
+            Value::Float(_) => Some(DataType::Float),
+            Value::Str(_) => Some(DataType::Str),
+        }
+    }
+
+    /// Interprets the value as an integer.
+    pub fn as_int(&self) -> Option<i64> {
+        match self {
+            Value::Int(i) => Some(*i),
+            _ => None,
+        }
+    }
+
+    /// Interprets the value as a float, widening integers.
+    pub fn as_float(&self) -> Option<f64> {
+        match self {
+            Value::Float(f) => Some(*f),
+            Value::Int(i) => Some(*i as f64),
+            _ => None,
+        }
+    }
+
+    /// Interprets the value as a string slice.
+    pub fn as_str(&self) -> Option<&str> {
+        match self {
+            Value::Str(s) => Some(s),
+            _ => None,
+        }
+    }
+
+    /// True for `Null`.
+    pub fn is_null(&self) -> bool {
+        matches!(self, Value::Null)
+    }
+}
+
+impl PartialEq for Value {
+    fn eq(&self, other: &Self) -> bool {
+        self.cmp(other) == Ordering::Equal
+    }
+}
+
+impl Eq for Value {}
+
+impl PartialOrd for Value {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+impl Ord for Value {
+    fn cmp(&self, other: &Self) -> Ordering {
+        use Value::*;
+        match (self, other) {
+            (Null, Null) => Ordering::Equal,
+            (Null, _) => Ordering::Less,
+            (_, Null) => Ordering::Greater,
+            (Int(a), Int(b)) => a.cmp(b),
+            (Float(a), Float(b)) => a.total_cmp(b),
+            // Numeric cross-type comparison widens to float.
+            (Int(a), Float(b)) => (*a as f64).total_cmp(b),
+            (Float(a), Int(b)) => a.total_cmp(&(*b as f64)),
+            (Str(a), Str(b)) => a.cmp(b),
+            // Heterogeneous non-numeric comparisons order by type tag;
+            // the planner never produces them, but total order must hold.
+            (Int(_), Str(_)) | (Float(_), Str(_)) => Ordering::Less,
+            (Str(_), Int(_)) | (Str(_), Float(_)) => Ordering::Greater,
+        }
+    }
+}
+
+impl Hash for Value {
+    fn hash<H: Hasher>(&self, state: &mut H) {
+        match self {
+            Value::Null => 0u8.hash(state),
+            Value::Int(i) => {
+                1u8.hash(state);
+                i.hash(state);
+            }
+            Value::Float(f) => {
+                // Hash consistent with total_cmp-based equality: integers
+                // and floats that compare equal may hash differently, so
+                // cross-type numeric joins normalize first (see planner).
+                2u8.hash(state);
+                f.to_bits().hash(state);
+            }
+            Value::Str(s) => {
+                3u8.hash(state);
+                s.hash(state);
+            }
+        }
+    }
+}
+
+impl fmt::Display for Value {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Value::Null => write!(f, "NULL"),
+            Value::Int(i) => write!(f, "{i}"),
+            Value::Float(x) => write!(f, "{x}"),
+            Value::Str(s) => write!(f, "{s}"),
+        }
+    }
+}
+
+impl From<i64> for Value {
+    fn from(i: i64) -> Self {
+        Value::Int(i)
+    }
+}
+impl From<f64> for Value {
+    fn from(f: f64) -> Self {
+        Value::Float(f)
+    }
+}
+impl From<&str> for Value {
+    fn from(s: &str) -> Self {
+        Value::str(s)
+    }
+}
+impl From<String> for Value {
+    fn from(s: String) -> Self {
+        Value::Str(Arc::from(s.as_str()))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::collections::hash_map::DefaultHasher;
+
+    fn hash_of(v: &Value) -> u64 {
+        let mut h = DefaultHasher::new();
+        v.hash(&mut h);
+        h.finish()
+    }
+
+    #[test]
+    fn total_order_within_types() {
+        assert!(Value::Int(1) < Value::Int(2));
+        assert!(Value::Float(1.5) < Value::Float(2.5));
+        assert!(Value::str("a") < Value::str("b"));
+        assert!(Value::Null < Value::Int(i64::MIN));
+    }
+
+    #[test]
+    fn numeric_cross_type_comparison() {
+        assert_eq!(Value::Int(2), Value::Float(2.0));
+        assert!(Value::Int(2) < Value::Float(2.5));
+        assert!(Value::Float(1.9) < Value::Int(2));
+    }
+
+    #[test]
+    fn equal_values_hash_equal_within_type() {
+        assert_eq!(hash_of(&Value::Int(42)), hash_of(&Value::Int(42)));
+        assert_eq!(hash_of(&Value::str("xy")), hash_of(&Value::str("xy")));
+        assert_eq!(hash_of(&Value::Float(1.25)), hash_of(&Value::Float(1.25)));
+    }
+
+    #[test]
+    fn nan_is_ordered_and_hashable() {
+        let nan = Value::Float(f64::NAN);
+        assert_eq!(nan.cmp(&nan), Ordering::Equal);
+        assert!(Value::Float(f64::INFINITY) < nan);
+        assert_eq!(hash_of(&nan), hash_of(&Value::Float(f64::NAN)));
+    }
+
+    #[test]
+    fn null_equals_only_null() {
+        assert_eq!(Value::Null, Value::Null);
+        assert_ne!(Value::Null, Value::Int(0));
+        assert!(Value::Null.is_null());
+    }
+
+    #[test]
+    fn accessors_and_widening() {
+        assert_eq!(Value::Int(3).as_int(), Some(3));
+        assert_eq!(Value::Int(3).as_float(), Some(3.0));
+        assert_eq!(Value::Float(2.5).as_int(), None);
+        assert_eq!(Value::str("hi").as_str(), Some("hi"));
+    }
+
+    #[test]
+    fn display_formats() {
+        assert_eq!(Value::Int(7).to_string(), "7");
+        assert_eq!(Value::Null.to_string(), "NULL");
+        assert_eq!(Value::str("x").to_string(), "x");
+    }
+}

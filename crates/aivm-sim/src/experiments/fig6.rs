@@ -1,0 +1,181 @@
+//! Figure 6: total maintenance cost vs. refresh time.
+//!
+//! One PartSupp and one Supplier modification arrive at every time step;
+//! the response-time constraint is 12 seconds; the refresh time varies
+//! from 100 to 1000 seconds. NAIVE, OPT^LGM (A\*, per refresh time),
+//! ADAPT (adapted from the plan optimized for `T_0 = 500`) and ONLINE
+//! are compared.
+
+use crate::report::{fnum, ExpTable};
+use crate::runner::{simulate_plan, simulate_policy};
+use aivm_core::{naive_plan, Arrivals, CostModel, Counts, Instance};
+use aivm_solver::{adapt_plan, optimal_lgm_plan, AdaptSchedule, OnlinePolicy};
+
+/// Configuration of the Fig. 6 sweep.
+#[derive(Clone, Debug)]
+pub struct Fig6Config {
+    /// Refresh times to sweep.
+    pub refresh_times: Vec<usize>,
+    /// The estimation horizon ADAPT's base plan is optimized for.
+    pub adapt_t0: usize,
+    /// Response-time budget `C`.
+    pub budget: f64,
+    /// Per-table cost functions `[f_PartSupp, f_Supplier]`.
+    pub costs: Vec<CostModel>,
+}
+
+impl Default for Fig6Config {
+    fn default() -> Self {
+        Fig6Config {
+            refresh_times: (1..=10).map(|i| i * 100).collect(),
+            adapt_t0: 500,
+            budget: super::FIG6_BUDGET,
+            costs: super::default_costs(),
+        }
+    }
+}
+
+/// One sweep point.
+#[derive(Clone, Debug)]
+pub struct Fig6Row {
+    /// Refresh time `T`.
+    pub t: usize,
+    /// Total cost of each plan.
+    pub naive: f64,
+    /// OPT^LGM.
+    pub opt: f64,
+    /// ADAPT.
+    pub adapt: f64,
+    /// ONLINE.
+    pub online: f64,
+}
+
+/// Runs the sweep and returns the raw rows. Sweep points are
+/// independent, so they run on scoped worker threads.
+pub fn run(config: &Fig6Config) -> Vec<Fig6Row> {
+    let instance_for = |t: usize| {
+        Instance::new(
+            config.costs.clone(),
+            Arrivals::uniform(Counts::from_slice(&[1, 1]), t),
+            config.budget,
+        )
+    };
+    let schedule = AdaptSchedule::precompute(&instance_for(config.adapt_t0));
+    let point = |t: usize| -> Fig6Row {
+        let inst = instance_for(t);
+        let naive = simulate_plan("NAIVE", &inst, &naive_plan(&inst))
+            .expect("naive valid")
+            .total_cost;
+        let opt = optimal_lgm_plan(&inst).cost;
+        let adapted = adapt_plan(&schedule, &inst);
+        let adapt = simulate_plan("ADAPT", &inst, &adapted)
+            .expect("adapted plan valid under uniform arrivals")
+            .total_cost;
+        let (_, online) = simulate_policy("ONLINE", &inst, &mut OnlinePolicy::new())
+            .expect("online valid");
+        Fig6Row {
+            t,
+            naive,
+            opt,
+            adapt,
+            online: online.total_cost,
+        }
+    };
+    let mut rows: Vec<(usize, Fig6Row)> = crossbeam::thread::scope(|scope| {
+        let handles: Vec<_> = config
+            .refresh_times
+            .iter()
+            .enumerate()
+            .map(|(i, &t)| {
+                let point = &point;
+                scope.spawn(move |_| (i, point(t)))
+            })
+            .collect();
+        handles.into_iter().map(|h| h.join().expect("sweep worker")).collect()
+    })
+    .expect("sweep scope");
+    rows.sort_by_key(|(i, _)| *i);
+    rows.into_iter().map(|(_, r)| r).collect()
+}
+
+/// Runs the sweep and renders the paper's series.
+pub fn table(config: &Fig6Config) -> ExpTable {
+    let rows = run(config);
+    let mut t = ExpTable::new(
+        "Figure 6: varying refresh time (total cost, seconds)",
+        &["T", "NAIVE", "OPT^LGM", "ADAPT", "ONLINE", "NAIVE/OPT"],
+    );
+    t.note(format!(
+        "C = {}; 1 PartSupp + 1 Supplier update per step; ADAPT from T0 = {}",
+        config.budget, config.adapt_t0
+    ));
+    for r in &rows {
+        t.row(vec![
+            r.t.to_string(),
+            fnum(r.naive),
+            fnum(r.opt),
+            fnum(r.adapt),
+            fnum(r.online),
+            fnum(r.naive / r.opt),
+        ]);
+    }
+    t
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn small_config() -> Fig6Config {
+        Fig6Config {
+            refresh_times: vec![100, 200, 300],
+            adapt_t0: 200,
+            ..Fig6Config::default()
+        }
+    }
+
+    #[test]
+    fn ordering_matches_paper() {
+        for r in run(&small_config()) {
+            // OPT is optimal among the strategies.
+            assert!(r.opt <= r.naive + 1e-9, "T={}", r.t);
+            assert!(r.opt <= r.adapt + 1e-9, "T={}", r.t);
+            assert!(r.opt <= r.online + 1e-9, "T={}", r.t);
+            // NAIVE is clearly outperformed (the paper's headline).
+            assert!(
+                r.naive > 1.15 * r.opt,
+                "T={}: NAIVE {} should clearly exceed OPT {}",
+                r.t,
+                r.naive,
+                r.opt
+            );
+            // ADAPT and ONLINE stay close to OPT.
+            assert!(r.adapt <= 1.35 * r.opt, "T={}: ADAPT {} vs OPT {}", r.t, r.adapt, r.opt);
+            assert!(r.online <= 1.5 * r.opt, "T={}: ONLINE {} vs OPT {}", r.t, r.online, r.opt);
+        }
+    }
+
+    #[test]
+    fn adapt_exact_at_t0() {
+        let cfg = small_config();
+        let rows = run(&cfg);
+        let at_t0 = rows.iter().find(|r| r.t == cfg.adapt_t0).unwrap();
+        assert!(
+            (at_t0.adapt - at_t0.opt).abs() < 1e-9,
+            "ADAPT equals OPT at T = T0"
+        );
+    }
+
+    #[test]
+    fn costs_grow_with_horizon() {
+        let rows = run(&small_config());
+        assert!(rows.windows(2).all(|w| w[1].opt >= w[0].opt));
+    }
+
+    #[test]
+    fn table_renders() {
+        let t = table(&small_config());
+        assert_eq!(t.rows.len(), 3);
+        assert!(t.render().contains("NAIVE"));
+    }
+}

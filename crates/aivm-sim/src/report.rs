@@ -1,0 +1,161 @@
+//! Tabular experiment output.
+//!
+//! Every experiment driver returns an [`ExpTable`] — the rows/series the
+//! corresponding paper figure reports — which the `repro` binary renders
+//! as aligned text or CSV.
+
+use serde::{Deserialize, Serialize};
+use std::fmt::Write as _;
+
+/// One reproduced table/figure.
+#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
+pub struct ExpTable {
+    /// Title, e.g. `"Figure 6: varying refresh time"`.
+    pub title: String,
+    /// Free-text notes (parameters, caveats).
+    pub notes: Vec<String>,
+    /// Column headers.
+    pub headers: Vec<String>,
+    /// Data rows (already formatted).
+    pub rows: Vec<Vec<String>>,
+}
+
+impl ExpTable {
+    /// Creates an empty table.
+    pub fn new(title: impl Into<String>, headers: &[&str]) -> Self {
+        ExpTable {
+            title: title.into(),
+            notes: Vec::new(),
+            headers: headers.iter().map(|s| s.to_string()).collect(),
+            rows: Vec::new(),
+        }
+    }
+
+    /// Appends a note line.
+    pub fn note(&mut self, s: impl Into<String>) {
+        self.notes.push(s.into());
+    }
+
+    /// Appends a row; panics when the arity disagrees with the headers.
+    pub fn row(&mut self, cells: Vec<String>) {
+        assert_eq!(cells.len(), self.headers.len(), "row arity mismatch");
+        self.rows.push(cells);
+    }
+
+    /// Renders as an aligned text table.
+    pub fn render(&self) -> String {
+        let mut out = String::new();
+        let _ = writeln!(out, "== {} ==", self.title);
+        for n in &self.notes {
+            let _ = writeln!(out, "   {n}");
+        }
+        let mut widths: Vec<usize> = self.headers.iter().map(|h| h.len()).collect();
+        for row in &self.rows {
+            for (i, c) in row.iter().enumerate() {
+                widths[i] = widths[i].max(c.len());
+            }
+        }
+        let fmt_row = |cells: &[String]| -> String {
+            cells
+                .iter()
+                .enumerate()
+                .map(|(i, c)| format!("{c:>w$}", w = widths[i]))
+                .collect::<Vec<_>>()
+                .join("  ")
+        };
+        let _ = writeln!(out, "{}", fmt_row(&self.headers));
+        let _ = writeln!(
+            out,
+            "{}",
+            widths
+                .iter()
+                .map(|w| "-".repeat(*w))
+                .collect::<Vec<_>>()
+                .join("  ")
+        );
+        for row in &self.rows {
+            let _ = writeln!(out, "{}", fmt_row(row));
+        }
+        out
+    }
+
+    /// Renders as CSV (headers first).
+    pub fn to_csv(&self) -> String {
+        let esc = |s: &str| {
+            if s.contains(',') || s.contains('"') {
+                format!("\"{}\"", s.replace('"', "\"\""))
+            } else {
+                s.to_string()
+            }
+        };
+        let mut out = String::new();
+        let _ = writeln!(
+            out,
+            "{}",
+            self.headers.iter().map(|h| esc(h)).collect::<Vec<_>>().join(",")
+        );
+        for row in &self.rows {
+            let _ = writeln!(
+                out,
+                "{}",
+                row.iter().map(|c| esc(c)).collect::<Vec<_>>().join(",")
+            );
+        }
+        out
+    }
+}
+
+/// Formats a float with precision adapted to its magnitude.
+pub fn fnum(x: f64) -> String {
+    let a = x.abs();
+    if x == 0.0 {
+        "0".to_string()
+    } else if a >= 100.0 {
+        format!("{x:.1}")
+    } else if a >= 0.01 {
+        format!("{x:.3}")
+    } else {
+        format!("{x:.6}")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn render_aligns_columns() {
+        let mut t = ExpTable::new("Demo", &["a", "long_header"]);
+        t.row(vec!["1".into(), "2".into()]);
+        t.row(vec!["100".into(), "20000".into()]);
+        let s = t.render();
+        assert!(s.contains("== Demo =="));
+        assert!(s.lines().count() >= 4);
+        // Each data line has both columns.
+        assert!(s.lines().last().unwrap().contains("20000"));
+    }
+
+    #[test]
+    #[should_panic(expected = "row arity mismatch")]
+    fn row_arity_checked() {
+        let mut t = ExpTable::new("x", &["a", "b"]);
+        t.row(vec!["1".into()]);
+    }
+
+    #[test]
+    fn csv_escapes_commas() {
+        let mut t = ExpTable::new("x", &["a,b", "c"]);
+        t.row(vec!["v\"1".into(), "2".into()]);
+        let csv = t.to_csv();
+        assert!(csv.starts_with("\"a,b\",c"));
+        assert!(csv.contains("\"v\"\"1\""));
+    }
+
+    #[test]
+    fn fnum_scales() {
+        assert_eq!(fnum(0.0), "0");
+        assert_eq!(fnum(1234.5678), "1234.6");
+        assert_eq!(fnum(1.23456), "1.235");
+        assert_eq!(fnum(0.00042), "0.000420");
+    }
+}

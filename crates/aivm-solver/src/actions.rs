@@ -1,0 +1,207 @@
+//! Enumeration of greedy / minimal / valid actions at a full state.
+//!
+//! A *greedy* action empties a subset of the delta tables; a greedy
+//! action is *valid* at pre-action state `s` when the un-flushed
+//! remainder fits the budget, and *minimal* when no flushed table can be
+//! dropped while staying valid (Definition 3). Both the A\* expansion
+//! (§4.1) and the ONLINE heuristic (§4.3) enumerate these subsets; the
+//! paper notes `n` is small in practice (≤ 5 for its TPC-R views), so an
+//! exact `2^n` sweep is the intended implementation.
+
+use aivm_core::{fits, total_cost, CostModel, Counts, Instance};
+
+/// Hard cap on the number of base tables for exact subset enumeration.
+/// `2^20` subsets is already ~1M; beyond that the exact sweep is a bug,
+/// not a workload.
+pub const MAX_TABLES_FOR_ENUM: usize = 20;
+
+/// Returns the post-action state obtained by emptying the tables in
+/// `mask` (bit `i` set ⇒ flush table `i`) from pre-action state `s`.
+fn apply_mask(s: &Counts, mask: u32) -> Counts {
+    let mut post = s.clone();
+    for i in 0..s.len() {
+        if mask & (1 << i) != 0 {
+            post[i] = 0;
+        }
+    }
+    post
+}
+
+/// Converts a flush mask into the corresponding greedy action vector.
+fn mask_to_action(s: &Counts, mask: u32) -> Counts {
+    let mut q = Counts::zero(s.len());
+    for i in 0..s.len() {
+        if mask & (1 << i) != 0 {
+            q[i] = s[i];
+        }
+    }
+    q
+}
+
+/// Enumerates every *valid greedy* action at pre-action state `s`
+/// (including non-minimal ones). Only subsets of the non-empty tables are
+/// considered; the empty action is included iff `s` itself fits the
+/// budget.
+pub fn valid_greedy_actions(inst: &Instance, s: &Counts) -> Vec<Counts> {
+    valid_greedy_actions_ctx(&inst.costs, inst.budget, s)
+}
+
+/// [`valid_greedy_actions`] without an [`Instance`]: only cost functions
+/// and the budget are needed, which is all an online policy knows.
+pub fn valid_greedy_actions_ctx(costs: &[CostModel], budget: f64, s: &Counts) -> Vec<Counts> {
+    assert!(s.len() <= MAX_TABLES_FOR_ENUM, "too many tables for exact enumeration");
+    let support = s.support();
+    let mut out = Vec::new();
+    // Iterate over subsets of the support only.
+    let m = support.len();
+    for bits in 0..(1u32 << m) {
+        let mut mask = 0u32;
+        for (j, &i) in support.iter().enumerate() {
+            if bits & (1 << j) != 0 {
+                mask |= 1 << i;
+            }
+        }
+        let post = apply_mask(s, mask);
+        if fits(total_cost(costs, &post), budget) {
+            out.push(mask_to_action(s, mask));
+        }
+    }
+    out
+}
+
+/// Enumerates the *minimal valid greedy* actions at full pre-action state
+/// `s` — the out-edges of a node in the LGM plan graph (§4.1).
+///
+/// A valid flush set `A` is minimal when for every `i ∈ A`, `A \ {i}` is
+/// invalid. The full support set is always valid (flushing everything
+/// leaves cost 0), so the result is never empty for a full state.
+pub fn minimal_greedy_actions(inst: &Instance, s: &Counts) -> Vec<Counts> {
+    minimal_greedy_actions_ctx(&inst.costs, inst.budget, s)
+}
+
+/// [`minimal_greedy_actions`] without an [`Instance`]; see
+/// [`valid_greedy_actions_ctx`].
+pub fn minimal_greedy_actions_ctx(costs: &[CostModel], budget: f64, s: &Counts) -> Vec<Counts> {
+    assert!(s.len() <= MAX_TABLES_FOR_ENUM, "too many tables for exact enumeration");
+    let support = s.support();
+    let m = support.len();
+    let mut out = Vec::new();
+    for bits in 0..(1u32 << m) {
+        // Build the table mask for this subset of the support.
+        let mut mask = 0u32;
+        for (j, &i) in support.iter().enumerate() {
+            if bits & (1 << j) != 0 {
+                mask |= 1 << i;
+            }
+        }
+        let post = apply_mask(s, mask);
+        if !fits(total_cost(costs, &post), budget) {
+            continue; // not valid
+        }
+        // Minimality: dropping any single flushed table must be invalid.
+        let mut minimal = true;
+        for (j, &i) in support.iter().enumerate() {
+            if bits & (1 << j) == 0 {
+                continue;
+            }
+            let sub_post = apply_mask(s, mask & !(1u32 << i));
+            if fits(total_cost(costs, &sub_post), budget) {
+                minimal = false;
+                break;
+            }
+        }
+        if minimal {
+            out.push(mask_to_action(s, mask));
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use aivm_core::{Arrivals, CostModel};
+
+    fn inst(costs: Vec<CostModel>, budget: f64) -> Instance {
+        let n = costs.len();
+        Instance::new(
+            costs,
+            Arrivals::uniform(Counts::zero(n), 0),
+            budget,
+        )
+    }
+
+    #[test]
+    fn full_flush_always_among_valid_actions() {
+        let inst = inst(
+            vec![CostModel::linear(1.0, 0.0), CostModel::linear(1.0, 0.0)],
+            1.0,
+        );
+        let s = Counts::from_slice(&[10, 10]);
+        let valid = valid_greedy_actions(&inst, &s);
+        assert!(valid.contains(&s), "flush-everything is always valid");
+        // Here nothing smaller fits (leaving either table costs 10 > 1).
+        assert_eq!(valid.len(), 1);
+        let minimal = minimal_greedy_actions(&inst, &s);
+        assert_eq!(minimal, vec![s]);
+    }
+
+    #[test]
+    fn minimal_excludes_supersets() {
+        // f_0 = f_1 = identity, budget 5. State ⟨3,4⟩ costs 7: flushing
+        // either table alone is valid (4 ≤ 5, 3 ≤ 5), so {0} and {1} are
+        // minimal and {0,1} is not.
+        let inst = inst(
+            vec![CostModel::linear(1.0, 0.0), CostModel::linear(1.0, 0.0)],
+            5.0,
+        );
+        let s = Counts::from_slice(&[3, 4]);
+        let minimal = minimal_greedy_actions(&inst, &s);
+        assert_eq!(minimal.len(), 2);
+        assert!(minimal.contains(&Counts::from_slice(&[3, 0])));
+        assert!(minimal.contains(&Counts::from_slice(&[0, 4])));
+        let valid = valid_greedy_actions(&inst, &s);
+        assert_eq!(valid.len(), 3, "{{0}}, {{1}}, {{0,1}} are valid");
+    }
+
+    #[test]
+    fn empty_action_valid_only_when_not_full() {
+        let inst = inst(vec![CostModel::linear(1.0, 0.0)], 5.0);
+        let below = Counts::from_slice(&[4]);
+        assert!(valid_greedy_actions(&inst, &below).contains(&Counts::zero(1)));
+        let above = Counts::from_slice(&[9]);
+        assert!(!valid_greedy_actions(&inst, &above).contains(&Counts::zero(1)));
+    }
+
+    #[test]
+    fn zero_components_never_flushed() {
+        let inst = inst(
+            vec![CostModel::linear(1.0, 0.0), CostModel::linear(1.0, 0.0)],
+            5.0,
+        );
+        let s = Counts::from_slice(&[0, 9]);
+        let minimal = minimal_greedy_actions(&inst, &s);
+        assert_eq!(minimal, vec![Counts::from_slice(&[0, 9])]);
+    }
+
+    #[test]
+    fn three_table_minimal_combinations() {
+        // Budget 10, state ⟨6,6,6⟩ (cost 18): must flush at least one
+        // table; flushing any single leaves 12 > 10; flushing any pair
+        // leaves 6 ≤ 10 → the three pairs are exactly the minimal set.
+        let inst = inst(
+            vec![
+                CostModel::linear(1.0, 0.0),
+                CostModel::linear(1.0, 0.0),
+                CostModel::linear(1.0, 0.0),
+            ],
+            10.0,
+        );
+        let s = Counts::from_slice(&[6, 6, 6]);
+        let minimal = minimal_greedy_actions(&inst, &s);
+        assert_eq!(minimal.len(), 3);
+        for q in &minimal {
+            assert_eq!(q.support().len(), 2);
+        }
+    }
+}

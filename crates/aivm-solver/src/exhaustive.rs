@@ -1,0 +1,313 @@
+//! Exhaustive ground-truth optimum for small instances.
+//!
+//! Searches the space of *lazy* plans with **arbitrary** (not necessarily
+//! greedy or minimal) actions. By Lemma 1 the best lazy plan is globally
+//! optimal, so this Dijkstra yields the true `OPT` — the reference the
+//! test suite and the `repro bounds` harness compare `OPT^LGM` against
+//! (Theorems 1 and 2).
+//!
+//! The state space is exponential in the pending counts, so this solver
+//! enforces an explicit node budget and returns an error when exceeded.
+//! It is a verification oracle, not a production planner.
+
+use aivm_core::{fits, Counts, Instance, Plan};
+use std::cmp::Ordering;
+use std::collections::{BinaryHeap, HashMap, HashSet};
+use std::fmt;
+
+/// The search exceeded its node budget.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct SearchBudgetExceeded {
+    /// The configured maximum number of expanded nodes.
+    pub limit: usize,
+}
+
+impl fmt::Display for SearchBudgetExceeded {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "exhaustive search exceeded its node budget of {}",
+            self.limit
+        )
+    }
+}
+
+impl std::error::Error for SearchBudgetExceeded {}
+
+#[derive(Clone, Debug, PartialEq, Eq, Hash)]
+struct Key {
+    t: i64,
+    state: Counts,
+}
+
+struct HeapEntry {
+    g: f64,
+    key: Key,
+}
+
+impl PartialEq for HeapEntry {
+    fn eq(&self, other: &Self) -> bool {
+        self.g == other.g
+    }
+}
+impl Eq for HeapEntry {}
+impl PartialOrd for HeapEntry {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+impl Ord for HeapEntry {
+    fn cmp(&self, other: &Self) -> Ordering {
+        other.g.total_cmp(&self.g)
+    }
+}
+
+/// Enumerates every valid action at full pre-action state `s`: all
+/// vectors `p` with `0 ≤ p[i] ≤ s[i]` and `f(s − p) ≤ C`. The zero action
+/// is excluded (the state is full, an action is forced).
+fn all_valid_actions(inst: &Instance, s: &Counts) -> Vec<Counts> {
+    let n = s.len();
+    let mut out = Vec::new();
+    let mut current = Counts::zero(n);
+    // Depth-first product enumeration of per-component flush amounts.
+    fn rec(
+        inst: &Instance,
+        s: &Counts,
+        i: usize,
+        current: &mut Counts,
+        out: &mut Vec<Counts>,
+    ) {
+        if i == s.len() {
+            if current.is_zero() {
+                return;
+            }
+            let post = s.checked_sub(current).expect("p ≤ s by construction");
+            if fits(inst.refresh_cost(&post), inst.budget) {
+                out.push(current.clone());
+            }
+            return;
+        }
+        for k in 0..=s[i] {
+            current[i] = k;
+            rec(inst, s, i + 1, current, out);
+        }
+        current[i] = 0;
+    }
+    rec(inst, s, 0, &mut current, &mut out);
+    out
+}
+
+/// Computes the globally optimal plan cost by Dijkstra over the lazy-plan
+/// graph with arbitrary actions. `max_nodes` bounds expansions.
+pub fn optimal_plan(inst: &Instance, max_nodes: usize) -> Result<(Plan, f64), SearchBudgetExceeded> {
+    let horizon = inst.horizon() as i64;
+    let n = inst.n();
+    let source = Key {
+        t: -1,
+        state: Counts::zero(n),
+    };
+    let dest = Key {
+        t: horizon,
+        state: Counts::zero(n),
+    };
+
+    let mut g: HashMap<Key, f64> = HashMap::new();
+    let mut parent: HashMap<Key, (Key, i64, Counts)> = HashMap::new();
+    let mut closed: HashSet<Key> = HashSet::new();
+    let mut queue = BinaryHeap::new();
+    g.insert(source.clone(), 0.0);
+    queue.push(HeapEntry {
+        g: 0.0,
+        key: source,
+    });
+    let mut expanded = 0usize;
+
+    while let Some(entry) = queue.pop() {
+        let key = entry.key;
+        if closed.contains(&key) {
+            continue;
+        }
+        closed.insert(key.clone());
+        expanded += 1;
+        if expanded > max_nodes {
+            return Err(SearchBudgetExceeded { limit: max_nodes });
+        }
+
+        if key == dest {
+            let mut actions = vec![Counts::zero(n); inst.horizon() + 1];
+            let mut cur = dest.clone();
+            while let Some((prev, t, q)) = parent.get(&cur) {
+                actions[*t as usize] = q.clone();
+                cur = prev.clone();
+            }
+            let plan = Plan { actions };
+            debug_assert!(plan.validate(inst).is_ok());
+            return Ok((plan, entry.g));
+        }
+
+        // Accumulate arrivals to the next forced instant.
+        let mut cum = key.state.clone();
+        let mut forced_at = None;
+        for t in (key.t + 1)..=horizon {
+            cum.add_assign(&inst.arrivals.at(t as usize));
+            if t < horizon && inst.is_full(&cum) {
+                forced_at = Some(t);
+                break;
+            }
+        }
+
+        let mut relax = |to: Key, action_t: i64, action: Counts, new_g: f64| {
+            if closed.contains(&to) {
+                return;
+            }
+            let best = g.get(&to).copied().unwrap_or(f64::INFINITY);
+            if new_g + 1e-12 < best {
+                g.insert(to.clone(), new_g);
+                parent.insert(to.clone(), (key.clone(), action_t, action));
+                queue.push(HeapEntry { g: new_g, key: to });
+            }
+        };
+
+        match forced_at {
+            None => {
+                let w = inst.refresh_cost(&cum);
+                relax(dest.clone(), horizon, cum.clone(), entry.g + w);
+            }
+            Some(t2) => {
+                // The action space is the product of per-table pending
+                // counts; bail out before enumerating an absurd one (the
+                // node budget only counts expansions, not per-node work).
+                let action_space: u128 = cum.iter().map(|k| k as u128 + 1).product();
+                if action_space > 2_000_000 {
+                    return Err(SearchBudgetExceeded { limit: max_nodes });
+                }
+                for p in all_valid_actions(inst, &cum) {
+                    let post = cum.checked_sub(&p).expect("p ≤ cum");
+                    let w = inst.refresh_cost(&p);
+                    relax(
+                        Key {
+                            t: t2,
+                            state: post,
+                        },
+                        t2,
+                        p,
+                        entry.g + w,
+                    );
+                }
+            }
+        }
+    }
+
+    unreachable!("flushing everything whenever forced always reaches the destination");
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::astar::optimal_lgm_plan;
+    use aivm_core::tightness::{
+        tightness_analytic_costs, tightness_instance, tightness_lgm_plan,
+    };
+    use aivm_core::{Arrivals, CostModel};
+
+    #[test]
+    fn all_valid_actions_enumerates_product() {
+        let inst = Instance::new(
+            vec![CostModel::linear(1.0, 0.0), CostModel::linear(1.0, 0.0)],
+            Arrivals::uniform(Counts::zero(2), 0),
+            2.0,
+        );
+        let s = Counts::from_slice(&[2, 1]);
+        // f(s) = 3 > 2. Valid p: post sum ≤ 2, p ≠ 0. Posts: (0..=2, 0..=1)
+        // with sum ≤ 2: (0,0),(0,1),(1,0),(1,1),(2,0) → 5 actions.
+        let acts = all_valid_actions(&inst, &s);
+        assert_eq!(acts.len(), 5);
+    }
+
+    #[test]
+    fn optimum_matches_lgm_for_linear_costs() {
+        // Theorem 2: for linear cost functions OPT^LGM = OPT.
+        for (b0, b1, budget, horizon) in [
+            (0.0, 4.0, 8.0, 9),
+            (1.0, 3.0, 9.0, 12),
+            (2.0, 2.0, 7.0, 8),
+        ] {
+            let inst = Instance::new(
+                vec![CostModel::linear(1.0, b0), CostModel::linear(1.0, b1)],
+                Arrivals::uniform(Counts::from_slice(&[1, 1]), horizon),
+                budget,
+            );
+            let lgm = optimal_lgm_plan(&inst);
+            let (opt_plan, opt_cost) = optimal_plan(&inst, 500_000).expect("within budget");
+            opt_plan.validate(&inst).expect("valid");
+            assert!(
+                (lgm.cost - opt_cost).abs() < 1e-9,
+                "Theorem 2 violated (b0={b0}, b1={b1}): LGM {} vs OPT {opt_cost}",
+                lgm.cost
+            );
+        }
+    }
+
+    #[test]
+    fn lgm_within_factor_two_for_nonconcave_costs() {
+        // Theorem 1 with a subadditive, non-concave step cost.
+        let inst = Instance::new(
+            vec![
+                CostModel::Step {
+                    block: 3,
+                    cost_per_block: 2.0,
+                },
+                CostModel::linear(1.0, 1.0),
+            ],
+            Arrivals::uniform(Counts::from_slice(&[1, 1]), 7),
+            6.0,
+        );
+        let lgm = optimal_lgm_plan(&inst);
+        let (_, opt_cost) = optimal_plan(&inst, 500_000).expect("within budget");
+        assert!(lgm.cost <= 2.0 * opt_cost + 1e-9);
+        assert!(lgm.cost + 1e-9 >= opt_cost, "OPT can never beat LGM from above");
+    }
+
+    #[test]
+    fn tightness_instance_realizes_gap() {
+        // ε = 0.5, m = 2: OPT^LGM = 2.5·m·C, OPT ≤ 1.5·m·C.
+        let inst = tightness_instance(0.5, 2, 10.0);
+        let lgm = optimal_lgm_plan(&inst);
+        let analytic = tightness_analytic_costs(0.5, 2, 10.0);
+        assert!((lgm.cost - analytic.0).abs() < 1e-9, "LGM analytic mismatch");
+        // The forced LGM plan is the only LGM plan here.
+        let forced = tightness_lgm_plan(&inst);
+        assert!((forced.cost(&inst) - lgm.cost).abs() < 1e-9);
+        let (_, opt_cost) = optimal_plan(&inst, 2_000_000).expect("within budget");
+        assert!(opt_cost <= analytic.1 + 1e-9, "witness bounds OPT from above");
+        let ratio = lgm.cost / opt_cost;
+        assert!(
+            ratio >= 2.0 - 0.5 - 1e-9,
+            "tightness ratio {ratio} below 2 − ε"
+        );
+        assert!(ratio <= 2.0 + 1e-9, "Theorem 1 upper bound");
+    }
+
+    #[test]
+    fn oversized_action_space_is_rejected_not_hung() {
+        let inst = Instance::new(
+            vec![CostModel::linear(1.0, 0.0), CostModel::linear(1.0, 0.0)],
+            Arrivals::uniform(Counts::from_slice(&[2000, 2000]), 3),
+            10.0,
+        );
+        assert!(optimal_plan(&inst, 1_000_000).is_err());
+    }
+
+    #[test]
+    fn budget_exceeded_is_reported() {
+        let inst = Instance::new(
+            vec![CostModel::linear(1.0, 1.0), CostModel::linear(1.0, 1.0)],
+            Arrivals::uniform(Counts::from_slice(&[3, 3]), 20),
+            10.0,
+        );
+        match optimal_plan(&inst, 5) {
+            Err(SearchBudgetExceeded { limit: 5 }) => {}
+            other => panic!("expected budget error, got {other:?}"),
+        }
+    }
+}

@@ -1,0 +1,257 @@
+//! Runtime maintenance policies and the policy runner.
+//!
+//! A [`Policy`] decides, step by step, which pending modifications to
+//! flush. Unlike precomputed [`Plan`](aivm_core::Plan)s, policies see
+//! only the past: the current time, the pre-action state, and whatever
+//! they have recorded. This is the execution model of the paper's ONLINE
+//! algorithm (§4.3) and of ADAPT (§4.2); NAIVE fits trivially.
+//!
+//! [`run_policy`] drives a policy over an instance's arrival sequence and
+//! returns the realized plan, so every policy can be validated and costed
+//! with the same machinery as precomputed plans.
+
+use aivm_core::{Counts, Instance, Plan, PlanError, PlanStats};
+
+/// What a policy is allowed to know about the problem *a priori*: the
+/// cost functions and the budget, but not the arrival sequence or the
+/// refresh time.
+#[derive(Clone, Debug)]
+pub struct PolicyContext {
+    /// Per-table cost functions.
+    pub costs: Vec<aivm_core::CostModel>,
+    /// The response-time budget `C`.
+    pub budget: f64,
+}
+
+impl PolicyContext {
+    /// Extracts the policy-visible part of an instance.
+    pub fn of(inst: &Instance) -> Self {
+        PolicyContext {
+            costs: inst.costs.clone(),
+            budget: inst.budget,
+        }
+    }
+
+    /// Number of base tables.
+    pub fn n(&self) -> usize {
+        self.costs.len()
+    }
+
+    /// Aggregate refresh cost of a state under the known cost functions.
+    pub fn refresh_cost(&self, v: &Counts) -> f64 {
+        aivm_core::total_cost(&self.costs, v)
+    }
+
+    /// Whether a state busts the budget.
+    pub fn is_full(&self, v: &Counts) -> bool {
+        !aivm_core::fits(self.refresh_cost(v), self.budget)
+    }
+}
+
+/// A step-by-step maintenance decision procedure.
+pub trait Policy {
+    /// Called once before a run; resets internal state.
+    fn reset(&mut self, ctx: &PolicyContext);
+
+    /// Called at every time step *after* the step's arrivals have been
+    /// appended. `pre_state` is the pre-action state `s_t`. Returns the
+    /// action `p_t` (may be zero). The runner separately forces a
+    /// flush-everything action at the refresh time `T`, so policies never
+    /// see `t = T` — they only guarantee the budget for `t < T`.
+    fn act(&mut self, t: usize, pre_state: &Counts) -> Counts;
+
+    /// A short human-readable name for reports.
+    fn name(&self) -> &str;
+}
+
+/// Drives `policy` over the instance's arrivals, forcing the final flush
+/// at `T`, and validates the realized plan.
+///
+/// Returns the realized plan and its statistics, or the validation error
+/// if the policy produced an invalid action (overdraw or budget
+/// violation).
+pub fn run_policy(
+    inst: &Instance,
+    policy: &mut dyn Policy,
+) -> Result<(Plan, PlanStats), PlanError> {
+    let ctx = PolicyContext::of(inst);
+    policy.reset(&ctx);
+    let horizon = inst.horizon();
+    let mut actions = Vec::with_capacity(horizon + 1);
+    let mut s = Counts::zero(inst.n());
+    for t in 0..=horizon {
+        s.add_assign(&inst.arrivals.at(t));
+        let p = if t == horizon {
+            s.clone() // forced refresh at T
+        } else {
+            policy.act(t, &s)
+        };
+        match s.checked_sub(&p) {
+            Some(post) => s = post,
+            None => {
+                let table = (0..inst.n()).find(|&i| p[i] > s[i]).unwrap_or(0);
+                return Err(PlanError::Overdraw { t, table });
+            }
+        }
+        actions.push(p);
+    }
+    let plan = Plan { actions };
+    let stats = plan.validate(inst)?;
+    Ok((plan, stats))
+}
+
+/// The NAIVE symmetric policy (§1/§5): flush everything whenever the
+/// pre-action state is full.
+#[derive(Clone, Debug, Default)]
+pub struct NaivePolicy {
+    ctx: Option<PolicyContext>,
+}
+
+impl NaivePolicy {
+    /// Creates a NAIVE policy.
+    pub fn new() -> Self {
+        Self::default()
+    }
+}
+
+impl Policy for NaivePolicy {
+    fn reset(&mut self, ctx: &PolicyContext) {
+        self.ctx = Some(ctx.clone());
+    }
+
+    fn act(&mut self, _t: usize, pre_state: &Counts) -> Counts {
+        let ctx = self.ctx.as_ref().expect("reset before act");
+        if ctx.is_full(pre_state) {
+            pre_state.clone()
+        } else {
+            Counts::zero(pre_state.len())
+        }
+    }
+
+    fn name(&self) -> &str {
+        "NAIVE"
+    }
+}
+
+/// A policy that replays a precomputed plan's *flush subsets*: at each
+/// step where the plan flushed a set of tables, flush whatever is
+/// currently pending on those tables. On the plan's own instance this
+/// reproduces the plan exactly; under perturbed arrivals it is the
+/// natural greedy replay.
+#[derive(Clone, Debug)]
+pub struct ReplayPolicy {
+    name: String,
+    /// For each time step, the set of tables the plan flushed.
+    schedule: Vec<Vec<usize>>,
+}
+
+impl ReplayPolicy {
+    /// Builds a replay policy from a plan.
+    pub fn from_plan(name: impl Into<String>, plan: &Plan) -> Self {
+        let schedule = plan
+            .actions
+            .iter()
+            .map(|p| p.support())
+            .collect();
+        ReplayPolicy {
+            name: name.into(),
+            schedule,
+        }
+    }
+}
+
+impl Policy for ReplayPolicy {
+    fn reset(&mut self, _ctx: &PolicyContext) {}
+
+    fn act(&mut self, t: usize, pre_state: &Counts) -> Counts {
+        let mut p = Counts::zero(pre_state.len());
+        if let Some(tables) = self.schedule.get(t) {
+            for &i in tables {
+                p[i] = pre_state[i];
+            }
+        }
+        p
+    }
+
+    fn name(&self) -> &str {
+        &self.name
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::astar::optimal_lgm_plan;
+    use aivm_core::{naive_plan, Arrivals, CostModel};
+
+    fn inst() -> Instance {
+        Instance::new(
+            vec![CostModel::linear(1.0, 0.0), CostModel::linear(1.0, 4.0)],
+            Arrivals::uniform(Counts::from_slice(&[1, 1]), 11),
+            8.0,
+        )
+    }
+
+    #[test]
+    fn naive_policy_reproduces_naive_plan() {
+        let inst = inst();
+        let mut policy = NaivePolicy::new();
+        let (plan, stats) = run_policy(&inst, &mut policy).expect("valid");
+        let reference = naive_plan(&inst);
+        assert_eq!(plan, reference);
+        assert!((stats.total_cost - reference.validate(&inst).unwrap().total_cost).abs() < 1e-9);
+    }
+
+    #[test]
+    fn replay_of_astar_plan_reproduces_it() {
+        let inst = inst();
+        let sol = optimal_lgm_plan(&inst);
+        let mut policy = ReplayPolicy::from_plan("replay", &sol.plan);
+        let (plan, stats) = run_policy(&inst, &mut policy).expect("valid");
+        assert_eq!(plan, sol.plan);
+        assert!((stats.total_cost - sol.cost).abs() < 1e-9);
+    }
+
+    #[test]
+    fn replay_under_heavier_arrivals_can_fail_validation() {
+        let inst = inst();
+        let sol = optimal_lgm_plan(&inst);
+        // Triple the arrivals; the replayed subsets no longer keep the
+        // budget, and run_policy reports it instead of silently passing.
+        let heavy = Instance::new(
+            inst.costs.clone(),
+            Arrivals::uniform(Counts::from_slice(&[3, 3]), 11),
+            inst.budget,
+        );
+        let mut policy = ReplayPolicy::from_plan("replay", &sol.plan);
+        match run_policy(&heavy, &mut policy) {
+            Err(PlanError::BudgetViolated { .. }) => {}
+            other => panic!("expected budget violation, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn runner_forces_final_flush() {
+        // A do-nothing policy is valid when nothing ever fills up,
+        // because the runner flushes everything at T.
+        #[derive(Default)]
+        struct Idle;
+        impl Policy for Idle {
+            fn reset(&mut self, _ctx: &PolicyContext) {}
+            fn act(&mut self, _t: usize, s: &Counts) -> Counts {
+                Counts::zero(s.len())
+            }
+            fn name(&self) -> &str {
+                "IDLE"
+            }
+        }
+        let small = Instance::new(
+            vec![CostModel::linear(1.0, 0.0)],
+            Arrivals::uniform(Counts::from_slice(&[1]), 3),
+            100.0,
+        );
+        let (plan, stats) = run_policy(&small, &mut Idle).expect("valid");
+        assert_eq!(stats.action_count, 1);
+        assert_eq!(plan.actions[3], Counts::from_slice(&[4]));
+    }
+}

@@ -1,0 +1,318 @@
+//! Deterministic TPC-R-style database generation.
+
+use aivm_engine::{row, Database, DataType, IndexKind, Schema, TableId};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// The five TPC regions; `MIDDLE EAST` is region key 4.
+pub const REGIONS: [&str; 5] = ["AFRICA", "AMERICA", "ASIA", "EUROPE", "MIDDLE EAST"];
+
+/// The 25 TPC nations as `(name, regionkey)`.
+pub const NATIONS: [(&str, i64); 25] = [
+    ("ALGERIA", 0),
+    ("ARGENTINA", 1),
+    ("BRAZIL", 1),
+    ("CANADA", 1),
+    ("EGYPT", 4),
+    ("ETHIOPIA", 0),
+    ("FRANCE", 3),
+    ("GERMANY", 3),
+    ("INDIA", 2),
+    ("INDONESIA", 2),
+    ("IRAN", 4),
+    ("IRAQ", 4),
+    ("JAPAN", 2),
+    ("JORDAN", 4),
+    ("KENYA", 0),
+    ("MOROCCO", 0),
+    ("MOZAMBIQUE", 0),
+    ("PERU", 1),
+    ("CHINA", 2),
+    ("ROMANIA", 3),
+    ("SAUDI ARABIA", 4),
+    ("VIETNAM", 2),
+    ("RUSSIA", 3),
+    ("UNITED KINGDOM", 3),
+    ("UNITED STATES", 1),
+];
+
+/// Generation scale parameters.
+///
+/// The paper's setup has 10,000 suppliers and 800,000 PartSupp rows
+/// ([`TpcrConfig::paper`]); the default [`TpcrConfig::small`] keeps unit
+/// tests fast while preserving every cardinality *ratio* (4 PartSupp
+/// rows per part, ~4% of suppliers in any one nation).
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct TpcrConfig {
+    /// Number of suppliers.
+    pub suppliers: usize,
+    /// Number of parts.
+    pub parts: usize,
+    /// PartSupp rows per part (TPC uses 4).
+    pub partsupp_per_part: usize,
+    /// Whether to index `Supplier.suppkey` (the asymmetry of Fig. 4
+    /// requires it: ΔPartSupp probes this index while ΔSupplier must
+    /// scan the unindexed `PartSupp.suppkey`).
+    pub index_supplier_suppkey: bool,
+}
+
+impl TpcrConfig {
+    /// Test-sized database: 100 suppliers, 500 parts, 2,000 PartSupp.
+    pub fn small() -> Self {
+        TpcrConfig {
+            suppliers: 100,
+            parts: 500,
+            partsupp_per_part: 4,
+            index_supplier_suppkey: true,
+        }
+    }
+
+    /// Benchmark-sized database: 1,000 suppliers, 20,000 parts, 80,000
+    /// PartSupp rows — the paper's shape at 1/10th scale.
+    pub fn medium() -> Self {
+        TpcrConfig {
+            suppliers: 1_000,
+            parts: 20_000,
+            partsupp_per_part: 4,
+            index_supplier_suppkey: true,
+        }
+    }
+
+    /// The paper's scale: 10,000 suppliers, 200,000 parts, 800,000
+    /// PartSupp rows.
+    pub fn paper() -> Self {
+        TpcrConfig {
+            suppliers: 10_000,
+            parts: 200_000,
+            partsupp_per_part: 4,
+            index_supplier_suppkey: true,
+        }
+    }
+}
+
+impl Default for TpcrConfig {
+    fn default() -> Self {
+        TpcrConfig::small()
+    }
+}
+
+/// A generated database plus the ids of its tables.
+#[derive(Clone, Debug)]
+pub struct TpcrDatabase {
+    /// The populated database.
+    pub db: Database,
+    /// `region(regionkey, name)`.
+    pub region: TableId,
+    /// `nation(nationkey, name, regionkey)`.
+    pub nation: TableId,
+    /// `supplier(suppkey, name, nationkey, acctbal)`.
+    pub supplier: TableId,
+    /// `part(partkey, name, retailprice)`.
+    pub part: TableId,
+    /// `partsupp(pskey, partkey, suppkey, availqty, supplycost)`.
+    pub partsupp: TableId,
+}
+
+/// Generates a TPC-R-style database. Deterministic in `(config, seed)`.
+pub fn generate(config: &TpcrConfig, seed: u64) -> TpcrDatabase {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut db = Database::new();
+
+    let region = db
+        .create_table(
+            "region",
+            Schema::new(vec![("regionkey", DataType::Int), ("name", DataType::Str)]),
+        )
+        .expect("fresh catalog");
+    let nation = db
+        .create_table(
+            "nation",
+            Schema::new(vec![
+                ("nationkey", DataType::Int),
+                ("name", DataType::Str),
+                ("regionkey", DataType::Int),
+            ]),
+        )
+        .expect("fresh catalog");
+    let supplier = db
+        .create_table(
+            "supplier",
+            Schema::new(vec![
+                ("suppkey", DataType::Int),
+                ("name", DataType::Str),
+                ("nationkey", DataType::Int),
+                ("acctbal", DataType::Float),
+            ]),
+        )
+        .expect("fresh catalog");
+    let part = db
+        .create_table(
+            "part",
+            Schema::new(vec![
+                ("partkey", DataType::Int),
+                ("name", DataType::Str),
+                ("retailprice", DataType::Float),
+            ]),
+        )
+        .expect("fresh catalog");
+    let partsupp = db
+        .create_table(
+            "partsupp",
+            Schema::new(vec![
+                ("pskey", DataType::Int),
+                ("partkey", DataType::Int),
+                ("suppkey", DataType::Int),
+                ("availqty", DataType::Int),
+                ("supplycost", DataType::Float),
+            ]),
+        )
+        .expect("fresh catalog");
+
+    for (i, name) in REGIONS.iter().enumerate() {
+        db.table_mut(region).insert(row![i as i64, *name]).expect("schema");
+    }
+    for (i, (name, rk)) in NATIONS.iter().enumerate() {
+        db.table_mut(nation)
+            .insert(row![i as i64, *name, *rk])
+            .expect("schema");
+    }
+    for sk in 0..config.suppliers as i64 {
+        let nationkey = rng.gen_range(0..NATIONS.len() as i64);
+        let acctbal: f64 = rng.gen_range(-999.99..9999.99);
+        db.table_mut(supplier)
+            .insert(row![sk, format!("Supplier#{sk:09}"), nationkey, acctbal])
+            .expect("schema");
+    }
+    for pk in 0..config.parts as i64 {
+        let price: f64 = rng.gen_range(900.0..2000.0);
+        db.table_mut(part)
+            .insert(row![pk, format!("Part#{pk:09}"), price])
+            .expect("schema");
+    }
+    let mut pskey = 0i64;
+    for pk in 0..config.parts as i64 {
+        for j in 0..config.partsupp_per_part as i64 {
+            // TPC-style supplier spread: deterministic stride keeps the
+            // (part, supplier) pairs unique.
+            let sk = (pk + j * (config.suppliers as i64 / 4 + 1)) % config.suppliers as i64;
+            let qty = rng.gen_range(1..10_000i64);
+            let cost: f64 = rng.gen_range(1.0..1000.0);
+            db.table_mut(partsupp)
+                .insert(row![pskey, pk, sk, qty, cost])
+                .expect("schema");
+            pskey += 1;
+        }
+    }
+
+    // Physical design. Primary-key hash indexes support O(1) update
+    // application; `supplier.suppkey` additionally carries the join
+    // index that creates the paper's cost asymmetry. PartSupp's join
+    // column `suppkey` is deliberately NOT indexed.
+    db.table_mut(region).create_index(IndexKind::Hash, 0).expect("col");
+    db.table_mut(nation).create_index(IndexKind::Hash, 0).expect("col");
+    if config.index_supplier_suppkey {
+        db.table_mut(supplier).create_index(IndexKind::Hash, 0).expect("col");
+    }
+    db.table_mut(part).create_index(IndexKind::Hash, 0).expect("col");
+    db.table_mut(partsupp).create_index(IndexKind::Hash, 0).expect("col");
+    db.set_key_column(region, 0);
+    db.set_key_column(nation, 0);
+    db.set_key_column(supplier, 0);
+    db.set_key_column(part, 0);
+    db.set_key_column(partsupp, 0);
+
+    TpcrDatabase {
+        db,
+        region,
+        nation,
+        supplier,
+        part,
+        partsupp,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use aivm_engine::Value;
+
+    #[test]
+    fn cardinalities_match_config() {
+        let cfg = TpcrConfig::small();
+        let d = generate(&cfg, 1);
+        assert_eq!(d.db.table(d.region).len(), 5);
+        assert_eq!(d.db.table(d.nation).len(), 25);
+        assert_eq!(d.db.table(d.supplier).len(), cfg.suppliers);
+        assert_eq!(d.db.table(d.part).len(), cfg.parts);
+        assert_eq!(
+            d.db.table(d.partsupp).len(),
+            cfg.parts * cfg.partsupp_per_part
+        );
+    }
+
+    #[test]
+    fn generation_is_deterministic() {
+        let a = generate(&TpcrConfig::small(), 99);
+        let b = generate(&TpcrConfig::small(), 99);
+        let rows = |d: &TpcrDatabase| -> Vec<_> {
+            d.db.table(d.partsupp).iter().map(|(_, r)| r.clone()).collect()
+        };
+        assert_eq!(rows(&a), rows(&b));
+        let c = generate(&TpcrConfig::small(), 100);
+        assert_ne!(rows(&a), rows(&c), "different seeds differ");
+    }
+
+    #[test]
+    fn physical_design_has_expected_indexes() {
+        let d = generate(&TpcrConfig::small(), 1);
+        // Supplier indexed on suppkey (column 0): the cheap probe side.
+        assert!(d.db.table(d.supplier).index_on(0).is_some());
+        // PartSupp NOT indexed on suppkey (column 2): the scan side.
+        assert!(d.db.table(d.partsupp).index_on(2).is_none());
+        // PartSupp PK index on pskey.
+        assert!(d.db.table(d.partsupp).index_on(0).is_some());
+    }
+
+    #[test]
+    fn partsupp_pairs_are_unique() {
+        let d = generate(&TpcrConfig::small(), 3);
+        let mut pairs: Vec<(i64, i64)> = d
+            .db
+            .table(d.partsupp)
+            .iter()
+            .map(|(_, r)| {
+                (
+                    r.get(1).as_int().expect("partkey"),
+                    r.get(2).as_int().expect("suppkey"),
+                )
+            })
+            .collect();
+        let total = pairs.len();
+        pairs.sort_unstable();
+        pairs.dedup();
+        assert_eq!(pairs.len(), total, "(part, supplier) pairs must be unique");
+    }
+
+    #[test]
+    fn middle_east_nations_present() {
+        let d = generate(&TpcrConfig::small(), 5);
+        let me: Vec<_> = d
+            .db
+            .table(d.nation)
+            .iter()
+            .filter(|(_, r)| r.get(2) == &Value::Int(4))
+            .map(|(_, r)| r.get(1).as_str().expect("name").to_string())
+            .collect();
+        assert_eq!(me.len(), 5, "5 Middle East nations: {me:?}");
+        assert!(me.contains(&"EGYPT".to_string()));
+    }
+
+    #[test]
+    fn supplycost_range_is_positive() {
+        let d = generate(&TpcrConfig::small(), 5);
+        for (_, r) in d.db.table(d.partsupp).iter() {
+            let c = r.get(4).as_float().expect("cost");
+            assert!((1.0..1000.0).contains(&c));
+        }
+    }
+}

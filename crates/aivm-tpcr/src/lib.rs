@@ -1,0 +1,78 @@
+//! Deterministic TPC-R-style data and workload generation for the
+//! paper's evaluation (§5).
+//!
+//! The paper runs its experiments on the TPC-R benchmark database with a
+//! four-way-join `MIN` view over PartSupp ⋈ Supplier ⋈ Nation ⋈ Region
+//! restricted to `R.name = 'MIDDLE EAST'`, and an update stream that
+//! randomly perturbs `PartSupp.supplycost` and `Supplier.nationkey`.
+//! This crate rebuilds that setup on the `aivm-engine` substrate:
+//!
+//! * [`generate`] populates Region/Nation/Supplier/Part/PartSupp at a
+//!   configurable scale with the official region/nation names,
+//! * [`paper_view_sql`]/[`install_paper_view`] create the evaluation
+//!   view (parsed by the engine's SQL frontend),
+//! * [`UpdateGen`] produces the paper's two update kinds against the
+//!   live database state.
+//!
+//! Deviation from TPC-R noted in `DESIGN.md`: PartSupp carries a
+//! synthetic single-column key `pskey` (the engine locates update
+//! victims through single-column keys); the composite TPC key
+//! `(partkey, suppkey)` remains intact as regular columns.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod gen;
+pub mod updates;
+
+pub use gen::{generate, TpcrConfig, TpcrDatabase};
+pub use updates::{UpdateGen, UpdateKind};
+
+use aivm_engine::{Database, EngineError, MaterializedView, MinStrategy};
+
+/// The paper's evaluation view (§5), verbatim modulo identifier casing.
+pub const PAPER_VIEW_SQL: &str = "\
+SELECT MIN(ps.supplycost) \
+FROM partsupp AS ps, supplier AS s, nation AS n, region AS r \
+WHERE s.suppkey = ps.suppkey \
+AND s.nationkey = n.nationkey \
+AND n.regionkey = r.regionkey \
+AND r.name = 'MIDDLE EAST'";
+
+/// Returns the paper's view SQL.
+pub fn paper_view_sql() -> &'static str {
+    PAPER_VIEW_SQL
+}
+
+/// Parses and materializes the paper's view over a generated database.
+pub fn install_paper_view(
+    db: &Database,
+    strategy: MinStrategy,
+) -> Result<MaterializedView, EngineError> {
+    let def = aivm_engine::parse_view(db, "min_supplycost_middle_east", PAPER_VIEW_SQL)?;
+    MaterializedView::new(db, def, strategy)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use aivm_engine::Value;
+
+    #[test]
+    fn paper_view_parses_and_initializes() {
+        let data = generate(&TpcrConfig::small(), 42);
+        let view = install_paper_view(&data.db, MinStrategy::Multiset).unwrap();
+        let v = view.scalar().expect("scalar view");
+        // With any Middle East supplier present, the MIN is a real cost.
+        assert!(matches!(v, Value::Float(f) if f >= 1.0));
+    }
+
+    #[test]
+    fn view_matches_direct_query() {
+        let data = generate(&TpcrConfig::small(), 7);
+        let view = install_paper_view(&data.db, MinStrategy::Multiset).unwrap();
+        let plan = aivm_engine::parse_query(&data.db, PAPER_VIEW_SQL).unwrap();
+        let direct = plan.execute(&data.db).unwrap();
+        assert_eq!(view.result(), direct);
+    }
+}

@@ -1,0 +1,195 @@
+//! The paper's update workload (§5): *"Each modification randomly
+//! updates either a PartSupp row's supplycost, or a Supplier row's
+//! nationkey."*
+
+use crate::gen::{TpcrDatabase, NATIONS};
+use aivm_engine::{Database, Modification, Row, TableId, Value};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// Which base table an update targets.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum UpdateKind {
+    /// Change a random PartSupp row's `supplycost`.
+    PartSuppCost,
+    /// Change a random Supplier row's `nationkey`.
+    SupplierNation,
+}
+
+/// Deterministic generator of the paper's update stream, bound to a
+/// generated database's key sets.
+#[derive(Clone, Debug)]
+pub struct UpdateGen {
+    rng: StdRng,
+    ps_keys: Vec<i64>,
+    supp_keys: Vec<i64>,
+    partsupp: TableId,
+    supplier: TableId,
+}
+
+impl UpdateGen {
+    /// Creates a generator over the given database.
+    pub fn new(data: &TpcrDatabase, seed: u64) -> Self {
+        let ps_keys = data
+            .db
+            .table(data.partsupp)
+            .iter()
+            .map(|(_, r)| r.get(0).as_int().expect("pskey"))
+            .collect();
+        let supp_keys = data
+            .db
+            .table(data.supplier)
+            .iter()
+            .map(|(_, r)| r.get(0).as_int().expect("suppkey"))
+            .collect();
+        UpdateGen {
+            rng: StdRng::seed_from_u64(seed),
+            ps_keys,
+            supp_keys,
+            partsupp: data.partsupp,
+            supplier: data.supplier,
+        }
+    }
+
+    /// A random `supplycost` update against the current database state.
+    pub fn partsupp_update(&mut self, db: &Database) -> Modification {
+        let key = self.ps_keys[self.rng.gen_range(0..self.ps_keys.len())];
+        let table = db.table(self.partsupp);
+        let id = table
+            .find_by(0, &Value::Int(key))
+            .expect("pskey values are stable");
+        let old = table.get(id).expect("live row").clone();
+        let new_cost: f64 = self.rng.gen_range(1.0..1000.0);
+        let mut vals: Vec<Value> = old.values().to_vec();
+        vals[4] = Value::Float(new_cost);
+        Modification::Update {
+            old,
+            new: Row::new(vals),
+        }
+    }
+
+    /// A random `nationkey` update against the current database state.
+    pub fn supplier_update(&mut self, db: &Database) -> Modification {
+        let key = self.supp_keys[self.rng.gen_range(0..self.supp_keys.len())];
+        let table = db.table(self.supplier);
+        let id = table
+            .find_by(0, &Value::Int(key))
+            .expect("suppkey values are stable");
+        let old = table.get(id).expect("live row").clone();
+        let new_nation = self.rng.gen_range(0..NATIONS.len() as i64);
+        let mut vals: Vec<Value> = old.values().to_vec();
+        vals[2] = Value::Int(new_nation);
+        Modification::Update {
+            old,
+            new: Row::new(vals),
+        }
+    }
+
+    /// An update of the given kind.
+    pub fn update_of(&mut self, db: &Database, kind: UpdateKind) -> Modification {
+        match kind {
+            UpdateKind::PartSuppCost => self.partsupp_update(db),
+            UpdateKind::SupplierNation => self.supplier_update(db),
+        }
+    }
+
+    /// A uniformly random update of either kind (the paper's stream).
+    pub fn random_update(&mut self, db: &Database) -> (UpdateKind, Modification) {
+        let kind = if self.rng.gen_bool(0.5) {
+            UpdateKind::PartSuppCost
+        } else {
+            UpdateKind::SupplierNation
+        };
+        (kind, self.update_of(db, kind))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::gen::{generate, TpcrConfig};
+    use crate::install_paper_view;
+    use aivm_engine::MinStrategy;
+
+    #[test]
+    fn updates_apply_cleanly() {
+        let mut data = generate(&TpcrConfig::small(), 11);
+        let mut gen = UpdateGen::new(&data, 12);
+        for _ in 0..50 {
+            let m = gen.partsupp_update(&data.db);
+            data.db.apply(data.partsupp, &m).expect("valid update");
+        }
+        for _ in 0..50 {
+            let m = gen.supplier_update(&data.db);
+            data.db.apply(data.supplier, &m).expect("valid update");
+        }
+        // Cardinalities unchanged: updates only.
+        assert_eq!(data.db.table(data.supplier).len(), 100);
+    }
+
+    #[test]
+    fn stream_is_deterministic() {
+        let data = generate(&TpcrConfig::small(), 11);
+        let mut a = UpdateGen::new(&data, 5);
+        let mut b = UpdateGen::new(&data, 5);
+        for _ in 0..20 {
+            let (ka, ma) = a.random_update(&data.db);
+            let (kb, mb) = b.random_update(&data.db);
+            assert_eq!(ka, kb);
+            assert_eq!(ma, mb);
+        }
+    }
+
+    #[test]
+    fn view_stays_consistent_under_update_stream() {
+        let mut data = generate(&TpcrConfig::small(), 3);
+        let mut view = install_paper_view(&data.db, MinStrategy::Multiset).unwrap();
+        let mut gen = UpdateGen::new(&data, 4);
+        for i in 0..60 {
+            let (kind, m) = gen.random_update(&data.db);
+            let table = match kind {
+                UpdateKind::PartSuppCost => data.partsupp,
+                UpdateKind::SupplierNation => data.supplier,
+            };
+            data.db.apply(table, &m).unwrap();
+            let pos = view
+                .table_position(match kind {
+                    UpdateKind::PartSuppCost => "partsupp",
+                    UpdateKind::SupplierNation => "supplier",
+                })
+                .unwrap();
+            view.enqueue(pos, m);
+            if i % 7 == 0 {
+                view.refresh(&data.db).unwrap();
+            }
+        }
+        view.refresh(&data.db).unwrap();
+        // Oracle: direct query over the final database.
+        let direct = aivm_engine::parse_query(&data.db, crate::PAPER_VIEW_SQL)
+            .unwrap()
+            .execute(&data.db)
+            .unwrap();
+        assert_eq!(view.result(), direct);
+        assert_eq!(view.stats.recomputes, 0, "multiset strategy never recomputes");
+    }
+
+    #[test]
+    fn recompute_strategy_survives_min_deletion() {
+        let mut data = generate(&TpcrConfig::small(), 3);
+        let mut view = install_paper_view(&data.db, MinStrategy::Recompute).unwrap();
+        let mut gen = UpdateGen::new(&data, 4);
+        // supplycost updates eventually displace the current minimum.
+        for _ in 0..120 {
+            let m = gen.partsupp_update(&data.db);
+            data.db.apply(data.partsupp, &m).unwrap();
+            let pos = view.table_position("partsupp").unwrap();
+            view.enqueue(pos, m);
+            view.refresh(&data.db).unwrap();
+        }
+        let direct = aivm_engine::parse_query(&data.db, crate::PAPER_VIEW_SQL)
+            .unwrap()
+            .execute(&data.db)
+            .unwrap();
+        assert_eq!(view.result(), direct);
+    }
+}

@@ -1,0 +1,221 @@
+//! Modification arrival-sequence generators (§5 of the paper).
+//!
+//! * [`uniform_arrivals`] — the Fig. 6 workload: a constant number of
+//!   modifications per table per step.
+//! * [`nonuniform_arrivals`] — the Fig. 7 model: at each step, with
+//!   probability `p` at least one modification arrives, and the count
+//!   `d > 0` follows `⌈X⌉` for a truncated normal `X ~ N(µ, σ²)`
+//!   conditioned on `X > 0`. Slow/fast streams use `p ∈ {0.5, 0.9}`;
+//!   stable/unstable use `σ ∈ {1, 5}`; `µ = 1`.
+//! * [`bursty_arrivals`] — quiet stretches punctuated by bursts, an
+//!   extra stressor beyond the paper's streams.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod notify;
+
+pub use notify::{refresh_times, Bernoulli, DriftThreshold, NotificationCondition, Periodic};
+
+use aivm_core::{Arrivals, Counts};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use serde::{Deserialize, Serialize};
+
+/// Parameters of the paper's non-uniform stream model for one table.
+#[derive(Clone, Copy, Debug, PartialEq, Serialize, Deserialize)]
+pub struct NonUniform {
+    /// Probability that at least one modification arrives in a step.
+    pub p: f64,
+    /// Mean of the underlying normal.
+    pub mu: f64,
+    /// Standard deviation of the underlying normal.
+    pub sigma: f64,
+}
+
+/// The four §5 stream presets (Fig. 7): Slow/Fast × Stable/Unstable.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Serialize, Deserialize)]
+pub enum StreamKind {
+    /// `p = 0.5, σ = 1`.
+    SlowStable,
+    /// `p = 0.5, σ = 5`.
+    SlowUnstable,
+    /// `p = 0.9, σ = 1`.
+    FastStable,
+    /// `p = 0.9, σ = 5`.
+    FastUnstable,
+}
+
+impl StreamKind {
+    /// The preset's parameters (`µ = 1` throughout, per the paper).
+    pub fn params(self) -> NonUniform {
+        let (p, sigma) = match self {
+            StreamKind::SlowStable => (0.5, 1.0),
+            StreamKind::SlowUnstable => (0.5, 5.0),
+            StreamKind::FastStable => (0.9, 1.0),
+            StreamKind::FastUnstable => (0.9, 5.0),
+        };
+        NonUniform { p, mu: 1.0, sigma }
+    }
+
+    /// The paper's two-letter label (SS/SU/FS/FU).
+    pub fn label(self) -> &'static str {
+        match self {
+            StreamKind::SlowStable => "SS",
+            StreamKind::SlowUnstable => "SU",
+            StreamKind::FastStable => "FS",
+            StreamKind::FastUnstable => "FU",
+        }
+    }
+
+    /// All four presets in the paper's order.
+    pub fn all() -> [StreamKind; 4] {
+        [
+            StreamKind::SlowStable,
+            StreamKind::SlowUnstable,
+            StreamKind::FastStable,
+            StreamKind::FastUnstable,
+        ]
+    }
+}
+
+/// Uniform arrivals: `per_step[i]` modifications of table `i` at every
+/// step of `[0, horizon]` (the Fig. 6 workload).
+pub fn uniform_arrivals(per_step: &[u64], horizon: usize) -> Arrivals {
+    Arrivals::uniform(Counts::from_slice(per_step), horizon)
+}
+
+/// One standard-normal draw via Box–Muller (the approved `rand` crate
+/// ships without distributions).
+fn standard_normal(rng: &mut StdRng) -> f64 {
+    let u1: f64 = rng.gen_range(f64::EPSILON..1.0);
+    let u2: f64 = rng.gen_range(0.0..1.0);
+    (-2.0 * u1.ln()).sqrt() * (std::f64::consts::TAU * u2).cos()
+}
+
+/// Samples the per-step count of the paper's non-uniform model:
+/// 0 with probability `1 − p`, else `⌈X⌉` for `X ~ N(µ, σ²)`
+/// conditioned on `X > 0` (rejection sampling).
+fn sample_count(rng: &mut StdRng, m: &NonUniform) -> u64 {
+    if !rng.gen_bool(m.p.clamp(0.0, 1.0)) {
+        return 0;
+    }
+    loop {
+        let x = m.mu + m.sigma * standard_normal(rng);
+        if x > 0.0 {
+            return x.ceil() as u64;
+        }
+    }
+}
+
+/// Generates a non-uniform arrival sequence with independent per-table
+/// draws. Deterministic in the seed.
+pub fn nonuniform_arrivals(models: &[NonUniform], horizon: usize, seed: u64) -> Arrivals {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let steps = (0..=horizon)
+        .map(|_| models.iter().map(|m| sample_count(&mut rng, m)).collect())
+        .collect();
+    Arrivals::new(steps)
+}
+
+/// Convenience: the same [`StreamKind`] preset applied independently to
+/// `n` tables.
+pub fn preset_arrivals(kind: StreamKind, n: usize, horizon: usize, seed: u64) -> Arrivals {
+    nonuniform_arrivals(&vec![kind.params(); n], horizon, seed)
+}
+
+/// Bursty arrivals: `burst[i]` modifications of table `i` every
+/// `period` steps, nothing in between.
+pub fn bursty_arrivals(burst: &[u64], period: usize, horizon: usize) -> Arrivals {
+    let n = burst.len();
+    let steps = (0..=horizon)
+        .map(|t| {
+            if period > 0 && t % period == 0 {
+                Counts::from_slice(burst)
+            } else {
+                Counts::zero(n)
+            }
+        })
+        .collect();
+    Arrivals::new(steps)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn uniform_matches_core_constructor() {
+        let a = uniform_arrivals(&[1, 2], 10);
+        assert_eq!(a.horizon(), 10);
+        assert_eq!(a.totals(), Counts::from_slice(&[11, 22]));
+    }
+
+    #[test]
+    fn nonuniform_is_deterministic_per_seed() {
+        let m = [StreamKind::FastUnstable.params(); 2];
+        let a = nonuniform_arrivals(&m, 200, 7);
+        let b = nonuniform_arrivals(&m, 200, 7);
+        assert_eq!(a, b);
+        let c = nonuniform_arrivals(&m, 200, 8);
+        assert_ne!(a, c);
+    }
+
+    #[test]
+    fn slow_streams_are_sparser_than_fast() {
+        let horizon = 5_000;
+        let slow = preset_arrivals(StreamKind::SlowStable, 1, horizon, 1);
+        let fast = preset_arrivals(StreamKind::FastStable, 1, horizon, 1);
+        let nz = |a: &Arrivals| (0..=horizon).filter(|&t| a.at(t)[0] > 0).count() as f64;
+        let frac_slow = nz(&slow) / (horizon + 1) as f64;
+        let frac_fast = nz(&fast) / (horizon + 1) as f64;
+        assert!((frac_slow - 0.5).abs() < 0.05, "got {frac_slow}");
+        assert!((frac_fast - 0.9).abs() < 0.05, "got {frac_fast}");
+    }
+
+    #[test]
+    fn unstable_streams_have_higher_variance() {
+        let horizon = 5_000;
+        let stable = preset_arrivals(StreamKind::FastStable, 1, horizon, 2);
+        let unstable = preset_arrivals(StreamKind::FastUnstable, 1, horizon, 2);
+        let var = |a: &Arrivals| {
+            let xs: Vec<f64> = (0..=horizon).map(|t| a.at(t)[0] as f64).collect();
+            let mean = xs.iter().sum::<f64>() / xs.len() as f64;
+            xs.iter().map(|x| (x - mean).powi(2)).sum::<f64>() / xs.len() as f64
+        };
+        assert!(
+            var(&unstable) > 2.0 * var(&stable),
+            "σ=5 stream must be visibly noisier: {} vs {}",
+            var(&unstable),
+            var(&stable)
+        );
+    }
+
+    #[test]
+    fn counts_are_positive_when_arriving() {
+        let a = preset_arrivals(StreamKind::SlowUnstable, 1, 2_000, 3);
+        for t in 0..=2_000 {
+            let d = a.at(t)[0];
+            // Truncation at X > 0 means any arrival has d ≥ 1.
+            assert!(d == 0 || d >= 1);
+        }
+    }
+
+    #[test]
+    fn bursty_pattern() {
+        let a = bursty_arrivals(&[5, 3], 4, 11);
+        assert_eq!(a.at(0), Counts::from_slice(&[5, 3]));
+        assert_eq!(a.at(1), Counts::zero(2));
+        assert_eq!(a.at(4), Counts::from_slice(&[5, 3]));
+        assert_eq!(a.totals(), Counts::from_slice(&[15, 9]));
+    }
+
+    #[test]
+    fn stream_labels() {
+        assert_eq!(StreamKind::SlowStable.label(), "SS");
+        assert_eq!(StreamKind::all().len(), 4);
+        let p = StreamKind::SlowUnstable.params();
+        assert_eq!(p.sigma, 5.0);
+        assert_eq!(p.p, 0.5);
+    }
+}

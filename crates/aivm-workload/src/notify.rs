@@ -1,0 +1,165 @@
+//! Notification conditions: *when* subscribers want fresh content.
+//!
+//! The paper's pub/sub system (§1) pairs every subscription with a
+//! notification condition — "every hour", or "when the oil price has
+//! changed by more than 10% since the last report". A condition turns a
+//! time/value stream into a sequence of *refresh instants*; between
+//! them the view is maintained batch-incrementally under the
+//! response-time budget, and at each instant it must be brought up to
+//! date within that budget.
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// A stateful notification condition over a (time, observed value)
+/// stream.
+pub trait NotificationCondition {
+    /// Observes the monitored value at time `t`; returns `true` when a
+    /// notification (and hence a view refresh) must fire now.
+    fn observe(&mut self, t: usize, value: f64) -> bool;
+}
+
+/// Fires every `period` steps ("tell me the value of my portfolio every
+/// hour").
+#[derive(Clone, Debug)]
+pub struct Periodic {
+    period: usize,
+}
+
+impl Periodic {
+    /// Creates a periodic condition; `period` must be ≥ 1.
+    pub fn new(period: usize) -> Self {
+        Periodic {
+            period: period.max(1),
+        }
+    }
+}
+
+impl NotificationCondition for Periodic {
+    fn observe(&mut self, t: usize, _value: f64) -> bool {
+        t > 0 && t % self.period == 0
+    }
+}
+
+/// Fires independently with probability `p` per step (a memoryless
+/// refresh process — unknown refresh times, §4.2's setting).
+#[derive(Clone, Debug)]
+pub struct Bernoulli {
+    p: f64,
+    rng: StdRng,
+}
+
+impl Bernoulli {
+    /// Creates a Bernoulli condition with per-step probability `p`.
+    pub fn new(p: f64, seed: u64) -> Self {
+        Bernoulli {
+            p: p.clamp(0.0, 1.0),
+            rng: StdRng::seed_from_u64(seed),
+        }
+    }
+}
+
+impl NotificationCondition for Bernoulli {
+    fn observe(&mut self, _t: usize, _value: f64) -> bool {
+        self.rng.gen_bool(self.p)
+    }
+}
+
+/// Fires when the monitored value drifts more than `fraction` away from
+/// its value at the last notification ("oil price changed by more than
+/// 10% since the last report").
+#[derive(Clone, Debug)]
+pub struct DriftThreshold {
+    fraction: f64,
+    reference: Option<f64>,
+}
+
+impl DriftThreshold {
+    /// Creates a drift condition; `fraction` is relative (0.1 = 10%).
+    pub fn new(fraction: f64) -> Self {
+        DriftThreshold {
+            fraction: fraction.abs(),
+            reference: None,
+        }
+    }
+}
+
+impl NotificationCondition for DriftThreshold {
+    fn observe(&mut self, _t: usize, value: f64) -> bool {
+        match self.reference {
+            None => {
+                self.reference = Some(value);
+                false
+            }
+            Some(r) => {
+                let drift = if r.abs() < f64::EPSILON {
+                    value.abs()
+                } else {
+                    ((value - r) / r).abs()
+                };
+                if drift > self.fraction {
+                    self.reference = Some(value);
+                    true
+                } else {
+                    false
+                }
+            }
+        }
+    }
+}
+
+/// Runs a condition over a value series, returning the refresh instants.
+pub fn refresh_times(
+    cond: &mut dyn NotificationCondition,
+    series: impl IntoIterator<Item = f64>,
+) -> Vec<usize> {
+    series
+        .into_iter()
+        .enumerate()
+        .filter_map(|(t, v)| cond.observe(t, v).then_some(t))
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn periodic_fires_on_schedule() {
+        let mut c = Periodic::new(3);
+        let times = refresh_times(&mut c, (0..10).map(|_| 0.0));
+        assert_eq!(times, vec![3, 6, 9]);
+    }
+
+    #[test]
+    fn periodic_period_zero_is_clamped() {
+        let mut c = Periodic::new(0);
+        let times = refresh_times(&mut c, (0..4).map(|_| 0.0));
+        assert_eq!(times, vec![1, 2, 3]);
+    }
+
+    #[test]
+    fn bernoulli_rate_matches_p() {
+        let mut c = Bernoulli::new(0.25, 9);
+        let times = refresh_times(&mut c, (0..8000).map(|_| 0.0));
+        let rate = times.len() as f64 / 8000.0;
+        assert!((rate - 0.25).abs() < 0.02, "rate {rate}");
+    }
+
+    #[test]
+    fn drift_threshold_fires_on_relative_change() {
+        let mut c = DriftThreshold::new(0.10);
+        // Reference 100; 109 is within 10%, 111 beyond; the reference
+        // then rebases to 111.
+        let series = vec![100.0, 105.0, 109.0, 111.0, 115.0, 123.0];
+        let times = refresh_times(&mut c, series);
+        assert_eq!(times, vec![3, 5], "fires at 111 (11%) and 123 (>10% of 111)");
+    }
+
+    #[test]
+    fn drift_handles_zero_reference() {
+        let mut c = DriftThreshold::new(0.5);
+        assert!(!c.observe(0, 0.0));
+        assert!(c.observe(1, 1.0), "any move off zero exceeds the threshold");
+    }
+}

@@ -1,0 +1,90 @@
+//! **aivm** — asymmetric batch incremental view maintenance.
+//!
+//! A Rust reproduction of He, Xie, Yang and Yu, *Asymmetric Batch
+//! Incremental View Maintenance* (ICDE 2005): maintaining a materialized
+//! view under a refresh response-time constraint by *selectively*
+//! flushing some base tables' pending modifications while batching
+//! others, exploiting asymmetries in per-table maintenance costs.
+//!
+//! # Quickstart
+//!
+//! ```
+//! use aivm::core::{Arrivals, CostModel, Counts, Instance, naive_plan};
+//! use aivm::solver::optimal_lgm_plan;
+//!
+//! // Two base tables: R0 is probe-cheap (tiny setup), R1 pays a scan
+//! // per batch (big setup). One modification each per time step.
+//! let inst = Instance::new(
+//!     vec![CostModel::linear(0.06, 0.2), CostModel::linear(0.005, 7.0)],
+//!     Arrivals::uniform(Counts::from_slice(&[1, 1]), 500),
+//!     12.0, // refresh must never cost more than 12 units
+//! );
+//!
+//! let naive = naive_plan(&inst).validate(&inst).unwrap().total_cost;
+//! let opt = optimal_lgm_plan(&inst);
+//! assert!(opt.cost < naive, "asymmetric batching beats flush-everything");
+//! ```
+//!
+//! # Crate map
+//!
+//! | module | contents |
+//! |---|---|
+//! | [`core`] | problem model: cost functions, states, plans, validity, the LGM transformations (Lemma 1, Theorem 1), the §3.2 tightness instance |
+//! | [`solver`] | A\* optimal LGM search (§4.1), ADAPT (§4.2), ONLINE (§4.3), NAIVE, exhaustive ground truth |
+//! | [`engine`] | in-memory relational engine: tables, hash/B-tree indexes, Z-set executor, SQL subset, state-bug-safe IVM, cost estimation & measurement |
+//! | [`tpcr`] | deterministic TPC-R-style generator + the paper's evaluation view and update stream |
+//! | [`workload`] | arrival-sequence generators (uniform, the paper's truncated-normal streams, bursty) |
+//! | [`sim`] | counts-only simulator, engine-backed actual execution, experiment drivers for every paper figure |
+//!
+//! See `DESIGN.md` for the system inventory and `EXPERIMENTS.md` for the
+//! paper-vs-measured record; the `repro` binary (in `aivm-bench`)
+//! regenerates every figure.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+/// Problem model (re-export of `aivm-core`).
+pub use aivm_core as core;
+/// Plan search and policies (re-export of `aivm-solver`).
+pub use aivm_solver as solver;
+/// Relational engine with IVM (re-export of `aivm-engine`).
+pub use aivm_engine as engine;
+/// TPC-R-style generator (re-export of `aivm-tpcr`).
+pub use aivm_tpcr as tpcr;
+/// Arrival-sequence generators (re-export of `aivm-workload`).
+pub use aivm_workload as workload;
+/// Simulator and experiment drivers (re-export of `aivm-sim`).
+pub use aivm_sim as sim;
+
+/// The most commonly used items in one import.
+pub mod prelude {
+    pub use aivm_core::{
+        fits, make_lazy_plan, make_lgm_plan, naive_plan, Arrivals, CostFn, CostModel, Counts,
+        Instance, Plan, PlanError, PlanStats,
+    };
+    pub use aivm_engine::{
+        Database, EngineError, MaterializedView, MinStrategy, Modification, Row, Schema, Value,
+    };
+    pub use aivm_solver::{
+        adapt_plan, optimal_lgm_plan, run_policy, AdaptPolicy, AdaptSchedule, NaivePolicy,
+        OnlinePolicy, Policy,
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::prelude::*;
+
+    #[test]
+    fn facade_reexports_work_together() {
+        let inst = Instance::new(
+            vec![CostModel::linear(1.0, 0.0), CostModel::linear(1.0, 4.0)],
+            Arrivals::uniform(Counts::from_slice(&[1, 1]), 11),
+            8.0,
+        );
+        let sol = optimal_lgm_plan(&inst);
+        assert!(sol.plan.validate(&inst).is_ok());
+        let naive = naive_plan(&inst).validate(&inst).unwrap().total_cost;
+        assert!(sol.cost <= naive);
+    }
+}

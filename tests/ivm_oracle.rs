@@ -1,0 +1,231 @@
+//! Randomized oracle testing of incremental view maintenance: arbitrary
+//! modification scripts, arbitrary (even non-greedy) flush schedules,
+//! and the invariant that the maintained state always equals the view
+//! query evaluated over each table's processed prefix
+//! (`physical − pending`).
+
+use aivm::engine::exec::{consolidate, WRow};
+use aivm::engine::{
+    AggFunc, AggSpec, Database, DataType, Expr, IndexKind, JoinPred, MaterializedView,
+    MinStrategy, Modification, Row, Schema, Value, ViewDef,
+};
+use proptest::prelude::*;
+
+/// R(k, x) indexed on k; S(k, tag) unindexed.
+fn setup_db() -> Database {
+    let mut db = Database::new();
+    let r = db
+        .create_table(
+            "r",
+            Schema::new(vec![("k", DataType::Int), ("x", DataType::Int)]),
+        )
+        .unwrap();
+    db.create_table(
+        "s",
+        Schema::new(vec![("k", DataType::Int), ("tag", DataType::Int)]),
+    )
+    .unwrap();
+    db.table_mut(r).create_index(IndexKind::Hash, 0).unwrap();
+    db
+}
+
+fn join_def(aggregate: Option<AggSpec>) -> ViewDef {
+    ViewDef {
+        name: "v".into(),
+        tables: vec!["r".into(), "s".into()],
+        join_preds: vec![JoinPred {
+            left: (0, 0),
+            right: (1, 0),
+        }],
+        filters: vec![None, None],
+        residual: None,
+        projection: None,
+        aggregate,
+        distinct: false,
+    }
+}
+
+/// One scripted step: which table, what kind of modification, and how
+/// much of each delta table to flush afterwards.
+#[derive(Clone, Debug)]
+struct Step {
+    table: usize, // 0 = r, 1 = s
+    op: u8,       // insert / delete / update chooser
+    key: i64,
+    payload: i64,
+    flush_r: u8,
+    flush_s: u8,
+}
+
+fn any_step() -> impl Strategy<Value = Step> {
+    (0usize..2, 0u8..4, 0i64..4, 0i64..50, any::<u8>(), any::<u8>()).prop_map(
+        |(table, op, key, payload, flush_r, flush_s)| Step {
+            table,
+            op,
+            key,
+            payload,
+            flush_r,
+            flush_s,
+        },
+    )
+}
+
+/// The oracle checks two invariants:
+///
+/// 1. **mid-stream**: the maintained state equals the view query
+///    evaluated over each table's processed prefix
+///    (`physical − pending`);
+/// 2. **refresh-all**: a fully refreshed clone equals direct evaluation
+///    over the physical tables.
+fn oracle(db: &Database, view: &MaterializedView) {
+    let plan = view.def().full_plan(db).unwrap();
+    // (1) processed-prefix equality.
+    let names = view.def().tables.clone();
+    let pendings: Vec<Vec<WRow>> = (0..view.n()).map(|i| view.pending_weighted(i)).collect();
+    let overlay = |name: &str| -> Option<Vec<WRow>> {
+        let i = names.iter().position(|n| n == name)?;
+        let id = db.table_id(name).ok()?;
+        let mut rows: Vec<WRow> = db.table(id).iter().map(|(_, r)| (r.clone(), 1)).collect();
+        rows.extend(pendings[i].iter().map(|(r, w)| (r.clone(), -w)));
+        Some(rows)
+    };
+    let mut want = consolidate(plan.execute_with(db, &overlay).unwrap());
+    want.sort();
+    let mut got = consolidate(view.result());
+    got.sort();
+    assert_eq!(got, want, "maintained state must equal processed-prefix oracle");
+
+    // (2) refresh-all equality.
+    let mut v2 = view.clone();
+    v2.refresh(db).unwrap();
+    let mut direct = consolidate(plan.execute(db).unwrap());
+    direct.sort();
+    let mut refreshed = consolidate(v2.result());
+    refreshed.sort();
+    assert_eq!(refreshed, direct, "refresh-all must equal direct evaluation");
+}
+
+/// Applies a scripted step's modification, keeping a mirror of live rows
+/// so deletes/updates always target existing rows.
+fn make_modification(
+    step: &Step,
+    live: &mut Vec<Row>,
+    next_unique: &mut i64,
+) -> Option<Modification> {
+    match step.op {
+        // Insert a fresh row.
+        0 | 1 => {
+            *next_unique += 1;
+            let row = Row::new(vec![Value::Int(step.key), Value::Int(*next_unique)]);
+            live.push(row.clone());
+            Some(Modification::Insert(row))
+        }
+        // Delete an existing row, if any.
+        2 => {
+            if live.is_empty() {
+                return None;
+            }
+            let idx = (step.payload as usize) % live.len();
+            let row = live.swap_remove(idx);
+            Some(Modification::Delete(row))
+        }
+        // Update an existing row's key.
+        _ => {
+            if live.is_empty() {
+                return None;
+            }
+            let idx = (step.payload as usize) % live.len();
+            let old = live[idx].clone();
+            let new = Row::new(vec![Value::Int((step.key + 1) % 4), old.get(1).clone()]);
+            live[idx] = new.clone();
+            Some(Modification::Update { old, new })
+        }
+    }
+}
+
+fn run_script(steps: &[Step], strategy: MinStrategy, aggregate: Option<AggSpec>) {
+    let mut db = setup_db();
+    let table_ids = [db.table_id("r").unwrap(), db.table_id("s").unwrap()];
+    let mut view = MaterializedView::new(&db, join_def(aggregate), strategy).unwrap();
+    let mut live: [Vec<Row>; 2] = [Vec::new(), Vec::new()];
+    let mut next_unique = 0i64;
+
+    for step in steps {
+        if let Some(m) = make_modification(step, &mut live[step.table], &mut next_unique) {
+            db.apply(table_ids[step.table], &m).unwrap();
+            view.enqueue(step.table, m);
+        }
+        // Partial, possibly non-greedy flushes.
+        let pending = view.pending_counts();
+        let flush = vec![
+            (step.flush_r as u64).min(pending[0]),
+            (step.flush_s as u64).min(pending[1]),
+        ];
+        if flush.iter().any(|&k| k > 0) {
+            view.flush(&db, &flush).unwrap();
+        }
+        // Invariant: a fully refreshed clone equals direct evaluation.
+        oracle(&db, &view);
+    }
+    // Drain and verify final equality.
+    view.refresh(&db).unwrap();
+    let mut got = consolidate(view.result());
+    got.sort();
+    let mut want = consolidate(view.def().full_plan(&db).unwrap().execute(&db).unwrap());
+    want.sort();
+    assert_eq!(got, want);
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// Join view (bag semantics) stays consistent under arbitrary
+    /// scripts and partial flushes.
+    #[test]
+    fn join_view_consistency(steps in proptest::collection::vec(any_step(), 1..30)) {
+        run_script(&steps, MinStrategy::Multiset, None);
+    }
+
+    /// Scalar MIN with the multiset maintainer.
+    #[test]
+    fn min_view_multiset_consistency(steps in proptest::collection::vec(any_step(), 1..30)) {
+        run_script(
+            &steps,
+            MinStrategy::Multiset,
+            Some(AggSpec {
+                group_by: vec![],
+                aggs: vec![(AggFunc::Min, Expr::col(1), "m".into())],
+            }),
+        );
+    }
+
+    /// Scalar MIN with the paper's recompute-on-delete maintainer.
+    #[test]
+    fn min_view_recompute_consistency(steps in proptest::collection::vec(any_step(), 1..30)) {
+        run_script(
+            &steps,
+            MinStrategy::Recompute,
+            Some(AggSpec {
+                group_by: vec![],
+                aggs: vec![(AggFunc::Min, Expr::col(1), "m".into())],
+            }),
+        );
+    }
+
+    /// Grouped COUNT/SUM/MAX.
+    #[test]
+    fn grouped_aggregate_consistency(steps in proptest::collection::vec(any_step(), 1..25)) {
+        run_script(
+            &steps,
+            MinStrategy::Multiset,
+            Some(AggSpec {
+                group_by: vec![0],
+                aggs: vec![
+                    (AggFunc::Count, Expr::col(1), "c".into()),
+                    (AggFunc::Sum, Expr::col(3), "s".into()),
+                    (AggFunc::Max, Expr::col(1), "mx".into()),
+                ],
+            }),
+        );
+    }
+}
