@@ -1,0 +1,36 @@
+#!/usr/bin/env bash
+# Local CI gate: formatting, lints, tier-1 tests, and a smoke repro run.
+#
+#   ./ci.sh          # full gate (workspace tests + quick figure sweep)
+#   ./ci.sh --fast   # skip the release workspace test pass (lint + tier-1)
+#
+# Mirrors what a hosted workflow would run; keep it green before pushing.
+set -euo pipefail
+cd "$(dirname "$0")"
+
+fast=0
+[[ "${1:-}" == "--fast" ]] && fast=1
+
+echo "==> cargo fmt --check"
+cargo fmt --all -- --check
+
+echo "==> cargo clippy (-D warnings)"
+cargo clippy --workspace --all-targets --release -- -D warnings
+
+echo "==> tier-1: cargo build --release && cargo test -q"
+cargo build --release
+cargo test -q --release
+
+if [[ $fast -eq 0 ]]; then
+  echo "==> workspace tests (release)"
+  cargo test -q --release --workspace
+fi
+
+echo "==> smoke repro (quick scales, serial)"
+cargo build --release -p aivm-bench --bin repro
+./target/release/repro --quick --threads 1 intro fig6 bounds >/dev/null
+
+echo "==> smoke repro (quick scales, 4 worker threads)"
+./target/release/repro --quick --threads 4 fig6 fig7 >/dev/null
+
+echo "CI gate passed."

@@ -1,9 +1,11 @@
 //! Engine operator microbenches: the scan-vs-probe join asymmetry that
 //! generates the paper's cost shapes, plus supporting kernels.
+//!
+//! Emits `BENCH_engine.json` at the repo root.
 
+use aivm_bench::harness::Suite;
 use aivm_engine::exec::{consolidate, join_index, join_scan, ExecStats};
 use aivm_engine::{row, DataType, IndexKind, Schema, Table, WRow};
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use std::hint::black_box;
 
 /// An indexed table with `rows` rows over `keys` distinct join keys.
@@ -25,76 +27,58 @@ fn delta(size: i64, keys: i64) -> Vec<WRow> {
     (0..size).map(|i| (row![i % keys, -i], 1i64)).collect()
 }
 
-fn bench_join_asymmetry(c: &mut Criterion) {
-    let mut g = c.benchmark_group("join");
+fn bench_join_asymmetry(s: &mut Suite) {
     let indexed = table_with(50_000, 5_000, true);
     let unindexed = table_with(50_000, 5_000, false);
     for delta_size in [8i64, 64, 512] {
         let d = delta(delta_size, 5_000);
-        g.bench_with_input(
-            BenchmarkId::new("index_probe", delta_size),
-            &d,
-            |b, d| {
-                b.iter(|| {
-                    let mut stats = ExecStats::default();
-                    black_box(join_index(d, 0, &indexed, 0, &[], None, &mut stats).len())
-                })
-            },
-        );
-        g.bench_with_input(BenchmarkId::new("scan", delta_size), &d, |b, d| {
-            b.iter(|| {
-                let mut stats = ExecStats::default();
-                black_box(join_scan(d, 0, &unindexed, 0, &[], None, &mut stats).len())
-            })
+        s.bench(&format!("join/index_probe/{delta_size}"), || {
+            let mut stats = ExecStats::default();
+            black_box(join_index(&d, 0, &indexed, 0, &[], None, &mut stats).len())
+        });
+        s.bench(&format!("join/scan/{delta_size}"), || {
+            let mut stats = ExecStats::default();
+            black_box(join_scan(&d, 0, &unindexed, 0, &[], None, &mut stats).len())
         });
     }
-    g.finish();
 }
 
-fn bench_consolidate(c: &mut Criterion) {
-    let mut g = c.benchmark_group("consolidate");
+fn bench_consolidate(s: &mut Suite) {
     for size in [1_000i64, 10_000] {
         let rows: Vec<WRow> = (0..size)
             .map(|i| (row![i % 100, i % 7], if i % 2 == 0 { 1 } else { -1 }))
             .collect();
-        g.bench_with_input(BenchmarkId::from_parameter(size), &rows, |b, rows| {
-            b.iter(|| black_box(consolidate(rows.clone()).len()))
+        s.bench(&format!("consolidate/{size}"), || {
+            black_box(consolidate(rows.clone()).len())
         });
     }
-    g.finish();
 }
 
-fn bench_sql_parse(c: &mut Criterion) {
+fn bench_sql_parse(s: &mut Suite) {
     let data = aivm_tpcr::generate(&aivm_tpcr::TpcrConfig::small(), 1);
-    c.bench_function("sql_parse_paper_view", |b| {
-        b.iter(|| {
-            black_box(
-                aivm_engine::parse_view(&data.db, "v", aivm_tpcr::paper_view_sql()).unwrap(),
-            )
-        })
+    s.bench("sql_parse_paper_view", || {
+        black_box(aivm_engine::parse_view(&data.db, "v", aivm_tpcr::paper_view_sql()).unwrap())
     });
 }
 
-fn bench_table_mutations(c: &mut Criterion) {
-    c.bench_function("indexed_insert_delete_1k", |b| {
-        b.iter(|| {
-            let mut t = table_with(0, 1, true);
-            for i in 0..1_000i64 {
-                t.insert(row![i % 50, i]).unwrap();
-            }
-            for id in 0..1_000usize {
-                t.delete(id).unwrap();
-            }
-            black_box(t.len())
-        })
+fn bench_table_mutations(s: &mut Suite) {
+    s.bench("indexed_insert_delete_1k", || {
+        let mut t = table_with(0, 1, true);
+        for i in 0..1_000i64 {
+            t.insert(row![i % 50, i]).unwrap();
+        }
+        for id in 0..1_000usize {
+            t.delete(id).unwrap();
+        }
+        black_box(t.len())
     });
 }
 
-criterion_group!(
-    benches,
-    bench_join_asymmetry,
-    bench_consolidate,
-    bench_sql_parse,
-    bench_table_mutations
-);
-criterion_main!(benches);
+fn main() {
+    let mut s = Suite::new("engine");
+    bench_join_asymmetry(&mut s);
+    bench_consolidate(&mut s);
+    bench_sql_parse(&mut s);
+    bench_table_mutations(&mut s);
+    s.finish();
+}

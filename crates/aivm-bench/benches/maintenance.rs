@@ -1,10 +1,12 @@
 //! Maintenance-flush benches on the paper's TPC-R view: per-table batch
 //! costs (the Fig. 1 / Fig. 4 asymmetry as a benchmark) and the MIN
 //! strategy ablation.
+//!
+//! Emits `BENCH_maintenance.json` at the repo root.
 
+use aivm_bench::harness::Suite;
 use aivm_engine::{Database, MaterializedView, MinStrategy};
 use aivm_tpcr::{generate, install_paper_view, TpcrConfig, UpdateGen};
-use criterion::{criterion_group, criterion_main, BatchSize, BenchmarkId, Criterion};
 use std::hint::black_box;
 
 struct Prepared {
@@ -41,64 +43,56 @@ fn prepared(scale: &TpcrConfig, strategy: MinStrategy, table: &str, k: u64) -> P
     }
 }
 
-fn bench_flush_batches(c: &mut Criterion) {
+fn bench_flush_batches(s: &mut Suite) {
     let scale = TpcrConfig::small();
-    let mut g = c.benchmark_group("flush");
     for table in ["partsupp", "supplier"] {
         for k in [16u64, 64, 256] {
             let p = prepared(&scale, MinStrategy::Multiset, table, k);
-            g.bench_with_input(
-                BenchmarkId::new(table, k),
-                &p,
-                |b, p| {
-                    b.iter_batched(
-                        || p.view.clone(),
-                        |mut view| {
-                            view.flush(&p.db, &p.counts).unwrap();
-                            black_box(view.stats.mods_processed)
-                        },
-                        BatchSize::SmallInput,
-                    )
+            s.bench_with_setup(
+                &format!("flush/{table}/{k}"),
+                || p.view.clone(),
+                |mut view| {
+                    view.flush(&p.db, &p.counts).unwrap();
+                    black_box(view.stats.mods_processed)
                 },
             );
         }
     }
-    g.finish();
 }
 
-fn bench_min_strategies(c: &mut Criterion) {
+fn bench_min_strategies(s: &mut Suite) {
     let scale = TpcrConfig::small();
-    let mut g = c.benchmark_group("min_strategy");
     for (label, strategy) in [
         ("multiset", MinStrategy::Multiset),
         ("recompute", MinStrategy::Recompute),
     ] {
         let p = prepared(&scale, strategy, "partsupp", 128);
-        g.bench_with_input(BenchmarkId::from_parameter(label), &p, |b, p| {
-            b.iter_batched(
-                || p.view.clone(),
-                |mut view| {
-                    view.flush(&p.db, &p.counts).unwrap();
-                    black_box(view.stats.recomputes)
-                },
-                BatchSize::SmallInput,
-            )
-        });
+        s.bench_with_setup(
+            &format!("min_strategy/{label}"),
+            || p.view.clone(),
+            |mut view| {
+                view.flush(&p.db, &p.counts).unwrap();
+                black_box(view.stats.recomputes)
+            },
+        );
     }
-    g.finish();
 }
 
-fn bench_view_initialization(c: &mut Criterion) {
+fn bench_view_initialization(s: &mut Suite) {
     let data = generate(&TpcrConfig::small(), 42);
-    c.bench_function("view_init_small", |b| {
-        b.iter(|| black_box(install_paper_view(&data.db, MinStrategy::Multiset).unwrap().n()))
+    s.bench("view_init_small", || {
+        black_box(
+            install_paper_view(&data.db, MinStrategy::Multiset)
+                .unwrap()
+                .n(),
+        )
     });
 }
 
-criterion_group!(
-    benches,
-    bench_flush_batches,
-    bench_min_strategies,
-    bench_view_initialization
-);
-criterion_main!(benches);
+fn main() {
+    let mut s = Suite::new("maintenance");
+    bench_flush_batches(&mut s);
+    bench_min_strategies(&mut s);
+    bench_view_initialization(&mut s);
+    s.finish();
+}

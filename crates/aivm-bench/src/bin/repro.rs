@@ -1,7 +1,7 @@
 //! `repro` — regenerates every figure of the paper as a text table.
 //!
 //! ```text
-//! repro [--csv] [--quick] <target>...
+//! repro [--csv] [--quick] [--threads N] <target>...
 //!
 //! targets:
 //!   intro      §1 worked example (symmetric vs asymmetric cost/mod)
@@ -20,6 +20,11 @@
 //!
 //! `--quick` shrinks scales so the whole suite finishes in well under a
 //! minute; default scales match the paper's shapes (minutes).
+//!
+//! `--threads N` fixes the sweep worker count (`--threads 1` reproduces
+//! the serial paper-fidelity run); without it the `AIVM_THREADS` /
+//! `RAYON_NUM_THREADS` environment variables or the machine's available
+//! parallelism decide. Results are identical at any width.
 
 use aivm_sim::experiments::{
     adapt_sweep, bounds, concave, fig1, fig4, fig5, fig6, fig7, intro, refresh_process,
@@ -155,7 +160,14 @@ fn run_ablation(csv: bool, quick: bool) {
     };
     let mut t = ExpTable::new(
         "Ablation: A* heuristic modes (nodes expanded / reopened)",
-        &["T", "paper.nodes", "paper.reopen", "subadd.nodes", "dijkstra.nodes", "cost"],
+        &[
+            "T",
+            "paper.nodes",
+            "paper.reopen",
+            "subadd.nodes",
+            "dijkstra.nodes",
+            "cost",
+        ],
     );
     t.note("all modes find the same optimal cost; heuristics prune expansions");
     for &h in horizons {
@@ -250,11 +262,38 @@ fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let csv = args.iter().any(|a| a == "--csv");
     let quick = args.iter().any(|a| a == "--quick");
-    let targets: Vec<&str> = args
-        .iter()
-        .filter(|a| !a.starts_with("--"))
-        .map(String::as_str)
-        .collect();
+    let mut threads_value: Option<usize> = None;
+    let mut skip_next = false;
+    let mut targets: Vec<&str> = Vec::new();
+    for (i, a) in args.iter().enumerate() {
+        if skip_next {
+            skip_next = false;
+            continue;
+        }
+        if a == "--threads" {
+            let n = args
+                .get(i + 1)
+                .and_then(|v| v.parse::<usize>().ok())
+                .filter(|&n| n > 0)
+                .unwrap_or_else(|| {
+                    eprintln!("--threads needs a positive integer");
+                    std::process::exit(2);
+                });
+            threads_value = Some(n);
+            skip_next = true;
+        } else if let Some(v) = a.strip_prefix("--threads=") {
+            match v.parse::<usize>() {
+                Ok(n) if n > 0 => threads_value = Some(n),
+                _ => {
+                    eprintln!("--threads needs a positive integer");
+                    std::process::exit(2);
+                }
+            }
+        } else if !a.starts_with("--") {
+            targets.push(a.as_str());
+        }
+    }
+    aivm_sim::set_thread_override(threads_value);
     let targets: Vec<&str> = if targets.is_empty() || targets.contains(&"all") {
         vec![
             "intro", "fig1", "fig4", "fig5", "fig6", "fig7", "bounds", "adapt", "concave",

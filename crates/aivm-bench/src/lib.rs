@@ -4,14 +4,19 @@
 //!
 //! * the `repro` binary (`cargo run -p aivm-bench --bin repro --release`),
 //!   which regenerates every paper figure as a text table, and
-//! * the Criterion benches (`cargo bench -p aivm-bench`): `solver`
-//!   (A\*/ONLINE kernels), `engine` (operator microbenches) and
-//!   `maintenance` (flush batches on the TPC-R view).
+//! * the benches (`cargo bench -p aivm-bench`): `solver` (A\*/ONLINE
+//!   kernels), `engine` (operator microbenches), `maintenance` (flush
+//!   batches on the TPC-R view) and `sweep` (serial-vs-parallel figure
+//!   sweeps). Each run appends a labelled entry to `BENCH_<suite>.json`
+//!   at the repo root (see [`harness`]).
 //!
-//! This library crate only hosts shared helpers for those targets.
+//! This library crate hosts the shared instance builders and the
+//! hand-rolled [`harness`] those targets run on.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
+
+pub mod harness;
 
 use aivm_core::{Arrivals, CostModel, Counts, Instance};
 

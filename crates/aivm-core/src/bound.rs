@@ -131,7 +131,10 @@ pub fn verify_theorem1_structure(
     for i in 0..inst.n() {
         let g = BipartiteBound::build(p, q, i);
         if !g.lemma3_holds() {
-            return Err(format!("Lemma 3 violated on table {i}: degrees {:?}", g.p_degrees()));
+            return Err(format!(
+                "Lemma 3 violated on table {i}: degrees {:?}",
+                g.p_degrees()
+            ));
         }
         if !g.lemma4_holds(&inst.costs[i]) {
             return Err(format!("Lemma 4 violated on table {i}"));
@@ -139,7 +142,9 @@ pub fn verify_theorem1_structure(
         let pc: f64 = g.p_nodes.iter().map(|a| inst.costs[i].eval(a.count)).sum();
         let qc: f64 = g.q_nodes.iter().map(|a| inst.costs[i].eval(a.count)).sum();
         if qc > 2.0 * pc + crate::cost::COST_EPS {
-            return Err(format!("per-table 2x bound violated on table {i}: {qc} > 2×{pc}"));
+            return Err(format!(
+                "per-table 2x bound violated on table {i}: {qc} > 2×{pc}"
+            ));
         }
         out.push((qc, pc));
     }
@@ -150,8 +155,8 @@ pub fn verify_theorem1_structure(
 mod tests {
     use super::*;
     use crate::cost::CostModel;
-    use crate::instance::Arrivals;
     use crate::counts::Counts;
+    use crate::instance::Arrivals;
     use crate::plan::naive_plan;
     use crate::transform::make_lgm_plan;
 
@@ -180,9 +185,21 @@ mod tests {
 
     #[test]
     fn intersection_is_range_overlap() {
-        let a = TableAction { t: 0, start: 0, count: 5 };
-        let b = TableAction { t: 1, start: 4, count: 2 };
-        let c = TableAction { t: 2, start: 5, count: 3 };
+        let a = TableAction {
+            t: 0,
+            start: 0,
+            count: 5,
+        };
+        let b = TableAction {
+            t: 1,
+            start: 4,
+            count: 2,
+        };
+        let c = TableAction {
+            t: 2,
+            start: 5,
+            count: 3,
+        };
         assert!(a.intersects(&b));
         assert!(!a.intersects(&c));
         assert!(b.intersects(&c));

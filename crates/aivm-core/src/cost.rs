@@ -20,8 +20,6 @@
 //! * [`CostModel::Capped`] — the §3.2 tightness construction:
 //!   `f(x) = (ε·x/2)·C` for `x ≤ 2/ε`, else `(1 + ε/2)·C`.
 
-use serde::{Deserialize, Serialize};
-
 /// Tolerance used when comparing costs against the response-time budget.
 /// Costs are `f64`s built from sums of per-table terms; a strict `<=`
 /// comparison would make validity judgements flap on the last ulp.
@@ -57,7 +55,7 @@ pub trait CostFn {
             hi *= 2;
         }
         let mut lo = hi / 2; // fits
-        // Invariant: eval(lo) fits, eval(hi) does not.
+                             // Invariant: eval(lo) fits, eval(hi) does not.
         while hi - lo > 1 {
             let mid = lo + (hi - lo) / 2;
             if fits(self.eval(mid), budget) {
@@ -72,7 +70,7 @@ pub trait CostFn {
 
 /// A concrete, serializable cost function. See the module docs for the
 /// provenance of each variant.
-#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
+#[derive(Clone, Debug, PartialEq)]
 pub enum CostModel {
     /// `f(0) = 0`, `f(k) = a·k + b` for `k ≥ 1`.
     Linear {
@@ -242,11 +240,7 @@ impl CostFn for CostModel {
 /// vector under per-table cost functions.
 pub fn total_cost(costs: &[CostModel], v: &crate::counts::Counts) -> f64 {
     debug_assert_eq!(costs.len(), v.len());
-    costs
-        .iter()
-        .zip(v.iter())
-        .map(|(f, k)| f.eval(k))
-        .sum()
+    costs.iter().zip(v.iter()).map(|(f, k)| f.eval(k)).sum()
 }
 
 #[cfg(test)]

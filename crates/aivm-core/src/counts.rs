@@ -3,67 +3,104 @@
 //! The paper models both system states (sizes of the delta tables
 //! `ΔR_1..ΔR_n`) and maintenance actions as n-vectors of non-negative
 //! integers. [`Counts`] is that n-vector.
+//!
+//! `Counts` is the hottest value type in the solver — every A\* node,
+//! action and heuristic evaluation manipulates one — so vectors of
+//! dimension ≤ 4 (the paper's instances have `n = 2`) are stored inline
+//! with no heap allocation; longer vectors spill to a `Vec`.
 
-use serde::{Deserialize, Serialize};
 use std::fmt;
+use std::hash::{Hash, Hasher};
 use std::ops::{Index, IndexMut};
+
+/// Dimension up to which components are stored inline.
+const INLINE_CAP: usize = 4;
+
+#[derive(Clone)]
+enum Repr {
+    Inline { len: u8, buf: [u64; INLINE_CAP] },
+    Heap(Vec<u64>),
+}
 
 /// An n-vector of non-negative modification counts.
 ///
 /// Component `i` is the number of modifications of base table `R_i`
 /// represented by this vector (pending in a state, or processed by an
 /// action).
-#[derive(Clone, PartialEq, Eq, Hash, Default, Serialize, Deserialize)]
-pub struct Counts(Vec<u64>);
+#[derive(Clone)]
+pub struct Counts(Repr);
+
+impl Default for Counts {
+    fn default() -> Self {
+        Counts(Repr::Inline {
+            len: 0,
+            buf: [0; INLINE_CAP],
+        })
+    }
+}
 
 impl Counts {
     /// Creates the zero vector of dimension `n`.
     pub fn zero(n: usize) -> Self {
-        Counts(vec![0; n])
+        if n <= INLINE_CAP {
+            Counts(Repr::Inline {
+                len: n as u8,
+                buf: [0; INLINE_CAP],
+            })
+        } else {
+            Counts(Repr::Heap(vec![0; n]))
+        }
     }
 
     /// Creates a vector from explicit components.
     pub fn from_slice(v: &[u64]) -> Self {
-        Counts(v.to_vec())
+        if v.len() <= INLINE_CAP {
+            let mut buf = [0; INLINE_CAP];
+            buf[..v.len()].copy_from_slice(v);
+            Counts(Repr::Inline {
+                len: v.len() as u8,
+                buf,
+            })
+        } else {
+            Counts(Repr::Heap(v.to_vec()))
+        }
     }
 
     /// Number of components (the number of base tables `n`).
     pub fn len(&self) -> usize {
-        self.0.len()
+        match &self.0 {
+            Repr::Inline { len, .. } => *len as usize,
+            Repr::Heap(v) => v.len(),
+        }
     }
 
     /// True when the vector has no components.
     pub fn is_empty(&self) -> bool {
-        self.0.is_empty()
+        self.len() == 0
     }
 
     /// True when every component is zero (`s = 0`: the view is up to date,
     /// or `p = 0`: the plan takes no action).
     pub fn is_zero(&self) -> bool {
-        self.0.iter().all(|&c| c == 0)
+        self.as_slice().iter().all(|&c| c == 0)
     }
 
     /// Sum of all components.
     pub fn total(&self) -> u64 {
-        self.0.iter().sum()
+        self.as_slice().iter().sum()
     }
 
     /// Component-wise sum.
     pub fn add(&self, other: &Counts) -> Counts {
-        debug_assert_eq!(self.len(), other.len());
-        Counts(
-            self.0
-                .iter()
-                .zip(&other.0)
-                .map(|(a, b)| a + b)
-                .collect(),
-        )
+        let mut out = self.clone();
+        out.add_assign(other);
+        out
     }
 
     /// Adds `other` into `self` in place.
     pub fn add_assign(&mut self, other: &Counts) {
         debug_assert_eq!(self.len(), other.len());
-        for (a, b) in self.0.iter_mut().zip(&other.0) {
+        for (a, b) in self.as_mut_slice().iter_mut().zip(other.as_slice()) {
             *a += b;
         }
     }
@@ -71,34 +108,78 @@ impl Counts {
     /// Component-wise difference. Returns `None` when any component would
     /// go negative, i.e. when `other` is not dominated by `self`.
     pub fn checked_sub(&self, other: &Counts) -> Option<Counts> {
+        let mut out = self.clone();
+        if out.checked_sub_assign(other) {
+            Some(out)
+        } else {
+            None
+        }
+    }
+
+    /// Subtracts `other` from `self` in place. Returns `false` — leaving
+    /// `self` unchanged — when any component would go negative. The
+    /// allocation-free form of [`Counts::checked_sub`] for hot loops.
+    pub fn checked_sub_assign(&mut self, other: &Counts) -> bool {
         debug_assert_eq!(self.len(), other.len());
-        self.0
-            .iter()
-            .zip(&other.0)
-            .map(|(a, b)| a.checked_sub(*b))
-            .collect::<Option<Vec<_>>>()
-            .map(Counts)
+        if !other.dominated_by(self) {
+            return false;
+        }
+        for (a, b) in self.as_mut_slice().iter_mut().zip(other.as_slice()) {
+            *a -= b;
+        }
+        true
     }
 
     /// Component-wise `self ≤ other`.
     pub fn dominated_by(&self, other: &Counts) -> bool {
         debug_assert_eq!(self.len(), other.len());
-        self.0.iter().zip(&other.0).all(|(a, b)| a <= b)
+        self.as_slice()
+            .iter()
+            .zip(other.as_slice())
+            .all(|(a, b)| a <= b)
     }
 
     /// Iterator over components.
     pub fn iter(&self) -> impl Iterator<Item = u64> + '_ {
-        self.0.iter().copied()
+        self.as_slice().iter().copied()
     }
 
     /// Underlying slice.
     pub fn as_slice(&self) -> &[u64] {
-        &self.0
+        match &self.0 {
+            Repr::Inline { len, buf } => &buf[..*len as usize],
+            Repr::Heap(v) => v,
+        }
+    }
+
+    /// Underlying mutable slice.
+    pub fn as_mut_slice(&mut self) -> &mut [u64] {
+        match &mut self.0 {
+            Repr::Inline { len, buf } => &mut buf[..*len as usize],
+            Repr::Heap(v) => v,
+        }
+    }
+
+    /// Overwrites `self` with `other`'s components without reallocating
+    /// when dimensions match.
+    pub fn copy_from(&mut self, other: &Counts) {
+        if self.len() == other.len() {
+            self.as_mut_slice().copy_from_slice(other.as_slice());
+        } else {
+            *self = other.clone();
+        }
+    }
+
+    /// Sets every component to zero, keeping the dimension.
+    pub fn clear(&mut self) {
+        for c in self.as_mut_slice() {
+            *c = 0;
+        }
     }
 
     /// Indices of the non-zero components.
     pub fn support(&self) -> Vec<usize> {
-        self.0
+        self.as_slice()
             .iter()
             .enumerate()
             .filter(|(_, &c)| c > 0)
@@ -107,23 +188,37 @@ impl Counts {
     }
 }
 
+impl PartialEq for Counts {
+    fn eq(&self, other: &Counts) -> bool {
+        self.as_slice() == other.as_slice()
+    }
+}
+
+impl Eq for Counts {}
+
+impl Hash for Counts {
+    fn hash<H: Hasher>(&self, state: &mut H) {
+        self.as_slice().hash(state);
+    }
+}
+
 impl Index<usize> for Counts {
     type Output = u64;
     fn index(&self, i: usize) -> &u64 {
-        &self.0[i]
+        &self.as_slice()[i]
     }
 }
 
 impl IndexMut<usize> for Counts {
     fn index_mut(&mut self, i: usize) -> &mut u64 {
-        &mut self.0[i]
+        &mut self.as_mut_slice()[i]
     }
 }
 
 impl fmt::Debug for Counts {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         write!(f, "⟨")?;
-        for (i, c) in self.0.iter().enumerate() {
+        for (i, c) in self.as_slice().iter().enumerate() {
             if i > 0 {
                 write!(f, ",")?;
             }
@@ -135,13 +230,36 @@ impl fmt::Debug for Counts {
 
 impl From<Vec<u64>> for Counts {
     fn from(v: Vec<u64>) -> Self {
-        Counts(v)
+        if v.len() <= INLINE_CAP {
+            Counts::from_slice(&v)
+        } else {
+            Counts(Repr::Heap(v))
+        }
     }
 }
 
 impl FromIterator<u64> for Counts {
     fn from_iter<I: IntoIterator<Item = u64>>(iter: I) -> Self {
-        Counts(iter.into_iter().collect())
+        let mut it = iter.into_iter();
+        let mut len = 0usize;
+        let mut buf = [0u64; INLINE_CAP];
+        for v in it.by_ref() {
+            if len < INLINE_CAP {
+                buf[len] = v;
+                len += 1;
+            } else {
+                // Fifth component: spill everything gathered so far.
+                let mut vec = Vec::with_capacity(INLINE_CAP * 2);
+                vec.extend_from_slice(&buf);
+                vec.push(v);
+                vec.extend(it);
+                return Counts(Repr::Heap(vec));
+            }
+        }
+        Counts(Repr::Inline {
+            len: len as u8,
+            buf,
+        })
     }
 }
 
@@ -165,6 +283,15 @@ mod tests {
         assert_eq!(s, Counts::from_slice(&[4, 2, 10]));
         assert_eq!(s.checked_sub(&b), Some(a.clone()));
         assert_eq!(a.checked_sub(&b), None, "component 1 would go negative");
+    }
+
+    #[test]
+    fn checked_sub_assign_leaves_self_on_failure() {
+        let mut a = Counts::from_slice(&[3, 1]);
+        assert!(!a.checked_sub_assign(&Counts::from_slice(&[1, 2])));
+        assert_eq!(a, Counts::from_slice(&[3, 1]), "unchanged on failure");
+        assert!(a.checked_sub_assign(&Counts::from_slice(&[1, 1])));
+        assert_eq!(a, Counts::from_slice(&[2, 0]));
     }
 
     #[test]
@@ -195,5 +322,42 @@ mod tests {
     fn debug_format_is_compact() {
         let a = Counts::from_slice(&[1, 2]);
         assert_eq!(format!("{a:?}"), "⟨1,2⟩");
+    }
+
+    #[test]
+    fn inline_and_heap_representations_agree() {
+        // Dimension 5 spills to the heap; behaviour must match inline.
+        let inline = Counts::from_slice(&[1, 2, 3, 4]);
+        assert_eq!(inline.len(), 4);
+        let heap: Counts = (1..=5u64).collect();
+        assert_eq!(heap.len(), 5);
+        assert_eq!(heap.as_slice(), &[1, 2, 3, 4, 5]);
+        assert_eq!(heap.total(), 15);
+        let heap2 = Counts::from(vec![1u64, 2, 3, 4, 5]);
+        assert_eq!(heap, heap2);
+        use std::collections::hash_map::DefaultHasher;
+        let h = |c: &Counts| {
+            let mut s = DefaultHasher::new();
+            c.hash(&mut s);
+            s.finish()
+        };
+        assert_eq!(h(&heap), h(&heap2));
+        // Equality and hashing are representation-independent for the
+        // same dimension: from_slice(≤4) is inline, From<Vec> of the
+        // same data must compare and hash identically.
+        let a = Counts::from_slice(&[7, 8]);
+        let b: Counts = vec![7u64, 8].into();
+        assert_eq!(a, b);
+        assert_eq!(h(&a), h(&b));
+    }
+
+    #[test]
+    fn copy_from_and_clear() {
+        let mut a = Counts::zero(2);
+        a.copy_from(&Counts::from_slice(&[9, 4]));
+        assert_eq!(a, Counts::from_slice(&[9, 4]));
+        a.clear();
+        assert!(a.is_zero());
+        assert_eq!(a.len(), 2);
     }
 }

@@ -1,0 +1,126 @@
+//! A fast, non-cryptographic hasher for hot-path maps.
+//!
+//! Two inner loops hash keys constantly: the engine's executor (grouping
+//! deltas by join key, consolidating Z-sets, maintaining bag state and
+//! hash indexes) and the solver's state arena (one `(Counts, t)` intern
+//! lookup per generated A\* edge). `std`'s default SipHash is
+//! DoS-resistant but costs several times more per small write than
+//! needed here, where every key is internal (no untrusted input reaches
+//! these maps). This is the multiply-rotate scheme used by rustc's
+//! `FxHasher`: one rotate, one xor and one multiply per 8 bytes.
+//!
+//! Determinism note: the hash function is fixed (no per-process random
+//! seed), so map *iteration order* is stable across runs for identical
+//! key sets. Nothing in the engine relies on that order — results that
+//! reach reports are sorted — but it makes debugging reproducible.
+
+use std::collections::{HashMap, HashSet};
+use std::hash::{BuildHasherDefault, Hasher};
+
+/// Multiplier from rustc's FxHasher (a.k.a. FireFox hash); chosen for
+/// good avalanche behaviour on pointer-sized inputs.
+const SEED: u64 = 0x51_7c_c1_b7_27_22_0a_95;
+
+/// The hasher state. `Default` starts at zero, as `BuildHasherDefault`
+/// requires.
+#[derive(Default)]
+pub struct FxHasher {
+    hash: u64,
+}
+
+impl FxHasher {
+    #[inline]
+    fn add(&mut self, word: u64) {
+        self.hash = (self.hash.rotate_left(5) ^ word).wrapping_mul(SEED);
+    }
+}
+
+impl Hasher for FxHasher {
+    #[inline]
+    fn write(&mut self, bytes: &[u8]) {
+        let mut chunks = bytes.chunks_exact(8);
+        for c in chunks.by_ref() {
+            self.add(u64::from_le_bytes(c.try_into().unwrap()));
+        }
+        let rest = chunks.remainder();
+        if !rest.is_empty() {
+            let mut buf = [0u8; 8];
+            buf[..rest.len()].copy_from_slice(rest);
+            self.add(u64::from_le_bytes(buf));
+        }
+    }
+
+    #[inline]
+    fn write_u8(&mut self, i: u8) {
+        self.add(i as u64);
+    }
+
+    #[inline]
+    fn write_u16(&mut self, i: u16) {
+        self.add(i as u64);
+    }
+
+    #[inline]
+    fn write_u32(&mut self, i: u32) {
+        self.add(i as u64);
+    }
+
+    #[inline]
+    fn write_u64(&mut self, i: u64) {
+        self.add(i);
+    }
+
+    #[inline]
+    fn write_usize(&mut self, i: usize) {
+        self.add(i as u64);
+    }
+
+    #[inline]
+    fn finish(&self) -> u64 {
+        self.hash
+    }
+}
+
+/// `HashMap` keyed with [`FxHasher`].
+pub type FxHashMap<K, V> = HashMap<K, V, BuildHasherDefault<FxHasher>>;
+
+/// `HashSet` keyed with [`FxHasher`].
+pub type FxHashSet<T> = HashSet<T, BuildHasherDefault<FxHasher>>;
+
+/// An `FxHashMap` pre-sized for `cap` entries.
+pub fn map_with_capacity<K, V>(cap: usize) -> FxHashMap<K, V> {
+    FxHashMap::with_capacity_and_hasher(cap, BuildHasherDefault::default())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::hash::{BuildHasher, Hash};
+
+    fn hash_of<T: Hash>(v: &T) -> u64 {
+        BuildHasherDefault::<FxHasher>::default().hash_one(v)
+    }
+
+    #[test]
+    fn deterministic_across_instances() {
+        assert_eq!(hash_of(&42u64), hash_of(&42u64));
+        assert_eq!(hash_of(&"hello"), hash_of(&"hello"));
+    }
+
+    #[test]
+    fn distinguishes_nearby_keys() {
+        assert_ne!(hash_of(&1u64), hash_of(&2u64));
+        assert_ne!(hash_of(&"a"), hash_of(&"b"));
+        // Unaligned tail bytes still contribute.
+        assert_ne!(hash_of(&[1u8, 2, 3]), hash_of(&[1u8, 2, 4]));
+    }
+
+    #[test]
+    fn map_roundtrip() {
+        let mut m: FxHashMap<String, i32> = map_with_capacity(4);
+        m.insert("x".into(), 1);
+        m.insert("y".into(), 2);
+        assert_eq!(m.get("x"), Some(&1));
+        assert_eq!(m.len(), 2);
+    }
+}

@@ -3,13 +3,12 @@
 
 use crate::cost::{fits, total_cost, CostModel};
 use crate::counts::Counts;
-use serde::{Deserialize, Serialize};
 
 /// The modification arrival sequence `d_0, …, d_T`.
 ///
 /// `arrivals.at(t)[i]` is the number of modifications on base table `R_i`
 /// arriving at discrete time step `t`.
-#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
+#[derive(Clone, Debug, PartialEq)]
 pub struct Arrivals {
     n: usize,
     steps: Vec<Counts>,
@@ -60,11 +59,7 @@ impl Arrivals {
     /// Total number of `R_i` modifications arriving during `(t, T]` —
     /// the `K_i` of the A* heuristic (§4.1).
     pub fn remaining_after(&self, t: usize, i: usize) -> u64 {
-        self.steps
-            .iter()
-            .skip(t + 1)
-            .map(|d| d[i])
-            .sum()
+        self.steps.iter().skip(t + 1).map(|d| d[i]).sum()
     }
 
     /// Maximum number of `R_i` modifications arriving in any single step —
@@ -106,7 +101,7 @@ impl Arrivals {
 
 /// A complete problem instance: `n` cost functions, an arrival sequence
 /// over `[0, T]`, and the response-time budget `C`.
-#[derive(Clone, Debug, Serialize, Deserialize)]
+#[derive(Clone, Debug)]
 pub struct Instance {
     /// Per-table batch cost functions `f_1 … f_n`.
     pub costs: Vec<CostModel>,

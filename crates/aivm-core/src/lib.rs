@@ -35,6 +35,7 @@
 pub mod bound;
 pub mod cost;
 pub mod counts;
+pub mod fxhash;
 pub mod instance;
 pub mod plan;
 pub mod tightness;

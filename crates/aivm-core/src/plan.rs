@@ -4,12 +4,11 @@
 use crate::cost::fits;
 use crate::counts::Counts;
 use crate::instance::Instance;
-use serde::{Deserialize, Serialize};
 use std::fmt;
 
 /// A maintenance plan `P = p_0, …, p_T`: one action vector per time step.
 /// `actions[t][i]` is the number of `R_i` modifications flushed at `t`.
-#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
+#[derive(Clone, Debug, PartialEq)]
 pub struct Plan {
     /// One action per time step, `t ∈ [0, T]`.
     pub actions: Vec<Counts>,
@@ -53,7 +52,10 @@ impl fmt::Display for PlanError {
                 write!(f, "plan has {got} actions, instance needs {expected}")
             }
             PlanError::Overdraw { t, table } => {
-                write!(f, "action at t={t} removes more than pending from table {table}")
+                write!(
+                    f,
+                    "action at t={t} removes more than pending from table {table}"
+                )
             }
             PlanError::BudgetViolated { t, cost } => {
                 write!(f, "post-action state at t={t} costs {cost} > budget")
@@ -68,7 +70,7 @@ impl fmt::Display for PlanError {
 impl std::error::Error for PlanError {}
 
 /// Summary statistics of a validated plan.
-#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
+#[derive(Clone, Debug, PartialEq)]
 pub struct PlanStats {
     /// Total maintenance cost `f(P) = Σ_t f(p_t)`.
     pub total_cost: f64,
@@ -98,10 +100,7 @@ impl Plan {
     /// Total maintenance cost `f(P)` under the instance's cost functions.
     /// Does not check validity.
     pub fn cost(&self, inst: &Instance) -> f64 {
-        self.actions
-            .iter()
-            .map(|p| inst.refresh_cost(p))
-            .sum()
+        self.actions.iter().map(|p| inst.refresh_cost(p)).sum()
     }
 
     /// Replays the plan against the instance and returns the sequence of
@@ -146,13 +145,12 @@ impl Plan {
         for t in 0..=horizon {
             s.add_assign(&inst.arrivals.at(t));
             let p = &self.actions[t];
-            let post = match s.checked_sub(p) {
-                Some(post) => post,
-                None => {
-                    let table = (0..inst.n()).find(|&i| p[i] > s[i]).unwrap_or(0);
-                    return Err(PlanError::Overdraw { t, table });
-                }
-            };
+            // In-place subtraction: `s` becomes the post-action state, with
+            // no per-step allocation. On overdraw `s` is left unchanged.
+            if !s.checked_sub_assign(p) {
+                let table = (0..inst.n()).find(|&i| p[i] > s[i]).unwrap_or(0);
+                return Err(PlanError::Overdraw { t, table });
+            }
             if !p.is_zero() {
                 action_count += 1;
                 for i in 0..inst.n() {
@@ -163,15 +161,16 @@ impl Plan {
                 total_cost += inst.refresh_cost(p);
             }
             if t < horizon {
-                let post_cost = inst.refresh_cost(&post);
+                let post_cost = inst.refresh_cost(&s);
                 max_post_cost = max_post_cost.max(post_cost);
                 if !fits(post_cost, inst.budget) {
                     return Err(PlanError::BudgetViolated { t, cost: post_cost });
                 }
-            } else if !post.is_zero() {
-                return Err(PlanError::NotEmptiedAtT { leftover: post });
+            } else if !s.is_zero() {
+                return Err(PlanError::NotEmptiedAtT {
+                    leftover: s.clone(),
+                });
             }
-            s = post;
         }
         Ok(PlanStats {
             total_cost,
@@ -186,18 +185,20 @@ impl Plan {
     pub fn is_lazy(&self, inst: &Instance) -> bool {
         let states = self.pre_action_states(inst);
         let horizon = self.horizon();
-        self.actions.iter().enumerate().all(|(t, p)| {
-            t == horizon || p.is_zero() || inst.is_full(&states[t])
-        })
+        self.actions
+            .iter()
+            .enumerate()
+            .all(|(t, p)| t == horizon || p.is_zero() || inst.is_full(&states[t]))
     }
 
     /// True when every action is *greedy* (Definition 3): each action
     /// empties a delta table entirely or leaves it untouched.
     pub fn is_greedy(&self, inst: &Instance) -> bool {
         let states = self.pre_action_states(inst);
-        self.actions.iter().enumerate().all(|(t, p)| {
-            (0..inst.n()).all(|i| p[i] == 0 || p[i] == states[t][i])
-        })
+        self.actions
+            .iter()
+            .enumerate()
+            .all(|(t, p)| (0..inst.n()).all(|i| p[i] == 0 || p[i] == states[t][i]))
     }
 
     /// True when every action before `T` is *minimal* (Definition 3): no
@@ -253,8 +254,11 @@ impl Plan {
                 states[t], p
             );
         }
-        let _ = writeln!(out, "total: {total:.3} over {} actions", 
-            self.actions.iter().filter(|p| !p.is_zero()).count());
+        let _ = writeln!(
+            out,
+            "total: {total:.3} over {} actions",
+            self.actions.iter().filter(|p| !p.is_zero()).count()
+        );
         out
     }
 }
@@ -349,7 +353,10 @@ mod tests {
         };
         assert!(matches!(
             p.validate(&inst),
-            Err(PlanError::WrongLength { expected: 6, got: 3 })
+            Err(PlanError::WrongLength {
+                expected: 6,
+                got: 3
+            })
         ));
     }
 

@@ -15,7 +15,10 @@ use crate::plan::Plan;
 /// The tightness instance for a given `ε` (where `1/ε` must be integral)
 /// and `m` (the horizon is `T = 2m − 1`).
 pub fn tightness_instance(eps: f64, m: usize, c: f64) -> Instance {
-    assert!(eps > 0.0 && (1.0 / eps).fract().abs() < 1e-9, "1/ε must be an integer");
+    assert!(
+        eps > 0.0 && (1.0 / eps).fract().abs() < 1e-9,
+        "1/ε must be an integer"
+    );
     assert!(m >= 1);
     let per_step = (2.0 / eps) as u64 + 1;
     Instance::new(
@@ -91,7 +94,10 @@ mod tests {
         let lgm = tightness_lgm_plan(&inst);
         let witness = tightness_witness_plan(&inst);
         witness.validate(&inst).expect("witness valid");
-        assert!(!witness.is_greedy(&inst), "the witness is deliberately non-greedy");
+        assert!(
+            !witness.is_greedy(&inst),
+            "the witness is deliberately non-greedy"
+        );
         let (lgm_cost, witness_cost) = tightness_analytic_costs(0.5, 3, 10.0);
         assert!((lgm.cost(&inst) - lgm_cost).abs() < 1e-9);
         assert!((witness.cost(&inst) - witness_cost).abs() < 1e-9);

@@ -28,9 +28,9 @@ pub fn make_lazy_plan(inst: &Instance, plan: &Plan) -> Plan {
         s.add_assign(&inst.arrivals.at(t));
         if inst.is_full(&s) || t == horizon {
             actions.push(accumulated.clone());
-            s = s
-                .checked_sub(&accumulated)
-                .expect("accumulated actions never exceed accumulated arrivals for a valid input plan");
+            s = s.checked_sub(&accumulated).expect(
+                "accumulated actions never exceed accumulated arrivals for a valid input plan",
+            );
             accumulated = Counts::zero(n);
         } else {
             actions.push(Counts::zero(n));
@@ -95,14 +95,14 @@ pub fn make_lgm_plan(inst: &Instance, plan: &Plan) -> Plan {
     let p_pre = plan.pre_action_states(inst);
     let mut actions = Vec::with_capacity(horizon + 1);
     let mut s_q = Counts::zero(n); // pre-action state under Q
-    for t in 0..=horizon {
+    for (t, p_pre_t) in p_pre.iter().enumerate() {
         s_q.add_assign(&inst.arrivals.at(t));
         if t == horizon {
             actions.push(s_q.clone());
             break;
         }
         if inst.is_full(&s_q) {
-            let p_post = p_pre[t]
+            let p_post = p_pre_t
                 .checked_sub(&plan.actions[t])
                 .expect("reference plan must be valid");
             let mut q = Counts::zero(n);

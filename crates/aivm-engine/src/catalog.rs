@@ -216,12 +216,16 @@ mod tests {
     fn modifications_route_to_dependent_views_only() {
         let (db, r, s) = base();
         let mut cat = ViewCatalog::new(db);
-        let join = cat.create_view(join_def("join"), MinStrategy::Multiset).unwrap();
+        let join = cat
+            .create_view(join_def("join"), MinStrategy::Multiset)
+            .unwrap();
         let solo = cat
             .create_view(single_table_def("solo"), MinStrategy::Multiset)
             .unwrap();
-        cat.modify(r, Modification::Insert(row![1i64, 10.0f64])).unwrap();
-        cat.modify(s, Modification::Insert(row![1i64, "a"])).unwrap();
+        cat.modify(r, Modification::Insert(row![1i64, 10.0f64]))
+            .unwrap();
+        cat.modify(s, Modification::Insert(row![1i64, "a"]))
+            .unwrap();
         // Both views see the r modification; only the join view sees s.
         assert_eq!(cat.view(join).pending_counts(), vec![1, 1]);
         assert_eq!(cat.view(solo).pending_counts(), vec![1]);
@@ -234,27 +238,32 @@ mod tests {
     fn views_flush_independently() {
         let (db, r, s) = base();
         let mut cat = ViewCatalog::new(db);
-        let v1 = cat.create_view(join_def("v1"), MinStrategy::Multiset).unwrap();
-        let v2 = cat.create_view(min_def("v2"), MinStrategy::Multiset).unwrap();
-        cat.modify(r, Modification::Insert(row![1i64, 3.0f64])).unwrap();
-        cat.modify(s, Modification::Insert(row![1i64, "t"])).unwrap();
+        let v1 = cat
+            .create_view(join_def("v1"), MinStrategy::Multiset)
+            .unwrap();
+        let v2 = cat
+            .create_view(min_def("v2"), MinStrategy::Multiset)
+            .unwrap();
+        cat.modify(r, Modification::Insert(row![1i64, 3.0f64]))
+            .unwrap();
+        cat.modify(s, Modification::Insert(row![1i64, "t"]))
+            .unwrap();
         // Flush only v1's r-delta.
         cat.flush(v1, &[1, 0]).unwrap();
         assert_eq!(cat.view(v1).pending_counts(), vec![0, 1]);
         assert_eq!(cat.view(v2).pending_counts(), vec![1, 1], "v2 untouched");
         cat.refresh_all().unwrap();
         assert_eq!(cat.result(v2), vec![(row![3.0f64], 1)]);
-        assert_eq!(
-            cat.view(v2).scalar(),
-            Some(Value::Float(3.0))
-        );
+        assert_eq!(cat.view(v2).scalar(), Some(Value::Float(3.0)));
     }
 
     #[test]
     fn sql_dml_routes_through_views() {
         let (db, _, _) = base();
         let mut cat = ViewCatalog::new(db);
-        let v = cat.create_view(min_def("m"), MinStrategy::Multiset).unwrap();
+        let v = cat
+            .create_view(min_def("m"), MinStrategy::Multiset)
+            .unwrap();
         let n1 = cat
             .execute_sql("INSERT INTO r VALUES (1, 5.0), (1, 3.0)")
             .unwrap();
@@ -263,7 +272,8 @@ mod tests {
         cat.refresh(v).unwrap();
         assert_eq!(cat.view(v).scalar(), Some(Value::Float(3.0)));
         // UPDATE flows through too: raising the min re-evaluates it.
-        cat.execute_sql("UPDATE r SET x = 10.0 WHERE x < 4").unwrap();
+        cat.execute_sql("UPDATE r SET x = 10.0 WHERE x < 4")
+            .unwrap();
         cat.refresh(v).unwrap();
         assert_eq!(cat.view(v).scalar(), Some(Value::Float(5.0)));
         // DELETE empties the group.
@@ -276,8 +286,11 @@ mod tests {
     fn duplicate_view_names_rejected() {
         let (db, _, _) = base();
         let mut cat = ViewCatalog::new(db);
-        cat.create_view(join_def("v"), MinStrategy::Multiset).unwrap();
-        assert!(cat.create_view(join_def("v"), MinStrategy::Multiset).is_err());
+        cat.create_view(join_def("v"), MinStrategy::Multiset)
+            .unwrap();
+        assert!(cat
+            .create_view(join_def("v"), MinStrategy::Multiset)
+            .is_err());
         assert_eq!(cat.view_id("v"), Some(0));
         assert_eq!(cat.view_id("zz"), None);
     }
@@ -286,9 +299,12 @@ mod tests {
     fn pending_reports_all_state_vectors() {
         let (db, r, _) = base();
         let mut cat = ViewCatalog::new(db);
-        cat.create_view(join_def("a"), MinStrategy::Multiset).unwrap();
-        cat.create_view(single_table_def("b"), MinStrategy::Multiset).unwrap();
-        cat.modify(r, Modification::Insert(row![2i64, 1.0f64])).unwrap();
+        cat.create_view(join_def("a"), MinStrategy::Multiset)
+            .unwrap();
+        cat.create_view(single_table_def("b"), MinStrategy::Multiset)
+            .unwrap();
+        cat.modify(r, Modification::Insert(row![2i64, 1.0f64]))
+            .unwrap();
         assert_eq!(cat.pending(), vec![vec![1, 0], vec![1]]);
     }
 }

@@ -268,10 +268,7 @@ mod tests {
         assert_eq!(t1.indexes().len(), 2);
         assert_eq!(t1.index_on(0).unwrap().kind(), IndexKind::Hash);
         assert_eq!(t1.index_on(1).unwrap().kind(), IndexKind::BTree);
-        assert_eq!(
-            t1.index_on(0).unwrap().lookup(&Value::Int(7)).len(),
-            1
-        );
+        assert_eq!(t1.index_on(0).unwrap().lookup(&Value::Int(7)).len(), 1);
         // Key column preserved (value-based deletes work).
         assert_eq!(restored.key_column(0), Some(0));
     }
@@ -316,9 +313,7 @@ mod tests {
         let t = db
             .create_table("n", Schema::new(vec![("v", DataType::Int)]))
             .unwrap();
-        db.table_mut(t)
-            .insert(Row::new(vec![Value::Null]))
-            .unwrap();
+        db.table_mut(t).insert(Row::new(vec![Value::Null])).unwrap();
         let restored = restore(snapshot(&db)).unwrap();
         let (_, row) = restored.table_by_name("n").unwrap().iter().next().unwrap();
         assert!(row.get(0).is_null());

@@ -364,14 +364,20 @@ mod tests {
             other => panic!("{other:?}"),
         };
         // ΔR propagates by scanning the unindexed S: big setup cost.
-        assert!(b_r > b_s, "ΔR (scan side) must have the larger setup: {b_r} vs {b_s}");
+        assert!(
+            b_r > b_s,
+            "ΔR (scan side) must have the larger setup: {b_r} vs {b_s}"
+        );
         // ΔS propagates by probing R's index: per-mod cost dominated by
         // probes, setup only the fixed batch overhead.
         assert!((b_s - consts.batch_setup).abs() < 1e-9);
         assert!(a_s > 0.0 && a_r > 0.0);
         // ΔR joins into S with fanout 10 (1000 rows / 100 keys): its
         // per-mod emit cost must exceed ΔS's fanout-1 path.
-        assert!(a_r > a_s, "fanout 10 side should cost more per mod: {a_r} vs {a_s}");
+        assert!(
+            a_r > a_s,
+            "fanout 10 side should cost more per mod: {a_r} vs {a_s}"
+        );
     }
 
     #[test]

@@ -29,11 +29,21 @@ impl Modification {
     /// The modification as signed-multiset (Z-set) entries:
     /// inserts are `+1`, deletes `−1`, updates a `−1`/`+1` pair.
     pub fn weighted(&self) -> Vec<(Row, i64)> {
+        let mut out = Vec::with_capacity(2);
+        self.push_weighted(&mut out);
+        out
+    }
+
+    /// Appends the signed-multiset entries to `out` without allocating a
+    /// per-modification vector (the flush hot path builds whole-batch
+    /// deltas this way).
+    pub fn push_weighted(&self, out: &mut Vec<(Row, i64)>) {
         match self {
-            Modification::Insert(r) => vec![(r.clone(), 1)],
-            Modification::Delete(r) => vec![(r.clone(), -1)],
+            Modification::Insert(r) => out.push((r.clone(), 1)),
+            Modification::Delete(r) => out.push((r.clone(), -1)),
             Modification::Update { old, new } => {
-                vec![(old.clone(), -1), (new.clone(), 1)]
+                out.push((old.clone(), -1));
+                out.push((new.clone(), 1));
             }
         }
     }
@@ -84,7 +94,11 @@ impl DeltaTable {
 
     /// The pending modifications as signed-multiset entries.
     pub fn weighted(&self) -> Vec<(Row, i64)> {
-        self.queue.iter().flat_map(|m| m.weighted()).collect()
+        let mut out = Vec::with_capacity(self.queue.len());
+        for m in &self.queue {
+            m.push_weighted(&mut out);
+        }
+        out
     }
 }
 

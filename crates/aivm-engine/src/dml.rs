@@ -97,7 +97,7 @@ pub fn compile_dml(db: &Database, sql: &str) -> Result<DmlStatement, EngineError
         let modifications = db
             .table(table)
             .iter()
-            .filter(|(_, r)| predicate.as_ref().map_or(true, |f| f.eval_bool(r)))
+            .filter(|(_, r)| predicate.as_ref().is_none_or(|f| f.eval_bool(r)))
             .map(|(_, r)| Modification::Delete(r.clone()))
             .collect();
         Ok(DmlStatement {
@@ -135,7 +135,7 @@ pub fn compile_dml(db: &Database, sql: &str) -> Result<DmlStatement, EngineError
         let modifications = db
             .table(table)
             .iter()
-            .filter(|(_, r)| predicate.as_ref().map_or(true, |f| f.eval_bool(r)))
+            .filter(|(_, r)| predicate.as_ref().is_none_or(|f| f.eval_bool(r)))
             .map(|(_, old)| {
                 let mut vals = old.values().to_vec();
                 for (col, e) in &assignments {
@@ -216,12 +216,12 @@ mod tests {
     #[test]
     fn update_with_column_references() {
         let mut db = db();
-        execute_dml(&mut db, "INSERT INTO items VALUES (1, 10.0, 'a'), (2, 20.0, 'b')").unwrap();
-        let stmt = execute_dml(
+        execute_dml(
             &mut db,
-            "UPDATE items SET price = price * 2 WHERE id = 1",
+            "INSERT INTO items VALUES (1, 10.0, 'a'), (2, 20.0, 'b')",
         )
         .unwrap();
+        let stmt = execute_dml(&mut db, "UPDATE items SET price = price * 2 WHERE id = 1").unwrap();
         assert_eq!(stmt.modifications.len(), 1);
         match &stmt.modifications[0] {
             Modification::Update { old, new } => {
@@ -238,8 +238,11 @@ mod tests {
     #[test]
     fn delete_with_and_without_predicate() {
         let mut db = db();
-        execute_dml(&mut db, "INSERT INTO items VALUES (1, 1.0, 'a'), (2, 2.0, 'b'), (3, 3.0, 'c')")
-            .unwrap();
+        execute_dml(
+            &mut db,
+            "INSERT INTO items VALUES (1, 1.0, 'a'), (2, 2.0, 'b'), (3, 3.0, 'c')",
+        )
+        .unwrap();
         let stmt = execute_dml(&mut db, "DELETE FROM items WHERE price > 1.5").unwrap();
         assert_eq!(stmt.modifications.len(), 2);
         assert_eq!(db.table_by_name("items").unwrap().len(), 1);

@@ -72,9 +72,7 @@ mod tests {
 
     #[test]
     fn display_messages_are_informative() {
-        let e = EngineError::NoSuchTable {
-            name: "foo".into(),
-        };
+        let e = EngineError::NoSuchTable { name: "foo".into() };
         assert!(e.to_string().contains("foo"));
         let e = EngineError::NoSuchColumn {
             table: "t".into(),

@@ -16,10 +16,10 @@
 //!   scan (the `c_ΔR` shape of Fig. 1).
 
 use crate::expr::Expr;
+use crate::fxhash::{self, FxHashMap};
 use crate::schema::Row;
 use crate::table::Table;
 use crate::value::Value;
-use std::collections::HashMap;
 
 /// A weighted row.
 pub type WRow = (Row, i64);
@@ -47,7 +47,7 @@ impl ExecStats {
 
 /// Sums weights of identical rows and drops zero-weight entries.
 pub fn consolidate(rows: Vec<WRow>) -> Vec<WRow> {
-    let mut map: HashMap<Row, i64> = HashMap::with_capacity(rows.len());
+    let mut map: FxHashMap<Row, i64> = fxhash::map_with_capacity(rows.len());
     for (r, w) in rows {
         *map.entry(r).or_insert(0) += w;
     }
@@ -64,12 +64,7 @@ pub fn filter(rows: Vec<WRow>, predicate: &Expr) -> Vec<WRow> {
 /// Maps each row through projection expressions.
 pub fn project(rows: &[WRow], exprs: &[Expr]) -> Vec<WRow> {
     rows.iter()
-        .map(|(r, w)| {
-            (
-                Row::new(exprs.iter().map(|e| e.eval(r)).collect()),
-                *w,
-            )
-        })
+        .map(|(r, w)| (Row::new(exprs.iter().map(|e| e.eval(r)).collect()), *w))
         .collect()
 }
 
@@ -87,28 +82,28 @@ pub fn compensated_rows(
     local_filter: Option<&Expr>,
     stats: &mut ExecStats,
 ) -> Vec<WRow> {
-    let mut out = Vec::with_capacity(table.len());
+    let mut out = Vec::with_capacity(table.len() + pending.len());
     for (_, row) in table.iter() {
         stats.rows_scanned += 1;
-        if local_filter.map_or(true, |f| f.eval_bool(row)) {
+        if local_filter.is_none_or(|f| f.eval_bool(row)) {
             out.push((row.clone(), 1));
         }
     }
     for (row, w) in pending {
-        if local_filter.map_or(true, |f| f.eval_bool(row)) {
+        if local_filter.is_none_or(|f| f.eval_bool(row)) {
             out.push((row.clone(), -w));
         }
     }
     out
 }
 
-/// Groups weighted rows by a single key column.
-fn group_by_key(rows: &[WRow], key: usize) -> HashMap<Value, Vec<WRow>> {
-    let mut map: HashMap<Value, Vec<WRow>> = HashMap::new();
-    for (r, w) in rows {
-        map.entry(r.get(key).clone())
-            .or_default()
-            .push((r.clone(), *w));
+/// Groups weighted rows by a single key column, storing *indices* into
+/// the input slice: no row or key clones, which keeps the per-batch join
+/// setup allocation-free apart from the map itself.
+fn group_indices(rows: &[WRow], key: usize) -> FxHashMap<&Value, Vec<usize>> {
+    let mut map: FxHashMap<&Value, Vec<usize>> = fxhash::map_with_capacity(rows.len());
+    for (i, (r, _)) in rows.iter().enumerate() {
+        map.entry(r.get(key)).or_default().push(i);
     }
     map
 }
@@ -127,28 +122,30 @@ pub fn join_scan(
     table_filter: Option<&Expr>,
     stats: &mut ExecStats,
 ) -> Vec<WRow> {
-    let by_key = group_by_key(delta, delta_key);
-    let mut out = Vec::new();
+    let by_key = group_indices(delta, delta_key);
+    let mut out = Vec::with_capacity(delta.len());
     // The scan: every physical row is visited regardless of delta size —
     // this is the constant-dominated cost shape.
     for (_, row) in table.iter() {
         stats.rows_scanned += 1;
-        if !table_filter.map_or(true, |f| f.eval_bool(row)) {
+        if !table_filter.is_none_or(|f| f.eval_bool(row)) {
             continue;
         }
         if let Some(matches) = by_key.get(row.get(table_key)) {
-            for (d, w) in matches {
+            for &di in matches {
+                let (d, w) = &delta[di];
                 out.push((d.concat(row), *w));
             }
         }
     }
     // Compensation: subtract matches against the pending delta.
     for (row, pw) in pending {
-        if !table_filter.map_or(true, |f| f.eval_bool(row)) {
+        if !table_filter.is_none_or(|f| f.eval_bool(row)) {
             continue;
         }
         if let Some(matches) = by_key.get(row.get(table_key)) {
-            for (d, w) in matches {
+            for &di in matches {
+                let (d, w) = &delta[di];
                 out.push((d.concat(row), -pw * w));
             }
         }
@@ -177,20 +174,21 @@ pub fn join_index(
         .index_on(table_key)
         .expect("join_index requires an index on the join column");
     // Pending entries grouped by join key for O(1) compensation probes.
-    let pending_by_key = group_by_key(pending, table_key);
-    let mut out = Vec::new();
+    let pending_by_key = group_indices(pending, table_key);
+    let mut out = Vec::with_capacity(delta.len());
     for (d, w) in delta {
         let key = d.get(delta_key);
         stats.index_probes += 1;
         for &rid in index.lookup(key) {
             let row = table.get(rid).expect("index points at live rows");
-            if table_filter.map_or(true, |f| f.eval_bool(row)) {
+            if table_filter.is_none_or(|f| f.eval_bool(row)) {
                 out.push((d.concat(row), *w));
             }
         }
         if let Some(pend) = pending_by_key.get(key) {
-            for (row, pw) in pend {
-                if table_filter.map_or(true, |f| f.eval_bool(row)) {
+            for &pi in pend {
+                let (row, pw) = &pending[pi];
+                if table_filter.is_none_or(|f| f.eval_bool(row)) {
                     out.push((d.concat(row), -pw * w));
                 }
             }
@@ -205,22 +203,22 @@ pub fn join_index(
 /// `right_col` relative to the right schema. Output is
 /// `left_row ++ right_row`.
 pub fn hash_join(left: &[WRow], right: &[WRow], on: &[(usize, usize)]) -> Vec<WRow> {
-    let key_of = |r: &Row, cols: &[usize]| -> Vec<Value> {
-        cols.iter().map(|&c| r.get(c).clone()).collect()
-    };
+    fn key_of<'a>(r: &'a Row, cols: &[usize]) -> Vec<&'a Value> {
+        cols.iter().map(|&c| r.get(c)).collect()
+    }
     let left_cols: Vec<usize> = on.iter().map(|&(l, _)| l).collect();
     let right_cols: Vec<usize> = on.iter().map(|&(_, r)| r).collect();
-    let mut build: HashMap<Vec<Value>, Vec<WRow>> = HashMap::new();
-    for (r, w) in right {
-        build
-            .entry(key_of(r, &right_cols))
-            .or_default()
-            .push((r.clone(), *w));
+    // Build side stores borrowed keys and row indices — no value or row
+    // clones during the build.
+    let mut build: FxHashMap<Vec<&Value>, Vec<usize>> = fxhash::map_with_capacity(right.len());
+    for (i, (r, _)) in right.iter().enumerate() {
+        build.entry(key_of(r, &right_cols)).or_default().push(i);
     }
-    let mut out = Vec::new();
+    let mut out = Vec::with_capacity(left.len());
     for (l, lw) in left {
         if let Some(matches) = build.get(&key_of(l, &left_cols)) {
-            for (r, rw) in matches {
+            for &ri in matches {
+                let (r, rw) = &right[ri];
                 out.push((l.concat(r), lw * rw));
             }
         }
@@ -303,7 +301,10 @@ mod tests {
         let delta = vec![(row![2i64, 20i64], 1)];
         let mut stats = ExecStats::default();
         let out = consolidate(join_scan(&delta, 0, &t, 0, &pending, None, &mut stats));
-        assert!(out.is_empty(), "physical match cancelled by compensation: {out:?}");
+        assert!(
+            out.is_empty(),
+            "physical match cancelled by compensation: {out:?}"
+        );
         // Same through the index path.
         let out = consolidate(join_index(&delta, 0, &t, 0, &pending, None, &mut stats));
         assert!(out.is_empty());
@@ -312,9 +313,9 @@ mod tests {
     #[test]
     fn compensation_restores_deleted_rows() {
         let t = table_rs(); // contains (2, "c") physically
-        // Pending: (2, "x") was *deleted* (weight −1) but the delete is
-        // unpropagated; compensated R = physical − (−1·row) = physical +
-        // the deleted row.
+                            // Pending: (2, "x") was *deleted* (weight −1) but the delete is
+                            // unpropagated; compensated R = physical − (−1·row) = physical +
+                            // the deleted row.
         let pending = vec![(row![2i64, "x"], -1)];
         let delta = vec![(row![2i64, 20i64], 1)];
         let mut stats = ExecStats::default();

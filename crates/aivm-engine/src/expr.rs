@@ -149,9 +149,7 @@ impl Expr {
                     },
                 }
             }
-            Expr::And(l, r) => {
-                Value::Int((l.eval_bool(row) && r.eval_bool(row)) as i64)
-            }
+            Expr::And(l, r) => Value::Int((l.eval_bool(row) && r.eval_bool(row)) as i64),
             Expr::Or(l, r) => Value::Int((l.eval_bool(row) || r.eval_bool(row)) as i64),
             Expr::Not(e) => Value::Int(!e.eval_bool(row) as i64),
         }
@@ -219,12 +217,9 @@ mod tests {
     fn comparisons() {
         let r = row![5i64, "x"];
         assert!(Expr::col(0).eq(Expr::lit(5i64)).eval_bool(&r));
-        assert!(Expr::Cmp(
-            CmpOp::Lt,
-            Box::new(Expr::col(0)),
-            Box::new(Expr::lit(6i64))
-        )
-        .eval_bool(&r));
+        assert!(
+            Expr::Cmp(CmpOp::Lt, Box::new(Expr::col(0)), Box::new(Expr::lit(6i64))).eval_bool(&r)
+        );
         assert!(Expr::col(1).eq(Expr::lit("x")).eval_bool(&r));
         assert!(!Expr::col(1).eq(Expr::lit("y")).eval_bool(&r));
     }
@@ -232,11 +227,19 @@ mod tests {
     #[test]
     fn arithmetic_int_and_float() {
         let r = row![6i64, 2.5f64];
-        let add = Expr::Arith(ArithOp::Add, Box::new(Expr::col(0)), Box::new(Expr::lit(4i64)));
+        let add = Expr::Arith(
+            ArithOp::Add,
+            Box::new(Expr::col(0)),
+            Box::new(Expr::lit(4i64)),
+        );
         assert_eq!(add.eval(&r), Value::Int(10));
         let mixed = Expr::Arith(ArithOp::Mul, Box::new(Expr::col(0)), Box::new(Expr::col(1)));
         assert_eq!(mixed.eval(&r), Value::Float(15.0));
-        let div0 = Expr::Arith(ArithOp::Div, Box::new(Expr::col(0)), Box::new(Expr::lit(0i64)));
+        let div0 = Expr::Arith(
+            ArithOp::Div,
+            Box::new(Expr::col(0)),
+            Box::new(Expr::lit(0i64)),
+        );
         assert!(div0.eval(&r).is_null());
     }
 
@@ -255,12 +258,9 @@ mod tests {
     fn null_comparisons_are_false() {
         let r = Row::new(vec![Value::Null]);
         assert!(!Expr::col(0).eq(Expr::lit(1i64)).eval_bool(&r));
-        assert!(!Expr::Cmp(
-            CmpOp::Ne,
-            Box::new(Expr::col(0)),
-            Box::new(Expr::lit(1i64))
-        )
-        .eval_bool(&r));
+        assert!(
+            !Expr::Cmp(CmpOp::Ne, Box::new(Expr::col(0)), Box::new(Expr::lit(1i64))).eval_bool(&r)
+        );
     }
 
     #[test]
@@ -273,7 +273,9 @@ mod tests {
 
     #[test]
     fn columns_collects_references() {
-        let e = Expr::col(1).eq(Expr::col(4)).and(Expr::col(2).eq(Expr::lit(1i64)));
+        let e = Expr::col(1)
+            .eq(Expr::col(4))
+            .and(Expr::col(2).eq(Expr::lit(1i64)));
         let mut cols = Vec::new();
         e.columns(&mut cols);
         cols.sort_unstable();

@@ -5,9 +5,10 @@
 //! amount per modification, while a delta joined against an unindexed
 //! table forces a full scan per batch.
 
+use crate::fxhash::FxHashMap;
 use crate::schema::Row;
 use crate::value::Value;
-use std::collections::{BTreeMap, HashMap};
+use std::collections::BTreeMap;
 
 /// Physical row identifier within a table (slot position).
 pub type RowId = usize;
@@ -29,7 +30,7 @@ pub enum Index {
         /// Indexed column position.
         column: usize,
         /// Key → row ids.
-        map: HashMap<Value, Vec<RowId>>,
+        map: FxHashMap<Value, Vec<RowId>>,
     },
     /// Ordered (B-tree) index.
     BTree {
@@ -46,7 +47,7 @@ impl Index {
         match kind {
             IndexKind::Hash => Index::Hash {
                 column,
-                map: HashMap::new(),
+                map: FxHashMap::default(),
             },
             IndexKind::BTree => Index::BTree {
                 column,
@@ -191,8 +192,14 @@ mod tests {
         for (i, k) in [10i64, 20, 30].iter().enumerate() {
             idx.insert(&row![*k], i);
         }
-        assert_eq!(idx.range_bounds(None, Some(&Value::Int(20))).unwrap(), vec![0, 1]);
-        assert_eq!(idx.range_bounds(Some(&Value::Int(20)), None).unwrap(), vec![1, 2]);
+        assert_eq!(
+            idx.range_bounds(None, Some(&Value::Int(20))).unwrap(),
+            vec![0, 1]
+        );
+        assert_eq!(
+            idx.range_bounds(Some(&Value::Int(20)), None).unwrap(),
+            vec![1, 2]
+        );
         assert_eq!(idx.range_bounds(None, None).unwrap(), vec![0, 1, 2]);
     }
 

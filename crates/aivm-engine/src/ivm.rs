@@ -32,6 +32,7 @@ use crate::delta::{DeltaTable, Modification};
 use crate::error::EngineError;
 use crate::exec::{self, ExecStats, WRow};
 use crate::expr::Expr;
+use crate::fxhash::FxHashMap;
 use crate::logical::{AggFunc, LogicalPlan};
 use crate::schema::Row;
 use crate::value::Value;
@@ -221,9 +222,9 @@ struct GroupState {
 #[derive(Clone, Debug)]
 enum ViewState {
     /// SPJ views: a weighted bag of output rows.
-    Bag(HashMap<Row, i64>),
+    Bag(FxHashMap<Row, i64>),
     /// Aggregate views: per-group incremental state.
-    Agg(HashMap<Row, GroupState>),
+    Agg(FxHashMap<Row, GroupState>),
 }
 
 /// A materialized view with per-table delta tables and incremental
@@ -274,7 +275,7 @@ impl MaterializedView {
             def,
             table_ids,
             pending: (0..n).map(|_| DeltaTable::new()).collect(),
-            state: ViewState::Bag(HashMap::new()),
+            state: ViewState::Bag(FxHashMap::default()),
             min_strategy,
             dirty: false,
             stats: MaintenanceStats::default(),
@@ -326,8 +327,8 @@ impl MaterializedView {
             });
         }
         let mut report = FlushReport::default();
-        for i in 0..self.n() {
-            let k = counts[i] as usize;
+        for (i, &c) in counts.iter().enumerate() {
+            let k = c as usize;
             if k == 0 {
                 continue;
             }
@@ -341,7 +342,10 @@ impl MaterializedView {
             }
             let mods = self.pending[i].take_prefix(k);
             report.mods_processed += k as u64;
-            let mut delta: Vec<WRow> = mods.iter().flat_map(|m| m.weighted()).collect();
+            let mut delta: Vec<WRow> = Vec::with_capacity(mods.len() * 2);
+            for m in &mods {
+                m.push_weighted(&mut delta);
+            }
             if let Some(f) = &self.def.filters[i] {
                 delta = exec::filter(delta, f);
             }
@@ -349,7 +353,16 @@ impl MaterializedView {
                 continue;
             }
             let mut stats = ExecStats::default();
-            let dj = self.propagate(db, i, delta, &mut stats)?;
+            let mut dj = self.propagate(db, i, delta, &mut stats)?;
+            if matches!(self.state, ViewState::Agg(_)) {
+                // Aggregate state walks the delta row by row, so cancel
+                // (−old, +new) pairs first: an unconsolidated stream
+                // could transiently delete a group extremum and force a
+                // spurious recompute. Bag state merges by key and checks
+                // multiplicities after the whole delta (see
+                // `apply_delta`), so it takes the stream raw.
+                dj = exec::consolidate(dj);
+            }
             report.exec.merge(&stats);
             self.apply_delta(&dj)?;
         }
@@ -402,10 +415,7 @@ impl MaterializedView {
                 };
                 if let Some((src, dst)) = pair {
                     let delta_key = self.stream_offset(db, &layout, src.0)? + src.1;
-                    let has_index = db
-                        .table(self.table_ids[dst.0])
-                        .index_on(dst.1)
-                        .is_some();
+                    let has_index = db.table(self.table_ids[dst.0]).index_on(dst.1).is_some();
                     if has_index {
                         candidate = Some((delta_key, dst.0, dst.1));
                         break;
@@ -470,7 +480,7 @@ impl MaterializedView {
         if let Some(residual) = &self.def.residual {
             out = exec::filter(out, residual);
         }
-        Ok(exec::consolidate(out))
+        Ok(out)
     }
 
     /// Column offset of table `t` inside a stream with the given layout.
@@ -496,19 +506,62 @@ impl MaterializedView {
     fn apply_delta(&mut self, dj: &[WRow]) -> Result<(), EngineError> {
         match (&mut self.state, &self.def.aggregate) {
             (ViewState::Bag(bag), None) => {
+                use std::collections::hash_map::Entry;
+                // Fast path: a projection made of plain column references
+                // (the common SPJ case) needs no expression interpreter.
+                let plain_cols: Option<Vec<usize>> = self.def.projection.as_ref().and_then(|p| {
+                    p.iter()
+                        .map(|(e, _)| match e {
+                            Expr::Col(i) => Some(*i),
+                            _ => None,
+                        })
+                        .collect()
+                });
+                // The delta may be unconsolidated: a (−old, +new) pair
+                // whose negative half lands first can dip an entry below
+                // zero transiently. Defer the invariant check to after
+                // the whole delta — only *final* negative multiplicities
+                // are maintenance bugs.
+                let mut deferred: Vec<Row> = Vec::new();
                 for (row, w) in dj {
-                    let out = match &self.def.projection {
-                        Some(proj) => Row::new(proj.iter().map(|(e, _)| e.eval(row)).collect()),
-                        None => row.clone(),
+                    let out = match (&plain_cols, &self.def.projection) {
+                        (Some(cols), _) => row.project(cols),
+                        (None, Some(proj)) => {
+                            Row::new(proj.iter().map(|(e, _)| e.eval(row)).collect())
+                        }
+                        (None, None) => row.clone(),
                     };
-                    let entry = bag.entry(out.clone()).or_insert(0);
-                    *entry += w;
-                    if *entry == 0 {
-                        bag.remove(&out);
-                    } else if *entry < 0 {
-                        return Err(EngineError::Maintenance {
-                            message: "bag multiplicity went negative".into(),
-                        });
+                    match bag.entry(out) {
+                        Entry::Occupied(mut e) => {
+                            let m = e.get_mut();
+                            *m += w;
+                            if *m == 0 {
+                                e.remove();
+                            } else if *m < 0 {
+                                deferred.push(e.key().clone());
+                            }
+                        }
+                        Entry::Vacant(v) => {
+                            if *w != 0 {
+                                if *w < 0 {
+                                    deferred.push(v.key().clone());
+                                }
+                                v.insert(*w);
+                            }
+                        }
+                    }
+                }
+                for key in deferred {
+                    match bag.get(&key) {
+                        Some(&m) if m < 0 => {
+                            return Err(EngineError::Maintenance {
+                                message: "bag multiplicity went negative".into(),
+                            });
+                        }
+                        Some(&0) => {
+                            bag.remove(&key);
+                        }
+                        _ => {}
                     }
                 }
                 Ok(())
@@ -609,11 +662,7 @@ impl MaterializedView {
         let overlay = |name: &str| -> Option<Vec<WRow>> {
             let pending = pending_by_name.get(name)?;
             let id = db.table_id(name).ok()?;
-            let mut rows: Vec<WRow> = db
-                .table(id)
-                .iter()
-                .map(|(_, r)| (r.clone(), 1))
-                .collect();
+            let mut rows: Vec<WRow> = db.table(id).iter().map(|(_, r)| (r.clone(), 1)).collect();
             rows.extend(pending.iter().map(|(r, w)| (r.clone(), -w)));
             Some(rows)
         };
@@ -621,7 +670,7 @@ impl MaterializedView {
         // Rebuild state.
         match &self.def.aggregate {
             None => {
-                let mut bag = HashMap::new();
+                let mut bag = FxHashMap::default();
                 for (row, w) in &j {
                     let out = match &self.def.projection {
                         Some(proj) => Row::new(proj.iter().map(|(e, _)| e.eval(row)).collect()),
@@ -638,7 +687,7 @@ impl MaterializedView {
                 self.state = ViewState::Bag(bag);
             }
             Some(spec) => {
-                let mut groups: HashMap<Row, GroupState> = HashMap::new();
+                let mut groups: FxHashMap<Row, GroupState> = FxHashMap::default();
                 for (row, w) in &j {
                     let key = row.project(&spec.group_by);
                     let group = groups.entry(key).or_insert_with(|| GroupState {
@@ -853,8 +902,7 @@ mod tests {
         let overlay = |name: &str| -> Option<Vec<WRow>> {
             let (_, pend) = pending.iter().find(|(n, _)| n == name)?;
             let id = db.table_id(name).ok()?;
-            let mut rows: Vec<WRow> =
-                db.table(id).iter().map(|(_, r)| (r.clone(), 1)).collect();
+            let mut rows: Vec<WRow> = db.table(id).iter().map(|(_, r)| (r.clone(), 1)).collect();
             rows.extend(pend.iter().map(|(r, w)| (r.clone(), -w)));
             Some(rows)
         };
@@ -894,10 +942,19 @@ mod tests {
         // Both tables receive pending modifications; flushing them in
         // separate actions must not double-count ΔR ⋈ ΔS.
         let (mut db, _, _) = setup_rs();
-        let mut view =
-            MaterializedView::new(&db, join_view_def(), MinStrategy::Multiset).unwrap();
-        modify(&mut db, &mut view, "r", Modification::Insert(row![1i64, 10.0f64]));
-        modify(&mut db, &mut view, "s", Modification::Insert(row![1i64, "a"]));
+        let mut view = MaterializedView::new(&db, join_view_def(), MinStrategy::Multiset).unwrap();
+        modify(
+            &mut db,
+            &mut view,
+            "r",
+            Modification::Insert(row![1i64, 10.0f64]),
+        );
+        modify(
+            &mut db,
+            &mut view,
+            "s",
+            Modification::Insert(row![1i64, "a"]),
+        );
         // Nothing flushed yet: view must still be empty.
         assert_consistent(&db, &view);
         assert!(view.result().is_empty());
@@ -952,10 +1009,19 @@ mod tests {
     #[test]
     fn deletes_and_updates_propagate() {
         let (mut db, _, _) = setup_rs();
-        let mut view =
-            MaterializedView::new(&db, join_view_def(), MinStrategy::Multiset).unwrap();
-        modify(&mut db, &mut view, "r", Modification::Insert(row![1i64, 10.0f64]));
-        modify(&mut db, &mut view, "s", Modification::Insert(row![1i64, "a"]));
+        let mut view = MaterializedView::new(&db, join_view_def(), MinStrategy::Multiset).unwrap();
+        modify(
+            &mut db,
+            &mut view,
+            "r",
+            Modification::Insert(row![1i64, 10.0f64]),
+        );
+        modify(
+            &mut db,
+            &mut view,
+            "s",
+            Modification::Insert(row![1i64, "a"]),
+        );
         view.refresh(&db).unwrap();
         assert_eq!(view.result().len(), 1);
 
@@ -975,7 +1041,12 @@ mod tests {
 
         // Delete the S row while R points elsewhere: still empty, and no
         // negative multiplicities.
-        modify(&mut db, &mut view, "s", Modification::Delete(row![1i64, "a"]));
+        modify(
+            &mut db,
+            &mut view,
+            "s",
+            Modification::Delete(row![1i64, "a"]),
+        );
         view.refresh(&db).unwrap();
         assert_consistent(&db, &view);
     }
@@ -1006,12 +1077,22 @@ mod tests {
         for (k, x) in [(1i64, 5.0f64), (1, 7.0), (1, 9.0)] {
             modify(&mut db, &mut view, "r", Modification::Insert(row![k, x]));
         }
-        modify(&mut db, &mut view, "s", Modification::Insert(row![1i64, "a"]));
+        modify(
+            &mut db,
+            &mut view,
+            "s",
+            Modification::Insert(row![1i64, "a"]),
+        );
         view.refresh(&db).unwrap();
         assert_eq!(view.scalar(), Some(Value::Float(5.0)));
 
         // Delete the row holding the minimum.
-        modify(&mut db, &mut view, "r", Modification::Delete(row![1i64, 5.0f64]));
+        modify(
+            &mut db,
+            &mut view,
+            "r",
+            Modification::Delete(row![1i64, 5.0f64]),
+        );
         view.refresh(&db).unwrap();
         assert_eq!(view.scalar(), Some(Value::Float(7.0)));
         assert_eq!(view.stats.recomputes, 0, "multiset never recomputes");
@@ -1028,10 +1109,13 @@ mod tests {
             ("r", Modification::Insert(row![1i64, 3.0f64])),
             ("s", Modification::Insert(row![1i64, "a"])),
             ("r", Modification::Delete(row![1i64, 3.0f64])), // removes min
-            ("r", Modification::Update {
-                old: row![1i64, 5.0f64],
-                new: row![1i64, 2.0f64],
-            }),
+            (
+                "r",
+                Modification::Update {
+                    old: row![1i64, 5.0f64],
+                    new: row![1i64, 2.0f64],
+                },
+            ),
         ];
         for (t, m) in &script {
             let id = db.table_id(t).unwrap();
@@ -1061,11 +1145,36 @@ mod tests {
             Box::new(Expr::lit(100.0f64)),
         ));
         let mut view = MaterializedView::new(&db, def, MinStrategy::Multiset).unwrap();
-        modify(&mut db, &mut view, "r", Modification::Insert(row![1i64, 50.0f64]));
-        modify(&mut db, &mut view, "r", Modification::Insert(row![2i64, 500.0f64]));
-        modify(&mut db, &mut view, "s", Modification::Insert(row![1i64, "keep"]));
-        modify(&mut db, &mut view, "s", Modification::Insert(row![1i64, "drop"]));
-        modify(&mut db, &mut view, "s", Modification::Insert(row![2i64, "keep"]));
+        modify(
+            &mut db,
+            &mut view,
+            "r",
+            Modification::Insert(row![1i64, 50.0f64]),
+        );
+        modify(
+            &mut db,
+            &mut view,
+            "r",
+            Modification::Insert(row![2i64, 500.0f64]),
+        );
+        modify(
+            &mut db,
+            &mut view,
+            "s",
+            Modification::Insert(row![1i64, "keep"]),
+        );
+        modify(
+            &mut db,
+            &mut view,
+            "s",
+            Modification::Insert(row![1i64, "drop"]),
+        );
+        modify(
+            &mut db,
+            &mut view,
+            "s",
+            Modification::Insert(row![2i64, "keep"]),
+        );
         view.refresh(&db).unwrap();
         assert_consistent(&db, &view);
         let res = exec::consolidate(view.result());
@@ -1078,9 +1187,24 @@ mod tests {
         let mut def = join_view_def();
         def.projection = Some(vec![(Expr::col(3), "tag".into())]);
         let mut view = MaterializedView::new(&db, def, MinStrategy::Multiset).unwrap();
-        modify(&mut db, &mut view, "r", Modification::Insert(row![1i64, 1.0f64]));
-        modify(&mut db, &mut view, "r", Modification::Insert(row![1i64, 2.0f64]));
-        modify(&mut db, &mut view, "s", Modification::Insert(row![1i64, "t"]));
+        modify(
+            &mut db,
+            &mut view,
+            "r",
+            Modification::Insert(row![1i64, 1.0f64]),
+        );
+        modify(
+            &mut db,
+            &mut view,
+            "r",
+            Modification::Insert(row![1i64, 2.0f64]),
+        );
+        modify(
+            &mut db,
+            &mut view,
+            "s",
+            Modification::Insert(row![1i64, "t"]),
+        );
         view.refresh(&db).unwrap();
         let res = exec::consolidate(view.result());
         assert_eq!(res, vec![(row!["t"], 2)], "bag semantics with multiplicity");
@@ -1109,7 +1233,12 @@ mod tests {
         view.refresh(&db).unwrap();
         assert_consistent(&db, &view);
         // Delete a grouped row and re-check.
-        modify(&mut db, &mut view, "r", Modification::Delete(row![1i64, 7.0f64]));
+        modify(
+            &mut db,
+            &mut view,
+            "r",
+            Modification::Delete(row![1i64, 7.0f64]),
+        );
         view.refresh(&db).unwrap();
         assert_consistent(&db, &view);
     }
@@ -1123,19 +1252,44 @@ mod tests {
         let mut view = MaterializedView::new(&db, def, MinStrategy::Multiset).unwrap();
         // Two R rows joining one S row → projected tag appears twice in
         // the bag but once in the DISTINCT result.
-        modify(&mut db, &mut view, "r", Modification::Insert(row![1i64, 1.0f64]));
-        modify(&mut db, &mut view, "r", Modification::Insert(row![1i64, 2.0f64]));
-        modify(&mut db, &mut view, "s", Modification::Insert(row![1i64, "t"]));
+        modify(
+            &mut db,
+            &mut view,
+            "r",
+            Modification::Insert(row![1i64, 1.0f64]),
+        );
+        modify(
+            &mut db,
+            &mut view,
+            "r",
+            Modification::Insert(row![1i64, 2.0f64]),
+        );
+        modify(
+            &mut db,
+            &mut view,
+            "s",
+            Modification::Insert(row![1i64, "t"]),
+        );
         view.refresh(&db).unwrap();
         assert_eq!(view.result(), vec![(row!["t"], 1)]);
         assert_consistent(&db, &view);
         // Deleting ONE of the R rows must keep the tag visible (this is
         // why the state tracks multiplicities).
-        modify(&mut db, &mut view, "r", Modification::Delete(row![1i64, 1.0f64]));
+        modify(
+            &mut db,
+            &mut view,
+            "r",
+            Modification::Delete(row![1i64, 1.0f64]),
+        );
         view.refresh(&db).unwrap();
         assert_eq!(view.result(), vec![(row!["t"], 1)]);
         // Deleting the second one removes it.
-        modify(&mut db, &mut view, "r", Modification::Delete(row![1i64, 2.0f64]));
+        modify(
+            &mut db,
+            &mut view,
+            "r",
+            Modification::Delete(row![1i64, 2.0f64]),
+        );
         view.refresh(&db).unwrap();
         assert!(view.result().is_empty());
         assert_consistent(&db, &view);
@@ -1160,8 +1314,18 @@ mod tests {
             ],
         });
         let mut view = MaterializedView::new(&db, def, MinStrategy::Multiset).unwrap();
-        modify(&mut db, &mut view, "r", Modification::Insert(row![1i64, 2.0f64]));
-        modify(&mut db, &mut view, "s", Modification::Insert(row![1i64, "t"]));
+        modify(
+            &mut db,
+            &mut view,
+            "r",
+            Modification::Insert(row![1i64, 2.0f64]),
+        );
+        modify(
+            &mut db,
+            &mut view,
+            "s",
+            Modification::Insert(row![1i64, "t"]),
+        );
         view.refresh(&db).unwrap();
         assert_consistent(&db, &view);
         let cells = view.result();
@@ -1173,8 +1337,7 @@ mod tests {
     #[test]
     fn flush_count_validation() {
         let (db, _, _) = setup_rs();
-        let mut view =
-            MaterializedView::new(&db, join_view_def(), MinStrategy::Multiset).unwrap();
+        let mut view = MaterializedView::new(&db, join_view_def(), MinStrategy::Multiset).unwrap();
         assert!(matches!(
             view.flush(&db, &[1, 0]),
             Err(EngineError::Maintenance { .. })
@@ -1188,11 +1351,20 @@ mod tests {
     #[test]
     fn partial_prefix_flushes_preserve_consistency() {
         let (mut db, _, _) = setup_rs();
-        let mut view =
-            MaterializedView::new(&db, join_view_def(), MinStrategy::Multiset).unwrap();
+        let mut view = MaterializedView::new(&db, join_view_def(), MinStrategy::Multiset).unwrap();
         for i in 0..6i64 {
-            modify(&mut db, &mut view, "r", Modification::Insert(row![i % 3, i as f64]));
-            modify(&mut db, &mut view, "s", Modification::Insert(row![i % 3, "t"]));
+            modify(
+                &mut db,
+                &mut view,
+                "r",
+                Modification::Insert(row![i % 3, i as f64]),
+            );
+            modify(
+                &mut db,
+                &mut view,
+                "s",
+                Modification::Insert(row![i % 3, "t"]),
+            );
         }
         // Flush R in prefixes of 2 while S stays pending, checking the
         // oracle at every step (non-greedy partial actions are legal for

@@ -27,9 +27,13 @@ pub mod sql;
 pub mod table;
 pub mod value;
 
+pub use aivm_core::fxhash;
 pub use catalog::{ViewCatalog, ViewId};
 pub use codec::{restore, snapshot};
-pub use costmodel::{estimate_cost_functions, explain_propagation, AccessPath, CostConstants, JoinStepExplain, PropagationExplain, TableStats};
+pub use costmodel::{
+    estimate_cost_functions, explain_propagation, AccessPath, CostConstants, JoinStepExplain,
+    PropagationExplain, TableStats,
+};
 pub use db::{Database, TableId};
 pub use delta::{DeltaTable, Modification};
 pub use dml::{compile_dml, execute_dml, DmlStatement};
@@ -37,7 +41,9 @@ pub use error::EngineError;
 pub use exec::{ExecStats, WRow};
 pub use expr::{ArithOp, CmpOp, Expr};
 pub use index::{Index, IndexKind, RowId};
-pub use ivm::{AggSpec, FlushReport, JoinPred, MaintenanceStats, MaterializedView, MinStrategy, ViewDef};
+pub use ivm::{
+    AggSpec, FlushReport, JoinPred, MaintenanceStats, MaterializedView, MinStrategy, ViewDef,
+};
 pub use logical::{AggFunc, LogicalPlan};
 pub use measure::{measure_cost_function, CostMeasurement, MeasureConfig};
 pub use schema::{Column, Row, Schema};

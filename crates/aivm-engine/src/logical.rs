@@ -119,9 +119,7 @@ impl LogicalPlan {
     /// Derives the output schema.
     pub fn schema(&self, db: &Database) -> Result<Schema, EngineError> {
         match self {
-            LogicalPlan::Scan { table, .. } => {
-                Ok(db.table_by_name(table)?.schema().clone())
-            }
+            LogicalPlan::Scan { table, .. } => Ok(db.table_by_name(table)?.schema().clone()),
             LogicalPlan::Filter { input, .. } => input.schema(db),
             LogicalPlan::Project { input, exprs } => {
                 let _ = input.schema(db)?;
@@ -184,10 +182,7 @@ impl LogicalPlan {
                         // Range pushdown: a sargable conjunct over a
                         // B-tree-indexed column narrows the scan to an
                         // index range; the full filter still applies.
-                        if let Some(ids) = filter
-                            .as_ref()
-                            .and_then(|f| sargable_range_scan(t, f))
-                        {
+                        if let Some(ids) = filter.as_ref().and_then(|f| sargable_range_scan(t, f)) {
                             ids.into_iter()
                                 .filter_map(|id| t.get(id).map(|r| (r.clone(), 1)))
                                 .collect()
@@ -489,7 +484,10 @@ mod tests {
             group_by: vec![],
             aggs: vec![(AggFunc::Min, Expr::col(1), "m".into())],
         };
-        assert_eq!(min.execute(&db).unwrap(), vec![(Row::new(vec![Value::Null]), 1)]);
+        assert_eq!(
+            min.execute(&db).unwrap(),
+            vec![(Row::new(vec![Value::Null]), 1)]
+        );
         let count = LogicalPlan::Aggregate {
             input: Box::new(empty),
             group_by: vec![],
@@ -533,9 +531,7 @@ mod tests {
         };
         let replacement = vec![(row![5i64, 99.0f64], 1)];
         let out = plan
-            .execute_with(&db, &|name| {
-                (name == "r").then(|| replacement.clone())
-            })
+            .execute_with(&db, &|name| (name == "r").then(|| replacement.clone()))
             .unwrap();
         assert_eq!(out, vec![(row![99.0f64], 1)]);
     }
@@ -589,10 +585,7 @@ mod tests {
         };
         let mut out = plan.execute(&db).unwrap();
         out.sort();
-        assert_eq!(
-            out,
-            vec![(row![1i64], 1), (row![2i64], 1), (row![3i64], 1)]
-        );
+        assert_eq!(out, vec![(row![1i64], 1), (row![2i64], 1), (row![3i64], 1)]);
     }
 
     #[test]
@@ -603,7 +596,10 @@ mod tests {
             keys: vec![(1, false)], // by x descending
         };
         let out = sorted.execute(&db).unwrap();
-        let xs: Vec<f64> = out.iter().map(|(r, _)| r.get(1).as_float().unwrap()).collect();
+        let xs: Vec<f64> = out
+            .iter()
+            .map(|(r, _)| r.get(1).as_float().unwrap())
+            .collect();
         assert_eq!(xs, vec![40.0, 30.0, 20.0, 10.0]);
 
         let limited = LogicalPlan::Limit {

@@ -3,7 +3,7 @@
 //! The paper's pub/sub scenario serves many subscribers: notification
 //! handlers read view results while a writer thread applies updates and
 //! runs maintenance. [`SharedView`] packages a [`Database`] and one
-//! [`MaterializedView`] behind a `parking_lot::RwLock` pair with the
+//! [`MaterializedView`] behind a `std::sync::RwLock` with the
 //! lock ordering baked in, so readers never block each other and the
 //! writer path (apply → enqueue → flush) is atomic with respect to
 //! readers.
@@ -19,8 +19,7 @@ use crate::error::EngineError;
 use crate::exec::WRow;
 use crate::ivm::{FlushReport, MaterializedView};
 use crate::value::Value;
-use parking_lot::RwLock;
-use std::sync::Arc;
+use std::sync::{Arc, RwLock};
 
 /// A database and one maintained view behind reader/writer locks.
 #[derive(Clone)]
@@ -49,15 +48,16 @@ impl SharedView {
         table_name: &str,
         m: Modification,
     ) -> Result<(), EngineError> {
-        let mut inner = self.inner.write();
+        let mut inner = self.inner.write().expect("shared view lock poisoned");
         // Resolve the view position before touching the base table so a
         // bad name cannot leave the database and the view inconsistent.
-        let pos = inner
-            .view
-            .table_position(table_name)
-            .ok_or_else(|| EngineError::NoSuchTable {
-                name: table_name.to_string(),
-            })?;
+        let pos =
+            inner
+                .view
+                .table_position(table_name)
+                .ok_or_else(|| EngineError::NoSuchTable {
+                    name: table_name.to_string(),
+                })?;
         inner.db.apply(table, &m)?;
         inner.view.enqueue(pos, m);
         Ok(())
@@ -65,37 +65,49 @@ impl SharedView {
 
     /// Flushes the given per-table counts (a maintenance action).
     pub fn flush(&self, counts: &[u64]) -> Result<FlushReport, EngineError> {
-        let mut inner = self.inner.write();
+        let mut inner = self.inner.write().expect("shared view lock poisoned");
         let Inner { db, view } = &mut *inner;
         view.flush(db, counts)
     }
 
     /// Flushes everything pending (a refresh).
     pub fn refresh(&self) -> Result<FlushReport, EngineError> {
-        let mut inner = self.inner.write();
+        let mut inner = self.inner.write().expect("shared view lock poisoned");
         let Inner { db, view } = &mut *inner;
         view.refresh(db)
     }
 
     /// Reads the current view result (concurrent with other readers).
     pub fn result(&self) -> Vec<WRow> {
-        self.inner.read().view.result()
+        self.inner
+            .read()
+            .expect("shared view lock poisoned")
+            .view
+            .result()
     }
 
     /// Reads a scalar view's single cell.
     pub fn scalar(&self) -> Option<Value> {
-        self.inner.read().view.scalar()
+        self.inner
+            .read()
+            .expect("shared view lock poisoned")
+            .view
+            .scalar()
     }
 
     /// Current pending counts (the paper's state vector).
     pub fn pending_counts(&self) -> Vec<u64> {
-        self.inner.read().view.pending_counts()
+        self.inner
+            .read()
+            .expect("shared view lock poisoned")
+            .view
+            .pending_counts()
     }
 
     /// Runs a closure with read access to the database (ad-hoc queries
     /// against the same snapshot readers see).
     pub fn with_db<R>(&self, f: impl FnOnce(&Database) -> R) -> R {
-        f(&self.inner.read().db)
+        f(&self.inner.read().expect("shared view lock poisoned").db)
     }
 }
 
@@ -144,8 +156,10 @@ mod tests {
     #[test]
     fn modify_flush_read_cycle() {
         let (sv, r, s) = shared();
-        sv.modify(r, "r", Modification::Insert(row![1i64, 10i64])).unwrap();
-        sv.modify(s, "s", Modification::Insert(row![1i64, "a"])).unwrap();
+        sv.modify(r, "r", Modification::Insert(row![1i64, 10i64]))
+            .unwrap();
+        sv.modify(s, "s", Modification::Insert(row![1i64, "a"]))
+            .unwrap();
         assert!(sv.result().is_empty(), "deferred until flush");
         assert_eq!(sv.pending_counts(), vec![1, 1]);
         sv.refresh().unwrap();
@@ -160,8 +174,10 @@ mod tests {
             let sv = sv.clone();
             thread::spawn(move || {
                 for i in 0..200i64 {
-                    sv.modify(r, "r", Modification::Insert(row![i % 5, i])).unwrap();
-                    sv.modify(s, "s", Modification::Insert(row![i % 5, "t"])).unwrap();
+                    sv.modify(r, "r", Modification::Insert(row![i % 5, i]))
+                        .unwrap();
+                    sv.modify(s, "s", Modification::Insert(row![i % 5, "t"]))
+                        .unwrap();
                     if i % 10 == 0 {
                         sv.refresh().unwrap();
                     }
@@ -176,9 +192,10 @@ mod tests {
                     let mut last = 0usize;
                     for _ in 0..500 {
                         let n = sv.result().len();
-                        // Results only ever reflect a complete flush,
-                        // so the multiset invariants hold at any read.
-                        assert!(n >= last || n < last, "total order exists");
+                        // Results only ever reflect a complete flush, so
+                        // a read can never observe more distinct rows
+                        // than the final join contains.
+                        assert!(n <= 5 * 40 * 40, "read saw impossible length {n}");
                         last = n;
                     }
                     last
@@ -205,7 +222,8 @@ mod tests {
     #[test]
     fn with_db_gives_query_access() {
         let (sv, r, _) = shared();
-        sv.modify(r, "r", Modification::Insert(row![1i64, 10i64])).unwrap();
+        sv.modify(r, "r", Modification::Insert(row![1i64, 10i64]))
+            .unwrap();
         let count = sv.with_db(|db| db.table_by_name("r").unwrap().len());
         assert_eq!(count, 1);
     }

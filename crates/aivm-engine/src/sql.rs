@@ -81,8 +81,10 @@ fn lex(input: &str) -> Result<Vec<Tok>, EngineError> {
                 }
                 let text: String = bytes[start..i].iter().collect();
                 if text.contains('.') {
-                    out.push(Tok::Float(text.parse().map_err(|_| EngineError::Parse {
-                        message: format!("bad number: {text}"),
+                    out.push(Tok::Float(text.parse().map_err(|_| {
+                        EngineError::Parse {
+                            message: format!("bad number: {text}"),
+                        }
                     })?));
                 } else {
                     out.push(Tok::Int(text.parse().map_err(|_| EngineError::Parse {
@@ -261,12 +263,11 @@ impl Parser {
         let mut tables = Vec::new();
         loop {
             let table = self.ident()?;
-            let alias = if self.eat_keyword("as") {
-                self.ident()?
-            } else if matches!(self.peek(), Some(Tok::Ident(s))
-                if !["where", "group", "order", "limit"]
-                    .iter()
-                    .any(|k| s.eq_ignore_ascii_case(k)))
+            let alias = if self.eat_keyword("as")
+                || matches!(self.peek(), Some(Tok::Ident(s))
+                    if !["where", "group", "order", "limit"]
+                        .iter()
+                        .any(|k| s.eq_ignore_ascii_case(k)))
             {
                 self.ident()?
             } else {
@@ -673,7 +674,11 @@ fn build_view(db: &Database, name: &str, stmt: &SelectStmt) -> Result<ViewDef, E
             match item.agg {
                 Some(func) => {
                     let mut used = Vec::new();
-                    aggs.push((func, resolver.lower(&item.expr, &mut used)?, item.name.clone()));
+                    aggs.push((
+                        func,
+                        resolver.lower(&item.expr, &mut used)?,
+                        item.name.clone(),
+                    ));
                 }
                 None => {
                     // Non-aggregated items must be grouping columns.
@@ -752,10 +757,12 @@ pub fn parse_query(db: &Database, sql: &str) -> Result<crate::logical::LogicalPl
         let schema = plan.schema(db)?;
         let mut keys = Vec::with_capacity(stmt.order_by.len());
         for (name, asc) in &stmt.order_by {
-            let col = schema.index_of(name).ok_or_else(|| EngineError::NoSuchColumn {
-                table: "<output>".into(),
-                column: name.clone(),
-            })?;
+            let col = schema
+                .index_of(name)
+                .ok_or_else(|| EngineError::NoSuchColumn {
+                    table: "<output>".into(),
+                    column: name.clone(),
+                })?;
             keys.push((col, *asc));
         }
         plan = crate::logical::LogicalPlan::Sort {
@@ -771,7 +778,6 @@ pub fn parse_query(db: &Database, sql: &str) -> Result<crate::logical::LogicalPl
     }
     Ok(plan)
 }
-
 
 // ------------------------------------------------- shared DML support
 
@@ -956,12 +962,7 @@ mod tests {
     #[test]
     fn alias_resolution() {
         let db = sample_db();
-        let def = parse_view(
-            &db,
-            "v",
-            "SELECT a.x FROM r AS a, s b WHERE a.k = b.k",
-        )
-        .unwrap();
+        let def = parse_view(&db, "v", "SELECT a.x FROM r AS a, s b WHERE a.k = b.k").unwrap();
         assert_eq!(def.join_preds.len(), 1);
     }
 

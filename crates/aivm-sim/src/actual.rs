@@ -55,12 +55,14 @@ pub fn run_plan_actual(
 ) -> Result<ActualRun, EngineError> {
     assert_eq!(inst.n(), 2, "instance tables: [partsupp, supplier]");
     let view_pos = [
-        view.table_position("partsupp").ok_or(EngineError::NoSuchTable {
-            name: "partsupp".into(),
-        })?,
-        view.table_position("supplier").ok_or(EngineError::NoSuchTable {
-            name: "supplier".into(),
-        })?,
+        view.table_position("partsupp")
+            .ok_or(EngineError::NoSuchTable {
+                name: "partsupp".into(),
+            })?,
+        view.table_position("supplier")
+            .ok_or(EngineError::NoSuchTable {
+                name: "supplier".into(),
+            })?,
     ];
     let db_table = [data.partsupp, data.supplier];
 

@@ -48,7 +48,9 @@ pub struct AdaptSweepRow {
     pub bound: f64,
 }
 
-/// Runs the sweep.
+/// Runs the sweep. Sweep points are independent given the precomputed
+/// schedule, so they fan out on the configured worker threads
+/// ([`crate::par`]) with deterministic result ordering.
 pub fn run(config: &AdaptSweepConfig) -> Vec<AdaptSweepRow> {
     let instance_for = |t: usize| {
         Instance::new(
@@ -58,30 +60,26 @@ pub fn run(config: &AdaptSweepConfig) -> Vec<AdaptSweepRow> {
         )
     };
     let schedule = AdaptSchedule::precompute(&instance_for(config.t0));
-    config
-        .refresh_times
-        .iter()
-        .map(|&t| {
-            let inst = instance_for(t);
-            let plan = adapt_plan(&schedule, &inst);
-            let adapt = plan
-                .validate(&inst)
-                .expect("adapted plan valid under uniform arrivals")
-                .total_cost;
-            let opt = optimal_lgm_plan(&inst).cost;
-            let bound = theorem4_bound(&config.costs, opt, t, config.t0);
-            assert!(
-                adapt <= bound + 1e-9,
-                "Theorem 4 violated at T={t}: {adapt} > {bound}"
-            );
-            AdaptSweepRow {
-                t,
-                adapt,
-                opt,
-                bound,
-            }
-        })
-        .collect()
+    crate::par::par_map(&config.refresh_times, |&t| {
+        let inst = instance_for(t);
+        let plan = adapt_plan(&schedule, &inst);
+        let adapt = plan
+            .validate(&inst)
+            .expect("adapted plan valid under uniform arrivals")
+            .total_cost;
+        let opt = optimal_lgm_plan(&inst).cost;
+        let bound = theorem4_bound(&config.costs, opt, t, config.t0);
+        assert!(
+            adapt <= bound + 1e-9,
+            "Theorem 4 violated at T={t}: {adapt} > {bound}"
+        );
+        AdaptSweepRow {
+            t,
+            adapt,
+            opt,
+            bound,
+        }
+    })
 }
 
 /// Runs and renders the sweep.
@@ -142,7 +140,7 @@ mod tests {
     fn overhead_stays_bounded_far_from_t0() {
         let rows = run(&quick());
         let far = rows.last().unwrap(); // T = 300 vs T0 = 120
-        // Theorem 4: overhead ≤ ⌈300/120⌉·Σb = 3·(0.24 + 7.2).
+                                        // Theorem 4: overhead ≤ ⌈300/120⌉·Σb = 3·(0.24 + 7.2).
         assert!(far.adapt - far.opt <= 3.0 * (0.24 + 7.2) + 1e-9);
     }
 }

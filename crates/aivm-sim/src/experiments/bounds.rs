@@ -71,46 +71,58 @@ fn random_instance(rng: &mut StdRng, linear_only: bool) -> Instance {
 /// construction; panics on any bound violation (this is a checked
 /// experiment, not best-effort).
 pub fn run(trials: usize, seed: u64) -> Vec<BoundsRow> {
+    // Instance generation stays serial so the RNG stream — and hence the
+    // verified instances — is identical at any thread count; only the
+    // (RNG-free) solving fans out on the worker threads.
     let mut rng = StdRng::seed_from_u64(seed);
+    let linear: Vec<Instance> = (0..trials)
+        .map(|_| random_instance(&mut rng, true))
+        .collect();
+    let general: Vec<Instance> = (0..trials)
+        .map(|_| random_instance(&mut rng, false))
+        .collect();
     let mut rows = Vec::new();
     // Linear family: Theorem 2 says ratio == 1.
-    for i in 0..trials {
-        let inst = random_instance(&mut rng, true);
-        let lgm = optimal_lgm_plan(&inst).cost;
-        if let Ok((_, opt)) = optimal_plan(&inst, 300_000) {
+    let linear_rows = crate::par::par_map_indexed(linear.len(), |i| {
+        let inst = &linear[i];
+        let lgm = optimal_lgm_plan(inst).cost;
+        optimal_plan(inst, 300_000).ok().map(|(_, opt)| {
             assert!(
                 (lgm - opt).abs() < 1e-6,
                 "Theorem 2 violated on linear instance {i}: LGM {lgm} vs OPT {opt}"
             );
-            rows.push(BoundsRow {
+            BoundsRow {
                 family: format!("linear#{i}"),
                 lgm,
                 opt,
-            });
-        }
-    }
+            }
+        })
+    });
+    rows.extend(linear_rows.into_iter().flatten());
     // General subadditive family: Theorem 1 says ratio ≤ 2. The paper's
     // A* heuristic is only admissible for linear costs (see aivm-solver
     // docs), so the provably consistent subadditive bound drives the
     // search here.
-    for i in 0..trials {
-        let inst = random_instance(&mut rng, false);
-        let lgm = optimal_lgm_plan_with(&inst, HeuristicMode::Subadditive).cost;
-        if let Ok((_, opt)) = optimal_plan(&inst, 300_000) {
+    let general_rows = crate::par::par_map_indexed(general.len(), |i| {
+        let inst = &general[i];
+        let lgm = optimal_lgm_plan_with(inst, HeuristicMode::Subadditive).cost;
+        optimal_plan(inst, 300_000).ok().map(|(_, opt)| {
             assert!(
                 lgm <= 2.0 * opt + 1e-6,
                 "Theorem 1 violated on instance {i}: LGM {lgm} vs OPT {opt}"
             );
             assert!(lgm + 1e-9 >= opt, "LGM cannot beat OPT");
-            rows.push(BoundsRow {
+            BoundsRow {
                 family: format!("subadditive#{i}"),
                 lgm,
                 opt,
-            });
-        }
-    }
+            }
+        })
+    });
+    rows.extend(general_rows.into_iter().flatten());
     // Tightness: ratio ≥ 2 − ε.
-    for eps_inv in [1u32, 2, 4, 10] {
+    let eps_invs = [1u32, 2, 4, 10];
+    rows.extend(crate::par::par_map(&eps_invs, |&eps_inv| {
         let eps = 1.0 / eps_inv as f64;
         let inst = tightness_instance(eps, 2, 10.0);
         let lgm = optimal_lgm_plan_with(&inst, HeuristicMode::Subadditive).cost;
@@ -120,12 +132,12 @@ pub fn run(trials: usize, seed: u64) -> Vec<BoundsRow> {
             ratio >= tightness_ratio(eps) - 1e-6,
             "tightness ratio too small for ε = {eps}"
         );
-        rows.push(BoundsRow {
+        BoundsRow {
             family: format!("tightness ε=1/{eps_inv}"),
             lgm,
             opt,
-        });
-    }
+        }
+    }));
     rows
 }
 

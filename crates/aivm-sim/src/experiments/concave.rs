@@ -76,32 +76,45 @@ pub struct FamilyGap {
     pub max_ratio: f64,
 }
 
-/// Runs `trials` random instances per family.
+/// Runs `trials` random instances per family. Instance generation stays
+/// serial (identical RNG stream at any thread count); the RNG-free
+/// solving fans out per instance on the configured worker threads.
 pub fn run(trials: usize, seed: u64) -> Vec<FamilyGap> {
     let mut rng = StdRng::seed_from_u64(seed);
-    Family::all()
+    let instances: Vec<(Family, Vec<Instance>)> = Family::all()
         .into_iter()
         .map(|family| {
-            let mut ratios = Vec::new();
-            for _ in 0..trials {
-                let n = rng.gen_range(1..=2usize);
-                let horizon = rng.gen_range(4..=9usize);
-                let costs: Vec<CostModel> = (0..n).map(|_| family.sample(&mut rng)).collect();
-                let steps = (0..=horizon)
-                    .map(|_| (0..n).map(|_| rng.gen_range(0..=3u64)).collect::<Counts>())
-                    .collect();
-                let inst = Instance::new(
-                    costs,
-                    Arrivals::new(steps),
-                    rng.gen_range(5.0..12.0),
-                );
-                let lgm = optimal_lgm_plan_with(&inst, HeuristicMode::Subadditive).cost;
-                if let Ok((_, opt)) = optimal_plan(&inst, 250_000) {
-                    if opt > 1e-9 {
-                        ratios.push(lgm / opt);
-                    }
-                }
-            }
+            let batch = (0..trials)
+                .map(|_| {
+                    let n = rng.gen_range(1..=2usize);
+                    let horizon = rng.gen_range(4..=9usize);
+                    let costs: Vec<CostModel> = (0..n).map(|_| family.sample(&mut rng)).collect();
+                    let steps = (0..=horizon)
+                        .map(|_| (0..n).map(|_| rng.gen_range(0..=3u64)).collect::<Counts>())
+                        .collect();
+                    Instance::new(costs, Arrivals::new(steps), rng.gen_range(5.0..12.0))
+                })
+                .collect();
+            (family, batch)
+        })
+        .collect();
+    let flat: Vec<&Instance> = instances.iter().flat_map(|(_, b)| b.iter()).collect();
+    let solved_ratios = crate::par::par_map(&flat, |inst| {
+        let lgm = optimal_lgm_plan_with(inst, HeuristicMode::Subadditive).cost;
+        match optimal_plan(inst, 250_000) {
+            Ok((_, opt)) if opt > 1e-9 => Some(lgm / opt),
+            _ => None,
+        }
+    });
+    instances
+        .iter()
+        .enumerate()
+        .map(|(fi, (family, _))| {
+            let ratios: Vec<f64> = solved_ratios[fi * trials..(fi + 1) * trials]
+                .iter()
+                .flatten()
+                .copied()
+                .collect();
             let solved = ratios.len();
             let mean_ratio = if solved == 0 {
                 1.0
@@ -110,7 +123,7 @@ pub fn run(trials: usize, seed: u64) -> Vec<FamilyGap> {
             };
             let max_ratio = ratios.iter().fold(1.0f64, |m, &r| m.max(r));
             FamilyGap {
-                family,
+                family: *family,
                 solved,
                 mean_ratio,
                 max_ratio,

@@ -85,14 +85,9 @@ pub fn run(config: &Fig4Config) -> Fig4Result {
     .expect("partsupp measurement");
 
     let mut gen_s = UpdateGen::new(&data, config.seed + 2);
-    let supplier = measure_cost_function(
-        &data.db,
-        &view,
-        s_pos,
-        |db| gen_s.supplier_update(db),
-        &cfg,
-    )
-    .expect("supplier measurement");
+    let supplier =
+        measure_cost_function(&data.db, &view, s_pos, |db| gen_s.supplier_update(db), &cfg)
+            .expect("supplier measurement");
 
     Fig4Result { partsupp, supplier }
 }

@@ -51,7 +51,8 @@ pub struct Fig6Row {
 }
 
 /// Runs the sweep and returns the raw rows. Sweep points are
-/// independent, so they run on scoped worker threads.
+/// independent pure computations, so they fan out on the configured
+/// worker threads ([`crate::par`]) with deterministic result ordering.
 pub fn run(config: &Fig6Config) -> Vec<Fig6Row> {
     let instance_for = |t: usize| {
         Instance::new(
@@ -71,8 +72,8 @@ pub fn run(config: &Fig6Config) -> Vec<Fig6Row> {
         let adapt = simulate_plan("ADAPT", &inst, &adapted)
             .expect("adapted plan valid under uniform arrivals")
             .total_cost;
-        let (_, online) = simulate_policy("ONLINE", &inst, &mut OnlinePolicy::new())
-            .expect("online valid");
+        let (_, online) =
+            simulate_policy("ONLINE", &inst, &mut OnlinePolicy::new()).expect("online valid");
         Fig6Row {
             t,
             naive,
@@ -81,21 +82,7 @@ pub fn run(config: &Fig6Config) -> Vec<Fig6Row> {
             online: online.total_cost,
         }
     };
-    let mut rows: Vec<(usize, Fig6Row)> = crossbeam::thread::scope(|scope| {
-        let handles: Vec<_> = config
-            .refresh_times
-            .iter()
-            .enumerate()
-            .map(|(i, &t)| {
-                let point = &point;
-                scope.spawn(move |_| (i, point(t)))
-            })
-            .collect();
-        handles.into_iter().map(|h| h.join().expect("sweep worker")).collect()
-    })
-    .expect("sweep scope");
-    rows.sort_by_key(|(i, _)| *i);
-    rows.into_iter().map(|(_, r)| r).collect()
+    crate::par::par_map(&config.refresh_times, |&t| point(t))
 }
 
 /// Runs the sweep and renders the paper's series.
@@ -150,8 +137,20 @@ mod tests {
                 r.opt
             );
             // ADAPT and ONLINE stay close to OPT.
-            assert!(r.adapt <= 1.35 * r.opt, "T={}: ADAPT {} vs OPT {}", r.t, r.adapt, r.opt);
-            assert!(r.online <= 1.5 * r.opt, "T={}: ONLINE {} vs OPT {}", r.t, r.online, r.opt);
+            assert!(
+                r.adapt <= 1.35 * r.opt,
+                "T={}: ADAPT {} vs OPT {}",
+                r.t,
+                r.adapt,
+                r.opt
+            );
+            assert!(
+                r.online <= 1.5 * r.opt,
+                "T={}: ONLINE {} vs OPT {}",
+                r.t,
+                r.online,
+                r.opt
+            );
         }
     }
 

@@ -120,7 +120,15 @@ pub fn table(config: &RefreshProcessConfig) -> ExpTable {
     let rows = run(config);
     let mut t = ExpTable::new(
         "Refresh processes (extension): condition-driven notification instants",
-        &["condition", "refreshes", "NAIVE", "ONLINE", "OPT (episodic)", "NAIVE/OPT", "ONLINE/OPT"],
+        &[
+            "condition",
+            "refreshes",
+            "NAIVE",
+            "ONLINE",
+            "OPT (episodic)",
+            "NAIVE/OPT",
+            "ONLINE/OPT",
+        ],
     );
     t.note(format!(
         "C = {}; T = {}; 1+1 updates/step; conditions observe a seeded random walk",

@@ -9,15 +9,19 @@
 //! * [`experiments`] — one driver per paper figure (1, 4, 5, 6, 7), the
 //!   §1 worked example, and the Theorem 1/2 bounds table.
 //! * [`report`] — text/CSV rendering of the reproduced series.
+//! * [`par`] — the deterministic parallel fan-out the sweep drivers run
+//!   on (`AIVM_THREADS` / `--threads` configurable).
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
 pub mod actual;
 pub mod experiments;
+pub mod par;
 pub mod report;
 pub mod runner;
 
 pub use actual::{run_plan_actual, ActionTiming, ActualRun};
+pub use par::{configured_threads, par_map, set_thread_override};
 pub use report::{fnum, ExpTable};
 pub use runner::{simulate_plan, simulate_policy, PlanSummary};

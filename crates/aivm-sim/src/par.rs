@@ -1,0 +1,166 @@
+//! Deterministic parallel fan-out for sweep experiments.
+//!
+//! Every figure sweep (refresh times × policies) is a set of independent
+//! pure `Instance → summary` computations, so the sweep layer fans them
+//! out across worker threads. The registry environment is unavailable
+//! offline, so instead of `rayon` this is a small scoped-thread work
+//! queue with the properties the experiments need:
+//!
+//! * **Deterministic ordering** — results are returned in input order
+//!   regardless of which worker finished first, so parallel sweeps are
+//!   byte-identical to serial ones (verified by
+//!   `tests/solver_equivalence.rs`).
+//! * **Work stealing by atomic counter** — sweep points have wildly
+//!   different costs (A\* at `T = 1000` vs `T = 100`), so workers pull
+//!   the next index from a shared counter rather than pre-chunking.
+//! * **Configurable width** — `--threads N` on the `repro` binary,
+//!   [`set_thread_override`], or the `AIVM_THREADS` /
+//!   `RAYON_NUM_THREADS` environment variables (first set wins); the
+//!   default is the machine's available parallelism. Width 1 runs
+//!   inline on the caller with no threads spawned — the paper-fidelity
+//!   serial mode.
+
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::mpsc;
+
+/// Process-wide thread-count override (0 = unset). Set by `--threads`.
+static THREAD_OVERRIDE: AtomicUsize = AtomicUsize::new(0);
+
+/// Forces the sweep width for the whole process, taking precedence over
+/// the environment. `None` clears the override.
+pub fn set_thread_override(threads: Option<usize>) {
+    THREAD_OVERRIDE.store(threads.unwrap_or(0), Ordering::Relaxed);
+}
+
+/// The sweep width currently in effect: the [`set_thread_override`]
+/// value, else `AIVM_THREADS`, else `RAYON_NUM_THREADS`, else the
+/// machine's available parallelism (at least 1).
+pub fn configured_threads() -> usize {
+    let forced = THREAD_OVERRIDE.load(Ordering::Relaxed);
+    if forced > 0 {
+        return forced;
+    }
+    for var in ["AIVM_THREADS", "RAYON_NUM_THREADS"] {
+        if let Some(n) = std::env::var(var)
+            .ok()
+            .and_then(|v| v.trim().parse::<usize>().ok())
+        {
+            if n > 0 {
+                return n;
+            }
+        }
+    }
+    std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(1)
+}
+
+/// Maps `f` over `0..len` with the configured sweep width, returning
+/// results in index order.
+pub fn par_map_indexed<R, F>(len: usize, f: F) -> Vec<R>
+where
+    R: Send,
+    F: Fn(usize) -> R + Sync,
+{
+    par_map_indexed_with(configured_threads(), len, f)
+}
+
+/// [`par_map_indexed`] at an explicit width.
+pub fn par_map_indexed_with<R, F>(threads: usize, len: usize, f: F) -> Vec<R>
+where
+    R: Send,
+    F: Fn(usize) -> R + Sync,
+{
+    let threads = threads.max(1).min(len.max(1));
+    if threads == 1 || len <= 1 {
+        return (0..len).map(f).collect();
+    }
+    let next = AtomicUsize::new(0);
+    let (tx, rx) = mpsc::channel::<(usize, R)>();
+    std::thread::scope(|scope| {
+        for _ in 0..threads {
+            let tx = tx.clone();
+            let next = &next;
+            let f = &f;
+            scope.spawn(move || loop {
+                let i = next.fetch_add(1, Ordering::Relaxed);
+                if i >= len {
+                    break;
+                }
+                // A worker panic drops its sender; the collector below
+                // notices the short count and propagates via join.
+                if tx.send((i, f(i))).is_err() {
+                    break;
+                }
+            });
+        }
+        drop(tx);
+        let mut slots: Vec<Option<R>> = (0..len).map(|_| None).collect();
+        let mut received = 0usize;
+        for (i, r) in rx {
+            slots[i] = Some(r);
+            received += 1;
+        }
+        // If a worker panicked, scope join re-raises it after this block;
+        // the assert is only reachable when every worker exited cleanly
+        // yet skipped an index, which would be a bug in the queue.
+        if received == len {
+            slots.into_iter().map(|s| s.expect("slot filled")).collect()
+        } else {
+            Vec::new()
+        }
+    })
+}
+
+/// Maps `f` over a slice with the configured width, preserving order.
+pub fn par_map<T, R, F>(items: &[T], f: F) -> Vec<R>
+where
+    T: Sync,
+    R: Send,
+    F: Fn(&T) -> R + Sync,
+{
+    par_map_indexed(items.len(), |i| f(&items[i]))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn preserves_input_order() {
+        let items: Vec<usize> = (0..100).collect();
+        let out = par_map(&items, |&x| x * 2);
+        assert_eq!(out, (0..100).map(|x| x * 2).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn serial_and_parallel_agree() {
+        let serial = par_map_indexed_with(1, 37, |i| i * i + 1);
+        let parallel = par_map_indexed_with(8, 37, |i| i * i + 1);
+        assert_eq!(serial, parallel);
+    }
+
+    #[test]
+    fn empty_and_single() {
+        assert_eq!(par_map_indexed_with(4, 0, |i| i), Vec::<usize>::new());
+        assert_eq!(par_map_indexed_with(4, 1, |i| i + 9), vec![9]);
+    }
+
+    #[test]
+    fn override_beats_env() {
+        set_thread_override(Some(3));
+        assert_eq!(configured_threads(), 3);
+        set_thread_override(None);
+        assert!(configured_threads() >= 1);
+    }
+
+    #[test]
+    fn uneven_work_is_balanced() {
+        // Heavy items early; counter-based stealing must not deadlock or
+        // reorder.
+        let items: Vec<u64> = (0..24).map(|i| if i < 4 { 200_000 } else { 10 }).collect();
+        let out = par_map(&items, |&n| (0..n).map(|x| x % 7).sum::<u64>());
+        let expect: Vec<u64> = items.iter().map(|&n| (0..n).map(|x| x % 7).sum()).collect();
+        assert_eq!(out, expect);
+    }
+}

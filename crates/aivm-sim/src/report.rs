@@ -4,11 +4,10 @@
 //! corresponding paper figure reports — which the `repro` binary renders
 //! as aligned text or CSV.
 
-use serde::{Deserialize, Serialize};
 use std::fmt::Write as _;
 
 /// One reproduced table/figure.
-#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
+#[derive(Clone, Debug, PartialEq)]
 pub struct ExpTable {
     /// Title, e.g. `"Figure 6: varying refresh time"`.
     pub title: String,
@@ -92,7 +91,11 @@ impl ExpTable {
         let _ = writeln!(
             out,
             "{}",
-            self.headers.iter().map(|h| esc(h)).collect::<Vec<_>>().join(",")
+            self.headers
+                .iter()
+                .map(|h| esc(h))
+                .collect::<Vec<_>>()
+                .join(",")
         );
         for row in &self.rows {
             let _ = writeln!(

@@ -8,10 +8,9 @@
 
 use aivm_core::{fits, Counts, Instance, Plan, PlanError};
 use aivm_solver::{run_policy, Policy, PolicyContext};
-use serde::{Deserialize, Serialize};
 
 /// Summary of a simulated plan execution.
-#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
+#[derive(Clone, Debug, PartialEq)]
 pub struct PlanSummary {
     /// Label (NAIVE / OPT^LGM / ADAPT / ONLINE …).
     pub name: String,
@@ -38,11 +37,7 @@ impl PlanSummary {
 
 /// Simulates a precomputed plan: validates it against the instance and
 /// summarizes.
-pub fn simulate_plan(
-    name: &str,
-    inst: &Instance,
-    plan: &Plan,
-) -> Result<PlanSummary, PlanError> {
+pub fn simulate_plan(name: &str, inst: &Instance, plan: &Plan) -> Result<PlanSummary, PlanError> {
     let stats = plan.validate(inst)?;
     Ok(PlanSummary {
         name: name.to_string(),
@@ -148,22 +143,28 @@ pub fn episodic_optimal(inst: &Instance, refresh_times: &[usize]) -> f64 {
         .collect();
     boundaries.push(horizon);
     boundaries.dedup();
-    let mut total = 0.0;
+    let mut windows: Vec<(usize, usize)> = Vec::with_capacity(boundaries.len());
     let mut start = 0usize;
     for &end in &boundaries {
+        windows.push((start, end));
+        start = end + 1;
+        if start > horizon {
+            break;
+        }
+    }
+    // Episodes are independent A* problems; solve them on the configured
+    // worker threads and sum in window order (deterministic).
+    crate::par::par_map(&windows, |&(start, end)| {
         let steps: Vec<Counts> = (start..=end).map(|t| inst.arrivals.at(t)).collect();
         let episode = Instance::new(
             inst.costs.clone(),
             aivm_core::Arrivals::new(steps),
             inst.budget,
         );
-        total += aivm_solver::optimal_lgm_plan(&episode).cost;
-        start = end + 1;
-        if start > horizon {
-            break;
-        }
-    }
-    total
+        aivm_solver::optimal_lgm_plan(&episode).cost
+    })
+    .into_iter()
+    .sum()
 }
 
 #[cfg(test)]
@@ -196,8 +197,7 @@ mod tests {
     fn multi_refresh_runner_flushes_at_instants() {
         let inst = inst();
         let mut policy = NaivePolicy::new();
-        let summary =
-            run_policy_with_refreshes(&inst, &mut policy, &[5, 12]).expect("valid");
+        let summary = run_policy_with_refreshes(&inst, &mut policy, &[5, 12]).expect("valid");
         // Refreshes at 5, 12 and the horizon 20 all force full flushes;
         // NAIVE may act in between as well.
         assert!(summary.actions >= 3);

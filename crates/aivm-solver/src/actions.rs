@@ -8,23 +8,23 @@
 //! paper notes `n` is small in practice (≤ 5 for its TPC-R views), so an
 //! exact `2^n` sweep is the intended implementation.
 
-use aivm_core::{fits, total_cost, CostModel, Counts, Instance};
+use aivm_core::{fits, CostFn, CostModel, Counts, Instance};
 
 /// Hard cap on the number of base tables for exact subset enumeration.
 /// `2^20` subsets is already ~1M; beyond that the exact sweep is a bug,
 /// not a workload.
 pub const MAX_TABLES_FOR_ENUM: usize = 20;
 
-/// Returns the post-action state obtained by emptying the tables in
-/// `mask` (bit `i` set ⇒ flush table `i`) from pre-action state `s`.
-fn apply_mask(s: &Counts, mask: u32) -> Counts {
-    let mut post = s.clone();
-    for i in 0..s.len() {
-        if mask & (1 << i) != 0 {
-            post[i] = 0;
+/// The cost of the state left by flushing `mask` from `s`, computed
+/// without materializing the post-action vector.
+fn post_mask_cost(costs: &[CostModel], s: &Counts, mask: u32) -> f64 {
+    let mut total = 0.0;
+    for (i, c) in s.iter().enumerate() {
+        if mask & (1 << i) == 0 && c > 0 {
+            total += costs[i].eval(c);
         }
     }
-    post
+    total
 }
 
 /// Converts a flush mask into the corresponding greedy action vector.
@@ -49,7 +49,10 @@ pub fn valid_greedy_actions(inst: &Instance, s: &Counts) -> Vec<Counts> {
 /// [`valid_greedy_actions`] without an [`Instance`]: only cost functions
 /// and the budget are needed, which is all an online policy knows.
 pub fn valid_greedy_actions_ctx(costs: &[CostModel], budget: f64, s: &Counts) -> Vec<Counts> {
-    assert!(s.len() <= MAX_TABLES_FOR_ENUM, "too many tables for exact enumeration");
+    assert!(
+        s.len() <= MAX_TABLES_FOR_ENUM,
+        "too many tables for exact enumeration"
+    );
     let support = s.support();
     let mut out = Vec::new();
     // Iterate over subsets of the support only.
@@ -61,8 +64,7 @@ pub fn valid_greedy_actions_ctx(costs: &[CostModel], budget: f64, s: &Counts) ->
                 mask |= 1 << i;
             }
         }
-        let post = apply_mask(s, mask);
-        if fits(total_cost(costs, &post), budget) {
+        if fits(post_mask_cost(costs, s, mask), budget) {
             out.push(mask_to_action(s, mask));
         }
     }
@@ -82,10 +84,35 @@ pub fn minimal_greedy_actions(inst: &Instance, s: &Counts) -> Vec<Counts> {
 /// [`minimal_greedy_actions`] without an [`Instance`]; see
 /// [`valid_greedy_actions_ctx`].
 pub fn minimal_greedy_actions_ctx(costs: &[CostModel], budget: f64, s: &Counts) -> Vec<Counts> {
-    assert!(s.len() <= MAX_TABLES_FOR_ENUM, "too many tables for exact enumeration");
-    let support = s.support();
-    let m = support.len();
     let mut out = Vec::new();
+    minimal_greedy_actions_into(costs, budget, s, &mut out);
+    out
+}
+
+/// [`minimal_greedy_actions_ctx`] writing into a caller-owned buffer
+/// (cleared first), so hot loops — the A\* expansion, the ONLINE policy
+/// — reuse one allocation across calls.
+pub fn minimal_greedy_actions_into(
+    costs: &[CostModel],
+    budget: f64,
+    s: &Counts,
+    out: &mut Vec<Counts>,
+) {
+    assert!(
+        s.len() <= MAX_TABLES_FOR_ENUM,
+        "too many tables for exact enumeration"
+    );
+    out.clear();
+    // Gather the support without allocating (n ≤ MAX_TABLES_FOR_ENUM).
+    let mut support = [0usize; MAX_TABLES_FOR_ENUM];
+    let mut m = 0usize;
+    for (i, c) in s.iter().enumerate() {
+        if c > 0 {
+            support[m] = i;
+            m += 1;
+        }
+    }
+    let support = &support[..m];
     for bits in 0..(1u32 << m) {
         // Build the table mask for this subset of the support.
         let mut mask = 0u32;
@@ -94,8 +121,7 @@ pub fn minimal_greedy_actions_ctx(costs: &[CostModel], budget: f64, s: &Counts) 
                 mask |= 1 << i;
             }
         }
-        let post = apply_mask(s, mask);
-        if !fits(total_cost(costs, &post), budget) {
+        if !fits(post_mask_cost(costs, s, mask), budget) {
             continue; // not valid
         }
         // Minimality: dropping any single flushed table must be invalid.
@@ -104,8 +130,7 @@ pub fn minimal_greedy_actions_ctx(costs: &[CostModel], budget: f64, s: &Counts) 
             if bits & (1 << j) == 0 {
                 continue;
             }
-            let sub_post = apply_mask(s, mask & !(1u32 << i));
-            if fits(total_cost(costs, &sub_post), budget) {
+            if fits(post_mask_cost(costs, s, mask & !(1u32 << i)), budget) {
                 minimal = false;
                 break;
             }
@@ -114,7 +139,6 @@ pub fn minimal_greedy_actions_ctx(costs: &[CostModel], budget: f64, s: &Counts) 
             out.push(mask_to_action(s, mask));
         }
     }
-    out
 }
 
 #[cfg(test)]
@@ -124,11 +148,7 @@ mod tests {
 
     fn inst(costs: Vec<CostModel>, budget: f64) -> Instance {
         let n = costs.len();
-        Instance::new(
-            costs,
-            Arrivals::uniform(Counts::zero(n), 0),
-            budget,
-        )
+        Instance::new(costs, Arrivals::uniform(Counts::zero(n), 0), budget)
     }
 
     #[test]

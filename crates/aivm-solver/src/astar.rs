@@ -29,10 +29,12 @@
 //!   admissible and consistent for *every* valid cost function.
 //! * **None**: uniform-cost search (Dijkstra), the ablation baseline.
 
-use crate::actions::minimal_greedy_actions;
+use crate::actions::minimal_greedy_actions_into;
+use aivm_core::fxhash::{self, FxHashMap};
 use aivm_core::{CostFn, Counts, Instance, Plan};
 use std::cmp::Ordering;
-use std::collections::{BinaryHeap, HashMap, HashSet};
+use std::collections::hash_map::Entry;
+use std::collections::BinaryHeap;
 
 /// Which lower bound guides the search.
 #[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
@@ -55,6 +57,55 @@ pub enum HeuristicMode {
 struct Key {
     t: i64,
     state: Counts,
+}
+
+/// Sentinel for "no parent" (the source node).
+const NO_PARENT: u32 = u32::MAX;
+
+/// Arena of interned search nodes. Each distinct `(t, state)` key is
+/// assigned a dense `u32` id on first sight; all per-node search state
+/// (`g`, parent edge, closed flag) lives in flat vectors indexed by id,
+/// so the hot loop does one hash lookup per generated edge and plain
+/// array accesses everywhere else — no per-probe `Counts` clones, no
+/// rehashing of keys on every relax.
+struct Arena {
+    index: FxHashMap<Key, u32>,
+    /// id → key (time and post-action state).
+    keys: Vec<Key>,
+    /// id → best known path cost (`∞` until discovered).
+    g: Vec<f64>,
+    /// id → (parent id, action time, action) for path reconstruction.
+    parent: Vec<(u32, i64, Counts)>,
+    /// id → expanded flag.
+    closed: Vec<bool>,
+}
+
+impl Arena {
+    fn with_capacity(cap: usize) -> Self {
+        Arena {
+            index: fxhash::map_with_capacity(cap),
+            keys: Vec::with_capacity(cap),
+            g: Vec::with_capacity(cap),
+            parent: Vec::with_capacity(cap),
+            closed: Vec::with_capacity(cap),
+        }
+    }
+
+    /// Returns the id for `key`, interning it if new.
+    fn intern(&mut self, key: Key) -> u32 {
+        match self.index.entry(key) {
+            Entry::Occupied(e) => *e.get(),
+            Entry::Vacant(e) => {
+                let id = self.keys.len() as u32;
+                self.keys.push(e.key().clone());
+                self.g.push(f64::INFINITY);
+                self.parent.push((NO_PARENT, 0, Counts::default()));
+                self.closed.push(false);
+                e.insert(id);
+                id
+            }
+        }
+    }
 }
 
 /// Search effort counters, used by the benchmarks to quantify how much
@@ -86,7 +137,7 @@ pub struct Solution {
 struct HeapEntry {
     d: f64, // g + h
     g: f64,
-    key: Key,
+    id: u32,
 }
 
 impl PartialEq for HeapEntry {
@@ -102,11 +153,17 @@ impl PartialOrd for HeapEntry {
 }
 impl Ord for HeapEntry {
     fn cmp(&self, other: &Self) -> Ordering {
-        // Min-heap on d; BinaryHeap is a max-heap, so reverse.
+        // Min-heap on d; BinaryHeap is a max-heap, so reverse. Ties on d
+        // break toward the LARGER g (the deeper node): uniform arrivals
+        // with linear costs produce huge f-plateaus of equivalent
+        // schedules, and expanding shallow plateau nodes first floods the
+        // frontier breadth-first (hundreds of thousands of expansions at
+        // T = 2000) where depth-first tie-breaking walks almost straight
+        // to the goal.
         other
             .d
             .total_cmp(&self.d)
-            .then_with(|| other.g.total_cmp(&self.g))
+            .then_with(|| self.g.total_cmp(&other.g))
     }
 }
 
@@ -142,9 +199,9 @@ impl Heuristic {
         }
         // suffix[i][t+1] = Σ_{u > t} d_u[i]
         let mut suffix = vec![vec![0u64; horizon + 2]; n];
-        for i in 0..n {
+        for (i, row) in suffix.iter_mut().enumerate() {
             for t in (0..=horizon).rev() {
-                suffix[i][t] = suffix[i][t + 1] + inst.arrivals.at(t)[i];
+                row[t] = row[t + 1] + inst.arrivals.at(t)[i];
             }
         }
         Heuristic {
@@ -172,12 +229,24 @@ impl Heuristic {
             }
             match self.mode {
                 HeuristicMode::Paper => {
+                    // The paper's maximal-batch floor term, strengthened
+                    // per table with the single-batch bound
+                    // `f_i(remaining)`. For linear costs both are lower
+                    // bounds on table i's share of any plan's cost, so
+                    // their max is admissible too — and the single-batch
+                    // term carries the states where `remaining < b_i`
+                    // zeroes the floor, which otherwise flood the
+                    // frontier at large horizons (360k expansions at
+                    // T = 2000 with the bare floor term vs ~20k with the
+                    // max).
+                    let single = self.costs[i].eval(remaining);
                     let b_i = self.b[i];
-                    if b_i == 0 || b_i == u64::MAX {
-                        continue; // no finite batch bound ⇒ conservative 0
-                    }
-                    let batches = remaining / b_i;
-                    h += batches as f64 * self.fb[i];
+                    let floor = if b_i == 0 || b_i == u64::MAX {
+                        0.0
+                    } else {
+                        (remaining / b_i) as f64 * self.fb[i]
+                    };
+                    h += floor.max(single);
                 }
                 HeuristicMode::Subadditive => {
                     h += self.costs[i].eval(remaining);
@@ -210,42 +279,45 @@ fn search(inst: &Instance, mode: HeuristicMode) -> Solution {
     let horizon = inst.horizon() as i64;
     let n = inst.n();
     let heur = Heuristic::new(inst, mode);
-    let source = Key {
+
+    let mut arena = Arena::with_capacity(1024);
+    let source = arena.intern(Key {
         t: -1,
         state: Counts::zero(n),
-    };
-    let dest = Key {
+    });
+    let dest = arena.intern(Key {
         t: horizon,
         state: Counts::zero(n),
-    };
-
-    let mut g: HashMap<Key, f64> = HashMap::new();
-    let mut parent: HashMap<Key, (Key, i64, Counts)> = HashMap::new();
-    let mut closed: HashSet<Key> = HashSet::new();
-    let mut queue: BinaryHeap<HeapEntry> = BinaryHeap::new();
+    });
+    let mut queue: BinaryHeap<HeapEntry> = BinaryHeap::with_capacity(1024);
     let mut stats = SearchStats::default();
 
-    g.insert(source.clone(), 0.0);
+    arena.g[source as usize] = 0.0;
     queue.push(HeapEntry {
-        d: heur.eval(source.t, &source.state),
+        d: heur.eval(-1, &arena.keys[source as usize].state),
         g: 0.0,
-        key: source.clone(),
+        id: source,
     });
+
+    // Scratch buffers reused across expansions: the accumulated
+    // pre-action state and the enumerated minimal actions.
+    let mut cum = Counts::zero(n);
+    let mut actions_buf: Vec<Counts> = Vec::new();
 
     while let Some(entry) = queue.pop() {
         stats.max_frontier = stats.max_frontier.max(queue.len() + 1);
-        let key = entry.key;
-        if closed.contains(&key) {
+        let id = entry.id;
+        if arena.closed[id as usize] {
             continue; // stale duplicate
         }
-        if entry.g > g.get(&key).copied().unwrap_or(f64::INFINITY) + 1e-12 {
+        if entry.g > arena.g[id as usize] + 1e-12 {
             continue;
         }
-        closed.insert(key.clone());
+        arena.closed[id as usize] = true;
         stats.nodes_expanded += 1;
 
-        if key == dest {
-            let plan = reconstruct(inst, &parent, &dest);
+        if id == dest {
+            let plan = reconstruct(inst, &arena, dest);
             debug_assert!(plan.validate(inst).is_ok());
             return Solution {
                 plan,
@@ -255,9 +327,10 @@ fn search(inst: &Instance, mode: HeuristicMode) -> Solution {
         }
 
         // Accumulate arrivals until the pre-action state becomes full.
-        let mut cum = key.state.clone();
+        let key_t = arena.keys[id as usize].t;
+        cum.copy_from(&arena.keys[id as usize].state);
         let mut reached_full_before_t = None;
-        for t in (key.t + 1)..=horizon {
+        for t in (key_t + 1)..=horizon {
             cum.add_assign(&inst.arrivals.at(t as usize));
             if t < horizon && inst.is_full(&cum) {
                 reached_full_before_t = Some(t);
@@ -270,40 +343,34 @@ fn search(inst: &Instance, mode: HeuristicMode) -> Solution {
                 // Single edge to destination: flush everything at T.
                 let w = inst.refresh_cost(&cum);
                 relax(
-                    inst,
                     &heur,
-                    &mut g,
-                    &mut parent,
-                    &mut closed,
+                    &mut arena,
                     &mut queue,
                     &mut stats,
-                    &key,
-                    dest.clone(),
+                    id,
+                    Key {
+                        t: horizon,
+                        state: Counts::zero(n),
+                    },
                     horizon,
                     cum.clone(),
                     entry.g + w,
                 );
             }
             Some(t2) => {
-                for q in minimal_greedy_actions(inst, &cum) {
+                minimal_greedy_actions_into(&inst.costs, inst.budget, &cum, &mut actions_buf);
+                for q in actions_buf.drain(..) {
                     let post = cum
                         .checked_sub(&q)
                         .expect("greedy action flushes at most the pending count");
                     let w = inst.refresh_cost(&q);
-                    let succ = Key {
-                        t: t2,
-                        state: post,
-                    };
                     relax(
-                        inst,
                         &heur,
-                        &mut g,
-                        &mut parent,
-                        &mut closed,
+                        &mut arena,
                         &mut queue,
                         &mut stats,
-                        &key,
-                        succ,
+                        id,
+                        Key { t: t2, state: post },
                         t2,
                         q,
                         entry.g + w,
@@ -313,50 +380,55 @@ fn search(inst: &Instance, mode: HeuristicMode) -> Solution {
         }
     }
 
-    unreachable!("destination is always reachable: flushing everything whenever forced is a valid LGM plan");
+    unreachable!(
+        "destination is always reachable: flushing everything whenever forced is a valid LGM plan"
+    );
 }
 
 #[allow(clippy::too_many_arguments)]
 fn relax(
-    _inst: &Instance,
     heur: &Heuristic,
-    g: &mut HashMap<Key, f64>,
-    parent: &mut HashMap<Key, (Key, i64, Counts)>,
-    closed: &mut HashSet<Key>,
+    arena: &mut Arena,
     queue: &mut BinaryHeap<HeapEntry>,
     stats: &mut SearchStats,
-    from: &Key,
-    to: Key,
+    from: u32,
+    to_key: Key,
     action_t: i64,
     action: Counts,
     new_g: f64,
 ) {
     stats.nodes_generated += 1;
-    let best = g.get(&to).copied().unwrap_or(f64::INFINITY);
-    if new_g + 1e-12 >= best {
+    let to = arena.intern(to_key);
+    let i = to as usize;
+    if new_g + 1e-12 >= arena.g[i] {
         return;
     }
     // A cheaper path into a closed node can only happen under an
     // inconsistent heuristic (the paper's); reopen to stay optimal.
-    if closed.remove(&to) {
+    if arena.closed[i] {
+        arena.closed[i] = false;
         stats.reopened += 1;
     }
-    g.insert(to.clone(), new_g);
-    parent.insert(to.clone(), (from.clone(), action_t, action));
-    let h = heur.eval(to.t, &to.state);
+    arena.g[i] = new_g;
+    arena.parent[i] = (from, action_t, action);
+    let h = heur.eval(arena.keys[i].t, &arena.keys[i].state);
     queue.push(HeapEntry {
         d: new_g + h,
         g: new_g,
-        key: to,
+        id: to,
     });
 }
 
-fn reconstruct(inst: &Instance, parent: &HashMap<Key, (Key, i64, Counts)>, dest: &Key) -> Plan {
+fn reconstruct(inst: &Instance, arena: &Arena, dest: u32) -> Plan {
     let mut actions = vec![Counts::zero(inst.n()); inst.horizon() + 1];
-    let mut cur = dest.clone();
-    while let Some((prev, t, q)) = parent.get(&cur) {
+    let mut cur = dest;
+    loop {
+        let (prev, t, q) = &arena.parent[cur as usize];
+        if *prev == NO_PARENT {
+            break;
+        }
         actions[*t as usize] = q.clone();
-        cur = prev.clone();
+        cur = *prev;
     }
     Plan { actions }
 }
@@ -407,7 +479,11 @@ mod tests {
         // at best... A* must find something ≤ 36.
         let inst = two_table(11, 8.0);
         let sol = optimal_lgm_plan(&inst);
-        assert!(sol.cost <= 36.0 + 1e-9, "A* cost {} should be ≤ 36", sol.cost);
+        assert!(
+            sol.cost <= 36.0 + 1e-9,
+            "A* cost {} should be ≤ 36",
+            sol.cost
+        );
         let naive_cost = naive_plan(&inst).validate(&inst).unwrap().total_cost;
         assert!(sol.cost < naive_cost, "asymmetry must strictly win here");
     }

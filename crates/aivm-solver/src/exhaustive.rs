@@ -70,13 +70,7 @@ fn all_valid_actions(inst: &Instance, s: &Counts) -> Vec<Counts> {
     let mut out = Vec::new();
     let mut current = Counts::zero(n);
     // Depth-first product enumeration of per-component flush amounts.
-    fn rec(
-        inst: &Instance,
-        s: &Counts,
-        i: usize,
-        current: &mut Counts,
-        out: &mut Vec<Counts>,
-    ) {
+    fn rec(inst: &Instance, s: &Counts, i: usize, current: &mut Counts, out: &mut Vec<Counts>) {
         if i == s.len() {
             if current.is_zero() {
                 return;
@@ -99,7 +93,10 @@ fn all_valid_actions(inst: &Instance, s: &Counts) -> Vec<Counts> {
 
 /// Computes the globally optimal plan cost by Dijkstra over the lazy-plan
 /// graph with arbitrary actions. `max_nodes` bounds expansions.
-pub fn optimal_plan(inst: &Instance, max_nodes: usize) -> Result<(Plan, f64), SearchBudgetExceeded> {
+pub fn optimal_plan(
+    inst: &Instance,
+    max_nodes: usize,
+) -> Result<(Plan, f64), SearchBudgetExceeded> {
     let horizon = inst.horizon() as i64;
     let n = inst.n();
     let source = Key {
@@ -184,15 +181,7 @@ pub fn optimal_plan(inst: &Instance, max_nodes: usize) -> Result<(Plan, f64), Se
                 for p in all_valid_actions(inst, &cum) {
                     let post = cum.checked_sub(&p).expect("p ≤ cum");
                     let w = inst.refresh_cost(&p);
-                    relax(
-                        Key {
-                            t: t2,
-                            state: post,
-                        },
-                        t2,
-                        p,
-                        entry.g + w,
-                    );
+                    relax(Key { t: t2, state: post }, t2, p, entry.g + w);
                 }
             }
         }
@@ -205,9 +194,7 @@ pub fn optimal_plan(inst: &Instance, max_nodes: usize) -> Result<(Plan, f64), Se
 mod tests {
     use super::*;
     use crate::astar::optimal_lgm_plan;
-    use aivm_core::tightness::{
-        tightness_analytic_costs, tightness_instance, tightness_lgm_plan,
-    };
+    use aivm_core::tightness::{tightness_analytic_costs, tightness_instance, tightness_lgm_plan};
     use aivm_core::{Arrivals, CostModel};
 
     #[test]
@@ -227,11 +214,9 @@ mod tests {
     #[test]
     fn optimum_matches_lgm_for_linear_costs() {
         // Theorem 2: for linear cost functions OPT^LGM = OPT.
-        for (b0, b1, budget, horizon) in [
-            (0.0, 4.0, 8.0, 9),
-            (1.0, 3.0, 9.0, 12),
-            (2.0, 2.0, 7.0, 8),
-        ] {
+        for (b0, b1, budget, horizon) in
+            [(0.0, 4.0, 8.0, 9), (1.0, 3.0, 9.0, 12), (2.0, 2.0, 7.0, 8)]
+        {
             let inst = Instance::new(
                 vec![CostModel::linear(1.0, b0), CostModel::linear(1.0, b1)],
                 Arrivals::uniform(Counts::from_slice(&[1, 1]), horizon),
@@ -265,7 +250,10 @@ mod tests {
         let lgm = optimal_lgm_plan(&inst);
         let (_, opt_cost) = optimal_plan(&inst, 500_000).expect("within budget");
         assert!(lgm.cost <= 2.0 * opt_cost + 1e-9);
-        assert!(lgm.cost + 1e-9 >= opt_cost, "OPT can never beat LGM from above");
+        assert!(
+            lgm.cost + 1e-9 >= opt_cost,
+            "OPT can never beat LGM from above"
+        );
     }
 
     #[test]
@@ -274,12 +262,18 @@ mod tests {
         let inst = tightness_instance(0.5, 2, 10.0);
         let lgm = optimal_lgm_plan(&inst);
         let analytic = tightness_analytic_costs(0.5, 2, 10.0);
-        assert!((lgm.cost - analytic.0).abs() < 1e-9, "LGM analytic mismatch");
+        assert!(
+            (lgm.cost - analytic.0).abs() < 1e-9,
+            "LGM analytic mismatch"
+        );
         // The forced LGM plan is the only LGM plan here.
         let forced = tightness_lgm_plan(&inst);
         assert!((forced.cost(&inst) - lgm.cost).abs() < 1e-9);
         let (_, opt_cost) = optimal_plan(&inst, 2_000_000).expect("within budget");
-        assert!(opt_cost <= analytic.1 + 1e-9, "witness bounds OPT from above");
+        assert!(
+            opt_cost <= analytic.1 + 1e-9,
+            "witness bounds OPT from above"
+        );
         let ratio = lgm.cost / opt_cost;
         assert!(
             ratio >= 2.0 - 0.5 - 1e-9,

@@ -33,7 +33,10 @@ pub mod policy;
 
 pub use actions::{minimal_greedy_actions, valid_greedy_actions};
 pub use adapt::{adapt_plan, theorem4_bound, AdaptPolicy, AdaptSchedule};
-pub use astar::{optimal_lgm_plan, optimal_lgm_plan_dijkstra, optimal_lgm_plan_with, HeuristicMode, SearchStats, Solution};
+pub use astar::{
+    optimal_lgm_plan, optimal_lgm_plan_dijkstra, optimal_lgm_plan_with, HeuristicMode, SearchStats,
+    Solution,
+};
 pub use exhaustive::optimal_plan;
 pub use lookahead::{LookaheadConfig, LookaheadPolicy};
 pub use online::{CandidateSet, OnlineConfig, OnlinePolicy, RateEstimator};

@@ -142,7 +142,10 @@ mod tests {
 
     fn asym_instance(horizon: usize) -> Instance {
         Instance::new(
-            vec![CostModel::linear(0.06, 0.24), CostModel::linear(0.0048, 7.2)],
+            vec![
+                CostModel::linear(0.06, 0.24),
+                CostModel::linear(0.0048, 7.2),
+            ],
             Arrivals::uniform(Counts::from_slice(&[1, 1]), horizon),
             12.0,
         )

@@ -13,7 +13,7 @@
 //! predicts how many further steps of arrivals (at the recently observed
 //! per-table rates) it takes to make state `s` full again.
 
-use crate::actions::{minimal_greedy_actions_ctx, valid_greedy_actions_ctx};
+use crate::actions::{minimal_greedy_actions_into, valid_greedy_actions_ctx};
 use crate::policy::{Policy, PolicyContext};
 use aivm_core::{fits, Counts};
 
@@ -78,6 +78,8 @@ pub struct OnlinePolicy {
     /// arrivals (`d_t = s_t − post_{t−1}`).
     prev_post: Counts,
     steps_seen: usize,
+    /// Scratch buffer for candidate enumeration, reused across steps.
+    candidates_buf: Vec<Counts>,
 }
 
 impl OnlinePolicy {
@@ -96,6 +98,7 @@ impl OnlinePolicy {
             history: Vec::new(),
             prev_post: Counts::zero(0),
             steps_seen: 0,
+            candidates_buf: Vec::new(),
         }
     }
 
@@ -152,16 +155,22 @@ impl OnlinePolicy {
     /// predicted rates cannot fill the budget (e.g. all-zero rates).
     pub fn time_to_full(&self, s: &Counts) -> usize {
         let ctx = self.ctx.as_ref().expect("reset before use");
-        let rates = self.estimated_rates();
+        self.time_to_full_with(ctx, &self.estimated_rates(), s)
+    }
+
+    /// [`OnlinePolicy::time_to_full`] with the rate vector precomputed,
+    /// so one `act` scores all its candidates against a single estimate.
+    fn time_to_full_with(&self, ctx: &PolicyContext, rates: &[f64], s: &Counts) -> usize {
         if rates.iter().all(|&r| r <= 0.0) {
             return self.config.time_to_full_cap;
         }
         let mut pending: Vec<f64> = s.iter().map(|k| k as f64).collect();
+        let mut state = Counts::zero(s.len());
         for step in 1..=self.config.time_to_full_cap {
-            for i in 0..pending.len() {
-                pending[i] += rates[i];
+            for (i, p) in pending.iter_mut().enumerate() {
+                *p += rates[i];
+                state[i] = p.round().max(0.0) as u64;
             }
-            let state: Counts = pending.iter().map(|&p| p.round().max(0.0) as u64).collect();
             if ctx.is_full(&state) {
                 return step;
             }
@@ -188,46 +197,61 @@ impl Policy for OnlinePolicy {
     }
 
     fn act(&mut self, t: usize, pre_state: &Counts) -> Counts {
-        let ctx = self.ctx.as_ref().expect("reset before act").clone();
         // Recover this step's arrivals from the state delta.
         let d = pre_state
             .checked_sub(&self.prev_post)
             .unwrap_or_else(|| Counts::zero(pre_state.len()));
         self.observe_arrivals(&d);
 
+        let ctx = self.ctx.as_ref().expect("reset before act");
         if !ctx.is_full(pre_state) {
-            self.prev_post = pre_state.clone();
+            self.prev_post.copy_from(pre_state);
             return Counts::zero(pre_state.len());
         }
 
-        // Constraint violated: score candidate actions by H.
-        let candidates = match self.config.candidates {
-            CandidateSet::Minimal => minimal_greedy_actions_ctx(&ctx.costs, ctx.budget, pre_state),
-            CandidateSet::AllGreedy => valid_greedy_actions_ctx(&ctx.costs, ctx.budget, pre_state)
-                .into_iter()
-                .filter(|q| {
-                    // Must resolve the violation (empty action stays full).
-                    let post = pre_state.checked_sub(q).expect("greedy ≤ pending");
-                    fits(ctx.refresh_cost(&post), ctx.budget)
-                })
-                .collect(),
-        };
+        // Constraint violated: score candidate actions by H. The buffer
+        // is reused across steps; candidate vectors are small (≤ 2^n).
+        let mut candidates = std::mem::take(&mut self.candidates_buf);
+        match self.config.candidates {
+            CandidateSet::Minimal => {
+                minimal_greedy_actions_into(&ctx.costs, ctx.budget, pre_state, &mut candidates);
+            }
+            CandidateSet::AllGreedy => {
+                candidates.clear();
+                candidates.extend(
+                    valid_greedy_actions_ctx(&ctx.costs, ctx.budget, pre_state)
+                        .into_iter()
+                        .filter(|q| {
+                            // Must resolve the violation (empty action
+                            // stays full).
+                            let post = pre_state.checked_sub(q).expect("greedy ≤ pending");
+                            fits(ctx.refresh_cost(&post), ctx.budget)
+                        }),
+                );
+            }
+        }
         debug_assert!(!candidates.is_empty(), "full state always admits a flush");
 
-        let mut best: Option<(f64, Counts)> = None;
-        for q in candidates {
-            let post = pre_state.checked_sub(&q).expect("greedy ≤ pending");
-            let fq = ctx.refresh_cost(&q);
-            let ttf = self.time_to_full(&post);
+        let rates = self.estimated_rates();
+        let mut post = Counts::zero(pre_state.len());
+        let mut best: Option<(f64, usize)> = None;
+        for (idx, q) in candidates.iter().enumerate() {
+            post.copy_from(pre_state);
+            assert!(post.checked_sub_assign(q), "greedy ≤ pending");
+            let fq = ctx.refresh_cost(q);
+            let ttf = self.time_to_full_with(ctx, &rates, &post);
             let h = (self.spent + fq) / (t as f64 + ttf as f64).max(1.0);
             match &best {
                 Some((best_h, _)) if *best_h <= h => {}
-                _ => best = Some((h, q)),
+                _ => best = Some((h, idx)),
             }
         }
-        let (_, q) = best.expect("at least one candidate");
-        self.spent += ctx.refresh_cost(&q);
-        self.prev_post = pre_state.checked_sub(&q).expect("greedy ≤ pending");
+        let (_, idx) = best.expect("at least one candidate");
+        let q = candidates[idx].clone();
+        self.candidates_buf = candidates;
+        self.spent += self.ctx.as_ref().expect("reset").refresh_cost(&q);
+        self.prev_post.copy_from(pre_state);
+        assert!(self.prev_post.checked_sub_assign(&q), "greedy ≤ pending");
         q
     }
 

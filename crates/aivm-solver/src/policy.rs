@@ -148,11 +148,7 @@ pub struct ReplayPolicy {
 impl ReplayPolicy {
     /// Builds a replay policy from a plan.
     pub fn from_plan(name: impl Into<String>, plan: &Plan) -> Self {
-        let schedule = plan
-            .actions
-            .iter()
-            .map(|p| p.support())
-            .collect();
+        let schedule = plan.actions.iter().map(|p| p.support()).collect();
         ReplayPolicy {
             name: name.into(),
             schedule,

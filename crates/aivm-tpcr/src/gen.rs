@@ -1,6 +1,6 @@
 //! Deterministic TPC-R-style database generation.
 
-use aivm_engine::{row, Database, DataType, IndexKind, Schema, TableId};
+use aivm_engine::{row, DataType, Database, IndexKind, Schema, TableId};
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 
@@ -169,7 +169,9 @@ pub fn generate(config: &TpcrConfig, seed: u64) -> TpcrDatabase {
         .expect("fresh catalog");
 
     for (i, name) in REGIONS.iter().enumerate() {
-        db.table_mut(region).insert(row![i as i64, *name]).expect("schema");
+        db.table_mut(region)
+            .insert(row![i as i64, *name])
+            .expect("schema");
     }
     for (i, (name, rk)) in NATIONS.iter().enumerate() {
         db.table_mut(nation)
@@ -208,13 +210,23 @@ pub fn generate(config: &TpcrConfig, seed: u64) -> TpcrDatabase {
     // application; `supplier.suppkey` additionally carries the join
     // index that creates the paper's cost asymmetry. PartSupp's join
     // column `suppkey` is deliberately NOT indexed.
-    db.table_mut(region).create_index(IndexKind::Hash, 0).expect("col");
-    db.table_mut(nation).create_index(IndexKind::Hash, 0).expect("col");
+    db.table_mut(region)
+        .create_index(IndexKind::Hash, 0)
+        .expect("col");
+    db.table_mut(nation)
+        .create_index(IndexKind::Hash, 0)
+        .expect("col");
     if config.index_supplier_suppkey {
-        db.table_mut(supplier).create_index(IndexKind::Hash, 0).expect("col");
+        db.table_mut(supplier)
+            .create_index(IndexKind::Hash, 0)
+            .expect("col");
     }
-    db.table_mut(part).create_index(IndexKind::Hash, 0).expect("col");
-    db.table_mut(partsupp).create_index(IndexKind::Hash, 0).expect("col");
+    db.table_mut(part)
+        .create_index(IndexKind::Hash, 0)
+        .expect("col");
+    db.table_mut(partsupp)
+        .create_index(IndexKind::Hash, 0)
+        .expect("col");
     db.set_key_column(region, 0);
     db.set_key_column(nation, 0);
     db.set_key_column(supplier, 0);
@@ -255,7 +267,10 @@ mod tests {
         let a = generate(&TpcrConfig::small(), 99);
         let b = generate(&TpcrConfig::small(), 99);
         let rows = |d: &TpcrDatabase| -> Vec<_> {
-            d.db.table(d.partsupp).iter().map(|(_, r)| r.clone()).collect()
+            d.db.table(d.partsupp)
+                .iter()
+                .map(|(_, r)| r.clone())
+                .collect()
         };
         assert_eq!(rows(&a), rows(&b));
         let c = generate(&TpcrConfig::small(), 100);
@@ -276,17 +291,16 @@ mod tests {
     #[test]
     fn partsupp_pairs_are_unique() {
         let d = generate(&TpcrConfig::small(), 3);
-        let mut pairs: Vec<(i64, i64)> = d
-            .db
-            .table(d.partsupp)
-            .iter()
-            .map(|(_, r)| {
-                (
-                    r.get(1).as_int().expect("partkey"),
-                    r.get(2).as_int().expect("suppkey"),
-                )
-            })
-            .collect();
+        let mut pairs: Vec<(i64, i64)> =
+            d.db.table(d.partsupp)
+                .iter()
+                .map(|(_, r)| {
+                    (
+                        r.get(1).as_int().expect("partkey"),
+                        r.get(2).as_int().expect("suppkey"),
+                    )
+                })
+                .collect();
         let total = pairs.len();
         pairs.sort_unstable();
         pairs.dedup();
@@ -296,13 +310,12 @@ mod tests {
     #[test]
     fn middle_east_nations_present() {
         let d = generate(&TpcrConfig::small(), 5);
-        let me: Vec<_> = d
-            .db
-            .table(d.nation)
-            .iter()
-            .filter(|(_, r)| r.get(2) == &Value::Int(4))
-            .map(|(_, r)| r.get(1).as_str().expect("name").to_string())
-            .collect();
+        let me: Vec<_> =
+            d.db.table(d.nation)
+                .iter()
+                .filter(|(_, r)| r.get(2) == &Value::Int(4))
+                .map(|(_, r)| r.get(1).as_str().expect("name").to_string())
+                .collect();
         assert_eq!(me.len(), 5, "5 Middle East nations: {me:?}");
         assert!(me.contains(&"EGYPT".to_string()));
     }

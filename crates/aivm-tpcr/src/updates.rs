@@ -170,7 +170,10 @@ mod tests {
             .execute(&data.db)
             .unwrap();
         assert_eq!(view.result(), direct);
-        assert_eq!(view.stats.recomputes, 0, "multiset strategy never recomputes");
+        assert_eq!(
+            view.stats.recomputes, 0,
+            "multiset strategy never recomputes"
+        );
     }
 
     #[test]

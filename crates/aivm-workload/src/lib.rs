@@ -20,10 +20,9 @@ pub use notify::{refresh_times, Bernoulli, DriftThreshold, NotificationCondition
 use aivm_core::{Arrivals, Counts};
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
-use serde::{Deserialize, Serialize};
 
 /// Parameters of the paper's non-uniform stream model for one table.
-#[derive(Clone, Copy, Debug, PartialEq, Serialize, Deserialize)]
+#[derive(Clone, Copy, Debug, PartialEq)]
 pub struct NonUniform {
     /// Probability that at least one modification arrives in a step.
     pub p: f64,
@@ -34,7 +33,7 @@ pub struct NonUniform {
 }
 
 /// The four §5 stream presets (Fig. 7): Slow/Fast × Stable/Unstable.
-#[derive(Clone, Copy, Debug, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
 pub enum StreamKind {
     /// `p = 0.5, σ = 1`.
     SlowStable,

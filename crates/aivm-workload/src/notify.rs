@@ -37,7 +37,7 @@ impl Periodic {
 
 impl NotificationCondition for Periodic {
     fn observe(&mut self, t: usize, _value: f64) -> bool {
-        t > 0 && t % self.period == 0
+        t > 0 && t.is_multiple_of(self.period)
     }
 }
 
@@ -153,7 +153,11 @@ mod tests {
         // then rebases to 111.
         let series = vec![100.0, 105.0, 109.0, 111.0, 115.0, 123.0];
         let times = refresh_times(&mut c, series);
-        assert_eq!(times, vec![3, 5], "fires at 111 (11%) and 123 (>10% of 111)");
+        assert_eq!(
+            times,
+            vec![3, 5],
+            "fires at 111 (11%) and 123 (>10% of 111)"
+        );
     }
 
     #[test]

@@ -35,12 +35,8 @@ fn main() {
     );
 
     // --- a maintained view behind the concurrent wrapper ----------------
-    let def = aivm::engine::parse_view(
-        &db,
-        "min_cost",
-        aivm::tpcr::paper_view_sql(),
-    )
-    .expect("view parses");
+    let def = aivm::engine::parse_view(&db, "min_cost", aivm::tpcr::paper_view_sql())
+        .expect("view parses");
     let view = aivm::engine::MaterializedView::new(&db, def, MinStrategy::Multiset)
         .expect("view initializes");
     let partsupp = db.table_id("partsupp").unwrap();

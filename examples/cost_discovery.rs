@@ -12,18 +12,35 @@
 //! the resulting asymmetric schedule.
 //!
 //! ```text
-//! cargo run --release --example cost_discovery
+//! cargo run --release --example cost_discovery [-- --threads N]
 //! ```
+//!
+//! The closing refresh-time sweep fans out on the configured worker
+//! threads; `--threads N` (or the `AIVM_THREADS` environment variable)
+//! fixes the width, `--threads 1` forces the serial run. Results are
+//! identical at any width.
 
 use aivm::core::{Arrivals, Counts, Instance};
 use aivm::engine::{
-    measure_cost_function, CostConstants, Database, DataType, IndexKind, MaterializedView,
+    measure_cost_function, CostConstants, DataType, Database, IndexKind, MaterializedView,
     MeasureConfig, MinStrategy, Modification, Row, Schema, Value,
 };
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 
 fn main() {
+    // --- worker-thread knob ----------------------------------------------
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut threads: Option<usize> = None;
+    for (i, a) in args.iter().enumerate() {
+        if a == "--threads" {
+            threads = args.get(i + 1).and_then(|v| v.parse().ok());
+        } else if let Some(v) = a.strip_prefix("--threads=") {
+            threads = v.parse().ok();
+        }
+    }
+    aivm::sim::set_thread_override(threads.filter(|&n| n > 0));
+
     // --- a small inventory schema ---------------------------------------
     let mut db = Database::new();
     let items = db
@@ -48,8 +65,12 @@ fn main() {
         .unwrap();
     // Physical design: items indexed on its key; orders deliberately
     // unindexed on item_id → the asymmetry.
-    db.table_mut(items).create_index(IndexKind::Hash, 0).unwrap();
-    db.table_mut(orders).create_index(IndexKind::Hash, 0).unwrap();
+    db.table_mut(items)
+        .create_index(IndexKind::Hash, 0)
+        .unwrap();
+    db.table_mut(orders)
+        .create_index(IndexKind::Hash, 0)
+        .unwrap();
     db.set_key_column(items, 0);
     db.set_key_column(orders, 0);
 
@@ -155,11 +176,7 @@ fn main() {
         f64::MAX,
     );
     let budget = scratch.refresh_cost(&probe);
-    let inst = Instance::new(
-        vec![f_items, f_orders],
-        scratch.arrivals.clone(),
-        budget,
-    );
+    let inst = Instance::new(vec![f_items, f_orders], scratch.arrivals.clone(), budget);
     let naive = aivm::core::naive_plan(&inst).validate(&inst).unwrap();
     let opt = aivm::solver::optimal_lgm_plan(&inst);
     let opt_stats = opt.plan.validate(&inst).unwrap();
@@ -172,4 +189,32 @@ fn main() {
         naive.actions_per_table,
         opt_stats.actions_per_table,
     );
+
+    // --- refresh-time sweep (parallel) -------------------------------------
+    // How does the advantage scale with the refresh interval? Each point
+    // is an independent A* solve, so the sweep fans out on the worker
+    // threads configured above.
+    let refresh_times: Vec<usize> = vec![100, 200, 300, 500, 800];
+    let costs = inst.costs.clone();
+    println!(
+        "\nrefresh-time sweep ({} worker thread(s)):",
+        aivm::sim::configured_threads()
+    );
+    println!("      T     NAIVE   OPT^LGM   ratio");
+    let rows = aivm::sim::par_map(&refresh_times, |&t| {
+        let sweep_inst = Instance::new(
+            costs.clone(),
+            Arrivals::uniform(Counts::from_slice(&[1, 1]), t),
+            budget,
+        );
+        let naive = aivm::core::naive_plan(&sweep_inst)
+            .validate(&sweep_inst)
+            .unwrap()
+            .total_cost;
+        let opt = aivm::solver::optimal_lgm_plan(&sweep_inst).cost;
+        (t, naive, opt)
+    });
+    for (t, naive, opt) in rows {
+        println!("  {t:>5}  {naive:>8.1}  {opt:>8.1}  {:>6.2}x", naive / opt);
+    }
 }

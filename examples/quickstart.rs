@@ -39,9 +39,16 @@ fn main() {
     let mut online = OnlinePolicy::new();
     let (_, online_stats) = run_policy(&inst, &mut online).expect("online is valid");
 
-    println!("refresh horizon T = {}, budget C = {}", inst.horizon(), inst.budget);
+    println!(
+        "refresh horizon T = {}, budget C = {}",
+        inst.horizon(),
+        inst.budget
+    );
     println!();
-    println!("{:<10} {:>12} {:>9} {:>16}", "plan", "total cost", "actions", "actions/table");
+    println!(
+        "{:<10} {:>12} {:>9} {:>16}",
+        "plan", "total cost", "actions", "actions/table"
+    );
     for (name, cost, actions, per_table) in [
         (
             "NAIVE",

@@ -1,0 +1,248 @@
+//! Offline stand-in for the `rand` crate.
+//!
+//! The build environment has no registry access, so this in-repo crate
+//! provides the exact API subset the workspace uses: `StdRng`,
+//! `SeedableRng::seed_from_u64`, `Rng::gen_range` over integer and float
+//! ranges, and `Rng::gen_bool`. The generator is xoshiro256\*\* seeded
+//! via SplitMix64 — deterministic for a given seed, statistically solid
+//! for simulation workloads, **not** cryptographically secure (neither
+//! is the real `StdRng` guaranteed stable across rand versions, so seeds
+//! here define this repository's own reproducibility baseline).
+
+use std::ops::{Range, RangeInclusive};
+
+/// Seedable random number generators.
+pub trait SeedableRng: Sized {
+    /// Creates a generator from a 64-bit seed.
+    fn seed_from_u64(seed: u64) -> Self;
+}
+
+/// Types that can be uniformly sampled from a half-open or inclusive
+/// range by [`Rng::gen_range`].
+pub trait SampleUniform: Copy {
+    /// Uniform sample from `[lo, hi)`.
+    fn sample_half_open(rng: &mut dyn RngCore, lo: Self, hi: Self) -> Self;
+    /// Uniform sample from `[lo, hi]`.
+    fn sample_inclusive(rng: &mut dyn RngCore, lo: Self, hi: Self) -> Self;
+}
+
+/// Argument of [`Rng::gen_range`]: both `a..b` and `a..=b` are accepted,
+/// mirroring the real crate's `SampleRange`.
+pub trait SampleRange<T> {
+    /// Draws a uniform sample from the range.
+    fn sample_from(self, rng: &mut dyn RngCore) -> T;
+}
+
+impl<T: SampleUniform> SampleRange<T> for Range<T> {
+    fn sample_from(self, rng: &mut dyn RngCore) -> T {
+        T::sample_half_open(rng, self.start, self.end)
+    }
+}
+
+impl<T: SampleUniform> SampleRange<T> for RangeInclusive<T> {
+    fn sample_from(self, rng: &mut dyn RngCore) -> T {
+        T::sample_inclusive(rng, *self.start(), *self.end())
+    }
+}
+
+/// The raw 64-bit generator interface.
+pub trait RngCore {
+    /// Next raw 64 random bits.
+    fn next_u64(&mut self) -> u64;
+}
+
+/// High-level sampling helpers, blanket-implemented for every
+/// [`RngCore`].
+pub trait Rng: RngCore {
+    /// Uniform sample from `range` (`a..b` or `a..=b`).
+    ///
+    /// # Panics
+    /// Panics on an empty range.
+    fn gen_range<T, R>(&mut self, range: R) -> T
+    where
+        T: SampleUniform,
+        R: SampleRange<T>,
+        Self: Sized,
+    {
+        range.sample_from(self)
+    }
+
+    /// `true` with probability `p` (clamped to `[0, 1]`).
+    fn gen_bool(&mut self, p: f64) -> bool
+    where
+        Self: Sized,
+    {
+        let p = p.clamp(0.0, 1.0);
+        // 53 high bits → uniform f64 in [0, 1).
+        let u = (self.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64);
+        u < p
+    }
+}
+
+impl<T: RngCore> Rng for T {}
+
+macro_rules! impl_sample_int {
+    ($($ty:ty),*) => {$(
+        impl SampleUniform for $ty {
+            fn sample_half_open(rng: &mut dyn RngCore, lo: Self, hi: Self) -> Self {
+                assert!(lo < hi, "gen_range called with empty range");
+                let span = (hi as i128 - lo as i128) as u128;
+                lo.wrapping_add(uniform_u128(rng, span) as $ty)
+            }
+            fn sample_inclusive(rng: &mut dyn RngCore, lo: Self, hi: Self) -> Self {
+                assert!(lo <= hi, "gen_range called with empty range");
+                let span = (hi as i128 - lo as i128) as u128 + 1;
+                lo.wrapping_add(uniform_u128(rng, span) as $ty)
+            }
+        }
+    )*};
+}
+
+impl_sample_int!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+/// Unbiased uniform draw from `[0, span)` via rejection sampling on the
+/// top of the 128-bit multiply (Lemire's method).
+fn uniform_u128(rng: &mut dyn RngCore, span: u128) -> u128 {
+    debug_assert!(span > 0);
+    if span == 0 {
+        return 0;
+    }
+    // span always fits in u64 + 1 here (integer ranges over 64-bit types).
+    let span64 = span as u64;
+    if span64 == 0 {
+        // span == 2^64: the raw draw is already uniform.
+        return rng.next_u64() as u128;
+    }
+    let threshold = span64.wrapping_neg() % span64;
+    loop {
+        let x = rng.next_u64();
+        let m = (x as u128) * (span64 as u128);
+        if (m as u64) >= threshold {
+            return m >> 64;
+        }
+    }
+}
+
+impl SampleUniform for f64 {
+    fn sample_half_open(rng: &mut dyn RngCore, lo: Self, hi: Self) -> Self {
+        assert!(lo < hi, "gen_range called with empty range");
+        let u = (rng.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64);
+        lo + u * (hi - lo)
+    }
+    fn sample_inclusive(rng: &mut dyn RngCore, lo: Self, hi: Self) -> Self {
+        assert!(lo <= hi, "gen_range called with empty range");
+        let u = (rng.next_u64() >> 11) as f64 * (1.0 / ((1u64 << 53) - 1) as f64);
+        lo + u * (hi - lo)
+    }
+}
+
+impl SampleUniform for f32 {
+    fn sample_half_open(rng: &mut dyn RngCore, lo: Self, hi: Self) -> Self {
+        f64::sample_half_open(rng, lo as f64, hi as f64) as f32
+    }
+    fn sample_inclusive(rng: &mut dyn RngCore, lo: Self, hi: Self) -> Self {
+        f64::sample_inclusive(rng, lo as f64, hi as f64) as f32
+    }
+}
+
+/// Generator implementations.
+pub mod rngs {
+    use super::{RngCore, SeedableRng};
+
+    /// xoshiro256\*\* (Blackman & Vigna), seeded through SplitMix64. The
+    /// workspace's deterministic simulation generator.
+    #[derive(Clone, Debug)]
+    pub struct StdRng {
+        s: [u64; 4],
+    }
+
+    /// Same generator under the real crate's small-RNG name.
+    pub type SmallRng = StdRng;
+
+    impl SeedableRng for StdRng {
+        fn seed_from_u64(seed: u64) -> Self {
+            // SplitMix64 expansion of the seed into the xoshiro state;
+            // guarantees a non-zero state for every seed.
+            let mut sm = seed;
+            let mut next = || {
+                sm = sm.wrapping_add(0x9E37_79B9_7F4A_7C15);
+                let mut z = sm;
+                z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+                z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+                z ^ (z >> 31)
+            };
+            StdRng {
+                s: [next(), next(), next(), next()],
+            }
+        }
+    }
+
+    impl RngCore for StdRng {
+        #[inline]
+        fn next_u64(&mut self) -> u64 {
+            let s = &mut self.s;
+            let result = s[1].wrapping_mul(5).rotate_left(7).wrapping_mul(9);
+            let t = s[1] << 17;
+            s[2] ^= s[0];
+            s[3] ^= s[1];
+            s[1] ^= s[2];
+            s[0] ^= s[3];
+            s[2] ^= t;
+            s[3] = s[3].rotate_left(45);
+            result
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::rngs::StdRng;
+    use super::{Rng, SeedableRng};
+
+    #[test]
+    fn deterministic_for_seed() {
+        let mut a = StdRng::seed_from_u64(42);
+        let mut b = StdRng::seed_from_u64(42);
+        for _ in 0..100 {
+            assert_eq!(a.gen_range(0..1_000_000u64), b.gen_range(0..1_000_000u64));
+        }
+    }
+
+    #[test]
+    fn ranges_stay_in_bounds() {
+        let mut r = StdRng::seed_from_u64(7);
+        for _ in 0..10_000 {
+            let x = r.gen_range(3..17i64);
+            assert!((3..17).contains(&x));
+            let y = r.gen_range(5..=9usize);
+            assert!((5..=9).contains(&y));
+            let f = r.gen_range(-2.0..2.0f64);
+            assert!((-2.0..2.0).contains(&f));
+        }
+    }
+
+    #[test]
+    fn gen_bool_tracks_probability() {
+        let mut r = StdRng::seed_from_u64(1);
+        let hits = (0..100_000).filter(|_| r.gen_bool(0.25)).count();
+        let frac = hits as f64 / 100_000.0;
+        assert!((frac - 0.25).abs() < 0.01, "got {frac}");
+    }
+
+    #[test]
+    fn extreme_probabilities() {
+        let mut r = StdRng::seed_from_u64(2);
+        assert!(!(0..1000).any(|_| r.gen_bool(0.0)));
+        assert!((0..1000).all(|_| r.gen_bool(1.0)));
+    }
+
+    #[test]
+    fn small_int_ranges_hit_every_value() {
+        let mut r = StdRng::seed_from_u64(3);
+        let mut seen = [false; 4];
+        for _ in 0..1000 {
+            seen[r.gen_range(0..4usize)] = true;
+        }
+        assert!(seen.iter().all(|&s| s));
+    }
+}

@@ -45,16 +45,16 @@
 
 /// Problem model (re-export of `aivm-core`).
 pub use aivm_core as core;
-/// Plan search and policies (re-export of `aivm-solver`).
-pub use aivm_solver as solver;
 /// Relational engine with IVM (re-export of `aivm-engine`).
 pub use aivm_engine as engine;
+/// Simulator and experiment drivers (re-export of `aivm-sim`).
+pub use aivm_sim as sim;
+/// Plan search and policies (re-export of `aivm-solver`).
+pub use aivm_solver as solver;
 /// TPC-R-style generator (re-export of `aivm-tpcr`).
 pub use aivm_tpcr as tpcr;
 /// Arrival-sequence generators (re-export of `aivm-workload`).
 pub use aivm_workload as workload;
-/// Simulator and experiment drivers (re-export of `aivm-sim`).
-pub use aivm_sim as sim;
 
 /// The most commonly used items in one import.
 pub mod prelude {

@@ -5,9 +5,7 @@ use aivm::core::{naive_plan, Arrivals, Counts, Instance};
 use aivm::engine::MinStrategy;
 use aivm::sim::actual::run_plan_actual;
 use aivm::sim::experiments::{fig4, fig6, fig7, intro};
-use aivm::solver::{
-    optimal_lgm_plan_with, run_policy, AdaptSchedule, HeuristicMode, OnlinePolicy,
-};
+use aivm::solver::{optimal_lgm_plan_with, run_policy, AdaptSchedule, HeuristicMode, OnlinePolicy};
 
 use aivm::tpcr::{generate, install_paper_view, TpcrConfig, UpdateGen};
 
@@ -46,11 +44,7 @@ fn measured_costs_drive_all_strategies_on_the_live_engine() {
     assert!(opt.cost <= naive.validate(&inst).unwrap().total_cost + 1e-9);
 
     // 4. Execute each plan for real; every run must end consistent.
-    for (name, plan) in [
-        ("naive", naive),
-        ("opt", opt.plan),
-        ("online", online_plan),
-    ] {
+    for (name, plan) in [("naive", naive), ("opt", opt.plan), ("online", online_plan)] {
         let mut data = generate(&scale, 71);
         let mut view = install_paper_view(&data.db, MinStrategy::Multiset).unwrap();
         let mut gen = UpdateGen::new(&data, 72);

@@ -3,13 +3,19 @@
 //! and the invariant that the maintained state always equals the view
 //! query evaluated over each table's processed prefix
 //! (`physical − pending`).
+//!
+//! Formerly proptest-based; the offline build uses seeded `StdRng`
+//! loops with the same case counts, which keeps every run reproducible.
 
 use aivm::engine::exec::{consolidate, WRow};
 use aivm::engine::{
-    AggFunc, AggSpec, Database, DataType, Expr, IndexKind, JoinPred, MaterializedView,
-    MinStrategy, Modification, Row, Schema, Value, ViewDef,
+    AggFunc, AggSpec, DataType, Database, Expr, IndexKind, JoinPred, MaterializedView, MinStrategy,
+    Modification, Row, Schema, Value, ViewDef,
 };
-use proptest::prelude::*;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+const CASES: usize = 24;
 
 /// R(k, x) indexed on k; S(k, tag) unindexed.
 fn setup_db() -> Database {
@@ -57,17 +63,20 @@ struct Step {
     flush_s: u8,
 }
 
-fn any_step() -> impl Strategy<Value = Step> {
-    (0usize..2, 0u8..4, 0i64..4, 0i64..50, any::<u8>(), any::<u8>()).prop_map(
-        |(table, op, key, payload, flush_r, flush_s)| Step {
-            table,
-            op,
-            key,
-            payload,
-            flush_r,
-            flush_s,
-        },
-    )
+fn any_step(rng: &mut StdRng) -> Step {
+    Step {
+        table: rng.gen_range(0usize..2),
+        op: rng.gen_range(0u8..4),
+        key: rng.gen_range(0i64..4),
+        payload: rng.gen_range(0i64..50),
+        flush_r: rng.gen_range(0u8..=255),
+        flush_s: rng.gen_range(0u8..=255),
+    }
+}
+
+fn any_script(rng: &mut StdRng, max_len: usize) -> Vec<Step> {
+    let len = rng.gen_range(1..max_len);
+    (0..len).map(|_| any_step(rng)).collect()
 }
 
 /// The oracle checks two invariants:
@@ -93,7 +102,10 @@ fn oracle(db: &Database, view: &MaterializedView) {
     want.sort();
     let mut got = consolidate(view.result());
     got.sort();
-    assert_eq!(got, want, "maintained state must equal processed-prefix oracle");
+    assert_eq!(
+        got, want,
+        "maintained state must equal processed-prefix oracle"
+    );
 
     // (2) refresh-all equality.
     let mut v2 = view.clone();
@@ -102,7 +114,10 @@ fn oracle(db: &Database, view: &MaterializedView) {
     direct.sort();
     let mut refreshed = consolidate(v2.result());
     refreshed.sort();
-    assert_eq!(refreshed, direct, "refresh-all must equal direct evaluation");
+    assert_eq!(
+        refreshed, direct,
+        "refresh-all must equal direct evaluation"
+    );
 }
 
 /// Applies a scripted step's modification, keeping a mirror of live rows
@@ -176,21 +191,23 @@ fn run_script(steps: &[Step], strategy: MinStrategy, aggregate: Option<AggSpec>)
     assert_eq!(got, want);
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(24))]
-
-    /// Join view (bag semantics) stays consistent under arbitrary
-    /// scripts and partial flushes.
-    #[test]
-    fn join_view_consistency(steps in proptest::collection::vec(any_step(), 1..30)) {
-        run_script(&steps, MinStrategy::Multiset, None);
+/// Join view (bag semantics) stays consistent under arbitrary scripts
+/// and partial flushes.
+#[test]
+fn join_view_consistency() {
+    let mut rng = StdRng::seed_from_u64(0xB1);
+    for _ in 0..CASES {
+        run_script(&any_script(&mut rng, 30), MinStrategy::Multiset, None);
     }
+}
 
-    /// Scalar MIN with the multiset maintainer.
-    #[test]
-    fn min_view_multiset_consistency(steps in proptest::collection::vec(any_step(), 1..30)) {
+/// Scalar MIN with the multiset maintainer.
+#[test]
+fn min_view_multiset_consistency() {
+    let mut rng = StdRng::seed_from_u64(0xB2);
+    for _ in 0..CASES {
         run_script(
-            &steps,
+            &any_script(&mut rng, 30),
             MinStrategy::Multiset,
             Some(AggSpec {
                 group_by: vec![],
@@ -198,12 +215,15 @@ proptest! {
             }),
         );
     }
+}
 
-    /// Scalar MIN with the paper's recompute-on-delete maintainer.
-    #[test]
-    fn min_view_recompute_consistency(steps in proptest::collection::vec(any_step(), 1..30)) {
+/// Scalar MIN with the paper's recompute-on-delete maintainer.
+#[test]
+fn min_view_recompute_consistency() {
+    let mut rng = StdRng::seed_from_u64(0xB3);
+    for _ in 0..CASES {
         run_script(
-            &steps,
+            &any_script(&mut rng, 30),
             MinStrategy::Recompute,
             Some(AggSpec {
                 group_by: vec![],
@@ -211,12 +231,15 @@ proptest! {
             }),
         );
     }
+}
 
-    /// Grouped COUNT/SUM/MAX.
-    #[test]
-    fn grouped_aggregate_consistency(steps in proptest::collection::vec(any_step(), 1..25)) {
+/// Grouped COUNT/SUM/MAX.
+#[test]
+fn grouped_aggregate_consistency() {
+    let mut rng = StdRng::seed_from_u64(0xB4);
+    for _ in 0..CASES {
         run_script(
-            &steps,
+            &any_script(&mut rng, 25),
             MinStrategy::Multiset,
             Some(AggSpec {
                 group_by: vec![0],

@@ -1,0 +1,144 @@
+//! Equivalence guarantees for the optimized solver and sweep layers.
+//!
+//! The interned-arena A\* (`aivm-solver/src/astar.rs`) and the parallel
+//! sweep runner (`aivm-sim/src/par.rs`) are pure performance rewrites:
+//! neither may change any computed number. This suite pins that down:
+//!
+//! * On randomized small instances with **linear** costs, A\* under all
+//!   three heuristic modes returns the exhaustive solver's ground-truth
+//!   optimal cost exactly (Theorem 2 says OPT^LGM = OPT for linear
+//!   costs, and every mode's heuristic is admissible there).
+//! * Every parallel sweep produces **byte-identical** results to the
+//!   serial (`threads = 1`) run, because instance generation never moves
+//!   off the caller's RNG stream and results return in input order.
+
+use aivm::core::{Arrivals, CostModel, Counts, Instance};
+use aivm::sim::experiments::{adapt_sweep, bounds, concave, fig6, fig7};
+use aivm::sim::{runner, set_thread_override};
+use aivm::solver::{optimal_lgm_plan_with, optimal_plan, HeuristicMode};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+fn random_linear_instance(rng: &mut StdRng) -> Instance {
+    let n = rng.gen_range(1..=3usize);
+    let horizon = rng.gen_range(4..=9usize);
+    let costs: Vec<CostModel> = (0..n)
+        .map(|_| CostModel::Linear {
+            a: rng.gen_range(0.3..2.0),
+            b: rng.gen_range(0.0..4.0),
+        })
+        .collect();
+    let steps = (0..=horizon)
+        .map(|_| (0..n).map(|_| rng.gen_range(0..=3u64)).collect::<Counts>())
+        .collect();
+    let budget = rng.gen_range(5.0..14.0);
+    Instance::new(costs, Arrivals::new(steps), budget)
+}
+
+/// All three heuristic modes agree with the exhaustive ground truth on
+/// linear-cost instances (Theorem 2), so the arena rewrite preserved
+/// optimality — including the node-reopening path the paper heuristic
+/// needs.
+#[test]
+fn astar_matches_exhaustive_on_linear_instances() {
+    let mut rng = StdRng::seed_from_u64(0xE1);
+    let mut solved = 0usize;
+    for case in 0..40 {
+        let inst = random_linear_instance(&mut rng);
+        let Ok((_, opt)) = optimal_plan(&inst, 400_000) else {
+            continue; // instance too big for ground truth; skip
+        };
+        solved += 1;
+        for mode in [
+            HeuristicMode::Paper,
+            HeuristicMode::Subadditive,
+            HeuristicMode::None,
+        ] {
+            let sol = optimal_lgm_plan_with(&inst, mode);
+            assert!(
+                (sol.cost - opt).abs() < 1e-6,
+                "case {case}, {mode:?}: A* {} vs exhaustive {opt}",
+                sol.cost
+            );
+            sol.plan
+                .validate(&inst)
+                .expect("returned plan must be valid");
+        }
+    }
+    assert!(
+        solved >= 30,
+        "only {solved}/40 instances fit the node budget"
+    );
+}
+
+/// The three modes also agree with each other on instances too large for
+/// the exhaustive solver (still linear, so all heuristics admissible).
+#[test]
+fn heuristic_modes_agree_on_larger_linear_instances() {
+    for t in [60usize, 150, 400] {
+        let inst = Instance::new(
+            vec![CostModel::linear(0.06, 0.2), CostModel::linear(0.005, 7.0)],
+            Arrivals::uniform(Counts::from_slice(&[1, 1]), t),
+            12.0,
+        );
+        let paper = optimal_lgm_plan_with(&inst, HeuristicMode::Paper).cost;
+        let sub = optimal_lgm_plan_with(&inst, HeuristicMode::Subadditive).cost;
+        let none = optimal_lgm_plan_with(&inst, HeuristicMode::None).cost;
+        assert!(
+            (paper - none).abs() < 1e-9,
+            "T={t}: paper {paper} vs dijkstra {none}"
+        );
+        assert!(
+            (sub - none).abs() < 1e-9,
+            "T={t}: subadditive {sub} vs dijkstra {none}"
+        );
+    }
+}
+
+/// Runs `f` at 1 and 4 threads and asserts the rendered results are
+/// byte-identical. Rendering via Debug catches any field drift.
+fn assert_thread_invariant<R: std::fmt::Debug>(label: &str, f: impl Fn() -> R) {
+    set_thread_override(Some(1));
+    let serial = format!("{:?}", f());
+    set_thread_override(Some(4));
+    let parallel = format!("{:?}", f());
+    set_thread_override(None);
+    assert_eq!(
+        serial, parallel,
+        "{label}: parallel sweep diverged from serial"
+    );
+}
+
+#[test]
+fn parallel_sweeps_are_byte_identical_to_serial() {
+    let fig6_cfg = fig6::Fig6Config {
+        refresh_times: vec![50, 100, 150, 200],
+        ..fig6::Fig6Config::default()
+    };
+    assert_thread_invariant("fig6", || fig6::run(&fig6_cfg));
+
+    let fig7_cfg = fig7::Fig7Config {
+        horizon: 200,
+        ..fig7::Fig7Config::default()
+    };
+    assert_thread_invariant("fig7", || fig7::run(&fig7_cfg));
+
+    let adapt_cfg = adapt_sweep::AdaptSweepConfig {
+        t0: 100,
+        refresh_times: vec![50, 100, 200, 300],
+        ..adapt_sweep::AdaptSweepConfig::default()
+    };
+    assert_thread_invariant("adapt_sweep", || adapt_sweep::run(&adapt_cfg));
+
+    assert_thread_invariant("bounds", || bounds::run(4, 99));
+    assert_thread_invariant("concave", || concave::run(4, 99));
+
+    let inst = Instance::new(
+        vec![CostModel::linear(1.0, 1.0), CostModel::linear(1.0, 3.0)],
+        Arrivals::uniform(Counts::from_slice(&[1, 1]), 60),
+        10.0,
+    );
+    assert_thread_invariant("episodic_optimal", || {
+        runner::episodic_optimal(&inst, &[15, 30, 45])
+    });
+}

@@ -1,54 +1,59 @@
-//! Property-based verification of the paper's analytical results on
-//! randomized instances: cost-function axioms, Lemma 1, Theorem 1 (with
-//! the bipartite-graph structure of its proof), Theorem 2, Theorem 4,
-//! and A\* optimality against the exhaustive ground truth.
+//! Randomized verification of the paper's analytical results: cost
+//! function axioms, Lemma 1, Theorem 1 (with the bipartite-graph
+//! structure of its proof), Theorem 2, Theorem 4, and A\* optimality
+//! against the exhaustive ground truth.
+//!
+//! Formerly proptest-based; the offline build uses seeded `StdRng`
+//! loops with the same case counts, which keeps every run reproducible.
 
 use aivm::core::bound::verify_theorem1_structure;
 use aivm::core::{
-    make_lazy_plan, make_lgm_plan, naive_plan, Arrivals, CostFn, CostModel, Counts, Instance,
-    Plan,
+    make_lazy_plan, make_lgm_plan, naive_plan, Arrivals, CostFn, CostModel, Counts, Instance, Plan,
 };
 use aivm::solver::{
     adapt_plan, optimal_lgm_plan, optimal_lgm_plan_with, optimal_plan, theorem4_bound,
     AdaptSchedule, HeuristicMode,
 };
-use proptest::prelude::*;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
 
-/// Strategy: an arbitrary monotone subadditive cost model.
-fn any_cost_model() -> BoxedStrategy<CostModel> {
-    prop_oneof![
-        (0.1f64..3.0, 0.0f64..5.0).prop_map(|(a, b)| CostModel::linear(a, b)),
-        (1u64..6, 0.5f64..3.0).prop_map(|(block, c)| CostModel::Step {
-            block,
-            cost_per_block: c,
-        }),
-        (0.0f64..3.0, 0.2f64..2.0, 0.3f64..1.0).prop_map(|(setup, scale, exponent)| {
-            CostModel::Power {
-                setup,
-                scale,
-                exponent,
-            }
-        }),
-    ]
-    .boxed()
+const CASES: usize = 48;
+
+/// An arbitrary monotone subadditive cost model.
+fn any_cost_model(rng: &mut StdRng) -> CostModel {
+    match rng.gen_range(0..3u32) {
+        0 => CostModel::linear(rng.gen_range(0.1f64..3.0), rng.gen_range(0.0f64..5.0)),
+        1 => CostModel::Step {
+            block: rng.gen_range(1u64..6),
+            cost_per_block: rng.gen_range(0.5f64..3.0),
+        },
+        _ => CostModel::Power {
+            setup: rng.gen_range(0.0f64..3.0),
+            scale: rng.gen_range(0.2f64..2.0),
+            exponent: rng.gen_range(0.3f64..1.0),
+        },
+    }
 }
 
-/// Strategy: a small instance with the given cost-model generator.
-fn small_instance(costs: BoxedStrategy<CostModel>) -> impl Strategy<Value = Instance> {
-    (1usize..=2, 3usize..=8).prop_flat_map(move |(n, horizon)| {
-        let cost_vec = proptest::collection::vec(costs.clone(), n);
-        let steps = proptest::collection::vec(
-            proptest::collection::vec(0u64..=3, n),
-            horizon + 1,
-        );
-        (cost_vec, steps, 5.0f64..14.0).prop_map(|(costs, steps, budget)| {
-            Instance::new(
-                costs,
-                Arrivals::new(steps.into_iter().map(Counts::from).collect()),
-                budget,
-            )
-        })
-    })
+/// An arbitrary linear cost model (the Theorem 2 regime).
+fn any_linear_model(rng: &mut StdRng) -> CostModel {
+    CostModel::linear(rng.gen_range(0.1f64..3.0), rng.gen_range(0.0f64..5.0))
+}
+
+/// A small instance with the given per-table cost-model generator.
+fn small_instance(rng: &mut StdRng, cost: impl Fn(&mut StdRng) -> CostModel) -> Instance {
+    let n = rng.gen_range(1usize..=2);
+    let horizon = rng.gen_range(3usize..=8);
+    let costs: Vec<CostModel> = (0..n).map(|_| cost(rng)).collect();
+    let steps: Vec<Counts> = (0..=horizon)
+        .map(|_| (0..n).map(|_| rng.gen_range(0u64..=3)).collect())
+        .collect();
+    let budget = rng.gen_range(5.0f64..14.0);
+    Instance::new(costs, Arrivals::new(steps), budget)
+}
+
+fn any_choices(rng: &mut StdRng) -> Vec<u8> {
+    (0..64).map(|_| rng.gen_range(0u8..=255)).collect()
 }
 
 /// A random valid plan: walk the arrivals; at full states take a random
@@ -103,106 +108,134 @@ fn random_valid_plan(inst: &Instance, choices: &[u8]) -> Plan {
     Plan { actions }
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(48))]
-
-    /// Every generated cost model satisfies the §2 axioms.
-    #[test]
-    fn cost_models_are_monotone_and_subadditive(m in any_cost_model()) {
-        prop_assert!(m.check_monotone(60));
-        prop_assert!(m.check_subadditive(60));
-        prop_assert_eq!(m.eval(0), 0.0);
+/// Every generated cost model satisfies the §2 axioms.
+#[test]
+fn cost_models_are_monotone_and_subadditive() {
+    let mut rng = StdRng::seed_from_u64(0xC1);
+    for _ in 0..CASES {
+        let m = any_cost_model(&mut rng);
+        assert!(m.check_monotone(60), "{m:?}");
+        assert!(m.check_subadditive(60), "{m:?}");
+        assert_eq!(m.eval(0), 0.0);
     }
+}
 
-    /// `max_batch` is the exact boundary of the budget.
-    #[test]
-    fn max_batch_boundary(m in any_cost_model(), budget in 0.5f64..50.0) {
+/// `max_batch` is the exact boundary of the budget.
+#[test]
+fn max_batch_boundary() {
+    let mut rng = StdRng::seed_from_u64(0xC2);
+    for _ in 0..CASES {
+        let m = any_cost_model(&mut rng);
+        let budget = rng.gen_range(0.5f64..50.0);
         let k = m.max_batch(budget);
         if k > 0 && k < u64::MAX {
-            prop_assert!(m.eval(k) <= budget + 1e-9);
-            prop_assert!(m.eval(k + 1) > budget + 1e-9);
+            assert!(m.eval(k) <= budget + 1e-9, "{m:?} k={k}");
+            assert!(m.eval(k + 1) > budget + 1e-9, "{m:?} k={k}");
         }
     }
+}
 
-    /// Random valid plans really are valid (generator sanity), and
-    /// `MakeLazyPlan` never increases cost (Lemma 1).
-    #[test]
-    fn make_lazy_plan_is_valid_and_cheaper(
-        inst in small_instance(any_cost_model()),
-        choices in proptest::collection::vec(any::<u8>(), 64),
-    ) {
+/// Random valid plans really are valid (generator sanity), and
+/// `MakeLazyPlan` never increases cost (Lemma 1).
+#[test]
+fn make_lazy_plan_is_valid_and_cheaper() {
+    let mut rng = StdRng::seed_from_u64(0xC3);
+    for _ in 0..CASES {
+        let inst = small_instance(&mut rng, any_cost_model);
+        let choices = any_choices(&mut rng);
         let p = random_valid_plan(&inst, &choices);
-        prop_assert!(p.validate(&inst).is_ok(), "generator must build valid plans");
+        assert!(
+            p.validate(&inst).is_ok(),
+            "generator must build valid plans"
+        );
         let lazy = make_lazy_plan(&inst, &p);
-        prop_assert!(lazy.validate(&inst).is_ok());
-        prop_assert!(lazy.is_lazy(&inst));
-        prop_assert!(lazy.cost(&inst) <= p.cost(&inst) + 1e-9);
+        assert!(lazy.validate(&inst).is_ok());
+        assert!(lazy.is_lazy(&inst));
+        assert!(lazy.cost(&inst) <= p.cost(&inst) + 1e-9);
     }
+}
 
-    /// `MakeLGMPlan` produces a valid LGM plan within 2× of its input,
-    /// and the bipartite-graph structure of the Theorem 1 proof holds
-    /// (Lemma 3 degree bound, Lemma 4 neighbour-sum bound).
-    #[test]
-    fn make_lgm_plan_two_approximation(
-        inst in small_instance(any_cost_model()),
-        choices in proptest::collection::vec(any::<u8>(), 64),
-    ) {
+/// `MakeLGMPlan` produces a valid LGM plan within 2× of its input, and
+/// the bipartite-graph structure of the Theorem 1 proof holds (Lemma 3
+/// degree bound, Lemma 4 neighbour-sum bound).
+#[test]
+fn make_lgm_plan_two_approximation() {
+    let mut rng = StdRng::seed_from_u64(0xC4);
+    for _ in 0..CASES {
+        let inst = small_instance(&mut rng, any_cost_model);
+        let choices = any_choices(&mut rng);
         let p = random_valid_plan(&inst, &choices);
         let q = make_lgm_plan(&inst, &p);
-        prop_assert!(q.validate(&inst).is_ok());
-        prop_assert!(q.is_lgm(&inst));
-        prop_assert!(q.cost(&inst) <= 2.0 * p.cost(&inst) + 1e-9);
+        assert!(q.validate(&inst).is_ok());
+        assert!(q.is_lgm(&inst));
+        assert!(q.cost(&inst) <= 2.0 * p.cost(&inst) + 1e-9);
         let per_table = verify_theorem1_structure(&inst, &p, &q);
-        prop_assert!(per_table.is_ok(), "{:?}", per_table.err());
+        assert!(per_table.is_ok(), "{:?}", per_table.err());
     }
+}
 
-    /// Theorem 2: for linear costs, A* equals the exhaustive optimum.
-    #[test]
-    fn linear_costs_lgm_is_globally_optimal(
-        inst in small_instance((0.1f64..3.0, 0.0f64..5.0).prop_map(|(a, b)| CostModel::linear(a, b)).boxed()),
-    ) {
+/// Theorem 2: for linear costs, A* equals the exhaustive optimum.
+#[test]
+fn linear_costs_lgm_is_globally_optimal() {
+    let mut rng = StdRng::seed_from_u64(0xC5);
+    for _ in 0..CASES {
+        let inst = small_instance(&mut rng, any_linear_model);
         let lgm = optimal_lgm_plan(&inst);
         if let Ok((_, opt)) = optimal_plan(&inst, 200_000) {
-            prop_assert!((lgm.cost - opt).abs() < 1e-6,
-                "LGM {} vs OPT {}", lgm.cost, opt);
+            assert!(
+                (lgm.cost - opt).abs() < 1e-6,
+                "LGM {} vs OPT {}",
+                lgm.cost,
+                opt
+            );
         }
     }
+}
 
-    /// Theorem 1 end-to-end: best LGM within 2× of the exhaustive
-    /// optimum for arbitrary subadditive costs.
-    #[test]
-    fn lgm_within_two_of_optimum(inst in small_instance(any_cost_model())) {
+/// Theorem 1 end-to-end: best LGM within 2× of the exhaustive optimum
+/// for arbitrary subadditive costs.
+#[test]
+fn lgm_within_two_of_optimum() {
+    let mut rng = StdRng::seed_from_u64(0xC6);
+    for _ in 0..CASES {
+        let inst = small_instance(&mut rng, any_cost_model);
         let lgm = optimal_lgm_plan_with(&inst, HeuristicMode::Subadditive);
         if let Ok((_, opt)) = optimal_plan(&inst, 200_000) {
-            prop_assert!(lgm.cost <= 2.0 * opt + 1e-6);
-            prop_assert!(lgm.cost + 1e-9 >= opt - 1e-9);
+            assert!(lgm.cost <= 2.0 * opt + 1e-6);
+            assert!(lgm.cost + 1e-9 >= opt - 1e-9);
         }
     }
+}
 
-    /// All heuristic modes agree on the optimal cost for linear
-    /// instances; NAIVE never beats them.
-    #[test]
-    fn heuristic_modes_agree(
-        inst in small_instance((0.1f64..3.0, 0.0f64..5.0).prop_map(|(a, b)| CostModel::linear(a, b)).boxed()),
-    ) {
+/// All heuristic modes agree on the optimal cost for linear instances;
+/// NAIVE never beats them.
+#[test]
+fn heuristic_modes_agree() {
+    let mut rng = StdRng::seed_from_u64(0xC7);
+    for _ in 0..CASES {
+        let inst = small_instance(&mut rng, any_linear_model);
         let a = optimal_lgm_plan_with(&inst, HeuristicMode::Paper);
         let b = optimal_lgm_plan_with(&inst, HeuristicMode::Subadditive);
         let c = optimal_lgm_plan_with(&inst, HeuristicMode::None);
-        prop_assert!((a.cost - c.cost).abs() < 1e-6);
-        prop_assert!((b.cost - c.cost).abs() < 1e-6);
+        assert!((a.cost - c.cost).abs() < 1e-6);
+        assert!((b.cost - c.cost).abs() < 1e-6);
         let nv = naive_plan(&inst).validate(&inst).unwrap().total_cost;
-        prop_assert!(a.cost <= nv + 1e-9);
+        assert!(a.cost <= nv + 1e-9);
     }
+}
 
-    /// Theorem 4: the adapted plan stays within the additive bound for
-    /// linear costs and uniform (hence periodic) arrivals.
-    #[test]
-    fn adapt_theorem4_bound_holds(
-        a0 in 0.1f64..1.0, b0 in 0.0f64..2.0,
-        a1 in 0.1f64..1.0, b1 in 1.0f64..6.0,
-        t0 in 20usize..60,
-        t in 8usize..120,
-    ) {
+/// Theorem 4: the adapted plan stays within the additive bound for
+/// linear costs and uniform (hence periodic) arrivals.
+#[test]
+fn adapt_theorem4_bound_holds() {
+    let mut rng = StdRng::seed_from_u64(0xC8);
+    for _ in 0..CASES {
+        let a0 = rng.gen_range(0.1f64..1.0);
+        let b0 = rng.gen_range(0.0f64..2.0);
+        let a1 = rng.gen_range(0.1f64..1.0);
+        let b1 = rng.gen_range(1.0f64..6.0);
+        let t0 = rng.gen_range(20usize..60);
+        let t = rng.gen_range(8usize..120);
         let costs = vec![CostModel::linear(a0, b0), CostModel::linear(a1, b1)];
         let budget = b0 + b1 + 4.0; // roomy enough to batch a little
         let base = Instance::new(
@@ -218,10 +251,10 @@ proptest! {
         );
         let plan = adapt_plan(&schedule, &actual);
         let stats = plan.validate(&actual);
-        prop_assert!(stats.is_ok(), "{:?}", stats.err());
+        assert!(stats.is_ok(), "{:?}", stats.err());
         let opt = optimal_lgm_plan(&actual).cost; // = OPT by Theorem 2
         let bound = theorem4_bound(&costs, opt, t, t0);
-        prop_assert!(
+        assert!(
             stats.unwrap().total_cost <= bound + 1e-6,
             "adapted exceeds Theorem 4 bound"
         );
