@@ -33,4 +33,15 @@ cargo build --release -p aivm-bench --bin repro
 echo "==> smoke repro (quick scales, 4 worker threads)"
 ./target/release/repro --quick --threads 4 fig6 fig7 >/dev/null
 
+echo "==> serve runtime gate (violations or replay mismatch fail the run)"
+cargo build --release -p aivm-serve
+cargo test -q --release -p aivm-serve
+for policy in naive online planned; do
+  echo "    serve --policy $policy"
+  ./target/release/repro serve --quick --policy "$policy" --duration 5s >/dev/null
+done
+
+echo "==> serve throughput baseline (BENCH_serve.json)"
+AIVM_BENCH_FAST=1 AIVM_BENCH_LABEL=ci cargo bench -p aivm-bench --bench serve >/dev/null
+
 echo "CI gate passed."

@@ -1,0 +1,102 @@
+//! Serving-runtime benches: synchronous model-backend tick throughput
+//! per policy, and the threaded end-to-end TPC-R run (sustained
+//! events/sec plus the p99 fresh-read refresh latency pulled from the
+//! runtime's metrics snapshot).
+//!
+//! Emits `BENCH_serve.json` at the repo root.
+
+use aivm_bench::harness::Suite;
+use aivm_bench::serve::{ServeExperiment, ServeOptions, SERVE_POLICIES};
+use aivm_core::CostModel;
+use aivm_serve::{MaintenanceRuntime, NaiveFlush, OnlineFlush, ReadMode, ServeConfig};
+use std::hint::black_box;
+
+/// Synchronous model-backend scheduling cost: ingest + tick, no engine,
+/// no threads — the per-event overhead of the scheduler core itself.
+fn bench_model_ticks(s: &mut Suite) {
+    for policy in ["naive", "online"] {
+        s.bench_with_setup(
+            &format!("model_tick/{policy}"),
+            || {
+                let mut cfg = ServeConfig::new(
+                    vec![CostModel::linear(0.05, 0.2), CostModel::linear(0.02, 3.0)],
+                    6.0,
+                );
+                cfg.record_trace = false;
+                match policy {
+                    "naive" => MaintenanceRuntime::model(cfg, Box::new(NaiveFlush::new())),
+                    _ => MaintenanceRuntime::model(cfg, Box::new(OnlineFlush::new())),
+                }
+            },
+            |mut rt| {
+                for _ in 0..64 {
+                    rt.ingest_count(0, 2);
+                    rt.ingest_count(1, 1);
+                    rt.tick().unwrap();
+                }
+                black_box(rt.metrics().flush_count)
+            },
+        );
+    }
+}
+
+/// Synchronous fresh-read cost on the model backend (tick + forced
+/// flush + metrics accounting).
+fn bench_model_fresh_read(s: &mut Suite) {
+    s.bench_with_setup(
+        "model_fresh_read/online",
+        || {
+            let mut cfg = ServeConfig::new(
+                vec![CostModel::linear(0.05, 0.2), CostModel::linear(0.02, 3.0)],
+                6.0,
+            );
+            cfg.record_trace = false;
+            let mut rt = MaintenanceRuntime::model(cfg, Box::new(OnlineFlush::new()));
+            rt.ingest_count(0, 8);
+            rt.ingest_count(1, 8);
+            rt
+        },
+        |mut rt| {
+            let r = rt.read(ReadMode::Fresh).unwrap();
+            black_box(r.flush_cost)
+        },
+    );
+}
+
+/// The full threaded pipeline per policy: producers + scheduler + reader
+/// over the engine backend. Records sustained throughput and the p99
+/// fresh-read latency as tracked values rather than timed closures.
+fn bench_threaded_end_to_end(s: &mut Suite) {
+    let fast = std::env::var("AIVM_BENCH_FAST")
+        .map(|v| v != "0" && !v.is_empty())
+        .unwrap_or(false);
+    let opts = ServeOptions {
+        events_each: if fast { 200 } else { 1000 },
+        quick: true,
+        ..Default::default()
+    };
+    let exp = ServeExperiment::build(opts).expect("serve setup");
+    for policy in SERVE_POLICIES {
+        let run = exp.run_threaded(policy).expect("serve run");
+        assert_eq!(
+            run.metrics.constraint_violations, 0,
+            "{policy} must never violate C"
+        );
+        s.record_value(
+            &format!("serve/{policy}/events_per_sec"),
+            run.events_per_sec(),
+        );
+        s.record_value(
+            &format!("serve/{policy}/p99_fresh_read_ns"),
+            run.metrics.refresh_latency_ns.p99 as f64,
+        );
+    }
+}
+
+fn main() {
+    let mut s = Suite::new("serve");
+    bench_model_ticks(&mut s);
+    bench_model_fresh_read(&mut s);
+    bench_threaded_end_to_end(&mut s);
+    s.finish();
+}

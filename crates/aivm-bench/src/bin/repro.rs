@@ -15,8 +15,28 @@
 //!   concave    LGM gap by cost family, §7 future work (extension)
 //!   refresh    condition-driven refresh processes (extension)
 //!   ablation   heuristic & candidate-set ablations (extension)
-//!   all        everything above, in paper order
+//!   serve      live serving runtime over the TPC-R update stream
+//!   all        every figure target above, in paper order (not serve)
 //! ```
+//!
+//! `serve` drives the `aivm-serve` runtime end to end: concurrent
+//! producers feed pre-generated TPC-R updates through the bounded ingest
+//! queue while a reader alternates fresh and stale reads. Its flags:
+//!
+//! ```text
+//!   --policy naive|online|planned|all   flush policy (default all)
+//!   --events N                          updates per table (default 1500,
+//!                                       300 with --quick)
+//!   --duration 5s|500ms                 wall-clock cap on the producers
+//!   --budget X                          refresh budget C (default:
+//!                                       derived from measured costs)
+//!   --trace-out PATH                    write the recorded trace(s)
+//! ```
+//!
+//! `serve` exits nonzero if any run breaks the paper's validity
+//! invariant (a fresh read costing more than `C`) or if the `planned`
+//! policy's recorded trace fails to replay deterministically through
+//! `aivm-sim` — the CI smoke gate relies on both.
 //!
 //! `--quick` shrinks scales so the whole suite finishes in well under a
 //! minute; default scales match the paper's shapes (minutes).
@@ -258,39 +278,189 @@ fn run_ablation(csv: bool, quick: bool) {
     print_table(&t2, csv);
 }
 
+/// Flags of the `serve` target.
+#[derive(Default)]
+struct ServeArgs {
+    policy: Option<String>,
+    events: Option<usize>,
+    duration: Option<std::time::Duration>,
+    budget: Option<f64>,
+    trace_out: Option<String>,
+}
+
+fn parse_duration(s: &str) -> Option<std::time::Duration> {
+    use std::time::Duration;
+    if let Some(ms) = s.strip_suffix("ms") {
+        ms.trim().parse::<u64>().ok().map(Duration::from_millis)
+    } else {
+        s.trim_end_matches('s')
+            .trim()
+            .parse::<f64>()
+            .ok()
+            .filter(|v| *v >= 0.0)
+            .map(Duration::from_secs_f64)
+    }
+}
+
+fn run_serve(csv: bool, quick: bool, sargs: &ServeArgs) {
+    use aivm_bench::serve::{
+        summary_row, ServeExperiment, ServeOptions, SERVE_POLICIES, SUMMARY_COLUMNS,
+    };
+    let policy = sargs.policy.as_deref().unwrap_or("all");
+    let policies: Vec<&str> = if policy == "all" {
+        SERVE_POLICIES.to_vec()
+    } else if SERVE_POLICIES.contains(&policy) {
+        vec![policy]
+    } else {
+        eprintln!("unknown policy: {policy} (expected naive, online, planned or all)");
+        std::process::exit(2);
+    };
+    let opts = ServeOptions {
+        events_each: sargs.events.unwrap_or(if quick { 300 } else { 1500 }),
+        budget: sargs.budget,
+        duration: sargs.duration,
+        quick,
+        ..Default::default()
+    };
+    let exp = match ServeExperiment::build(opts) {
+        Ok(e) => e,
+        Err(e) => {
+            eprintln!("serve setup failed: {e}");
+            std::process::exit(1);
+        }
+    };
+    let mut t = ExpTable::new(
+        "Live serving runtime (TPC-R update stream)",
+        &SUMMARY_COLUMNS,
+    );
+    t.note(format!(
+        "budget C = {:.1} (measured costs), planned T0 = {}",
+        exp.budget, exp.schedule.t0
+    ));
+    let mut failed = false;
+    for p in &policies {
+        match exp.run_threaded(p) {
+            Ok(s) => {
+                if s.metrics.constraint_violations > 0 {
+                    eprintln!(
+                        "{p}: {} constraint violation(s) — fresh reads exceeded C",
+                        s.metrics.constraint_violations
+                    );
+                    failed = true;
+                }
+                if let Some(trace) = &s.trace {
+                    if *p == "planned" {
+                        match exp.verify_planned_replay(trace) {
+                            Ok(()) => println!(
+                                "planned replay check: {} trace steps reproduced through aivm-sim",
+                                trace.steps.len()
+                            ),
+                            Err(e) => {
+                                eprintln!("planned replay check failed: {e}");
+                                failed = true;
+                            }
+                        }
+                    }
+                    if let Some(path) = &sargs.trace_out {
+                        let path = if policies.len() > 1 {
+                            format!("{path}.{p}")
+                        } else {
+                            path.clone()
+                        };
+                        if let Err(e) = std::fs::write(&path, trace.to_text()) {
+                            eprintln!("failed to write trace {path}: {e}");
+                            failed = true;
+                        }
+                    }
+                }
+                t.row(summary_row(&s));
+            }
+            Err(e) => {
+                eprintln!("serve run with policy {p} failed: {e}");
+                failed = true;
+            }
+        }
+    }
+    print_table(&t, csv);
+    if failed {
+        std::process::exit(1);
+    }
+}
+
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let csv = args.iter().any(|a| a == "--csv");
     let quick = args.iter().any(|a| a == "--quick");
     let mut threads_value: Option<usize> = None;
+    let mut sargs = ServeArgs::default();
     let mut skip_next = false;
     let mut targets: Vec<&str> = Vec::new();
+    let value_of = |args: &[String], i: usize, flag: &str| -> String {
+        args.get(i + 1).cloned().unwrap_or_else(|| {
+            eprintln!("{flag} needs a value");
+            std::process::exit(2);
+        })
+    };
     for (i, a) in args.iter().enumerate() {
         if skip_next {
             skip_next = false;
             continue;
         }
-        if a == "--threads" {
-            let n = args
-                .get(i + 1)
-                .and_then(|v| v.parse::<usize>().ok())
-                .filter(|&n| n > 0)
-                .unwrap_or_else(|| {
-                    eprintln!("--threads needs a positive integer");
-                    std::process::exit(2);
-                });
-            threads_value = Some(n);
-            skip_next = true;
-        } else if let Some(v) = a.strip_prefix("--threads=") {
-            match v.parse::<usize>() {
-                Ok(n) if n > 0 => threads_value = Some(n),
-                _ => {
-                    eprintln!("--threads needs a positive integer");
-                    std::process::exit(2);
+        let (flag, inline) = match a.split_once('=') {
+            Some((f, v)) => (f, Some(v.to_string())),
+            None => (a.as_str(), None),
+        };
+        let mut take = |flag: &str| -> String {
+            inline.clone().unwrap_or_else(|| {
+                skip_next = true;
+                value_of(&args, i, flag)
+            })
+        };
+        match flag {
+            "--threads" => {
+                let v = take("--threads");
+                match v.parse::<usize>() {
+                    Ok(n) if n > 0 => threads_value = Some(n),
+                    _ => {
+                        eprintln!("--threads needs a positive integer");
+                        std::process::exit(2);
+                    }
                 }
             }
-        } else if !a.starts_with("--") {
-            targets.push(a.as_str());
+            "--policy" => sargs.policy = Some(take("--policy")),
+            "--events" => {
+                let v = take("--events");
+                match v.parse::<usize>() {
+                    Ok(n) if n > 0 => sargs.events = Some(n),
+                    _ => {
+                        eprintln!("--events needs a positive integer");
+                        std::process::exit(2);
+                    }
+                }
+            }
+            "--duration" => {
+                let v = take("--duration");
+                match parse_duration(&v) {
+                    Some(d) => sargs.duration = Some(d),
+                    None => {
+                        eprintln!("--duration needs a time like 5s or 500ms");
+                        std::process::exit(2);
+                    }
+                }
+            }
+            "--budget" => {
+                let v = take("--budget");
+                match v.parse::<f64>() {
+                    Ok(b) if b > 0.0 => sargs.budget = Some(b),
+                    _ => {
+                        eprintln!("--budget needs a positive number");
+                        std::process::exit(2);
+                    }
+                }
+            }
+            "--trace-out" => sargs.trace_out = Some(take("--trace-out")),
+            _ if !a.starts_with("--") => targets.push(a.as_str()),
+            _ => {}
         }
     }
     aivm_sim::set_thread_override(threads_value);
@@ -315,10 +485,11 @@ fn main() {
             "concave" => run_concave(csv, quick),
             "refresh" => run_refresh(csv, quick),
             "ablation" => run_ablation(csv, quick),
+            "serve" => run_serve(csv, quick, &sargs),
             other => {
                 eprintln!("unknown target: {other}");
                 eprintln!(
-                    "targets: intro fig1 fig4 fig5 fig6 fig7 bounds adapt concave refresh ablation all"
+                    "targets: intro fig1 fig4 fig5 fig6 fig7 bounds adapt concave refresh ablation serve all"
                 );
                 std::process::exit(2);
             }

@@ -133,6 +133,16 @@ impl Suite {
         self.record(name, 1, sample_ns);
     }
 
+    /// Records an externally measured value (for example a throughput in
+    /// events/sec or a latency quantile pulled from a metrics snapshot)
+    /// under the suite's tracked results. The value lands in the
+    /// `ns_per_iter` field — the tracker stores one number per name and
+    /// does not care about its unit, so name the entry accordingly
+    /// (`serve/online/events_per_sec`).
+    pub fn record_value(&mut self, name: &str, value: f64) {
+        self.record(name, 1, vec![value]);
+    }
+
     fn record(&mut self, name: &str, iters: u64, mut sample_ns: Vec<f64>) {
         sample_ns.sort_by(|a, b| a.partial_cmp(b).expect("finite"));
         let median = sample_ns[sample_ns.len() / 2];

@@ -6,9 +6,10 @@
 //!   which regenerates every paper figure as a text table, and
 //! * the benches (`cargo bench -p aivm-bench`): `solver` (A\*/ONLINE
 //!   kernels), `engine` (operator microbenches), `maintenance` (flush
-//!   batches on the TPC-R view) and `sweep` (serial-vs-parallel figure
-//!   sweeps). Each run appends a labelled entry to `BENCH_<suite>.json`
-//!   at the repo root (see [`harness`]).
+//!   batches on the TPC-R view), `sweep` (serial-vs-parallel figure
+//!   sweeps) and `serve` (scheduler ticks + threaded end-to-end serving
+//!   throughput). Each run appends a labelled entry to
+//!   `BENCH_<suite>.json` at the repo root (see [`harness`]).
 //!
 //! This library crate hosts the shared instance builders and the
 //! hand-rolled [`harness`] those targets run on.
@@ -17,6 +18,7 @@
 #![warn(missing_docs)]
 
 pub mod harness;
+pub mod serve;
 
 use aivm_core::{Arrivals, CostModel, Counts, Instance};
 

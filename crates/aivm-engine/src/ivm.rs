@@ -307,6 +307,27 @@ impl MaterializedView {
         self.pending[i].push(m);
     }
 
+    /// The live-ingest path: applies a newly arrived modification of the
+    /// `i`-th base table to the database and appends it to the view's
+    /// delta table in one step, so callers cannot get the arrival-time
+    /// ordering of [`MaterializedView::enqueue`] wrong. Used by the
+    /// `aivm-serve` runtime's DML ingest.
+    pub fn apply_and_enqueue(
+        &mut self,
+        db: &mut Database,
+        i: usize,
+        m: Modification,
+    ) -> Result<(), EngineError> {
+        if i >= self.n() {
+            return Err(EngineError::Maintenance {
+                message: format!("table index {i} out of range for {}-table view", self.n()),
+            });
+        }
+        db.apply(self.table_ids[i], &m)?;
+        self.pending[i].push(m);
+        Ok(())
+    }
+
     /// Pending modification counts — the paper's state vector `s`.
     pub fn pending_counts(&self) -> Vec<u64> {
         self.pending.iter().map(|d| d.len() as u64).collect()

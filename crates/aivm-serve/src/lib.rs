@@ -1,0 +1,41 @@
+//! `aivm-serve` — a live streaming maintenance runtime.
+//!
+//! Everything else in this workspace replays pre-generated traces; this
+//! crate is the *running system* the paper's ONLINE algorithm (§4.3) is
+//! designed for. It layers three pieces on top of the engine and solver
+//! crates:
+//!
+//! 1. **Ingest** — DML events from concurrent producers flow through a
+//!    bounded MPSC queue ([`server`]) into per-table pending delta
+//!    tables (the paper's state vector `s`).
+//! 2. **Scheduling** — a scheduler loop ([`runtime`]) closes an arrival
+//!    window per tick and consults a pluggable [`FlushPolicy`]
+//!    ([`NaiveFlush`], [`OnlineFlush`], [`PlannedFlush`]) for which
+//!    pending modifications to flush, enforcing the refresh
+//!    response-time constraint `C`.
+//! 3. **Reads** — views are served in [`ReadMode::Stale`] (the current
+//!    materialized `V`, zero cost) or [`ReadMode::Fresh`]
+//!    (flush-then-read). Because every policy action must leave the
+//!    state non-full, a fresh read always costs ≤ `C` — the paper's
+//!    validity invariant, checked at runtime and surfaced as a
+//!    constraint-violation counter in the [`MetricsSnapshot`].
+//!
+//! Every live run can record a [`Trace`] of its per-step arrivals and
+//! actions; `aivm-sim`'s `replay` module re-executes recorded traces
+//! deterministically, so live behaviour is auditable offline and the
+//! `Planned` policy's schedule can be verified to reproduce bit-for-bit.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod metrics;
+pub mod policy;
+pub mod runtime;
+pub mod server;
+pub mod trace;
+
+pub use metrics::{HistogramSnapshot, LatencyHistogram, MetricsSnapshot};
+pub use policy::{AsSolverPolicy, FlushPolicy, NaiveFlush, OnlineFlush, PlannedFlush};
+pub use runtime::{MaintenanceRuntime, ReadMode, ReadResult, ServeConfig, TickReport};
+pub use server::{ServeHandle, ServeServer, ServerConfig};
+pub use trace::{Trace, TraceStep};

@@ -1,0 +1,259 @@
+//! Runtime observability: counters and log-bucketed histograms.
+//!
+//! The runtime keeps everything here as plain integers/floats updated on
+//! the scheduler thread; [`MetricsSnapshot`] is the cheap copy handed to
+//! callers (the server answers metrics requests with one).
+
+/// A log₂-bucketed histogram of `u64` samples (nanoseconds for
+/// latencies, milli-units for model costs). Bucket `i` covers values
+/// with bit-length `i`, so quantiles are accurate to within 2×, which is
+/// plenty for p99 tracking without allocating per sample.
+#[derive(Clone, Debug)]
+pub struct LatencyHistogram {
+    buckets: [u64; 64],
+    count: u64,
+    sum: u128,
+    max: u64,
+}
+
+impl Default for LatencyHistogram {
+    fn default() -> Self {
+        LatencyHistogram {
+            buckets: [0; 64],
+            count: 0,
+            sum: 0,
+            max: 0,
+        }
+    }
+}
+
+impl LatencyHistogram {
+    /// Creates an empty histogram.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Records one sample.
+    pub fn record(&mut self, v: u64) {
+        let bucket = (64 - v.leading_zeros()).min(63) as usize;
+        self.buckets[bucket] += 1;
+        self.count += 1;
+        self.sum += u128::from(v);
+        self.max = self.max.max(v);
+    }
+
+    /// Number of samples recorded.
+    pub fn count(&self) -> u64 {
+        self.count
+    }
+
+    /// Upper bound of the bucket holding the `q`-quantile sample
+    /// (`q ∈ [0, 1]`); 0 when empty. The true value is within a factor
+    /// of 2 below the returned bound (exact for the maximum).
+    pub fn quantile(&self, q: f64) -> u64 {
+        if self.count == 0 {
+            return 0;
+        }
+        let rank = ((q.clamp(0.0, 1.0) * self.count as f64).ceil() as u64).max(1);
+        let mut seen = 0u64;
+        for (i, &c) in self.buckets.iter().enumerate() {
+            seen += c;
+            if seen >= rank {
+                // Bucket i holds values in [2^(i-1), 2^i); report the
+                // upper bound, capped by the observed maximum.
+                let bound = if i >= 63 { u64::MAX } else { (1u64 << i) - 1 };
+                return bound.min(self.max);
+            }
+        }
+        self.max
+    }
+
+    /// Condenses the histogram into a snapshot.
+    pub fn snapshot(&self) -> HistogramSnapshot {
+        HistogramSnapshot {
+            count: self.count,
+            mean: if self.count == 0 {
+                0.0
+            } else {
+                self.sum as f64 / self.count as f64
+            },
+            p50: self.quantile(0.50),
+            p90: self.quantile(0.90),
+            p99: self.quantile(0.99),
+            max: self.max,
+        }
+    }
+}
+
+/// Summary statistics of a [`LatencyHistogram`].
+#[derive(Clone, Copy, Debug, Default, PartialEq)]
+pub struct HistogramSnapshot {
+    /// Samples recorded.
+    pub count: u64,
+    /// Arithmetic mean of all samples.
+    pub mean: f64,
+    /// Median (bucket upper bound).
+    pub p50: u64,
+    /// 90th percentile (bucket upper bound).
+    pub p90: u64,
+    /// 99th percentile (bucket upper bound).
+    pub p99: u64,
+    /// Largest sample (exact).
+    pub max: u64,
+}
+
+/// A point-in-time copy of the runtime's counters.
+#[derive(Clone, Debug, Default)]
+pub struct MetricsSnapshot {
+    /// DML events ingested into pending delta tables.
+    pub events_ingested: u64,
+    /// Scheduler ticks executed (including idle ones).
+    pub ticks: u64,
+    /// Non-empty flush batches executed per base table.
+    pub flushes_per_table: Vec<u64>,
+    /// Modifications flushed per base table.
+    pub mods_flushed_per_table: Vec<u64>,
+    /// Flush invocations with a non-zero action (policy ticks and forced
+    /// fresh-read flushes).
+    pub flush_count: u64,
+    /// Total model cost charged across all flushes.
+    pub total_flush_cost: f64,
+    /// Largest single-flush model cost observed.
+    pub max_flush_cost: f64,
+    /// Per-flush model cost distribution, in milli-cost-units.
+    pub flush_cost_millis: HistogramSnapshot,
+    /// Fresh (flush-then-read) reads served.
+    pub fresh_reads: u64,
+    /// Stale (current materialized `V`) reads served.
+    pub stale_reads: u64,
+    /// End-to-end fresh-read refresh latency in nanoseconds (queue wait
+    /// plus flush, when served through the threaded server).
+    pub refresh_latency_ns: HistogramSnapshot,
+    /// Ingest-queue depth at snapshot time (threaded server only).
+    pub queue_depth: usize,
+    /// High-water mark of the ingest-queue depth (threaded server only).
+    pub max_queue_depth: usize,
+    /// Times the paper's validity invariant was broken: a post-action
+    /// state left full, or a fresh read whose flush cost exceeded `C`.
+    /// Must be zero for a correct policy; the CI smoke gate fails
+    /// otherwise.
+    pub constraint_violations: u64,
+}
+
+/// Mutable counter state owned by the runtime.
+#[derive(Clone, Debug)]
+pub(crate) struct Metrics {
+    pub events_ingested: u64,
+    pub ticks: u64,
+    pub flushes_per_table: Vec<u64>,
+    pub mods_flushed_per_table: Vec<u64>,
+    pub flush_count: u64,
+    pub total_flush_cost: f64,
+    pub max_flush_cost: f64,
+    pub flush_cost_millis: LatencyHistogram,
+    pub fresh_reads: u64,
+    pub stale_reads: u64,
+    pub refresh_latency_ns: LatencyHistogram,
+    pub constraint_violations: u64,
+}
+
+impl Metrics {
+    pub(crate) fn new(n: usize) -> Self {
+        Metrics {
+            events_ingested: 0,
+            ticks: 0,
+            flushes_per_table: vec![0; n],
+            mods_flushed_per_table: vec![0; n],
+            flush_count: 0,
+            total_flush_cost: 0.0,
+            max_flush_cost: 0.0,
+            flush_cost_millis: LatencyHistogram::new(),
+            fresh_reads: 0,
+            stale_reads: 0,
+            refresh_latency_ns: LatencyHistogram::new(),
+            constraint_violations: 0,
+        }
+    }
+
+    /// Records one executed flush action (model cost and per-table
+    /// counts); zero actions are not flushes.
+    pub(crate) fn record_flush(&mut self, action: &aivm_core::Counts, cost: f64) {
+        if action.is_zero() {
+            return;
+        }
+        self.flush_count += 1;
+        self.total_flush_cost += cost;
+        self.max_flush_cost = self.max_flush_cost.max(cost);
+        self.flush_cost_millis
+            .record((cost * 1000.0).round() as u64);
+        for i in 0..action.len() {
+            if action[i] > 0 {
+                self.flushes_per_table[i] += 1;
+                self.mods_flushed_per_table[i] += action[i];
+            }
+        }
+    }
+
+    pub(crate) fn snapshot(&self) -> MetricsSnapshot {
+        MetricsSnapshot {
+            events_ingested: self.events_ingested,
+            ticks: self.ticks,
+            flushes_per_table: self.flushes_per_table.clone(),
+            mods_flushed_per_table: self.mods_flushed_per_table.clone(),
+            flush_count: self.flush_count,
+            total_flush_cost: self.total_flush_cost,
+            max_flush_cost: self.max_flush_cost,
+            flush_cost_millis: self.flush_cost_millis.snapshot(),
+            fresh_reads: self.fresh_reads,
+            stale_reads: self.stale_reads,
+            refresh_latency_ns: self.refresh_latency_ns.snapshot(),
+            queue_depth: 0,
+            max_queue_depth: 0,
+            constraint_violations: self.constraint_violations,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn histogram_quantiles_bracket_samples() {
+        let mut h = LatencyHistogram::new();
+        for v in 1..=1000u64 {
+            h.record(v);
+        }
+        assert_eq!(h.count(), 1000);
+        let s = h.snapshot();
+        assert!(s.p50 >= 500 / 2 && s.p50 <= 1023, "p50 = {}", s.p50);
+        assert!(s.p99 >= 990 / 2, "p99 = {}", s.p99);
+        assert_eq!(s.max, 1000);
+        assert!((s.mean - 500.5).abs() < 1e-9);
+    }
+
+    #[test]
+    fn empty_histogram_is_all_zero() {
+        let s = LatencyHistogram::new().snapshot();
+        assert_eq!(s, HistogramSnapshot::default());
+    }
+
+    #[test]
+    fn zero_sample_is_representable() {
+        let mut h = LatencyHistogram::new();
+        h.record(0);
+        assert_eq!(h.quantile(1.0), 0);
+    }
+
+    #[test]
+    fn flush_recording_skips_zero_actions() {
+        let mut m = Metrics::new(2);
+        m.record_flush(&aivm_core::Counts::zero(2), 0.0);
+        assert_eq!(m.flush_count, 0);
+        m.record_flush(&aivm_core::Counts::from_slice(&[3, 0]), 2.5);
+        assert_eq!(m.flush_count, 1);
+        assert_eq!(m.flushes_per_table, vec![1, 0]);
+        assert_eq!(m.mods_flushed_per_table, vec![3, 0]);
+        assert_eq!(m.snapshot().flush_cost_millis.count, 1);
+    }
+}

@@ -1,0 +1,244 @@
+//! Pluggable flush policies for the serving runtime.
+//!
+//! A [`FlushPolicy`] is consulted once per scheduler tick with the
+//! current pending-counts state and returns the batch to flush. The
+//! contract mirrors the solver's step-wise [`Policy`](aivm_solver::Policy)
+//! execution model, with one difference: a serving runtime has no known
+//! refresh horizon `T`, so there is no forced final flush — policies
+//! must keep the state non-full forever.
+//!
+//! Contract (enforced by the runtime):
+//!
+//! * `reset` is called once before the first `decide`.
+//! * `decide(t, pending)` is called with strictly increasing `t` *after*
+//!   the tick's arrivals were added to `pending`; the returned action
+//!   must be component-wise ≤ `pending` (no overdraw).
+//! * The post-action state should satisfy `fits(f(post), C)`; leaving it
+//!   full is counted as a constraint violation by the runtime (fresh
+//!   reads would then exceed the budget).
+//! * Forced full flushes (fresh reads) bypass the policy entirely; the
+//!   policy observes them only through the shrunken `pending` on its
+//!   next call.
+
+use aivm_core::Counts;
+use aivm_solver::{AdaptSchedule, NaivePolicy, OnlineConfig, OnlinePolicy, Policy, PolicyContext};
+
+/// A step-wise flush decision procedure for the live runtime.
+pub trait FlushPolicy: Send {
+    /// Called once before the run with the policy-visible problem data
+    /// (cost functions and budget `C`).
+    fn reset(&mut self, ctx: &PolicyContext);
+
+    /// Decides the flush batch at tick `t` given the pending counts
+    /// (arrivals of this tick already included). Must not overdraw.
+    fn decide(&mut self, t: usize, pending: &Counts) -> Counts;
+
+    /// Short human-readable name for reports and metrics.
+    fn name(&self) -> &str;
+}
+
+/// The NAIVE policy: flush everything whenever the state is full.
+#[derive(Clone, Debug, Default)]
+pub struct NaiveFlush(NaivePolicy);
+
+impl NaiveFlush {
+    /// Creates a NAIVE flush policy.
+    pub fn new() -> Self {
+        Self::default()
+    }
+}
+
+impl FlushPolicy for NaiveFlush {
+    fn reset(&mut self, ctx: &PolicyContext) {
+        Policy::reset(&mut self.0, ctx);
+    }
+
+    fn decide(&mut self, t: usize, pending: &Counts) -> Counts {
+        self.0.act(t, pending)
+    }
+
+    fn name(&self) -> &str {
+        "naive"
+    }
+}
+
+/// The paper's ONLINE heuristic (§4.3), wrapping
+/// [`aivm_solver::OnlinePolicy`]: on a violation, flush the minimal
+/// greedy valid action minimizing the amortized cost to date `H`.
+#[derive(Clone, Debug, Default)]
+pub struct OnlineFlush(OnlinePolicy);
+
+impl OnlineFlush {
+    /// Creates an ONLINE flush policy with the default configuration.
+    pub fn new() -> Self {
+        OnlineFlush(OnlinePolicy::new())
+    }
+
+    /// Creates an ONLINE flush policy with an explicit configuration.
+    pub fn with_config(config: OnlineConfig) -> Self {
+        OnlineFlush(OnlinePolicy::with_config(config))
+    }
+}
+
+impl FlushPolicy for OnlineFlush {
+    fn reset(&mut self, ctx: &PolicyContext) {
+        Policy::reset(&mut self.0, ctx);
+    }
+
+    fn decide(&mut self, t: usize, pending: &Counts) -> Counts {
+        self.0.act(t, pending)
+    }
+
+    fn name(&self) -> &str {
+        "online"
+    }
+}
+
+/// Executes a precomputed LGM/ADAPT plan: at tick `t`, flush whatever is
+/// pending on the tables the schedule flushed at `t` (cyclic with period
+/// `T_0 + 1`, the ADAPT semantics of §4.2).
+///
+/// The live stream can diverge from the arrivals the plan was optimized
+/// for; when a scheduled action would leave the state full, the policy
+/// permanently falls back to a freshly reset ONLINE policy from that
+/// tick on ([`PlannedFlush::diverged`] reports whether that happened).
+#[derive(Clone, Debug)]
+pub struct PlannedFlush {
+    schedule: AdaptSchedule,
+    fallback: OnlinePolicy,
+    ctx: Option<PolicyContext>,
+    diverged_at: Option<usize>,
+}
+
+impl PlannedFlush {
+    /// Creates a planned policy from a precomputed schedule.
+    pub fn new(schedule: AdaptSchedule) -> Self {
+        PlannedFlush {
+            schedule,
+            fallback: OnlinePolicy::new(),
+            ctx: None,
+            diverged_at: None,
+        }
+    }
+
+    /// The tick at which the live trace diverged from the plan and the
+    /// ONLINE fallback took over, if it did.
+    pub fn diverged(&self) -> Option<usize> {
+        self.diverged_at
+    }
+
+    /// The wrapped schedule.
+    pub fn schedule(&self) -> &AdaptSchedule {
+        &self.schedule
+    }
+}
+
+impl FlushPolicy for PlannedFlush {
+    fn reset(&mut self, ctx: &PolicyContext) {
+        self.ctx = Some(ctx.clone());
+        self.diverged_at = None;
+        Policy::reset(&mut self.fallback, ctx);
+    }
+
+    fn decide(&mut self, t: usize, pending: &Counts) -> Counts {
+        if self.diverged_at.is_some() {
+            return self.fallback.act(t, pending);
+        }
+        let mut q = Counts::zero(pending.len());
+        for &i in self.schedule.subset_at(t) {
+            q[i] = pending[i];
+        }
+        let post = pending.checked_sub(&q).expect("greedy flush ≤ pending");
+        let ctx = self.ctx.as_ref().expect("reset before decide");
+        if ctx.is_full(&post) {
+            // The live arrivals outran the plan's assumptions: hand the
+            // rest of the run to ONLINE, reset so its rate estimates
+            // start from the divergence point rather than stale zeros.
+            self.diverged_at = Some(t);
+            Policy::reset(&mut self.fallback, ctx);
+            return self.fallback.act(t, pending);
+        }
+        q
+    }
+
+    fn name(&self) -> &str {
+        "planned"
+    }
+}
+
+/// Adapts a [`FlushPolicy`] to the solver's [`Policy`] trait so recorded
+/// live traces can be re-executed through `aivm-sim`'s replay machinery
+/// (which drives solver policies).
+#[derive(Clone, Debug)]
+pub struct AsSolverPolicy<F>(pub F);
+
+impl<F: FlushPolicy> Policy for AsSolverPolicy<F> {
+    fn reset(&mut self, ctx: &PolicyContext) {
+        self.0.reset(ctx);
+    }
+
+    fn act(&mut self, t: usize, pre_state: &Counts) -> Counts {
+        self.0.decide(t, pre_state)
+    }
+
+    fn name(&self) -> &str {
+        self.0.name()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use aivm_core::{Arrivals, CostModel, Instance};
+
+    fn ctx(budget: f64) -> PolicyContext {
+        PolicyContext {
+            costs: vec![CostModel::linear(1.0, 0.5), CostModel::linear(1.0, 4.0)],
+            budget,
+        }
+    }
+
+    #[test]
+    fn naive_flushes_all_when_full() {
+        let mut p = NaiveFlush::new();
+        p.reset(&ctx(8.0));
+        let low = Counts::from_slice(&[1, 1]);
+        assert!(p.decide(0, &low).is_zero());
+        let high = Counts::from_slice(&[4, 4]);
+        assert_eq!(p.decide(1, &high), high);
+    }
+
+    #[test]
+    fn planned_follows_schedule_then_falls_back() {
+        let inst = Instance::new(
+            ctx(8.0).costs,
+            Arrivals::uniform(Counts::from_slice(&[1, 1]), 20),
+            8.0,
+        );
+        let schedule = AdaptSchedule::precompute(&inst);
+        let mut p = PlannedFlush::new(schedule);
+        p.reset(&PolicyContext::of(&inst));
+        // Replay the plan's own arrivals: never diverges.
+        let mut s = Counts::zero(2);
+        for t in 0..=20 {
+            s.add_assign(&inst.arrivals.at(t));
+            let q = p.decide(t, &s);
+            s = s.checked_sub(&q).expect("no overdraw");
+        }
+        assert_eq!(p.diverged(), None);
+        // A flood the plan never anticipated triggers the fallback.
+        let flood = Counts::from_slice(&[40, 40]);
+        let q = p.decide(21, &flood);
+        assert!(p.diverged().is_some());
+        assert!(!q.is_zero(), "fallback must act on a full state");
+    }
+
+    #[test]
+    fn adapter_exposes_flush_policy_as_solver_policy() {
+        let mut p = AsSolverPolicy(NaiveFlush::new());
+        Policy::reset(&mut p, &ctx(8.0));
+        assert_eq!(Policy::name(&p), "naive");
+        let high = Counts::from_slice(&[4, 4]);
+        assert_eq!(Policy::act(&mut p, 0, &high), high);
+    }
+}

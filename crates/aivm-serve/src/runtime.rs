@@ -1,0 +1,462 @@
+//! The synchronous maintenance core.
+//!
+//! [`MaintenanceRuntime`] is single-threaded and deterministic: ingest
+//! events, close arrival windows with [`MaintenanceRuntime::tick`], and
+//! serve reads. The threaded [`server`](crate::server) drives one of
+//! these from its scheduler loop; tests and benchmarks drive it
+//! directly, which is what makes live behaviour reproducible offline.
+//!
+//! Two backends share the same scheduling logic:
+//!
+//! * **Model** — counts-only; flushes charge the configured cost
+//!   functions but touch no data. For policy tests and throughput
+//!   benchmarks.
+//! * **Engine** — owns a [`Database`] and a [`MaterializedView`]; DML
+//!   ingest applies each modification to the base table and enqueues it
+//!   in the view's delta table (arrival-time semantics, §2), and flushes
+//!   propagate deltas for real.
+
+use crate::metrics::{Metrics, MetricsSnapshot};
+use crate::policy::FlushPolicy;
+use crate::trace::Trace;
+use aivm_core::{fits, total_cost, CostModel, Counts};
+use aivm_engine::{Database, EngineError, MaterializedView, Modification, WRow};
+use aivm_solver::PolicyContext;
+use std::time::Instant;
+
+/// Configuration of a [`MaintenanceRuntime`].
+#[derive(Clone, Debug)]
+pub struct ServeConfig {
+    /// Per-table cost functions (the model the scheduler reasons with).
+    pub costs: Vec<CostModel>,
+    /// The refresh response-time budget `C`.
+    pub budget: f64,
+    /// Record every step into a replayable [`Trace`].
+    pub record_trace: bool,
+    /// Panic on a constraint violation instead of only counting it
+    /// (useful in tests; the CI smoke gate checks the counter).
+    pub strict: bool,
+}
+
+impl ServeConfig {
+    /// A config with tracing on and strict mode off.
+    pub fn new(costs: Vec<CostModel>, budget: f64) -> Self {
+        ServeConfig {
+            costs,
+            budget,
+            record_trace: true,
+            strict: false,
+        }
+    }
+}
+
+/// How a view read trades freshness for cost.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum ReadMode {
+    /// Return the current materialized `V` without flushing. Free, but
+    /// pending modifications are not reflected.
+    Stale,
+    /// Flush everything pending, then read. By the paper's validity
+    /// invariant the flush always costs ≤ `C`.
+    Fresh,
+}
+
+/// Outcome of a read.
+#[derive(Clone, Debug)]
+pub struct ReadResult {
+    /// Materialized rows (engine backend; `None` on the model backend).
+    pub rows: Option<Vec<WRow>>,
+    /// Pending modifications *not* reflected in `rows` (0 for fresh).
+    pub lag: u64,
+    /// Model cost of the flush performed to serve this read (0 for
+    /// stale).
+    pub flush_cost: f64,
+    /// Whether this read broke the `≤ C` guarantee (a fresh read served
+    /// from a full state a policy should never have left behind).
+    pub violated: bool,
+}
+
+/// Outcome of one scheduler tick.
+#[derive(Clone, Debug)]
+pub struct TickReport {
+    /// The tick index (policy time `t`).
+    pub t: usize,
+    /// The action the policy chose (may be zero).
+    pub action: Counts,
+    /// Model cost charged for the action.
+    pub cost: f64,
+    /// Whether the post-action state was left full.
+    pub violated: bool,
+}
+
+enum Backend {
+    Model,
+    Engine(Box<EngineState>),
+}
+
+struct EngineState {
+    db: Database,
+    view: MaterializedView,
+}
+
+/// The synchronous maintenance core. See the module docs.
+pub struct MaintenanceRuntime {
+    ctx: PolicyContext,
+    policy: Box<dyn FlushPolicy>,
+    backend: Backend,
+    pending: Counts,
+    window: Counts,
+    t: usize,
+    strict: bool,
+    metrics: Metrics,
+    trace: Option<Trace>,
+}
+
+impl MaintenanceRuntime {
+    /// Creates a counts-only (model-backed) runtime.
+    pub fn model(cfg: ServeConfig, mut policy: Box<dyn FlushPolicy>) -> Self {
+        let n = cfg.costs.len();
+        let ctx = PolicyContext {
+            costs: cfg.costs.clone(),
+            budget: cfg.budget,
+        };
+        policy.reset(&ctx);
+        MaintenanceRuntime {
+            trace: cfg.record_trace.then(|| Trace::new(cfg.costs, cfg.budget)),
+            ctx,
+            policy,
+            backend: Backend::Model,
+            pending: Counts::zero(n),
+            window: Counts::zero(n),
+            t: 0,
+            strict: cfg.strict,
+            metrics: Metrics::new(n),
+        }
+    }
+
+    /// Creates an engine-backed runtime owning `db` and `view`. The
+    /// cost vector must have one entry per base table of the view, in
+    /// view order.
+    pub fn engine(
+        cfg: ServeConfig,
+        policy: Box<dyn FlushPolicy>,
+        db: Database,
+        view: MaterializedView,
+    ) -> Result<Self, EngineError> {
+        if cfg.costs.len() != view.n() {
+            return Err(EngineError::Maintenance {
+                message: format!(
+                    "cost vector arity {} != view tables {}",
+                    cfg.costs.len(),
+                    view.n()
+                ),
+            });
+        }
+        let mut rt = Self::model(cfg, policy);
+        rt.backend = Backend::Engine(Box::new(EngineState { db, view }));
+        Ok(rt)
+    }
+
+    /// Number of base tables.
+    pub fn n(&self) -> usize {
+        self.ctx.n()
+    }
+
+    /// The current pending-counts state `s`.
+    pub fn pending(&self) -> &Counts {
+        &self.pending
+    }
+
+    /// The active policy's name.
+    pub fn policy_name(&self) -> &str {
+        self.policy.name()
+    }
+
+    /// Position of a base table within the view, by name (engine
+    /// backend only; `None` on the model backend or unknown names).
+    pub fn table_position(&self, name: &str) -> Option<usize> {
+        match &self.backend {
+            Backend::Model => None,
+            Backend::Engine(e) => e.view.table_position(name),
+        }
+    }
+
+    /// Ingests `k` anonymous modification events for `table` (model
+    /// backend only — the engine backend needs the actual rows).
+    ///
+    /// # Panics
+    ///
+    /// On an engine-backed runtime, or when `table` is out of range.
+    pub fn ingest_count(&mut self, table: usize, k: u64) {
+        assert!(
+            matches!(self.backend, Backend::Model),
+            "engine-backed runtimes ingest modifications, not bare counts"
+        );
+        self.pending[table] += k;
+        self.window[table] += k;
+        self.metrics.events_ingested += k;
+    }
+
+    /// Ingests one DML event for the `table`-th base table: applies it
+    /// to the base table and enqueues it in the view's delta table
+    /// (engine backend only).
+    pub fn ingest_dml(&mut self, table: usize, m: Modification) -> Result<(), EngineError> {
+        let e = match &mut self.backend {
+            Backend::Model => {
+                return Err(EngineError::Maintenance {
+                    message: "model-backed runtimes ingest counts, not modifications".into(),
+                })
+            }
+            Backend::Engine(e) => e,
+        };
+        e.view.apply_and_enqueue(&mut e.db, table, m)?;
+        self.pending[table] += 1;
+        self.window[table] += 1;
+        self.metrics.events_ingested += 1;
+        Ok(())
+    }
+
+    /// Closes the current arrival window and runs one scheduler step:
+    /// consults the policy, executes its flush, and checks the
+    /// post-action state against the budget.
+    pub fn tick(&mut self) -> Result<TickReport, EngineError> {
+        let t = self.t;
+        let zero = Counts::zero(self.n());
+        let arrivals = std::mem::replace(&mut self.window, zero);
+        let action = self.policy.decide(t, &self.pending);
+        assert!(
+            action.dominated_by(&self.pending),
+            "policy overdraw at t = {t}: action {action:?} > pending {:?}",
+            self.pending
+        );
+        let cost = self.execute_flush(&action)?;
+        let violated = self.ctx.is_full(&self.pending);
+        self.finish_step(arrivals, action.clone(), false, cost, violated, t);
+        self.metrics.ticks += 1;
+        Ok(TickReport {
+            t,
+            action,
+            cost,
+            violated,
+        })
+    }
+
+    /// Serves a read, measuring end-to-end latency from `enqueued`.
+    ///
+    /// A fresh read first runs one normal policy tick (the paper's model
+    /// adds the step's arrivals *before* the action at `t`, so the
+    /// policy gets to see everything that arrived since the last tick)
+    /// and then force-flushes the post-action remainder — a *forced*
+    /// step recorded in the trace but never shown to the policy. The
+    /// forced flush is the refresh the constraint `C` governs: any
+    /// correct policy leaves the post-action state non-full, so it
+    /// always costs ≤ `C`.
+    pub fn read_at(
+        &mut self,
+        mode: ReadMode,
+        enqueued: Instant,
+    ) -> Result<ReadResult, EngineError> {
+        match mode {
+            ReadMode::Stale => {
+                self.metrics.stale_reads += 1;
+                Ok(ReadResult {
+                    rows: self.current_rows(),
+                    lag: self.pending.total(),
+                    flush_cost: 0.0,
+                    violated: false,
+                })
+            }
+            ReadMode::Fresh => {
+                self.tick()?;
+                let t = self.t;
+                let action = self.pending.clone();
+                let cost = self.ctx.refresh_cost(&action);
+                // The validity invariant: the post-action state is never
+                // full, so the refresh that empties it fits C.
+                let violated = !fits(cost, self.ctx.budget);
+                let flush_cost = self.execute_flush(&action)?;
+                debug_assert!((flush_cost - cost).abs() < 1e-9);
+                self.finish_step(Counts::zero(self.n()), action, true, cost, violated, t);
+                self.metrics.fresh_reads += 1;
+                self.metrics
+                    .refresh_latency_ns
+                    .record(enqueued.elapsed().as_nanos() as u64);
+                Ok(ReadResult {
+                    rows: self.current_rows(),
+                    lag: 0,
+                    flush_cost: cost,
+                    violated,
+                })
+            }
+        }
+    }
+
+    /// [`MaintenanceRuntime::read_at`] measured from now.
+    pub fn read(&mut self, mode: ReadMode) -> Result<ReadResult, EngineError> {
+        self.read_at(mode, Instant::now())
+    }
+
+    /// A snapshot of the runtime's counters.
+    pub fn metrics(&self) -> MetricsSnapshot {
+        self.metrics.snapshot()
+    }
+
+    /// The recorded trace so far, if tracing is enabled.
+    pub fn trace(&self) -> Option<&Trace> {
+        self.trace.as_ref()
+    }
+
+    /// Consumes the runtime, returning the recorded trace.
+    pub fn into_trace(self) -> Option<Trace> {
+        self.trace
+    }
+
+    /// Executes a flush action against the backend, returning its model
+    /// cost.
+    fn execute_flush(&mut self, action: &Counts) -> Result<f64, EngineError> {
+        let cost = total_cost(&self.ctx.costs, action);
+        if let Backend::Engine(e) = &mut self.backend {
+            if !action.is_zero() {
+                let counts: Vec<u64> = (0..action.len()).map(|i| action[i]).collect();
+                e.view.flush(&e.db, &counts)?;
+            }
+        }
+        self.pending = self
+            .pending
+            .checked_sub(action)
+            .expect("flush ≤ pending checked above");
+        Ok(cost)
+    }
+
+    fn finish_step(
+        &mut self,
+        arrivals: Counts,
+        action: Counts,
+        forced: bool,
+        cost: f64,
+        violated: bool,
+        t: usize,
+    ) {
+        self.metrics.record_flush(&action, cost);
+        if violated {
+            self.metrics.constraint_violations += 1;
+            if self.strict {
+                panic!(
+                    "constraint violation at t = {t}: refresh cost exceeds budget {}",
+                    self.ctx.budget
+                );
+            }
+        }
+        if let Some(trace) = &mut self.trace {
+            trace.push(arrivals, action, forced);
+        }
+        self.t = t + 1;
+    }
+
+    fn current_rows(&self) -> Option<Vec<WRow>> {
+        match &self.backend {
+            Backend::Model => None,
+            Backend::Engine(e) => Some(e.view.result()),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::policy::{NaiveFlush, OnlineFlush};
+    use aivm_core::CostModel;
+
+    fn model_runtime(policy: Box<dyn FlushPolicy>) -> MaintenanceRuntime {
+        let cfg = ServeConfig::new(
+            vec![CostModel::linear(0.05, 0.2), CostModel::linear(0.02, 3.0)],
+            6.0,
+        );
+        MaintenanceRuntime::model(cfg, policy)
+    }
+
+    #[test]
+    fn naive_keeps_state_under_budget() {
+        let mut rt = model_runtime(Box::new(NaiveFlush::new()));
+        for _ in 0..200 {
+            rt.ingest_count(0, 2);
+            rt.ingest_count(1, 1);
+            let report = rt.tick().unwrap();
+            assert!(!report.violated);
+        }
+        let m = rt.metrics();
+        assert_eq!(m.constraint_violations, 0);
+        assert_eq!(m.events_ingested, 600);
+        assert!(m.flush_count > 0);
+    }
+
+    #[test]
+    fn fresh_read_empties_pending_and_fits_budget() {
+        let mut rt = model_runtime(Box::new(OnlineFlush::new()));
+        for i in 0..50 {
+            rt.ingest_count(0, 1);
+            rt.ingest_count(1, 1);
+            rt.tick().unwrap();
+            if i % 7 == 0 {
+                let r = rt.read(ReadMode::Fresh).unwrap();
+                assert!(!r.violated);
+                assert!(r.flush_cost <= 6.0 + 1e-9);
+                assert_eq!(r.lag, 0);
+                assert!(rt.pending().is_zero());
+            }
+        }
+        let m = rt.metrics();
+        assert_eq!(m.constraint_violations, 0);
+        assert_eq!(m.fresh_reads, 8);
+        assert_eq!(m.refresh_latency_ns.count, 8);
+    }
+
+    #[test]
+    fn stale_read_reports_lag_without_flushing() {
+        let mut rt = model_runtime(Box::new(NaiveFlush::new()));
+        rt.ingest_count(0, 3);
+        let r = rt.read(ReadMode::Stale).unwrap();
+        assert_eq!(r.lag, 3);
+        assert_eq!(r.flush_cost, 0.0);
+        assert_eq!(rt.pending().total(), 3);
+    }
+
+    #[test]
+    fn trace_records_every_step_with_forced_flags() {
+        let mut rt = model_runtime(Box::new(NaiveFlush::new()));
+        rt.ingest_count(0, 1);
+        rt.tick().unwrap();
+        rt.ingest_count(1, 2);
+        rt.read(ReadMode::Fresh).unwrap();
+        // Steps: first tick, then the fresh read's embedded policy tick,
+        // then its forced full flush.
+        let trace = rt.into_trace().expect("tracing on");
+        assert_eq!(trace.steps.len(), 3);
+        assert!(!trace.steps[0].forced);
+        assert!(!trace.steps[1].forced);
+        assert_eq!(trace.steps[1].arrivals, Counts::from_slice(&[0, 2]));
+        assert!(trace.steps[2].forced);
+        assert!(trace.steps[2].arrivals.is_zero());
+        assert_eq!(trace.steps[2].action.total(), 3);
+    }
+
+    #[test]
+    #[should_panic(expected = "constraint violation")]
+    fn strict_mode_panics_when_policy_leaves_state_full() {
+        struct Lazy;
+        impl FlushPolicy for Lazy {
+            fn reset(&mut self, _ctx: &PolicyContext) {}
+            fn decide(&mut self, _t: usize, pending: &Counts) -> Counts {
+                Counts::zero(pending.len())
+            }
+            fn name(&self) -> &str {
+                "lazy"
+            }
+        }
+        let mut cfg = ServeConfig::new(vec![CostModel::linear(1.0, 0.0)], 2.0);
+        cfg.strict = true;
+        let mut rt = MaintenanceRuntime::model(cfg, Box::new(Lazy));
+        rt.ingest_count(0, 10);
+        let _ = rt.tick();
+    }
+}

@@ -1,0 +1,332 @@
+//! The threaded serving layer: bounded-MPSC ingest in front of a
+//! scheduler thread.
+//!
+//! [`ServeServer::spawn`] moves a [`MaintenanceRuntime`] onto a
+//! scheduler thread and returns a cloneable [`ServeHandle`]. Producers
+//! push DML through a bounded [`std::sync::mpsc::sync_channel`] — a full
+//! queue blocks the producer (backpressure) rather than growing without
+//! bound. The scheduler loop alternates between draining a bounded batch
+//! of queued events and running one runtime tick, so ticks keep firing
+//! at `tick_interval` even when the stream goes quiet (ONLINE's rate
+//! estimator sees the silence) and batches stay small enough that reads
+//! queued behind a burst are served promptly.
+//!
+//! Reads and metrics requests travel on the same queue as DML, each
+//! carrying a rendezvous channel for the reply; fresh-read latency is
+//! measured from enqueue to reply, so it includes queue wait.
+//!
+//! [`ServeServer::shutdown`] returns the runtime (and therefore its
+//! metrics and recorded trace) once the scheduler drains; all producer
+//! handles must be dropped first, or the scheduler keeps waiting for
+//! more events.
+
+use crate::metrics::MetricsSnapshot;
+use crate::runtime::{MaintenanceRuntime, ReadMode, ReadResult};
+use aivm_engine::{EngineError, Modification};
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::mpsc::{sync_channel, Receiver, RecvTimeoutError, SyncSender, TrySendError};
+use std::sync::Arc;
+use std::thread::JoinHandle;
+use std::time::{Duration, Instant};
+
+/// Configuration of the threaded server.
+#[derive(Clone, Debug)]
+pub struct ServerConfig {
+    /// Capacity of the bounded ingest queue; producers block when full.
+    pub queue_capacity: usize,
+    /// How long the scheduler waits for an event before running an idle
+    /// tick anyway.
+    pub tick_interval: Duration,
+    /// Maximum events drained per tick (bounds tick latency).
+    pub max_batch: usize,
+}
+
+impl Default for ServerConfig {
+    fn default() -> Self {
+        ServerConfig {
+            queue_capacity: 1024,
+            tick_interval: Duration::from_millis(1),
+            max_batch: 256,
+        }
+    }
+}
+
+enum Msg {
+    Count {
+        table: usize,
+        k: u64,
+    },
+    Dml {
+        table: usize,
+        m: Modification,
+    },
+    Read {
+        mode: ReadMode,
+        enqueued: Instant,
+        reply: SyncSender<Result<ReadResult, EngineError>>,
+    },
+    Metrics {
+        reply: SyncSender<MetricsSnapshot>,
+    },
+}
+
+/// A cloneable producer/client handle to a running [`ServeServer`].
+#[derive(Clone)]
+pub struct ServeHandle {
+    tx: SyncSender<Msg>,
+    depth: Arc<AtomicUsize>,
+}
+
+impl ServeHandle {
+    fn send(&self, msg: Msg) -> bool {
+        self.depth.fetch_add(1, Ordering::Relaxed);
+        if self.tx.send(msg).is_err() {
+            self.depth.fetch_sub(1, Ordering::Relaxed);
+            return false;
+        }
+        true
+    }
+
+    /// Ingests `k` anonymous events for `table` (model backend).
+    /// Blocks while the queue is full; returns `false` if the server is
+    /// gone.
+    pub fn ingest_count(&self, table: usize, k: u64) -> bool {
+        self.send(Msg::Count { table, k })
+    }
+
+    /// Ingests one DML event for `table` (engine backend). Blocks while
+    /// the queue is full; returns `false` if the server is gone.
+    pub fn ingest_dml(&self, table: usize, m: Modification) -> bool {
+        self.send(Msg::Dml { table, m })
+    }
+
+    /// Serves a read, blocking until the scheduler replies. `None` if
+    /// the server is gone.
+    pub fn read(&self, mode: ReadMode) -> Option<Result<ReadResult, EngineError>> {
+        let (reply, rx) = sync_channel(1);
+        if !self.send(Msg::Read {
+            mode,
+            enqueued: Instant::now(),
+            reply,
+        }) {
+            return None;
+        }
+        rx.recv().ok()
+    }
+
+    /// Fetches a metrics snapshot (includes live queue depths). `None`
+    /// if the server is gone.
+    pub fn metrics(&self) -> Option<MetricsSnapshot> {
+        let (reply, rx) = sync_channel(1);
+        if !self.send(Msg::Metrics { reply }) {
+            return None;
+        }
+        rx.recv().ok()
+    }
+
+    /// Current ingest-queue depth (approximate).
+    pub fn queue_depth(&self) -> usize {
+        self.depth.load(Ordering::Relaxed)
+    }
+}
+
+/// A scheduler thread driving a [`MaintenanceRuntime`].
+pub struct ServeServer {
+    handle: ServeHandle,
+    join: JoinHandle<MaintenanceRuntime>,
+}
+
+impl ServeServer {
+    /// Spawns the scheduler thread.
+    pub fn spawn(runtime: MaintenanceRuntime, cfg: ServerConfig) -> Self {
+        let (tx, rx) = sync_channel::<Msg>(cfg.queue_capacity.max(1));
+        let depth = Arc::new(AtomicUsize::new(0));
+        let handle = ServeHandle {
+            tx,
+            depth: Arc::clone(&depth),
+        };
+        let join = std::thread::spawn(move || scheduler_loop(runtime, rx, depth, cfg));
+        ServeServer { handle, join }
+    }
+
+    /// A new producer/client handle.
+    pub fn handle(&self) -> ServeHandle {
+        self.handle.clone()
+    }
+
+    /// Drops this server's own handle and waits for the scheduler to
+    /// drain and exit, returning the runtime with its final metrics and
+    /// trace. Any handles cloned from this server must be dropped first.
+    pub fn shutdown(self) -> MaintenanceRuntime {
+        drop(self.handle);
+        self.join.join().expect("scheduler thread panicked")
+    }
+}
+
+fn scheduler_loop(
+    mut runtime: MaintenanceRuntime,
+    rx: Receiver<Msg>,
+    depth: Arc<AtomicUsize>,
+    cfg: ServerConfig,
+) -> MaintenanceRuntime {
+    let mut max_depth = 0usize;
+    loop {
+        let mut disconnected = false;
+        match rx.recv_timeout(cfg.tick_interval) {
+            Ok(msg) => {
+                // fetch_sub returns the pre-decrement depth, which counts
+                // the message being consumed — so a lone quickly-drained
+                // message still registers as depth 1.
+                max_depth = max_depth.max(depth.fetch_sub(1, Ordering::Relaxed));
+                handle_msg(&mut runtime, msg, &depth, max_depth);
+                let mut drained = 1usize;
+                while drained < cfg.max_batch.max(1) {
+                    match rx.try_recv() {
+                        Ok(msg) => {
+                            max_depth = max_depth.max(depth.fetch_sub(1, Ordering::Relaxed));
+                            handle_msg(&mut runtime, msg, &depth, max_depth);
+                            drained += 1;
+                        }
+                        Err(_) => break,
+                    }
+                }
+            }
+            Err(RecvTimeoutError::Timeout) => {}
+            Err(RecvTimeoutError::Disconnected) => disconnected = true,
+        }
+        // One scheduler tick per drain window — including idle windows,
+        // so policies observe quiet periods. Skip the final tick after
+        // disconnect: shutdown must not mutate state past the last
+        // client interaction, or recorded traces would grow a tail no
+        // client observed.
+        if disconnected {
+            break;
+        }
+        runtime.tick().expect("scheduler flush failed");
+    }
+    runtime
+}
+
+fn handle_msg(runtime: &mut MaintenanceRuntime, msg: Msg, depth: &AtomicUsize, max_depth: usize) {
+    match msg {
+        Msg::Count { table, k } => runtime.ingest_count(table, k),
+        Msg::Dml { table, m } => runtime
+            .ingest_dml(table, m)
+            .expect("ingested DML must apply"),
+        Msg::Read {
+            mode,
+            enqueued,
+            reply,
+        } => {
+            let result = runtime.read_at(mode, enqueued);
+            let _ = reply_best_effort(reply, result);
+        }
+        Msg::Metrics { reply } => {
+            let mut snap = runtime.metrics();
+            snap.queue_depth = depth.load(Ordering::Relaxed);
+            snap.max_queue_depth = max_depth;
+            let _ = reply_best_effort(reply, snap);
+        }
+    }
+}
+
+/// Replies without blocking the scheduler if the requester gave up.
+fn reply_best_effort<T>(reply: SyncSender<T>, value: T) -> Result<(), ()> {
+    match reply.try_send(value) {
+        Ok(()) => Ok(()),
+        Err(TrySendError::Full(_)) | Err(TrySendError::Disconnected(_)) => Err(()),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::policy::OnlineFlush;
+    use crate::runtime::ServeConfig;
+    use aivm_core::CostModel;
+
+    fn spawn_model_server() -> ServeServer {
+        let cfg = ServeConfig::new(
+            vec![CostModel::linear(0.05, 0.2), CostModel::linear(0.02, 3.0)],
+            6.0,
+        );
+        let rt = MaintenanceRuntime::model(cfg, Box::new(OnlineFlush::new()));
+        ServeServer::spawn(rt, ServerConfig::default())
+    }
+
+    #[test]
+    fn concurrent_producers_and_reader_stay_consistent() {
+        let server = spawn_model_server();
+        let mut producers = Vec::new();
+        for table in 0..2usize {
+            let h = server.handle();
+            producers.push(std::thread::spawn(move || {
+                for _ in 0..500 {
+                    assert!(h.ingest_count(table, 1));
+                }
+            }));
+        }
+        let reader = {
+            let h = server.handle();
+            std::thread::spawn(move || {
+                let mut fresh = 0u64;
+                for i in 0..20 {
+                    let mode = if i % 2 == 0 {
+                        ReadMode::Fresh
+                    } else {
+                        ReadMode::Stale
+                    };
+                    let r = h.read(mode).expect("server alive").expect("read ok");
+                    assert!(!r.violated);
+                    if matches!(mode, ReadMode::Fresh) {
+                        assert_eq!(r.lag, 0);
+                        fresh += 1;
+                    }
+                }
+                fresh
+            })
+        };
+        for p in producers {
+            p.join().unwrap();
+        }
+        let fresh = reader.join().unwrap();
+        let m = server.handle().metrics().expect("server alive");
+        assert_eq!(m.events_ingested, 1000);
+        assert!(m.fresh_reads >= fresh);
+        assert_eq!(m.constraint_violations, 0);
+        let runtime = server.shutdown();
+        // Final flush accounting: everything ingested is either still
+        // pending or was flushed.
+        let final_metrics = runtime.metrics();
+        let flushed: u64 = final_metrics.mods_flushed_per_table.iter().sum();
+        let pending = runtime.pending().total();
+        assert_eq!(flushed + pending, 1000);
+    }
+
+    #[test]
+    fn shutdown_returns_trace_of_everything_processed() {
+        let server = spawn_model_server();
+        let h = server.handle();
+        for _ in 0..50 {
+            assert!(h.ingest_count(0, 1));
+        }
+        h.read(ReadMode::Fresh).unwrap().unwrap();
+        drop(h);
+        let runtime = server.shutdown();
+        let trace = runtime.trace().expect("tracing on");
+        let ingested: u64 = trace.steps.iter().map(|s| s.arrivals.total()).sum();
+        assert_eq!(ingested, 50);
+        assert!(trace.steps.iter().any(|s| s.forced));
+    }
+
+    #[test]
+    fn metrics_include_queue_depths() {
+        let server = spawn_model_server();
+        let h = server.handle();
+        h.ingest_count(0, 1);
+        let m = h.metrics().expect("alive");
+        assert!(m.max_queue_depth >= 1);
+        drop(h);
+        server.shutdown();
+    }
+}

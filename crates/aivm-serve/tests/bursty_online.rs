@@ -1,0 +1,85 @@
+//! ONLINE under bursty arrivals (satellite of the serve PR): the
+//! paper's asymmetry claim, observed through the live runtime.
+//!
+//! Table 0 is probe-cheap (tiny setup `b`), table 1 pays a large setup
+//! per batch. Under a bursty stream ONLINE should flush the cheap table
+//! eagerly (many small batches) while batching the expensive one (few
+//! large batches) — and fresh reads must never observe a constraint
+//! violation.
+
+use aivm_core::CostModel;
+use aivm_serve::{MaintenanceRuntime, OnlineFlush, ReadMode, ServeConfig};
+use aivm_workload::bursty_arrivals;
+
+fn bursty_runtime() -> MaintenanceRuntime {
+    let mut cfg = ServeConfig::new(
+        vec![
+            CostModel::linear(0.06, 0.2), // cheap per batch: probe side
+            CostModel::linear(0.05, 7.0), // expensive setup: scan side
+        ],
+        12.0,
+    );
+    cfg.strict = true; // any violation fails the test immediately
+    MaintenanceRuntime::model(cfg, Box::new(OnlineFlush::new()))
+}
+
+#[test]
+fn online_flushes_cheap_eagerly_and_batches_expensive() {
+    let mut rt = bursty_runtime();
+    // Deterministic bursty stream: 4 modifications per table every 5th
+    // tick, silence in between.
+    let arrivals = bursty_arrivals(&[4, 4], 5, 600);
+    for t in 0..=600usize {
+        let a = arrivals.at(t);
+        for table in 0..2 {
+            if a[table] > 0 {
+                rt.ingest_count(table, a[table]);
+            }
+        }
+        let report = rt.tick().expect("model tick");
+        assert!(!report.violated, "violation at tick {t}");
+    }
+    let m = rt.metrics();
+    assert_eq!(m.constraint_violations, 0);
+    assert!(
+        m.flushes_per_table[0] > m.flushes_per_table[1],
+        "cheap table should flush more often: {:?}",
+        m.flushes_per_table
+    );
+    let avg_batch = |i: usize| m.mods_flushed_per_table[i] as f64 / m.flushes_per_table[i] as f64;
+    assert!(
+        avg_batch(1) > avg_batch(0),
+        "expensive table should batch bigger: cheap {:.2} vs expensive {:.2}",
+        avg_batch(0),
+        avg_batch(1)
+    );
+}
+
+#[test]
+fn fresh_reads_never_observe_a_violation_under_bursts() {
+    let mut rt = bursty_runtime();
+    let arrivals = bursty_arrivals(&[6, 6], 4, 400);
+    for t in 0..=400usize {
+        let a = arrivals.at(t);
+        for table in 0..2 {
+            if a[table] > 0 {
+                rt.ingest_count(table, a[table]);
+            }
+        }
+        if t % 9 == 0 {
+            // Fresh read mid-stream: runs a policy tick internally, then
+            // force-flushes. Strict mode panics on any violation; check
+            // the report too.
+            let r = rt.read(ReadMode::Fresh).expect("model read");
+            assert!(!r.violated, "fresh read violated C at tick {t}");
+            assert!(r.flush_cost <= 12.0 + 1e-9);
+            assert_eq!(r.lag, 0);
+        } else {
+            rt.tick().expect("model tick");
+        }
+    }
+    let m = rt.metrics();
+    assert_eq!(m.constraint_violations, 0);
+    assert_eq!(m.fresh_reads, 45);
+    assert_eq!(m.refresh_latency_ns.count, 45);
+}

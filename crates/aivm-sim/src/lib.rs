@@ -11,6 +11,8 @@
 //! * [`report`] — text/CSV rendering of the reproduced series.
 //! * [`par`] — the deterministic parallel fan-out the sweep drivers run
 //!   on (`AIVM_THREADS` / `--threads` configurable).
+//! * [`replay`] — deterministic re-execution of live traces recorded by
+//!   `aivm-serve`.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
@@ -18,10 +20,12 @@
 pub mod actual;
 pub mod experiments;
 pub mod par;
+pub mod replay;
 pub mod report;
 pub mod runner;
 
 pub use actual::{run_plan_actual, ActionTiming, ActualRun};
 pub use par::{configured_threads, par_map, set_thread_override};
+pub use replay::{replay_policy, replay_schedule, ReplayOutcome, ReplayStep};
 pub use report::{fnum, ExpTable};
 pub use runner::{simulate_plan, simulate_policy, PlanSummary};

@@ -20,6 +20,7 @@
 //!   inline on the caller with no threads spawned — the paper-fidelity
 //!   serial mode.
 
+use std::panic::{catch_unwind, resume_unwind, AssertUnwindSafe};
 use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::mpsc;
 
@@ -32,21 +33,36 @@ pub fn set_thread_override(threads: Option<usize>) {
     THREAD_OVERRIDE.store(threads.unwrap_or(0), Ordering::Relaxed);
 }
 
+/// Parses a thread-count environment value. A set-but-malformed or zero
+/// value is a configuration error, not a cue to silently fall back —
+/// `AIVM_THREADS=O8` picking the machine width would be a confusing way
+/// to lose a benchmark's serial baseline.
+fn parse_threads(var: &str, value: &str) -> Result<usize, String> {
+    match value.trim().parse::<usize>() {
+        Ok(0) => Err(format!("{var} must be at least 1, got 0")),
+        Ok(n) => Ok(n),
+        Err(_) => Err(format!("{var} must be a positive integer, got {value:?}")),
+    }
+}
+
 /// The sweep width currently in effect: the [`set_thread_override`]
 /// value, else `AIVM_THREADS`, else `RAYON_NUM_THREADS`, else the
 /// machine's available parallelism (at least 1).
+///
+/// # Panics
+///
+/// When the first set environment variable is malformed or zero; the
+/// error names the variable and the offending value.
 pub fn configured_threads() -> usize {
     let forced = THREAD_OVERRIDE.load(Ordering::Relaxed);
     if forced > 0 {
         return forced;
     }
     for var in ["AIVM_THREADS", "RAYON_NUM_THREADS"] {
-        if let Some(n) = std::env::var(var)
-            .ok()
-            .and_then(|v| v.trim().parse::<usize>().ok())
-        {
-            if n > 0 {
-                return n;
+        if let Ok(value) = std::env::var(var) {
+            match parse_threads(var, &value) {
+                Ok(n) => return n,
+                Err(e) => panic!("invalid thread configuration: {e}"),
             }
         }
     }
@@ -76,7 +92,8 @@ where
         return (0..len).map(f).collect();
     }
     let next = AtomicUsize::new(0);
-    let (tx, rx) = mpsc::channel::<(usize, R)>();
+    type Item<R> = (usize, std::thread::Result<R>);
+    let (tx, rx) = mpsc::channel::<Item<R>>();
     std::thread::scope(|scope| {
         for _ in 0..threads {
             let tx = tx.clone();
@@ -87,28 +104,38 @@ where
                 if i >= len {
                     break;
                 }
-                // A worker panic drops its sender; the collector below
-                // notices the short count and propagates via join.
-                if tx.send((i, f(i))).is_err() {
+                // Catch worker panics and ship the payload to the
+                // collector, which re-raises it on the calling thread;
+                // relying on scope-join propagation alone would leave
+                // the collector blocked on the channel if send order and
+                // panic order raced.
+                let result = catch_unwind(AssertUnwindSafe(|| f(i)));
+                let failed = result.is_err();
+                if tx.send((i, result)).is_err() || failed {
                     break;
                 }
             });
         }
         drop(tx);
         let mut slots: Vec<Option<R>> = (0..len).map(|_| None).collect();
-        let mut received = 0usize;
+        let mut first_panic: Option<Box<dyn std::any::Any + Send>> = None;
         for (i, r) in rx {
-            slots[i] = Some(r);
-            received += 1;
+            match r {
+                Ok(v) => slots[i] = Some(v),
+                Err(payload) => {
+                    // Keep draining so workers' sends never block; the
+                    // panic is re-raised once the channel closes.
+                    first_panic.get_or_insert(payload);
+                }
+            }
         }
-        // If a worker panicked, scope join re-raises it after this block;
-        // the assert is only reachable when every worker exited cleanly
-        // yet skipped an index, which would be a bug in the queue.
-        if received == len {
-            slots.into_iter().map(|s| s.expect("slot filled")).collect()
-        } else {
-            Vec::new()
+        if let Some(payload) = first_panic {
+            resume_unwind(payload);
         }
+        slots
+            .into_iter()
+            .map(|s| s.expect("work queue covered every index"))
+            .collect()
     })
 }
 
@@ -152,6 +179,53 @@ mod tests {
         assert_eq!(configured_threads(), 3);
         set_thread_override(None);
         assert!(configured_threads() >= 1);
+    }
+
+    #[test]
+    fn parse_threads_accepts_positive_integers() {
+        assert_eq!(parse_threads("AIVM_THREADS", "4"), Ok(4));
+        assert_eq!(parse_threads("AIVM_THREADS", "  16 "), Ok(16));
+    }
+
+    #[test]
+    fn parse_threads_rejects_zero_and_garbage() {
+        for bad in ["0", "", "O8", "-2", "3.5", "four"] {
+            let err = parse_threads("AIVM_THREADS", bad).expect_err(bad);
+            assert!(err.contains("AIVM_THREADS"), "error names the var: {err}");
+        }
+    }
+
+    #[test]
+    fn worker_panic_propagates_to_caller() {
+        let result = std::panic::catch_unwind(|| {
+            par_map_indexed_with(4, 32, |i| {
+                if i == 13 {
+                    panic!("boom at 13");
+                }
+                i
+            })
+        });
+        let payload = result.expect_err("panic must propagate");
+        let msg = payload
+            .downcast_ref::<&str>()
+            .copied()
+            .map(String::from)
+            .or_else(|| payload.downcast_ref::<String>().cloned())
+            .unwrap_or_default();
+        assert!(msg.contains("boom at 13"), "original payload kept: {msg}");
+    }
+
+    #[test]
+    fn serial_path_panic_also_propagates() {
+        let result = std::panic::catch_unwind(|| {
+            par_map_indexed_with(1, 4, |i| {
+                if i == 2 {
+                    panic!("serial boom");
+                }
+                i
+            })
+        });
+        assert!(result.is_err());
     }
 
     #[test]

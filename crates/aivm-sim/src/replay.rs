@@ -1,0 +1,232 @@
+//! Deterministic re-execution of recorded live traces.
+//!
+//! `aivm-serve` records a live run as a sequence of steps, each with the
+//! arrivals closed into that step and a flag marking *forced* full
+//! flushes (fresh reads, which bypass the policy). This module replays
+//! such a recording offline, in two modes:
+//!
+//! * [`replay_policy`] — re-runs a policy over the recorded arrivals,
+//!   reproducing the live run's decisions bit-for-bit when given the
+//!   same (deterministic) policy. This is how the serve layer's
+//!   `Planned` policy is verified: a fresh instance of the policy,
+//!   driven over the recorded trace, must emit the same flush schedule
+//!   and total cost as the live run.
+//! * [`replay_schedule`] — re-executes a recorded *action sequence*
+//!   against the recorded arrivals, checking it never overdraws, and
+//!   recomputes its cost. This audits the recording itself and prices
+//!   the same schedule under alternative cost models.
+//!
+//! Unlike [`run_policy`](aivm_solver::run_policy), replays do not force
+//! a final flush-everything action: live runs end with whatever was
+//! still pending, and the replay preserves that (`leftover`).
+
+use aivm_core::{total_cost, CostModel, Counts, PlanError};
+use aivm_solver::{Policy, PolicyContext};
+
+/// One step of a recorded live run, as needed for replay.
+#[derive(Clone, Debug, PartialEq)]
+pub struct ReplayStep {
+    /// Modifications per table that arrived during the step's window.
+    pub arrivals: Counts,
+    /// `true` when the live runtime force-flushed everything (a fresh
+    /// read) instead of consulting the policy.
+    pub forced: bool,
+}
+
+/// Outcome of a replay.
+#[derive(Clone, Debug)]
+pub struct ReplayOutcome {
+    /// The action taken at each step.
+    pub actions: Vec<Counts>,
+    /// Total model cost of all actions.
+    pub total_cost: f64,
+    /// Steps whose post-action state was left full (0 for any correct
+    /// policy).
+    pub violations: usize,
+    /// Pending counts remaining after the last step.
+    pub leftover: Counts,
+}
+
+/// Re-runs `policy` over recorded steps. Forced steps flush everything
+/// pending without consulting the policy — exactly the live semantics —
+/// but still advance the step clock `t`.
+///
+/// # Panics
+///
+/// If the policy overdraws (returns an action exceeding the pending
+/// state); solver policies never do.
+pub fn replay_policy(
+    costs: &[CostModel],
+    budget: f64,
+    steps: &[ReplayStep],
+    policy: &mut dyn Policy,
+) -> ReplayOutcome {
+    let ctx = PolicyContext {
+        costs: costs.to_vec(),
+        budget,
+    };
+    policy.reset(&ctx);
+    let n = costs.len();
+    let mut s = Counts::zero(n);
+    let mut actions = Vec::with_capacity(steps.len());
+    let mut cost = 0.0;
+    let mut violations = 0usize;
+    for (t, step) in steps.iter().enumerate() {
+        s.add_assign(&step.arrivals);
+        let q = if step.forced {
+            s.clone()
+        } else {
+            policy.act(t, &s)
+        };
+        s = s
+            .checked_sub(&q)
+            .unwrap_or_else(|| panic!("policy overdraw at replay step {t}"));
+        cost += total_cost(costs, &q);
+        if ctx.is_full(&s) {
+            violations += 1;
+        }
+        actions.push(q);
+    }
+    ReplayOutcome {
+        actions,
+        total_cost: cost,
+        violations,
+        leftover: s,
+    }
+}
+
+/// Re-executes a recorded action sequence against recorded arrivals,
+/// verifying lengths match and no action overdraws.
+pub fn replay_schedule(
+    costs: &[CostModel],
+    budget: f64,
+    steps: &[ReplayStep],
+    actions: &[Counts],
+) -> Result<ReplayOutcome, PlanError> {
+    if actions.len() != steps.len() {
+        return Err(PlanError::WrongLength {
+            expected: steps.len(),
+            got: actions.len(),
+        });
+    }
+    let ctx = PolicyContext {
+        costs: costs.to_vec(),
+        budget,
+    };
+    let n = costs.len();
+    let mut s = Counts::zero(n);
+    let mut cost = 0.0;
+    let mut violations = 0usize;
+    for (t, (step, q)) in steps.iter().zip(actions).enumerate() {
+        s.add_assign(&step.arrivals);
+        match s.checked_sub(q) {
+            Some(post) => s = post,
+            None => {
+                let table = (0..n).find(|&i| q[i] > s[i]).unwrap_or(0);
+                return Err(PlanError::Overdraw { t, table });
+            }
+        }
+        cost += total_cost(costs, q);
+        if ctx.is_full(&s) {
+            violations += 1;
+        }
+    }
+    Ok(ReplayOutcome {
+        actions: actions.to_vec(),
+        total_cost: cost,
+        violations,
+        leftover: s,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use aivm_core::{Arrivals, CostModel, Instance};
+    use aivm_solver::{optimal_lgm_plan, NaivePolicy, ReplayPolicy};
+
+    fn costs() -> Vec<CostModel> {
+        vec![CostModel::linear(1.0, 0.5), CostModel::linear(1.0, 4.0)]
+    }
+
+    fn uniform_steps(horizon: usize) -> Vec<ReplayStep> {
+        (0..=horizon)
+            .map(|_| ReplayStep {
+                arrivals: Counts::from_slice(&[1, 1]),
+                forced: false,
+            })
+            .collect()
+    }
+
+    #[test]
+    fn policy_replay_matches_schedule_replay() {
+        let inst = Instance::new(
+            costs(),
+            Arrivals::uniform(Counts::from_slice(&[1, 1]), 20),
+            8.0,
+        );
+        let sol = optimal_lgm_plan(&inst);
+        let mut steps = uniform_steps(20);
+        // The plan's final action is run_policy's forced flush at T.
+        steps.last_mut().unwrap().forced = true;
+        let mut policy = ReplayPolicy::from_plan("replay", &sol.plan);
+        let by_policy = replay_policy(&costs(), 8.0, &steps, &mut policy);
+        let by_schedule = replay_schedule(&costs(), 8.0, &steps, &by_policy.actions).unwrap();
+        assert_eq!(by_policy.actions, by_schedule.actions);
+        assert!((by_policy.total_cost - by_schedule.total_cost).abs() < 1e-9);
+        assert!((by_policy.total_cost - sol.cost).abs() < 1e-9);
+        assert_eq!(by_policy.violations, 0);
+        assert!(by_policy.leftover.is_zero());
+    }
+
+    #[test]
+    fn forced_steps_bypass_the_policy() {
+        // NAIVE would do nothing at these low counts; the forced flag
+        // flushes anyway.
+        let steps = vec![
+            ReplayStep {
+                arrivals: Counts::from_slice(&[1, 0]),
+                forced: false,
+            },
+            ReplayStep {
+                arrivals: Counts::from_slice(&[0, 1]),
+                forced: true,
+            },
+        ];
+        let out = replay_policy(&costs(), 100.0, &steps, &mut NaivePolicy::new());
+        assert!(out.actions[0].is_zero());
+        assert_eq!(out.actions[1], Counts::from_slice(&[1, 1]));
+        assert!(out.leftover.is_zero());
+    }
+
+    #[test]
+    fn schedule_replay_reports_overdraw() {
+        let steps = uniform_steps(1);
+        let actions = vec![Counts::from_slice(&[5, 0]), Counts::zero(2)];
+        match replay_schedule(&costs(), 8.0, &steps, &actions) {
+            Err(PlanError::Overdraw { t: 0, table: 0 }) => {}
+            other => panic!("expected overdraw, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn schedule_replay_rejects_length_mismatch() {
+        let steps = uniform_steps(2);
+        match replay_schedule(&costs(), 8.0, &steps, &[]) {
+            Err(PlanError::WrongLength { .. }) => {}
+            other => panic!("expected length error, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn leftover_and_violations_are_reported() {
+        // A lazy schedule that never flushes: pending accumulates and
+        // eventually busts the small budget.
+        let steps = uniform_steps(10);
+        let actions = vec![Counts::zero(2); 11];
+        let out = replay_schedule(&costs(), 8.0, &steps, &actions).unwrap();
+        assert_eq!(out.leftover, Counts::from_slice(&[11, 11]));
+        assert!(out.violations > 0);
+        assert_eq!(out.total_cost, 0.0);
+    }
+}

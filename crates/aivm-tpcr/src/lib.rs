@@ -26,7 +26,7 @@ pub mod gen;
 pub mod updates;
 
 pub use gen::{generate, TpcrConfig, TpcrDatabase};
-pub use updates::{UpdateGen, UpdateKind};
+pub use updates::{pregenerate_streams, UpdateGen, UpdateKind};
 
 use aivm_engine::{Database, EngineError, MaterializedView, MinStrategy};
 

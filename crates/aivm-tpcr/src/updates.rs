@@ -102,6 +102,52 @@ impl UpdateGen {
         };
         (kind, self.update_of(db, kind))
     }
+
+    /// Pre-generates `count` updates of `kind`, applying each to
+    /// `scratch` so later updates see the evolving state. The returned
+    /// sequence applies cleanly, **in order**, to any database whose
+    /// target table matches `scratch`'s initial state — which is how
+    /// `aivm-serve`'s live producers feed a deterministic update stream
+    /// without racing the generator against the serving database.
+    pub fn pregenerate(
+        &mut self,
+        scratch: &mut Database,
+        kind: UpdateKind,
+        count: usize,
+    ) -> Vec<Modification> {
+        let table = match kind {
+            UpdateKind::PartSuppCost => self.partsupp,
+            UpdateKind::SupplierNation => self.supplier,
+        };
+        let mut out = Vec::with_capacity(count);
+        for _ in 0..count {
+            let m = self.update_of(scratch, kind);
+            scratch
+                .apply(table, &m)
+                .expect("pregenerated update applies to its own scratch state");
+            out.push(m);
+        }
+        out
+    }
+}
+
+/// Pre-generates independent per-table update streams of the paper's
+/// workload (`count_each` supplycost updates and `count_each` nationkey
+/// updates) from a scratch clone of `data`'s database. Each returned
+/// stream replays cleanly in order against the original database, and
+/// the two streams commute across tables: partsupp updates only read
+/// partsupp state and supplier updates only supplier state, so
+/// concurrent producers need only preserve per-table order.
+pub fn pregenerate_streams(
+    data: &TpcrDatabase,
+    count_each: usize,
+    seed: u64,
+) -> (Vec<Modification>, Vec<Modification>) {
+    let mut gen = UpdateGen::new(data, seed);
+    let mut scratch = data.db.clone();
+    let partsupp = gen.pregenerate(&mut scratch, UpdateKind::PartSuppCost, count_each);
+    let supplier = gen.pregenerate(&mut scratch, UpdateKind::SupplierNation, count_each);
+    (partsupp, supplier)
 }
 
 #[cfg(test)]
@@ -125,6 +171,36 @@ mod tests {
         }
         // Cardinalities unchanged: updates only.
         assert_eq!(data.db.table(data.supplier).len(), 100);
+    }
+
+    #[test]
+    fn pregenerated_streams_apply_cleanly_per_table() {
+        let mut data = generate(&TpcrConfig::small(), 11);
+        let (ps, supp) = pregenerate_streams(&data, 40, 9);
+        assert_eq!(ps.len(), 40);
+        assert_eq!(supp.len(), 40);
+        // Interleave across tables (producers race), preserving each
+        // table's internal order — the commutativity the serve producers
+        // rely on.
+        let (mut i, mut j) = (0, 0);
+        while i < ps.len() || j < supp.len() {
+            if i <= j && i < ps.len() {
+                data.db.apply(data.partsupp, &ps[i]).expect("partsupp");
+                i += 1;
+            } else {
+                data.db.apply(data.supplier, &supp[j]).expect("supplier");
+                j += 1;
+            }
+        }
+        assert_eq!(data.db.table(data.supplier).len(), 100);
+    }
+
+    #[test]
+    fn pregenerated_streams_are_deterministic() {
+        let data = generate(&TpcrConfig::small(), 11);
+        let a = pregenerate_streams(&data, 10, 5);
+        let b = pregenerate_streams(&data, 10, 5);
+        assert_eq!(a, b);
     }
 
     #[test]

@@ -123,6 +123,24 @@ pub fn preset_arrivals(kind: StreamKind, n: usize, horizon: usize, seed: u64) ->
     nonuniform_arrivals(&vec![kind.params(); n], horizon, seed)
 }
 
+/// Flattens an arrival sequence into `(step, table, count)` ingest
+/// events, skipping zero counts — the adapter between the paper's
+/// offline stream generators and `aivm-serve`'s live producers, which
+/// feed one event per entry and advance the scheduler clock between
+/// steps.
+pub fn event_stream(arrivals: &Arrivals) -> Vec<(usize, usize, u64)> {
+    let mut out = Vec::new();
+    for t in 0..=arrivals.horizon() {
+        let a = arrivals.at(t);
+        for table in 0..a.len() {
+            if a[table] > 0 {
+                out.push((t, table, a[table]));
+            }
+        }
+    }
+    out
+}
+
 /// Bursty arrivals: `burst[i]` modifications of table `i` every
 /// `period` steps, nothing in between.
 pub fn bursty_arrivals(burst: &[u64], period: usize, horizon: usize) -> Arrivals {
@@ -142,6 +160,15 @@ pub fn bursty_arrivals(burst: &[u64], period: usize, horizon: usize) -> Arrivals
 #[cfg(test)]
 mod tests {
     use super::*;
+
+    #[test]
+    fn event_stream_flattens_and_skips_zeros() {
+        let a = bursty_arrivals(&[2, 0], 2, 4);
+        let events = event_stream(&a);
+        assert_eq!(events, vec![(0, 0, 2), (2, 0, 2), (4, 0, 2)]);
+        let total: u64 = events.iter().map(|&(_, _, k)| k).sum();
+        assert_eq!(total, a.totals().total());
+    }
 
     #[test]
     fn uniform_matches_core_constructor() {

@@ -34,7 +34,8 @@
 //! | [`engine`] | in-memory relational engine: tables, hash/B-tree indexes, Z-set executor, SQL subset, state-bug-safe IVM, cost estimation & measurement |
 //! | [`tpcr`] | deterministic TPC-R-style generator + the paper's evaluation view and update stream |
 //! | [`workload`] | arrival-sequence generators (uniform, the paper's truncated-normal streams, bursty) |
-//! | [`sim`] | counts-only simulator, engine-backed actual execution, experiment drivers for every paper figure |
+//! | [`sim`] | counts-only simulator, engine-backed actual execution, experiment drivers for every paper figure, trace replay |
+//! | [`serve`] | live streaming maintenance runtime: bounded-queue ingest, pluggable flush policies, stale/fresh reads, metrics, trace recording |
 //!
 //! See `DESIGN.md` for the system inventory and `EXPERIMENTS.md` for the
 //! paper-vs-measured record; the `repro` binary (in `aivm-bench`)
@@ -47,6 +48,8 @@
 pub use aivm_core as core;
 /// Relational engine with IVM (re-export of `aivm-engine`).
 pub use aivm_engine as engine;
+/// Live serving runtime (re-export of `aivm-serve`).
+pub use aivm_serve as serve;
 /// Simulator and experiment drivers (re-export of `aivm-sim`).
 pub use aivm_sim as sim;
 /// Plan search and policies (re-export of `aivm-solver`).

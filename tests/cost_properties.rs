@@ -1,0 +1,148 @@
+//! Property tests for the paper's two cost-function axioms (§2):
+//! every cost constructor must be **monotone** (more modifications never
+//! cost less) and **subadditive** (splitting a batch never helps), over
+//! randomized parameters — and so must the cost functions the engine's
+//! analytic cost model estimates for the TPC-R view.
+
+use aivm::core::CostModel;
+use aivm::engine::{estimate_cost_functions, CostConstants, MinStrategy};
+use aivm::tpcr::{generate, install_paper_view, TpcrConfig};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+const UPTO: u64 = 96;
+
+fn assert_axioms(m: &CostModel, what: &str) {
+    assert!(m.check_monotone(UPTO), "{what} not monotone: {m:?}");
+    assert!(m.check_subadditive(UPTO), "{what} not subadditive: {m:?}");
+}
+
+#[test]
+fn random_linear_models_satisfy_the_axioms() {
+    let mut rng = StdRng::seed_from_u64(101);
+    for i in 0..200 {
+        let a = rng.gen_range(0.0..50.0);
+        let b = rng.gen_range(0.0..500.0);
+        assert_axioms(&CostModel::linear(a, b), &format!("linear #{i}"));
+    }
+}
+
+#[test]
+fn random_step_models_satisfy_the_axioms() {
+    let mut rng = StdRng::seed_from_u64(102);
+    for i in 0..200 {
+        let m = CostModel::Step {
+            block: rng.gen_range(1..40),
+            cost_per_block: rng.gen_range(0.01..100.0),
+        };
+        assert_axioms(&m, &format!("step #{i}"));
+    }
+}
+
+#[test]
+fn random_power_models_satisfy_the_axioms() {
+    let mut rng = StdRng::seed_from_u64(103);
+    for i in 0..200 {
+        let m = CostModel::Power {
+            setup: rng.gen_range(0.0..200.0),
+            scale: rng.gen_range(0.0..20.0),
+            exponent: rng.gen_range(0.05..1.0),
+        };
+        assert_axioms(&m, &format!("power #{i}"));
+    }
+}
+
+#[test]
+fn random_capped_models_satisfy_the_axioms() {
+    let mut rng = StdRng::seed_from_u64(104);
+    for i in 0..200 {
+        // The §3.2 construction uses ε with 1/ε integral; the axioms hold
+        // for any ε ∈ (0, 1].
+        let inv_eps = rng.gen_range(1..64) as f64;
+        let m = CostModel::Capped {
+            eps: 1.0 / inv_eps,
+            c: rng.gen_range(0.1..100.0),
+        };
+        assert_axioms(&m, &format!("capped #{i}"));
+    }
+}
+
+#[test]
+fn random_concave_piecewise_models_satisfy_the_axioms() {
+    let mut rng = StdRng::seed_from_u64(105);
+    for i in 0..200 {
+        // Concave monotone samples: strictly increasing k, increments
+        // with non-increasing per-unit slope. Concavity + f(0) = 0
+        // implies subadditivity, which is the class the paper's measured
+        // curves live in.
+        let mut points = Vec::new();
+        let mut k = 0u64;
+        let mut cost = 0.0f64;
+        let mut slope = rng.gen_range(1.0..20.0);
+        for _ in 0..rng.gen_range(2..7) {
+            let dk = rng.gen_range(1..12);
+            k += dk;
+            cost += slope * dk as f64;
+            points.push((k, cost));
+            slope *= rng.gen_range(0.3..1.0);
+        }
+        assert_axioms(&CostModel::Piecewise { points }, &format!("piecewise #{i}"));
+    }
+}
+
+#[test]
+fn fitted_linear_models_satisfy_the_axioms() {
+    let mut rng = StdRng::seed_from_u64(106);
+    for i in 0..100 {
+        // Noisy samples of a genuinely increasing line: the fit clamps
+        // the intercept at zero, and the slope stays positive as long as
+        // the noise is small against it.
+        let a = rng.gen_range(0.5..20.0);
+        let b = rng.gen_range(0.0..100.0);
+        let samples: Vec<(u64, f64)> = (1..=12u64)
+            .map(|k| (k * 8, a * (k * 8) as f64 + b + rng.gen_range(-0.1..0.1) * a))
+            .collect();
+        let fitted = CostModel::fit_linear(&samples).expect("enough samples");
+        assert_axioms(&fitted, &format!("fit_linear #{i}"));
+    }
+}
+
+#[test]
+fn fit_linear_rejects_degenerate_inputs() {
+    assert!(CostModel::fit_linear(&[]).is_none());
+    assert!(CostModel::fit_linear(&[(5, 3.0)]).is_none());
+    assert!(
+        CostModel::fit_linear(&[(5, 3.0), (5, 4.0)]).is_none(),
+        "zero variance in k"
+    );
+}
+
+#[test]
+fn estimated_tpcr_cost_models_satisfy_the_axioms() {
+    let data = generate(&TpcrConfig::small(), 77);
+    let view = install_paper_view(&data.db, MinStrategy::Multiset).expect("view");
+    let variants = [
+        CostConstants::default(),
+        CostConstants {
+            scan_row: 0.2,
+            index_probe: 9.0,
+            emit_row: 2.0,
+            batch_setup: 500.0,
+            state_update: 0.1,
+        },
+        CostConstants {
+            scan_row: 4.0,
+            index_probe: 0.5,
+            emit_row: 0.0,
+            batch_setup: 0.0,
+            state_update: 3.0,
+        },
+    ];
+    for (v, consts) in variants.iter().enumerate() {
+        let models = estimate_cost_functions(&data.db, view.def(), consts).expect("estimate");
+        assert_eq!(models.len(), view.n());
+        for (i, m) in models.iter().enumerate() {
+            assert_axioms(m, &format!("estimated table {i}, constants #{v}"));
+        }
+    }
+}
