@@ -41,6 +41,13 @@ for policy in naive online planned; do
   ./target/release/repro serve --quick --policy "$policy" --duration 5s >/dev/null
 done
 
+echo "==> degradation smoke (injected policy panic must demote, zero violations)"
+./target/release/repro serve --quick --policy planned --duration 5s \
+  --inject-policy-panic 5 >/dev/null
+
+echo "==> chaos gate (crash/recover equivalence at sampled kill indices)"
+./target/release/repro chaos --seeds 8 --events 2000 >/dev/null
+
 echo "==> serve throughput baseline (BENCH_serve.json)"
 AIVM_BENCH_FAST=1 AIVM_BENCH_LABEL=ci cargo bench -p aivm-bench --bench serve >/dev/null
 

@@ -1,0 +1,659 @@
+//! Crash/recover and degradation chaos harness (`repro chaos`).
+//!
+//! The durability claim of `aivm-serve` is exact: a runtime recovered
+//! from WAL + checkpoint must be indistinguishable from one that never
+//! crashed — same view contents, same pending counts, same trace, same
+//! accumulated cost. This module *proves* that claim per seed, the way
+//! deterministic simulation testing does:
+//!
+//! 1. **Reference pass** — a seeded, deterministic op script (DML from
+//!    the TPC-R update streams, scheduler ticks, fresh reads) runs on an
+//!    engine-backed runtime with an in-memory WAL attached, snapshotting
+//!    checksums/pending/cost at every op boundary and taking periodic
+//!    checkpoints.
+//! 2. **Crash cycles** — for (a sample of) every op boundary, the run
+//!    is "killed" by truncating the WAL image to that boundary's byte
+//!    length, recovered from the latest covering checkpoint (and once
+//!    from genesis), and compared field-by-field against the reference
+//!    snapshot; `aivm-sim`'s replay machinery independently re-prices
+//!    the recovered schedule as a third opinion. A few cuts land *mid
+//!    record* to exercise torn-tail handling.
+//! 3. **Continuation cycles** — a recovered runtime resumes its WAL and
+//!    plays the remaining ops; it must land byte-for-byte on the
+//!    reference's final WAL image and final state.
+//! 4. **Degradation cycles** — a seeded [`FaultPlan`] (policy panics,
+//!    flush errors) runs the same script; the runtime must demote
+//!    instead of dying, keep (almost) every tick within budget, and
+//!    still serve an in-budget fresh read at the end. A separate pass
+//!    with only a cost overrun injected checks that sustained drift
+//!    triggers recalibration.
+//!
+//! Everything derives from the seed, so any reported failure reproduces
+//! bit-for-bit from its seed alone.
+
+use crate::serve::{ServeExperiment, ServeOptions};
+use aivm_core::Counts;
+use aivm_engine::{EngineError, Modification};
+use aivm_serve::{
+    read_wal, Checkpoint, FaultPlan, MaintenanceRuntime, MemWal, MetricsSnapshot, ReadMode, Trace,
+    WalStorage, WalWriter,
+};
+use aivm_sim::replay::{verify_recovery_prefix, ReplayStep};
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+
+/// Options of a chaos run.
+#[derive(Clone, Debug)]
+pub struct ChaosOptions {
+    /// Number of independent seeds to run.
+    pub seeds: u64,
+    /// Ops per seed (DML + ticks + reads drawn from the script RNG).
+    pub events: usize,
+    /// Ops between checkpoints in the reference pass.
+    pub checkpoint_every: usize,
+    /// At most this many crash/recover cycles per seed; boundaries are
+    /// sampled evenly when the script produces more.
+    pub max_kills: usize,
+}
+
+impl Default for ChaosOptions {
+    fn default() -> Self {
+        ChaosOptions {
+            seeds: 4,
+            events: 400,
+            checkpoint_every: 64,
+            max_kills: 200,
+        }
+    }
+}
+
+/// Aggregated outcome of a chaos run; `failures` is empty on success.
+#[derive(Debug, Default)]
+pub struct ChaosReport {
+    /// Per-seed result rows.
+    pub seeds: Vec<SeedReport>,
+    /// Human-readable descriptions of every divergence found.
+    pub failures: Vec<String>,
+}
+
+/// Outcome of one seed's cycles.
+#[derive(Debug)]
+pub struct SeedReport {
+    /// The seed.
+    pub seed: u64,
+    /// Ops the script produced.
+    pub ops: usize,
+    /// WAL records the reference pass logged.
+    pub wal_records: u64,
+    /// Crash/recover cycles executed (boundary + torn cuts).
+    pub crash_cycles: usize,
+    /// Recover-then-resume cycles executed.
+    pub continuation_cycles: usize,
+    /// Policy demotions observed across the degradation cycles.
+    pub demotions: u64,
+    /// Constraint violations observed across the degradation cycles.
+    pub violations: u64,
+    /// Whether every cycle of this seed matched the reference.
+    pub ok: bool,
+}
+
+impl ChaosReport {
+    /// True when no cycle diverged.
+    pub fn ok(&self) -> bool {
+        self.failures.is_empty()
+    }
+}
+
+/// One scripted operation against the runtime.
+enum Op {
+    Dml(usize, Modification),
+    Tick,
+    FreshRead,
+}
+
+/// Everything the crash cycles compare against, captured at one op
+/// boundary of the reference pass.
+struct Boundary {
+    records: u64,
+    bytes: usize,
+    view: u64,
+    db: u64,
+    pending: Vec<u64>,
+    steps: usize,
+    cost: f64,
+}
+
+/// The reference pass's artifacts.
+struct Reference {
+    bytes: Vec<u8>,
+    boundaries: Vec<Boundary>,
+    checkpoints: Vec<Checkpoint>,
+    steps: Vec<ReplayStep>,
+    actions: Vec<Counts>,
+    trace: Trace,
+}
+
+/// Draws a deterministic op script from the experiment's pre-generated
+/// update streams: ~40% partsupp DML, ~40% supplier DML, ~16% ticks,
+/// ~4% fresh reads, ending early if a stream runs dry.
+fn script(exp: &ServeExperiment, seed: u64, events: usize) -> Vec<Op> {
+    let mut rng = SmallRng::seed_from_u64(seed ^ 0x5c217);
+    let mut ps = exp.ps_stream.iter().cloned();
+    let mut supp = exp.supp_stream.iter().cloned();
+    let mut ops = Vec::with_capacity(events);
+    while ops.len() < events {
+        let r = rng.gen_range(0u32..100);
+        let op = if r < 40 {
+            match ps.next() {
+                Some(m) => Op::Dml(exp.ps_pos, m),
+                None => break,
+            }
+        } else if r < 80 {
+            match supp.next() {
+                Some(m) => Op::Dml(exp.supp_pos, m),
+                None => break,
+            }
+        } else if r < 96 {
+            Op::Tick
+        } else {
+            Op::FreshRead
+        };
+        ops.push(op);
+    }
+    ops
+}
+
+fn apply_op(rt: &mut MaintenanceRuntime, op: &Op) -> Result<(), EngineError> {
+    match op {
+        Op::Dml(pos, m) => rt.ingest_dml(*pos, m.clone()),
+        Op::Tick => rt.tick().map(|_| ()),
+        Op::FreshRead => rt.read(ReadMode::Fresh).map(|_| ()),
+    }
+}
+
+fn boundary_of(rt: &MaintenanceRuntime, wal: &MemWal) -> Boundary {
+    Boundary {
+        records: rt.wal_records(),
+        bytes: wal.bytes().len(),
+        view: rt.view_checksum().expect("engine backend"),
+        db: rt.db_checksum().expect("engine backend"),
+        pending: rt.pending().iter().collect(),
+        steps: rt.trace().map(|t| t.steps.len()).unwrap_or(0),
+        cost: rt.metrics().total_flush_cost,
+    }
+}
+
+fn trace_as_replay(trace: &Trace) -> (Vec<ReplayStep>, Vec<Counts>) {
+    let steps = trace
+        .steps
+        .iter()
+        .map(|s| ReplayStep {
+            arrivals: s.arrivals.clone(),
+            forced: s.forced,
+        })
+        .collect();
+    (steps, trace.actions())
+}
+
+/// Runs the script once with a WAL attached, recording a [`Boundary`]
+/// after every op and a [`Checkpoint`] every `checkpoint_every` ops.
+fn reference_run(
+    exp: &ServeExperiment,
+    ops: &[Op],
+    checkpoint_every: usize,
+) -> Result<Reference, EngineError> {
+    let mut rt = exp.runtime(exp.policy("online").expect("known policy"))?;
+    let mem = MemWal::new();
+    rt.attach_wal(WalWriter::create(Box::new(mem.clone()), 4)?);
+    let mut boundaries = vec![boundary_of(&rt, &mem)];
+    let mut checkpoints = Vec::new();
+    for (i, op) in ops.iter().enumerate() {
+        apply_op(&mut rt, op)?;
+        boundaries.push(boundary_of(&rt, &mem));
+        if (i + 1) % checkpoint_every == 0 {
+            checkpoints.push(rt.checkpoint());
+        }
+    }
+    rt.sync_wal()?;
+    let trace = rt.into_trace().expect("tracing on");
+    let (steps, actions) = trace_as_replay(&trace);
+    Ok(Reference {
+        bytes: mem.bytes(),
+        boundaries,
+        checkpoints,
+        steps,
+        actions,
+        trace,
+    })
+}
+
+/// Recovers from the first `len` bytes of the reference WAL, using the
+/// latest checkpoint covering at most `max_records` log records (or
+/// genesis when none does / `force_genesis`).
+fn recover_prefix(
+    exp: &ServeExperiment,
+    reference: &Reference,
+    len: usize,
+    max_records: u64,
+    force_genesis: bool,
+) -> Result<MaintenanceRuntime, EngineError> {
+    let ck = if force_genesis {
+        None
+    } else {
+        reference
+            .checkpoints
+            .iter()
+            .rfind(|c| c.wal_records <= max_records)
+    };
+    MaintenanceRuntime::recover(
+        exp.config(),
+        exp.policy("online").expect("known policy"),
+        &reference.bytes[..len],
+        ck,
+        exp.genesis_db(),
+        &|db| exp.make_view(db),
+    )
+}
+
+/// Compares a recovered runtime against one reference boundary; `None`
+/// skips the boundary fields (used for mid-record cuts, which land
+/// between boundaries) and checks only trace-prefix consistency and the
+/// independent re-pricing.
+fn check_recovered(
+    exp: &ServeExperiment,
+    reference: &Reference,
+    rt: &MaintenanceRuntime,
+    expect: Option<&Boundary>,
+    label: &str,
+) -> Result<(), String> {
+    let trace = rt.trace().ok_or_else(|| format!("{label}: no trace"))?;
+    let (steps, actions) = trace_as_replay(trace);
+    let outcome = verify_recovery_prefix(
+        &exp.costs,
+        exp.budget,
+        &reference.steps,
+        &reference.actions,
+        &steps,
+        &actions,
+    )
+    .map_err(|e| format!("{label}: {e}"))?;
+    let m = rt.metrics();
+    if (outcome.total_cost - m.total_flush_cost).abs() > 1e-6 {
+        return Err(format!(
+            "{label}: sim re-priced cost {} != recovered runtime cost {}",
+            outcome.total_cost, m.total_flush_cost
+        ));
+    }
+    if m.recoveries != 1 {
+        return Err(format!("{label}: recoveries = {}", m.recoveries));
+    }
+    let Some(b) = expect else { return Ok(()) };
+    let mut mismatches = Vec::new();
+    if rt.view_checksum() != Some(b.view) {
+        mismatches.push(format!(
+            "view checksum {:?} != {}",
+            rt.view_checksum(),
+            b.view
+        ));
+    }
+    if rt.db_checksum() != Some(b.db) {
+        mismatches.push(format!("db checksum {:?} != {}", rt.db_checksum(), b.db));
+    }
+    let pending: Vec<u64> = rt.pending().iter().collect();
+    if pending != b.pending {
+        mismatches.push(format!("pending {pending:?} != {:?}", b.pending));
+    }
+    if steps.len() != b.steps {
+        mismatches.push(format!(
+            "trace has {} steps, expected {}",
+            steps.len(),
+            b.steps
+        ));
+    }
+    if (m.total_flush_cost - b.cost).abs() > 1e-6 {
+        mismatches.push(format!("cost {} != {}", m.total_flush_cost, b.cost));
+    }
+    if mismatches.is_empty() {
+        Ok(())
+    } else {
+        Err(format!("{label}: {}", mismatches.join("; ")))
+    }
+}
+
+/// Kills the reference run at sampled op boundaries (and a few torn
+/// mid-record cuts) and verifies each recovery.
+fn crash_cycles(
+    exp: &ServeExperiment,
+    reference: &Reference,
+    seed: u64,
+    max_kills: usize,
+    failures: &mut Vec<String>,
+) -> usize {
+    let n = reference.boundaries.len();
+    let stride = n.div_ceil(max_kills.max(1)).max(1);
+    let mut cycles = 0;
+    for (idx, b) in reference.boundaries.iter().enumerate().step_by(stride) {
+        let label = format!("seed {seed} kill at op {idx} ({} records)", b.records);
+        // Recovering boundary 0 from an empty-but-for-the-header log
+        // exercises the genesis path; every checkpointed boundary also
+        // runs once ignoring checkpoints to cross-check full replay.
+        for force_genesis in [false, true] {
+            if force_genesis && idx != 0 && !idx.is_multiple_of(97) {
+                continue;
+            }
+            let label = if force_genesis {
+                format!("{label} [genesis]")
+            } else {
+                label.clone()
+            };
+            cycles += 1;
+            match recover_prefix(exp, reference, b.bytes, b.records, force_genesis) {
+                Ok(rt) => {
+                    if let Err(e) = check_recovered(exp, reference, &rt, Some(b), &label) {
+                        failures.push(e);
+                    }
+                }
+                Err(e) => failures.push(format!("{label}: recovery failed: {e}")),
+            }
+        }
+    }
+    // Torn cuts: a few kills land mid-record; recovery must tolerate
+    // the torn tail and come up at the last durable record, which is a
+    // valid (if boundary-less) state — checked via trace-prefix and
+    // re-pricing only.
+    let mut rng = SmallRng::seed_from_u64(seed ^ 0x7042);
+    for _ in 0..3 {
+        let idx = rng.gen_range(1..n);
+        let b = &reference.boundaries[idx];
+        let prev = &reference.boundaries[idx - 1];
+        if b.bytes <= prev.bytes + 3 {
+            continue;
+        }
+        let cut = b.bytes - 3;
+        let label = format!("seed {seed} torn cut at byte {cut} (op {idx})");
+        cycles += 1;
+        let durable = match read_wal(&reference.bytes[..cut]) {
+            Ok(o) => o.records.len() as u64,
+            Err(e) => {
+                failures.push(format!("{label}: torn read failed: {e}"));
+                continue;
+            }
+        };
+        match recover_prefix(exp, reference, cut, durable, false) {
+            Ok(rt) => {
+                if let Err(e) = check_recovered(exp, reference, &rt, None, &label) {
+                    failures.push(e);
+                }
+            }
+            Err(e) => failures.push(format!("{label}: recovery failed: {e}")),
+        }
+    }
+    cycles
+}
+
+/// Recovers at sampled boundaries, resumes the WAL, and plays the rest
+/// of the script: the continuation must land exactly on the reference's
+/// final state *and* final WAL image.
+fn continuation_cycles(
+    exp: &ServeExperiment,
+    reference: &Reference,
+    ops: &[Op],
+    seed: u64,
+    failures: &mut Vec<String>,
+) -> usize {
+    let n = reference.boundaries.len();
+    let mut rng = SmallRng::seed_from_u64(seed ^ 0xc017);
+    let mut cycles = 0;
+    for _ in 0..2 {
+        let idx = rng.gen_range(0..n);
+        let b = &reference.boundaries[idx];
+        let label = format!("seed {seed} continuation from op {idx}");
+        cycles += 1;
+        let mut rt = match recover_prefix(exp, reference, b.bytes, b.records, false) {
+            Ok(rt) => rt,
+            Err(e) => {
+                failures.push(format!("{label}: recovery failed: {e}"));
+                continue;
+            }
+        };
+        let mut cont = MemWal::new();
+        if let Err(e) = cont.append(&reference.bytes[..b.bytes]) {
+            failures.push(format!("{label}: wal seed failed: {e}"));
+            continue;
+        }
+        rt.attach_wal(WalWriter::resume(Box::new(cont.clone()), b.records, 4));
+        let mut failed = false;
+        for op in &ops[idx..] {
+            if let Err(e) = apply_op(&mut rt, op) {
+                failures.push(format!("{label}: replayed op failed: {e}"));
+                failed = true;
+                break;
+            }
+        }
+        if failed {
+            continue;
+        }
+        if let Err(e) = rt.sync_wal() {
+            failures.push(format!("{label}: final sync failed: {e}"));
+            continue;
+        }
+        let last = reference.boundaries.last().expect("nonempty boundaries");
+        if let Err(e) = check_recovered(exp, reference, &rt, Some(last), &label) {
+            failures.push(e);
+        }
+        if cont.bytes() != reference.bytes {
+            failures.push(format!(
+                "{label}: continuation WAL diverges from reference ({} vs {} bytes)",
+                cont.bytes().len(),
+                reference.bytes.len()
+            ));
+        }
+    }
+    cycles
+}
+
+/// Runs the script under a seeded fault plan and checks graceful
+/// degradation; returns the final metrics for reporting.
+fn degradation_cycle(
+    exp: &ServeExperiment,
+    ops: &[Op],
+    seed: u64,
+    failures: &mut Vec<String>,
+) -> Option<MetricsSnapshot> {
+    // Each tick and each fresh read consumes policy time; size the
+    // trigger horizon so most sampled faults actually fire.
+    let horizon = ops
+        .iter()
+        .map(|op| match op {
+            Op::Dml(..) => 0,
+            Op::Tick => 1,
+            Op::FreshRead => 2,
+        })
+        .sum::<usize>();
+    let mut plan = FaultPlan::seeded(seed, horizon.max(4));
+    // Producer-side faults apply to the threaded server, and a genuine
+    // cost overrun legitimately breaks the budget invariant (checked in
+    // its own pass below); keep this cycle to policy/flush faults.
+    plan.cost_overrun = None;
+    plan.dup_send_every = None;
+    plan.delay_send_every = None;
+    let injected_flush_error = plan.flush_error_at.is_some();
+    let label = format!("seed {seed} degradation");
+    let policy = if seed.is_multiple_of(2) {
+        "online"
+    } else {
+        "planned"
+    };
+    let mut rt = match exp.runtime(exp.policy(policy).expect("known policy")) {
+        Ok(rt) => rt,
+        Err(e) => {
+            failures.push(format!("{label}: build failed: {e}"));
+            return None;
+        }
+    };
+    rt.set_faults(plan);
+    for (i, op) in ops.iter().enumerate() {
+        if let Err(e) = apply_op(&mut rt, op) {
+            failures.push(format!("{label}: op {i} failed: {e}"));
+            return None;
+        }
+    }
+    match rt.read(ReadMode::Fresh) {
+        Ok(r) => {
+            if r.violated || r.flush_cost > exp.budget + 1e-9 {
+                failures.push(format!(
+                    "{label}: final fresh read cost {} over budget {}",
+                    r.flush_cost, exp.budget
+                ));
+            }
+        }
+        Err(e) => failures.push(format!("{label}: final fresh read failed: {e}")),
+    }
+    let m = rt.metrics();
+    // A zeroed-out flush (injected error) can leave one tick's state
+    // full; every other tick must stay within budget post-demotion.
+    let allowed = u64::from(injected_flush_error);
+    if m.constraint_violations > allowed {
+        failures.push(format!(
+            "{label}: {} constraint violations (allowed {allowed})",
+            m.constraint_violations
+        ));
+    }
+    if m.policy_demotions > 0 && !rt.demoted() {
+        failures.push(format!("{label}: demotion counted but not in effect"));
+    }
+    // Sustained-drift pass: inject only a cost overrun and require that
+    // three consecutive overruns recalibrated the model.
+    let overrun = FaultPlan {
+        cost_overrun: Some(aivm_serve::CostOverrun {
+            from_t: 0,
+            factor: 2.0,
+        }),
+        ..FaultPlan::none()
+    };
+    match exp.runtime(exp.policy("online").expect("known policy")) {
+        Ok(mut rt) => {
+            rt.set_faults(overrun);
+            for op in ops {
+                if let Err(e) = apply_op(&mut rt, op) {
+                    failures.push(format!("{label}: overrun op failed: {e}"));
+                    break;
+                }
+            }
+            let om = rt.metrics();
+            if om.cost_overruns >= 3 && om.recalibrations == 0 {
+                failures.push(format!(
+                    "{label}: {} overruns but no recalibration",
+                    om.cost_overruns
+                ));
+            }
+        }
+        Err(e) => failures.push(format!("{label}: overrun build failed: {e}")),
+    }
+    Some(m)
+}
+
+/// Runs the whole chaos suite: per seed, a reference pass then crash,
+/// continuation, and degradation cycles. All divergences are collected
+/// into the report rather than panicking, so one bad seed does not mask
+/// another.
+pub fn run_chaos(exp: &ServeExperiment, opts: &ChaosOptions) -> Result<ChaosReport, EngineError> {
+    let mut report = ChaosReport::default();
+    for seed in 0..opts.seeds {
+        let ops = script(exp, seed, opts.events);
+        let reference = reference_run(exp, &ops, opts.checkpoint_every)?;
+        let before = report.failures.len();
+        let crash = crash_cycles(exp, &reference, seed, opts.max_kills, &mut report.failures);
+        let cont = continuation_cycles(exp, &reference, &ops, seed, &mut report.failures);
+        let degr = degradation_cycle(exp, &ops, seed, &mut report.failures);
+        report.seeds.push(SeedReport {
+            seed,
+            ops: ops.len(),
+            wal_records: reference.boundaries.last().map(|b| b.records).unwrap_or(0),
+            crash_cycles: crash,
+            continuation_cycles: cont,
+            demotions: degr.as_ref().map(|m| m.policy_demotions).unwrap_or(0),
+            violations: degr.as_ref().map(|m| m.constraint_violations).unwrap_or(0),
+            ok: report.failures.len() == before,
+        });
+    }
+    // The reference trace of the last seed doubles as a replay sanity
+    // check: re-pricing the full recorded schedule must reproduce the
+    // recorded total cost.
+    if let Some(seed) = report.seeds.last() {
+        let ops = script(exp, seed.seed, opts.events);
+        let reference = reference_run(exp, &ops, opts.checkpoint_every)?;
+        match aivm_sim::replay::replay_schedule(
+            &exp.costs,
+            exp.budget,
+            &reference.steps,
+            &reference.actions,
+        ) {
+            Ok(outcome) => {
+                let live = reference.trace.total_cost();
+                if (outcome.total_cost - live).abs() > 1e-6 {
+                    report.failures.push(format!(
+                        "seed {}: full-trace re-pricing {} != live {live}",
+                        seed.seed, outcome.total_cost
+                    ));
+                }
+            }
+            Err(e) => report
+                .failures
+                .push(format!("seed {}: full-trace replay failed: {e}", seed.seed)),
+        }
+    }
+    Ok(report)
+}
+
+/// Builds a quick-scale experiment sized for chaos runs.
+pub fn chaos_experiment(events: usize, seed: u64) -> Result<ServeExperiment, EngineError> {
+    ServeExperiment::build(ServeOptions {
+        // Only ~40% of ops draw from each stream; a little slack keeps
+        // the script from ending early.
+        events_each: events,
+        quick: true,
+        seed,
+        ..Default::default()
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn chaos_suite_passes_on_a_small_run() {
+        let exp = chaos_experiment(60, 2005).expect("build");
+        let opts = ChaosOptions {
+            seeds: 2,
+            events: 60,
+            checkpoint_every: 16,
+            max_kills: 20,
+        };
+        let report = run_chaos(&exp, &opts).expect("chaos run");
+        assert!(report.ok(), "divergences: {:#?}", report.failures);
+        assert_eq!(report.seeds.len(), 2);
+        for s in &report.seeds {
+            assert!(s.ok);
+            assert!(s.crash_cycles > 0);
+            assert!(s.wal_records > 0);
+        }
+    }
+
+    #[test]
+    fn scripts_are_deterministic_per_seed() {
+        let exp = chaos_experiment(40, 2005).expect("build");
+        let a = script(&exp, 7, 40);
+        let b = script(&exp, 7, 40);
+        assert_eq!(a.len(), b.len());
+        for (x, y) in a.iter().zip(&b) {
+            let same = match (x, y) {
+                (Op::Dml(p, m), Op::Dml(q, n)) => p == q && m == n,
+                (Op::Tick, Op::Tick) | (Op::FreshRead, Op::FreshRead) => true,
+                _ => false,
+            };
+            assert!(same);
+        }
+    }
+}

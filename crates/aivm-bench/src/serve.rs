@@ -9,10 +9,13 @@
 //! sees an identical workload.
 
 use aivm_core::{CostFn, CostModel, Instance};
-use aivm_engine::{estimate_cost_functions, CostConstants, EngineError, MinStrategy, Modification};
+use aivm_engine::{
+    estimate_cost_functions, CostConstants, Database, EngineError, MaterializedView, MinStrategy,
+    Modification,
+};
 use aivm_serve::{
-    AsSolverPolicy, FlushPolicy, MaintenanceRuntime, MetricsSnapshot, NaiveFlush, OnlineFlush,
-    PlannedFlush, ReadMode, ServeConfig, ServeServer, ServerConfig, Trace,
+    AsSolverPolicy, FaultPlan, FlushPolicy, MaintenanceRuntime, MetricsSnapshot, NaiveFlush,
+    OnlineFlush, PlannedFlush, ReadMode, ServeConfig, ServeServer, ServerConfig, Trace,
 };
 use aivm_sim::replay::{replay_policy, ReplayStep};
 use aivm_solver::AdaptSchedule;
@@ -39,6 +42,8 @@ pub struct ServeOptions {
     pub quick: bool,
     /// Seed of the generated database and update streams.
     pub seed: u64,
+    /// Faults injected into the threaded run's scheduler and runtime.
+    pub fault: FaultPlan,
 }
 
 impl Default for ServeOptions {
@@ -49,6 +54,7 @@ impl Default for ServeOptions {
             duration: None,
             quick: false,
             seed: 2005,
+            fault: FaultPlan::none(),
         }
     }
 }
@@ -164,10 +170,29 @@ impl ServeExperiment {
     /// An engine-backed runtime over a fresh clone of the pristine
     /// database, so consecutive policy runs see identical data.
     pub fn runtime(&self, policy: Box<dyn FlushPolicy>) -> Result<MaintenanceRuntime, EngineError> {
-        let db = self.data.db.clone();
-        let view = install_paper_view(&db, MinStrategy::Multiset)?;
-        let cfg = ServeConfig::new(self.costs.clone(), self.budget);
+        let db = self.genesis_db();
+        let view = self.make_view(&db)?;
+        let cfg = self.config();
         MaintenanceRuntime::engine(cfg, policy, db, view)
+    }
+
+    /// The runtime configuration every run of this experiment uses.
+    pub fn config(&self) -> ServeConfig {
+        ServeConfig::new(self.costs.clone(), self.budget)
+    }
+
+    /// A fresh clone of the pristine generated database — the state a
+    /// WAL created before any ingest starts from (the recovery path's
+    /// `genesis_db`).
+    pub fn genesis_db(&self) -> Database {
+        self.data.db.clone()
+    }
+
+    /// Installs the paper view over `db` — the view-definition factory
+    /// recovery needs, since checkpoints do not serialize view
+    /// definitions.
+    pub fn make_view(&self, db: &Database) -> Result<MaterializedView, EngineError> {
+        install_paper_view(db, MinStrategy::Multiset)
     }
 
     /// Runs the full threaded experiment for one policy: a scheduler
@@ -179,7 +204,13 @@ impl ServeExperiment {
             .policy(policy_name)
             .unwrap_or_else(|| panic!("unknown policy {policy_name:?}"));
         let runtime = self.runtime(policy)?;
-        let server = ServeServer::spawn(runtime, ServerConfig::default());
+        let server = ServeServer::spawn(
+            runtime,
+            ServerConfig {
+                faults: self.opts.fault.clone(),
+                ..ServerConfig::default()
+            },
+        );
         let deadline = self.opts.duration.map(|d| Instant::now() + d);
         let started = Instant::now();
         let sent = Arc::new(AtomicU64::new(0));
@@ -209,7 +240,9 @@ impl ServeExperiment {
             std::thread::spawn(move || {
                 let mut i = 0u64;
                 let mut violations = 0u64;
-                while !done.load(Ordering::Relaxed) {
+                // Check `done` only after a read: even a producer phase
+                // that finishes instantly gets one fresh read.
+                loop {
                     let mode = if i.is_multiple_of(2) {
                         ReadMode::Fresh
                     } else {
@@ -224,6 +257,9 @@ impl ServeExperiment {
                         Some(Err(_)) | None => break,
                     }
                     i += 1;
+                    if done.load(Ordering::Relaxed) {
+                        break;
+                    }
                     std::thread::sleep(Duration::from_millis(1));
                 }
                 violations
@@ -231,6 +267,21 @@ impl ServeExperiment {
         };
         for p in producers {
             p.join().expect("producer thread");
+        }
+        // An injected policy panic fires at the first decision at or
+        // after its tick; a fast producer phase can end before the
+        // scheduler gets there. Let idle ticks run until the demotion
+        // lands (bounded, in case the trigger is past any reachable t).
+        if self.opts.fault.policy_panic_at.is_some() {
+            let wait_until = Instant::now() + Duration::from_millis(500);
+            while Instant::now() < wait_until {
+                match server.handle().metrics() {
+                    Some(m) if m.policy_demotions == 0 => {
+                        std::thread::sleep(Duration::from_millis(5))
+                    }
+                    _ => break,
+                }
+            }
         }
         done.store(true, Ordering::Relaxed);
         let read_violations = reader.join().expect("reader thread");

@@ -144,6 +144,44 @@ impl CostModel {
         Some(CostModel::Linear { a, b: b.max(0.0) })
     }
 
+    /// This model with every cost multiplied by `factor` (batch-size
+    /// parameters are untouched), so `scaled(f).eval(k) = f·eval(k)` for
+    /// all `k`. Scaling by a positive factor preserves monotonicity and
+    /// subadditivity. The serving runtime recalibrates a drifting cost
+    /// model this way when measured flush costs run consistently above
+    /// the estimates.
+    pub fn scaled(&self, factor: f64) -> CostModel {
+        match self {
+            CostModel::Linear { a, b } => CostModel::Linear {
+                a: a * factor,
+                b: b * factor,
+            },
+            CostModel::Step {
+                block,
+                cost_per_block,
+            } => CostModel::Step {
+                block: *block,
+                cost_per_block: cost_per_block * factor,
+            },
+            CostModel::Power {
+                setup,
+                scale,
+                exponent,
+            } => CostModel::Power {
+                setup: setup * factor,
+                scale: scale * factor,
+                exponent: *exponent,
+            },
+            CostModel::Piecewise { points } => CostModel::Piecewise {
+                points: points.iter().map(|&(k, c)| (k, c * factor)).collect(),
+            },
+            CostModel::Capped { eps, c } => CostModel::Capped {
+                eps: *eps,
+                c: c * factor,
+            },
+        }
+    }
+
     /// Checks monotonicity empirically over `k ∈ [0, upto]`.
     pub fn check_monotone(&self, upto: u64) -> bool {
         let mut prev = self.eval(0);
@@ -355,6 +393,34 @@ mod tests {
     fn fit_linear_rejects_degenerate_input() {
         assert!(CostModel::fit_linear(&[(1, 1.0)]).is_none());
         assert!(CostModel::fit_linear(&[(5, 1.0), (5, 2.0)]).is_none());
+    }
+
+    #[test]
+    fn scaled_multiplies_every_shape_pointwise() {
+        let models = vec![
+            CostModel::linear(0.5, 3.0),
+            CostModel::Step {
+                block: 10,
+                cost_per_block: 1.0,
+            },
+            CostModel::Power {
+                setup: 1.0,
+                scale: 2.0,
+                exponent: 0.5,
+            },
+            CostModel::Piecewise {
+                points: vec![(10, 5.0), (20, 7.0)],
+            },
+            CostModel::Capped { eps: 0.5, c: 10.0 },
+        ];
+        for f in models {
+            let g = f.scaled(1.5);
+            for k in [0u64, 1, 4, 11, 25, 100] {
+                assert!((g.eval(k) - 1.5 * f.eval(k)).abs() < 1e-9, "{f:?} at k={k}");
+            }
+            assert!(g.check_monotone(60));
+            assert!(g.check_subadditive(60));
+        }
     }
 
     #[test]

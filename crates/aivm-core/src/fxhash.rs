@@ -92,6 +92,15 @@ pub fn map_with_capacity<K, V>(cap: usize) -> FxHashMap<K, V> {
     FxHashMap::with_capacity_and_hasher(cap, BuildHasherDefault::default())
 }
 
+/// Hashes a single value with [`FxHasher`]. Because the hasher has no
+/// per-process seed, the result is stable across runs and processes —
+/// the content checksums that durability tests compare between a crashed
+/// and an uncrashed run are built on this.
+pub fn hash_one<T: std::hash::Hash>(v: &T) -> u64 {
+    use std::hash::BuildHasher;
+    BuildHasherDefault::<FxHasher>::default().hash_one(v)
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -105,6 +114,7 @@ mod tests {
     fn deterministic_across_instances() {
         assert_eq!(hash_of(&42u64), hash_of(&42u64));
         assert_eq!(hash_of(&"hello"), hash_of(&"hello"));
+        assert_eq!(hash_one(&42u64), hash_of(&42u64));
     }
 
     #[test]

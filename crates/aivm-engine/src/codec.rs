@@ -1,10 +1,12 @@
-//! Binary snapshot serialization of databases.
+//! Binary snapshot serialization of databases, rows and modifications.
 //!
 //! A compact, versioned binary format for checkpointing a [`Database`]
 //! (schemas, rows, indexes, key columns) to a byte buffer and restoring
 //! it exactly. Used to snapshot generated benchmark databases so
-//! repeated experiment runs skip regeneration, and as a plain
-//! import/export facility.
+//! repeated experiment runs skip regeneration, as a plain import/export
+//! facility, and — through the public [`put_modification`] /
+//! [`get_modification`] codecs — as the payload format of `aivm-serve`'s
+//! write-ahead log and checkpoints.
 //!
 //! Format (little-endian):
 //!
@@ -13,10 +15,18 @@
 //! per table: name | schema | key_column (u32::MAX = none)
 //!            index_count u32 | per index: kind u8, column u32
 //!            row_count u64 | rows...
+//! row: values in schema order (standalone rows prefix a u32 arity)
 //! value: tag u8 (0 null, 1 int, 2 float, 3 str) | payload
+//! modification: tag u8 (0 insert, 1 delete, 2 update) | row(s)
 //! ```
+//!
+//! Decoding failures yield [`EngineError::Corrupt`] carrying the
+//! caller-supplied artifact context and the byte offset at which the
+//! decoder gave up, so WAL and checkpoint diagnostics can name the exact
+//! torn or flipped byte.
 
 use crate::db::Database;
+use crate::delta::Modification;
 use crate::error::EngineError;
 use crate::index::IndexKind;
 use crate::schema::{Column, Row, Schema};
@@ -26,30 +36,38 @@ use bytes::{Buf, BufMut, Bytes, BytesMut};
 const MAGIC: &[u8; 4] = b"AIVM";
 const VERSION: u16 = 1;
 
-fn put_str(buf: &mut BytesMut, s: &str) {
+/// Builds the [`EngineError::Corrupt`] for a decode failure at the
+/// buffer's current cursor.
+fn corrupt(context: &str, what: &str, buf: &Bytes) -> EngineError {
+    EngineError::Corrupt {
+        context: context.to_string(),
+        offset: buf.consumed() as u64,
+        message: what.to_string(),
+    }
+}
+
+/// Appends a length-prefixed UTF-8 string.
+pub fn put_str(buf: &mut BytesMut, s: &str) {
     buf.put_u32_le(s.len() as u32);
     buf.put_slice(s.as_bytes());
 }
 
-fn get_str(buf: &mut Bytes) -> Result<String, EngineError> {
+/// Reads a length-prefixed UTF-8 string; `context` names the artifact
+/// being decoded for error messages.
+pub fn get_str(buf: &mut Bytes, context: &str) -> Result<String, EngineError> {
     if buf.remaining() < 4 {
-        return Err(corrupt("string length"));
+        return Err(corrupt(context, "string length", buf));
     }
     let len = buf.get_u32_le() as usize;
     if buf.remaining() < len {
-        return Err(corrupt("string body"));
+        return Err(corrupt(context, "string body", buf));
     }
     let bytes = buf.copy_to_bytes(len);
-    String::from_utf8(bytes.to_vec()).map_err(|_| corrupt("utf8"))
+    String::from_utf8(bytes.to_vec()).map_err(|_| corrupt(context, "utf8", buf))
 }
 
-fn corrupt(what: &str) -> EngineError {
-    EngineError::Parse {
-        message: format!("corrupt snapshot: {what}"),
-    }
-}
-
-fn put_value(buf: &mut BytesMut, v: &Value) {
+/// Appends one tagged [`Value`].
+pub fn put_value(buf: &mut BytesMut, v: &Value) {
     match v {
         Value::Null => buf.put_u8(0),
         Value::Int(i) => {
@@ -67,43 +85,89 @@ fn put_value(buf: &mut BytesMut, v: &Value) {
     }
 }
 
-fn get_value(buf: &mut Bytes) -> Result<Value, EngineError> {
+/// Reads one tagged [`Value`].
+pub fn get_value(buf: &mut Bytes, context: &str) -> Result<Value, EngineError> {
     if buf.remaining() < 1 {
-        return Err(corrupt("value tag"));
+        return Err(corrupt(context, "value tag", buf));
     }
     match buf.get_u8() {
         0 => Ok(Value::Null),
         1 => {
             if buf.remaining() < 8 {
-                return Err(corrupt("int"));
+                return Err(corrupt(context, "int", buf));
             }
             Ok(Value::Int(buf.get_i64_le()))
         }
         2 => {
             if buf.remaining() < 8 {
-                return Err(corrupt("float"));
+                return Err(corrupt(context, "float", buf));
             }
             Ok(Value::Float(buf.get_f64_le()))
         }
-        3 => Ok(Value::str(get_str(buf)?)),
-        other => Err(corrupt(&format!("value tag {other}"))),
+        3 => Ok(Value::str(get_str(buf, context)?)),
+        other => Err(corrupt(context, &format!("value tag {other}"), buf)),
     }
 }
 
-fn datatype_tag(ty: DataType) -> u8 {
-    match ty {
-        DataType::Int => 1,
-        DataType::Float => 2,
-        DataType::Str => 3,
+/// Appends a row with a `u32` arity prefix (standalone framing, used by
+/// WAL records and checkpoints where no schema is in scope).
+pub fn put_row(buf: &mut BytesMut, row: &Row) {
+    buf.put_u32_le(row.len() as u32);
+    for v in row.values() {
+        put_value(buf, v);
     }
 }
 
-fn tag_datatype(tag: u8) -> Result<DataType, EngineError> {
-    match tag {
-        1 => Ok(DataType::Int),
-        2 => Ok(DataType::Float),
-        3 => Ok(DataType::Str),
-        other => Err(corrupt(&format!("type tag {other}"))),
+/// Reads a row with a `u32` arity prefix.
+pub fn get_row(buf: &mut Bytes, context: &str) -> Result<Row, EngineError> {
+    if buf.remaining() < 4 {
+        return Err(corrupt(context, "row arity", buf));
+    }
+    let arity = buf.get_u32_le() as usize;
+    // An arity beyond the unread bytes cannot be satisfied (every value
+    // takes at least one tag byte) — reject before allocating.
+    if arity > buf.remaining() {
+        return Err(corrupt(context, &format!("row arity {arity}"), buf));
+    }
+    let mut vals = Vec::with_capacity(arity);
+    for _ in 0..arity {
+        vals.push(get_value(buf, context)?);
+    }
+    Ok(Row::new(vals))
+}
+
+/// Appends one tagged [`Modification`].
+pub fn put_modification(buf: &mut BytesMut, m: &Modification) {
+    match m {
+        Modification::Insert(r) => {
+            buf.put_u8(0);
+            put_row(buf, r);
+        }
+        Modification::Delete(r) => {
+            buf.put_u8(1);
+            put_row(buf, r);
+        }
+        Modification::Update { old, new } => {
+            buf.put_u8(2);
+            put_row(buf, old);
+            put_row(buf, new);
+        }
+    }
+}
+
+/// Reads one tagged [`Modification`].
+pub fn get_modification(buf: &mut Bytes, context: &str) -> Result<Modification, EngineError> {
+    if buf.remaining() < 1 {
+        return Err(corrupt(context, "modification tag", buf));
+    }
+    match buf.get_u8() {
+        0 => Ok(Modification::Insert(get_row(buf, context)?)),
+        1 => Ok(Modification::Delete(get_row(buf, context)?)),
+        2 => Ok(Modification::Update {
+            old: get_row(buf, context)?,
+            new: get_row(buf, context)?,
+        }),
+        other => Err(corrupt(context, &format!("modification tag {other}"), buf)),
     }
 }
 
@@ -146,13 +210,14 @@ pub fn snapshot(db: &Database) -> Bytes {
 
 /// Restores a database from a snapshot produced by [`snapshot`].
 pub fn restore(mut data: Bytes) -> Result<Database, EngineError> {
+    let ctx = "snapshot";
     if data.remaining() < 6 {
-        return Err(corrupt("header"));
+        return Err(corrupt(ctx, "header", &data));
     }
     let mut magic = [0u8; 4];
     data.copy_to_slice(&mut magic);
     if &magic != MAGIC {
-        return Err(corrupt("magic"));
+        return Err(corrupt(ctx, "magic", &data));
     }
     let version = data.get_u16_le();
     if version != VERSION {
@@ -163,53 +228,58 @@ pub fn restore(mut data: Bytes) -> Result<Database, EngineError> {
     let table_count = data.get_u32_le() as usize;
     let mut db = Database::new();
     for _ in 0..table_count {
-        let name = get_str(&mut data)?;
+        let name = get_str(&mut data, ctx)?;
+        // From here on the artifact context names the table being
+        // decoded, so Corrupt errors can say where in the catalog the
+        // damage sits.
+        let tctx = format!("snapshot table {name}");
+        let tctx = tctx.as_str();
         if data.remaining() < 4 {
-            return Err(corrupt("arity"));
+            return Err(corrupt(tctx, "arity", &data));
         }
         let arity = data.get_u32_le() as usize;
         let mut cols = Vec::with_capacity(arity);
         for _ in 0..arity {
-            let col_name = get_str(&mut data)?;
+            let col_name = get_str(&mut data, tctx)?;
             if data.remaining() < 1 {
-                return Err(corrupt("column type"));
+                return Err(corrupt(tctx, "column type", &data));
             }
-            let ty = tag_datatype(data.get_u8())?;
+            let ty = tag_datatype(data.get_u8(), tctx, &data)?;
             cols.push(Column { name: col_name, ty });
         }
         let id = db.create_table(name, Schema::from_columns(cols))?;
         if data.remaining() < 4 {
-            return Err(corrupt("key column"));
+            return Err(corrupt(tctx, "key column", &data));
         }
         let key = data.get_u32_le();
         if key != u32::MAX {
             db.set_key_column(id, key as usize);
         }
         if data.remaining() < 4 {
-            return Err(corrupt("index count"));
+            return Err(corrupt(tctx, "index count", &data));
         }
         let index_count = data.get_u32_le() as usize;
         let mut indexes = Vec::with_capacity(index_count);
         for _ in 0..index_count {
             if data.remaining() < 5 {
-                return Err(corrupt("index"));
+                return Err(corrupt(tctx, "index", &data));
             }
             let kind = match data.get_u8() {
                 0 => IndexKind::Hash,
                 1 => IndexKind::BTree,
-                other => return Err(corrupt(&format!("index kind {other}"))),
+                other => return Err(corrupt(tctx, &format!("index kind {other}"), &data)),
             };
             indexes.push((kind, data.get_u32_le() as usize));
         }
         if data.remaining() < 8 {
-            return Err(corrupt("row count"));
+            return Err(corrupt(tctx, "row count", &data));
         }
         let row_count = data.get_u64_le();
         // Insert rows first (bulk), then build indexes once.
         for _ in 0..row_count {
             let mut vals = Vec::with_capacity(arity);
             for _ in 0..arity {
-                vals.push(get_value(&mut data)?);
+                vals.push(get_value(&mut data, tctx)?);
             }
             db.table_mut(id).insert(Row::new(vals))?;
         }
@@ -218,6 +288,23 @@ pub fn restore(mut data: Bytes) -> Result<Database, EngineError> {
         }
     }
     Ok(db)
+}
+
+fn datatype_tag(ty: DataType) -> u8 {
+    match ty {
+        DataType::Int => 1,
+        DataType::Float => 2,
+        DataType::Str => 3,
+    }
+}
+
+fn tag_datatype(tag: u8, context: &str, buf: &Bytes) -> Result<DataType, EngineError> {
+    match tag {
+        1 => Ok(DataType::Int),
+        2 => Ok(DataType::Float),
+        3 => Ok(DataType::Str),
+        other => Err(corrupt(context, &format!("type tag {other}"), buf)),
+    }
 }
 
 #[cfg(test)]
@@ -290,14 +377,22 @@ mod tests {
     }
 
     #[test]
-    fn bad_snapshots_are_rejected() {
+    fn bad_snapshots_are_rejected_with_offsets() {
         assert!(restore(Bytes::from_static(b"")).is_err());
         assert!(restore(Bytes::from_static(b"NOPE\x01\x00\x00\x00\x00\x00")).is_err());
-        // Truncated valid prefix.
+        // Truncated valid prefix: the error reports where decoding died.
         let db = sample();
         let full = snapshot(&db);
         let truncated = full.slice(0..full.len() / 2);
-        assert!(restore(truncated).is_err());
+        match restore(truncated) {
+            Err(EngineError::Corrupt {
+                context, offset, ..
+            }) => {
+                assert!(context.contains('t'), "context names the table: {context}");
+                assert!(offset > 0 && offset <= (full.len() / 2) as u64);
+            }
+            other => panic!("expected Corrupt, got {other:?}"),
+        }
         // Wrong version.
         let mut bad = BytesMut::from(&full[..]);
         bad[4] = 99;
@@ -317,5 +412,35 @@ mod tests {
         let restored = restore(snapshot(&db)).unwrap();
         let (_, row) = restored.table_by_name("n").unwrap().iter().next().unwrap();
         assert!(row.get(0).is_null());
+    }
+
+    #[test]
+    fn modification_codec_round_trips_all_kinds() {
+        let mods = vec![
+            Modification::Insert(row![1i64, 2.5f64, "a"]),
+            Modification::Delete(row![Value::Null]),
+            Modification::Update {
+                old: row![7i64],
+                new: row![8i64],
+            },
+        ];
+        let mut buf = BytesMut::with_capacity(128);
+        for m in &mods {
+            put_modification(&mut buf, m);
+        }
+        let mut rd = buf.freeze();
+        for m in &mods {
+            assert_eq!(&get_modification(&mut rd, "test").unwrap(), m);
+        }
+        assert!(rd.is_empty());
+        // Truncated stream reports a wal-style context + offset.
+        let mut buf = BytesMut::with_capacity(16);
+        put_modification(&mut buf, &mods[0]);
+        let full = buf.freeze();
+        let mut torn = full.slice(0..full.len() - 3);
+        match get_modification(&mut torn, "wal record") {
+            Err(EngineError::Corrupt { context, .. }) => assert_eq!(context, "wal record"),
+            other => panic!("expected Corrupt, got {other:?}"),
+        }
     }
 }

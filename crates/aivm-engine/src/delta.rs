@@ -92,6 +92,12 @@ impl DeltaTable {
         self.queue.iter()
     }
 
+    /// Clones the pending modifications in arrival order (checkpointing
+    /// snapshots delta tables this way).
+    pub fn to_vec(&self) -> Vec<Modification> {
+        self.queue.iter().cloned().collect()
+    }
+
     /// The pending modifications as signed-multiset entries.
     pub fn weighted(&self) -> Vec<(Row, i64)> {
         let mut out = Vec::with_capacity(self.queue.len());
@@ -99,6 +105,14 @@ impl DeltaTable {
             m.push_weighted(&mut out);
         }
         out
+    }
+}
+
+impl From<Vec<Modification>> for DeltaTable {
+    /// Rebuilds a delta table from a snapshot taken with
+    /// [`DeltaTable::to_vec`], preserving arrival order.
+    fn from(mods: Vec<Modification>) -> Self {
+        DeltaTable { queue: mods.into() }
     }
 }
 
@@ -140,6 +154,21 @@ mod tests {
         let rest = d.take_prefix(10);
         assert_eq!(rest.len(), 3);
         assert!(d.is_empty());
+    }
+
+    #[test]
+    fn snapshot_roundtrip_preserves_fifo_order() {
+        let mut d = DeltaTable::new();
+        for i in 0..4i64 {
+            d.push(Modification::Insert(row![i]));
+        }
+        let snap = d.to_vec();
+        let mut restored = DeltaTable::from(snap);
+        assert_eq!(restored.len(), 4);
+        assert_eq!(
+            restored.take_prefix(1),
+            vec![Modification::Insert(row![0i64])]
+        );
     }
 
     #[test]

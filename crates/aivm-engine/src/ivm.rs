@@ -339,6 +339,49 @@ impl MaterializedView {
         self.pending[i].weighted()
     }
 
+    /// An order-independent checksum of the current view contents.
+    ///
+    /// Each `(row, weight)` output pair is hashed with the seedless
+    /// [`crate::fxhash`] and combined by wrapping addition, so the value
+    /// is independent of internal map iteration order and stable across
+    /// runs and processes. Crash-recovery tests use it to assert that a
+    /// recovered view is bit-for-bit equivalent to an uncrashed one.
+    pub fn result_checksum(&self) -> u64 {
+        let mut acc: u64 = 0;
+        for (row, w) in self.result() {
+            acc = acc.wrapping_add(crate::fxhash::hash_one(&(row, w)));
+        }
+        acc
+    }
+
+    /// Clones the pending delta tables in arrival order, for inclusion
+    /// in a durability checkpoint alongside a database snapshot.
+    pub fn pending_snapshot(&self) -> Vec<Vec<Modification>> {
+        self.pending.iter().map(|d| d.to_vec()).collect()
+    }
+
+    /// Restores the pending delta tables from a checkpoint snapshot and
+    /// rebuilds the maintained state against `db` (which must already
+    /// contain every arrival-time application, including the pending
+    /// ones — the §2 arrival semantics the checkpoint was taken under).
+    pub fn restore_pending(
+        &mut self,
+        db: &Database,
+        mods: Vec<Vec<Modification>>,
+    ) -> Result<(), EngineError> {
+        if mods.len() != self.n() {
+            return Err(EngineError::Maintenance {
+                message: format!("pending snapshot arity {} != {}", mods.len(), self.n()),
+            });
+        }
+        self.pending = mods.into_iter().map(DeltaTable::from).collect();
+        self.recompute(db)?;
+        // Like `new`, state (re)construction is not a maintenance-time
+        // recompute.
+        self.stats.recomputes = self.stats.recomputes.saturating_sub(1);
+        Ok(())
+    }
+
     /// Flushes `counts[i]` pending modifications from each base table
     /// (tables processed in ascending index order).
     pub fn flush(&mut self, db: &Database, counts: &[u64]) -> Result<FlushReport, EngineError> {

@@ -1,0 +1,174 @@
+//! Deterministic fault injection for the serving runtime.
+//!
+//! A [`FaultPlan`] is data, not hooks: a small set of trigger points
+//! checked by the runtime, the server's scheduler loop and the chaos
+//! harness's producers. Because every trigger is an explicit event or
+//! tick index — and [`FaultPlan::seeded`] derives those indices from a
+//! seed via the repo's deterministic PRNG — a failing chaos run is
+//! reproducible bit-for-bit from its seed alone.
+//!
+//! The injected faults mirror the real failure modes the robustness
+//! layer defends against:
+//!
+//! * **scheduler kill** — process crash; recovery must rebuild state
+//!   from WAL + checkpoint (`MaintenanceRuntime::recover`).
+//! * **policy panic / flush error** — a buggy or erroring flush policy;
+//!   the runtime demotes to `NaiveFlush` and keeps serving.
+//! * **cost overrun** — drifting cost estimates; repeated overruns
+//!   trigger cost-model recalibration.
+//! * **duplicate / delayed sends** — unreliable producers; ingest
+//!   errors are counted and surfaced instead of killing the scheduler.
+
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+
+/// A sustained overestimate of flush throughput: from tick `from_t`
+/// onward, "measured" flush costs exceed the model's estimate by
+/// `factor`.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct CostOverrun {
+    /// First tick at which the overrun applies.
+    pub from_t: usize,
+    /// Multiplier on the estimated cost (`> 1` for an overrun).
+    pub factor: f64,
+}
+
+/// A deterministic set of fault triggers. `Default` is the empty plan
+/// (no faults).
+#[derive(Clone, Debug, Default, PartialEq)]
+pub struct FaultPlan {
+    /// Stop the scheduler silently once this many WAL records have been
+    /// logged — a simulated crash point, expressed in the same unit the
+    /// recovery path consumes.
+    pub kill_at_record: Option<u64>,
+    /// Make the flush policy panic at its first decision at or after
+    /// this tick (one-shot; cleared once fired).
+    pub policy_panic_at: Option<usize>,
+    /// Make the first flush at or after this tick fail with an injected
+    /// error, before any state is mutated, as a real pre-write failure
+    /// would (one-shot; cleared once fired).
+    pub flush_error_at: Option<usize>,
+    /// Sustained flush-cost overrun (drives recalibration).
+    pub cost_overrun: Option<CostOverrun>,
+    /// Producers send every `n`-th message twice (at-least-once
+    /// delivery; duplicate DML surfaces as counted ingest errors).
+    pub dup_send_every: Option<u64>,
+    /// Producers stall briefly before every `n`-th send (bursty
+    /// arrival patterns that stress the shedding queue).
+    pub delay_send_every: Option<u64>,
+}
+
+impl FaultPlan {
+    /// The empty plan: no injected faults.
+    pub fn none() -> Self {
+        Self::default()
+    }
+
+    /// Derives a mixed degradation plan from a seed. The plan never
+    /// includes a scheduler kill — crash points are chosen exhaustively
+    /// by the chaos harness, not sampled — but panics, flush errors,
+    /// overruns and producer misbehaviour are each included with
+    /// independent probability, their trigger points spread over
+    /// `horizon` ticks.
+    pub fn seeded(seed: u64, horizon: usize) -> Self {
+        let mut rng = SmallRng::seed_from_u64(seed ^ 0xfa17);
+        let horizon = horizon.max(4);
+        let mut plan = FaultPlan::none();
+        if rng.gen_bool(0.7) {
+            plan.policy_panic_at = Some(rng.gen_range(1..horizon));
+        }
+        if rng.gen_bool(0.5) {
+            plan.flush_error_at = Some(rng.gen_range(1..horizon));
+        }
+        if rng.gen_bool(0.5) {
+            plan.cost_overrun = Some(CostOverrun {
+                from_t: rng.gen_range(0..horizon / 2),
+                factor: rng.gen_range(1.6..4.0),
+            });
+        }
+        if rng.gen_bool(0.4) {
+            plan.dup_send_every = Some(rng.gen_range(5..40));
+        }
+        if rng.gen_bool(0.4) {
+            plan.delay_send_every = Some(rng.gen_range(16..64));
+        }
+        plan
+    }
+
+    /// True when the policy should panic while deciding tick `t`.
+    ///
+    /// Fires at the first decision *at or after* the trigger tick: fresh
+    /// reads consume a `t` without consulting the policy, so an
+    /// exact-match trigger could be skipped entirely. The runtime clears
+    /// the trigger after it fires (one-shot).
+    pub fn policy_panics(&self, t: usize) -> bool {
+        matches!(self.policy_panic_at, Some(p) if t >= p)
+    }
+
+    /// True when the flush at tick `t` should fail; like
+    /// [`FaultPlan::policy_panics`], fires at the first tick at or after
+    /// the trigger and is cleared by the runtime once it has.
+    pub fn flush_fails(&self, t: usize) -> bool {
+        matches!(self.flush_error_at, Some(p) if t >= p)
+    }
+
+    /// The injected cost-overrun factor in effect at tick `t`
+    /// (`1.0` when none applies).
+    pub fn overrun_factor(&self, t: usize) -> f64 {
+        match self.cost_overrun {
+            Some(o) if t >= o.from_t => o.factor,
+            _ => 1.0,
+        }
+    }
+
+    /// True when the scheduler should die after `records` WAL records.
+    pub fn should_kill(&self, records: u64) -> bool {
+        matches!(self.kill_at_record, Some(k) if records >= k)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn default_plan_is_inert() {
+        let p = FaultPlan::none();
+        assert!(!p.policy_panics(0));
+        assert!(!p.flush_fails(7));
+        assert_eq!(p.overrun_factor(100), 1.0);
+        assert!(!p.should_kill(u64::MAX));
+    }
+
+    #[test]
+    fn seeded_plans_are_reproducible_and_vary() {
+        let a = FaultPlan::seeded(1, 100);
+        let b = FaultPlan::seeded(1, 100);
+        assert_eq!(a, b);
+        // Some seed in a small range must produce a different plan.
+        assert!((2..20).any(|s| FaultPlan::seeded(s, 100) != a));
+        // Kills are never sampled; the harness enumerates them.
+        for s in 0..50 {
+            assert_eq!(FaultPlan::seeded(s, 100).kill_at_record, None);
+        }
+    }
+
+    #[test]
+    fn triggers_fire_at_their_indices() {
+        let p = FaultPlan {
+            policy_panic_at: Some(3),
+            flush_error_at: Some(5),
+            cost_overrun: Some(CostOverrun {
+                from_t: 10,
+                factor: 2.0,
+            }),
+            kill_at_record: Some(8),
+            ..FaultPlan::none()
+        };
+        assert!(!p.policy_panics(2) && p.policy_panics(3) && p.policy_panics(4));
+        assert!(!p.flush_fails(4) && p.flush_fails(5) && p.flush_fails(6));
+        assert_eq!(p.overrun_factor(9), 1.0);
+        assert_eq!(p.overrun_factor(10), 2.0);
+        assert!(!p.should_kill(7) && p.should_kill(8) && p.should_kill(9));
+    }
+}

@@ -24,18 +24,39 @@
 //! actions; `aivm-sim`'s `replay` module re-executes recorded traces
 //! deterministically, so live behaviour is auditable offline and the
 //! `Planned` policy's schedule can be verified to reproduce bit-for-bit.
+//!
+//! Since PR 3 the runtime is also *durable* and *fault-tolerant*: every
+//! state-changing event can be appended to a write-ahead log ([`wal`]),
+//! periodic [`Checkpoint`]s bound replay time, and
+//! [`MaintenanceRuntime::recover`] rebuilds the exact state of an
+//! uncrashed run from log + checkpoint. Failures short of a crash
+//! degrade instead of aborting: a panicking or erroring policy is
+//! demoted to [`NaiveFlush`], drifting cost models are recalibrated,
+//! and overload can shed oldest-first past a high-water mark
+//! ([`queue`]) — all counted in [`MetricsSnapshot`]. A deterministic
+//! [`FaultPlan`] ([`fault`]) injects each failure mode on demand; the
+//! `repro chaos` harness uses it to prove crash/recover equivalence at
+//! every event index.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod fault;
 pub mod metrics;
 pub mod policy;
+pub mod queue;
 pub mod runtime;
 pub mod server;
 pub mod trace;
+pub mod wal;
 
+pub use fault::{CostOverrun, FaultPlan};
 pub use metrics::{HistogramSnapshot, LatencyHistogram, MetricsSnapshot};
 pub use policy::{AsSolverPolicy, FlushPolicy, NaiveFlush, OnlineFlush, PlannedFlush};
 pub use runtime::{MaintenanceRuntime, ReadMode, ReadResult, ServeConfig, TickReport};
-pub use server::{ServeHandle, ServeServer, ServerConfig};
+pub use server::{ServeError, ServeHandle, ServeServer, ServerConfig};
 pub use trace::{Trace, TraceStep};
+pub use wal::{
+    read_wal, Checkpoint, EngineCheckpoint, FileWal, MemWal, WalReadOutcome, WalRecord, WalStorage,
+    WalWriter,
+};

@@ -138,6 +138,37 @@ pub struct MetricsSnapshot {
     /// Must be zero for a correct policy; the CI smoke gate fails
     /// otherwise.
     pub constraint_violations: u64,
+    /// Times the flush policy was demoted to `NaiveFlush` (a panic,
+    /// an overdrawing decision, or an injected flush error). At most 1:
+    /// demotion is permanent.
+    pub policy_demotions: u64,
+    /// Flush attempts that failed with an injected transient error.
+    pub flush_errors: u64,
+    /// Ticks whose measured flush cost exceeded the estimate by more
+    /// than the drift ratio.
+    pub cost_overruns: u64,
+    /// Cost-model recalibrations triggered by sustained overruns.
+    pub recalibrations: u64,
+    /// Times this runtime's state was rebuilt from WAL + checkpoint.
+    pub recoveries: u64,
+    /// WAL append failures (counts-only runtimes surface them here
+    /// instead of erroring the ingest path).
+    pub wal_errors: u64,
+    /// Records appended to the attached WAL (0 without one).
+    pub wal_records: u64,
+    /// WAL records appended but not yet fsynced — the window of events
+    /// a crash could lose. Bounded by the writer's sync interval.
+    pub wal_fsync_lag: u64,
+    /// Sheddable ingest messages dropped by the overloaded queue
+    /// (threaded server only).
+    pub shed_events: u64,
+    /// Ingest messages the scheduler rejected with an error (threaded
+    /// server only; e.g. DML for an unknown table).
+    pub ingest_errors: u64,
+    /// The most recent scheduler-loop error, if any (threaded server
+    /// only). A non-`None` value means the scheduler hit a hard engine
+    /// error and stopped maintaining.
+    pub last_error: Option<String>,
 }
 
 /// Mutable counter state owned by the runtime.
@@ -155,6 +186,12 @@ pub(crate) struct Metrics {
     pub stale_reads: u64,
     pub refresh_latency_ns: LatencyHistogram,
     pub constraint_violations: u64,
+    pub policy_demotions: u64,
+    pub flush_errors: u64,
+    pub cost_overruns: u64,
+    pub recalibrations: u64,
+    pub recoveries: u64,
+    pub wal_errors: u64,
 }
 
 impl Metrics {
@@ -172,6 +209,12 @@ impl Metrics {
             stale_reads: 0,
             refresh_latency_ns: LatencyHistogram::new(),
             constraint_violations: 0,
+            policy_demotions: 0,
+            flush_errors: 0,
+            cost_overruns: 0,
+            recalibrations: 0,
+            recoveries: 0,
+            wal_errors: 0,
         }
     }
 
@@ -210,6 +253,17 @@ impl Metrics {
             queue_depth: 0,
             max_queue_depth: 0,
             constraint_violations: self.constraint_violations,
+            policy_demotions: self.policy_demotions,
+            flush_errors: self.flush_errors,
+            cost_overruns: self.cost_overruns,
+            recalibrations: self.recalibrations,
+            recoveries: self.recoveries,
+            wal_errors: self.wal_errors,
+            wal_records: 0,
+            wal_fsync_lag: 0,
+            shed_events: 0,
+            ingest_errors: 0,
+            last_error: None,
         }
     }
 }

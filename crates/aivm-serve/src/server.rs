@@ -3,29 +3,46 @@
 //!
 //! [`ServeServer::spawn`] moves a [`MaintenanceRuntime`] onto a
 //! scheduler thread and returns a cloneable [`ServeHandle`]. Producers
-//! push DML through a bounded [`std::sync::mpsc::sync_channel`] — a full
-//! queue blocks the producer (backpressure) rather than growing without
-//! bound. The scheduler loop alternates between draining a bounded batch
-//! of queued events and running one runtime tick, so ticks keep firing
-//! at `tick_interval` even when the stream goes quiet (ONLINE's rate
+//! push DML through the bounded [`queue`](crate::queue) — a full queue
+//! blocks the producer (backpressure) rather than growing without
+//! bound, and with a configured high-water mark overload sheds the
+//! oldest *sheddable* (ingest) messages instead, counted in metrics.
+//! The scheduler loop alternates between draining a bounded batch of
+//! queued events and running one runtime tick, so ticks keep firing at
+//! `tick_interval` even when the stream goes quiet (ONLINE's rate
 //! estimator sees the silence) and batches stay small enough that reads
 //! queued behind a burst are served promptly.
 //!
-//! Reads and metrics requests travel on the same queue as DML, each
-//! carrying a rendezvous channel for the reply; fresh-read latency is
-//! measured from enqueue to reply, so it includes queue wait.
+//! Reads and metrics requests travel on the same queue as DML (marked
+//! unsheddable — a reply channel must never be dropped), each carrying
+//! a rendezvous channel for the reply; fresh-read latency is measured
+//! from enqueue to reply, so it includes queue wait.
+//!
+//! ## Failure behaviour
+//!
+//! The scheduler thread never panics on runtime errors. A failed ingest
+//! (bad DML) is counted and recorded, then serving continues — nothing
+//! was mutated. A failed tick (a hard engine flush error, a WAL append
+//! failure, or a strict-mode constraint violation) is *poisonous*: the
+//! error lands in a shared last-error slot, the scheduler stops
+//! maintaining, and every subsequent client call observes the
+//! disconnect (`false`/`None`) while [`ServeHandle::last_error`]
+//! explains why. An injected kill from a [`FaultPlan`] stops the
+//! scheduler silently mid-stream — the simulated crash the recovery
+//! path and `repro chaos` are built around.
 //!
 //! [`ServeServer::shutdown`] returns the runtime (and therefore its
 //! metrics and recorded trace) once the scheduler drains; all producer
 //! handles must be dropped first, or the scheduler keeps waiting for
 //! more events.
 
+use crate::fault::FaultPlan;
 use crate::metrics::MetricsSnapshot;
+use crate::queue::{channel, Receiver, RecvError, Sender};
 use crate::runtime::{MaintenanceRuntime, ReadMode, ReadResult};
 use aivm_engine::{EngineError, Modification};
-use std::sync::atomic::{AtomicUsize, Ordering};
-use std::sync::mpsc::{sync_channel, Receiver, RecvTimeoutError, SyncSender, TrySendError};
-use std::sync::Arc;
+use std::sync::mpsc::{sync_channel, SyncSender, TrySendError};
+use std::sync::{Arc, Mutex};
 use std::thread::JoinHandle;
 use std::time::{Duration, Instant};
 
@@ -34,20 +51,58 @@ use std::time::{Duration, Instant};
 pub struct ServerConfig {
     /// Capacity of the bounded ingest queue; producers block when full.
     pub queue_capacity: usize,
+    /// Overload shedding: past this many queued messages, ingest sends
+    /// drop the oldest queued ingest message (counted in metrics)
+    /// instead of blocking. `None` disables shedding (pure
+    /// backpressure).
+    pub shed_high_water: Option<usize>,
     /// How long the scheduler waits for an event before running an idle
     /// tick anyway.
     pub tick_interval: Duration,
     /// Maximum events drained per tick (bounds tick latency).
     pub max_batch: usize,
+    /// Injected faults (kills are honoured here; the rest are forwarded
+    /// to the runtime at spawn).
+    pub faults: FaultPlan,
 }
 
 impl Default for ServerConfig {
     fn default() -> Self {
         ServerConfig {
             queue_capacity: 1024,
+            shed_high_water: None,
             tick_interval: Duration::from_millis(1),
             max_batch: 256,
+            faults: FaultPlan::none(),
         }
+    }
+}
+
+/// A structured scheduler-loop failure: what the scheduler was doing,
+/// at which tick, and the underlying engine error.
+#[derive(Clone, Debug, PartialEq)]
+pub struct ServeError {
+    /// Scheduler ticks completed when the error struck.
+    pub ticks: u64,
+    /// The operation that failed (`"tick"`, `"ingest"`).
+    pub during: &'static str,
+    /// The underlying engine error.
+    pub source: EngineError,
+}
+
+impl std::fmt::Display for ServeError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "scheduler {} failed after {} ticks: {}",
+            self.during, self.ticks, self.source
+        )
+    }
+}
+
+impl std::error::Error for ServeError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        Some(&self.source)
     }
 }
 
@@ -73,60 +128,62 @@ enum Msg {
 /// A cloneable producer/client handle to a running [`ServeServer`].
 #[derive(Clone)]
 pub struct ServeHandle {
-    tx: SyncSender<Msg>,
-    depth: Arc<AtomicUsize>,
+    tx: Sender<Msg>,
+    last_error: Arc<Mutex<Option<ServeError>>>,
 }
 
 impl ServeHandle {
-    fn send(&self, msg: Msg) -> bool {
-        self.depth.fetch_add(1, Ordering::Relaxed);
-        if self.tx.send(msg).is_err() {
-            self.depth.fetch_sub(1, Ordering::Relaxed);
-            return false;
-        }
-        true
-    }
-
     /// Ingests `k` anonymous events for `table` (model backend).
-    /// Blocks while the queue is full; returns `false` if the server is
-    /// gone.
+    /// Blocks while the queue is full (unless shedding is on); returns
+    /// `false` if the server is gone.
     pub fn ingest_count(&self, table: usize, k: u64) -> bool {
-        self.send(Msg::Count { table, k })
+        self.tx.send(Msg::Count { table, k }, true).is_ok()
     }
 
     /// Ingests one DML event for `table` (engine backend). Blocks while
-    /// the queue is full; returns `false` if the server is gone.
+    /// the queue is full (unless shedding is on); returns `false` if
+    /// the server is gone.
     pub fn ingest_dml(&self, table: usize, m: Modification) -> bool {
-        self.send(Msg::Dml { table, m })
+        self.tx.send(Msg::Dml { table, m }, true).is_ok()
     }
 
     /// Serves a read, blocking until the scheduler replies. `None` if
-    /// the server is gone.
+    /// the server is gone (check [`ServeHandle::last_error`] for why).
     pub fn read(&self, mode: ReadMode) -> Option<Result<ReadResult, EngineError>> {
         let (reply, rx) = sync_channel(1);
-        if !self.send(Msg::Read {
-            mode,
-            enqueued: Instant::now(),
-            reply,
-        }) {
-            return None;
-        }
+        self.tx
+            .send(
+                Msg::Read {
+                    mode,
+                    enqueued: Instant::now(),
+                    reply,
+                },
+                false,
+            )
+            .ok()?;
         rx.recv().ok()
     }
 
-    /// Fetches a metrics snapshot (includes live queue depths). `None`
-    /// if the server is gone.
+    /// Fetches a metrics snapshot (includes live queue depths, shed
+    /// counts and the last scheduler error). `None` if the server is
+    /// gone.
     pub fn metrics(&self) -> Option<MetricsSnapshot> {
         let (reply, rx) = sync_channel(1);
-        if !self.send(Msg::Metrics { reply }) {
-            return None;
-        }
+        self.tx.send(Msg::Metrics { reply }, false).ok()?;
         rx.recv().ok()
     }
 
     /// Current ingest-queue depth (approximate).
     pub fn queue_depth(&self) -> usize {
-        self.depth.load(Ordering::Relaxed)
+        self.tx.len()
+    }
+
+    /// The error that stopped (or is poisoning) the scheduler, if any.
+    pub fn last_error(&self) -> Option<ServeError> {
+        self.last_error
+            .lock()
+            .unwrap_or_else(|e| e.into_inner())
+            .clone()
     }
 }
 
@@ -138,14 +195,17 @@ pub struct ServeServer {
 
 impl ServeServer {
     /// Spawns the scheduler thread.
-    pub fn spawn(runtime: MaintenanceRuntime, cfg: ServerConfig) -> Self {
-        let (tx, rx) = sync_channel::<Msg>(cfg.queue_capacity.max(1));
-        let depth = Arc::new(AtomicUsize::new(0));
+    pub fn spawn(mut runtime: MaintenanceRuntime, cfg: ServerConfig) -> Self {
+        let capacity = cfg.queue_capacity.max(1);
+        let high_water = cfg.shed_high_water.map(|h| h.clamp(1, capacity));
+        let (tx, rx) = channel::<Msg>(capacity, high_water);
+        let last_error = Arc::new(Mutex::new(None));
         let handle = ServeHandle {
             tx,
-            depth: Arc::clone(&depth),
+            last_error: Arc::clone(&last_error),
         };
-        let join = std::thread::spawn(move || scheduler_loop(runtime, rx, depth, cfg));
+        runtime.set_faults(cfg.faults.clone());
+        let join = std::thread::spawn(move || scheduler_loop(runtime, rx, last_error, cfg));
         ServeServer { handle, join }
     }
 
@@ -154,45 +214,66 @@ impl ServeServer {
         self.handle.clone()
     }
 
+    /// The error that stopped (or is poisoning) the scheduler, if any.
+    pub fn last_error(&self) -> Option<ServeError> {
+        self.handle.last_error()
+    }
+
     /// Drops this server's own handle and waits for the scheduler to
     /// drain and exit, returning the runtime with its final metrics and
     /// trace. Any handles cloned from this server must be dropped first.
     pub fn shutdown(self) -> MaintenanceRuntime {
-        drop(self.handle);
-        self.join.join().expect("scheduler thread panicked")
+        let ServeServer { handle, join } = self;
+        drop(handle);
+        join.join().expect("scheduler thread panicked")
+    }
+}
+
+struct SchedulerState {
+    ingest_errors: u64,
+    max_depth: usize,
+    last_error: Arc<Mutex<Option<ServeError>>>,
+}
+
+impl SchedulerState {
+    fn poison(&self, err: ServeError) {
+        *self.last_error.lock().unwrap_or_else(|e| e.into_inner()) = Some(err);
     }
 }
 
 fn scheduler_loop(
     mut runtime: MaintenanceRuntime,
     rx: Receiver<Msg>,
-    depth: Arc<AtomicUsize>,
+    last_error: Arc<Mutex<Option<ServeError>>>,
     cfg: ServerConfig,
 ) -> MaintenanceRuntime {
-    let mut max_depth = 0usize;
+    let mut st = SchedulerState {
+        ingest_errors: 0,
+        max_depth: 0,
+        last_error,
+    };
     loop {
         let mut disconnected = false;
         match rx.recv_timeout(cfg.tick_interval) {
             Ok(msg) => {
-                // fetch_sub returns the pre-decrement depth, which counts
-                // the message being consumed — so a lone quickly-drained
-                // message still registers as depth 1.
-                max_depth = max_depth.max(depth.fetch_sub(1, Ordering::Relaxed));
-                handle_msg(&mut runtime, msg, &depth, max_depth);
+                // +1 counts the message being consumed, so a lone
+                // quickly-drained message still registers as depth 1.
+                st.max_depth = st.max_depth.max(rx.len() + 1);
+                handle_msg(&mut runtime, msg, &rx, &mut st);
                 let mut drained = 1usize;
                 while drained < cfg.max_batch.max(1) {
                     match rx.try_recv() {
                         Ok(msg) => {
-                            max_depth = max_depth.max(depth.fetch_sub(1, Ordering::Relaxed));
-                            handle_msg(&mut runtime, msg, &depth, max_depth);
+                            st.max_depth = st.max_depth.max(rx.len() + 1);
+                            handle_msg(&mut runtime, msg, &rx, &mut st);
                             drained += 1;
                         }
                         Err(_) => break,
                     }
                 }
             }
-            Err(RecvTimeoutError::Timeout) => {}
-            Err(RecvTimeoutError::Disconnected) => disconnected = true,
+            Err(RecvError::Timeout) => {}
+            Err(RecvError::Disconnected) => disconnected = true,
         }
         // One scheduler tick per drain window — including idle windows,
         // so policies observe quiet periods. Skip the final tick after
@@ -202,17 +283,52 @@ fn scheduler_loop(
         if disconnected {
             break;
         }
-        runtime.tick().expect("scheduler flush failed");
+        let ticks = runtime.metrics().ticks;
+        if let Err(source) = runtime.tick() {
+            // A failed tick poisons the server: the flush (or its WAL
+            // record) may be half-applied, so maintaining further would
+            // compound the damage. Clients observe the disconnect.
+            st.poison(ServeError {
+                ticks,
+                during: "tick",
+                source,
+            });
+            return runtime;
+        }
+        if cfg.faults.should_kill(runtime.wal_records()) {
+            // Simulated crash: vanish without draining or replying.
+            return runtime;
+        }
     }
     runtime
 }
 
-fn handle_msg(runtime: &mut MaintenanceRuntime, msg: Msg, depth: &AtomicUsize, max_depth: usize) {
+fn handle_msg(
+    runtime: &mut MaintenanceRuntime,
+    msg: Msg,
+    rx: &Receiver<Msg>,
+    st: &mut SchedulerState,
+) {
     match msg {
-        Msg::Count { table, k } => runtime.ingest_count(table, k),
-        Msg::Dml { table, m } => runtime
-            .ingest_dml(table, m)
-            .expect("ingested DML must apply"),
+        Msg::Count { table, k } => {
+            if table < runtime.n() {
+                runtime.ingest_count(table, k);
+            } else {
+                st.ingest_errors += 1;
+            }
+        }
+        Msg::Dml { table, m } => {
+            // A rejected DML mutated nothing: count it, record it, keep
+            // serving.
+            if let Err(source) = runtime.ingest_dml(table, m) {
+                st.ingest_errors += 1;
+                st.poison(ServeError {
+                    ticks: runtime.metrics().ticks,
+                    during: "ingest",
+                    source,
+                });
+            }
+        }
         Msg::Read {
             mode,
             enqueued,
@@ -223,8 +339,16 @@ fn handle_msg(runtime: &mut MaintenanceRuntime, msg: Msg, depth: &AtomicUsize, m
         }
         Msg::Metrics { reply } => {
             let mut snap = runtime.metrics();
-            snap.queue_depth = depth.load(Ordering::Relaxed);
-            snap.max_queue_depth = max_depth;
+            snap.queue_depth = rx.len();
+            snap.max_queue_depth = st.max_depth;
+            snap.shed_events = rx.shed_count();
+            snap.ingest_errors = st.ingest_errors;
+            snap.last_error = st
+                .last_error
+                .lock()
+                .unwrap_or_else(|e| e.into_inner())
+                .as_ref()
+                .map(|e| e.to_string());
             let _ = reply_best_effort(reply, snap);
         }
     }
@@ -245,13 +369,16 @@ mod tests {
     use crate::runtime::ServeConfig;
     use aivm_core::CostModel;
 
-    fn spawn_model_server() -> ServeServer {
+    fn model_runtime() -> MaintenanceRuntime {
         let cfg = ServeConfig::new(
             vec![CostModel::linear(0.05, 0.2), CostModel::linear(0.02, 3.0)],
             6.0,
         );
-        let rt = MaintenanceRuntime::model(cfg, Box::new(OnlineFlush::new()));
-        ServeServer::spawn(rt, ServerConfig::default())
+        MaintenanceRuntime::model(cfg, Box::new(OnlineFlush::new()))
+    }
+
+    fn spawn_model_server() -> ServeServer {
+        ServeServer::spawn(model_runtime(), ServerConfig::default())
     }
 
     #[test]
@@ -294,6 +421,8 @@ mod tests {
         assert_eq!(m.events_ingested, 1000);
         assert!(m.fresh_reads >= fresh);
         assert_eq!(m.constraint_violations, 0);
+        assert_eq!(m.shed_events, 0);
+        assert_eq!(m.last_error, None);
         let runtime = server.shutdown();
         // Final flush accounting: everything ingested is either still
         // pending or was flushed.
@@ -328,5 +457,108 @@ mod tests {
         assert!(m.max_queue_depth >= 1);
         drop(h);
         server.shutdown();
+    }
+
+    #[test]
+    fn bad_ingest_is_counted_not_fatal() {
+        let server = spawn_model_server();
+        let h = server.handle();
+        // Table 7 does not exist; the scheduler must survive.
+        assert!(h.ingest_count(7, 3));
+        assert!(h.ingest_count(0, 2));
+        let m = h.metrics().expect("scheduler alive after bad ingest");
+        assert_eq!(m.ingest_errors, 1);
+        assert_eq!(m.events_ingested, 2);
+        drop(h);
+        server.shutdown();
+    }
+
+    #[test]
+    fn injected_policy_panic_degrades_without_violations() {
+        let rt = model_runtime();
+        let cfg = ServerConfig {
+            faults: FaultPlan {
+                policy_panic_at: Some(2),
+                ..FaultPlan::none()
+            },
+            ..ServerConfig::default()
+        };
+        let server = ServeServer::spawn(rt, cfg);
+        let h = server.handle();
+        for _ in 0..200 {
+            assert!(h.ingest_count(0, 1));
+            assert!(h.ingest_count(1, 1));
+        }
+        // Let idle ticks pass t = 2 so the injected panic fires on a
+        // policy tick (a Fresh read right now could swallow t = 2 with
+        // its forced, policy-free flush).
+        std::thread::sleep(Duration::from_millis(50));
+        // Fresh reads keep satisfying the budget after the demotion.
+        let r = h.read(ReadMode::Fresh).expect("alive").expect("read ok");
+        assert!(!r.violated);
+        let m = h.metrics().expect("alive");
+        assert_eq!(m.policy_demotions, 1);
+        assert_eq!(m.constraint_violations, 0);
+        drop(h);
+        let runtime = server.shutdown();
+        assert!(runtime.demoted());
+    }
+
+    #[test]
+    fn kill_fault_stops_scheduler_and_unblocks_clients() {
+        use crate::wal::{MemWal, WalWriter};
+        let mem = MemWal::new();
+        let mut rt = model_runtime();
+        rt.attach_wal(WalWriter::create(Box::new(mem.clone()), 4).unwrap());
+        let cfg = ServerConfig {
+            faults: FaultPlan {
+                kill_at_record: Some(10),
+                ..FaultPlan::none()
+            },
+            tick_interval: Duration::from_micros(100),
+            ..ServerConfig::default()
+        };
+        let server = ServeServer::spawn(rt, cfg);
+        let h = server.handle();
+        // Keep feeding until the scheduler dies; sends start failing.
+        let mut died = false;
+        for _ in 0..10_000 {
+            if !h.ingest_count(0, 1) {
+                died = true;
+                break;
+            }
+        }
+        assert!(died, "kill fault never fired");
+        assert!(h.read(ReadMode::Stale).is_none());
+        assert!(h.last_error().is_none(), "a crash is silent");
+        drop(h);
+        let runtime = server.shutdown();
+        assert!(runtime.wal_records() >= 10);
+    }
+
+    #[test]
+    fn overload_sheds_oldest_ingest_and_counts_it() {
+        let rt = model_runtime();
+        let cfg = ServerConfig {
+            queue_capacity: 64,
+            shed_high_water: Some(8),
+            // Slow ticks so the queue actually fills.
+            tick_interval: Duration::from_millis(20),
+            ..ServerConfig::default()
+        };
+        let server = ServeServer::spawn(rt, cfg);
+        let h = server.handle();
+        for _ in 0..200 {
+            assert!(h.ingest_count(0, 1));
+        }
+        let m = h.metrics().expect("alive");
+        let runtime = {
+            drop(h);
+            server.shutdown()
+        };
+        let final_shed = m.shed_events;
+        assert!(final_shed > 0, "high-water mark never triggered shedding");
+        // Shed + ingested accounts for every send.
+        assert_eq!(runtime.metrics().events_ingested + final_shed, 200);
     }
 }

@@ -1,0 +1,715 @@
+//! Write-ahead log and checkpoints for the serving runtime.
+//!
+//! Durability follows the classic command-log design: every event that
+//! changes runtime state — a DML ingest, a count ingest, a scheduler
+//! tick, a forced (Fresh-read) flush — is appended to an append-only
+//! log *after* it has been applied. Because the runtime is
+//! deterministic given its event sequence (policies are pure functions
+//! of `(t, pending)` and the engine applies modifications
+//! deterministically), replaying the log reproduces the exact view
+//! state, pending counts, accumulated cost and trace of an uncrashed
+//! run. Periodic [`Checkpoint`]s bound replay time by snapshotting the
+//! database (via `aivm-engine`'s codec) and the per-table pending
+//! deltas at a known log position.
+//!
+//! ## Log format
+//!
+//! ```text
+//! header: magic "AWAL" | version u16
+//! record: payload_len u32 | fxhash64(payload) u64 | payload
+//! payload: kind u8 (0 dml, 1 tick, 2 forced, 3 count) | kind fields
+//! ```
+//!
+//! All integers little-endian. The per-record checksum makes torn tails
+//! detectable: [`read_wal`] stops at the first incomplete or
+//! checksum-failing record and reports the log as truncated, mirroring
+//! how a real log is cut at the last durable record after a crash.
+//! Structural damage *inside* a checksummed record is a hard
+//! [`EngineError::Corrupt`] instead — the disk lied, not the crash.
+
+use aivm_engine::codec::{get_modification, put_modification};
+use aivm_engine::fxhash::FxHasher;
+use aivm_engine::{EngineError, Modification};
+use bytes::{Buf, BufMut, Bytes, BytesMut};
+use std::hash::Hasher;
+use std::io::Write;
+use std::path::{Path, PathBuf};
+use std::sync::{Arc, Mutex};
+
+const WAL_MAGIC: &[u8; 4] = b"AWAL";
+const WAL_VERSION: u16 = 1;
+const WAL_HEADER_LEN: usize = 6;
+/// Bytes of framing before each record payload (length + checksum).
+const FRAME_LEN: usize = 12;
+
+const CKPT_MAGIC: &[u8; 4] = b"ACKP";
+const CKPT_VERSION: u16 = 1;
+
+/// Seedless content hash of a byte slice (stable across processes).
+fn checksum(bytes: &[u8]) -> u64 {
+    let mut h = FxHasher::default();
+    h.write(bytes);
+    h.finish()
+}
+
+/// One durable event in the command log.
+#[derive(Clone, Debug, PartialEq)]
+pub enum WalRecord {
+    /// A DML modification ingested for base table `table` (the position
+    /// within the view, not the database id).
+    Dml {
+        /// Base-table position within the view.
+        table: usize,
+        /// The ingested modification.
+        m: Modification,
+    },
+    /// A scheduler tick (window close + policy flush).
+    Tick,
+    /// A forced full flush (the second half of a Fresh read).
+    Forced,
+    /// A counts-only ingest of `k` modifications for table `table`
+    /// (Model-backend runtimes).
+    Count {
+        /// Base-table position within the view.
+        table: usize,
+        /// Number of modifications ingested.
+        k: u64,
+    },
+}
+
+impl WalRecord {
+    /// Encodes the record payload (framing is added by [`WalWriter`]).
+    pub fn encode(&self) -> Bytes {
+        let mut b = BytesMut::with_capacity(32);
+        match self {
+            WalRecord::Dml { table, m } => {
+                b.put_u8(0);
+                b.put_u32_le(*table as u32);
+                put_modification(&mut b, m);
+            }
+            WalRecord::Tick => b.put_u8(1),
+            WalRecord::Forced => b.put_u8(2),
+            WalRecord::Count { table, k } => {
+                b.put_u8(3);
+                b.put_u32_le(*table as u32);
+                b.put_u64_le(*k);
+            }
+        }
+        b.freeze()
+    }
+
+    /// Decodes one record payload.
+    pub fn decode(mut buf: Bytes) -> Result<WalRecord, EngineError> {
+        let ctx = "wal record";
+        let corrupt = |what: &str, buf: &Bytes| EngineError::Corrupt {
+            context: ctx.to_string(),
+            offset: buf.consumed() as u64,
+            message: what.to_string(),
+        };
+        if buf.remaining() < 1 {
+            return Err(corrupt("kind", &buf));
+        }
+        let rec = match buf.get_u8() {
+            0 => {
+                if buf.remaining() < 4 {
+                    return Err(corrupt("dml table", &buf));
+                }
+                let table = buf.get_u32_le() as usize;
+                let m = get_modification(&mut buf, ctx)?;
+                WalRecord::Dml { table, m }
+            }
+            1 => WalRecord::Tick,
+            2 => WalRecord::Forced,
+            3 => {
+                if buf.remaining() < 12 {
+                    return Err(corrupt("count fields", &buf));
+                }
+                let table = buf.get_u32_le() as usize;
+                let k = buf.get_u64_le();
+                WalRecord::Count { table, k }
+            }
+            other => return Err(corrupt(&format!("record kind {other}"), &buf)),
+        };
+        if !buf.is_empty() {
+            return Err(corrupt("trailing bytes", &buf));
+        }
+        Ok(rec)
+    }
+}
+
+/// Backing storage for the write-ahead log.
+///
+/// Implementations must make `append` atomic with respect to
+/// `read_all`: readers see a byte-prefix of everything appended (a torn
+/// *tail* is fine and handled; interleaved partial writes are not).
+pub trait WalStorage: Send {
+    /// Appends bytes at the end of the log.
+    fn append(&mut self, bytes: &[u8]) -> Result<(), EngineError>;
+    /// Makes all appended bytes durable (fsync or equivalent).
+    fn sync(&mut self) -> Result<(), EngineError>;
+    /// Reads the entire log contents (recovery path).
+    fn read_all(&self) -> Result<Vec<u8>, EngineError>;
+}
+
+/// In-memory log storage that survives a *simulated* crash: the buffer
+/// lives behind a shared handle, so dropping the runtime (the "crash")
+/// leaves the bytes readable through a clone. The chaos harness's
+/// crash/recover cycles and most tests use this.
+#[derive(Clone, Debug, Default)]
+pub struct MemWal {
+    buf: Arc<Mutex<Vec<u8>>>,
+}
+
+impl MemWal {
+    /// A new, empty in-memory log.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// A copy of the current log bytes.
+    pub fn bytes(&self) -> Vec<u8> {
+        self.buf.lock().expect("wal buffer poisoned").clone()
+    }
+
+    /// Truncates the log to `len` bytes (harness helper for simulating
+    /// a crash torn mid-record).
+    pub fn truncate(&self, len: usize) {
+        self.buf.lock().expect("wal buffer poisoned").truncate(len);
+    }
+}
+
+impl WalStorage for MemWal {
+    fn append(&mut self, bytes: &[u8]) -> Result<(), EngineError> {
+        self.buf
+            .lock()
+            .expect("wal buffer poisoned")
+            .extend_from_slice(bytes);
+        Ok(())
+    }
+    fn sync(&mut self) -> Result<(), EngineError> {
+        Ok(())
+    }
+    fn read_all(&self) -> Result<Vec<u8>, EngineError> {
+        Ok(self.bytes())
+    }
+}
+
+/// File-backed log storage.
+#[derive(Debug)]
+pub struct FileWal {
+    file: std::fs::File,
+    path: PathBuf,
+}
+
+impl FileWal {
+    /// Creates (truncating) a log file at `path`.
+    pub fn create(path: impl AsRef<Path>) -> Result<Self, EngineError> {
+        let path = path.as_ref().to_path_buf();
+        let file = std::fs::File::create(&path)
+            .map_err(|e| EngineError::io(format!("creating wal {}", path.display()), e))?;
+        Ok(FileWal { file, path })
+    }
+
+    /// Opens an existing log file for appending.
+    pub fn open_append(path: impl AsRef<Path>) -> Result<Self, EngineError> {
+        let path = path.as_ref().to_path_buf();
+        let file = std::fs::OpenOptions::new()
+            .append(true)
+            .open(&path)
+            .map_err(|e| EngineError::io(format!("opening wal {}", path.display()), e))?;
+        Ok(FileWal { file, path })
+    }
+}
+
+impl WalStorage for FileWal {
+    fn append(&mut self, bytes: &[u8]) -> Result<(), EngineError> {
+        self.file
+            .write_all(bytes)
+            .map_err(|e| EngineError::io(format!("wal append to {}", self.path.display()), e))
+    }
+    fn sync(&mut self) -> Result<(), EngineError> {
+        self.file
+            .sync_data()
+            .map_err(|e| EngineError::io(format!("wal sync of {}", self.path.display()), e))
+    }
+    fn read_all(&self) -> Result<Vec<u8>, EngineError> {
+        std::fs::read(&self.path)
+            .map_err(|e| EngineError::io(format!("reading wal {}", self.path.display()), e))
+    }
+}
+
+/// Appender over a [`WalStorage`]: frames records, maintains the
+/// per-record checksum, and syncs every `sync_every` records.
+pub struct WalWriter {
+    storage: Box<dyn WalStorage>,
+    sync_every: u64,
+    unsynced: u64,
+    records: u64,
+}
+
+impl WalWriter {
+    /// Starts a fresh log: writes the header and syncs it.
+    /// `sync_every = 1` syncs after every record (maximum durability);
+    /// larger values trade a bounded fsync lag (visible as
+    /// `wal_fsync_lag` in metrics) for throughput.
+    pub fn create(mut storage: Box<dyn WalStorage>, sync_every: u64) -> Result<Self, EngineError> {
+        let mut header = [0u8; WAL_HEADER_LEN];
+        header[..4].copy_from_slice(WAL_MAGIC);
+        header[4..].copy_from_slice(&WAL_VERSION.to_le_bytes());
+        storage.append(&header)?;
+        storage.sync()?;
+        Ok(WalWriter {
+            storage,
+            sync_every: sync_every.max(1),
+            unsynced: 0,
+            records: 0,
+        })
+    }
+
+    /// Resumes appending to a log that already holds `records` valid
+    /// records (the recovery path, after [`read_wal`] validated them).
+    pub fn resume(storage: Box<dyn WalStorage>, records: u64, sync_every: u64) -> Self {
+        WalWriter {
+            storage,
+            sync_every: sync_every.max(1),
+            unsynced: 0,
+            records,
+        }
+    }
+
+    /// Appends one record, syncing when the configured interval is hit.
+    pub fn append(&mut self, rec: &WalRecord) -> Result<(), EngineError> {
+        let payload = rec.encode();
+        let mut frame = BytesMut::with_capacity(FRAME_LEN + payload.len());
+        frame.put_u32_le(payload.len() as u32);
+        frame.put_u64_le(checksum(&payload));
+        frame.put_slice(&payload);
+        self.storage.append(&frame)?;
+        self.records += 1;
+        self.unsynced += 1;
+        if self.unsynced >= self.sync_every {
+            self.sync()?;
+        }
+        Ok(())
+    }
+
+    /// Forces durability of everything appended so far.
+    pub fn sync(&mut self) -> Result<(), EngineError> {
+        self.storage.sync()?;
+        self.unsynced = 0;
+        Ok(())
+    }
+
+    /// Total records appended over the log's lifetime.
+    pub fn records(&self) -> u64 {
+        self.records
+    }
+
+    /// Records appended since the last sync (the fsync lag).
+    pub fn unsynced(&self) -> u64 {
+        self.unsynced
+    }
+}
+
+/// Result of scanning a log with [`read_wal`].
+#[derive(Clone, Debug)]
+pub struct WalReadOutcome {
+    /// The decoded records, in append order.
+    pub records: Vec<WalRecord>,
+    /// Byte offset one past the last good record (a truncation point).
+    pub consumed: usize,
+    /// Whether a torn or checksum-failing tail was discarded.
+    pub truncated: bool,
+}
+
+/// Scans a log image, tolerating a torn tail.
+///
+/// Returns every record whose frame is complete and whose checksum
+/// matches; an incomplete or checksum-failing record ends the scan with
+/// `truncated = true` (crash semantics: the tail was never durable). A
+/// record that passes its checksum but fails to decode is a hard
+/// [`EngineError::Corrupt`] carrying the absolute byte offset.
+pub fn read_wal(bytes: &[u8]) -> Result<WalReadOutcome, EngineError> {
+    let corrupt = |offset: usize, what: &str| EngineError::Corrupt {
+        context: "wal".to_string(),
+        offset: offset as u64,
+        message: what.to_string(),
+    };
+    if bytes.len() < WAL_HEADER_LEN {
+        return Err(corrupt(0, "header"));
+    }
+    if &bytes[..4] != WAL_MAGIC {
+        return Err(corrupt(0, "magic"));
+    }
+    let version = u16::from_le_bytes([bytes[4], bytes[5]]);
+    if version != WAL_VERSION {
+        return Err(EngineError::Unsupported {
+            message: format!("wal version {version} (supported: {WAL_VERSION})"),
+        });
+    }
+    let mut records = Vec::new();
+    let mut pos = WAL_HEADER_LEN;
+    let mut truncated = false;
+    while bytes.len() - pos >= FRAME_LEN {
+        let len = u32::from_le_bytes(bytes[pos..pos + 4].try_into().unwrap()) as usize;
+        let sum = u64::from_le_bytes(bytes[pos + 4..pos + 12].try_into().unwrap());
+        let payload_start = pos + FRAME_LEN;
+        if payload_start + len > bytes.len() {
+            truncated = true;
+            break;
+        }
+        let payload = &bytes[payload_start..payload_start + len];
+        if checksum(payload) != sum {
+            truncated = true;
+            break;
+        }
+        let rec = WalRecord::decode(Bytes::from(payload)).map_err(|e| match e {
+            // Payload-relative offsets become absolute log offsets.
+            EngineError::Corrupt {
+                context,
+                offset,
+                message,
+            } => EngineError::Corrupt {
+                context,
+                offset: offset + payload_start as u64,
+                message,
+            },
+            other => other,
+        })?;
+        records.push(rec);
+        pos = payload_start + len;
+    }
+    if pos < bytes.len() && !truncated {
+        // A partial frame header at the very end.
+        truncated = true;
+    }
+    Ok(WalReadOutcome {
+        records,
+        consumed: pos,
+        truncated,
+    })
+}
+
+/// A durability checkpoint: everything needed to rebuild runtime state
+/// at a known log position without replaying the whole log.
+///
+/// Policy state, metrics and the trace are *not* stored — recovery
+/// rebuilds them deterministically by shadow-replaying the log prefix
+/// in counts-only mode (see `MaintenanceRuntime::recover`), which keeps
+/// the checkpoint format independent of policy internals.
+#[derive(Clone, Debug, PartialEq)]
+pub struct Checkpoint {
+    /// Number of log records this checkpoint covers: recovery replays
+    /// records `[wal_records..]` against the restored state.
+    pub wal_records: u64,
+    /// The runtime's step counter at checkpoint time.
+    pub t: u64,
+    /// Pending modification counts per base table (the state vector).
+    pub pending: Vec<u64>,
+    /// Engine-backend payload: database snapshot plus the pending
+    /// delta-table contents. `None` for counts-only (Model) runtimes.
+    pub engine: Option<EngineCheckpoint>,
+}
+
+/// The engine-backend portion of a [`Checkpoint`].
+#[derive(Clone, Debug, PartialEq)]
+pub struct EngineCheckpoint {
+    /// `aivm_engine::codec::snapshot` image of the database.
+    pub db: Vec<u8>,
+    /// Pending modifications per base table, in arrival order.
+    pub pending_mods: Vec<Vec<Modification>>,
+}
+
+impl Checkpoint {
+    /// Serializes the checkpoint with a trailing content checksum.
+    pub fn encode(&self) -> Bytes {
+        let mut b = BytesMut::with_capacity(256);
+        b.put_slice(CKPT_MAGIC);
+        b.put_u16_le(CKPT_VERSION);
+        b.put_u64_le(self.wal_records);
+        b.put_u64_le(self.t);
+        b.put_u32_le(self.pending.len() as u32);
+        for &p in &self.pending {
+            b.put_u64_le(p);
+        }
+        match &self.engine {
+            None => b.put_u8(0),
+            Some(e) => {
+                b.put_u8(1);
+                b.put_u32_le(e.db.len() as u32);
+                b.put_slice(&e.db);
+                b.put_u32_le(e.pending_mods.len() as u32);
+                for mods in &e.pending_mods {
+                    b.put_u32_le(mods.len() as u32);
+                    for m in mods {
+                        put_modification(&mut b, m);
+                    }
+                }
+            }
+        }
+        let sum = checksum(&b);
+        b.put_u64_le(sum);
+        b.freeze()
+    }
+
+    /// Deserializes and verifies a checkpoint image.
+    pub fn decode(bytes: &[u8]) -> Result<Checkpoint, EngineError> {
+        let ctx = "checkpoint";
+        let fail = |offset: usize, what: &str| EngineError::Corrupt {
+            context: ctx.to_string(),
+            offset: offset as u64,
+            message: what.to_string(),
+        };
+        if bytes.len() < 14 + 8 {
+            return Err(fail(0, "header"));
+        }
+        let body_len = bytes.len() - 8;
+        let stored = u64::from_le_bytes(bytes[body_len..].try_into().unwrap());
+        if checksum(&bytes[..body_len]) != stored {
+            return Err(fail(body_len, "content checksum"));
+        }
+        let mut buf = Bytes::from(&bytes[..body_len]);
+        let mut magic = [0u8; 4];
+        buf.copy_to_slice(&mut magic);
+        if &magic != CKPT_MAGIC {
+            return Err(fail(0, "magic"));
+        }
+        let version = buf.get_u16_le();
+        if version != CKPT_VERSION {
+            return Err(EngineError::Unsupported {
+                message: format!("checkpoint version {version} (supported: {CKPT_VERSION})"),
+            });
+        }
+        let wal_records = buf.get_u64_le();
+        let t = buf.get_u64_le();
+        if buf.remaining() < 4 {
+            return Err(fail(buf.consumed(), "pending arity"));
+        }
+        let n = buf.get_u32_le() as usize;
+        if buf.remaining() < n * 8 {
+            return Err(fail(buf.consumed(), "pending counts"));
+        }
+        let pending = (0..n).map(|_| buf.get_u64_le()).collect();
+        if buf.remaining() < 1 {
+            return Err(fail(buf.consumed(), "backend tag"));
+        }
+        let engine = match buf.get_u8() {
+            0 => None,
+            1 => {
+                if buf.remaining() < 4 {
+                    return Err(fail(buf.consumed(), "db snapshot length"));
+                }
+                let db_len = buf.get_u32_le() as usize;
+                if buf.remaining() < db_len {
+                    return Err(fail(buf.consumed(), "db snapshot body"));
+                }
+                let db = buf.copy_to_bytes(db_len).to_vec();
+                if buf.remaining() < 4 {
+                    return Err(fail(buf.consumed(), "pending table count"));
+                }
+                let tables = buf.get_u32_le() as usize;
+                let mut pending_mods = Vec::with_capacity(tables);
+                for _ in 0..tables {
+                    if buf.remaining() < 4 {
+                        return Err(fail(buf.consumed(), "pending mod count"));
+                    }
+                    let count = buf.get_u32_le() as usize;
+                    let mut mods = Vec::with_capacity(count.min(1024));
+                    for _ in 0..count {
+                        mods.push(get_modification(&mut buf, ctx)?);
+                    }
+                    pending_mods.push(mods);
+                }
+                Some(EngineCheckpoint { db, pending_mods })
+            }
+            other => return Err(fail(buf.consumed(), &format!("backend tag {other}"))),
+        };
+        if !buf.is_empty() {
+            return Err(fail(buf.consumed(), "trailing bytes"));
+        }
+        Ok(Checkpoint {
+            wal_records,
+            t,
+            pending,
+            engine,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use aivm_engine::row;
+
+    fn sample_records() -> Vec<WalRecord> {
+        vec![
+            WalRecord::Dml {
+                table: 0,
+                m: Modification::Insert(row![1i64, "a"]),
+            },
+            WalRecord::Tick,
+            WalRecord::Count { table: 1, k: 7 },
+            WalRecord::Dml {
+                table: 1,
+                m: Modification::Update {
+                    old: row![2i64],
+                    new: row![3i64],
+                },
+            },
+            WalRecord::Forced,
+        ]
+    }
+
+    fn write_log(records: &[WalRecord], sync_every: u64) -> MemWal {
+        let mem = MemWal::new();
+        let mut w = WalWriter::create(Box::new(mem.clone()), sync_every).unwrap();
+        for r in records {
+            w.append(r).unwrap();
+        }
+        mem
+    }
+
+    #[test]
+    fn roundtrip_all_record_kinds() {
+        let recs = sample_records();
+        let mem = write_log(&recs, 1);
+        let out = read_wal(&mem.bytes()).unwrap();
+        assert_eq!(out.records, recs);
+        assert!(!out.truncated);
+        assert_eq!(out.consumed, mem.bytes().len());
+    }
+
+    #[test]
+    fn torn_tail_at_every_byte_is_tolerated() {
+        let recs = sample_records();
+        let mem = write_log(&recs, 1);
+        let full = mem.bytes();
+        for cut in WAL_HEADER_LEN..full.len() {
+            let out = read_wal(&full[..cut]).unwrap();
+            // The readable prefix is a prefix of the true record stream.
+            assert!(out.records.len() < recs.len());
+            assert_eq!(out.records[..], recs[..out.records.len()]);
+            // A cut at an exact record boundary yields a shorter but
+            // well-formed log; anywhere else the torn tail is reported.
+            assert_eq!(
+                out.truncated,
+                cut != out.consumed,
+                "cut at {cut} (consumed {})",
+                out.consumed
+            );
+        }
+    }
+
+    #[test]
+    fn checksum_failure_cuts_the_log() {
+        let recs = sample_records();
+        let mem = write_log(&recs, 1);
+        let mut bytes = mem.bytes();
+        // Flip a byte inside the second record's payload.
+        let first_len = u32::from_le_bytes(
+            bytes[WAL_HEADER_LEN..WAL_HEADER_LEN + 4]
+                .try_into()
+                .unwrap(),
+        ) as usize;
+        let second_payload = WAL_HEADER_LEN + FRAME_LEN + first_len + FRAME_LEN;
+        bytes[second_payload] ^= 0xff;
+        let out = read_wal(&bytes).unwrap();
+        assert_eq!(out.records.len(), 1);
+        assert!(out.truncated);
+    }
+
+    #[test]
+    fn bad_header_is_corrupt() {
+        assert!(matches!(
+            read_wal(b"XXXX\x01\x00"),
+            Err(EngineError::Corrupt { .. })
+        ));
+        assert!(matches!(
+            read_wal(b"AWAL\x63\x00"),
+            Err(EngineError::Unsupported { .. })
+        ));
+        assert!(read_wal(b"AW").is_err());
+    }
+
+    #[test]
+    fn resume_appends_after_existing_records() {
+        let recs = sample_records();
+        let mem = write_log(&recs[..3], 1);
+        let mut w = WalWriter::resume(Box::new(mem.clone()), 3, 2);
+        assert_eq!(w.records(), 3);
+        for r in &recs[3..] {
+            w.append(r).unwrap();
+        }
+        let out = read_wal(&mem.bytes()).unwrap();
+        assert_eq!(out.records, recs);
+    }
+
+    #[test]
+    fn fsync_lag_tracks_sync_interval() {
+        let mem = MemWal::new();
+        let mut w = WalWriter::create(Box::new(mem), 3).unwrap();
+        w.append(&WalRecord::Tick).unwrap();
+        w.append(&WalRecord::Tick).unwrap();
+        assert_eq!(w.unsynced(), 2);
+        w.append(&WalRecord::Tick).unwrap();
+        assert_eq!(w.unsynced(), 0, "third append crossed the interval");
+    }
+
+    #[test]
+    fn checkpoint_roundtrip_and_tamper_detection() {
+        let ck = Checkpoint {
+            wal_records: 42,
+            t: 17,
+            pending: vec![3, 0, 5],
+            engine: Some(EngineCheckpoint {
+                db: vec![1, 2, 3, 4],
+                pending_mods: vec![
+                    vec![Modification::Insert(row![1i64])],
+                    vec![],
+                    vec![Modification::Delete(row![9i64])],
+                ],
+            }),
+        };
+        let bytes = ck.encode();
+        assert_eq!(Checkpoint::decode(&bytes).unwrap(), ck);
+        // Any flipped byte is caught by the trailing checksum.
+        for i in 0..bytes.len() {
+            let mut bad = bytes.to_vec();
+            bad[i] ^= 1;
+            assert!(Checkpoint::decode(&bad).is_err(), "flip at {i}");
+        }
+        // Model-backend checkpoints omit the engine payload.
+        let model = Checkpoint {
+            wal_records: 1,
+            t: 1,
+            pending: vec![0, 0],
+            engine: None,
+        };
+        assert_eq!(Checkpoint::decode(&model.encode()).unwrap(), model);
+    }
+
+    #[test]
+    fn file_wal_roundtrip() {
+        let dir = std::env::temp_dir().join(format!("aivm-wal-test-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("test.wal");
+        let recs = sample_records();
+        {
+            let mut w = WalWriter::create(Box::new(FileWal::create(&path).unwrap()), 2).unwrap();
+            for r in &recs[..3] {
+                w.append(r).unwrap();
+            }
+            w.sync().unwrap();
+        }
+        {
+            let mut w = WalWriter::resume(Box::new(FileWal::open_append(&path).unwrap()), 3, 2);
+            for r in &recs[3..] {
+                w.append(r).unwrap();
+            }
+            w.sync().unwrap();
+        }
+        let out = read_wal(&std::fs::read(&path).unwrap()).unwrap();
+        assert_eq!(out.records, recs);
+        std::fs::remove_dir_all(&dir).ok();
+    }
+}

@@ -139,6 +139,57 @@ pub fn replay_schedule(
     })
 }
 
+/// Cross-checks a crash-recovered run against its uncrashed reference.
+///
+/// The recovered run's recorded steps and actions must be an *exact
+/// prefix* of the reference recording (recovery replays a prefix of the
+/// same event log, and the runtime is deterministic), and independently
+/// re-executing the recovered schedule through [`replay_schedule`] must
+/// reproduce the cost the recovered runtime accounted — a third
+/// implementation of the cost arithmetic catching either side lying.
+///
+/// Returns the re-execution outcome on success; on divergence, a
+/// description of the first mismatching step.
+pub fn verify_recovery_prefix(
+    costs: &[CostModel],
+    budget: f64,
+    reference_steps: &[ReplayStep],
+    reference_actions: &[Counts],
+    recovered_steps: &[ReplayStep],
+    recovered_actions: &[Counts],
+) -> Result<ReplayOutcome, String> {
+    if recovered_steps.len() > reference_steps.len() {
+        return Err(format!(
+            "recovered run has {} steps, longer than the reference's {}",
+            recovered_steps.len(),
+            reference_steps.len()
+        ));
+    }
+    if recovered_actions.len() != recovered_steps.len() {
+        return Err(format!(
+            "recovered run has {} actions for {} steps",
+            recovered_actions.len(),
+            recovered_steps.len()
+        ));
+    }
+    for (t, (rec, refr)) in recovered_steps.iter().zip(reference_steps).enumerate() {
+        if rec != refr {
+            return Err(format!(
+                "recovered step {t} diverges: reference {refr:?}, recovered {rec:?}"
+            ));
+        }
+    }
+    for (t, (rec, refr)) in recovered_actions.iter().zip(reference_actions).enumerate() {
+        if rec != refr {
+            return Err(format!(
+                "recovered action {t} diverges: reference {refr:?}, recovered {rec:?}"
+            ));
+        }
+    }
+    replay_schedule(costs, budget, recovered_steps, recovered_actions)
+        .map_err(|e| format!("recovered schedule fails re-execution: {e}"))
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

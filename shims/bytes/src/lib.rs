@@ -103,6 +103,13 @@ impl Bytes {
         self.data.len() - self.pos
     }
 
+    /// Bytes already consumed from the front — the read cursor's
+    /// absolute position within the buffer this `Bytes` was created
+    /// over. Decoders use it to report the byte offset of corruption.
+    pub fn consumed(&self) -> usize {
+        self.pos
+    }
+
     /// True when nothing is left to read.
     pub fn is_empty(&self) -> bool {
         self.len() == 0
