@@ -48,6 +48,13 @@ echo "==> degradation smoke (injected policy panic must demote, zero violations)
 echo "==> chaos gate (crash/recover equivalence at sampled kill indices)"
 ./target/release/repro chaos --seeds 8 --events 2000 >/dev/null
 
+echo "==> net gate (wire codec + client tests, then a 5s loadgen smoke over TCP)"
+cargo test -q --release -p aivm-net -p aivm-client
+# Exits nonzero on any budget violation, protocol error, or a sustained
+# throughput below the 50k events/s floor; appends BENCH_net.json.
+AIVM_BENCH_LABEL=ci ./target/release/repro loadgen --quick --duration 5s \
+  --min-throughput 50000 >/dev/null
+
 echo "==> serve throughput baseline (BENCH_serve.json)"
 AIVM_BENCH_FAST=1 AIVM_BENCH_LABEL=ci cargo bench -p aivm-bench --bench serve >/dev/null
 

@@ -8,7 +8,9 @@
 use aivm_bench::harness::Suite;
 use aivm_bench::serve::{ServeExperiment, ServeOptions, SERVE_POLICIES};
 use aivm_core::CostModel;
-use aivm_serve::{MaintenanceRuntime, NaiveFlush, OnlineFlush, ReadMode, ServeConfig};
+use aivm_serve::{
+    MaintenanceRuntime, NaiveFlush, OnlineFlush, ReadMode, ServeConfig, WalSyncPolicy,
+};
 use std::hint::black_box;
 
 /// Synchronous model-backend scheduling cost: ingest + tick, no engine,
@@ -93,10 +95,48 @@ fn bench_threaded_end_to_end(s: &mut Suite) {
     }
 }
 
+/// The durability/throughput tradeoff of the WAL fsync policy, measured
+/// on the same threaded pipeline: `always` pays one fsync per event,
+/// `interval:64` bounds loss to 64 records, `never` leaves syncing to
+/// the OS.
+fn bench_wal_sync_policies(s: &mut Suite) {
+    let fast = std::env::var("AIVM_BENCH_FAST")
+        .map(|v| v != "0" && !v.is_empty())
+        .unwrap_or(false);
+    for (name, policy) in [
+        ("always", WalSyncPolicy::Always),
+        ("interval64", WalSyncPolicy::Interval(64)),
+        ("never", WalSyncPolicy::Never),
+    ] {
+        let opts = ServeOptions {
+            events_each: if fast { 150 } else { 600 },
+            quick: true,
+            wal_sync: Some(policy),
+            ..Default::default()
+        };
+        let exp = ServeExperiment::build(opts).expect("serve setup");
+        let run = exp.run_threaded("online").expect("serve run");
+        assert_eq!(run.metrics.constraint_violations, 0);
+        assert!(run.metrics.wal_records > 0, "WAL was attached");
+        s.record_value(
+            &format!("serve/wal_{name}/events_per_sec"),
+            run.events_per_sec(),
+        );
+        // `never` maps to a u64::MAX interval; record 0 for it so the
+        // tracked number stays readable.
+        let sync_every = match policy {
+            WalSyncPolicy::Never => 0,
+            _ => run.metrics.wal_sync_every,
+        };
+        s.record_value(&format!("serve/wal_{name}/sync_every"), sync_every as f64);
+    }
+}
+
 fn main() {
     let mut s = Suite::new("serve");
     bench_model_ticks(&mut s);
     bench_model_fresh_read(&mut s);
     bench_threaded_end_to_end(&mut s);
+    bench_wal_sync_policies(&mut s);
     s.finish();
 }

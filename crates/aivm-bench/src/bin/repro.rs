@@ -17,6 +17,8 @@
 //!   ablation   heuristic & candidate-set ablations (extension)
 //!   serve      live serving runtime over the TPC-R update stream
 //!   chaos      crash/recover + degradation chaos suite (robustness)
+//!   loadgen    closed-loop TCP load generator over aivm-net (emits
+//!              BENCH_net.json)
 //!   all        every figure target above, in paper order (not serve)
 //! ```
 //!
@@ -34,7 +36,28 @@
 //!   --trace-out PATH                    write the recorded trace(s)
 //!   --inject-policy-panic T             make the flush policy panic at
 //!                                       tick T (degradation smoke)
+//!   --wal-sync always|interval[:N]|never   attach a file WAL with that
+//!                                       fsync policy (temp file)
 //! ```
+//!
+//! `loadgen` spawns the whole networked stack in one process — the
+//! serve scheduler, the `aivm-net` TCP server on a loopback port, and N
+//! closed-loop `aivm-client` threads — and drives a seeded submit/read
+//! mix through real sockets. Its flags (besides `--events`, `--budget`,
+//! `--duration`, `--policy` and `--wal-sync`, shared with `serve`):
+//!
+//! ```text
+//!   --clients N            closed-loop client threads (default 4)
+//!   --mix S:R              submit:read weight mix (default 4:1)
+//!   --batch N              modifications per submit frame (default 64)
+//!   --fresh-every N        every Nth read is Fresh, rest Stale (default 8)
+//!   --min-throughput X     exit nonzero below X events/s (CI gate)
+//! ```
+//!
+//! `loadgen` appends its measured throughput, Stale/Fresh read latency
+//! quantiles and shed/retry counters to `BENCH_net.json` and exits
+//! nonzero on any budget violation, protocol error, or a throughput
+//! floor miss.
 //!
 //! `serve` exits nonzero if any run breaks the paper's validity
 //! invariant (a fresh read costing more than `C`) or if the `planned`
@@ -293,7 +316,7 @@ fn run_ablation(csv: bool, quick: bool) {
     print_table(&t2, csv);
 }
 
-/// Flags of the `serve` and `chaos` targets.
+/// Flags of the `serve`, `chaos` and `loadgen` targets.
 #[derive(Default)]
 struct ServeArgs {
     policy: Option<String>,
@@ -303,6 +326,12 @@ struct ServeArgs {
     trace_out: Option<String>,
     seeds: Option<u64>,
     inject_policy_panic: Option<usize>,
+    wal_sync: Option<aivm_serve::WalSyncPolicy>,
+    clients: Option<usize>,
+    mix: Option<(u32, u32)>,
+    batch: Option<usize>,
+    fresh_every: Option<u64>,
+    min_throughput: Option<f64>,
 }
 
 fn parse_duration(s: &str) -> Option<std::time::Duration> {
@@ -345,6 +374,7 @@ fn run_serve(csv: bool, quick: bool, sargs: &ServeArgs) {
         duration: sargs.duration,
         quick,
         fault,
+        wal_sync: sargs.wal_sync,
         ..Default::default()
     };
     let exp = match ServeExperiment::build(opts) {
@@ -362,6 +392,9 @@ fn run_serve(csv: bool, quick: bool, sargs: &ServeArgs) {
         "budget C = {:.1} (measured costs), planned T0 = {}",
         exp.budget, exp.schedule.t0
     ));
+    if let Some(p) = &sargs.wal_sync {
+        t.note(format!("file WAL attached, fsync policy {p}"));
+    }
     let mut failed = false;
     for p in &policies {
         match exp.run_threaded(p) {
@@ -415,6 +448,12 @@ fn run_serve(csv: bool, quick: bool, sargs: &ServeArgs) {
                         }
                     }
                 }
+                if sargs.wal_sync.is_some() {
+                    println!(
+                        "{p}: {} WAL record(s) appended, fsync lag at shutdown {}",
+                        s.metrics.wal_records, s.metrics.wal_fsync_lag
+                    );
+                }
                 t.row(summary_row(&s));
             }
             Err(e) => {
@@ -424,6 +463,176 @@ fn run_serve(csv: bool, quick: bool, sargs: &ServeArgs) {
         }
     }
     print_table(&t, csv);
+    if failed {
+        std::process::exit(1);
+    }
+}
+
+fn run_loadgen(csv: bool, quick: bool, sargs: &ServeArgs) {
+    use aivm_bench::loadgen::{run_loadgen, LoadgenOptions};
+    use aivm_bench::serve::{ServeExperiment, ServeOptions, SERVE_POLICIES};
+    if let Some(p) = &sargs.policy {
+        if !SERVE_POLICIES.contains(&p.as_str()) {
+            eprintln!("unknown policy: {p} (expected naive, online or planned)");
+            std::process::exit(2);
+        }
+    }
+    let events_each = sargs.events.unwrap_or(if quick { 5_000 } else { 20_000 });
+    let exp = match ServeExperiment::build(ServeOptions {
+        events_each,
+        budget: sargs.budget,
+        quick,
+        ..Default::default()
+    }) {
+        Ok(e) => e,
+        Err(e) => {
+            eprintln!("loadgen setup failed: {e}");
+            std::process::exit(1);
+        }
+    };
+    let defaults = LoadgenOptions::default();
+    let (submit_weight, read_weight) = sargs
+        .mix
+        .unwrap_or((defaults.submit_weight, defaults.read_weight));
+    let opts = LoadgenOptions {
+        clients: sargs.clients.unwrap_or(defaults.clients),
+        submit_weight,
+        read_weight,
+        fresh_every: sargs.fresh_every.unwrap_or(defaults.fresh_every),
+        batch: sargs.batch.unwrap_or(defaults.batch),
+        duration: sargs.duration.unwrap_or(defaults.duration),
+        events_each,
+        policy: sargs.policy.clone().unwrap_or(defaults.policy),
+        budget: sargs.budget,
+        quick,
+        wal_sync: sargs.wal_sync,
+        ..Default::default()
+    };
+    let r = match run_loadgen(&exp, &opts) {
+        Ok(r) => r,
+        Err(e) => {
+            eprintln!("loadgen run failed: {e}");
+            std::process::exit(1);
+        }
+    };
+    let (sub, stale, fresh) = (
+        r.submit_lat.snapshot(),
+        r.stale_lat.snapshot(),
+        r.fresh_lat.snapshot(),
+    );
+    let ms = |ns: u64| format!("{:.3}", ns as f64 / 1e6);
+    let mut t = ExpTable::new(
+        "Closed-loop network load generator (aivm-net over loopback TCP)",
+        &["metric", "value"],
+    );
+    t.note(format!(
+        "{} clients, mix {}:{}, batch {}, policy {}, budget C = {:.1}{}",
+        opts.clients,
+        opts.submit_weight,
+        opts.read_weight,
+        opts.batch,
+        opts.policy,
+        exp.budget,
+        match &opts.wal_sync {
+            Some(p) => format!(", WAL fsync {p}"),
+            None => String::new(),
+        }
+    ));
+    let rows: Vec<(&str, String)> = vec![
+        ("events submitted", r.events_submitted.to_string()),
+        ("events ingested", r.runtime.events_ingested.to_string()),
+        (
+            "submit window (s)",
+            format!("{:.3}", r.submit_window.as_secs_f64()),
+        ),
+        (
+            "throughput (events/s)",
+            format!("{:.0}", r.events_per_sec()),
+        ),
+        (
+            "submit p50/p99 (ms)",
+            format!("{}/{}", ms(sub.p50), ms(sub.p99)),
+        ),
+        ("stale reads", r.reads_stale.to_string()),
+        (
+            "stale read p50/p99 (ms)",
+            format!("{}/{}", ms(stale.p50), ms(stale.p99)),
+        ),
+        ("fresh reads", r.reads_fresh.to_string()),
+        (
+            "fresh read p50/p99 (ms)",
+            format!("{}/{}", ms(fresh.p50), ms(fresh.p99)),
+        ),
+        (
+            "budget violations",
+            (r.client_violations + r.runtime.constraint_violations).to_string(),
+        ),
+        ("overload retries", r.retries.overload_retries.to_string()),
+        ("transport retries", r.retries.transport_retries.to_string()),
+        ("overload give-ups", r.overload_failures.to_string()),
+        (
+            "server overload rejections",
+            r.net.overload_rejections.to_string(),
+        ),
+        ("server shed events", r.net.shed_events.to_string()),
+        ("max queue depth", r.net.max_queue_depth.to_string()),
+        (
+            "connections (total/rejected)",
+            format!("{}/{}", r.net.connections_total, r.net.connections_rejected),
+        ),
+        ("degraded", r.net.degraded.to_string()),
+        ("protocol errors", r.protocol_errors.to_string()),
+    ];
+    for (k, v) in rows {
+        t.row(vec![k.to_string(), v]);
+    }
+    print_table(&t, csv);
+
+    // Tracked baseline: BENCH_net.json at the repo root.
+    let mut suite = aivm_bench::harness::Suite::new("net");
+    suite.record_value("loadgen/events_per_sec", r.events_per_sec());
+    suite.record_value("loadgen/submit_p99_ns", sub.p99 as f64);
+    suite.record_value("loadgen/read_stale_p50_ns", stale.p50 as f64);
+    suite.record_value("loadgen/read_stale_p99_ns", stale.p99 as f64);
+    suite.record_value("loadgen/read_fresh_p50_ns", fresh.p50 as f64);
+    suite.record_value("loadgen/read_fresh_p99_ns", fresh.p99 as f64);
+    suite.record_value(
+        "loadgen/overload_retries",
+        r.retries.overload_retries as f64,
+    );
+    suite.record_value(
+        "loadgen/server_overload_rejections",
+        r.net.overload_rejections as f64,
+    );
+    suite.record_value("loadgen/shed_events", r.net.shed_events as f64);
+    suite.record_value(
+        "loadgen/budget_violations",
+        (r.client_violations + r.runtime.constraint_violations) as f64,
+    );
+    suite.finish();
+
+    let mut failed = false;
+    if !r.ok() {
+        eprintln!(
+            "loadgen FAILED: {} budget violation(s), {} protocol error(s){}",
+            r.client_violations + r.runtime.constraint_violations,
+            r.protocol_errors,
+            match (&r.last_error, &r.net.last_error) {
+                (Some(e), _) | (None, Some(e)) => format!(" — {e}"),
+                _ => String::new(),
+            }
+        );
+        failed = true;
+    }
+    if let Some(floor) = sargs.min_throughput {
+        if r.events_per_sec() < floor {
+            eprintln!(
+                "loadgen FAILED: throughput {:.0} events/s below the {floor:.0} floor",
+                r.events_per_sec()
+            );
+            failed = true;
+        }
+    }
     if failed {
         std::process::exit(1);
     }
@@ -600,6 +809,69 @@ fn main() {
                     }
                 }
             }
+            "--wal-sync" => {
+                let v = take("--wal-sync");
+                match aivm_serve::WalSyncPolicy::parse(&v) {
+                    Some(p) => sargs.wal_sync = Some(p),
+                    None => {
+                        eprintln!("--wal-sync needs always, interval[:N] or never");
+                        std::process::exit(2);
+                    }
+                }
+            }
+            "--clients" => {
+                let v = take("--clients");
+                match v.parse::<usize>() {
+                    Ok(n) if n > 0 => sargs.clients = Some(n),
+                    _ => {
+                        eprintln!("--clients needs a positive integer");
+                        std::process::exit(2);
+                    }
+                }
+            }
+            "--mix" => {
+                let v = take("--mix");
+                let parsed = v.split_once(':').and_then(|(s, r)| {
+                    Some((s.trim().parse::<u32>().ok()?, r.trim().parse::<u32>().ok()?))
+                });
+                match parsed {
+                    Some((s, r)) if s + r > 0 => sargs.mix = Some((s, r)),
+                    _ => {
+                        eprintln!("--mix needs submit:read weights like 4:1");
+                        std::process::exit(2);
+                    }
+                }
+            }
+            "--batch" => {
+                let v = take("--batch");
+                match v.parse::<usize>() {
+                    Ok(n) if n > 0 => sargs.batch = Some(n),
+                    _ => {
+                        eprintln!("--batch needs a positive integer");
+                        std::process::exit(2);
+                    }
+                }
+            }
+            "--fresh-every" => {
+                let v = take("--fresh-every");
+                match v.parse::<u64>() {
+                    Ok(n) => sargs.fresh_every = Some(n),
+                    _ => {
+                        eprintln!("--fresh-every needs an integer (0 = never fresh)");
+                        std::process::exit(2);
+                    }
+                }
+            }
+            "--min-throughput" => {
+                let v = take("--min-throughput");
+                match v.parse::<f64>() {
+                    Ok(x) if x > 0.0 => sargs.min_throughput = Some(x),
+                    _ => {
+                        eprintln!("--min-throughput needs a positive events/s floor");
+                        std::process::exit(2);
+                    }
+                }
+            }
             _ if !a.starts_with("--") => targets.push(a.as_str()),
             _ => {}
         }
@@ -628,10 +900,11 @@ fn main() {
             "ablation" => run_ablation(csv, quick),
             "serve" => run_serve(csv, quick, &sargs),
             "chaos" => run_chaos(csv, &sargs),
+            "loadgen" => run_loadgen(csv, quick, &sargs),
             other => {
                 eprintln!("unknown target: {other}");
                 eprintln!(
-                    "targets: intro fig1 fig4 fig5 fig6 fig7 bounds adapt concave refresh ablation serve chaos all"
+                    "targets: intro fig1 fig4 fig5 fig6 fig7 bounds adapt concave refresh ablation serve chaos loadgen all"
                 );
                 std::process::exit(2);
             }

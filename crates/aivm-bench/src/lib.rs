@@ -19,6 +19,7 @@
 
 pub mod chaos;
 pub mod harness;
+pub mod loadgen;
 pub mod serve;
 
 use aivm_core::{Arrivals, CostModel, Counts, Instance};

@@ -1,0 +1,493 @@
+//! Closed-loop network load generator for the `aivm-net` serving stack.
+//!
+//! [`run_loadgen`] stands up the full pipeline in one process — an
+//! engine-backed [`aivm_serve`] scheduler, the `aivm-net` TCP server on
+//! a loopback port, and N closed-loop client threads speaking the wire
+//! protocol through `aivm-client` — then drives a seeded submit/read
+//! mix against it and reports client-observed latencies next to the
+//! server's own counters.
+//!
+//! ## Stream ordering
+//!
+//! The pre-generated TPC-R update streams are strict `Update{old, new}`
+//! sequences: each modification's `old` row is the state its
+//! predecessors left behind, so a stream must be replayed **in order
+//! per table** (streams only commute *across* tables). Every table's
+//! cursor lives behind a mutex that a submitting worker holds across
+//! the whole wire round trip — batches from different threads can
+//! interleave across tables but never reorder within one. An
+//! `Overloaded` rejection leaves the cursor where it was: the server
+//! guarantees the rejected batch had no side effect, so the next holder
+//! resubmits the same prefix.
+//!
+//! ## What the summary proves
+//!
+//! Every fresh read crossing the wire carries the runtime's `violated`
+//! bit (flush cost > C); the report fails if any was set, if the final
+//! runtime counters show a violation, or if any client saw a protocol
+//! error. That makes `repro loadgen` a one-command end-to-end check of
+//! the paper's validity invariant under real socket concurrency.
+
+use crate::serve::ServeExperiment;
+use aivm_client::{Client, ClientConfig, ClientError, RetryStats};
+use aivm_engine::{EngineError, Modification};
+use aivm_net::{NetMetrics, NetServer, NetServerConfig};
+use aivm_serve::{
+    FileWal, LatencyHistogram, MetricsSnapshot, ServeServer, ServerConfig, WalSyncPolicy, WalWriter,
+};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::{Arc, Mutex};
+use std::time::{Duration, Instant};
+
+/// Options of a load-generation run.
+#[derive(Clone, Debug)]
+pub struct LoadgenOptions {
+    /// Closed-loop client threads.
+    pub clients: usize,
+    /// Relative weight of submit operations in the mix.
+    pub submit_weight: u32,
+    /// Relative weight of read operations in the mix.
+    pub read_weight: u32,
+    /// Every `fresh_every`-th read a worker issues is Fresh; the rest
+    /// are Stale.
+    pub fresh_every: u64,
+    /// Modifications per submit request.
+    pub batch: usize,
+    /// Wall-clock cap; the run also ends when both update streams are
+    /// exhausted.
+    pub duration: Duration,
+    /// Updates pre-generated per updated table.
+    pub events_each: usize,
+    /// Flush policy driving the runtime (`naive`/`online`/`planned`).
+    pub policy: String,
+    /// Refresh budget `C` (derived from measured costs when `None`).
+    pub budget: Option<f64>,
+    /// Use the small TPC-R scale.
+    pub quick: bool,
+    /// Seed of the database, the streams, and every worker's op mix.
+    pub seed: u64,
+    /// Attach a [`FileWal`] with this fsync policy (temp file, removed
+    /// after the run).
+    pub wal_sync: Option<WalSyncPolicy>,
+    /// Server-side submit admission mark (`None` = pure backpressure).
+    pub submit_high_water: Option<usize>,
+}
+
+impl Default for LoadgenOptions {
+    fn default() -> Self {
+        LoadgenOptions {
+            clients: 4,
+            submit_weight: 4,
+            read_weight: 1,
+            fresh_every: 8,
+            batch: 64,
+            duration: Duration::from_secs(5),
+            events_each: 20_000,
+            policy: "online".into(),
+            budget: None,
+            quick: false,
+            seed: 2005,
+            wal_sync: None,
+            submit_high_water: Some(768),
+        }
+    }
+}
+
+/// One table's in-order replay cursor, locked across each submit round
+/// trip.
+struct TableStream {
+    table: usize,
+    stream: Arc<Vec<Modification>>,
+    pos: usize,
+    /// Set on a hard (non-overload) submit failure: a partial ingest
+    /// may have happened, so the stream's order can no longer be
+    /// trusted and no more of it is submitted.
+    dead: bool,
+}
+
+/// Per-worker tallies, merged into the report after join.
+#[derive(Default)]
+struct WorkerStats {
+    submits: u64,
+    events_submitted: u64,
+    reads_stale: u64,
+    reads_fresh: u64,
+    submit_lat: LatencyHistogram,
+    stale_lat: LatencyHistogram,
+    fresh_lat: LatencyHistogram,
+    /// Requests that exhausted their bounded retries on `Overloaded`.
+    overload_failures: u64,
+    /// Hard failures: unexpected rejections, transport or codec errors.
+    protocol_errors: u64,
+    /// Fresh reads whose `violated` bit was set (flush cost > C).
+    violations: u64,
+    last_error: Option<String>,
+    last_submit: Option<Instant>,
+    retries: RetryStats,
+}
+
+impl WorkerStats {
+    fn merge(&mut self, o: WorkerStats) {
+        self.submits += o.submits;
+        self.events_submitted += o.events_submitted;
+        self.reads_stale += o.reads_stale;
+        self.reads_fresh += o.reads_fresh;
+        self.submit_lat.merge(&o.submit_lat);
+        self.stale_lat.merge(&o.stale_lat);
+        self.fresh_lat.merge(&o.fresh_lat);
+        self.overload_failures += o.overload_failures;
+        self.protocol_errors += o.protocol_errors;
+        self.violations += o.violations;
+        if self.last_error.is_none() {
+            self.last_error = o.last_error;
+        }
+        self.last_submit = match (self.last_submit, o.last_submit) {
+            (Some(a), Some(b)) => Some(a.max(b)),
+            (a, b) => a.or(b),
+        };
+        self.retries.overload_retries += o.retries.overload_retries;
+        self.retries.transport_retries += o.retries.transport_retries;
+    }
+}
+
+/// Everything a load-generation run measured.
+pub struct LoadgenReport {
+    /// Wall-clock from first submit to the last successful one (the
+    /// throughput window; excludes the read-only drain tail).
+    pub submit_window: Duration,
+    /// Full run wall-clock.
+    pub elapsed: Duration,
+    /// Events accepted over the wire (client-confirmed).
+    pub events_submitted: u64,
+    /// Submit requests completed.
+    pub submits: u64,
+    /// Stale reads served.
+    pub reads_stale: u64,
+    /// Fresh reads served.
+    pub reads_fresh: u64,
+    /// Client-observed submit round-trip latencies.
+    pub submit_lat: LatencyHistogram,
+    /// Client-observed Stale read latencies.
+    pub stale_lat: LatencyHistogram,
+    /// Client-observed Fresh read latencies.
+    pub fresh_lat: LatencyHistogram,
+    /// Requests that exhausted retries on `Overloaded`.
+    pub overload_failures: u64,
+    /// Hard client-side failures (must be 0 for a passing run).
+    pub protocol_errors: u64,
+    /// Fresh reads that reported a budget violation (must be 0).
+    pub client_violations: u64,
+    /// Client retry counters summed over all workers.
+    pub retries: RetryStats,
+    /// First hard error observed, if any.
+    pub last_error: Option<String>,
+    /// The server's final wire-level metrics frame.
+    pub net: NetMetrics,
+    /// The runtime's final counters after a draining shutdown.
+    pub runtime: MetricsSnapshot,
+}
+
+impl LoadgenReport {
+    /// Sustained wire throughput in events per second over the submit
+    /// window.
+    pub fn events_per_sec(&self) -> f64 {
+        self.events_submitted as f64 / self.submit_window.as_secs_f64().max(1e-9)
+    }
+
+    /// True when the run upheld every invariant: no budget violation
+    /// observed by any client or by the runtime, no protocol errors,
+    /// and the scheduler never stopped on an error.
+    pub fn ok(&self) -> bool {
+        self.client_violations == 0
+            && self.runtime.constraint_violations == 0
+            && self.protocol_errors == 0
+            && self.net.last_error.is_none()
+    }
+}
+
+fn client_config(opts: &LoadgenOptions, worker: u64) -> ClientConfig {
+    ClientConfig {
+        deadline: Duration::from_secs(10),
+        retries: 16,
+        backoff: Duration::from_micros(200),
+        max_backoff: Duration::from_millis(20),
+        pool: 1,
+        seed: opts.seed ^ (worker.wrapping_mul(0x9E37_79B9_7F4A_7C15)),
+    }
+}
+
+fn worker_loop(
+    addr: std::net::SocketAddr,
+    opts: &LoadgenOptions,
+    worker: u64,
+    cursors: &[Mutex<TableStream>],
+    stop: &AtomicBool,
+) -> WorkerStats {
+    let mut stats = WorkerStats::default();
+    let client = match Client::new(addr, client_config(opts, worker)) {
+        Ok(c) => c,
+        Err(e) => {
+            stats.protocol_errors += 1;
+            stats.last_error = Some(format!("client setup: {e}"));
+            return stats;
+        }
+    };
+    let mut rng = StdRng::seed_from_u64(opts.seed.wrapping_add(worker));
+    let total_weight = (opts.submit_weight + opts.read_weight).max(1);
+    let mut reads = 0u64;
+    while !stop.load(Ordering::Relaxed) {
+        let want_submit = rng.gen_range(0..total_weight) < opts.submit_weight;
+        let submitted = want_submit && submit_next(&client, opts, &mut rng, cursors, &mut stats);
+        if stats.last_error.is_some() {
+            break;
+        }
+        if !submitted {
+            // Either the mix said read, or every stream is drained:
+            // keep the closed loop busy with reads.
+            if opts.read_weight == 0 && streams_done(cursors) {
+                break;
+            }
+            reads += 1;
+            let fresh = opts.fresh_every > 0 && reads.is_multiple_of(opts.fresh_every);
+            let t0 = Instant::now();
+            match client.read(fresh, false) {
+                Ok(r) => {
+                    let ns = t0.elapsed().as_nanos() as u64;
+                    if fresh {
+                        stats.reads_fresh += 1;
+                        stats.fresh_lat.record(ns);
+                    } else {
+                        stats.reads_stale += 1;
+                        stats.stale_lat.record(ns);
+                    }
+                    if r.violated {
+                        stats.violations += 1;
+                    }
+                }
+                Err(e) if e.is_overload() => stats.overload_failures += 1,
+                Err(ClientError::DeadlineExceeded) => stats.overload_failures += 1,
+                Err(e) => {
+                    stats.protocol_errors += 1;
+                    stats.last_error = Some(format!("read: {e}"));
+                    break;
+                }
+            }
+        }
+    }
+    stats.retries = client.retry_stats();
+    stats
+}
+
+/// Takes the next batch of whichever stream has work and submits it,
+/// holding that table's cursor lock across the round trip. Returns
+/// false when every stream is drained (or the mix chose a table with
+/// nothing left and the other is also done).
+fn submit_next(
+    client: &Client,
+    opts: &LoadgenOptions,
+    rng: &mut StdRng,
+    cursors: &[Mutex<TableStream>],
+    stats: &mut WorkerStats,
+) -> bool {
+    let first = rng.gen_range(0..cursors.len());
+    for k in 0..cursors.len() {
+        let mut cur = cursors[(first + k) % cursors.len()]
+            .lock()
+            .unwrap_or_else(|e| e.into_inner());
+        if cur.dead || cur.pos >= cur.stream.len() {
+            continue;
+        }
+        let end = (cur.pos + opts.batch.max(1)).min(cur.stream.len());
+        let mods = cur.stream[cur.pos..end].to_vec();
+        let n = mods.len() as u64;
+        let t0 = Instant::now();
+        match client.submit(cur.table as u32, mods) {
+            Ok(accepted) => {
+                cur.pos = end;
+                stats.submits += 1;
+                stats.events_submitted += accepted;
+                stats.submit_lat.record(t0.elapsed().as_nanos() as u64);
+                stats.last_submit = Some(Instant::now());
+                debug_assert_eq!(accepted, n);
+            }
+            // Retries exhausted while the server stayed saturated; the
+            // cursor is untouched (rejections precede side effects) so
+            // a later holder resubmits the same prefix.
+            Err(e) if e.is_overload() => stats.overload_failures += 1,
+            Err(e) => {
+                // A hard mid-batch failure may have half-applied the
+                // batch: poison this stream rather than desync it.
+                cur.dead = true;
+                stats.protocol_errors += 1;
+                stats.last_error = Some(format!("submit: {e}"));
+            }
+        }
+        return true;
+    }
+    false
+}
+
+fn streams_done(cursors: &[Mutex<TableStream>]) -> bool {
+    cursors.iter().all(|c| {
+        let c = c.lock().unwrap_or_else(|e| e.into_inner());
+        c.dead || c.pos >= c.stream.len()
+    })
+}
+
+/// Runs the closed-loop load generator against a freshly spawned
+/// serve + net stack on a loopback port.
+pub fn run_loadgen(
+    exp: &ServeExperiment,
+    opts: &LoadgenOptions,
+) -> Result<LoadgenReport, EngineError> {
+    let policy = exp
+        .policy(&opts.policy)
+        .unwrap_or_else(|| panic!("unknown policy {:?}", opts.policy));
+    let mut runtime = exp.runtime(policy)?;
+    let wal_path = match &opts.wal_sync {
+        Some(p) => {
+            let path = std::env::temp_dir().join(format!(
+                "aivm_loadgen_wal_{}_{}.log",
+                std::process::id(),
+                opts.seed
+            ));
+            let _ = std::fs::remove_file(&path);
+            runtime.attach_wal(WalWriter::create(
+                Box::new(FileWal::create(&path)?),
+                p.sync_every(),
+            )?);
+            Some(path)
+        }
+        None => None,
+    };
+    let serve = ServeServer::spawn(runtime, ServerConfig::default());
+    let net = NetServer::bind(
+        "127.0.0.1:0",
+        serve.handle(),
+        exp.costs.len(),
+        NetServerConfig {
+            max_connections: opts.clients + 8,
+            submit_high_water: opts.submit_high_water,
+            ..NetServerConfig::default()
+        },
+    )
+    .map_err(|e| EngineError::io("loadgen bind", e))?;
+    let addr = net.local_addr();
+
+    let cursors: Arc<Vec<Mutex<TableStream>>> = Arc::new(vec![
+        Mutex::new(TableStream {
+            table: exp.ps_pos,
+            stream: Arc::new(exp.ps_stream.clone()),
+            pos: 0,
+            dead: false,
+        }),
+        Mutex::new(TableStream {
+            table: exp.supp_pos,
+            stream: Arc::new(exp.supp_stream.clone()),
+            pos: 0,
+            dead: false,
+        }),
+    ]);
+    let stop = Arc::new(AtomicBool::new(false));
+    let started = Instant::now();
+    let workers: Vec<_> = (0..opts.clients.max(1) as u64)
+        .map(|w| {
+            let (opts, cursors, stop) = (opts.clone(), Arc::clone(&cursors), Arc::clone(&stop));
+            std::thread::spawn(move || worker_loop(addr, &opts, w, &cursors, &stop))
+        })
+        .collect();
+
+    // Coordinator: end at the duration cap or as soon as the finite
+    // streams drain, whichever comes first.
+    let deadline = started + opts.duration;
+    while Instant::now() < deadline && !streams_done(&cursors) {
+        std::thread::sleep(Duration::from_millis(2));
+    }
+    stop.store(true, Ordering::Relaxed);
+    let mut merged = WorkerStats::default();
+    for w in workers {
+        merged.merge(w.join().expect("worker thread"));
+    }
+    let elapsed = started.elapsed();
+    let submit_window = merged
+        .last_submit
+        .map(|t| t.duration_since(started))
+        .unwrap_or(elapsed);
+
+    // Final control round trip on a fresh client: one fresh read (the
+    // validity invariant must hold at quiescence too) and the closing
+    // metrics frame with the net-layer counters.
+    let control = Client::new(addr, client_config(opts, u64::MAX))
+        .map_err(|e| EngineError::io("loadgen control client", e))?;
+    let final_read = control
+        .read(true, false)
+        .map_err(|e| EngineError::Maintenance {
+            message: format!("loadgen final fresh read failed: {e}"),
+        })?;
+    if final_read.violated {
+        merged.violations += 1;
+    }
+    let net_metrics = control.metrics().map_err(|e| EngineError::Maintenance {
+        message: format!("loadgen final metrics failed: {e}"),
+    })?;
+    drop(control);
+    net.shutdown();
+    let runtime = serve.shutdown();
+    let runtime_metrics = runtime.metrics();
+    if let Some(p) = wal_path {
+        let _ = std::fs::remove_file(p);
+    }
+    Ok(LoadgenReport {
+        submit_window,
+        elapsed,
+        events_submitted: merged.events_submitted,
+        submits: merged.submits,
+        reads_stale: merged.reads_stale,
+        reads_fresh: merged.reads_fresh + 1,
+        submit_lat: merged.submit_lat,
+        stale_lat: merged.stale_lat,
+        fresh_lat: merged.fresh_lat,
+        overload_failures: merged.overload_failures,
+        protocol_errors: merged.protocol_errors,
+        client_violations: merged.violations,
+        retries: merged.retries,
+        last_error: merged.last_error,
+        net: net_metrics,
+        runtime: runtime_metrics,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::serve::ServeOptions;
+
+    #[test]
+    fn quick_loadgen_run_is_clean_and_ordered() {
+        let exp = ServeExperiment::build(ServeOptions {
+            events_each: 600,
+            quick: true,
+            ..Default::default()
+        })
+        .expect("build");
+        let opts = LoadgenOptions {
+            clients: 3,
+            events_each: 600,
+            batch: 32,
+            duration: Duration::from_secs(30),
+            quick: true,
+            ..Default::default()
+        };
+        let r = run_loadgen(&exp, &opts).expect("loadgen");
+        assert!(r.ok(), "violations or errors: {:?}", r.last_error);
+        // Finite streams drained completely: strict per-table order
+        // makes partial progress impossible without a poisoned stream.
+        assert_eq!(r.events_submitted, 1200);
+        assert_eq!(r.runtime.events_ingested, 1200);
+        assert!(r.reads_fresh >= 1);
+        assert_eq!(r.net.submitted_events, 1200);
+        assert_eq!(r.net.connections_rejected, 0);
+    }
+}

@@ -14,8 +14,9 @@ use aivm_engine::{
     Modification,
 };
 use aivm_serve::{
-    AsSolverPolicy, FaultPlan, FlushPolicy, MaintenanceRuntime, MetricsSnapshot, NaiveFlush,
-    OnlineFlush, PlannedFlush, ReadMode, ServeConfig, ServeServer, ServerConfig, Trace,
+    AsSolverPolicy, FaultPlan, FileWal, FlushPolicy, MaintenanceRuntime, MetricsSnapshot,
+    NaiveFlush, OnlineFlush, PlannedFlush, ReadMode, ServeConfig, ServeServer, ServerConfig, Trace,
+    WalSyncPolicy, WalWriter,
 };
 use aivm_sim::replay::{replay_policy, ReplayStep};
 use aivm_solver::AdaptSchedule;
@@ -44,6 +45,10 @@ pub struct ServeOptions {
     pub seed: u64,
     /// Faults injected into the threaded run's scheduler and runtime.
     pub fault: FaultPlan,
+    /// Attach a [`FileWal`] (temp file, removed after the run) with this
+    /// fsync policy, so the durability/throughput tradeoff shows up in
+    /// the measured numbers.
+    pub wal_sync: Option<WalSyncPolicy>,
 }
 
 impl Default for ServeOptions {
@@ -55,6 +60,7 @@ impl Default for ServeOptions {
             quick: false,
             seed: 2005,
             fault: FaultPlan::none(),
+            wal_sync: None,
         }
     }
 }
@@ -203,7 +209,23 @@ impl ServeExperiment {
         let policy = self
             .policy(policy_name)
             .unwrap_or_else(|| panic!("unknown policy {policy_name:?}"));
-        let runtime = self.runtime(policy)?;
+        let mut runtime = self.runtime(policy)?;
+        let wal_path = match &self.opts.wal_sync {
+            Some(p) => {
+                let path = std::env::temp_dir().join(format!(
+                    "aivm_serve_wal_{}_{policy_name}_{}.log",
+                    std::process::id(),
+                    self.opts.seed
+                ));
+                let _ = std::fs::remove_file(&path);
+                runtime.attach_wal(WalWriter::create(
+                    Box::new(FileWal::create(&path)?),
+                    p.sync_every(),
+                )?);
+                Some(path)
+            }
+            None => None,
+        };
         let server = ServeServer::spawn(
             runtime,
             ServerConfig {
@@ -288,6 +310,9 @@ impl ServeExperiment {
         let elapsed = started.elapsed();
         let live = server.handle().metrics().expect("server alive");
         let runtime = server.shutdown();
+        if let Some(p) = wal_path {
+            let _ = std::fs::remove_file(p);
+        }
         let mut metrics = runtime.metrics();
         metrics.queue_depth = live.queue_depth;
         metrics.max_queue_depth = live.max_queue_depth;

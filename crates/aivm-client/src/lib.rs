@@ -1,0 +1,427 @@
+//! `aivm-client` — the client side of the `aivm-net` wire protocol.
+//!
+//! A [`Client`] owns a small pool of TCP connections to one server and
+//! gives every request three behaviours the raw protocol leaves to the
+//! caller:
+//!
+//! * **Deadline propagation** — each request runs under one deadline
+//!   budget ([`ClientConfig::deadline`]). The *remaining* budget at
+//!   send time rides the wire in `deadline_ms` (so the server refuses
+//!   work the client has already given up on), bounds the socket
+//!   connect/read timeouts, and caps retry backoff sleeps. When the
+//!   budget is spent, the call returns
+//!   [`ClientError::DeadlineExceeded`] — it never blocks past it.
+//! * **Bounded retries with jittered backoff** — transient failures
+//!   retry up to [`ClientConfig::retries`] times, sleeping
+//!   `base × 2^attempt × uniform(0.5, 1.0)` between attempts (seeded,
+//!   so test runs are reproducible). What counts as transient depends
+//!   on idempotency: reads, pings, metrics and flushes retry on any
+//!   transport error or server `Overloaded`; a **submit** retries
+//!   *only* on rejections the server guarantees happened before any
+//!   side effect (`Overloaded`, connection-cap handshake rejections,
+//!   dial failures) — a transport error mid-submit is returned to the
+//!   caller, because retrying could double-apply the batch.
+//! * **Connection pooling** — completed requests return their
+//!   connection to a bounded pool; any error discards it (a failed
+//!   stream cannot be resynchronised). Pool checkout is cheap enough to
+//!   share one `Client` across threads (`&self` methods, internal
+//!   locking).
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+use aivm_engine::{EngineError, Modification};
+use aivm_net::{
+    read_hello_reply, recv_response, send_request, write_hello, ErrorCode, FrameError,
+    HandshakeStatus, NetMetrics, Request, RequestFrame, Response, WireReadResult,
+};
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+use std::net::{SocketAddr, TcpStream, ToSocketAddrs};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Mutex;
+use std::time::{Duration, Instant};
+
+/// Client behaviour knobs.
+#[derive(Clone, Debug)]
+pub struct ClientConfig {
+    /// Per-request deadline budget (connect + queue + retries + reply).
+    pub deadline: Duration,
+    /// Retries after the first attempt (0 = fail fast).
+    pub retries: u32,
+    /// Base backoff before the first retry; doubles per attempt.
+    pub backoff: Duration,
+    /// Cap on a single backoff sleep.
+    pub max_backoff: Duration,
+    /// Idle connections kept pooled (further ones are closed on
+    /// return).
+    pub pool: usize,
+    /// Seed for backoff jitter (reproducible retry schedules).
+    pub seed: u64,
+}
+
+impl Default for ClientConfig {
+    fn default() -> Self {
+        ClientConfig {
+            deadline: Duration::from_secs(5),
+            retries: 3,
+            backoff: Duration::from_millis(2),
+            max_backoff: Duration::from_millis(200),
+            pool: 2,
+            seed: 0,
+        }
+    }
+}
+
+/// Why a client call failed.
+#[derive(Debug)]
+pub enum ClientError {
+    /// Transport failure after retries (or on a non-retryable request).
+    Io(std::io::Error),
+    /// The byte stream failed validation; the connection was dropped.
+    Protocol(EngineError),
+    /// The server answered with a typed error frame.
+    Rejected {
+        /// The taxonomy bucket.
+        code: ErrorCode,
+        /// Server-provided detail.
+        message: String,
+    },
+    /// The handshake was refused (server at its connection cap after
+    /// retries, or a protocol version mismatch).
+    Handshake(HandshakeStatus),
+    /// The deadline budget was spent before a reply arrived.
+    DeadlineExceeded,
+    /// The server replied with a frame of the wrong kind.
+    UnexpectedResponse(&'static str),
+}
+
+impl std::fmt::Display for ClientError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ClientError::Io(e) => write!(f, "transport: {e}"),
+            ClientError::Protocol(e) => write!(f, "protocol: {e}"),
+            ClientError::Rejected { code, message } => write!(f, "rejected ({code}): {message}"),
+            ClientError::Handshake(s) => write!(f, "handshake refused: {s:?}"),
+            ClientError::DeadlineExceeded => write!(f, "deadline exceeded"),
+            ClientError::UnexpectedResponse(what) => write!(f, "unexpected response: {what}"),
+        }
+    }
+}
+
+impl std::error::Error for ClientError {}
+
+impl ClientError {
+    /// True when the failure is the server saying "not now" — the
+    /// overload signals loadgen counts separately from hard errors.
+    pub fn is_overload(&self) -> bool {
+        matches!(
+            self,
+            ClientError::Rejected {
+                code: ErrorCode::Overloaded,
+                ..
+            } | ClientError::Handshake(HandshakeStatus::Overloaded)
+        )
+    }
+}
+
+/// Retry counters, for loadgen summaries.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct RetryStats {
+    /// Retries triggered by `Overloaded` rejections (frame or
+    /// handshake).
+    pub overload_retries: u64,
+    /// Retries triggered by transport errors (idempotent requests and
+    /// pre-send dial failures only).
+    pub transport_retries: u64,
+}
+
+/// A pooled, deadline-aware connection to one `aivm-net` server. Share
+/// by reference across threads; all methods take `&self`.
+pub struct Client {
+    addr: SocketAddr,
+    cfg: ClientConfig,
+    pool: Mutex<Vec<TcpStream>>,
+    rng: Mutex<SmallRng>,
+    overload_retries: AtomicU64,
+    transport_retries: AtomicU64,
+}
+
+impl Client {
+    /// Creates a client for `addr`. No connection is opened until the
+    /// first request.
+    pub fn new(addr: impl ToSocketAddrs, cfg: ClientConfig) -> std::io::Result<Client> {
+        let addr = addr.to_socket_addrs()?.next().ok_or_else(|| {
+            std::io::Error::new(std::io::ErrorKind::AddrNotAvailable, "no address resolved")
+        })?;
+        Ok(Client {
+            addr,
+            rng: Mutex::new(SmallRng::seed_from_u64(cfg.seed)),
+            cfg,
+            pool: Mutex::new(Vec::new()),
+            overload_retries: AtomicU64::new(0),
+            transport_retries: AtomicU64::new(0),
+        })
+    }
+
+    /// Retry counters accumulated over the client's lifetime.
+    pub fn retry_stats(&self) -> RetryStats {
+        RetryStats {
+            overload_retries: self.overload_retries.load(Ordering::Relaxed),
+            transport_retries: self.transport_retries.load(Ordering::Relaxed),
+        }
+    }
+
+    /// Liveness probe.
+    pub fn ping(&self) -> Result<(), ClientError> {
+        match self.request(Request::Ping)? {
+            Response::Pong => Ok(()),
+            _ => Err(ClientError::UnexpectedResponse("expected Pong")),
+        }
+    }
+
+    /// Submits a DML batch for one base table (position within the
+    /// view). Retried only on rejections that provably preceded any
+    /// side effect; on success every modification was ingested, in
+    /// order.
+    pub fn submit(&self, table: u32, mods: Vec<Modification>) -> Result<u64, ClientError> {
+        match self.request(Request::Submit { table, mods })? {
+            Response::SubmitOk { accepted } => Ok(accepted),
+            _ => Err(ClientError::UnexpectedResponse("expected SubmitOk")),
+        }
+    }
+
+    /// Reads the view. `fresh` forces a flush-then-read (≤ C);
+    /// `want_rows` ships the materialized rows, not just the checksum.
+    pub fn read(&self, fresh: bool, want_rows: bool) -> Result<WireReadResult, ClientError> {
+        match self.request(Request::Read { fresh, want_rows })? {
+            Response::ReadOk(r) => Ok(r),
+            _ => Err(ClientError::UnexpectedResponse("expected ReadOk")),
+        }
+    }
+
+    /// Fetches a metrics snapshot.
+    pub fn metrics(&self) -> Result<NetMetrics, ClientError> {
+        match self.request(Request::Metrics)? {
+            Response::MetricsOk(m) => Ok(*m),
+            _ => Err(ClientError::UnexpectedResponse("expected MetricsOk")),
+        }
+    }
+
+    /// Forces a full flush, returning `(flush_cost, violated)`.
+    pub fn flush(&self) -> Result<(f64, bool), ClientError> {
+        match self.request(Request::Flush)? {
+            Response::FlushOk {
+                flush_cost,
+                violated,
+            } => Ok((flush_cost, violated)),
+            _ => Err(ClientError::UnexpectedResponse("expected FlushOk")),
+        }
+    }
+
+    /// Runs one request under the deadline/retry policy described in
+    /// the crate docs.
+    pub fn request(&self, request: Request) -> Result<Response, ClientError> {
+        let started = Instant::now();
+        let idempotent = request.is_idempotent();
+        let mut attempt = 0u32;
+        loop {
+            let Some(remaining) = self.cfg.deadline.checked_sub(started.elapsed()) else {
+                return Err(ClientError::DeadlineExceeded);
+            };
+            if remaining.is_zero() {
+                return Err(ClientError::DeadlineExceeded);
+            }
+            let outcome = self.attempt(&request, remaining);
+            let err = match outcome {
+                Ok(resp) => return Ok(resp),
+                Err(e) => e,
+            };
+            // The server guarantees Overloaded rejections precede any
+            // side effect (retry-safe for every request kind); a
+            // transport failure is only safe to retry when the request
+            // is idempotent.
+            let overload = err.is_overload();
+            let retryable = overload
+                || (idempotent && matches!(err, ClientError::Io(_) | ClientError::Protocol(_)));
+            attempt += 1;
+            if !retryable || attempt > self.cfg.retries {
+                return Err(err);
+            }
+            if overload {
+                self.overload_retries.fetch_add(1, Ordering::Relaxed);
+            } else {
+                self.transport_retries.fetch_add(1, Ordering::Relaxed);
+            }
+            let sleep = self
+                .jittered_backoff(attempt)
+                .min(self.cfg.deadline.saturating_sub(started.elapsed()));
+            if sleep.is_zero() {
+                return Err(ClientError::DeadlineExceeded);
+            }
+            std::thread::sleep(sleep);
+        }
+    }
+
+    /// `base × 2^(attempt-1) × uniform(0.5, 1.0)`, capped.
+    fn jittered_backoff(&self, attempt: u32) -> Duration {
+        let factor = {
+            let mut rng = self.rng.lock().unwrap_or_else(|e| e.into_inner());
+            rng.gen_range(0.5..1.0)
+        };
+        let base = self
+            .cfg
+            .backoff
+            .saturating_mul(1u32 << (attempt - 1).min(16))
+            .min(self.cfg.max_backoff);
+        base.mul_f64(factor)
+    }
+
+    /// One attempt: checkout (or dial), send with the remaining budget
+    /// on the wire, await the reply within it.
+    fn attempt(&self, request: &Request, remaining: Duration) -> Result<Response, ClientError> {
+        let mut stream = self.checkout(remaining)?;
+        let deadline_ms = remaining.as_millis().min(u128::from(u32::MAX)) as u32;
+        stream
+            .set_read_timeout(Some(remaining))
+            .and_then(|()| stream.set_write_timeout(Some(remaining)))
+            .map_err(ClientError::Io)?;
+        let frame = RequestFrame {
+            deadline_ms,
+            request: request.clone(),
+        };
+        if let Err(e) = send_request(&mut stream, &frame) {
+            // A send on a pooled connection can hit a stale socket the
+            // server already closed; that is a transport error (the
+            // retry policy decides, by idempotency, what to do).
+            return Err(ClientError::Io(e));
+        }
+        match recv_response(&mut stream) {
+            Ok(resp) => {
+                match &resp {
+                    Response::Error { code, message } => {
+                        // The connection stays healthy after a typed
+                        // error; pool it.
+                        self.checkin(stream);
+                        Err(ClientError::Rejected {
+                            code: *code,
+                            message: message.clone(),
+                        })
+                    }
+                    _ => {
+                        self.checkin(stream);
+                        Ok(resp)
+                    }
+                }
+            }
+            Err(FrameError::Closed) => Err(ClientError::Io(std::io::Error::new(
+                std::io::ErrorKind::ConnectionReset,
+                "server closed the connection",
+            ))),
+            Err(e) if e.is_timeout() => Err(ClientError::DeadlineExceeded),
+            Err(FrameError::Io(e)) => Err(ClientError::Io(e)),
+            Err(FrameError::Corrupt(e)) => Err(ClientError::Protocol(e)),
+        }
+    }
+
+    /// Pops a pooled connection or dials (handshaking) a new one within
+    /// the remaining deadline.
+    fn checkout(&self, remaining: Duration) -> Result<TcpStream, ClientError> {
+        if let Some(s) = self.pool.lock().unwrap_or_else(|e| e.into_inner()).pop() {
+            return Ok(s);
+        }
+        let mut stream =
+            TcpStream::connect_timeout(&self.addr, remaining).map_err(ClientError::Io)?;
+        stream.set_nodelay(true).map_err(ClientError::Io)?;
+        stream
+            .set_read_timeout(Some(remaining))
+            .map_err(ClientError::Io)?;
+        write_hello(&mut stream).map_err(ClientError::Io)?;
+        match read_hello_reply(&mut stream) {
+            Ok(HandshakeStatus::Ok) => Ok(stream),
+            Ok(status) => Err(ClientError::Handshake(status)),
+            Err(FrameError::Corrupt(e)) => Err(ClientError::Protocol(e)),
+            Err(FrameError::Closed) => Err(ClientError::Io(std::io::Error::new(
+                std::io::ErrorKind::ConnectionReset,
+                "server closed during handshake",
+            ))),
+            Err(FrameError::Io(e)) => Err(ClientError::Io(e)),
+        }
+    }
+
+    /// Returns a healthy connection to the pool (closed if full).
+    fn checkin(&self, stream: TcpStream) {
+        let mut pool = self.pool.lock().unwrap_or_else(|e| e.into_inner());
+        if pool.len() < self.cfg.pool {
+            pool.push(stream);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn backoff_is_jittered_bounded_and_monotone_in_expectation() {
+        let client = Client::new(
+            "127.0.0.1:1",
+            ClientConfig {
+                backoff: Duration::from_millis(10),
+                max_backoff: Duration::from_millis(100),
+                seed: 7,
+                ..ClientConfig::default()
+            },
+        )
+        .unwrap();
+        for attempt in 1..=10u32 {
+            let d = client.jittered_backoff(attempt);
+            // Jitter halves at most; the cap bounds above.
+            assert!(d >= Duration::from_millis(5), "attempt {attempt}: {d:?}");
+            assert!(d <= Duration::from_millis(100), "attempt {attempt}: {d:?}");
+        }
+        // Same seed → same schedule (reproducibility). A fresh pair,
+        // because `client`'s RNG has already advanced above.
+        let make = || {
+            Client::new(
+                "127.0.0.1:1",
+                ClientConfig {
+                    backoff: Duration::from_millis(10),
+                    max_backoff: Duration::from_millis(100),
+                    seed: 7,
+                    ..ClientConfig::default()
+                },
+            )
+            .unwrap()
+        };
+        let (a, b) = (make(), make());
+        for attempt in 1..=10u32 {
+            assert_eq!(a.jittered_backoff(attempt), b.jittered_backoff(attempt));
+        }
+    }
+
+    #[test]
+    fn dead_endpoint_fails_within_deadline_not_forever() {
+        // Port 1 on localhost refuses immediately; the client must give
+        // up after its bounded retries, well within the deadline.
+        let client = Client::new(
+            "127.0.0.1:1",
+            ClientConfig {
+                deadline: Duration::from_secs(2),
+                retries: 2,
+                backoff: Duration::from_millis(1),
+                ..ClientConfig::default()
+            },
+        )
+        .unwrap();
+        let started = Instant::now();
+        let err = client.ping().unwrap_err();
+        assert!(
+            matches!(err, ClientError::Io(_) | ClientError::DeadlineExceeded),
+            "got {err}"
+        );
+        assert!(started.elapsed() < Duration::from_secs(2));
+        // The dial failures counted as transport retries.
+        assert_eq!(client.retry_stats().transport_retries, 2);
+    }
+}

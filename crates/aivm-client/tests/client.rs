@@ -1,0 +1,239 @@
+//! Client-vs-live-server integration tests: pooling, retries on
+//! overload, deadline propagation, and submit exactly-once semantics.
+
+use aivm_client::{Client, ClientConfig, ClientError};
+use aivm_core::CostModel;
+use aivm_engine::{
+    parse_query, row, DataType, Database, MaterializedView, MinStrategy, Modification, Schema,
+    ViewDef,
+};
+use aivm_net::{ErrorCode, NetServer, NetServerConfig};
+use aivm_serve::{MaintenanceRuntime, NaiveFlush, ServeConfig, ServeServer, ServerConfig};
+use std::time::Duration;
+
+fn tiny_engine_runtime() -> (MaintenanceRuntime, Database) {
+    let mut db = Database::new();
+    let t = db
+        .create_table("t", Schema::new(vec![("id", DataType::Int)]))
+        .unwrap();
+    db.set_key_column(t, 0);
+    let genesis = db.clone();
+    let view = MaterializedView::new(
+        &db,
+        ViewDef {
+            name: "v".into(),
+            tables: vec!["t".into()],
+            join_preds: vec![],
+            filters: vec![None],
+            residual: None,
+            projection: None,
+            aggregate: None,
+            distinct: false,
+        },
+        MinStrategy::Multiset,
+    )
+    .unwrap();
+    let cfg = ServeConfig::new(vec![CostModel::linear(0.5, 0.1)], 50.0);
+    let rt = MaintenanceRuntime::engine(cfg, Box::new(NaiveFlush::new()), db, view).unwrap();
+    (rt, genesis)
+}
+
+struct TestRig {
+    serve: ServeServer,
+    net: NetServer,
+}
+
+fn spawn_rig(net_cfg: NetServerConfig) -> TestRig {
+    let (rt, _genesis) = tiny_engine_runtime();
+    let serve = ServeServer::spawn(rt, ServerConfig::default());
+    let net = NetServer::bind("127.0.0.1:0", serve.handle(), 1, net_cfg).unwrap();
+    TestRig { serve, net }
+}
+
+#[test]
+fn typed_requests_round_trip_and_match_direct_evaluation() {
+    let rig = spawn_rig(NetServerConfig::default());
+    let client = Client::new(rig.net.local_addr(), ClientConfig::default()).unwrap();
+
+    client.ping().unwrap();
+
+    let mods: Vec<Modification> = (0..25i64).map(|i| Modification::Insert(row![i])).collect();
+    assert_eq!(client.submit(0, mods.clone()).unwrap(), 25);
+
+    let read = client.read(true, true).unwrap();
+    assert!(read.fresh);
+    assert_eq!(read.lag, 0);
+    assert!(!read.violated);
+    assert_eq!(read.rows.as_ref().map(Vec::len), Some(25));
+
+    let (_, mut direct_db) = tiny_engine_runtime();
+    let t = direct_db.table_id("t").unwrap();
+    for m in &mods {
+        direct_db.apply(t, m).unwrap();
+    }
+    let direct = parse_query(&direct_db, "SELECT id FROM t")
+        .unwrap()
+        .execute(&direct_db)
+        .unwrap();
+    let mut acc: u64 = 0;
+    for (r, w) in &direct {
+        acc = acc.wrapping_add(aivm_engine::fxhash::hash_one(&(r, w)));
+    }
+    assert_eq!(read.checksum, acc);
+
+    let m = client.metrics().unwrap();
+    assert_eq!(m.events_ingested, 25);
+    assert!(!m.degraded);
+
+    let (_cost, violated) = client.flush().unwrap();
+    assert!(!violated);
+
+    // No failures, no retries.
+    assert_eq!(client.retry_stats().overload_retries, 0);
+    assert_eq!(client.retry_stats().transport_retries, 0);
+
+    rig.net.shutdown();
+    rig.serve.shutdown();
+}
+
+#[test]
+fn pooled_connection_is_reused_across_requests() {
+    let rig = spawn_rig(NetServerConfig::default());
+    let client = Client::new(rig.net.local_addr(), ClientConfig::default()).unwrap();
+    for _ in 0..20 {
+        client.ping().unwrap();
+    }
+    // 20 pings over one pooled connection: the server saw one
+    // connection, not twenty.
+    let m = client.metrics().unwrap();
+    assert_eq!(m.connections_total, 1);
+    assert!(m.requests >= 21);
+    rig.net.shutdown();
+    rig.serve.shutdown();
+}
+
+#[test]
+fn overloaded_submit_retries_and_eventually_lands() {
+    // A submit high-water of 0 pending events rejects whenever the
+    // queue is non-empty; with the 1ms tick draining it, retries land.
+    let rig = spawn_rig(NetServerConfig {
+        submit_high_water: Some(64),
+        ..NetServerConfig::default()
+    });
+    let client = Client::new(
+        rig.net.local_addr(),
+        ClientConfig {
+            retries: 50,
+            backoff: Duration::from_millis(1),
+            max_backoff: Duration::from_millis(5),
+            ..ClientConfig::default()
+        },
+    )
+    .unwrap();
+    let mut accepted = 0u64;
+    for burst in 0..40i64 {
+        let mods: Vec<Modification> = (0..32)
+            .map(|i| Modification::Insert(row![burst * 32 + i]))
+            .collect();
+        accepted += client.submit(0, mods).unwrap();
+    }
+    assert_eq!(accepted, 40 * 32);
+    // Every event landed exactly once: Overloaded rejections precede
+    // side effects, so retries cannot double-apply.
+    let deadline = std::time::Instant::now() + Duration::from_secs(10);
+    loop {
+        let m = client.metrics().unwrap();
+        if m.events_ingested == 40 * 32 {
+            break;
+        }
+        assert!(
+            std::time::Instant::now() < deadline,
+            "ingested {} != {}",
+            m.events_ingested,
+            40 * 32
+        );
+        std::thread::sleep(Duration::from_millis(10));
+    }
+    rig.net.shutdown();
+    rig.serve.shutdown();
+}
+
+#[test]
+fn persistent_overload_exhausts_bounded_retries() {
+    // A zero high-water mark rejects every submit: the client must
+    // stop after its bounded retries and surface the typed rejection,
+    // not spin forever.
+    let rig = spawn_rig(NetServerConfig {
+        submit_high_water: Some(0),
+        ..NetServerConfig::default()
+    });
+    let client = Client::new(
+        rig.net.local_addr(),
+        ClientConfig {
+            deadline: Duration::from_secs(5),
+            retries: 3,
+            backoff: Duration::from_millis(1),
+            max_backoff: Duration::from_millis(2),
+            ..ClientConfig::default()
+        },
+    )
+    .unwrap();
+    let mods: Vec<Modification> = (0..4i64).map(|i| Modification::Insert(row![i])).collect();
+    match client.submit(0, mods).unwrap_err() {
+        ClientError::Rejected { code, .. } => assert_eq!(code, ErrorCode::Overloaded),
+        other => panic!("expected Overloaded, got {other}"),
+    }
+    assert_eq!(client.retry_stats().overload_retries, 3);
+    // Nothing was ingested: rejection preceded any side effect.
+    assert_eq!(client.metrics().unwrap().events_ingested, 0);
+    rig.net.shutdown();
+    rig.serve.shutdown();
+}
+
+#[test]
+fn deadline_zero_budget_fails_fast() {
+    let rig = spawn_rig(NetServerConfig::default());
+    let client = Client::new(
+        rig.net.local_addr(),
+        ClientConfig {
+            deadline: Duration::ZERO,
+            ..ClientConfig::default()
+        },
+    )
+    .unwrap();
+    assert!(matches!(
+        client.ping().unwrap_err(),
+        ClientError::DeadlineExceeded
+    ));
+    rig.net.shutdown();
+    rig.serve.shutdown();
+}
+
+#[test]
+fn client_is_shareable_across_threads() {
+    let rig = spawn_rig(NetServerConfig::default());
+    let client =
+        std::sync::Arc::new(Client::new(rig.net.local_addr(), ClientConfig::default()).unwrap());
+    let handles: Vec<_> = (0..4)
+        .map(|t| {
+            let c = client.clone();
+            std::thread::spawn(move || {
+                let mods: Vec<Modification> = (0..16i64)
+                    .map(|i| Modification::Insert(row![t * 16 + i]))
+                    .collect();
+                assert_eq!(c.submit(0, mods).unwrap(), 16);
+                c.read(false, false).unwrap();
+            })
+        })
+        .collect();
+    for h in handles {
+        h.join().unwrap();
+    }
+    let read = client.read(true, false).unwrap();
+    assert_eq!(read.lag, 0);
+    assert!(!read.violated);
+    let m = client.metrics().unwrap();
+    assert_eq!(m.events_ingested, 64);
+    rig.net.shutdown();
+    rig.serve.shutdown();
+}

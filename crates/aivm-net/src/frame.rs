@@ -1,0 +1,1165 @@
+//! The wire format: handshake, frame layer, and request/response
+//! payload codecs.
+//!
+//! ## Framing
+//!
+//! A connection opens with a fixed-size handshake (client first):
+//!
+//! ```text
+//! client hello: magic "ANET" | version u16
+//! server reply: magic "ANET" | version u16 | status u8
+//! ```
+//!
+//! Status 0 accepts; any other value is a typed connection-level
+//! rejection ([`HandshakeStatus`]), sent *before* any frame so a capped
+//! server never leaves a dangling half-frame behind.
+//!
+//! After the handshake both directions carry frames with exactly the
+//! write-ahead log's convention (`aivm-serve/src/wal.rs`):
+//!
+//! ```text
+//! frame: payload_len u32 | fxhash64(payload) u64 | payload
+//! ```
+//!
+//! All integers little-endian. A frame whose length exceeds
+//! [`MAX_FRAME_LEN`] or whose checksum fails is *corrupt* — and because
+//! a byte stream cannot be resynchronised past garbage, the connection
+//! must be dropped. A cleanly closed connection at a frame boundary is
+//! [`FrameError::Closed`], not an error in disguise; EOF *inside* a
+//! frame is a torn frame (I/O error), mirroring the WAL's torn-tail
+//! distinction.
+//!
+//! ## Payloads
+//!
+//! Request payloads prefix a deadline, then a kind tag:
+//!
+//! ```text
+//! request:  deadline_ms u32 | kind u8 | body
+//!   kind 0 Ping
+//!   kind 1 Submit  table u32 | count u32 | modification...
+//!   kind 2 Read    mode u8 (0 stale, 1 fresh) | want_rows u8
+//!   kind 3 Metrics
+//!   kind 4 Flush
+//! response: kind u8 | body
+//!   kind 0 Pong
+//!   kind 1 SubmitOk  accepted u64
+//!   kind 2 ReadOk    fresh u8 | lag u64 | flush_cost f64 | violated u8
+//!                    | checksum u64 | has_rows u8 [| count u32 | (row, w i64)...]
+//!   kind 3 MetricsOk NetMetrics fields in declaration order
+//!   kind 4 FlushOk   flush_cost f64 | violated u8
+//!   kind 5 Error     code u8 | message str
+//! ```
+//!
+//! Values, rows and modifications reuse `aivm-engine`'s snapshot codec
+//! (`aivm_engine::codec`), so a DML modification has exactly one binary
+//! form across the WAL, checkpoints and the wire. `deadline_ms` is the
+//! client's *remaining* budget for the request (0 = no deadline); the
+//! server subtracts its own queue wait from it. The protocol is
+//! versioned at the handshake, so payloads carry no per-frame version.
+
+use aivm_engine::codec::{get_modification, get_row, get_str, put_modification, put_row, put_str};
+use aivm_engine::fxhash::FxHasher;
+use aivm_engine::{EngineError, Modification, WRow};
+use bytes::{Buf, BufMut, Bytes, BytesMut};
+use std::hash::Hasher;
+use std::io::{ErrorKind, Read, Write};
+
+/// Handshake magic, both directions.
+pub const NET_MAGIC: &[u8; 4] = b"ANET";
+/// Protocol version negotiated at the handshake.
+pub const NET_VERSION: u16 = 1;
+/// Bytes of framing before each payload (length + checksum).
+pub const FRAME_HEADER_LEN: usize = 12;
+/// Hard cap on a single frame's payload. A length prefix beyond this is
+/// rejected as corrupt *before* any allocation, so a hostile or garbled
+/// header cannot balloon memory.
+pub const MAX_FRAME_LEN: usize = 16 * 1024 * 1024;
+
+/// Seedless content hash of a byte slice (stable across processes);
+/// identical to the WAL's record checksum.
+fn checksum(bytes: &[u8]) -> u64 {
+    let mut h = FxHasher::default();
+    h.write(bytes);
+    h.finish()
+}
+
+/// Why a frame could not be read.
+#[derive(Debug)]
+pub enum FrameError {
+    /// The peer closed the connection at a clean frame boundary.
+    Closed,
+    /// Transport failure — including EOF *inside* a frame (a torn
+    /// frame) and read timeouts.
+    Io(std::io::Error),
+    /// The stream arrived but failed validation (bad magic, oversized
+    /// length, checksum mismatch, undecodable payload). The connection
+    /// cannot be resynchronised and must be dropped.
+    Corrupt(EngineError),
+}
+
+impl std::fmt::Display for FrameError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            FrameError::Closed => write!(f, "connection closed"),
+            FrameError::Io(e) => write!(f, "transport error: {e}"),
+            FrameError::Corrupt(e) => write!(f, "corrupt frame: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for FrameError {}
+
+impl FrameError {
+    /// True when the error is a read timeout (the deadline mechanism on
+    /// blocking sockets).
+    pub fn is_timeout(&self) -> bool {
+        matches!(self, FrameError::Io(e)
+            if e.kind() == ErrorKind::WouldBlock || e.kind() == ErrorKind::TimedOut)
+    }
+
+    fn corrupt(context: &str, offset: u64, message: impl Into<String>) -> FrameError {
+        FrameError::Corrupt(EngineError::Corrupt {
+            context: context.to_string(),
+            offset,
+            message: message.into(),
+        })
+    }
+}
+
+/// Outcome of the fixed-size server handshake reply.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum HandshakeStatus {
+    /// Connection accepted; frames may flow.
+    Ok,
+    /// The server is at its connection cap; retry later.
+    Overloaded,
+    /// The server speaks a different protocol version.
+    VersionMismatch,
+}
+
+impl HandshakeStatus {
+    fn as_u8(self) -> u8 {
+        match self {
+            HandshakeStatus::Ok => 0,
+            HandshakeStatus::Overloaded => 1,
+            HandshakeStatus::VersionMismatch => 2,
+        }
+    }
+
+    fn from_u8(v: u8) -> Option<HandshakeStatus> {
+        match v {
+            0 => Some(HandshakeStatus::Ok),
+            1 => Some(HandshakeStatus::Overloaded),
+            2 => Some(HandshakeStatus::VersionMismatch),
+            _ => None,
+        }
+    }
+}
+
+/// Writes the client hello (magic + version) and flushes.
+pub fn write_hello<W: Write>(w: &mut W) -> std::io::Result<()> {
+    w.write_all(NET_MAGIC)?;
+    w.write_all(&NET_VERSION.to_le_bytes())?;
+    w.flush()
+}
+
+/// Reads and validates a client hello, returning the peer's version.
+/// A wrong magic is corrupt; a different version is *not* (the server
+/// answers it with [`HandshakeStatus::VersionMismatch`]).
+pub fn read_hello<R: Read>(r: &mut R) -> Result<u16, FrameError> {
+    let mut buf = [0u8; 6];
+    read_exact_or_closed(r, &mut buf, true)?;
+    if &buf[..4] != NET_MAGIC {
+        return Err(FrameError::corrupt("handshake", 0, "bad magic"));
+    }
+    Ok(u16::from_le_bytes([buf[4], buf[5]]))
+}
+
+/// Writes the server's handshake reply and flushes.
+pub fn write_hello_reply<W: Write>(w: &mut W, status: HandshakeStatus) -> std::io::Result<()> {
+    w.write_all(NET_MAGIC)?;
+    w.write_all(&NET_VERSION.to_le_bytes())?;
+    w.write_all(&[status.as_u8()])?;
+    w.flush()
+}
+
+/// Reads and validates the server's handshake reply.
+pub fn read_hello_reply<R: Read>(r: &mut R) -> Result<HandshakeStatus, FrameError> {
+    let mut buf = [0u8; 7];
+    read_exact_or_closed(r, &mut buf, true)?;
+    if &buf[..4] != NET_MAGIC {
+        return Err(FrameError::corrupt("handshake", 0, "bad magic"));
+    }
+    let version = u16::from_le_bytes([buf[4], buf[5]]);
+    if version != NET_VERSION {
+        return Err(FrameError::corrupt(
+            "handshake",
+            4,
+            format!("server version {version} (supported: {NET_VERSION})"),
+        ));
+    }
+    HandshakeStatus::from_u8(buf[6])
+        .ok_or_else(|| FrameError::corrupt("handshake", 6, format!("status {}", buf[6])))
+}
+
+/// Writes one frame (header + payload) and flushes.
+pub fn write_frame<W: Write>(w: &mut W, payload: &[u8]) -> std::io::Result<()> {
+    debug_assert!(payload.len() <= MAX_FRAME_LEN);
+    let mut header = [0u8; FRAME_HEADER_LEN];
+    header[..4].copy_from_slice(&(payload.len() as u32).to_le_bytes());
+    header[4..].copy_from_slice(&checksum(payload).to_le_bytes());
+    w.write_all(&header)?;
+    w.write_all(payload)?;
+    w.flush()
+}
+
+/// Reads one frame, validating length and checksum. EOF before the
+/// first header byte is [`FrameError::Closed`]; EOF anywhere later is a
+/// torn frame ([`FrameError::Io`]).
+pub fn read_frame<R: Read>(r: &mut R) -> Result<Vec<u8>, FrameError> {
+    let mut header = [0u8; FRAME_HEADER_LEN];
+    read_exact_or_closed(r, &mut header, true)?;
+    let len = u32::from_le_bytes(header[..4].try_into().unwrap()) as usize;
+    let sum = u64::from_le_bytes(header[4..].try_into().unwrap());
+    if len > MAX_FRAME_LEN {
+        return Err(FrameError::corrupt(
+            "frame",
+            0,
+            format!("payload length {len} exceeds cap {MAX_FRAME_LEN}"),
+        ));
+    }
+    let mut payload = vec![0u8; len];
+    read_exact_or_closed(r, &mut payload, false)?;
+    if checksum(&payload) != sum {
+        return Err(FrameError::corrupt(
+            "frame",
+            FRAME_HEADER_LEN as u64,
+            "payload checksum mismatch",
+        ));
+    }
+    Ok(payload)
+}
+
+/// Consecutive mid-frame read timeouts tolerated before a stalled peer
+/// is treated as a torn frame.
+const MAX_FRAME_STALLS: u32 = 100;
+
+/// `read_exact` that is safe on sockets with read timeouts.
+///
+/// With `at_boundary` true, EOF or a timeout *before the first byte* is
+/// a clean event ([`FrameError::Closed`] / a timeout [`FrameError::Io`]
+/// the caller can poll on). Once any byte of a frame has arrived the
+/// frame has *started*: timeouts retry (bounded by
+/// [`MAX_FRAME_STALLS`]) instead of abandoning a partially consumed
+/// stream — which would desynchronise it — and EOF is a torn frame.
+fn read_exact_or_closed<R: Read>(
+    r: &mut R,
+    buf: &mut [u8],
+    at_boundary: bool,
+) -> Result<(), FrameError> {
+    let mut filled = 0;
+    let mut stalls = 0u32;
+    let torn = || {
+        FrameError::Io(std::io::Error::new(
+            ErrorKind::UnexpectedEof,
+            "peer closed mid-frame",
+        ))
+    };
+    while filled < buf.len() {
+        match r.read(&mut buf[filled..]) {
+            Ok(0) if at_boundary && filled == 0 => return Err(FrameError::Closed),
+            Ok(0) => return Err(torn()),
+            Ok(n) => {
+                filled += n;
+                stalls = 0;
+            }
+            Err(e) if e.kind() == ErrorKind::Interrupted => {}
+            Err(e) if e.kind() == ErrorKind::WouldBlock || e.kind() == ErrorKind::TimedOut => {
+                if at_boundary && filled == 0 {
+                    return Err(FrameError::Io(e));
+                }
+                stalls += 1;
+                if stalls > MAX_FRAME_STALLS {
+                    return Err(FrameError::Io(e));
+                }
+            }
+            Err(e) => return Err(FrameError::Io(e)),
+        }
+    }
+    Ok(())
+}
+
+/// The operations a client can request.
+#[derive(Clone, Debug, PartialEq)]
+pub enum Request {
+    /// Liveness probe; the server answers [`Response::Pong`].
+    Ping,
+    /// Ingest a batch of DML for one base table (position within the
+    /// view). The batch is admitted or rejected *atomically*: on an
+    /// `Overloaded` or `DeadlineExceeded` error no modification was
+    /// applied, which is what makes retrying a submit safe.
+    Submit {
+        /// Base-table position within the view.
+        table: u32,
+        /// The modifications, applied in order.
+        mods: Vec<Modification>,
+    },
+    /// Read the view.
+    Read {
+        /// Fresh (flush-then-read, ≤ C) or stale (free).
+        fresh: bool,
+        /// Return the materialized rows, not just the checksum. Row
+        /// payloads dominate read latency for large views; loadgen
+        /// leaves this off.
+        want_rows: bool,
+    },
+    /// Fetch a [`NetMetrics`] snapshot.
+    Metrics,
+    /// Force a full flush without reading rows (a fresh read minus the
+    /// payload).
+    Flush,
+}
+
+impl Request {
+    /// Whether retrying this request can double-apply work. Reads,
+    /// pings, metrics and flushes are idempotent; a submit is only safe
+    /// to retry when the server provably rejected it before ingesting
+    /// (the client retries submits on `Overloaded` but not on transport
+    /// errors mid-reply).
+    pub fn is_idempotent(&self) -> bool {
+        !matches!(self, Request::Submit { .. })
+    }
+}
+
+/// A request plus the client's remaining deadline budget.
+#[derive(Clone, Debug, PartialEq)]
+pub struct RequestFrame {
+    /// Milliseconds of deadline budget remaining at send time
+    /// (0 = no deadline).
+    pub deadline_ms: u32,
+    /// The operation.
+    pub request: Request,
+}
+
+/// Encodes a request payload (framing is [`write_frame`]'s job).
+pub fn encode_request(f: &RequestFrame) -> Vec<u8> {
+    let mut buf = BytesMut::with_capacity(64);
+    buf.put_u32_le(f.deadline_ms);
+    match &f.request {
+        Request::Ping => buf.put_u8(0),
+        Request::Submit { table, mods } => {
+            buf.put_u8(1);
+            buf.put_u32_le(*table);
+            buf.put_u32_le(mods.len() as u32);
+            for m in mods {
+                put_modification(&mut buf, m);
+            }
+        }
+        Request::Read { fresh, want_rows } => {
+            buf.put_u8(2);
+            buf.put_u8(u8::from(*fresh));
+            buf.put_u8(u8::from(*want_rows));
+        }
+        Request::Metrics => buf.put_u8(3),
+        Request::Flush => buf.put_u8(4),
+    }
+    buf.freeze().to_vec()
+}
+
+/// Builds the [`EngineError::Corrupt`] for a payload decode failure at
+/// the buffer's current cursor.
+fn corrupt(context: &str, what: &str, buf: &Bytes) -> EngineError {
+    EngineError::Corrupt {
+        context: context.to_string(),
+        offset: buf.consumed() as u64,
+        message: what.to_string(),
+    }
+}
+
+/// Decodes a request payload. Every failure is a typed
+/// [`EngineError::Corrupt`] naming the offset; never panics.
+pub fn decode_request(payload: &[u8]) -> Result<RequestFrame, EngineError> {
+    let ctx = "request";
+    let mut buf = Bytes::from(payload);
+    if buf.remaining() < 5 {
+        return Err(corrupt(ctx, "header", &buf));
+    }
+    let deadline_ms = buf.get_u32_le();
+    let request = match buf.get_u8() {
+        0 => Request::Ping,
+        1 => {
+            if buf.remaining() < 8 {
+                return Err(corrupt(ctx, "submit header", &buf));
+            }
+            let table = buf.get_u32_le();
+            let count = buf.get_u32_le() as usize;
+            // Each modification takes at least 6 bytes (tag + arity +
+            // one value tag); an impossible count is rejected before
+            // allocating.
+            if count > buf.remaining() {
+                return Err(corrupt(ctx, &format!("submit count {count}"), &buf));
+            }
+            let mut mods = Vec::with_capacity(count);
+            for _ in 0..count {
+                mods.push(get_modification(&mut buf, ctx)?);
+            }
+            Request::Submit { table, mods }
+        }
+        2 => {
+            if buf.remaining() < 2 {
+                return Err(corrupt(ctx, "read flags", &buf));
+            }
+            Request::Read {
+                fresh: buf.get_u8() != 0,
+                want_rows: buf.get_u8() != 0,
+            }
+        }
+        3 => Request::Metrics,
+        4 => Request::Flush,
+        other => return Err(corrupt(ctx, &format!("request kind {other}"), &buf)),
+    };
+    if !buf.is_empty() {
+        return Err(corrupt(ctx, "trailing bytes", &buf));
+    }
+    Ok(RequestFrame {
+        deadline_ms,
+        request,
+    })
+}
+
+/// Typed request-level failure taxonomy, carried in
+/// [`Response::Error`].
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum ErrorCode {
+    /// Admission control rejected the request *before any side effect*
+    /// (queue past its high-water mark, or the connection cap). Always
+    /// safe to retry — including submits.
+    Overloaded,
+    /// The request's deadline expired before the server started (or
+    /// finished) work it could refuse.
+    DeadlineExceeded,
+    /// The request decoded but is semantically invalid (unknown table,
+    /// malformed batch).
+    BadRequest,
+    /// The maintenance scheduler is gone (poisoned or shut down);
+    /// retrying against this server will not help.
+    Unavailable,
+    /// An engine error while executing the request.
+    Internal,
+}
+
+impl ErrorCode {
+    /// Whether a client may retry a *submit* carrying this code without
+    /// risking double-apply. Idempotent requests retry on more.
+    pub fn is_retry_safe(self) -> bool {
+        matches!(self, ErrorCode::Overloaded)
+    }
+
+    fn as_u8(self) -> u8 {
+        match self {
+            ErrorCode::Overloaded => 0,
+            ErrorCode::DeadlineExceeded => 1,
+            ErrorCode::BadRequest => 2,
+            ErrorCode::Unavailable => 3,
+            ErrorCode::Internal => 4,
+        }
+    }
+
+    fn from_u8(v: u8) -> Option<ErrorCode> {
+        match v {
+            0 => Some(ErrorCode::Overloaded),
+            1 => Some(ErrorCode::DeadlineExceeded),
+            2 => Some(ErrorCode::BadRequest),
+            3 => Some(ErrorCode::Unavailable),
+            4 => Some(ErrorCode::Internal),
+            _ => None,
+        }
+    }
+}
+
+impl std::fmt::Display for ErrorCode {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(match self {
+            ErrorCode::Overloaded => "overloaded",
+            ErrorCode::DeadlineExceeded => "deadline exceeded",
+            ErrorCode::BadRequest => "bad request",
+            ErrorCode::Unavailable => "unavailable",
+            ErrorCode::Internal => "internal",
+        })
+    }
+}
+
+/// A view read as it crosses the wire.
+#[derive(Clone, Debug, PartialEq)]
+pub struct WireReadResult {
+    /// Whether this was a fresh (flushed) read.
+    pub fresh: bool,
+    /// Pending modifications not reflected in the result (0 for fresh).
+    pub lag: u64,
+    /// Model cost of the flush performed to serve this read.
+    pub flush_cost: f64,
+    /// Whether the read broke the ≤ C guarantee.
+    pub violated: bool,
+    /// Order-independent content checksum of the materialized view —
+    /// always present, so clients can verify convergence without
+    /// shipping rows.
+    pub checksum: u64,
+    /// Materialized rows, when the request asked for them.
+    pub rows: Option<Vec<WRow>>,
+}
+
+/// Counters surfaced by the `Metrics` frame: the runtime's own
+/// [`MetricsSnapshot`](aivm_serve::MetricsSnapshot) essentials plus the
+/// network layer's admission/connection counters, so overload is
+/// observable from the client side.
+#[derive(Clone, Debug, Default, PartialEq)]
+pub struct NetMetrics {
+    /// DML events ingested into the runtime.
+    pub events_ingested: u64,
+    /// Scheduler ticks executed.
+    pub ticks: u64,
+    /// Non-zero flush actions executed.
+    pub flush_count: u64,
+    /// Total model cost charged across all flushes.
+    pub total_flush_cost: f64,
+    /// Fresh reads served by the runtime.
+    pub fresh_reads: u64,
+    /// Stale reads served by the runtime.
+    pub stale_reads: u64,
+    /// Validity-invariant violations (must stay 0).
+    pub constraint_violations: u64,
+    /// Policy demotions (≤ 1; demotion is permanent).
+    pub policy_demotions: u64,
+    /// Cost-model recalibrations.
+    pub recalibrations: u64,
+    /// True once the runtime degraded to the naive policy.
+    pub degraded: bool,
+    /// Ingest-queue depth at snapshot time.
+    pub queue_depth: u64,
+    /// High-water mark of the ingest queue.
+    pub max_queue_depth: u64,
+    /// Sheddable ingest messages dropped by the overloaded queue.
+    pub shed_events: u64,
+    /// Ingest messages the scheduler rejected.
+    pub ingest_errors: u64,
+    /// Records appended to the WAL (0 without one).
+    pub wal_records: u64,
+    /// WAL records appended but not yet fsynced.
+    pub wal_fsync_lag: u64,
+    /// The WAL writer's fsync interval (0 without a WAL).
+    pub wal_sync_every: u64,
+    /// Connections currently open.
+    pub connections_active: u64,
+    /// Connections accepted over the server's lifetime.
+    pub connections_total: u64,
+    /// Connections rejected at the handshake (connection cap).
+    pub connections_rejected: u64,
+    /// Frames served over the server's lifetime.
+    pub requests: u64,
+    /// DML modifications accepted over the wire.
+    pub submitted_events: u64,
+    /// Requests rejected with [`ErrorCode::Overloaded`].
+    pub overload_rejections: u64,
+    /// Requests rejected with [`ErrorCode::DeadlineExceeded`].
+    pub deadline_rejections: u64,
+    /// The scheduler's poisoning error, if any.
+    pub last_error: Option<String>,
+}
+
+/// The server's answer to one request.
+#[derive(Clone, Debug, PartialEq)]
+pub enum Response {
+    /// Liveness reply.
+    Pong,
+    /// The whole submit batch was ingested.
+    SubmitOk {
+        /// Modifications applied (= the batch size).
+        accepted: u64,
+    },
+    /// A served read.
+    ReadOk(WireReadResult),
+    /// A metrics snapshot.
+    MetricsOk(Box<NetMetrics>),
+    /// A forced flush completed.
+    FlushOk {
+        /// Model cost of the flush.
+        flush_cost: f64,
+        /// Whether it broke the ≤ C guarantee.
+        violated: bool,
+    },
+    /// A typed failure; the request had no effect unless the code says
+    /// otherwise (see [`ErrorCode`]).
+    Error {
+        /// The taxonomy bucket.
+        code: ErrorCode,
+        /// Human-readable detail.
+        message: String,
+    },
+}
+
+/// Encodes a response payload.
+pub fn encode_response(r: &Response) -> Vec<u8> {
+    let mut buf = BytesMut::with_capacity(64);
+    match r {
+        Response::Pong => buf.put_u8(0),
+        Response::SubmitOk { accepted } => {
+            buf.put_u8(1);
+            buf.put_u64_le(*accepted);
+        }
+        Response::ReadOk(rr) => {
+            buf.put_u8(2);
+            buf.put_u8(u8::from(rr.fresh));
+            buf.put_u64_le(rr.lag);
+            buf.put_f64_le(rr.flush_cost);
+            buf.put_u8(u8::from(rr.violated));
+            buf.put_u64_le(rr.checksum);
+            match &rr.rows {
+                None => buf.put_u8(0),
+                Some(rows) => {
+                    buf.put_u8(1);
+                    buf.put_u32_le(rows.len() as u32);
+                    for (row, w) in rows {
+                        put_row(&mut buf, row);
+                        buf.put_i64_le(*w);
+                    }
+                }
+            }
+        }
+        Response::MetricsOk(m) => {
+            buf.put_u8(3);
+            buf.put_u64_le(m.events_ingested);
+            buf.put_u64_le(m.ticks);
+            buf.put_u64_le(m.flush_count);
+            buf.put_f64_le(m.total_flush_cost);
+            buf.put_u64_le(m.fresh_reads);
+            buf.put_u64_le(m.stale_reads);
+            buf.put_u64_le(m.constraint_violations);
+            buf.put_u64_le(m.policy_demotions);
+            buf.put_u64_le(m.recalibrations);
+            buf.put_u8(u8::from(m.degraded));
+            buf.put_u64_le(m.queue_depth);
+            buf.put_u64_le(m.max_queue_depth);
+            buf.put_u64_le(m.shed_events);
+            buf.put_u64_le(m.ingest_errors);
+            buf.put_u64_le(m.wal_records);
+            buf.put_u64_le(m.wal_fsync_lag);
+            buf.put_u64_le(m.wal_sync_every);
+            buf.put_u64_le(m.connections_active);
+            buf.put_u64_le(m.connections_total);
+            buf.put_u64_le(m.connections_rejected);
+            buf.put_u64_le(m.requests);
+            buf.put_u64_le(m.submitted_events);
+            buf.put_u64_le(m.overload_rejections);
+            buf.put_u64_le(m.deadline_rejections);
+            match &m.last_error {
+                None => buf.put_u8(0),
+                Some(e) => {
+                    buf.put_u8(1);
+                    put_str(&mut buf, e);
+                }
+            }
+        }
+        Response::FlushOk {
+            flush_cost,
+            violated,
+        } => {
+            buf.put_u8(4);
+            buf.put_f64_le(*flush_cost);
+            buf.put_u8(u8::from(*violated));
+        }
+        Response::Error { code, message } => {
+            buf.put_u8(5);
+            buf.put_u8(code.as_u8());
+            put_str(&mut buf, message);
+        }
+    }
+    buf.freeze().to_vec()
+}
+
+/// Decodes a response payload. Every failure is a typed
+/// [`EngineError::Corrupt`]; never panics.
+pub fn decode_response(payload: &[u8]) -> Result<Response, EngineError> {
+    let ctx = "response";
+    let mut buf = Bytes::from(payload);
+    if buf.remaining() < 1 {
+        return Err(corrupt(ctx, "kind", &buf));
+    }
+    let resp = match buf.get_u8() {
+        0 => Response::Pong,
+        1 => {
+            if buf.remaining() < 8 {
+                return Err(corrupt(ctx, "submit-ok", &buf));
+            }
+            Response::SubmitOk {
+                accepted: buf.get_u64_le(),
+            }
+        }
+        2 => {
+            if buf.remaining() < 27 {
+                return Err(corrupt(ctx, "read-ok header", &buf));
+            }
+            let fresh = buf.get_u8() != 0;
+            let lag = buf.get_u64_le();
+            let flush_cost = buf.get_f64_le();
+            let violated = buf.get_u8() != 0;
+            let sum = buf.get_u64_le();
+            let rows = match buf.get_u8() {
+                0 => None,
+                1 => {
+                    if buf.remaining() < 4 {
+                        return Err(corrupt(ctx, "row count", &buf));
+                    }
+                    let count = buf.get_u32_le() as usize;
+                    if count > buf.remaining() {
+                        return Err(corrupt(ctx, &format!("row count {count}"), &buf));
+                    }
+                    let mut rows = Vec::with_capacity(count);
+                    for _ in 0..count {
+                        let row = get_row(&mut buf, ctx)?;
+                        if buf.remaining() < 8 {
+                            return Err(corrupt(ctx, "row weight", &buf));
+                        }
+                        rows.push((row, buf.get_i64_le()));
+                    }
+                    Some(rows)
+                }
+                other => return Err(corrupt(ctx, &format!("rows flag {other}"), &buf)),
+            };
+            Response::ReadOk(WireReadResult {
+                fresh,
+                lag,
+                flush_cost,
+                violated,
+                checksum: sum,
+                rows,
+            })
+        }
+        3 => {
+            // 9 u64 + f64 + flag, 7 u64, 7 u64 + flag: checked as one
+            // block before the fixed-width reads.
+            const FIXED: usize = 23 * 8 + 2;
+            if buf.remaining() < FIXED {
+                return Err(corrupt(ctx, "metrics", &buf));
+            }
+            let mut m = NetMetrics {
+                events_ingested: buf.get_u64_le(),
+                ticks: buf.get_u64_le(),
+                flush_count: buf.get_u64_le(),
+                total_flush_cost: buf.get_f64_le(),
+                fresh_reads: buf.get_u64_le(),
+                stale_reads: buf.get_u64_le(),
+                constraint_violations: buf.get_u64_le(),
+                policy_demotions: buf.get_u64_le(),
+                recalibrations: buf.get_u64_le(),
+                degraded: buf.get_u8() != 0,
+                queue_depth: buf.get_u64_le(),
+                max_queue_depth: buf.get_u64_le(),
+                shed_events: buf.get_u64_le(),
+                ingest_errors: buf.get_u64_le(),
+                wal_records: buf.get_u64_le(),
+                wal_fsync_lag: buf.get_u64_le(),
+                wal_sync_every: buf.get_u64_le(),
+                connections_active: buf.get_u64_le(),
+                connections_total: buf.get_u64_le(),
+                connections_rejected: buf.get_u64_le(),
+                requests: buf.get_u64_le(),
+                submitted_events: buf.get_u64_le(),
+                overload_rejections: buf.get_u64_le(),
+                deadline_rejections: buf.get_u64_le(),
+                last_error: None,
+            };
+            if buf.remaining() < 1 {
+                return Err(corrupt(ctx, "metrics error flag", &buf));
+            }
+            m.last_error = match buf.get_u8() {
+                0 => None,
+                1 => Some(get_str(&mut buf, ctx)?),
+                other => return Err(corrupt(ctx, &format!("error flag {other}"), &buf)),
+            };
+            Response::MetricsOk(Box::new(m))
+        }
+        4 => {
+            if buf.remaining() < 9 {
+                return Err(corrupt(ctx, "flush-ok", &buf));
+            }
+            Response::FlushOk {
+                flush_cost: buf.get_f64_le(),
+                violated: buf.get_u8() != 0,
+            }
+        }
+        5 => {
+            if buf.remaining() < 1 {
+                return Err(corrupt(ctx, "error code", &buf));
+            }
+            let raw = buf.get_u8();
+            let code = ErrorCode::from_u8(raw)
+                .ok_or_else(|| corrupt(ctx, &format!("error code {raw}"), &buf))?;
+            Response::Error {
+                code,
+                message: get_str(&mut buf, ctx)?,
+            }
+        }
+        other => return Err(corrupt(ctx, &format!("response kind {other}"), &buf)),
+    };
+    if !buf.is_empty() {
+        return Err(corrupt(ctx, "trailing bytes", &buf));
+    }
+    Ok(resp)
+}
+
+/// Sends one request frame.
+pub fn send_request<W: Write>(w: &mut W, f: &RequestFrame) -> std::io::Result<()> {
+    write_frame(w, &encode_request(f))
+}
+
+/// Receives one request frame.
+pub fn recv_request<R: Read>(r: &mut R) -> Result<RequestFrame, FrameError> {
+    decode_request(&read_frame(r)?).map_err(FrameError::Corrupt)
+}
+
+/// Sends one response frame.
+pub fn send_response<W: Write>(w: &mut W, resp: &Response) -> std::io::Result<()> {
+    write_frame(w, &encode_response(resp))
+}
+
+/// Receives one response frame.
+pub fn recv_response<R: Read>(r: &mut R) -> Result<Response, FrameError> {
+    decode_response(&read_frame(r)?).map_err(FrameError::Corrupt)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use aivm_engine::{Row, Value};
+    use rand::rngs::SmallRng;
+    use rand::{Rng, SeedableRng};
+    use std::io::Cursor;
+
+    fn arb_value(rng: &mut SmallRng) -> Value {
+        match rng.gen_range(0..4u32) {
+            0 => Value::Null,
+            1 => Value::Int(rng.gen_range(i64::MIN..i64::MAX)),
+            2 => Value::Float(rng.gen_range(-1e9..1e9)),
+            _ => {
+                let len = rng.gen_range(0..20usize);
+                Value::str(
+                    (0..len)
+                        .map(|_| char::from(rng.gen_range(32u8..127)))
+                        .collect::<String>(),
+                )
+            }
+        }
+    }
+
+    fn arb_row(rng: &mut SmallRng) -> Row {
+        let arity = rng.gen_range(1..6usize);
+        Row::new((0..arity).map(|_| arb_value(rng)).collect())
+    }
+
+    fn arb_modification(rng: &mut SmallRng) -> Modification {
+        match rng.gen_range(0..3u32) {
+            0 => Modification::Insert(arb_row(rng)),
+            1 => Modification::Delete(arb_row(rng)),
+            _ => Modification::Update {
+                old: arb_row(rng),
+                new: arb_row(rng),
+            },
+        }
+    }
+
+    fn arb_request(rng: &mut SmallRng) -> RequestFrame {
+        let request = match rng.gen_range(0..5u32) {
+            0 => Request::Ping,
+            1 => Request::Submit {
+                table: rng.gen_range(0..8u32),
+                mods: (0..rng.gen_range(0..10usize))
+                    .map(|_| arb_modification(rng))
+                    .collect(),
+            },
+            2 => Request::Read {
+                fresh: rng.gen_bool(0.5),
+                want_rows: rng.gen_bool(0.5),
+            },
+            3 => Request::Metrics,
+            _ => Request::Flush,
+        };
+        RequestFrame {
+            deadline_ms: rng.gen_range(0..100_000u32),
+            request,
+        }
+    }
+
+    fn arb_metrics(rng: &mut SmallRng) -> NetMetrics {
+        NetMetrics {
+            events_ingested: rng.gen_range(0..u64::MAX),
+            ticks: rng.gen_range(0..u64::MAX),
+            flush_count: rng.gen_range(0..u64::MAX),
+            total_flush_cost: rng.gen_range(0.0..1e12),
+            fresh_reads: rng.gen_range(0..u64::MAX),
+            stale_reads: rng.gen_range(0..u64::MAX),
+            constraint_violations: rng.gen_range(0..u64::MAX),
+            policy_demotions: rng.gen_range(0..2u64),
+            recalibrations: rng.gen_range(0..9u64),
+            degraded: rng.gen_bool(0.5),
+            queue_depth: rng.gen_range(0..u64::MAX),
+            max_queue_depth: rng.gen_range(0..u64::MAX),
+            shed_events: rng.gen_range(0..u64::MAX),
+            ingest_errors: rng.gen_range(0..u64::MAX),
+            wal_records: rng.gen_range(0..u64::MAX),
+            wal_fsync_lag: rng.gen_range(0..u64::MAX),
+            wal_sync_every: rng.gen_range(0..u64::MAX),
+            connections_active: rng.gen_range(0..u64::MAX),
+            connections_total: rng.gen_range(0..u64::MAX),
+            connections_rejected: rng.gen_range(0..u64::MAX),
+            requests: rng.gen_range(0..u64::MAX),
+            submitted_events: rng.gen_range(0..u64::MAX),
+            overload_rejections: rng.gen_range(0..u64::MAX),
+            deadline_rejections: rng.gen_range(0..u64::MAX),
+            last_error: rng
+                .gen_bool(0.3)
+                .then(|| "scheduler tick failed: boom".to_string()),
+        }
+    }
+
+    fn arb_response(rng: &mut SmallRng) -> Response {
+        match rng.gen_range(0..6u32) {
+            0 => Response::Pong,
+            1 => Response::SubmitOk {
+                accepted: rng.gen_range(0..u64::MAX),
+            },
+            2 => Response::ReadOk(WireReadResult {
+                fresh: rng.gen_bool(0.5),
+                lag: rng.gen_range(0..1000u64),
+                flush_cost: rng.gen_range(0.0..1e6),
+                violated: rng.gen_bool(0.1),
+                checksum: rng.gen_range(0..u64::MAX),
+                rows: rng.gen_bool(0.6).then(|| {
+                    (0..rng.gen_range(0..8usize))
+                        .map(|_| (arb_row(rng), rng.gen_range(-5i64..5)))
+                        .collect()
+                }),
+            }),
+            3 => Response::MetricsOk(Box::new(arb_metrics(rng))),
+            4 => Response::FlushOk {
+                flush_cost: rng.gen_range(0.0..1e6),
+                violated: rng.gen_bool(0.1),
+            },
+            _ => Response::Error {
+                code: ErrorCode::from_u8(rng.gen_range(0..5u8)).unwrap(),
+                message: "typed failure".into(),
+            },
+        }
+    }
+
+    #[test]
+    fn request_roundtrip_property() {
+        let mut rng = SmallRng::seed_from_u64(0xA1_51);
+        for _ in 0..300 {
+            let f = arb_request(&mut rng);
+            let enc = encode_request(&f);
+            assert_eq!(decode_request(&enc).unwrap(), f);
+        }
+    }
+
+    #[test]
+    fn response_roundtrip_property() {
+        let mut rng = SmallRng::seed_from_u64(0xA1_52);
+        for _ in 0..300 {
+            let r = arb_response(&mut rng);
+            let enc = encode_response(&r);
+            assert_eq!(decode_response(&enc).unwrap(), r);
+        }
+    }
+
+    #[test]
+    fn every_truncation_is_a_typed_error_never_a_panic() {
+        // Mirrors the WAL's torn-tail tests: a strict prefix of any
+        // valid payload must decode to EngineError::Corrupt — no panic,
+        // no silent reinterpretation as a different complete message.
+        let mut rng = SmallRng::seed_from_u64(0xA1_53);
+        for _ in 0..40 {
+            let enc = encode_request(&arb_request(&mut rng));
+            for cut in 0..enc.len() {
+                match decode_request(&enc[..cut]) {
+                    Err(EngineError::Corrupt { offset, .. }) => {
+                        assert!(offset <= cut as u64);
+                    }
+                    other => panic!("prefix {cut}/{} decoded to {other:?}", enc.len()),
+                }
+            }
+            let enc = encode_response(&arb_response(&mut rng));
+            for cut in 0..enc.len() {
+                match decode_response(&enc[..cut]) {
+                    Err(EngineError::Corrupt { offset, .. }) => {
+                        assert!(offset <= cut as u64);
+                    }
+                    other => panic!("prefix {cut}/{} decoded to {other:?}", enc.len()),
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn corrupted_payload_bytes_never_panic_the_decoders() {
+        // Byte flips below the frame checksum's protection: the decoder
+        // must return (Ok with altered content, or a typed error), never
+        // panic — the guarantee the server leans on before trusting any
+        // client bytes.
+        let mut rng = SmallRng::seed_from_u64(0xA1_54);
+        for _ in 0..40 {
+            let mut enc = encode_request(&arb_request(&mut rng));
+            for i in 0..enc.len() {
+                let orig = enc[i];
+                enc[i] = orig.wrapping_add(rng.gen_range(1..255u8));
+                let _ = decode_request(&enc);
+                enc[i] = orig;
+            }
+            let mut enc = encode_response(&arb_response(&mut rng));
+            for i in 0..enc.len() {
+                let orig = enc[i];
+                enc[i] = orig.wrapping_add(rng.gen_range(1..255u8));
+                let _ = decode_response(&enc);
+                enc[i] = orig;
+            }
+        }
+    }
+
+    #[test]
+    fn frame_layer_detects_flipped_bytes() {
+        let payload = encode_request(&RequestFrame {
+            deadline_ms: 250,
+            request: Request::Metrics,
+        });
+        let mut wire = Vec::new();
+        write_frame(&mut wire, &payload).unwrap();
+        // Flip every payload byte in turn: the checksum must catch it.
+        for i in FRAME_HEADER_LEN..wire.len() {
+            let mut bad = wire.clone();
+            bad[i] ^= 0x40;
+            match read_frame(&mut Cursor::new(bad)) {
+                Err(FrameError::Corrupt(EngineError::Corrupt { message, .. })) => {
+                    assert!(message.contains("checksum"), "got {message}");
+                }
+                other => panic!("flip at {i}: {other:?}"),
+            }
+        }
+        // Flipping checksum bytes in the header is caught the same way;
+        // flipping length bytes yields checksum failure, a torn read, or
+        // an oversize rejection — an error either way.
+        for i in 0..FRAME_HEADER_LEN {
+            let mut bad = wire.clone();
+            bad[i] ^= 0x40;
+            assert!(read_frame(&mut Cursor::new(bad)).is_err(), "flip at {i}");
+        }
+    }
+
+    #[test]
+    fn oversized_length_prefix_is_rejected_before_allocation() {
+        let mut wire = Vec::new();
+        wire.extend_from_slice(&(u32::MAX).to_le_bytes());
+        wire.extend_from_slice(&0u64.to_le_bytes());
+        match read_frame(&mut Cursor::new(wire)) {
+            Err(FrameError::Corrupt(EngineError::Corrupt { message, .. })) => {
+                assert!(message.contains("exceeds cap"), "got {message}");
+            }
+            other => panic!("expected oversize rejection, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn clean_close_and_torn_frame_are_distinguished() {
+        // Empty stream = clean close.
+        assert!(matches!(
+            read_frame(&mut Cursor::new(Vec::new())),
+            Err(FrameError::Closed)
+        ));
+        // A partial header or partial payload = torn (I/O), not Closed.
+        let payload = encode_response(&Response::Pong);
+        let mut wire = Vec::new();
+        write_frame(&mut wire, &payload).unwrap();
+        for cut in 1..wire.len() {
+            match read_frame(&mut Cursor::new(wire[..cut].to_vec())) {
+                Err(FrameError::Io(e)) => {
+                    assert_eq!(e.kind(), ErrorKind::UnexpectedEof);
+                }
+                other => panic!("cut at {cut}: {other:?}"),
+            }
+        }
+    }
+
+    #[test]
+    fn frames_stream_back_to_back() {
+        let reqs: Vec<RequestFrame> = {
+            let mut rng = SmallRng::seed_from_u64(0xA1_55);
+            (0..20).map(|_| arb_request(&mut rng)).collect()
+        };
+        let mut wire = Vec::new();
+        for f in &reqs {
+            send_request(&mut wire, f).unwrap();
+        }
+        let mut cursor = Cursor::new(wire);
+        for f in &reqs {
+            assert_eq!(&recv_request(&mut cursor).unwrap(), f);
+        }
+        assert!(matches!(recv_request(&mut cursor), Err(FrameError::Closed)));
+    }
+
+    #[test]
+    fn handshake_roundtrip_and_rejections() {
+        let mut wire = Vec::new();
+        write_hello(&mut wire).unwrap();
+        assert_eq!(read_hello(&mut Cursor::new(wire)).unwrap(), NET_VERSION);
+
+        for status in [
+            HandshakeStatus::Ok,
+            HandshakeStatus::Overloaded,
+            HandshakeStatus::VersionMismatch,
+        ] {
+            let mut wire = Vec::new();
+            write_hello_reply(&mut wire, status).unwrap();
+            assert_eq!(read_hello_reply(&mut Cursor::new(wire)).unwrap(), status);
+        }
+
+        // Wrong magic is corrupt, both directions.
+        let bad = b"NOPE\x01\x00".to_vec();
+        assert!(matches!(
+            read_hello(&mut Cursor::new(bad)),
+            Err(FrameError::Corrupt(_))
+        ));
+        let bad = b"NOPE\x01\x00\x00".to_vec();
+        assert!(matches!(
+            read_hello_reply(&mut Cursor::new(bad)),
+            Err(FrameError::Corrupt(_))
+        ));
+        // A future server version is surfaced as corrupt (the client
+        // cannot trust the rest of the byte stream).
+        let mut wire = Vec::new();
+        wire.extend_from_slice(NET_MAGIC);
+        wire.extend_from_slice(&2u16.to_le_bytes());
+        wire.push(0);
+        assert!(read_hello_reply(&mut Cursor::new(wire)).is_err());
+    }
+
+    #[test]
+    fn error_code_taxonomy_roundtrip_and_retry_safety() {
+        for code in [
+            ErrorCode::Overloaded,
+            ErrorCode::DeadlineExceeded,
+            ErrorCode::BadRequest,
+            ErrorCode::Unavailable,
+            ErrorCode::Internal,
+        ] {
+            assert_eq!(ErrorCode::from_u8(code.as_u8()), Some(code));
+            // Only overload rejections happen provably before side
+            // effects, so only they are submit-retry-safe.
+            assert_eq!(code.is_retry_safe(), code == ErrorCode::Overloaded);
+        }
+        assert_eq!(ErrorCode::from_u8(99), None);
+        assert!(Request::Ping.is_idempotent());
+        assert!(!Request::Submit {
+            table: 0,
+            mods: vec![]
+        }
+        .is_idempotent());
+    }
+}

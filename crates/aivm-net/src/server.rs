@@ -1,0 +1,416 @@
+//! The std-only TCP server: thread-per-connection over a
+//! [`ServeHandle`], with admission control.
+//!
+//! ## Admission control
+//!
+//! Three rejection points, all *before* any side effect:
+//!
+//! 1. **Connection cap** — past [`NetServerConfig::max_connections`]
+//!    open connections, the handshake answers
+//!    [`HandshakeStatus::Overloaded`] and closes. No frame is ever left
+//!    half-written.
+//! 2. **Queue high water** — a `Submit` arriving while the scheduler's
+//!    ingest queue sits at or above
+//!    [`NetServerConfig::submit_high_water`] is answered with
+//!    [`ErrorCode::Overloaded`] without ingesting *any* of its batch,
+//!    which is what makes client-side submit retries safe. Below the
+//!    mark, submits ride the bounded queue's own backpressure.
+//! 3. **Deadlines** — a request whose budget is already spent is
+//!    answered [`ErrorCode::DeadlineExceeded`] instead of being
+//!    started; reads additionally give up (typed, not torn) when the
+//!    reply misses the remaining budget while queued behind a backlog.
+//!
+//! A corrupt inbound frame is answered with a best-effort
+//! [`ErrorCode::BadRequest`] and the connection is closed — a byte
+//! stream cannot be resynchronised past garbage, exactly like the WAL's
+//! hard-corruption rule.
+//!
+//! ## Shutdown
+//!
+//! [`NetServer::shutdown`] stops accepting, then *drains*: connection
+//! threads observe the stop flag at their next request boundary, finish
+//! the in-flight request, and exit; `shutdown` joins every one of them
+//! before returning, so no reply is ever abandoned mid-write.
+
+use crate::frame::{
+    read_hello, recv_request, send_response, write_hello_reply, ErrorCode, FrameError,
+    HandshakeStatus, NetMetrics, Request, RequestFrame, Response, WireReadResult, NET_VERSION,
+};
+use aivm_engine::{fxhash, WRow};
+use aivm_serve::{DeadlineError, MetricsSnapshot, ReadMode, ServeHandle};
+use std::collections::HashMap;
+use std::net::{TcpListener, TcpStream, ToSocketAddrs};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::{Arc, Mutex};
+use std::thread::JoinHandle;
+use std::time::{Duration, Instant};
+
+/// Configuration of the TCP server.
+#[derive(Clone, Debug)]
+pub struct NetServerConfig {
+    /// Hard cap on concurrently open connections; the cap'th + 1 client
+    /// is rejected at the handshake with [`HandshakeStatus::Overloaded`].
+    pub max_connections: usize,
+    /// Reject `Submit` requests while the scheduler queue holds at
+    /// least this many messages. `None` disables the check (pure
+    /// backpressure).
+    pub submit_high_water: Option<usize>,
+    /// Deadline applied to requests that carry none (`deadline_ms` 0).
+    pub default_deadline: Duration,
+    /// How often the accept loop polls for shutdown.
+    pub poll_interval: Duration,
+}
+
+impl Default for NetServerConfig {
+    fn default() -> Self {
+        NetServerConfig {
+            max_connections: 64,
+            submit_high_water: None,
+            default_deadline: Duration::from_secs(5),
+            poll_interval: Duration::from_millis(1),
+        }
+    }
+}
+
+/// Network-layer counters, shared across connection threads.
+#[derive(Default)]
+struct NetStats {
+    connections_active: AtomicU64,
+    connections_total: AtomicU64,
+    connections_rejected: AtomicU64,
+    requests: AtomicU64,
+    submitted_events: AtomicU64,
+    overload_rejections: AtomicU64,
+    deadline_rejections: AtomicU64,
+}
+
+/// A running TCP server. Dropping it without calling
+/// [`NetServer::shutdown`] leaks the accept thread; call `shutdown`.
+pub struct NetServer {
+    addr: std::net::SocketAddr,
+    stop: Arc<AtomicBool>,
+    accept_join: Option<JoinHandle<()>>,
+}
+
+impl NetServer {
+    /// Binds `addr` (e.g. `"127.0.0.1:0"`) and starts accepting.
+    ///
+    /// `n_tables` is the view's base-table count, used to reject
+    /// out-of-range `Submit.table` values as [`ErrorCode::BadRequest`]
+    /// before they reach the scheduler.
+    pub fn bind(
+        addr: impl ToSocketAddrs,
+        handle: ServeHandle,
+        n_tables: usize,
+        cfg: NetServerConfig,
+    ) -> std::io::Result<NetServer> {
+        let listener = TcpListener::bind(addr)?;
+        listener.set_nonblocking(true)?;
+        let local = listener.local_addr()?;
+        let stop = Arc::new(AtomicBool::new(false));
+        let accept_stop = Arc::clone(&stop);
+        let stats = Arc::new(NetStats::default());
+        let accept_join = std::thread::spawn(move || {
+            accept_loop(listener, handle, n_tables, cfg, accept_stop, stats)
+        });
+        Ok(NetServer {
+            addr: local,
+            stop,
+            accept_join: Some(accept_join),
+        })
+    }
+
+    /// The bound address (useful with port 0).
+    pub fn local_addr(&self) -> std::net::SocketAddr {
+        self.addr
+    }
+
+    /// Stops accepting, drains every open connection (each finishes its
+    /// in-flight request), and joins all threads.
+    pub fn shutdown(mut self) {
+        self.stop.store(true, Ordering::SeqCst);
+        if let Some(j) = self.accept_join.take() {
+            let _ = j.join();
+        }
+    }
+}
+
+fn accept_loop(
+    listener: TcpListener,
+    handle: ServeHandle,
+    n_tables: usize,
+    cfg: NetServerConfig,
+    stop: Arc<AtomicBool>,
+    stats: Arc<NetStats>,
+) {
+    let mut conns: HashMap<u64, JoinHandle<()>> = HashMap::new();
+    let mut next_id = 0u64;
+    let done: Arc<Mutex<Vec<u64>>> = Arc::new(Mutex::new(Vec::new()));
+    while !stop.load(Ordering::SeqCst) {
+        // Reap finished connection threads so the map stays bounded.
+        for id in done.lock().unwrap_or_else(|e| e.into_inner()).drain(..) {
+            if let Some(j) = conns.remove(&id) {
+                let _ = j.join();
+            }
+        }
+        match listener.accept() {
+            Ok((stream, _)) => {
+                stats.connections_total.fetch_add(1, Ordering::Relaxed);
+                if conns.len() >= cfg.max_connections.max(1) {
+                    stats.connections_rejected.fetch_add(1, Ordering::Relaxed);
+                    reject_connection(stream);
+                    continue;
+                }
+                let id = next_id;
+                next_id += 1;
+                let ctx = ConnCtx {
+                    handle: handle.clone(),
+                    n_tables,
+                    cfg: cfg.clone(),
+                    stop: Arc::clone(&stop),
+                    stats: Arc::clone(&stats),
+                };
+                let done = Arc::clone(&done);
+                conns.insert(
+                    id,
+                    std::thread::spawn(move || {
+                        serve_connection(stream, ctx);
+                        done.lock().unwrap_or_else(|e| e.into_inner()).push(id);
+                    }),
+                );
+            }
+            Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => {
+                std::thread::sleep(cfg.poll_interval);
+            }
+            Err(_) => std::thread::sleep(cfg.poll_interval),
+        }
+    }
+    // Drain: connection threads see the stop flag at their next request
+    // boundary and exit after finishing in-flight work.
+    for (_, j) in conns.drain() {
+        let _ = j.join();
+    }
+}
+
+/// Answers an over-cap connection with a typed handshake rejection
+/// (best-effort: the peer may already be gone).
+fn reject_connection(mut stream: TcpStream) {
+    let _ = stream.set_read_timeout(Some(Duration::from_millis(100)));
+    let _ = read_hello(&mut stream);
+    let _ = write_hello_reply(&mut stream, HandshakeStatus::Overloaded);
+}
+
+struct ConnCtx {
+    handle: ServeHandle,
+    n_tables: usize,
+    cfg: NetServerConfig,
+    stop: Arc<AtomicBool>,
+    stats: Arc<NetStats>,
+}
+
+fn serve_connection(mut stream: TcpStream, ctx: ConnCtx) {
+    ctx.stats.connections_active.fetch_add(1, Ordering::Relaxed);
+    let _ = stream.set_nodelay(true);
+    let status = match read_hello(&mut stream) {
+        Ok(v) if v == NET_VERSION => HandshakeStatus::Ok,
+        Ok(_) => HandshakeStatus::VersionMismatch,
+        Err(_) => {
+            ctx.stats.connections_active.fetch_sub(1, Ordering::Relaxed);
+            return;
+        }
+    };
+    if write_hello_reply(&mut stream, status).is_err() || status != HandshakeStatus::Ok {
+        ctx.stats.connections_active.fetch_sub(1, Ordering::Relaxed);
+        return;
+    }
+    // Bound every blocking read so the drain in `shutdown` cannot hang
+    // behind an idle connection holding its socket open.
+    let _ = stream.set_read_timeout(Some(ctx.cfg.poll_interval.max(Duration::from_millis(1))));
+    while !ctx.stop.load(Ordering::SeqCst) {
+        let req = match recv_request(&mut stream) {
+            Ok(req) => req,
+            Err(e) if e.is_timeout() => continue,
+            Err(FrameError::Closed) | Err(FrameError::Io(_)) => break,
+            Err(FrameError::Corrupt(err)) => {
+                // The stream cannot be resynchronised; answer with a
+                // typed error (best-effort) and drop the connection.
+                let _ = send_response(
+                    &mut stream,
+                    &Response::Error {
+                        code: ErrorCode::BadRequest,
+                        message: format!("undecodable request: {err}"),
+                    },
+                );
+                break;
+            }
+        };
+        ctx.stats.requests.fetch_add(1, Ordering::Relaxed);
+        let resp = handle_request(&req, &ctx);
+        if send_response(&mut stream, &resp).is_err() {
+            break;
+        }
+    }
+    ctx.stats.connections_active.fetch_sub(1, Ordering::Relaxed);
+}
+
+/// The request's remaining deadline budget (`deadline_ms` 0 falls back
+/// to the configured default).
+fn deadline_of(req: &RequestFrame, cfg: &NetServerConfig) -> Duration {
+    if req.deadline_ms == 0 {
+        cfg.default_deadline
+    } else {
+        Duration::from_millis(u64::from(req.deadline_ms))
+    }
+}
+
+fn handle_request(req: &RequestFrame, ctx: &ConnCtx) -> Response {
+    let deadline = deadline_of(req, &ctx.cfg);
+    match &req.request {
+        Request::Ping => Response::Pong,
+        Request::Submit { table, mods } => submit(*table, mods, ctx),
+        Request::Read { fresh, want_rows } => read(*fresh, *want_rows, deadline, ctx),
+        Request::Metrics => metrics(ctx),
+        Request::Flush => match read(true, false, deadline, ctx) {
+            Response::ReadOk(r) => Response::FlushOk {
+                flush_cost: r.flush_cost,
+                violated: r.violated,
+            },
+            other => other,
+        },
+    }
+}
+
+fn submit(table: u32, mods: &[aivm_engine::Modification], ctx: &ConnCtx) -> Response {
+    if (table as usize) >= ctx.n_tables {
+        return Response::Error {
+            code: ErrorCode::BadRequest,
+            message: format!("table {table} out of range ({} tables)", ctx.n_tables),
+        };
+    }
+    // Admission check for the WHOLE batch before the first ingest: a
+    // rejected submit has provably had no side effect, so the client may
+    // retry it without double-applying.
+    if let Some(hw) = ctx.cfg.submit_high_water {
+        if ctx.handle.queue_depth() >= hw {
+            ctx.stats
+                .overload_rejections
+                .fetch_add(1, Ordering::Relaxed);
+            return Response::Error {
+                code: ErrorCode::Overloaded,
+                message: format!(
+                    "ingest queue at {} (high water {hw})",
+                    ctx.handle.queue_depth()
+                ),
+            };
+        }
+    }
+    for m in mods {
+        if !ctx.handle.ingest_dml(table as usize, m.clone()) {
+            return unavailable(ctx);
+        }
+    }
+    ctx.stats
+        .submitted_events
+        .fetch_add(mods.len() as u64, Ordering::Relaxed);
+    Response::SubmitOk {
+        accepted: mods.len() as u64,
+    }
+}
+
+fn read(fresh: bool, want_rows: bool, deadline: Duration, ctx: &ConnCtx) -> Response {
+    let mode = if fresh {
+        ReadMode::Fresh
+    } else {
+        ReadMode::Stale
+    };
+    let started = Instant::now();
+    match ctx.handle.read_deadline(mode, deadline) {
+        Ok(Ok(r)) => {
+            let checksum = r.rows.as_deref().map(rows_checksum).unwrap_or(0);
+            Response::ReadOk(WireReadResult {
+                fresh,
+                lag: r.lag,
+                flush_cost: r.flush_cost,
+                violated: r.violated,
+                checksum,
+                rows: if want_rows { r.rows } else { None },
+            })
+        }
+        Ok(Err(err)) => Response::Error {
+            code: ErrorCode::Internal,
+            message: err.to_string(),
+        },
+        Err(DeadlineError::TimedOut) => {
+            ctx.stats
+                .deadline_rejections
+                .fetch_add(1, Ordering::Relaxed);
+            Response::Error {
+                code: ErrorCode::DeadlineExceeded,
+                message: format!(
+                    "read missed its {deadline:?} deadline after {:?} queued",
+                    started.elapsed()
+                ),
+            }
+        }
+        Err(DeadlineError::Disconnected) => unavailable(ctx),
+    }
+}
+
+fn metrics(ctx: &ConnCtx) -> Response {
+    match ctx.handle.metrics() {
+        Some(snap) => Response::MetricsOk(Box::new(net_metrics(&snap, &ctx.stats))),
+        None => unavailable(ctx),
+    }
+}
+
+fn unavailable(ctx: &ConnCtx) -> Response {
+    Response::Error {
+        code: ErrorCode::Unavailable,
+        message: match ctx.handle.last_error() {
+            Some(e) => format!("scheduler stopped: {e}"),
+            None => "scheduler stopped".into(),
+        },
+    }
+}
+
+/// Folds a runtime snapshot and the net-layer counters into the wire
+/// metrics struct.
+fn net_metrics(snap: &MetricsSnapshot, stats: &NetStats) -> NetMetrics {
+    NetMetrics {
+        events_ingested: snap.events_ingested,
+        ticks: snap.ticks,
+        flush_count: snap.flush_count,
+        total_flush_cost: snap.total_flush_cost,
+        fresh_reads: snap.fresh_reads,
+        stale_reads: snap.stale_reads,
+        constraint_violations: snap.constraint_violations,
+        policy_demotions: snap.policy_demotions,
+        recalibrations: snap.recalibrations,
+        degraded: snap.degraded,
+        queue_depth: snap.queue_depth as u64,
+        max_queue_depth: snap.max_queue_depth as u64,
+        shed_events: snap.shed_events,
+        ingest_errors: snap.ingest_errors,
+        wal_records: snap.wal_records,
+        wal_fsync_lag: snap.wal_fsync_lag,
+        wal_sync_every: snap.wal_sync_every,
+        connections_active: stats.connections_active.load(Ordering::Relaxed),
+        connections_total: stats.connections_total.load(Ordering::Relaxed),
+        connections_rejected: stats.connections_rejected.load(Ordering::Relaxed),
+        requests: stats.requests.load(Ordering::Relaxed),
+        submitted_events: stats.submitted_events.load(Ordering::Relaxed),
+        overload_rejections: stats.overload_rejections.load(Ordering::Relaxed),
+        deadline_rejections: stats.deadline_rejections.load(Ordering::Relaxed),
+        last_error: snap.last_error.clone(),
+    }
+}
+
+/// The same order-independent content checksum as
+/// `MaterializedView::result_checksum`, computed over shipped rows.
+fn rows_checksum(rows: &[WRow]) -> u64 {
+    let mut acc: u64 = 0;
+    for (row, w) in rows {
+        acc = acc.wrapping_add(fxhash::hash_one(&(row, w)));
+    }
+    acc
+}

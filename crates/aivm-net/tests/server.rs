@@ -1,0 +1,234 @@
+//! TCP server integration tests over localhost, speaking raw frames
+//! (the `aivm-client` crate layers retries/pooling on top; these tests
+//! pin the protocol itself).
+
+use aivm_core::CostModel;
+use aivm_engine::{
+    parse_query, row, DataType, Database, MaterializedView, MinStrategy, Modification, Schema,
+    ViewDef,
+};
+use aivm_net::{
+    read_hello_reply, recv_response, send_request, write_hello, ErrorCode, HandshakeStatus,
+    NetServer, NetServerConfig, Request, RequestFrame, Response,
+};
+use aivm_serve::{MaintenanceRuntime, NaiveFlush, ServeConfig, ServeServer, ServerConfig};
+use std::io::Write;
+use std::net::TcpStream;
+use std::time::Duration;
+
+fn tiny_engine_runtime() -> (MaintenanceRuntime, Database) {
+    let mut db = Database::new();
+    let t = db
+        .create_table("t", Schema::new(vec![("id", DataType::Int)]))
+        .unwrap();
+    db.set_key_column(t, 0);
+    let genesis = db.clone();
+    let view = MaterializedView::new(
+        &db,
+        ViewDef {
+            name: "v".into(),
+            tables: vec!["t".into()],
+            join_preds: vec![],
+            filters: vec![None],
+            residual: None,
+            projection: None,
+            aggregate: None,
+            distinct: false,
+        },
+        MinStrategy::Multiset,
+    )
+    .unwrap();
+    let cfg = ServeConfig::new(vec![CostModel::linear(0.5, 0.1)], 50.0);
+    let rt = MaintenanceRuntime::engine(cfg, Box::new(NaiveFlush::new()), db, view).unwrap();
+    (rt, genesis)
+}
+
+struct TestRig {
+    serve: ServeServer,
+    net: NetServer,
+}
+
+fn spawn_rig(net_cfg: NetServerConfig) -> TestRig {
+    let (rt, _genesis) = tiny_engine_runtime();
+    let serve = ServeServer::spawn(rt, ServerConfig::default());
+    let net = NetServer::bind("127.0.0.1:0", serve.handle(), 1, net_cfg).unwrap();
+    TestRig { serve, net }
+}
+
+fn connect(net: &NetServer) -> TcpStream {
+    let mut s = TcpStream::connect(net.local_addr()).unwrap();
+    s.set_read_timeout(Some(Duration::from_secs(10))).unwrap();
+    write_hello(&mut s).unwrap();
+    assert_eq!(read_hello_reply(&mut s).unwrap(), HandshakeStatus::Ok);
+    s
+}
+
+fn roundtrip(s: &mut TcpStream, request: Request) -> Response {
+    send_request(
+        s,
+        &RequestFrame {
+            deadline_ms: 5_000,
+            request,
+        },
+    )
+    .unwrap();
+    recv_response(s).unwrap()
+}
+
+#[test]
+fn submit_read_metrics_over_the_wire() {
+    let rig = spawn_rig(NetServerConfig::default());
+    let mut s = connect(&rig.net);
+
+    assert_eq!(roundtrip(&mut s, Request::Ping), Response::Pong);
+
+    let mods: Vec<Modification> = (0..10i64).map(|i| Modification::Insert(row![i])).collect();
+    match roundtrip(
+        &mut s,
+        Request::Submit {
+            table: 0,
+            mods: mods.clone(),
+        },
+    ) {
+        Response::SubmitOk { accepted } => assert_eq!(accepted, 10),
+        other => panic!("submit: {other:?}"),
+    }
+
+    // A fresh read reflects every submitted row and fits the budget.
+    let read = roundtrip(
+        &mut s,
+        Request::Read {
+            fresh: true,
+            want_rows: true,
+        },
+    );
+    let wire_checksum = match read {
+        Response::ReadOk(r) => {
+            assert!(r.fresh);
+            assert_eq!(r.lag, 0);
+            assert!(!r.violated);
+            let rows = r.rows.expect("want_rows");
+            assert_eq!(rows.len(), 10);
+            r.checksum
+        }
+        other => panic!("read: {other:?}"),
+    };
+
+    // The wire checksum equals a direct evaluation of the view over a
+    // database that applied the same stream.
+    let (_, mut direct_db) = tiny_engine_runtime();
+    let t = direct_db.table_id("t").unwrap();
+    for m in &mods {
+        direct_db.apply(t, m).unwrap();
+    }
+    let q = parse_query(&direct_db, "SELECT id FROM t").unwrap();
+    let direct = q.execute(&direct_db).unwrap();
+    let direct_checksum = {
+        let mut acc: u64 = 0;
+        for (row, w) in &direct {
+            acc = acc.wrapping_add(aivm_engine::fxhash::hash_one(&(row, w)));
+        }
+        acc
+    };
+    assert_eq!(wire_checksum, direct_checksum);
+
+    match roundtrip(&mut s, Request::Metrics) {
+        Response::MetricsOk(m) => {
+            assert_eq!(m.events_ingested, 10);
+            assert_eq!(m.submitted_events, 10);
+            assert_eq!(m.constraint_violations, 0);
+            assert!(!m.degraded);
+            assert_eq!(m.connections_active, 1);
+            assert!(m.requests >= 4);
+        }
+        other => panic!("metrics: {other:?}"),
+    }
+
+    match roundtrip(&mut s, Request::Flush) {
+        Response::FlushOk { violated, .. } => assert!(!violated),
+        other => panic!("flush: {other:?}"),
+    }
+
+    drop(s);
+    rig.net.shutdown();
+    rig.serve.shutdown();
+}
+
+#[test]
+fn connection_cap_rejects_with_typed_handshake() {
+    let rig = spawn_rig(NetServerConfig {
+        max_connections: 1,
+        ..NetServerConfig::default()
+    });
+    let _first = connect(&rig.net);
+    // Give the accept loop time to register the first connection.
+    std::thread::sleep(Duration::from_millis(50));
+    let mut second = TcpStream::connect(rig.net.local_addr()).unwrap();
+    second
+        .set_read_timeout(Some(Duration::from_secs(5)))
+        .unwrap();
+    write_hello(&mut second).unwrap();
+    assert_eq!(
+        read_hello_reply(&mut second).unwrap(),
+        HandshakeStatus::Overloaded
+    );
+    drop(second);
+    drop(_first);
+    rig.net.shutdown();
+    rig.serve.shutdown();
+}
+
+#[test]
+fn unknown_table_is_bad_request_not_poison() {
+    let rig = spawn_rig(NetServerConfig::default());
+    let mut s = connect(&rig.net);
+    match roundtrip(
+        &mut s,
+        Request::Submit {
+            table: 9,
+            mods: vec![Modification::Insert(row![1i64])],
+        },
+    ) {
+        Response::Error { code, .. } => assert_eq!(code, ErrorCode::BadRequest),
+        other => panic!("expected BadRequest, got {other:?}"),
+    }
+    // The connection and the scheduler both survive.
+    assert_eq!(roundtrip(&mut s, Request::Ping), Response::Pong);
+    drop(s);
+    rig.net.shutdown();
+    rig.serve.shutdown();
+}
+
+#[test]
+fn corrupt_frame_gets_typed_error_then_close() {
+    let rig = spawn_rig(NetServerConfig::default());
+    let mut s = connect(&rig.net);
+    // A frame whose payload passes the checksum but decodes to garbage.
+    let garbage = vec![0xFFu8; 16];
+    aivm_net::write_frame(&mut s, &garbage).unwrap();
+    s.flush().unwrap();
+    match recv_response(&mut s).unwrap() {
+        Response::Error { code, .. } => assert_eq!(code, ErrorCode::BadRequest),
+        other => panic!("expected BadRequest, got {other:?}"),
+    }
+    // The server closed the connection (a byte stream past garbage
+    // cannot be trusted): the next read observes EOF.
+    assert!(matches!(
+        recv_response(&mut s),
+        Err(aivm_net::FrameError::Closed) | Err(aivm_net::FrameError::Io(_))
+    ));
+    rig.net.shutdown();
+    rig.serve.shutdown();
+}
+
+#[test]
+fn shutdown_drains_open_connections() {
+    let rig = spawn_rig(NetServerConfig::default());
+    let mut s = connect(&rig.net);
+    assert_eq!(roundtrip(&mut s, Request::Ping), Response::Pong);
+    // Shut the net server down while the connection is still open; the
+    // drain must complete without hanging (the connection thread sees
+    // the stop flag at its next request boundary).
+    rig.net.shutdown();
+    rig.serve.shutdown();
+}

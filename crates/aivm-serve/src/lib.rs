@@ -54,9 +54,9 @@ pub use fault::{CostOverrun, FaultPlan};
 pub use metrics::{HistogramSnapshot, LatencyHistogram, MetricsSnapshot};
 pub use policy::{AsSolverPolicy, FlushPolicy, NaiveFlush, OnlineFlush, PlannedFlush};
 pub use runtime::{MaintenanceRuntime, ReadMode, ReadResult, ServeConfig, TickReport};
-pub use server::{ServeError, ServeHandle, ServeServer, ServerConfig};
+pub use server::{DeadlineError, ServeError, ServeHandle, ServeServer, ServerConfig};
 pub use trace::{Trace, TraceStep};
 pub use wal::{
     read_wal, Checkpoint, EngineCheckpoint, FileWal, MemWal, WalReadOutcome, WalRecord, WalStorage,
-    WalWriter,
+    WalSyncPolicy, WalWriter,
 };

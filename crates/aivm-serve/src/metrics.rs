@@ -47,6 +47,18 @@ impl LatencyHistogram {
         self.count
     }
 
+    /// Folds another histogram's samples into this one. Because buckets
+    /// are fixed log₂ ranges, the merge is exact: quantiles of the
+    /// merged histogram equal those of recording every sample into one.
+    pub fn merge(&mut self, other: &LatencyHistogram) {
+        for (b, o) in self.buckets.iter_mut().zip(other.buckets.iter()) {
+            *b += o;
+        }
+        self.count += other.count;
+        self.sum += other.sum;
+        self.max = self.max.max(other.max);
+    }
+
     /// Upper bound of the bucket holding the `q`-quantile sample
     /// (`q ∈ [0, 1]`); 0 when empty. The true value is within a factor
     /// of 2 below the returned bound (exact for the maximum).
@@ -159,6 +171,13 @@ pub struct MetricsSnapshot {
     /// WAL records appended but not yet fsynced — the window of events
     /// a crash could lose. Bounded by the writer's sync interval.
     pub wal_fsync_lag: u64,
+    /// The attached WAL writer's fsync interval (0 without a WAL;
+    /// 1 = every record, `u64::MAX` = never).
+    pub wal_sync_every: u64,
+    /// True once the runtime has entered graceful degradation: the
+    /// flush policy was permanently demoted to `NaiveFlush` after a
+    /// panic, an overdrawing decision, or an injected flush error.
+    pub degraded: bool,
     /// Sheddable ingest messages dropped by the overloaded queue
     /// (threaded server only).
     pub shed_events: u64,
@@ -261,6 +280,8 @@ impl Metrics {
             wal_errors: self.wal_errors,
             wal_records: 0,
             wal_fsync_lag: 0,
+            wal_sync_every: 0,
+            degraded: false,
             shed_events: 0,
             ingest_errors: 0,
             last_error: None,
@@ -297,6 +318,25 @@ mod tests {
         let mut h = LatencyHistogram::new();
         h.record(0);
         assert_eq!(h.quantile(1.0), 0);
+    }
+
+    #[test]
+    fn merge_equals_recording_into_one() {
+        let (mut a, mut b, mut both) = (
+            LatencyHistogram::new(),
+            LatencyHistogram::new(),
+            LatencyHistogram::new(),
+        );
+        for v in [1u64, 7, 130, 9000, 3] {
+            a.record(v);
+            both.record(v);
+        }
+        for v in [2u64, 65_000, 12] {
+            b.record(v);
+            both.record(v);
+        }
+        a.merge(&b);
+        assert_eq!(a.snapshot(), both.snapshot());
     }
 
     #[test]

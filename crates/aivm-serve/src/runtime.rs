@@ -678,7 +678,9 @@ impl MaintenanceRuntime {
         if let Some(w) = &self.wal {
             snap.wal_records = w.records();
             snap.wal_fsync_lag = w.unsynced();
+            snap.wal_sync_every = w.sync_every();
         }
+        snap.degraded = self.demoted;
         snap
     }
 

@@ -41,7 +41,7 @@ use crate::metrics::MetricsSnapshot;
 use crate::queue::{channel, Receiver, RecvError, Sender};
 use crate::runtime::{MaintenanceRuntime, ReadMode, ReadResult};
 use aivm_engine::{EngineError, Modification};
-use std::sync::mpsc::{sync_channel, SyncSender, TrySendError};
+use std::sync::mpsc::{sync_channel, RecvTimeoutError, SyncSender, TrySendError};
 use std::sync::{Arc, Mutex};
 use std::thread::JoinHandle;
 use std::time::{Duration, Instant};
@@ -125,6 +125,17 @@ enum Msg {
     },
 }
 
+/// Why a deadline-bounded request produced no result.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum DeadlineError {
+    /// The reply did not arrive within the deadline. The scheduler may
+    /// still execute the request later; its reply is dropped
+    /// best-effort, never blocking the scheduler.
+    TimedOut,
+    /// The server is gone (check [`ServeHandle::last_error`] for why).
+    Disconnected,
+}
+
 /// A cloneable producer/client handle to a running [`ServeServer`].
 #[derive(Clone)]
 pub struct ServeHandle {
@@ -162,6 +173,33 @@ impl ServeHandle {
             )
             .ok()?;
         rx.recv().ok()
+    }
+
+    /// [`ServeHandle::read`] bounded by a deadline: gives up (but does
+    /// not cancel the read) once `timeout` elapses without a reply.
+    /// Queue wait counts against the deadline, which is what makes a
+    /// per-request deadline meaningful under backlog.
+    pub fn read_deadline(
+        &self,
+        mode: ReadMode,
+        timeout: Duration,
+    ) -> Result<Result<ReadResult, EngineError>, DeadlineError> {
+        let (reply, rx) = sync_channel(1);
+        self.tx
+            .send(
+                Msg::Read {
+                    mode,
+                    enqueued: Instant::now(),
+                    reply,
+                },
+                false,
+            )
+            .map_err(|_| DeadlineError::Disconnected)?;
+        match rx.recv_timeout(timeout) {
+            Ok(r) => Ok(r),
+            Err(RecvTimeoutError::Timeout) => Err(DeadlineError::TimedOut),
+            Err(RecvTimeoutError::Disconnected) => Err(DeadlineError::Disconnected),
+        }
     }
 
     /// Fetches a metrics snapshot (includes live queue depths, shed
@@ -455,6 +493,30 @@ mod tests {
         h.ingest_count(0, 1);
         let m = h.metrics().expect("alive");
         assert!(m.max_queue_depth >= 1);
+        drop(h);
+        server.shutdown();
+    }
+
+    #[test]
+    fn deadline_read_times_out_behind_backlog_and_succeeds_when_generous() {
+        let server = spawn_model_server();
+        let h = server.handle();
+        for _ in 0..2_000 {
+            assert!(h.ingest_count(0, 1));
+        }
+        // 2000 queued events sit ahead of this read; a zero deadline
+        // cannot be met.
+        let err = h
+            .read_deadline(ReadMode::Stale, Duration::ZERO)
+            .expect_err("zero deadline behind a backlog must time out");
+        assert_eq!(err, DeadlineError::TimedOut);
+        // A generous deadline is served normally.
+        let r = h
+            .read_deadline(ReadMode::Fresh, Duration::from_secs(10))
+            .expect("within deadline")
+            .expect("read ok");
+        assert!(!r.violated);
+        assert_eq!(r.lag, 0);
         drop(h);
         server.shutdown();
     }

@@ -238,6 +238,65 @@ impl WalStorage for FileWal {
     }
 }
 
+/// When the WAL forces durability (fsync) of appended records.
+///
+/// The policy trades the crash-loss window against append throughput:
+/// `Always` bounds loss to zero records but pays one fsync per event;
+/// `Interval(k)` bounds loss to at most `k` records (the
+/// `wal_fsync_lag` metric shows the live window); `Never` leaves
+/// durability to the OS page cache — a process crash loses nothing
+/// (the kernel still holds the writes) but a machine crash can lose
+/// the entire unflushed tail.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum WalSyncPolicy {
+    /// fsync after every record (maximum durability, minimum throughput).
+    Always,
+    /// fsync every `n` records (bounded loss window).
+    Interval(u64),
+    /// Never fsync mid-run (OS decides; fastest).
+    Never,
+}
+
+impl WalSyncPolicy {
+    /// The [`WalWriter`] sync interval implementing this policy.
+    pub fn sync_every(&self) -> u64 {
+        match self {
+            WalSyncPolicy::Always => 1,
+            WalSyncPolicy::Interval(n) => (*n).max(1),
+            WalSyncPolicy::Never => u64::MAX,
+        }
+    }
+
+    /// Parses `always`, `never`, `interval` (default 64) or
+    /// `interval:N`.
+    pub fn parse(s: &str) -> Option<WalSyncPolicy> {
+        match s {
+            "always" => Some(WalSyncPolicy::Always),
+            "never" => Some(WalSyncPolicy::Never),
+            "interval" => Some(WalSyncPolicy::Interval(64)),
+            other => {
+                let n = other.strip_prefix("interval:")?.parse::<u64>().ok()?;
+                (n > 0).then_some(WalSyncPolicy::Interval(n))
+            }
+        }
+    }
+
+    /// The canonical flag spelling of this policy.
+    pub fn name(&self) -> String {
+        match self {
+            WalSyncPolicy::Always => "always".to_string(),
+            WalSyncPolicy::Interval(n) => format!("interval:{n}"),
+            WalSyncPolicy::Never => "never".to_string(),
+        }
+    }
+}
+
+impl std::fmt::Display for WalSyncPolicy {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(&self.name())
+    }
+}
+
 /// Appender over a [`WalStorage`]: frames records, maintains the
 /// per-record checksum, and syncs every `sync_every` records.
 pub struct WalWriter {
@@ -308,6 +367,11 @@ impl WalWriter {
     /// Records appended since the last sync (the fsync lag).
     pub fn unsynced(&self) -> u64 {
         self.unsynced
+    }
+
+    /// The configured sync interval (1 = every record).
+    pub fn sync_every(&self) -> u64 {
+        self.sync_every
     }
 }
 
@@ -567,6 +631,32 @@ mod tests {
             w.append(r).unwrap();
         }
         mem
+    }
+
+    #[test]
+    fn sync_policy_parsing_and_intervals() {
+        assert_eq!(WalSyncPolicy::parse("always"), Some(WalSyncPolicy::Always));
+        assert_eq!(WalSyncPolicy::parse("never"), Some(WalSyncPolicy::Never));
+        assert_eq!(
+            WalSyncPolicy::parse("interval"),
+            Some(WalSyncPolicy::Interval(64))
+        );
+        assert_eq!(
+            WalSyncPolicy::parse("interval:8"),
+            Some(WalSyncPolicy::Interval(8))
+        );
+        assert_eq!(WalSyncPolicy::parse("interval:0"), None);
+        assert_eq!(WalSyncPolicy::parse("sometimes"), None);
+        assert_eq!(WalSyncPolicy::Always.sync_every(), 1);
+        assert_eq!(WalSyncPolicy::Interval(8).sync_every(), 8);
+        assert_eq!(WalSyncPolicy::Never.sync_every(), u64::MAX);
+        for p in [
+            WalSyncPolicy::Always,
+            WalSyncPolicy::Interval(8),
+            WalSyncPolicy::Never,
+        ] {
+            assert_eq!(WalSyncPolicy::parse(&p.name()), Some(p));
+        }
     }
 
     #[test]
