@@ -55,6 +55,18 @@ cargo test -q --release -p aivm-net -p aivm-client
 AIVM_BENCH_LABEL=ci ./target/release/repro loadgen --quick --duration 5s \
   --min-throughput 50000 >/dev/null
 
+echo "==> snapshot read gate (read-heavy Stale mix served wait-free from snapshots)"
+# Fails on any Fresh budget violation, a reads/s rate below the floor, or
+# a stale-read p99 above the ceiling; appends BENCH_net.json with the
+# read mix, read latencies, and flush thread count.
+AIVM_BENCH_LABEL=ci ./target/release/repro loadgen --quick --duration 5s \
+  --mix read-heavy --read-mode stale --min-reads 5000 --max-stale-p99-ms 20 >/dev/null
+
+echo "==> snapshot consistency + parallel flush equivalence (release)"
+# Property tests: concurrent snapshot reads only ever observe processed-
+# prefix checksums, and flushes at widths 1/2/4/8 are bit-identical.
+cargo test -q --release --test snapshot_consistency
+
 echo "==> serve throughput baseline (BENCH_serve.json)"
 AIVM_BENCH_FAST=1 AIVM_BENCH_LABEL=ci cargo bench -p aivm-bench --bench serve >/dev/null
 

@@ -18,7 +18,7 @@ struct Prepared {
 /// Builds a database + view with `k` pending modifications of one table.
 fn prepared(scale: &TpcrConfig, strategy: MinStrategy, table: &str, k: u64) -> Prepared {
     let mut data = generate(scale, 42);
-    let mut view = install_paper_view(&data.db, strategy).unwrap();
+    let mut view = install_paper_view(&mut data.db, strategy).unwrap();
     let mut gen = UpdateGen::new(&data, 43);
     let pos = view.table_position(table).unwrap();
     let db_table = match table {
@@ -79,10 +79,10 @@ fn bench_min_strategies(s: &mut Suite) {
 }
 
 fn bench_view_initialization(s: &mut Suite) {
-    let data = generate(&TpcrConfig::small(), 42);
+    let mut data = generate(&TpcrConfig::small(), 42);
     s.bench("view_init_small", || {
         black_box(
-            install_paper_view(&data.db, MinStrategy::Multiset)
+            install_paper_view(&mut data.db, MinStrategy::Multiset)
                 .unwrap()
                 .n(),
         )

@@ -132,11 +132,76 @@ fn bench_wal_sync_policies(s: &mut Suite) {
     }
 }
 
+/// Serial vs parallel flush propagation on the TPC-R refresh workload:
+/// one big refresh (flush everything pending) of the paper view with a
+/// few thousand pending updates per table, timed at propagation widths
+/// 1/2/4 on otherwise identical clones. The parallel path is required
+/// to be bit-identical to serial — the bench asserts the `FlushReport`
+/// and the result checksum match before recording anything.
+fn bench_flush_threads(s: &mut Suite) {
+    use aivm_engine::MinStrategy;
+    use aivm_tpcr::{generate, install_paper_view, pregenerate_streams, TpcrConfig};
+
+    let fast = std::env::var("AIVM_BENCH_FAST")
+        .map(|v| v != "0" && !v.is_empty())
+        .unwrap_or(false);
+    let events = if fast { 1500 } else { 6000 };
+    let mut data = generate(&TpcrConfig::small(), 2005);
+    let mut view = install_paper_view(&mut data.db, MinStrategy::Multiset).expect("paper view");
+    let ps_pos = view.table_position("partsupp").expect("partsupp");
+    let supp_pos = view.table_position("supplier").expect("supplier");
+    let (ps_stream, supp_stream) = pregenerate_streams(&data, events, 2005 ^ 1);
+    for (table, pos, stream) in [
+        ("partsupp", ps_pos, ps_stream),
+        ("supplier", supp_pos, supp_stream),
+    ] {
+        let id = data.db.table_id(table).expect("table");
+        for m in stream {
+            data.db.apply(id, &m).expect("apply");
+            view.enqueue(pos, m);
+        }
+    }
+    let db = &data.db;
+    let baseline = {
+        let mut v = view.clone();
+        let report = v.refresh(db).expect("serial refresh");
+        (report, v.result_checksum())
+    };
+    for threads in [1usize, 2, 4] {
+        {
+            // Equivalence assert outside the timed loop.
+            let mut v = view.clone();
+            v.set_flush_threads(threads);
+            let report = v.refresh(db).expect("parallel refresh");
+            assert_eq!(
+                report, baseline.0,
+                "FlushReport diverged at {threads} threads"
+            );
+            assert_eq!(
+                v.result_checksum(),
+                baseline.1,
+                "checksum diverged at {threads} threads"
+            );
+        }
+        s.bench_with_setup(
+            &format!("serve/refresh_flush/threads{threads}"),
+            || {
+                let mut v = view.clone();
+                v.set_flush_threads(threads);
+                v
+            },
+            |mut v| std::hint::black_box(v.refresh(db).expect("refresh").mods_processed),
+        );
+    }
+    s.record_value("serve/refresh_flush/max_threads", 4.0);
+}
+
 fn main() {
     let mut s = Suite::new("serve");
     bench_model_ticks(&mut s);
     bench_model_fresh_read(&mut s);
     bench_threaded_end_to_end(&mut s);
     bench_wal_sync_policies(&mut s);
+    bench_flush_threads(&mut s);
     s.finish();
 }

@@ -38,6 +38,9 @@
 //!                                       tick T (degradation smoke)
 //!   --wal-sync always|interval[:N]|never   attach a file WAL with that
 //!                                       fsync policy (temp file)
+//!   --flush-threads N                   propagate flush deltas on N
+//!                                       threads (default 1 = serial;
+//!                                       results are bit-identical)
 //! ```
 //!
 //! `loadgen` spawns the whole networked stack in one process — the
@@ -48,10 +51,19 @@
 //!
 //! ```text
 //!   --clients N            closed-loop client threads (default 4)
-//!   --mix S:R              submit:read weight mix (default 4:1)
+//!   --mix S:R              submit:read weight mix (default 4:1), or a
+//!                          preset: read-heavy (1:32), write-heavy (8:1),
+//!                          balanced (1:1)
 //!   --batch N              modifications per submit frame (default 64)
-//!   --fresh-every N        every Nth read is Fresh, rest Stale (default 8)
+//!   --read-mode M          stale | fresh | mixed (default mixed);
+//!                          stale reads are served wait-free from the
+//!                          published view snapshot
+//!   --fresh-every N        in mixed mode, every Nth read is Fresh,
+//!                          rest Stale (default 8)
 //!   --min-throughput X     exit nonzero below X events/s (CI gate)
+//!   --min-reads X          exit nonzero below X reads/s (CI gate)
+//!   --max-stale-p99-ms X   exit nonzero if the stale-read p99 exceeds
+//!                          X milliseconds (CI gate)
 //! ```
 //!
 //! `loadgen` appends its measured throughput, Stale/Fresh read latency
@@ -331,7 +343,11 @@ struct ServeArgs {
     mix: Option<(u32, u32)>,
     batch: Option<usize>,
     fresh_every: Option<u64>,
+    read_mode: Option<aivm_bench::loadgen::LoadgenReadMode>,
+    flush_threads: Option<usize>,
     min_throughput: Option<f64>,
+    min_reads: Option<f64>,
+    max_stale_p99_ms: Option<f64>,
 }
 
 fn parse_duration(s: &str) -> Option<std::time::Duration> {
@@ -375,6 +391,7 @@ fn run_serve(csv: bool, quick: bool, sargs: &ServeArgs) {
         quick,
         fault,
         wal_sync: sargs.wal_sync,
+        flush_threads: sargs.flush_threads.unwrap_or(1),
         ..Default::default()
     };
     let exp = match ServeExperiment::build(opts) {
@@ -395,6 +412,9 @@ fn run_serve(csv: bool, quick: bool, sargs: &ServeArgs) {
     if let Some(p) = &sargs.wal_sync {
         t.note(format!("file WAL attached, fsync policy {p}"));
     }
+    if let Some(n) = sargs.flush_threads.filter(|&n| n > 1) {
+        t.note(format!("parallel flush propagation: {n} threads"));
+    }
     let mut failed = false;
     for p in &policies {
         match exp.run_threaded(p) {
@@ -403,6 +423,14 @@ fn run_serve(csv: bool, quick: bool, sargs: &ServeArgs) {
                     eprintln!(
                         "{p}: {} constraint violation(s) — fresh reads exceeded C",
                         s.metrics.constraint_violations
+                    );
+                    failed = true;
+                }
+                if s.scan_fallbacks > 0 {
+                    eprintln!(
+                        "{p}: {} join scan fallback(s) — the auto-indexed paper view \
+                         must propagate via index probes only",
+                        s.scan_fallbacks
                     );
                     failed = true;
                 }
@@ -482,6 +510,7 @@ fn run_loadgen(csv: bool, quick: bool, sargs: &ServeArgs) {
         events_each,
         budget: sargs.budget,
         quick,
+        flush_threads: sargs.flush_threads.unwrap_or(1),
         ..Default::default()
     }) {
         Ok(e) => e,
@@ -498,6 +527,7 @@ fn run_loadgen(csv: bool, quick: bool, sargs: &ServeArgs) {
         clients: sargs.clients.unwrap_or(defaults.clients),
         submit_weight,
         read_weight,
+        read_mode: sargs.read_mode.unwrap_or(defaults.read_mode),
         fresh_every: sargs.fresh_every.unwrap_or(defaults.fresh_every),
         batch: sargs.batch.unwrap_or(defaults.batch),
         duration: sargs.duration.unwrap_or(defaults.duration),
@@ -526,12 +556,15 @@ fn run_loadgen(csv: bool, quick: bool, sargs: &ServeArgs) {
         &["metric", "value"],
     );
     t.note(format!(
-        "{} clients, mix {}:{}, batch {}, policy {}, budget C = {:.1}{}",
+        "{} clients, mix {}:{}, batch {}, policy {}, read mode {:?}, \
+         flush threads {}, budget C = {:.1}{}",
         opts.clients,
         opts.submit_weight,
         opts.read_weight,
         opts.batch,
         opts.policy,
+        opts.read_mode,
+        sargs.flush_threads.unwrap_or(1),
         exp.budget,
         match &opts.wal_sync {
             Some(p) => format!(", WAL fsync {p}"),
@@ -553,7 +586,12 @@ fn run_loadgen(csv: bool, quick: bool, sargs: &ServeArgs) {
             "submit p50/p99 (ms)",
             format!("{}/{}", ms(sub.p50), ms(sub.p99)),
         ),
+        ("reads/s", format!("{:.0}", r.reads_per_sec())),
         ("stale reads", r.reads_stale.to_string()),
+        (
+            "snapshot-served stale reads",
+            r.net.snapshot_reads.to_string(),
+        ),
         (
             "stale read p50/p99 (ms)",
             format!("{}/{}", ms(stale.p50), ms(stale.p99)),
@@ -582,6 +620,7 @@ fn run_loadgen(csv: bool, quick: bool, sargs: &ServeArgs) {
         ),
         ("degraded", r.net.degraded.to_string()),
         ("protocol errors", r.protocol_errors.to_string()),
+        ("engine scan fallbacks", r.scan_fallbacks.to_string()),
     ];
     for (k, v) in rows {
         t.row(vec![k.to_string(), v]);
@@ -591,6 +630,12 @@ fn run_loadgen(csv: bool, quick: bool, sargs: &ServeArgs) {
     // Tracked baseline: BENCH_net.json at the repo root.
     let mut suite = aivm_bench::harness::Suite::new("net");
     suite.record_value("loadgen/events_per_sec", r.events_per_sec());
+    suite.record_value("loadgen/reads_per_sec", r.reads_per_sec());
+    suite.record_value(
+        "loadgen/flush_threads",
+        sargs.flush_threads.unwrap_or(1) as f64,
+    );
+    suite.record_value("loadgen/snapshot_reads", r.net.snapshot_reads as f64);
     suite.record_value("loadgen/submit_p99_ns", sub.p99 as f64);
     suite.record_value("loadgen/read_stale_p50_ns", stale.p50 as f64);
     suite.record_value("loadgen/read_stale_p99_ns", stale.p99 as f64);
@@ -614,9 +659,11 @@ fn run_loadgen(csv: bool, quick: bool, sargs: &ServeArgs) {
     let mut failed = false;
     if !r.ok() {
         eprintln!(
-            "loadgen FAILED: {} budget violation(s), {} protocol error(s){}",
+            "loadgen FAILED: {} budget violation(s), {} protocol error(s), \
+             {} engine scan fallback(s){}",
             r.client_violations + r.runtime.constraint_violations,
             r.protocol_errors,
+            r.scan_fallbacks,
             match (&r.last_error, &r.net.last_error) {
                 (Some(e), _) | (None, Some(e)) => format!(" — {e}"),
                 _ => String::new(),
@@ -629,6 +676,25 @@ fn run_loadgen(csv: bool, quick: bool, sargs: &ServeArgs) {
             eprintln!(
                 "loadgen FAILED: throughput {:.0} events/s below the {floor:.0} floor",
                 r.events_per_sec()
+            );
+            failed = true;
+        }
+    }
+    if let Some(floor) = sargs.min_reads {
+        if r.reads_per_sec() < floor {
+            eprintln!(
+                "loadgen FAILED: {:.0} reads/s below the {floor:.0} floor",
+                r.reads_per_sec()
+            );
+            failed = true;
+        }
+    }
+    if let Some(ceiling_ms) = sargs.max_stale_p99_ms {
+        let p99_ms = stale.p99 as f64 / 1e6;
+        if p99_ms > ceiling_ms {
+            eprintln!(
+                "loadgen FAILED: stale read p99 {p99_ms:.3} ms above the \
+                 {ceiling_ms:.3} ms ceiling"
             );
             failed = true;
         }
@@ -831,13 +897,45 @@ fn main() {
             }
             "--mix" => {
                 let v = take("--mix");
-                let parsed = v.split_once(':').and_then(|(s, r)| {
-                    Some((s.trim().parse::<u32>().ok()?, r.trim().parse::<u32>().ok()?))
-                });
+                // Named presets next to the raw S:R form; `read-heavy`
+                // is the snapshot-read showcase (1 submit : 32 reads —
+                // read-dominated enough that read-path latency, not
+                // submission pacing, bounds the measured reads/s).
+                let parsed = match v.as_str() {
+                    "read-heavy" => Some((1u32, 32u32)),
+                    "write-heavy" => Some((8, 1)),
+                    "balanced" => Some((1, 1)),
+                    _ => v.split_once(':').and_then(|(s, r)| {
+                        Some((s.trim().parse::<u32>().ok()?, r.trim().parse::<u32>().ok()?))
+                    }),
+                };
                 match parsed {
                     Some((s, r)) if s + r > 0 => sargs.mix = Some((s, r)),
                     _ => {
-                        eprintln!("--mix needs submit:read weights like 4:1");
+                        eprintln!(
+                            "--mix needs submit:read weights like 4:1, or a preset \
+                             (read-heavy, write-heavy, balanced)"
+                        );
+                        std::process::exit(2);
+                    }
+                }
+            }
+            "--read-mode" => {
+                let v = take("--read-mode");
+                match v.parse() {
+                    Ok(m) => sargs.read_mode = Some(m),
+                    Err(e) => {
+                        eprintln!("--read-mode: {e}");
+                        std::process::exit(2);
+                    }
+                }
+            }
+            "--flush-threads" => {
+                let v = take("--flush-threads");
+                match v.parse::<usize>() {
+                    Ok(n) if n > 0 => sargs.flush_threads = Some(n),
+                    _ => {
+                        eprintln!("--flush-threads needs a positive integer");
                         std::process::exit(2);
                     }
                 }
@@ -868,6 +966,26 @@ fn main() {
                     Ok(x) if x > 0.0 => sargs.min_throughput = Some(x),
                     _ => {
                         eprintln!("--min-throughput needs a positive events/s floor");
+                        std::process::exit(2);
+                    }
+                }
+            }
+            "--min-reads" => {
+                let v = take("--min-reads");
+                match v.parse::<f64>() {
+                    Ok(x) if x > 0.0 => sargs.min_reads = Some(x),
+                    _ => {
+                        eprintln!("--min-reads needs a positive reads/s floor");
+                        std::process::exit(2);
+                    }
+                }
+            }
+            "--max-stale-p99-ms" => {
+                let v = take("--max-stale-p99-ms");
+                match v.parse::<f64>() {
+                    Ok(x) if x > 0.0 => sargs.max_stale_p99_ms = Some(x),
+                    _ => {
+                        eprintln!("--max-stale-p99-ms needs a positive latency ceiling in ms");
                         std::process::exit(2);
                     }
                 }

@@ -41,6 +41,32 @@ use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::{Arc, Mutex};
 use std::time::{Duration, Instant};
 
+/// How loadgen read operations choose freshness.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub enum LoadgenReadMode {
+    /// Every `fresh_every`-th read is Fresh, the rest Stale.
+    #[default]
+    Mixed,
+    /// All reads Stale: served wait-free from the published snapshot,
+    /// never entering the scheduler queue.
+    Stale,
+    /// All reads Fresh: every read pays the tick-then-forced-flush
+    /// round trip (and proves its `<= C` budget on the wire).
+    Fresh,
+}
+
+impl std::str::FromStr for LoadgenReadMode {
+    type Err = String;
+    fn from_str(s: &str) -> Result<Self, Self::Err> {
+        match s {
+            "mixed" => Ok(LoadgenReadMode::Mixed),
+            "stale" => Ok(LoadgenReadMode::Stale),
+            "fresh" => Ok(LoadgenReadMode::Fresh),
+            other => Err(format!("unknown read mode {other:?} (stale|fresh|mixed)")),
+        }
+    }
+}
+
 /// Options of a load-generation run.
 #[derive(Clone, Debug)]
 pub struct LoadgenOptions {
@@ -50,8 +76,11 @@ pub struct LoadgenOptions {
     pub submit_weight: u32,
     /// Relative weight of read operations in the mix.
     pub read_weight: u32,
+    /// Freshness of read operations ([`LoadgenReadMode::Mixed`] defers
+    /// to `fresh_every`).
+    pub read_mode: LoadgenReadMode,
     /// Every `fresh_every`-th read a worker issues is Fresh; the rest
-    /// are Stale.
+    /// are Stale. Only consulted in [`LoadgenReadMode::Mixed`].
     pub fresh_every: u64,
     /// Modifications per submit request.
     pub batch: usize,
@@ -81,6 +110,7 @@ impl Default for LoadgenOptions {
             clients: 4,
             submit_weight: 4,
             read_weight: 1,
+            read_mode: LoadgenReadMode::Mixed,
             fresh_every: 8,
             batch: 64,
             duration: Duration::from_secs(5),
@@ -187,6 +217,10 @@ pub struct LoadgenReport {
     pub net: NetMetrics,
     /// The runtime's final counters after a draining shutdown.
     pub runtime: MetricsSnapshot,
+    /// Join steps that degraded to a full scan inside the engine. The
+    /// paper view is auto-indexed on every join column, so any nonzero
+    /// value is a physical-design regression and fails the run.
+    pub scan_fallbacks: u64,
 }
 
 impl LoadgenReport {
@@ -196,13 +230,21 @@ impl LoadgenReport {
         self.events_submitted as f64 / self.submit_window.as_secs_f64().max(1e-9)
     }
 
+    /// Client-observed reads per second (Stale + Fresh) over the whole
+    /// run.
+    pub fn reads_per_sec(&self) -> f64 {
+        (self.reads_stale + self.reads_fresh) as f64 / self.elapsed.as_secs_f64().max(1e-9)
+    }
+
     /// True when the run upheld every invariant: no budget violation
     /// observed by any client or by the runtime, no protocol errors,
-    /// and the scheduler never stopped on an error.
+    /// no index-less scan fallback inside the engine, and the scheduler
+    /// never stopped on an error.
     pub fn ok(&self) -> bool {
         self.client_violations == 0
             && self.runtime.constraint_violations == 0
             && self.protocol_errors == 0
+            && self.scan_fallbacks == 0
             && self.net.last_error.is_none()
     }
 }
@@ -250,7 +292,13 @@ fn worker_loop(
                 break;
             }
             reads += 1;
-            let fresh = opts.fresh_every > 0 && reads.is_multiple_of(opts.fresh_every);
+            let fresh = match opts.read_mode {
+                LoadgenReadMode::Stale => false,
+                LoadgenReadMode::Fresh => true,
+                LoadgenReadMode::Mixed => {
+                    opts.fresh_every > 0 && reads.is_multiple_of(opts.fresh_every)
+                }
+            };
             let t0 = Instant::now();
             match client.read(fresh, false) {
                 Ok(r) => {
@@ -435,6 +483,10 @@ pub fn run_loadgen(
     drop(control);
     net.shutdown();
     let runtime = serve.shutdown();
+    let scan_fallbacks = runtime
+        .maintenance_stats()
+        .map(|s| s.exec.scan_fallbacks)
+        .unwrap_or(0);
     let runtime_metrics = runtime.metrics();
     if let Some(p) = wal_path {
         let _ = std::fs::remove_file(p);
@@ -456,6 +508,7 @@ pub fn run_loadgen(
         last_error: merged.last_error,
         net: net_metrics,
         runtime: runtime_metrics,
+        scan_fallbacks,
     })
 }
 

@@ -34,6 +34,11 @@ pub struct ExecStats {
     pub index_probes: u64,
     /// Rows emitted.
     pub rows_emitted: u64,
+    /// Join steps that degraded to [`join_scan`] because the target
+    /// table had no index on the join column. With auto-indexed views
+    /// (see `MaterializedView::register`) this must stay zero; the
+    /// TPC-R repro asserts it.
+    pub scan_fallbacks: u64,
 }
 
 impl ExecStats {
@@ -42,6 +47,7 @@ impl ExecStats {
         self.rows_scanned += other.rows_scanned;
         self.index_probes += other.index_probes;
         self.rows_emitted += other.rows_emitted;
+        self.scan_fallbacks += other.scan_fallbacks;
     }
 }
 
@@ -173,8 +179,6 @@ pub fn join_index(
     let index = table
         .index_on(table_key)
         .expect("join_index requires an index on the join column");
-    // Pending entries grouped by join key for O(1) compensation probes.
-    let pending_by_key = group_indices(pending, table_key);
     let mut out = Vec::with_capacity(delta.len());
     for (d, w) in delta {
         let key = d.get(delta_key);
@@ -185,11 +189,20 @@ pub fn join_index(
                 out.push((d.concat(row), *w));
             }
         }
-        if let Some(pend) = pending_by_key.get(key) {
-            for &pi in pend {
-                let (row, pw) = &pending[pi];
+    }
+    // Compensation: one pass over the pending delta probing a map keyed on
+    // the (typically much smaller) flushed delta. Grouping `pending` instead
+    // would cost an allocation-heavy map build proportional to the backlog on
+    // every flush, dominating small-delta flushes.
+    if !pending.is_empty() {
+        let delta_by_key = group_indices(delta, delta_key);
+        for (row, pw) in pending {
+            if let Some(matches) = delta_by_key.get(row.get(table_key)) {
                 if table_filter.is_none_or(|f| f.eval_bool(row)) {
-                    out.push((d.concat(row), -pw * w));
+                    for &di in matches {
+                        let (d, w) = &delta[di];
+                        out.push((d.concat(row), -pw * w));
+                    }
                 }
             }
         }

@@ -33,10 +33,17 @@ use crate::error::EngineError;
 use crate::exec::{self, ExecStats, WRow};
 use crate::expr::Expr;
 use crate::fxhash::FxHashMap;
+use crate::index::IndexKind;
 use crate::logical::{AggFunc, LogicalPlan};
 use crate::schema::Row;
 use crate::value::Value;
 use std::collections::{BTreeMap, HashMap};
+use std::sync::Arc;
+
+/// Below this many weighted delta rows a flush propagates serially even
+/// when more threads are configured: thread spawn overhead dominates
+/// tiny batches.
+const MIN_PARALLEL_DELTA: usize = 64;
 
 /// An equi-join predicate between two base tables of a view:
 /// `tables[left.0].col(left.1) = tables[right.0].col(right.1)`.
@@ -227,6 +234,38 @@ enum ViewState {
     Agg(FxHashMap<Row, GroupState>),
 }
 
+/// An immutable picture of the view at a flush boundary, shared by
+/// reference.
+///
+/// The maintained state only changes inside [`MaterializedView::flush`]
+/// (and full recomputations), so a snapshot taken at the end of a flush
+/// stays valid — equal to the query over each table's processed prefix —
+/// until the next flush replaces it. Readers holding the `Arc` never
+/// block maintenance and can never observe a torn view.
+#[derive(Clone, Debug)]
+pub struct ViewSnapshot {
+    /// The view contents as consolidated weighted rows (aggregate views:
+    /// weight 1 per group row).
+    pub rows: Vec<WRow>,
+    /// Order-independent content checksum, equal to
+    /// [`MaterializedView::result_checksum`] at publication time.
+    pub checksum: u64,
+    /// Pending modification counts per base table at publication — the
+    /// staleness vector: how many arrivals the snapshot does *not*
+    /// reflect, as of the flush boundary that published it.
+    pub staleness: Vec<u64>,
+    /// Publication sequence number (the view's cumulative flush count),
+    /// strictly increasing across snapshots of one view.
+    pub seq: u64,
+}
+
+impl ViewSnapshot {
+    /// Total pending modifications not reflected in this snapshot.
+    pub fn lag(&self) -> u64 {
+        self.staleness.iter().sum()
+    }
+}
+
 /// A materialized view with per-table delta tables and incremental
 /// maintenance.
 #[derive(Clone, Debug)]
@@ -237,6 +276,16 @@ pub struct MaterializedView {
     state: ViewState,
     min_strategy: MinStrategy,
     dirty: bool,
+    /// Propagation width for [`MaterializedView::flush`]; 1 = serial.
+    flush_threads: usize,
+    /// Whether every flush republishes the snapshot. On for serving
+    /// stacks ([`MaterializedView::register`] and the serve runtime),
+    /// off for raw [`MaterializedView::new`] views: republication costs
+    /// O(|view|) per flush, which would distort the per-modification
+    /// cost measurements the simulation experiments are built on.
+    snapshot_publishing: bool,
+    /// The snapshot published at the last flush boundary.
+    snapshot: Arc<ViewSnapshot>,
     /// Cumulative maintenance counters.
     pub stats: MaintenanceStats,
 }
@@ -278,11 +327,62 @@ impl MaterializedView {
             state: ViewState::Bag(FxHashMap::default()),
             min_strategy,
             dirty: false,
+            flush_threads: default_flush_threads(),
+            snapshot_publishing: false,
+            snapshot: Arc::new(ViewSnapshot {
+                rows: Vec::new(),
+                checksum: 0,
+                staleness: vec![0; n],
+                seq: 0,
+            }),
             stats: MaintenanceStats::default(),
         };
         view.recompute(db)?;
         view.stats.recomputes = 0; // initialization is not a recompute
+        view.publish_snapshot();
         Ok(view)
+    }
+
+    /// Registers the view against a mutable database: auto-creates a
+    /// hash index on every join column that lacks one (both sides of
+    /// every equi-join predicate), then initializes the view as
+    /// [`MaterializedView::new`] does.
+    ///
+    /// The created indexes are ordinary table indexes — the table keeps
+    /// them incrementally maintained on every insert/delete/update — so
+    /// `propagate` always has the `join_index` probe path available and
+    /// never degrades to a per-batch `join_scan` (the asymmetric
+    /// per-modification cost shape of §3 depends on it). Registration
+    /// also turns on per-flush snapshot publication (see
+    /// [`MaterializedView::set_snapshot_publishing`]). This is the
+    /// canonical constructor for serving stacks; `new` is for callers
+    /// that manage physical design themselves.
+    pub fn register(
+        db: &mut Database,
+        def: ViewDef,
+        min_strategy: MinStrategy,
+    ) -> Result<Self, EngineError> {
+        Self::ensure_join_indexes(db, &def)?;
+        let mut view = Self::new(db, def, min_strategy)?;
+        view.set_snapshot_publishing(true);
+        Ok(view)
+    }
+
+    /// Creates a hash index on every join column of `def` that does not
+    /// already have one, backfilling existing rows. Idempotent.
+    pub fn ensure_join_indexes(db: &mut Database, def: &ViewDef) -> Result<(), EngineError> {
+        for p in &def.join_preds {
+            for (t, col) in [p.left, p.right] {
+                let name = def.tables.get(t).ok_or_else(|| EngineError::Maintenance {
+                    message: format!("join predicate references table {t} out of range"),
+                })?;
+                let id = db.table_id(name)?;
+                if db.table(id).index_on(col).is_none() {
+                    db.table_mut(id).create_index(IndexKind::Hash, col)?;
+                }
+            }
+        }
+        Ok(())
     }
 
     /// The view definition.
@@ -333,6 +433,70 @@ impl MaterializedView {
         self.pending.iter().map(|d| d.len() as u64).collect()
     }
 
+    /// The snapshot published at the last flush boundary (construction,
+    /// [`MaterializedView::flush`], or [`MaterializedView::restore_pending`]).
+    ///
+    /// Cloning the `Arc` is O(1); the shared contents are immutable, so
+    /// readers never block maintenance and never see a torn view. The
+    /// snapshot's staleness vector is as of its publication — arrivals
+    /// enqueued since then are not counted in it.
+    pub fn snapshot(&self) -> Arc<ViewSnapshot> {
+        Arc::clone(&self.snapshot)
+    }
+
+    /// Sets how many threads [`MaterializedView::flush`] may use to
+    /// propagate one start-table delta (clamped to ≥ 1). The result is
+    /// bit-identical to the serial path at any width; see
+    /// [`MaterializedView::flush`].
+    pub fn set_flush_threads(&mut self, threads: usize) {
+        self.flush_threads = threads.max(1);
+    }
+
+    /// The configured propagation width (1 = serial).
+    pub fn flush_threads(&self) -> usize {
+        self.flush_threads
+    }
+
+    /// Turns per-flush snapshot republication on or off.
+    ///
+    /// Publication rebuilds the consolidated row set and its checksum,
+    /// an O(|view|) cost per flush (O(1) for a scalar aggregate).
+    /// Serving stacks pay it deliberately so Stale reads are wait-free;
+    /// raw views default to off so flush cost keeps the paper's
+    /// per-modification shape. The construction-time snapshot is always
+    /// published; with publication off, [`MaterializedView::snapshot`]
+    /// keeps returning the last published one (its `seq` tells readers
+    /// how old it is).
+    pub fn set_snapshot_publishing(&mut self, on: bool) {
+        self.snapshot_publishing = on;
+        if on {
+            // Catch the snapshot up to the current state so a consumer
+            // enabling publication mid-life never serves a stale one.
+            self.publish_snapshot();
+        }
+    }
+
+    /// Whether every flush republishes the snapshot.
+    pub fn snapshot_publishing(&self) -> bool {
+        self.snapshot_publishing
+    }
+
+    /// Rebuilds and publishes the flush-boundary snapshot from the
+    /// current state.
+    fn publish_snapshot(&mut self) {
+        let rows = self.result();
+        let mut checksum: u64 = 0;
+        for rw in &rows {
+            checksum = checksum.wrapping_add(crate::fxhash::hash_one(rw));
+        }
+        self.snapshot = Arc::new(ViewSnapshot {
+            rows,
+            checksum,
+            staleness: self.pending_counts(),
+            seq: self.stats.flushes,
+        });
+    }
+
     /// The `i`-th table's pending delta as signed-multiset entries
     /// (diagnostics and test oracles).
     pub fn pending_weighted(&self, i: usize) -> Vec<WRow> {
@@ -379,11 +543,24 @@ impl MaterializedView {
         // Like `new`, state (re)construction is not a maintenance-time
         // recompute.
         self.stats.recomputes = self.stats.recomputes.saturating_sub(1);
+        self.publish_snapshot();
         Ok(())
     }
 
     /// Flushes `counts[i]` pending modifications from each base table
     /// (tables processed in ascending index order).
+    ///
+    /// With [`MaterializedView::set_flush_threads`] above 1, each
+    /// start-table delta is partitioned into fixed contiguous chunks and
+    /// propagated on a scoped thread per chunk, with chunk outputs
+    /// merged back in chunk order. Propagation is read-only over
+    /// `&self` and `db`, and each delta row's join expansion is
+    /// independent of the others, so the merged join delta is the same
+    /// signed multiset the serial path produces — applied to the same
+    /// order-independent state — and the resulting view contents,
+    /// checksum and (on the index-probe path) `FlushReport` are
+    /// bit-identical at any width. A panicking chunk propagates the
+    /// panic to the caller after the scope joins.
     pub fn flush(&mut self, db: &Database, counts: &[u64]) -> Result<FlushReport, EngineError> {
         if counts.len() != self.n() {
             return Err(EngineError::Maintenance {
@@ -417,7 +594,7 @@ impl MaterializedView {
                 continue;
             }
             let mut stats = ExecStats::default();
-            let mut dj = self.propagate(db, i, delta, &mut stats)?;
+            let mut dj = self.propagate_chunked(db, i, delta, &mut stats)?;
             if matches!(self.state, ViewState::Agg(_)) {
                 // Aggregate state walks the delta row by row, so cancel
                 // (−old, +new) pairs first: an unconsolidated stream
@@ -437,7 +614,59 @@ impl MaterializedView {
         self.stats.flushes += 1;
         self.stats.mods_processed += report.mods_processed;
         self.stats.exec.merge(&report.exec);
+        if self.snapshot_publishing {
+            self.publish_snapshot();
+        }
         Ok(report)
+    }
+
+    /// Propagates a start-table delta, splitting it across the
+    /// configured flush threads when it is large enough to pay for the
+    /// spawns. Chunking is deterministic (fixed contiguous ranges) and
+    /// outputs merge in chunk order; per-chunk [`ExecStats`] sum into
+    /// `stats`, which keeps the index-probe counters identical to the
+    /// serial path (probes are per delta row).
+    fn propagate_chunked(
+        &self,
+        db: &Database,
+        start: usize,
+        delta: Vec<WRow>,
+        stats: &mut ExecStats,
+    ) -> Result<Vec<WRow>, EngineError> {
+        let threads = self.flush_threads.max(1);
+        if threads == 1 || delta.len() < MIN_PARALLEL_DELTA.max(threads) {
+            return self.propagate(db, start, delta, stats);
+        }
+        let chunk = delta.len().div_ceil(threads);
+        let results: Vec<Result<(Vec<WRow>, ExecStats), EngineError>> =
+            std::thread::scope(|scope| {
+                let handles: Vec<_> = delta
+                    .chunks(chunk)
+                    .map(|part| {
+                        scope.spawn(move || {
+                            let mut local = ExecStats::default();
+                            self.propagate(db, start, part.to_vec(), &mut local)
+                                .map(|rows| (rows, local))
+                        })
+                    })
+                    .collect();
+                // Joining in spawn order is the ordered merge; a panic
+                // in any chunk resurfaces on this thread.
+                handles
+                    .into_iter()
+                    .map(|h| match h.join() {
+                        Ok(res) => res,
+                        Err(payload) => std::panic::resume_unwind(payload),
+                    })
+                    .collect()
+            });
+        let mut out = Vec::new();
+        for res in results {
+            let (rows, local) = res?;
+            stats.merge(&local);
+            out.extend(rows);
+        }
+        Ok(out)
     }
 
     /// Flushes everything pending (the refresh action at time `T`).
@@ -465,9 +694,16 @@ impl MaterializedView {
         bound[start] = true;
 
         while layout.len() < n {
-            // Find a predicate connecting a bound table to an unbound one,
-            // preferring targets with an index on the join column.
+            // Find a predicate connecting a bound table to an unbound one.
+            // Among the connected candidates, prefer indexed targets, and
+            // among those the smallest table: small (often filtered)
+            // dimension tables shrink the stream before it is dragged
+            // through a large table's fanout. With every join column
+            // indexed (see `register`), "first indexed predicate" would
+            // instead expand through the fact table first and carry the
+            // blow-up through every later join.
             let mut candidate: Option<(usize, usize, usize)> = None; // (delta_key, target, target_col)
+            let mut best = (true, usize::MAX); // (no index, table rows) — lower is better
             for p in &self.def.join_preds {
                 let (a, b) = (p.left, p.right);
                 let pair = if bound[a.0] && !bound[b.0] {
@@ -479,13 +715,11 @@ impl MaterializedView {
                 };
                 if let Some((src, dst)) = pair {
                     let delta_key = self.stream_offset(db, &layout, src.0)? + src.1;
-                    let has_index = db.table(self.table_ids[dst.0]).index_on(dst.1).is_some();
-                    if has_index {
+                    let table = db.table(self.table_ids[dst.0]);
+                    let rank = (table.index_on(dst.1).is_none(), table.len());
+                    if candidate.is_none() || rank < best {
                         candidate = Some((delta_key, dst.0, dst.1));
-                        break;
-                    }
-                    if candidate.is_none() {
-                        candidate = Some((delta_key, dst.0, dst.1));
+                        best = rank;
                     }
                 }
             }
@@ -499,6 +733,10 @@ impl MaterializedView {
                             &stream, delta_key, table, target_col, &pending, filter, stats,
                         )
                     } else {
+                        // No index on the join column: the per-batch
+                        // scan shape. Counted, not silent — auto-indexed
+                        // views (`register`) must never take this path.
+                        stats.scan_fallbacks += 1;
                         exec::join_scan(
                             &stream, delta_key, table, target_col, &pending, filter, stats,
                         )
@@ -866,6 +1104,17 @@ impl MaterializedView {
             None
         }
     }
+}
+
+/// Initial propagation width for new views: `AIVM_FLUSH_THREADS` when
+/// set and parseable, else 1 (serial). Callers override per view with
+/// [`MaterializedView::set_flush_threads`].
+fn default_flush_threads() -> usize {
+    std::env::var("AIVM_FLUSH_THREADS")
+        .ok()
+        .and_then(|v| v.trim().parse::<usize>().ok())
+        .unwrap_or(1)
+        .max(1)
 }
 
 fn new_agg_state(func: AggFunc, strategy: MinStrategy) -> AggState {
@@ -1410,6 +1659,152 @@ mod tests {
             view.flush(&db, &[0]),
             Err(EngineError::Maintenance { .. })
         ));
+    }
+
+    #[test]
+    fn register_auto_creates_join_indexes_and_avoids_scans() {
+        let (mut db, _, _) = setup_rs(); // only R is indexed
+        let mut view =
+            MaterializedView::register(&mut db, join_view_def(), MinStrategy::Multiset).unwrap();
+        let s = db.table_id("s").unwrap();
+        assert!(
+            db.table(s).index_on(0).is_some(),
+            "registration must index s.k"
+        );
+        for i in 0..10i64 {
+            modify(
+                &mut db,
+                &mut view,
+                "r",
+                Modification::Insert(row![i, 0.5f64]),
+            );
+            modify(&mut db, &mut view, "s", Modification::Insert(row![i, "t"]));
+        }
+        let report = view.refresh(&db).unwrap();
+        assert_eq!(report.exec.scan_fallbacks, 0, "no scan path after register");
+        assert!(report.exec.index_probes > 0);
+        assert_consistent(&db, &view);
+    }
+
+    #[test]
+    fn unindexed_join_counts_scan_fallbacks() {
+        let (mut db, _, _) = setup_rs(); // S has no index
+        let mut view = MaterializedView::new(&db, join_view_def(), MinStrategy::Multiset).unwrap();
+        modify(
+            &mut db,
+            &mut view,
+            "r",
+            Modification::Insert(row![1i64, 1.0f64]),
+        );
+        let report = view.refresh(&db).unwrap();
+        assert_eq!(report.exec.scan_fallbacks, 1, "ΔR ⋈ S falls back to scan");
+    }
+
+    #[test]
+    fn snapshot_tracks_flush_boundaries() {
+        let (mut db, _, _) = setup_rs();
+        let mut view =
+            MaterializedView::register(&mut db, join_view_def(), MinStrategy::Multiset).unwrap();
+        let s0 = view.snapshot();
+        assert_eq!(s0.seq, 0);
+        assert!(s0.rows.is_empty());
+        assert_eq!(s0.checksum, view.result_checksum());
+
+        modify(
+            &mut db,
+            &mut view,
+            "r",
+            Modification::Insert(row![1i64, 10.0f64]),
+        );
+        modify(
+            &mut db,
+            &mut view,
+            "s",
+            Modification::Insert(row![1i64, "a"]),
+        );
+        // Enqueues do not republish: the old snapshot is still the last
+        // flush boundary, unaware of the new arrivals.
+        assert_eq!(view.snapshot().seq, 0);
+        assert_eq!(view.snapshot().lag(), 0);
+
+        view.refresh(&db).unwrap();
+        let s1 = view.snapshot();
+        assert_eq!(s1.seq, 1);
+        assert_eq!(s1.staleness, vec![0, 0]);
+        assert_eq!(s1.checksum, view.result_checksum());
+        assert_eq!(s1.rows, view.result());
+        // The pre-flush snapshot is untouched (immutable share).
+        assert!(s0.rows.is_empty());
+    }
+
+    #[test]
+    fn raw_views_do_not_republish_until_enabled() {
+        let (mut db, _, _) = setup_rs();
+        let mut view = MaterializedView::new(&db, join_view_def(), MinStrategy::Multiset).unwrap();
+        assert!(!view.snapshot_publishing());
+        modify(
+            &mut db,
+            &mut view,
+            "r",
+            Modification::Insert(row![1i64, 10.0f64]),
+        );
+        modify(
+            &mut db,
+            &mut view,
+            "s",
+            Modification::Insert(row![1i64, "a"]),
+        );
+        view.refresh(&db).unwrap();
+        // Flush cost stays O(delta work): no O(|view|) republication.
+        let s = view.snapshot();
+        assert_eq!(s.seq, 0, "raw views keep the construction snapshot");
+        assert!(s.rows.is_empty());
+        // Enabling publication catches the snapshot up immediately.
+        view.set_snapshot_publishing(true);
+        let s = view.snapshot();
+        assert_eq!(s.seq, 1);
+        assert_eq!(s.checksum, view.result_checksum());
+        assert_eq!(s.rows, view.result());
+    }
+
+    #[test]
+    fn parallel_flush_is_bit_identical_to_serial() {
+        // Enough rows to clear MIN_PARALLEL_DELTA, with skewed keys so
+        // chunks see different fanouts.
+        for threads in [1usize, 2, 4, 8] {
+            let (mut db, _, _) = setup_rs();
+            let mut view =
+                MaterializedView::register(&mut db, join_view_def(), MinStrategy::Multiset)
+                    .unwrap();
+            let mut serial =
+                MaterializedView::register(&mut db, join_view_def(), MinStrategy::Multiset)
+                    .unwrap();
+            view.set_flush_threads(threads);
+            assert_eq!(view.flush_threads(), threads);
+            for i in 0..200i64 {
+                let m = Modification::Insert(row![i % 7, i as f64]);
+                let id = db.table_id("r").unwrap();
+                db.apply(id, &m).unwrap();
+                view.enqueue(0, m.clone());
+                serial.enqueue(0, m);
+            }
+            for i in 0..40i64 {
+                let m = Modification::Insert(row![i % 7, "t"]);
+                let id = db.table_id("s").unwrap();
+                db.apply(id, &m).unwrap();
+                view.enqueue(1, m.clone());
+                serial.enqueue(1, m);
+            }
+            let rp = view.refresh(&db).unwrap();
+            let rs = serial.refresh(&db).unwrap();
+            assert_eq!(rp, rs, "FlushReport diverged at {threads} threads");
+            assert_eq!(
+                view.result_checksum(),
+                serial.result_checksum(),
+                "checksum diverged at {threads} threads"
+            );
+            assert_consistent(&db, &view);
+        }
     }
 
     #[test]

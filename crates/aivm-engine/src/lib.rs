@@ -43,6 +43,7 @@ pub use expr::{ArithOp, CmpOp, Expr};
 pub use index::{Index, IndexKind, RowId};
 pub use ivm::{
     AggSpec, FlushReport, JoinPred, MaintenanceStats, MaterializedView, MinStrategy, ViewDef,
+    ViewSnapshot,
 };
 pub use logical::{AggFunc, LogicalPlan};
 pub use measure::{measure_cost_function, CostMeasurement, MeasureConfig};

@@ -42,19 +42,46 @@ pub struct CostMeasurement {
 }
 
 impl CostMeasurement {
-    /// The samples as a monotone piecewise-linear cost model.
+    /// The samples as a piecewise-linear cost model satisfying the §2
+    /// axioms: monotone and subadditive.
     ///
-    /// Raw medians can dip non-monotonically from timer noise; the curve
-    /// is lifted to its running maximum so the result satisfies the
-    /// paper's monotonicity requirement.
+    /// Raw medians can dip non-monotonically from timer noise, and a
+    /// single scheduling spike at one batch size can make the raw curve
+    /// convex — super-additive — which breaks the premise of the LGM
+    /// search space (lazy plans are only guaranteed optimal under
+    /// subadditive costs). The samples are first lifted to their running
+    /// maximum (monotone), then to their upper concave envelope; a
+    /// concave curve through the origin is subadditive, and the
+    /// extrapolation beyond the last sample reuses the final segment's
+    /// slope, so the property holds at every batch size. The envelope is
+    /// a majorant of the samples: costs are never underestimated.
     pub fn to_piecewise(&self) -> CostModel {
-        let mut points = Vec::with_capacity(self.samples.len());
+        let mut lifted = Vec::with_capacity(self.samples.len() + 1);
+        lifted.push((0u64, 0.0f64));
         let mut running = 0.0f64;
         for &(k, ms) in &self.samples {
             running = running.max(ms);
-            points.push((k, running));
+            lifted.push((k, running));
         }
-        CostModel::Piecewise { points }
+        // Upper concave envelope via a monotone hull stack: a point on
+        // or below the chord of its neighbours is dropped.
+        let mut hull: Vec<(u64, f64)> = Vec::with_capacity(lifted.len());
+        for p in lifted {
+            while hull.len() >= 2 {
+                let a = hull[hull.len() - 2];
+                let b = hull[hull.len() - 1];
+                let below = (b.1 - a.1) * (p.0 - a.0) as f64 <= (p.1 - a.1) * (b.0 - a.0) as f64;
+                if below {
+                    hull.pop();
+                } else {
+                    break;
+                }
+            }
+            hull.push(p);
+        }
+        // Drop the explicit origin: `Piecewise` prepends it implicitly.
+        hull.remove(0);
+        CostModel::Piecewise { points: hull }
     }
 
     /// Least-squares linear fit of the samples (§3.3 form), `None` when
@@ -195,6 +222,35 @@ mod tests {
         assert!(pw.check_monotone(20));
         // Costs are positive.
         assert!(pw.eval(16) > 0.0);
+    }
+
+    #[test]
+    fn convex_noise_is_lifted_to_a_subadditive_envelope() {
+        // A scheduling spike at k = 15 makes the raw samples convex:
+        // f(5) + f(5) = 0.2 < f(10) ≈ 5 under plain interpolation, so a
+        // planner would wrongly prefer many tiny flushes. The envelope
+        // replaces the sagging prefix with the chord from the origin.
+        let m = CostMeasurement {
+            table_pos: 0,
+            samples: vec![(5, 0.1), (15, 10.0), (30, 10.5)],
+        };
+        let pw = m.to_piecewise();
+        assert!(pw.check_monotone(100));
+        assert!(pw.check_subadditive(100));
+        // Majorant: never below a sample.
+        assert!(pw.eval(5) >= 0.1);
+        assert!(pw.eval(15) >= 10.0 - 1e-9);
+        assert!(pw.eval(30) >= 10.5 - 1e-9);
+        // Subadditivity at the point the raw curve violated it.
+        assert!(pw.eval(10) <= pw.eval(5) + pw.eval(5) + 1e-9);
+        // Dipping medians (non-monotone raw data) still work.
+        let m2 = CostMeasurement {
+            table_pos: 0,
+            samples: vec![(5, 3.0), (15, 2.0), (30, 8.0)],
+        };
+        let pw2 = m2.to_piecewise();
+        assert!(pw2.check_monotone(100));
+        assert!(pw2.check_subadditive(100));
     }
 
     #[test]

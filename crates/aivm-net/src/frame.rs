@@ -66,8 +66,9 @@ use std::io::{ErrorKind, Read, Write};
 
 /// Handshake magic, both directions.
 pub const NET_MAGIC: &[u8; 4] = b"ANET";
-/// Protocol version negotiated at the handshake.
-pub const NET_VERSION: u16 = 1;
+/// Protocol version negotiated at the handshake. v2 added
+/// `snapshot_reads` to the metrics frame.
+pub const NET_VERSION: u16 = 2;
 /// Bytes of framing before each payload (length + checksum).
 pub const FRAME_HEADER_LEN: usize = 12;
 /// Hard cap on a single frame's payload. A length prefix beyond this is
@@ -524,8 +525,11 @@ pub struct NetMetrics {
     pub total_flush_cost: f64,
     /// Fresh reads served by the runtime.
     pub fresh_reads: u64,
-    /// Stale reads served by the runtime.
+    /// Stale reads served by the runtime's scheduler.
     pub stale_reads: u64,
+    /// Stale reads served wait-free from a published view snapshot,
+    /// never touching the scheduler.
+    pub snapshot_reads: u64,
     /// Validity-invariant violations (must stay 0).
     pub constraint_violations: u64,
     /// Policy demotions (≤ 1; demotion is permanent).
@@ -633,6 +637,7 @@ pub fn encode_response(r: &Response) -> Vec<u8> {
             buf.put_f64_le(m.total_flush_cost);
             buf.put_u64_le(m.fresh_reads);
             buf.put_u64_le(m.stale_reads);
+            buf.put_u64_le(m.snapshot_reads);
             buf.put_u64_le(m.constraint_violations);
             buf.put_u64_le(m.policy_demotions);
             buf.put_u64_le(m.recalibrations);
@@ -735,9 +740,9 @@ pub fn decode_response(payload: &[u8]) -> Result<Response, EngineError> {
             })
         }
         3 => {
-            // 9 u64 + f64 + flag, 7 u64, 7 u64 + flag: checked as one
+            // 10 u64 + f64 + flag, 7 u64, 7 u64 + flag: checked as one
             // block before the fixed-width reads.
-            const FIXED: usize = 23 * 8 + 2;
+            const FIXED: usize = 24 * 8 + 2;
             if buf.remaining() < FIXED {
                 return Err(corrupt(ctx, "metrics", &buf));
             }
@@ -748,6 +753,7 @@ pub fn decode_response(payload: &[u8]) -> Result<Response, EngineError> {
                 total_flush_cost: buf.get_f64_le(),
                 fresh_reads: buf.get_u64_le(),
                 stale_reads: buf.get_u64_le(),
+                snapshot_reads: buf.get_u64_le(),
                 constraint_violations: buf.get_u64_le(),
                 policy_demotions: buf.get_u64_le(),
                 recalibrations: buf.get_u64_le(),
@@ -897,6 +903,7 @@ mod tests {
             total_flush_cost: rng.gen_range(0.0..1e12),
             fresh_reads: rng.gen_range(0..u64::MAX),
             stale_reads: rng.gen_range(0..u64::MAX),
+            snapshot_reads: rng.gen_range(0..u64::MAX),
             constraint_violations: rng.gen_range(0..u64::MAX),
             policy_demotions: rng.gen_range(0..2u64),
             recalibrations: rng.gen_range(0..9u64),
@@ -1135,7 +1142,7 @@ mod tests {
         // cannot trust the rest of the byte stream).
         let mut wire = Vec::new();
         wire.extend_from_slice(NET_MAGIC);
-        wire.extend_from_slice(&2u16.to_le_bytes());
+        wire.extend_from_slice(&(NET_VERSION + 1).to_le_bytes());
         wire.push(0);
         assert!(read_hello_reply(&mut Cursor::new(wire)).is_err());
     }

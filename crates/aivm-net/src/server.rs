@@ -318,6 +318,22 @@ fn submit(table: u32, mods: &[aivm_engine::Modification], ctx: &ConnCtx) -> Resp
 }
 
 fn read(fresh: bool, want_rows: bool, deadline: Duration, ctx: &ConnCtx) -> Response {
+    // Stale reads are answered straight from the published
+    // flush-boundary snapshot: no scheduler round-trip, the checksum is
+    // precomputed, and rows are cloned only when the client asked for
+    // them. Deadlines cannot fire here — there is nothing to wait for.
+    if !fresh {
+        if let Some(snap) = ctx.handle.snapshot_for_read() {
+            return Response::ReadOk(WireReadResult {
+                fresh: false,
+                lag: snap.lag(),
+                flush_cost: 0.0,
+                violated: false,
+                checksum: snap.checksum,
+                rows: want_rows.then(|| snap.rows.clone()),
+            });
+        }
+    }
     let mode = if fresh {
         ReadMode::Fresh
     } else {
@@ -383,6 +399,7 @@ fn net_metrics(snap: &MetricsSnapshot, stats: &NetStats) -> NetMetrics {
         total_flush_cost: snap.total_flush_cost,
         fresh_reads: snap.fresh_reads,
         stale_reads: snap.stale_reads,
+        snapshot_reads: snap.snapshot_reads,
         constraint_violations: snap.constraint_violations,
         policy_demotions: snap.policy_demotions,
         recalibrations: snap.recalibrations,

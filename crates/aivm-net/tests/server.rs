@@ -155,6 +155,61 @@ fn submit_read_metrics_over_the_wire() {
 }
 
 #[test]
+fn stale_reads_serve_from_published_snapshot() {
+    let rig = spawn_rig(NetServerConfig::default());
+    let mut s = connect(&rig.net);
+    let mods: Vec<Modification> = (0..8i64).map(|i| Modification::Insert(row![i])).collect();
+    match roundtrip(&mut s, Request::Submit { table: 0, mods }) {
+        Response::SubmitOk { accepted } => assert_eq!(accepted, 8),
+        other => panic!("submit: {other:?}"),
+    }
+    let fresh_checksum = match roundtrip(
+        &mut s,
+        Request::Read {
+            fresh: true,
+            want_rows: false,
+        },
+    ) {
+        Response::ReadOk(r) => r.checksum,
+        other => panic!("fresh read: {other:?}"),
+    };
+    // The flush publishes a new snapshot at the next scheduler tick;
+    // stale reads then serve it without a scheduler round-trip. Poll
+    // until the publication lands (tick interval is 1 ms).
+    let deadline = std::time::Instant::now() + Duration::from_secs(5);
+    let stale = loop {
+        match roundtrip(
+            &mut s,
+            Request::Read {
+                fresh: false,
+                want_rows: true,
+            },
+        ) {
+            Response::ReadOk(r) if r.checksum == fresh_checksum => break r,
+            Response::ReadOk(_) if std::time::Instant::now() < deadline => {
+                std::thread::sleep(Duration::from_millis(2));
+            }
+            other => panic!("stale read never caught up: {other:?}"),
+        }
+    };
+    assert!(!stale.fresh);
+    assert_eq!(stale.lag, 0);
+    assert_eq!(stale.rows.expect("want_rows").len(), 8);
+    match roundtrip(&mut s, Request::Metrics) {
+        Response::MetricsOk(m) => {
+            assert!(
+                m.snapshot_reads >= 1,
+                "stale reads must be snapshot-served, got {m:?}"
+            );
+        }
+        other => panic!("metrics: {other:?}"),
+    }
+    drop(s);
+    rig.net.shutdown();
+    rig.serve.shutdown();
+}
+
+#[test]
 fn connection_cap_rejects_with_typed_handshake() {
     let rig = spawn_rig(NetServerConfig {
         max_connections: 1,

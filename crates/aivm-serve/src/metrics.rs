@@ -136,8 +136,13 @@ pub struct MetricsSnapshot {
     pub flush_cost_millis: HistogramSnapshot,
     /// Fresh (flush-then-read) reads served.
     pub fresh_reads: u64,
-    /// Stale (current materialized `V`) reads served.
+    /// Stale (current materialized `V`) reads served through the
+    /// scheduler (model backend, or before the first snapshot).
     pub stale_reads: u64,
+    /// Stale reads served wait-free from a published flush-boundary
+    /// snapshot, bypassing the scheduler entirely (threaded server
+    /// with an engine backend).
+    pub snapshot_reads: u64,
     /// End-to-end fresh-read refresh latency in nanoseconds (queue wait
     /// plus flush, when served through the threaded server).
     pub refresh_latency_ns: HistogramSnapshot,
@@ -268,6 +273,7 @@ impl Metrics {
             flush_cost_millis: self.flush_cost_millis.snapshot(),
             fresh_reads: self.fresh_reads,
             stale_reads: self.stale_reads,
+            snapshot_reads: 0,
             refresh_latency_ns: self.refresh_latency_ns.snapshot(),
             queue_depth: 0,
             max_queue_depth: 0,

@@ -48,9 +48,10 @@ use crate::policy::{FlushPolicy, NaiveFlush};
 use crate::trace::Trace;
 use crate::wal::{read_wal, Checkpoint, EngineCheckpoint, WalRecord, WalWriter};
 use aivm_core::{fits, total_cost, CostModel, Counts};
-use aivm_engine::{Database, EngineError, MaterializedView, Modification, WRow};
+use aivm_engine::{Database, EngineError, MaterializedView, Modification, ViewSnapshot, WRow};
 use aivm_solver::PolicyContext;
 use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::sync::Arc;
 use std::time::Instant;
 
 /// Measured-vs-estimated flush cost ratio beyond which a tick counts as
@@ -73,17 +74,27 @@ pub struct ServeConfig {
     /// instead of only counting it (useful in tests; the CI smoke gate
     /// checks the counter).
     pub strict: bool,
+    /// Worker threads for delta propagation inside engine flushes
+    /// (see [`MaterializedView::set_flush_threads`]). `1` = serial.
+    pub flush_threads: usize,
 }
 
 impl ServeConfig {
-    /// A config with tracing on and strict mode off.
+    /// A config with tracing on, strict mode off, serial flushes.
     pub fn new(costs: Vec<CostModel>, budget: f64) -> Self {
         ServeConfig {
             costs,
             budget,
             record_trace: true,
             strict: false,
+            flush_threads: 1,
         }
+    }
+
+    /// Sets the flush propagation thread count (builder style).
+    pub fn with_flush_threads(mut self, threads: usize) -> Self {
+        self.flush_threads = threads.max(1);
+        self
     }
 }
 
@@ -192,7 +203,7 @@ impl MaintenanceRuntime {
         cfg: ServeConfig,
         policy: Box<dyn FlushPolicy>,
         db: Database,
-        view: MaterializedView,
+        mut view: MaterializedView,
     ) -> Result<Self, EngineError> {
         if cfg.costs.len() != view.n() {
             return Err(EngineError::Maintenance {
@@ -203,6 +214,10 @@ impl MaintenanceRuntime {
                 ),
             });
         }
+        view.set_flush_threads(cfg.flush_threads);
+        // The serving stack reads Stale from flush-boundary snapshots,
+        // so publication must be on however the view was constructed.
+        view.set_snapshot_publishing(true);
         let mut rt = Self::model(cfg, policy);
         rt.backend = Backend::Engine(Box::new(EngineState { db, view }));
         Ok(rt)
@@ -262,6 +277,7 @@ impl MaintenanceRuntime {
             }
             None => 0,
         };
+        let flush_threads = cfg.flush_threads;
         let mut rt = MaintenanceRuntime::model(cfg, policy);
         for rec in &records[..prefix] {
             rt.replay_shadow(rec)?;
@@ -293,11 +309,15 @@ impl MaintenanceRuntime {
                     .ok_or_else(|| corrupt("checkpoint has no engine payload".into()))?;
                 let db = aivm_engine::restore(bytes::Bytes::from(db.as_slice()))?;
                 let mut view = make_view(&db)?;
+                view.set_flush_threads(flush_threads);
+                view.set_snapshot_publishing(true);
                 view.restore_pending(&db, pending_mods.clone())?;
                 EngineState { db, view }
             }
             None => {
-                let view = make_view(&genesis_db)?;
+                let mut view = make_view(&genesis_db)?;
+                view.set_flush_threads(flush_threads);
+                view.set_snapshot_publishing(true);
                 EngineState {
                     db: genesis_db,
                     view,
@@ -418,6 +438,27 @@ impl MaintenanceRuntime {
         match &self.backend {
             Backend::Model => None,
             Backend::Engine(e) => Some(e.view.result_checksum()),
+        }
+    }
+
+    /// The view's current immutable flush-boundary snapshot (engine
+    /// backend only). Cloning the `Arc` is cheap; the snapshot never
+    /// mutates, so the caller can hand it to other threads and serve
+    /// stale reads from it without coming back here.
+    pub fn view_snapshot(&self) -> Option<Arc<ViewSnapshot>> {
+        match &self.backend {
+            Backend::Model => None,
+            Backend::Engine(e) => Some(e.view.snapshot()),
+        }
+    }
+
+    /// The view's cumulative maintenance counters (engine backend
+    /// only). `exec.scan_fallbacks` must stay 0 on auto-indexed views —
+    /// the TPC-R repro gates on it.
+    pub fn maintenance_stats(&self) -> Option<&aivm_engine::MaintenanceStats> {
+        match &self.backend {
+            Backend::Model => None,
+            Backend::Engine(e) => Some(&e.view.stats),
         }
     }
 

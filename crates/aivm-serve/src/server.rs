@@ -40,11 +40,19 @@ use crate::fault::FaultPlan;
 use crate::metrics::MetricsSnapshot;
 use crate::queue::{channel, Receiver, RecvError, Sender};
 use crate::runtime::{MaintenanceRuntime, ReadMode, ReadResult};
-use aivm_engine::{EngineError, Modification};
+use aivm_engine::{EngineError, Modification, ViewSnapshot};
+use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::mpsc::{sync_channel, RecvTimeoutError, SyncSender, TrySendError};
-use std::sync::{Arc, Mutex};
+use std::sync::{Arc, Mutex, RwLock};
 use std::thread::JoinHandle;
 use std::time::{Duration, Instant};
+
+/// The shared snapshot slot: the scheduler stores the view's latest
+/// flush-boundary [`ViewSnapshot`] here; client handles serve stale
+/// reads from it without a scheduler round-trip. The lock is held only
+/// for the `Arc` store/clone — never across row evaluation — so
+/// readers and the publisher exchange a pointer, not data.
+type SnapshotSlot = Arc<RwLock<Option<Arc<ViewSnapshot>>>>;
 
 /// Configuration of the threaded server.
 #[derive(Clone, Debug)]
@@ -141,9 +149,43 @@ pub enum DeadlineError {
 pub struct ServeHandle {
     tx: Sender<Msg>,
     last_error: Arc<Mutex<Option<ServeError>>>,
+    snapshot: SnapshotSlot,
+    snapshot_reads: Arc<AtomicU64>,
 }
 
 impl ServeHandle {
+    /// The latest published flush-boundary snapshot (engine backends;
+    /// `None` on the model backend or before the first publication).
+    /// Wait-free with respect to maintenance: no scheduler round-trip,
+    /// and the returned snapshot stays valid even while further flushes
+    /// publish newer ones.
+    pub fn snapshot(&self) -> Option<Arc<ViewSnapshot>> {
+        self.snapshot
+            .read()
+            .unwrap_or_else(|e| e.into_inner())
+            .clone()
+    }
+
+    /// [`ServeHandle::snapshot`], counted as a served snapshot read in
+    /// [`MetricsSnapshot::snapshot_reads`]. Frontends (e.g. the TCP
+    /// server) that answer stale reads directly from the snapshot call
+    /// this so the serve metrics still see every read.
+    pub fn snapshot_for_read(&self) -> Option<Arc<ViewSnapshot>> {
+        let snap = self.snapshot()?;
+        self.snapshot_reads.fetch_add(1, Ordering::Relaxed);
+        Some(snap)
+    }
+
+    /// Serves a stale read from the published snapshot when one exists.
+    fn snapshot_read(&self) -> Option<ReadResult> {
+        let snap = self.snapshot_for_read()?;
+        Some(ReadResult {
+            lag: snap.lag(),
+            rows: Some(snap.rows.clone()),
+            flush_cost: 0.0,
+            violated: false,
+        })
+    }
     /// Ingests `k` anonymous events for `table` (model backend).
     /// Blocks while the queue is full (unless shedding is on); returns
     /// `false` if the server is gone.
@@ -158,9 +200,20 @@ impl ServeHandle {
         self.tx.send(Msg::Dml { table, m }, true).is_ok()
     }
 
-    /// Serves a read, blocking until the scheduler replies. `None` if
-    /// the server is gone (check [`ServeHandle::last_error`] for why).
+    /// Serves a read. Stale reads are answered wait-free from the
+    /// published [`ViewSnapshot`] when one exists (engine backends) —
+    /// no scheduler round-trip, no queue wait, and they keep working
+    /// even while the scheduler is busy flushing. The reported lag is
+    /// as of the snapshot's publication. Fresh reads (and stale reads
+    /// on the model backend) travel through the scheduler queue;
+    /// `None` if the server is gone (check [`ServeHandle::last_error`]
+    /// for why).
     pub fn read(&self, mode: ReadMode) -> Option<Result<ReadResult, EngineError>> {
+        if mode == ReadMode::Stale {
+            if let Some(r) = self.snapshot_read() {
+                return Some(Ok(r));
+            }
+        }
         let (reply, rx) = sync_channel(1);
         self.tx
             .send(
@@ -184,6 +237,11 @@ impl ServeHandle {
         mode: ReadMode,
         timeout: Duration,
     ) -> Result<Result<ReadResult, EngineError>, DeadlineError> {
+        if mode == ReadMode::Stale {
+            if let Some(r) = self.snapshot_read() {
+                return Ok(Ok(r));
+            }
+        }
         let (reply, rx) = sync_channel(1);
         self.tx
             .send(
@@ -208,7 +266,11 @@ impl ServeHandle {
     pub fn metrics(&self) -> Option<MetricsSnapshot> {
         let (reply, rx) = sync_channel(1);
         self.tx.send(Msg::Metrics { reply }, false).ok()?;
-        rx.recv().ok()
+        let mut snap = rx.recv().ok()?;
+        // Snapshot-served reads never pass through the scheduler; the
+        // handles' shared counter is the only place they are counted.
+        snap.snapshot_reads = self.snapshot_reads.load(Ordering::Relaxed);
+        Some(snap)
     }
 
     /// Current ingest-queue depth (approximate).
@@ -238,12 +300,18 @@ impl ServeServer {
         let high_water = cfg.shed_high_water.map(|h| h.clamp(1, capacity));
         let (tx, rx) = channel::<Msg>(capacity, high_water);
         let last_error = Arc::new(Mutex::new(None));
+        // Publish the initial snapshot before the first client can
+        // read, so stale reads are wait-free from the very start.
+        let snapshot: SnapshotSlot = Arc::new(RwLock::new(runtime.view_snapshot()));
         let handle = ServeHandle {
             tx,
             last_error: Arc::clone(&last_error),
+            snapshot: Arc::clone(&snapshot),
+            snapshot_reads: Arc::new(AtomicU64::new(0)),
         };
         runtime.set_faults(cfg.faults.clone());
-        let join = std::thread::spawn(move || scheduler_loop(runtime, rx, last_error, cfg));
+        let join =
+            std::thread::spawn(move || scheduler_loop(runtime, rx, last_error, snapshot, cfg));
         ServeServer { handle, join }
     }
 
@@ -283,12 +351,29 @@ fn scheduler_loop(
     mut runtime: MaintenanceRuntime,
     rx: Receiver<Msg>,
     last_error: Arc<Mutex<Option<ServeError>>>,
+    snapshot: SnapshotSlot,
     cfg: ServerConfig,
 ) -> MaintenanceRuntime {
     let mut st = SchedulerState {
         ingest_errors: 0,
         max_depth: 0,
         last_error,
+    };
+    // Re-publish only when the view actually flushed (the snapshot
+    // `Arc` changes identity at every flush boundary and nowhere else),
+    // keeping idle ticks free of write-lock traffic.
+    let mut published = runtime.view_snapshot();
+    let mut publish = |runtime: &MaintenanceRuntime| {
+        let current = runtime.view_snapshot();
+        let changed = match (&published, &current) {
+            (Some(a), Some(b)) => !Arc::ptr_eq(a, b),
+            (None, None) => false,
+            _ => true,
+        };
+        if changed {
+            *snapshot.write().unwrap_or_else(|e| e.into_inner()) = current.clone();
+            published = current;
+        }
     };
     loop {
         let mut disconnected = false;
@@ -333,6 +418,7 @@ fn scheduler_loop(
             });
             return runtime;
         }
+        publish(&runtime);
         if cfg.faults.should_kill(runtime.wal_records()) {
             // Simulated crash: vanish without draining or replying.
             return runtime;
@@ -468,6 +554,71 @@ mod tests {
         let flushed: u64 = final_metrics.mods_flushed_per_table.iter().sum();
         let pending = runtime.pending().total();
         assert_eq!(flushed + pending, 1000);
+    }
+
+    #[test]
+    fn engine_stale_reads_are_snapshot_served_and_counted() {
+        use aivm_engine::{
+            row, DataType, Database, MaterializedView, MinStrategy, Schema, ViewDef,
+        };
+        let mut db = Database::new();
+        let t = db
+            .create_table("t", Schema::new(vec![("id", DataType::Int)]))
+            .unwrap();
+        db.set_key_column(t, 0);
+        let view = MaterializedView::new(
+            &db,
+            ViewDef {
+                name: "v".into(),
+                tables: vec!["t".into()],
+                join_preds: vec![],
+                filters: vec![None],
+                residual: None,
+                projection: None,
+                aggregate: None,
+                distinct: false,
+            },
+            MinStrategy::Multiset,
+        )
+        .unwrap();
+        let cfg = ServeConfig::new(vec![CostModel::linear(0.5, 0.1)], 50.0);
+        let rt =
+            MaintenanceRuntime::engine(cfg, Box::new(crate::policy::NaiveFlush::new()), db, view)
+                .unwrap();
+        let server = ServeServer::spawn(rt, ServerConfig::default());
+        let h = server.handle();
+        // The initial (empty-view) snapshot is published at spawn:
+        // stale reads are wait-free from the first client call.
+        let snap0 = h.snapshot().expect("engine snapshot published at spawn");
+        assert_eq!(snap0.rows.len(), 0);
+        for i in 0..20i64 {
+            assert!(h.ingest_dml(0, aivm_engine::Modification::Insert(row![i])));
+        }
+        // NaiveFlush only flushes a *full* state, and f(20) is far below
+        // C here — force the catch-up with a Fresh read (FIFO: it queues
+        // behind every DML, and its forced flush drains the remainder),
+        // then wait for the published snapshot to reflect all 20 rows.
+        h.read(ReadMode::Fresh).expect("alive").expect("fresh read");
+        let deadline = Instant::now() + Duration::from_secs(5);
+        let snap = loop {
+            let s = h.snapshot().unwrap();
+            if s.rows.len() == 20 {
+                break s;
+            }
+            assert!(Instant::now() < deadline, "snapshot never caught up");
+            std::thread::sleep(Duration::from_millis(2));
+        };
+        assert_eq!(snap.lag(), 0);
+        // Stale reads serve that snapshot without a scheduler
+        // round-trip and are counted separately from scheduler reads.
+        let r = h.read(ReadMode::Stale).expect("alive").expect("read ok");
+        assert_eq!(r.rows.as_ref().unwrap().len(), 20);
+        assert_eq!(r.flush_cost, 0.0);
+        let m = h.metrics().expect("alive");
+        assert!(m.snapshot_reads >= 1, "got {}", m.snapshot_reads);
+        assert_eq!(m.stale_reads, 0, "no stale read should reach the scheduler");
+        drop(h);
+        server.shutdown();
     }
 
     #[test]

@@ -124,7 +124,7 @@ mod tests {
     #[test]
     fn actual_naive_run_is_consistent() {
         let mut data = generate(&TpcrConfig::small(), 21);
-        let mut view = install_paper_view(&data.db, MinStrategy::Multiset).unwrap();
+        let mut view = install_paper_view(&mut data.db, MinStrategy::Multiset).unwrap();
         let mut gen = UpdateGen::new(&data, 22);
         // Small instance: cheap linear cost stand-ins only shape the
         // plan; actual timing is measured regardless.
@@ -145,7 +145,7 @@ mod tests {
     #[test]
     fn actual_asymmetric_plan_consistent() {
         let mut data = generate(&TpcrConfig::small(), 31);
-        let mut view = install_paper_view(&data.db, MinStrategy::Multiset).unwrap();
+        let mut view = install_paper_view(&mut data.db, MinStrategy::Multiset).unwrap();
         let mut gen = UpdateGen::new(&data, 32);
         let inst = Instance::new(
             vec![CostModel::linear(1.0, 0.2), CostModel::linear(1.0, 4.0)],

@@ -56,7 +56,7 @@ impl Fig4Result {
         (self.partsupp.fit_linear(), self.supplier.fit_linear())
     }
 
-    /// The measured curves as monotone piecewise cost models
+    /// The measured curves as monotone subadditive piecewise cost models
     /// `[f_PartSupp, f_Supplier]`, ready to drive the simulator.
     pub fn piecewise(&self) -> Vec<CostModel> {
         vec![self.partsupp.to_piecewise(), self.supplier.to_piecewise()]
@@ -65,8 +65,8 @@ impl Fig4Result {
 
 /// Runs the measurement.
 pub fn run(config: &Fig4Config) -> Fig4Result {
-    let data = generate(&config.scale, config.seed);
-    let view = install_paper_view(&data.db, config.strategy).expect("paper view installs");
+    let mut data = generate(&config.scale, config.seed);
+    let view = install_paper_view(&mut data.db, config.strategy).expect("paper view installs");
     let ps_pos = view.table_position("partsupp").expect("partsupp in view");
     let s_pos = view.table_position("supplier").expect("supplier in view");
     let cfg = MeasureConfig {

@@ -97,8 +97,8 @@ pub fn run(config: &Fig5Config) -> Vec<Fig5Row> {
     // database/update-stream replicas. Generate the database and install
     // the view once; per-plan replicas are cheap copy-on-write clones of
     // the same state, byte-identical to regenerating from the seed.
-    let data0 = generate(&config.scale, config.seed);
-    let view0 = install_paper_view(&data0.db, MinStrategy::Multiset).expect("view installs");
+    let mut data0 = generate(&config.scale, config.seed);
+    let view0 = install_paper_view(&mut data0.db, MinStrategy::Multiset).expect("view installs");
     plans
         .into_iter()
         .map(|(name, plan)| {

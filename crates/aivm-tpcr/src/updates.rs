@@ -219,7 +219,7 @@ mod tests {
     #[test]
     fn view_stays_consistent_under_update_stream() {
         let mut data = generate(&TpcrConfig::small(), 3);
-        let mut view = install_paper_view(&data.db, MinStrategy::Multiset).unwrap();
+        let mut view = install_paper_view(&mut data.db, MinStrategy::Multiset).unwrap();
         let mut gen = UpdateGen::new(&data, 4);
         for i in 0..60 {
             let (kind, m) = gen.random_update(&data.db);
@@ -255,7 +255,7 @@ mod tests {
     #[test]
     fn recompute_strategy_survives_min_deletion() {
         let mut data = generate(&TpcrConfig::small(), 3);
-        let mut view = install_paper_view(&data.db, MinStrategy::Recompute).unwrap();
+        let mut view = install_paper_view(&mut data.db, MinStrategy::Recompute).unwrap();
         let mut gen = UpdateGen::new(&data, 4);
         // supplycost updates eventually displace the current minimum.
         for _ in 0..120 {

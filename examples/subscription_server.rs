@@ -23,8 +23,8 @@ use aivm::tpcr::{generate, install_paper_view, TpcrConfig, UpdateGen, UpdateKind
 fn main() {
     // --- setup: database, subscription view, cost model -----------------
     let mut data = generate(&TpcrConfig::small(), 7);
-    let mut view =
-        install_paper_view(&data.db, MinStrategy::Multiset).expect("subscription view installs");
+    let mut view = install_paper_view(&mut data.db, MinStrategy::Multiset)
+        .expect("subscription view installs");
     println!("subscription: {}", aivm::tpcr::paper_view_sql());
 
     // Predict per-table maintenance costs from catalog statistics (the

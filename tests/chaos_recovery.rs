@@ -21,7 +21,7 @@ use aivm::serve::{
     Checkpoint, FaultPlan, FlushPolicy, MaintenanceRuntime, MemWal, OnlineFlush, ReadMode,
     ServeConfig, WalWriter,
 };
-use aivm::tpcr::{generate, install_paper_view, pregenerate_streams, TpcrConfig};
+use aivm::tpcr::{generate, install_paper_view, paper_view, pregenerate_streams, TpcrConfig};
 use rand::rngs::SmallRng;
 use rand::{Rng, SeedableRng};
 
@@ -72,8 +72,8 @@ fn snapshot(rt: &MaintenanceRuntime) -> Snapshot {
 }
 
 fn fixture() -> Fixture {
-    let data = generate(&TpcrConfig::small(), SEED);
-    let view = install_paper_view(&data.db, MinStrategy::Multiset).expect("paper view");
+    let mut data = generate(&TpcrConfig::small(), SEED);
+    let view = install_paper_view(&mut data.db, MinStrategy::Multiset).expect("paper view");
     let costs =
         estimate_cost_functions(&data.db, view.def(), &CostConstants::default()).expect("costs");
     let ps = view.table_position("partsupp").expect("partsupp");
@@ -112,7 +112,9 @@ fn fixture() -> Fixture {
 }
 
 fn make_view(db: &Database) -> Result<MaterializedView, EngineError> {
-    install_paper_view(db, MinStrategy::Multiset)
+    // The fixture db was installed via `install_paper_view`, so clones
+    // and checkpoints already carry the join indexes.
+    paper_view(db, MinStrategy::Multiset)
 }
 
 fn runtime(fx: &Fixture, policy: Box<dyn FlushPolicy>) -> MaintenanceRuntime {

@@ -119,8 +119,8 @@ fn fit_linear_rejects_degenerate_inputs() {
 
 #[test]
 fn estimated_tpcr_cost_models_satisfy_the_axioms() {
-    let data = generate(&TpcrConfig::small(), 77);
-    let view = install_paper_view(&data.db, MinStrategy::Multiset).expect("view");
+    let mut data = generate(&TpcrConfig::small(), 77);
+    let view = install_paper_view(&mut data.db, MinStrategy::Multiset).expect("view");
     let variants = [
         CostConstants::default(),
         CostConstants {

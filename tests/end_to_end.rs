@@ -31,11 +31,13 @@ fn measured_costs_drive_all_strategies_on_the_live_engine() {
     let budget = scratch.refresh_cost(&Counts::from_slice(&[12, 12]));
     let inst = Instance::new(costs, arrivals, budget);
 
-    // 3. Plans from every strategy. Measured curves are only
-    //    *approximately* subadditive (the paper notes the same, §5/§7);
-    //    under system load the samples can violate subadditivity, which
-    //    makes both heuristics inadmissible — Dijkstra is the only mode
-    //    guaranteed optimal for arbitrary monotone cost functions.
+    // 3. Plans from every strategy. `to_piecewise` lifts the measured
+    //    medians to their monotone concave envelope, so the curves
+    //    satisfy the §2 axioms (monotone + subadditive) by construction
+    //    and the LGM lazy-plan space is exact even when timer noise
+    //    under system load makes the raw samples convex. Dijkstra keeps
+    //    the optimality argument free of heuristic admissibility
+    //    assumptions.
     let opt = optimal_lgm_plan_with(&inst, HeuristicMode::None);
     let naive = naive_plan(&inst);
     let (online_plan, online_stats) =
@@ -46,7 +48,7 @@ fn measured_costs_drive_all_strategies_on_the_live_engine() {
     // 4. Execute each plan for real; every run must end consistent.
     for (name, plan) in [("naive", naive), ("opt", opt.plan), ("online", online_plan)] {
         let mut data = generate(&scale, 71);
-        let mut view = install_paper_view(&data.db, MinStrategy::Multiset).unwrap();
+        let mut view = install_paper_view(&mut data.db, MinStrategy::Multiset).unwrap();
         let mut gen = UpdateGen::new(&data, 72);
         let run = run_plan_actual(&mut data, &mut view, &mut gen, &inst, &plan)
             .unwrap_or_else(|e| panic!("{name}: {e}"));
@@ -74,7 +76,7 @@ fn adapt_runs_on_live_engine_at_wrong_horizon() {
         let plan = aivm::solver::adapt_plan(&schedule, &actual);
         plan.validate(&actual).expect("adapted plan valid");
         let mut data = generate(&TpcrConfig::small(), 5);
-        let mut view = install_paper_view(&data.db, MinStrategy::Multiset).unwrap();
+        let mut view = install_paper_view(&mut data.db, MinStrategy::Multiset).unwrap();
         let mut gen = UpdateGen::new(&data, 6);
         let run = run_plan_actual(&mut data, &mut view, &mut gen, &actual, &plan).unwrap();
         assert!(run.consistent, "T={t}");
@@ -118,7 +120,7 @@ fn experiment_drivers_reproduce_paper_shape() {
 #[test]
 fn paper_view_recompute_strategy_long_stream() {
     let mut data = generate(&TpcrConfig::small(), 17);
-    let mut view = install_paper_view(&data.db, MinStrategy::Recompute).unwrap();
+    let mut view = install_paper_view(&mut data.db, MinStrategy::Recompute).unwrap();
     let mut gen = UpdateGen::new(&data, 18);
     for i in 0..200usize {
         let (kind, m) = gen.random_update(&data.db);

@@ -1,0 +1,414 @@
+//! Snapshot-consistency and parallel-flush-equivalence property tests
+//! (PR 5).
+//!
+//! The wait-free read path of `aivm-serve` hands readers an immutable
+//! `Arc<ViewSnapshot>` published at flush boundaries. Its contract is
+//! the processed-prefix semantics of §2: every snapshot a reader can
+//! ever observe must equal the view query evaluated over *some*
+//! per-table prefix of the arrival streams — never a torn or
+//! mid-propagation state. These tests enforce that contract three ways:
+//!
+//! 1. An exhaustive *grid oracle*: precompute the result checksum of
+//!    every processed-prefix state `(i, j)` of two seeded insert
+//!    streams, then assert that randomized ingest/flush interleavings
+//!    (driven directly on `MaterializedView`, including partial flushes
+//!    and varying propagation widths) only ever publish checksums from
+//!    that grid.
+//! 2. The same oracle against the *live threaded server*: concurrent
+//!    reader threads hammer the wait-free snapshot path while producer
+//!    threads ingest, and every observed checksum must be a grid state
+//!    with per-reader monotone sequence numbers.
+//! 3. Parallel-vs-serial flush equivalence on the TPC-R paper view with
+//!    real update streams (inserts, deletes, compensating updates):
+//!    staged partial flushes at propagation widths 2/4/8 must produce
+//!    bit-identical `FlushReport`s, checksums and snapshots to the
+//!    serial schedule at every stage.
+
+use aivm::core::CostModel;
+use aivm::engine::{
+    DataType, Database, JoinPred, MaterializedView, MinStrategy, Modification, Schema, ViewDef,
+};
+use aivm::serve::{
+    MaintenanceRuntime, NaiveFlush, OnlineFlush, ReadMode, ServeConfig, ServeServer, ServerConfig,
+};
+use aivm::tpcr::{generate, install_paper_view, pregenerate_streams, TpcrConfig};
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+use std::collections::HashSet;
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+#[cfg(debug_assertions)]
+const EVENTS_EACH: usize = 12;
+#[cfg(not(debug_assertions))]
+const EVENTS_EACH: usize = 24;
+
+#[cfg(debug_assertions)]
+const TPCR_EVENTS: usize = 120;
+#[cfg(not(debug_assertions))]
+const TPCR_EVENTS: usize = 700;
+
+/// Two empty base tables joined on their first column. Registration
+/// also creates the join-column hash indexes the engine maintains for
+/// every view (PR 5), so the cloned databases used below match what a
+/// production registration produces.
+fn two_table_view() -> (Database, MaterializedView) {
+    let mut db = Database::new();
+    db.create_table(
+        "r",
+        Schema::new(vec![("rk", DataType::Int), ("rv", DataType::Int)]),
+    )
+    .expect("create r");
+    db.create_table(
+        "s",
+        Schema::new(vec![("sk", DataType::Int), ("sv", DataType::Int)]),
+    )
+    .expect("create s");
+    let def = ViewDef {
+        name: "rs".into(),
+        tables: vec!["r".into(), "s".into()],
+        join_preds: vec![JoinPred {
+            left: (0, 0),
+            right: (1, 0),
+        }],
+        filters: vec![None, None],
+        residual: None,
+        projection: None,
+        aggregate: None,
+        distinct: false,
+    };
+    let view =
+        MaterializedView::register(&mut db, def, MinStrategy::Multiset).expect("register view");
+    (db, view)
+}
+
+/// Seeded insert streams with a small shared key domain so the join
+/// fanout is non-trivial, and unique payloads so every state has a
+/// distinct row multiset.
+fn insert_streams(seed: u64, n: usize) -> (Vec<Modification>, Vec<Modification>) {
+    let mut rng = SmallRng::seed_from_u64(seed);
+    let r = (0..n)
+        .map(|i| Modification::Insert(aivm::engine::row![rng.gen_range(0i64..6), i as i64]))
+        .collect();
+    let s = (0..n)
+        .map(|i| Modification::Insert(aivm::engine::row![rng.gen_range(0i64..6), 1_000 + i as i64]))
+        .collect();
+    (r, s)
+}
+
+/// The oracle: result checksums of every processed-prefix state
+/// `(i, j)` with `i` events of `r` and `j` events of `s` flushed, plus
+/// the fully-caught-up checksum. Built offline with single-event serial
+/// flushes — the reference schedule everything else must agree with.
+fn prefix_grid(
+    db0: &Database,
+    view0: &MaterializedView,
+    r: &[Modification],
+    s: &[Modification],
+) -> (HashSet<u64>, u64) {
+    let mut grid = HashSet::new();
+    let mut full = 0u64;
+    for i in 0..=r.len() {
+        let mut db = db0.clone();
+        let mut view = view0.clone();
+        let rid = db.table_id("r").expect("r id");
+        let sid = db.table_id("s").expect("s id");
+        for m in &r[..i] {
+            db.apply(rid, m).expect("apply r");
+            view.enqueue(0, m.clone());
+        }
+        view.refresh(&db).expect("refresh r prefix");
+        grid.insert(view.result_checksum());
+        for m in s {
+            db.apply(sid, m).expect("apply s");
+            view.enqueue(1, m.clone());
+            view.refresh(&db).expect("refresh s step");
+            grid.insert(view.result_checksum());
+        }
+        if i == r.len() {
+            full = view.result_checksum();
+        }
+    }
+    (grid, full)
+}
+
+/// Randomized ingest/flush interleavings driven directly on the view:
+/// at every flush boundary — partial counts, arbitrary interleaving,
+/// propagation width re-randomized per flush — the published snapshot's
+/// checksum must be a grid state, its staleness vector must match the
+/// pending counts exactly, and its sequence number must be strictly
+/// increasing.
+#[test]
+fn randomized_partial_flushes_publish_only_prefix_states() {
+    let (db0, view0) = two_table_view();
+    let (r, s) = insert_streams(0xA1F0, EVENTS_EACH);
+    let (grid, full) = prefix_grid(&db0, &view0, &r, &s);
+
+    for seed in [11u64, 12, 13, 14] {
+        let mut rng = SmallRng::seed_from_u64(seed);
+        let mut db = db0.clone();
+        let mut view = view0.clone();
+        let rid = db.table_id("r").expect("r id");
+        let sid = db.table_id("s").expect("s id");
+        let mut next = [0usize, 0];
+        let mut last_seq = view.snapshot().seq;
+        while next[0] < r.len()
+            || next[1] < s.len()
+            || view.pending_counts().iter().sum::<u64>() > 0
+        {
+            let ingest = rng.gen_range(0u32..100) < 60;
+            if ingest && (next[0] < r.len() || next[1] < s.len()) {
+                // Ingest the next event of a random table that still
+                // has events left (arrival-time semantics: apply to the
+                // base table, then enqueue).
+                let t = if next[0] >= r.len() {
+                    1
+                } else if next[1] >= s.len() {
+                    0
+                } else {
+                    rng.gen_range(0usize..2)
+                };
+                let (id, stream) = if t == 0 { (rid, &r) } else { (sid, &s) };
+                let m = stream[next[t]].clone();
+                db.apply(id, &m).expect("apply");
+                view.enqueue(t, m);
+                next[t] += 1;
+            } else {
+                // Flush a random partial prefix of what is pending, at
+                // a random propagation width.
+                let pending = view.pending_counts();
+                let counts: Vec<u64> = pending
+                    .iter()
+                    .map(|&p| if p == 0 { 0 } else { rng.gen_range(0..=p) })
+                    .collect();
+                view.set_flush_threads(rng.gen_range(1usize..=4));
+                view.flush(&db, &counts).expect("partial flush");
+                let snap = view.snapshot();
+                assert!(
+                    grid.contains(&snap.checksum),
+                    "seed {seed}: snapshot checksum {} after flushing {counts:?} \
+                     (ingested {next:?}) is not any processed-prefix state",
+                    snap.checksum
+                );
+                assert_eq!(
+                    snap.staleness,
+                    view.pending_counts(),
+                    "seed {seed}: staleness vector must equal pending counts at publication"
+                );
+                assert!(
+                    snap.seq > last_seq,
+                    "seed {seed}: snapshot seq must strictly increase across flushes"
+                );
+                last_seq = snap.seq;
+            }
+        }
+        assert_eq!(
+            view.result_checksum(),
+            full,
+            "seed {seed}: fully flushed view must reach the full-prefix state"
+        );
+        assert_eq!(view.snapshot().checksum, full);
+        assert_eq!(view.snapshot().lag(), 0);
+    }
+}
+
+/// The live-server version: concurrent readers on the wait-free
+/// snapshot path during threaded ingest, under both the naive and the
+/// online flush policy. Every checksum any reader ever observes must be
+/// a processed-prefix grid state, and sequence numbers must be monotone
+/// per reader (snapshots never go backwards).
+#[test]
+fn concurrent_snapshot_reads_observe_only_processed_prefixes() {
+    let (db0, view0) = two_table_view();
+    let (r, s) = insert_streams(0xB2E1, EVENTS_EACH);
+    let (grid, full) = prefix_grid(&db0, &view0, &r, &s);
+    let grid = Arc::new(grid);
+
+    type PolicyMaker = Box<dyn Fn() -> Box<dyn aivm::serve::FlushPolicy>>;
+    let policies: Vec<(&str, PolicyMaker)> = vec![
+        ("naive", Box::new(|| Box::new(NaiveFlush::new()))),
+        ("online", Box::new(|| Box::new(OnlineFlush::new()))),
+    ];
+    for (name, make_policy) in policies {
+        // Steep per-modification costs against a small budget C, so the
+        // constraint trips every few events and the policies flush
+        // frequently — many distinct snapshots get published mid-run.
+        let mut cfg = ServeConfig::new(
+            vec![CostModel::linear(1.0, 0.5), CostModel::linear(1.0, 0.5)],
+            4.0,
+        )
+        .with_flush_threads(2);
+        cfg.record_trace = false;
+        let rt = MaintenanceRuntime::engine(cfg, make_policy(), db0.clone(), view0.clone())
+            .expect("engine runtime");
+        let server = ServeServer::spawn(rt, ServerConfig::default());
+        let stop = Arc::new(AtomicBool::new(false));
+
+        let readers: Vec<_> = (0..3)
+            .map(|ri| {
+                let h = server.handle();
+                let stop = Arc::clone(&stop);
+                let grid = Arc::clone(&grid);
+                std::thread::spawn(move || {
+                    let mut last_seq = 0u64;
+                    let mut observed = 0usize;
+                    while !stop.load(Ordering::Relaxed) {
+                        if let Some(snap) = h.snapshot_for_read() {
+                            assert!(
+                                grid.contains(&snap.checksum),
+                                "reader {ri}: observed checksum {} (seq {}) is not any \
+                                 processed-prefix state",
+                                snap.checksum,
+                                snap.seq
+                            );
+                            assert!(
+                                snap.seq >= last_seq,
+                                "reader {ri}: snapshot seq went backwards"
+                            );
+                            last_seq = snap.seq;
+                            observed += 1;
+                        }
+                        // The wait-free read path itself must also
+                        // never fail for Stale reads.
+                        if observed.is_multiple_of(16) {
+                            if let Some(res) = h.read(ReadMode::Stale) {
+                                res.expect("stale read");
+                            }
+                        }
+                        std::thread::sleep(Duration::from_micros(200));
+                    }
+                    observed
+                })
+            })
+            .collect();
+
+        let writers: Vec<_> = [(0usize, r.clone()), (1usize, s.clone())]
+            .into_iter()
+            .map(|(pos, stream)| {
+                let h = server.handle();
+                std::thread::spawn(move || {
+                    let mut rng = SmallRng::seed_from_u64(pos as u64 + 77);
+                    for m in stream {
+                        assert!(h.ingest_dml(pos, m), "ingest channel closed early");
+                        std::thread::sleep(Duration::from_micros(rng.gen_range(0u64..400)));
+                    }
+                })
+            })
+            .collect();
+        for w in writers {
+            w.join().expect("writer panicked");
+        }
+
+        // Force a catch-up: the channel is FIFO, so this Fresh read is
+        // handled after every DML above — it flushes all remaining
+        // pending work, and the next scheduler tick publishes the
+        // caught-up snapshot into the wait-free slot.
+        let handle = server.handle();
+        handle
+            .read(ReadMode::Fresh)
+            .expect("server alive")
+            .expect("fresh read");
+        let deadline = Instant::now() + Duration::from_secs(30);
+        loop {
+            if let Some(snap) = handle.snapshot() {
+                if snap.lag() == 0 && snap.checksum == full {
+                    break;
+                }
+            }
+            assert!(
+                Instant::now() < deadline,
+                "{name}: server never published the caught-up snapshot \
+                 (last = {:?})",
+                handle.snapshot().map(|s| (s.seq, s.lag(), s.checksum))
+            );
+            std::thread::sleep(Duration::from_millis(2));
+        }
+
+        stop.store(true, Ordering::Relaxed);
+        let mut total_observed = 0usize;
+        for rdr in readers {
+            total_observed += rdr.join().expect("reader panicked");
+        }
+        assert!(total_observed > 0, "{name}: readers observed no snapshots");
+        let metrics = handle.metrics().expect("metrics");
+        assert!(
+            metrics.snapshot_reads as usize >= total_observed,
+            "{name}: snapshot_reads metric must count wait-free reads"
+        );
+        // Every producer/reader clone of the handle is gone by now;
+        // drop the last one so shutdown's disconnect is observed.
+        drop(handle);
+        server.shutdown();
+    }
+}
+
+/// Parallel propagation must be invisible in every observable output:
+/// on the TPC-R paper view with real generated update streams (inserts,
+/// deletes and compensating updates exercising the state-bug
+/// compensation path), a staged schedule of partial flushes at widths
+/// 2, 4 and 8 must produce bit-identical `FlushReport`s, result
+/// checksums and published snapshots to the serial width-1 schedule at
+/// every stage.
+#[test]
+fn tpcr_parallel_flush_is_bit_identical_across_widths() {
+    let mut data = generate(&TpcrConfig::small(), 41);
+    let mut view = install_paper_view(&mut data.db, MinStrategy::Multiset).expect("paper view");
+    let ps_pos = view.table_position("partsupp").expect("partsupp");
+    let supp_pos = view.table_position("supplier").expect("supplier");
+    let (ps_stream, supp_stream) = pregenerate_streams(&data, TPCR_EVENTS, 41 ^ 0xFF);
+    for (table, pos, stream) in [
+        ("partsupp", ps_pos, ps_stream),
+        ("supplier", supp_pos, supp_stream),
+    ] {
+        let id = data.db.table_id(table).expect("table id");
+        for m in stream {
+            data.db.apply(id, &m).expect("apply");
+            view.enqueue(pos, m);
+        }
+    }
+    let db = &data.db;
+
+    // Stage the pending work into four partial flushes (the last takes
+    // the remainder) so equivalence is checked at intermediate
+    // processed-prefix states too, not just after one big refresh.
+    let pending = view.pending_counts();
+    const STAGES: u64 = 4;
+    let schedule: Vec<Vec<u64>> = (0..STAGES)
+        .map(|k| {
+            pending
+                .iter()
+                .map(|&p| {
+                    if k == STAGES - 1 {
+                        p - (p / STAGES) * (STAGES - 1)
+                    } else {
+                        p / STAGES
+                    }
+                })
+                .collect()
+        })
+        .collect();
+
+    let run = |threads: usize| {
+        let mut v = view.clone();
+        v.set_flush_threads(threads);
+        let mut stages = Vec::new();
+        for counts in &schedule {
+            let report = v.flush(db, counts).expect("staged flush");
+            let snap = v.snapshot();
+            stages.push((report, v.result_checksum(), snap.seq, snap.checksum));
+        }
+        assert_eq!(v.snapshot().lag(), 0, "schedule must drain everything");
+        stages
+    };
+
+    let serial = run(1);
+    for threads in [2usize, 4, 8] {
+        let parallel = run(threads);
+        assert_eq!(
+            parallel, serial,
+            "staged flush at {threads} threads diverged from serial \
+             (FlushReport / checksum / snapshot)"
+        );
+    }
+}
