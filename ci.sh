@@ -62,10 +62,22 @@ echo "==> snapshot read gate (read-heavy Stale mix served wait-free from snapsho
 AIVM_BENCH_LABEL=ci ./target/release/repro loadgen --quick --duration 5s \
   --mix read-heavy --read-mode stale --min-reads 5000 --max-stale-p99-ms 20 >/dev/null
 
-echo "==> snapshot consistency + parallel flush equivalence (release)"
+echo "==> high-concurrency gate (1000 closed-loop clients over the event loop)"
+# The event-loop server multiplexes 1000 connections over its fixed
+# worker pool; the floor is well above the ~130k/s thread-per-connection
+# plateau's *headroom* at this client count (typical: 105-145k ev/s).
+# Any Fresh budget violation or protocol error also fails the run.
+AIVM_BENCH_LABEL=ci ./target/release/repro loadgen --quick --duration 5s \
+  --events 100000 --clients 1000 --min-throughput 80000 >/dev/null
+
+echo "==> snapshot consistency + columnar/flush equivalence (release)"
 # Property tests: concurrent snapshot reads only ever observe processed-
-# prefix checksums, and flushes at widths 1/2/4/8 are bit-identical.
+# prefix checksums; flushes at widths 1/2/4/8 are bit-identical; the
+# columnar pending-delta layout matches the row-layout oracle; decoded
+# Submit frames allocate nothing.
 cargo test -q --release --test snapshot_consistency
+cargo test -q --release --test columnar_delta
+cargo test -q --release -p aivm-net --test zero_alloc
 
 echo "==> serve throughput baseline (BENCH_serve.json)"
 AIVM_BENCH_FAST=1 AIVM_BENCH_LABEL=ci cargo bench -p aivm-bench --bench serve >/dev/null

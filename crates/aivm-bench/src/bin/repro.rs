@@ -51,6 +51,7 @@
 //!
 //! ```text
 //!   --clients N            closed-loop client threads (default 4)
+//!   --max-conns N          server connection cap (default clients + 8)
 //!   --mix S:R              submit:read weight mix (default 4:1), or a
 //!                          preset: read-heavy (1:32), write-heavy (8:1),
 //!                          balanced (1:1)
@@ -340,6 +341,7 @@ struct ServeArgs {
     inject_policy_panic: Option<usize>,
     wal_sync: Option<aivm_serve::WalSyncPolicy>,
     clients: Option<usize>,
+    max_conns: Option<usize>,
     mix: Option<(u32, u32)>,
     batch: Option<usize>,
     fresh_every: Option<u64>,
@@ -536,6 +538,7 @@ fn run_loadgen(csv: bool, quick: bool, sargs: &ServeArgs) {
         budget: sargs.budget,
         quick,
         wal_sync: sargs.wal_sync,
+        max_conns: sargs.max_conns,
         ..Default::default()
     };
     let r = match run_loadgen(&exp, &opts) {
@@ -891,6 +894,16 @@ fn main() {
                     Ok(n) if n > 0 => sargs.clients = Some(n),
                     _ => {
                         eprintln!("--clients needs a positive integer");
+                        std::process::exit(2);
+                    }
+                }
+            }
+            "--max-conns" => {
+                let v = take("--max-conns");
+                match v.parse::<usize>() {
+                    Ok(n) if n > 0 => sargs.max_conns = Some(n),
+                    _ => {
+                        eprintln!("--max-conns needs a positive integer");
                         std::process::exit(2);
                     }
                 }

@@ -100,8 +100,16 @@ pub struct LoadgenOptions {
     /// Attach a [`FileWal`] with this fsync policy (temp file, removed
     /// after the run).
     pub wal_sync: Option<WalSyncPolicy>,
-    /// Server-side submit admission mark (`None` = pure backpressure).
+    /// Server-side submit admission mark in outstanding *events*
+    /// (`None` = pure backpressure). The ingest queue charges capacity
+    /// per modification, so the queue capacity itself already bounds
+    /// the backlog; an explicit mark below it trades parked-submit
+    /// latency for eager `Overloaded` rejections.
     pub submit_high_water: Option<usize>,
+    /// Server connection cap (`None` = clients + 8). The event-loop
+    /// server multiplexes connections over a fixed worker pool, so caps
+    /// in the thousands cost socket buffers, not threads.
+    pub max_conns: Option<usize>,
 }
 
 impl Default for LoadgenOptions {
@@ -120,7 +128,8 @@ impl Default for LoadgenOptions {
             quick: false,
             seed: 2005,
             wal_sync: None,
-            submit_high_water: Some(768),
+            submit_high_water: None,
+            max_conns: None,
         }
     }
 }
@@ -416,7 +425,7 @@ pub fn run_loadgen(
         serve.handle(),
         exp.costs.len(),
         NetServerConfig {
-            max_connections: opts.clients + 8,
+            max_connections: opts.max_conns.unwrap_or(opts.clients + 8),
             submit_high_water: opts.submit_high_water,
             ..NetServerConfig::default()
         },
@@ -443,7 +452,14 @@ pub fn run_loadgen(
     let workers: Vec<_> = (0..opts.clients.max(1) as u64)
         .map(|w| {
             let (opts, cursors, stop) = (opts.clone(), Arc::clone(&cursors), Arc::clone(&stop));
-            std::thread::spawn(move || worker_loop(addr, &opts, w, &cursors, &stop))
+            // Closed-loop workers block on round trips and hold almost
+            // nothing on the stack; a small stack keeps thousand-client
+            // runs (the server side is event-driven) cheap on memory.
+            std::thread::Builder::new()
+                .stack_size(256 * 1024)
+                .name(format!("loadgen-{w}"))
+                .spawn(move || worker_loop(addr, &opts, w, &cursors, &stop))
+                .expect("spawn loadgen worker")
         })
         .collect();
 

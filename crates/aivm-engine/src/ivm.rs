@@ -581,12 +581,18 @@ impl MaterializedView {
                     ),
                 });
             }
-            let mods = self.pending[i].take_prefix(k);
+            // The delta table precomputed the weighted entries at
+            // arrival (columnar layout): the flush reads one contiguous
+            // slice instead of reassembling Modification values.
+            let mut delta: Vec<WRow> = self.pending[i].take_weighted_prefix(k);
             report.mods_processed += k as u64;
-            let mut delta: Vec<WRow> = Vec::with_capacity(mods.len() * 2);
-            for m in &mods {
-                m.push_weighted(&mut delta);
-            }
+            // Cancel churn inside the batch before paying join fan-out
+            // for it: an update chain a→b→c contributes (−a,+b,−b,+c)
+            // and the ±b pair would otherwise be propagated through
+            // every join step and applied to the view just to annihilate
+            // there. The surviving multiset is identical, so flush
+            // results are bit-for-bit unchanged.
+            delta = exec::consolidate(delta);
             if let Some(f) = &self.def.filters[i] {
                 delta = exec::filter(delta, f);
             }

@@ -59,7 +59,7 @@
 
 use aivm_engine::codec::{get_modification, get_row, get_str, put_modification, put_row, put_str};
 use aivm_engine::fxhash::FxHasher;
-use aivm_engine::{EngineError, Modification, WRow};
+use aivm_engine::{EngineError, Modification, Row, Value, WRow};
 use bytes::{Buf, BufMut, Bytes, BytesMut};
 use std::hash::Hasher;
 use std::io::{ErrorKind, Read, Write};
@@ -833,6 +833,429 @@ pub fn recv_response<R: Read>(r: &mut R) -> Result<Response, FrameError> {
     decode_response(&read_frame(r)?).map_err(FrameError::Corrupt)
 }
 
+/// Appends one frame (header + payload) to an in-memory write buffer.
+/// The event-loop server accumulates responses here and flushes to the
+/// socket on write readiness, instead of calling blocking
+/// [`write_frame`].
+pub fn append_frame(out: &mut Vec<u8>, payload: &[u8]) {
+    debug_assert!(payload.len() <= MAX_FRAME_LEN);
+    out.extend_from_slice(&(payload.len() as u32).to_le_bytes());
+    out.extend_from_slice(&checksum(payload).to_le_bytes());
+    out.extend_from_slice(payload);
+}
+
+/// An incremental frame parser over a growable read buffer.
+///
+/// The blocking path ([`read_frame`]) owns the socket and can call
+/// `read_exact`; an event-loop server cannot — it gets whatever bytes
+/// `read` returns at readiness, which may be half a header, three
+/// frames and a torn fourth, or one byte. `FrameBuffer` accumulates
+/// those bytes and yields complete validated frames *in place*: the
+/// payload [`Range`](std::ops::Range) returned by [`next_frame`]
+/// borrows the buffer directly (resolve it with [`payload`]), so a
+/// Submit batch is decoded zero-copy straight out of the connection's
+/// read buffer.
+///
+/// [`next_frame`]: FrameBuffer::next_frame
+/// [`payload`]: FrameBuffer::payload
+///
+/// The torn-vs-corrupt taxonomy of the blocking path is preserved:
+/// * incomplete bytes → `Ok(None)` (wait for more); EOF while
+///   [`mid_frame`](FrameBuffer::mid_frame) is true is the caller's torn
+///   frame,
+/// * EOF with an empty buffer is a clean [`FrameError::Closed`],
+/// * oversized length or checksum mismatch → [`FrameError::Corrupt`]
+///   (the stream cannot be resynchronised; drop the connection).
+#[derive(Debug, Default)]
+pub struct FrameBuffer {
+    buf: Vec<u8>,
+    start: usize,
+}
+
+/// Bytes requested from the socket per [`FrameBuffer::fill_from`] call.
+const READ_CHUNK: usize = 64 * 1024;
+
+impl FrameBuffer {
+    /// An empty buffer.
+    pub fn new() -> FrameBuffer {
+        FrameBuffer::default()
+    }
+
+    /// Unparsed bytes currently buffered.
+    pub fn buffered(&self) -> usize {
+        self.buf.len() - self.start
+    }
+
+    /// True when buffered bytes form a partial frame (or handshake) —
+    /// EOF now means the peer died mid-message, not a clean close.
+    pub fn mid_frame(&self) -> bool {
+        self.buffered() > 0
+    }
+
+    /// Discards already-consumed bytes so the buffer only holds the
+    /// unparsed tail. Invalidates any outstanding payload range.
+    fn compact(&mut self) {
+        if self.start > 0 {
+            self.buf.drain(..self.start);
+            self.start = 0;
+        }
+    }
+
+    /// Performs **one** `read` call into the buffer, first compacting
+    /// away consumed bytes. Returns the byte count (`Ok(0)` = EOF);
+    /// `WouldBlock` and friends surface as errors for the caller's
+    /// readiness loop. Invalidates any outstanding payload range.
+    pub fn fill_from<R: Read>(&mut self, r: &mut R) -> std::io::Result<usize> {
+        self.compact();
+        let len = self.buf.len();
+        self.buf.resize(len + READ_CHUNK, 0);
+        let result = r.read(&mut self.buf[len..]);
+        self.buf.truncate(len + *result.as_ref().unwrap_or(&0));
+        result
+    }
+
+    /// Appends raw bytes (test harnesses and in-memory transports).
+    /// Invalidates any outstanding payload range.
+    pub fn extend_from_slice(&mut self, bytes: &[u8]) {
+        self.compact();
+        self.buf.extend_from_slice(bytes);
+    }
+
+    /// Consumes exactly `n` buffered bytes if available (the fixed-size
+    /// handshake hello), without frame validation.
+    pub fn take(&mut self, n: usize) -> Option<&[u8]> {
+        if self.buffered() < n {
+            return None;
+        }
+        let s = self.start;
+        self.start += n;
+        Some(&self.buf[s..self.start])
+    }
+
+    /// Tries to parse the next complete frame. `Ok(Some(range))` is the
+    /// payload's position in the buffer — resolve with
+    /// [`payload`](FrameBuffer::payload); the range stays valid until
+    /// the next `fill_from`/`extend_from_slice`. `Ok(None)` means more
+    /// bytes are needed. Length and checksum validation matches
+    /// [`read_frame`] exactly.
+    pub fn next_frame(&mut self) -> Result<Option<std::ops::Range<usize>>, FrameError> {
+        let avail = &self.buf[self.start..];
+        if avail.len() < FRAME_HEADER_LEN {
+            return Ok(None);
+        }
+        let len = u32::from_le_bytes(avail[..4].try_into().unwrap()) as usize;
+        if len > MAX_FRAME_LEN {
+            return Err(FrameError::corrupt(
+                "frame",
+                0,
+                format!("payload length {len} exceeds cap {MAX_FRAME_LEN}"),
+            ));
+        }
+        let sum = u64::from_le_bytes(avail[4..FRAME_HEADER_LEN].try_into().unwrap());
+        if avail.len() < FRAME_HEADER_LEN + len {
+            return Ok(None);
+        }
+        let payload_start = self.start + FRAME_HEADER_LEN;
+        let range = payload_start..payload_start + len;
+        if checksum(&self.buf[range.clone()]) != sum {
+            return Err(FrameError::corrupt(
+                "frame",
+                FRAME_HEADER_LEN as u64,
+                "payload checksum mismatch",
+            ));
+        }
+        self.start = range.end;
+        Ok(Some(range))
+    }
+
+    /// Resolves a range returned by [`next_frame`](FrameBuffer::next_frame).
+    pub fn payload(&self, range: std::ops::Range<usize>) -> &[u8] {
+        &self.buf[range]
+    }
+}
+
+/// A bounds-checked cursor over a borrowed payload slice. The
+/// zero-copy twin of the `Bytes`-based decoder: same offsets in the
+/// same `Corrupt` errors, no allocation on the success path.
+struct SliceCursor<'a> {
+    data: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> SliceCursor<'a> {
+    fn new(data: &'a [u8]) -> SliceCursor<'a> {
+        SliceCursor { data, pos: 0 }
+    }
+
+    fn remaining(&self) -> usize {
+        self.data.len() - self.pos
+    }
+
+    fn corrupt(&self, context: &str, what: &str) -> EngineError {
+        EngineError::Corrupt {
+            context: context.to_string(),
+            offset: self.pos as u64,
+            message: what.to_string(),
+        }
+    }
+
+    fn get<const N: usize>(&mut self, context: &str, what: &str) -> Result<[u8; N], EngineError> {
+        if self.remaining() < N {
+            return Err(self.corrupt(context, what));
+        }
+        let out = self.data[self.pos..self.pos + N].try_into().unwrap();
+        self.pos += N;
+        Ok(out)
+    }
+
+    fn get_u8(&mut self, context: &str, what: &str) -> Result<u8, EngineError> {
+        Ok(self.get::<1>(context, what)?[0])
+    }
+
+    fn get_u32_le(&mut self, context: &str, what: &str) -> Result<u32, EngineError> {
+        Ok(u32::from_le_bytes(self.get::<4>(context, what)?))
+    }
+
+    fn get_i64_le(&mut self, context: &str, what: &str) -> Result<i64, EngineError> {
+        Ok(i64::from_le_bytes(self.get::<8>(context, what)?))
+    }
+
+    fn get_f64_le(&mut self, context: &str, what: &str) -> Result<f64, EngineError> {
+        Ok(f64::from_le_bytes(self.get::<8>(context, what)?))
+    }
+
+    /// Borrows a length-prefixed UTF-8 string without copying.
+    fn get_str(&mut self, context: &str) -> Result<&'a str, EngineError> {
+        let len = self.get_u32_le(context, "string length")? as usize;
+        if self.remaining() < len {
+            return Err(self.corrupt(context, "string body"));
+        }
+        let bytes = &self.data[self.pos..self.pos + len];
+        let s = std::str::from_utf8(bytes).map_err(|_| self.corrupt(context, "utf8"))?;
+        self.pos += len;
+        Ok(s)
+    }
+
+    /// Validates and skips one tagged value.
+    fn skip_value(&mut self, context: &str) -> Result<(), EngineError> {
+        match self.get_u8(context, "value tag")? {
+            0 => Ok(()),
+            1 => self.get_i64_le(context, "int").map(|_| ()),
+            2 => self.get_f64_le(context, "float").map(|_| ()),
+            3 => self.get_str(context).map(|_| ()),
+            other => Err(self.corrupt(context, &format!("value tag {other}"))),
+        }
+    }
+
+    /// Reads one tagged value, materializing it.
+    fn get_value(&mut self, context: &str) -> Result<Value, EngineError> {
+        match self.get_u8(context, "value tag")? {
+            0 => Ok(Value::Null),
+            1 => Ok(Value::Int(self.get_i64_le(context, "int")?)),
+            2 => Ok(Value::Float(self.get_f64_le(context, "float")?)),
+            3 => Ok(Value::str(self.get_str(context)?)),
+            other => Err(self.corrupt(context, &format!("value tag {other}"))),
+        }
+    }
+
+    /// Validates and skips one arity-prefixed row.
+    fn skip_row(&mut self, context: &str) -> Result<(), EngineError> {
+        let arity = self.get_u32_le(context, "row arity")? as usize;
+        if arity > self.remaining() {
+            return Err(self.corrupt(context, &format!("row arity {arity}")));
+        }
+        for _ in 0..arity {
+            self.skip_value(context)?;
+        }
+        Ok(())
+    }
+
+    /// Reads one arity-prefixed row, materializing it.
+    fn get_row(&mut self, context: &str) -> Result<Row, EngineError> {
+        let arity = self.get_u32_le(context, "row arity")? as usize;
+        if arity > self.remaining() {
+            return Err(self.corrupt(context, &format!("row arity {arity}")));
+        }
+        let mut vals = Vec::with_capacity(arity);
+        for _ in 0..arity {
+            vals.push(self.get_value(context)?);
+        }
+        Ok(Row::new(vals))
+    }
+
+    /// Validates and skips one tagged modification.
+    fn skip_modification(&mut self, context: &str) -> Result<(), EngineError> {
+        match self.get_u8(context, "modification tag")? {
+            0 | 1 => self.skip_row(context),
+            2 => {
+                self.skip_row(context)?;
+                self.skip_row(context)
+            }
+            other => Err(self.corrupt(context, &format!("modification tag {other}"))),
+        }
+    }
+
+    /// Reads one tagged modification, materializing it.
+    fn get_modification(&mut self, context: &str) -> Result<Modification, EngineError> {
+        match self.get_u8(context, "modification tag")? {
+            0 => Ok(Modification::Insert(self.get_row(context)?)),
+            1 => Ok(Modification::Delete(self.get_row(context)?)),
+            2 => Ok(Modification::Update {
+                old: self.get_row(context)?,
+                new: self.get_row(context)?,
+            }),
+            other => Err(self.corrupt(context, &format!("modification tag {other}"))),
+        }
+    }
+}
+
+/// A Submit batch borrowing its modification bytes from the frame
+/// payload. Produced fully validated by [`decode_request_ref`]: the
+/// tag/arity/UTF-8 structure of every modification was checked during
+/// the skip-walk, so [`decode_mods_into`](SubmitRef::decode_mods_into)
+/// only materializes.
+#[derive(Clone, Copy, Debug)]
+pub struct SubmitRef<'a> {
+    /// Base-table position within the view.
+    pub table: u32,
+    /// Number of modifications in [`mods`](SubmitRef::mods).
+    pub count: u32,
+    mods: &'a [u8],
+}
+
+impl<'a> SubmitRef<'a> {
+    /// The raw encoded modification bytes (structurally validated).
+    pub fn mods(&self) -> &'a [u8] {
+        self.mods
+    }
+
+    /// Materializes the batch into `out` (appending). The engine's
+    /// `Modification` holds `Arc`ed rows, so this is where the payload's
+    /// only per-row allocations happen — at ingest, not at decode.
+    pub fn decode_mods_into(&self, out: &mut Vec<Modification>) -> Result<(), EngineError> {
+        let ctx = "request";
+        let mut cur = SliceCursor::new(self.mods);
+        out.reserve(self.count as usize);
+        for _ in 0..self.count {
+            out.push(cur.get_modification(ctx)?);
+        }
+        Ok(())
+    }
+}
+
+/// The zero-copy twin of [`Request`]: Submit payload bytes stay
+/// borrowed from the read buffer.
+#[derive(Clone, Copy, Debug)]
+pub enum RequestRef<'a> {
+    /// Liveness probe.
+    Ping,
+    /// Ingest a batch of DML (payload borrowed, pre-validated).
+    Submit(SubmitRef<'a>),
+    /// Read the view.
+    Read {
+        /// Fresh (flush-then-read, ≤ C) or stale (free).
+        fresh: bool,
+        /// Return materialized rows, not just the checksum.
+        want_rows: bool,
+    },
+    /// Fetch a metrics snapshot.
+    Metrics,
+    /// Force a full flush.
+    Flush,
+}
+
+/// A borrowed request plus its deadline budget — what
+/// [`decode_request_ref`] yields straight out of a [`FrameBuffer`].
+#[derive(Clone, Copy, Debug)]
+pub struct RequestRefFrame<'a> {
+    /// Milliseconds of deadline budget remaining at send time
+    /// (0 = no deadline).
+    pub deadline_ms: u32,
+    /// The operation.
+    pub request: RequestRef<'a>,
+}
+
+impl RequestRefFrame<'_> {
+    /// Materializes into the owned [`RequestFrame`]. Cannot fail in
+    /// practice — the payload was validated by [`decode_request_ref`] —
+    /// but decoding is fallible by type.
+    pub fn to_owned_frame(&self) -> Result<RequestFrame, EngineError> {
+        let request = match self.request {
+            RequestRef::Ping => Request::Ping,
+            RequestRef::Submit(s) => {
+                let mut mods = Vec::new();
+                s.decode_mods_into(&mut mods)?;
+                Request::Submit {
+                    table: s.table,
+                    mods,
+                }
+            }
+            RequestRef::Read { fresh, want_rows } => Request::Read { fresh, want_rows },
+            RequestRef::Metrics => Request::Metrics,
+            RequestRef::Flush => Request::Flush,
+        };
+        Ok(RequestFrame {
+            deadline_ms: self.deadline_ms,
+            request,
+        })
+    }
+}
+
+/// Decodes a request payload **without copying or allocating**: the
+/// Submit body stays a borrowed, structurally validated byte slice
+/// inside the returned [`RequestRefFrame`]. Validation is as strict as
+/// [`decode_request`] — same taxonomy, same offsets — so a frame this
+/// function accepts is exactly a frame the owned decoder accepts.
+pub fn decode_request_ref(payload: &[u8]) -> Result<RequestRefFrame<'_>, EngineError> {
+    let ctx = "request";
+    let mut cur = SliceCursor::new(payload);
+    if cur.remaining() < 5 {
+        return Err(cur.corrupt(ctx, "header"));
+    }
+    let deadline_ms = cur.get_u32_le(ctx, "header")?;
+    let request = match cur.get_u8(ctx, "header")? {
+        0 => RequestRef::Ping,
+        1 => {
+            if cur.remaining() < 8 {
+                return Err(cur.corrupt(ctx, "submit header"));
+            }
+            let table = cur.get_u32_le(ctx, "submit header")?;
+            let count = cur.get_u32_le(ctx, "submit header")?;
+            if count as usize > cur.remaining() {
+                return Err(cur.corrupt(ctx, &format!("submit count {count}")));
+            }
+            let body_start = cur.pos;
+            for _ in 0..count {
+                cur.skip_modification(ctx)?;
+            }
+            RequestRef::Submit(SubmitRef {
+                table,
+                count,
+                mods: &payload[body_start..cur.pos],
+            })
+        }
+        2 => {
+            if cur.remaining() < 2 {
+                return Err(cur.corrupt(ctx, "read flags"));
+            }
+            RequestRef::Read {
+                fresh: cur.get_u8(ctx, "read flags")? != 0,
+                want_rows: cur.get_u8(ctx, "read flags")? != 0,
+            }
+        }
+        3 => RequestRef::Metrics,
+        4 => RequestRef::Flush,
+        other => return Err(cur.corrupt(ctx, &format!("request kind {other}"))),
+    };
+    if cur.remaining() != 0 {
+        return Err(cur.corrupt(ctx, "trailing bytes"));
+    }
+    Ok(RequestRefFrame {
+        deadline_ms,
+        request,
+    })
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -1145,6 +1568,172 @@ mod tests {
         wire.extend_from_slice(&(NET_VERSION + 1).to_le_bytes());
         wire.push(0);
         assert!(read_hello_reply(&mut Cursor::new(wire)).is_err());
+    }
+
+    #[test]
+    fn frame_buffer_decodes_identically_across_arbitrary_chunk_boundaries() {
+        // The event-loop server sees TCP bytes at arbitrary boundaries:
+        // half a header, three frames coalesced, one byte at a time.
+        // Property: however a valid multi-frame stream is sliced into
+        // chunks, the FrameBuffer yields exactly the frames a
+        // whole-stream blocking reader yields, and the zero-copy
+        // decoder agrees bit-for-bit with the owned decoder on each.
+        let mut rng = SmallRng::seed_from_u64(0xA1_60);
+        for _ in 0..40 {
+            let reqs: Vec<RequestFrame> = (0..rng.gen_range(1..10usize))
+                .map(|_| arb_request(&mut rng))
+                .collect();
+            let mut wire = Vec::new();
+            for f in &reqs {
+                send_request(&mut wire, f).unwrap();
+            }
+            let mut fb = FrameBuffer::new();
+            let mut decoded = Vec::new();
+            let mut pos = 0;
+            while pos < wire.len() {
+                // Mix tiny (split) and large (coalescing) chunks.
+                let cap = (wire.len() - pos).min(if rng.gen_bool(0.5) { 3 } else { 64 });
+                let n = rng.gen_range(1..=cap.max(1));
+                fb.extend_from_slice(&wire[pos..pos + n]);
+                pos += n;
+                while let Some(range) = fb.next_frame().unwrap() {
+                    let payload = fb.payload(range);
+                    let owned = decode_request(payload).unwrap();
+                    let zero_copy = decode_request_ref(payload).unwrap();
+                    assert_eq!(zero_copy.to_owned_frame().unwrap(), owned);
+                    decoded.push(owned);
+                }
+            }
+            assert_eq!(decoded, reqs);
+            // Stream fully consumed at a frame boundary: a close here
+            // is clean, not torn.
+            assert!(!fb.mid_frame());
+        }
+    }
+
+    #[test]
+    fn frame_buffer_preserves_torn_vs_corrupt_taxonomy() {
+        let payload = encode_request(&RequestFrame {
+            deadline_ms: 99,
+            request: Request::Metrics,
+        });
+        let mut wire = Vec::new();
+        write_frame(&mut wire, &payload).unwrap();
+
+        // Every strict prefix: incomplete (Ok(None)) with mid_frame()
+        // true — EOF here is the caller's torn frame, never Corrupt.
+        for cut in 1..wire.len() {
+            let mut fb = FrameBuffer::new();
+            fb.extend_from_slice(&wire[..cut]);
+            assert!(fb.next_frame().unwrap().is_none(), "cut at {cut}");
+            assert!(fb.mid_frame(), "cut at {cut}");
+        }
+
+        // Flipped payload bytes: checksum catches them as Corrupt.
+        for i in FRAME_HEADER_LEN..wire.len() {
+            let mut bad = wire.clone();
+            bad[i] ^= 0x40;
+            let mut fb = FrameBuffer::new();
+            fb.extend_from_slice(&bad);
+            match fb.next_frame() {
+                Err(FrameError::Corrupt(EngineError::Corrupt { message, .. })) => {
+                    assert!(message.contains("checksum"), "got {message}");
+                }
+                other => panic!("flip at {i}: {other:?}"),
+            }
+        }
+
+        // Oversized length prefix: rejected before buffering the
+        // claimed payload.
+        let mut fb = FrameBuffer::new();
+        let mut bad = Vec::new();
+        bad.extend_from_slice(&u32::MAX.to_le_bytes());
+        bad.extend_from_slice(&0u64.to_le_bytes());
+        fb.extend_from_slice(&bad);
+        match fb.next_frame() {
+            Err(FrameError::Corrupt(EngineError::Corrupt { message, .. })) => {
+                assert!(message.contains("exceeds cap"), "got {message}");
+            }
+            other => panic!("expected oversize rejection, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn frame_buffer_fill_from_reads_incrementally() {
+        // fill_from does one read per call and tolerates a reader that
+        // returns one byte at a time.
+        struct OneByte(Cursor<Vec<u8>>);
+        impl Read for OneByte {
+            fn read(&mut self, buf: &mut [u8]) -> std::io::Result<usize> {
+                let n = 1.min(buf.len());
+                self.0.read(&mut buf[..n])
+            }
+        }
+        let f = RequestFrame {
+            deadline_ms: 7,
+            request: Request::Read {
+                fresh: true,
+                want_rows: false,
+            },
+        };
+        let mut wire = Vec::new();
+        send_request(&mut wire, &f).unwrap();
+        let total = wire.len();
+        let mut r = OneByte(Cursor::new(wire));
+        let mut fb = FrameBuffer::new();
+        let mut seen = None;
+        for _ in 0..total {
+            assert_eq!(fb.fill_from(&mut r).unwrap(), 1);
+            if let Some(range) = fb.next_frame().unwrap() {
+                seen = Some(decode_request(fb.payload(range)).unwrap());
+            }
+        }
+        assert_eq!(seen, Some(f));
+        assert_eq!(fb.fill_from(&mut r).unwrap(), 0); // clean EOF
+        assert!(!fb.mid_frame());
+    }
+
+    #[test]
+    fn zero_copy_decoder_rejects_exactly_what_the_owned_decoder_rejects() {
+        // Same acceptance set: for valid payloads, every truncation and
+        // every byte flip must classify identically (both Ok-and-equal
+        // or both Err).
+        let mut rng = SmallRng::seed_from_u64(0xA1_61);
+        for _ in 0..40 {
+            let enc = encode_request(&arb_request(&mut rng));
+            for cut in 0..enc.len() {
+                let owned = decode_request(&enc[..cut]);
+                let zc = decode_request_ref(&enc[..cut]);
+                assert_eq!(owned.is_err(), zc.is_err(), "prefix {cut}/{}", enc.len());
+            }
+            let mut mutated = enc.clone();
+            for i in 0..mutated.len() {
+                let orig = mutated[i];
+                mutated[i] = orig.wrapping_add(rng.gen_range(1..255u8));
+                let owned = decode_request(&mutated);
+                let zc = decode_request_ref(&mutated);
+                match (owned, zc) {
+                    (Ok(o), Ok(z)) => assert_eq!(z.to_owned_frame().unwrap(), o),
+                    (Err(_), Err(_)) => {}
+                    (o, z) => panic!("flip at {i}: owned={o:?} zero-copy={z:?}"),
+                }
+                mutated[i] = orig;
+            }
+        }
+    }
+
+    #[test]
+    fn frame_buffer_take_serves_the_fixed_size_hello() {
+        let mut wire = Vec::new();
+        write_hello(&mut wire).unwrap();
+        let mut fb = FrameBuffer::new();
+        fb.extend_from_slice(&wire[..3]);
+        assert!(fb.take(6).is_none()); // incomplete hello
+        fb.extend_from_slice(&wire[3..]);
+        let hello = fb.take(6).unwrap();
+        assert_eq!(&hello[..4], NET_MAGIC);
+        assert_eq!(u16::from_le_bytes([hello[4], hello[5]]), NET_VERSION);
+        assert!(!fb.mid_frame());
     }
 
     #[test]

@@ -10,29 +10,36 @@
 //!    one checksum convention covers disk and wire. Requests carry a
 //!    deadline; failures are a typed [`ErrorCode`] taxonomy, never a
 //!    torn connection with no explanation.
-//! 2. **The TCP server** ([`server`]) — std-only, thread-per-connection
-//!    behind a hard connection cap, driving a
-//!    [`ServeHandle`](aivm_serve::ServeHandle). Admission control
-//!    rejects with [`ErrorCode::Overloaded`] *before* any side effect
-//!    instead of queueing unboundedly, and per-request deadlines bound
-//!    how long a read may wait behind a backlog.
+//! 2. **The TCP server** ([`server`]) — std-only, event-driven: a
+//!    hand-rolled [`poller`] (raw `epoll`, no external crates)
+//!    multiplexes thousands of non-blocking connections over a small
+//!    fixed worker pool, each connection a read/write buffer state
+//!    machine driving a [`ServeHandle`](aivm_serve::ServeHandle).
+//!    Admission control rejects with [`ErrorCode::Overloaded`] *before*
+//!    any side effect instead of queueing unboundedly, and per-request
+//!    deadlines bound how long a read may wait behind a backlog.
+//!
+//! Submit and Read payloads are decoded **zero-copy** straight out of a
+//! connection's read buffer ([`decode_request_ref`]); the steady-state
+//! decode path performs no heap allocation per frame.
 //!
 //! The paper's refresh constraint `C` becomes a client-visible latency
 //! SLO here: a `Fresh` read over the wire is still tick + forced flush,
 //! so its flush cost is provably ≤ `C` — now measured end to end by the
 //! `repro loadgen` harness in `aivm-bench`.
 
-#![forbid(unsafe_code)]
+#![deny(unsafe_code)] // relaxed from forbid: `poller` needs raw epoll FFI
 #![warn(missing_docs)]
 
 pub mod frame;
+pub mod poller;
 pub mod server;
 
 pub use frame::{
-    decode_request, decode_response, encode_request, encode_response, read_frame, read_hello,
-    read_hello_reply, recv_request, recv_response, send_request, send_response, write_frame,
-    write_hello, write_hello_reply, ErrorCode, FrameError, HandshakeStatus, NetMetrics, Request,
-    RequestFrame, Response, WireReadResult, FRAME_HEADER_LEN, MAX_FRAME_LEN, NET_MAGIC,
-    NET_VERSION,
+    decode_request, decode_request_ref, decode_response, encode_request, encode_response,
+    read_frame, read_hello, read_hello_reply, recv_request, recv_response, send_request,
+    send_response, write_frame, write_hello, write_hello_reply, ErrorCode, FrameBuffer, FrameError,
+    HandshakeStatus, NetMetrics, Request, RequestFrame, RequestRef, RequestRefFrame, Response,
+    SubmitRef, WireReadResult, FRAME_HEADER_LEN, MAX_FRAME_LEN, NET_MAGIC, NET_VERSION,
 };
 pub use server::{NetServer, NetServerConfig};

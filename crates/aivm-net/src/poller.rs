@@ -1,0 +1,299 @@
+//! A minimal readiness poller over raw `epoll`.
+//!
+//! The workspace builds with no external crates (no `libc`, `mio`,
+//! `polling`), so the four syscalls the event loop needs —
+//! `epoll_create1`, `epoll_ctl`, `epoll_wait`, `close` — are declared
+//! here as direct `extern "C"` bindings against the platform libc the
+//! binary already links. This is the only module in the workspace that
+//! uses `unsafe`; everything above it sees a safe [`Poller`] value.
+//!
+//! Level-triggered mode, deliberately: a readiness bit stays set while
+//! bytes remain buffered, so a server that parses one frame and returns
+//! to `wait` is re-woken instead of stalling — the classic
+//! edge-trigger starvation bug cannot happen. The server drains sockets
+//! to `WouldBlock` anyway; level-trigger is belt and braces.
+//!
+//! Tokens are caller-chosen `u64`s carried in the kernel's per-fd user
+//! data; the poller neither owns nor tracks file descriptors. Callers
+//! must [`Poller::delete`] an fd before closing it (or rely on the
+//! kernel's close-time cleanup, which is fine as long as the fd was not
+//! duplicated).
+
+#![allow(unsafe_code)]
+
+use std::io;
+use std::os::fd::RawFd;
+use std::os::raw::c_int;
+use std::time::Duration;
+
+// Constants from <sys/epoll.h> (stable kernel ABI).
+const EPOLL_CLOEXEC: c_int = 0o2000000;
+const EPOLL_CTL_ADD: c_int = 1;
+const EPOLL_CTL_DEL: c_int = 2;
+const EPOLL_CTL_MOD: c_int = 3;
+const EPOLLIN: u32 = 0x001;
+const EPOLLOUT: u32 = 0x004;
+const EPOLLERR: u32 = 0x008;
+const EPOLLHUP: u32 = 0x010;
+const EPOLLRDHUP: u32 = 0x2000;
+
+/// `struct epoll_event`. On x86-64 the kernel ABI packs it (no padding
+/// between the 32-bit event mask and the 64-bit data field); other
+/// architectures use natural alignment.
+#[repr(C)]
+#[cfg_attr(target_arch = "x86_64", repr(packed))]
+#[derive(Clone, Copy)]
+struct EpollEvent {
+    events: u32,
+    data: u64,
+}
+
+extern "C" {
+    fn epoll_create1(flags: c_int) -> c_int;
+    fn epoll_ctl(epfd: c_int, op: c_int, fd: c_int, event: *mut EpollEvent) -> c_int;
+    fn epoll_wait(epfd: c_int, events: *mut EpollEvent, maxevents: c_int, timeout: c_int) -> c_int;
+    fn close(fd: c_int) -> c_int;
+    fn __errno_location() -> *mut c_int;
+}
+
+fn last_errno() -> io::Error {
+    // SAFETY: __errno_location returns glibc/musl's thread-local errno
+    // slot, always valid.
+    let e = unsafe { *__errno_location() };
+    io::Error::from_raw_os_error(e)
+}
+
+const EINTR: i32 = 4;
+
+/// Which readiness events to watch an fd for.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct Interest {
+    /// Wake when the fd is readable (or the peer half-closed).
+    pub readable: bool,
+    /// Wake when the fd is writable.
+    pub writable: bool,
+}
+
+impl Interest {
+    /// Read-only interest.
+    pub const READ: Interest = Interest {
+        readable: true,
+        writable: false,
+    };
+    /// Read + write interest.
+    pub const READ_WRITE: Interest = Interest {
+        readable: true,
+        writable: true,
+    };
+
+    fn mask(self) -> u32 {
+        let mut m = EPOLLRDHUP;
+        if self.readable {
+            m |= EPOLLIN;
+        }
+        if self.writable {
+            m |= EPOLLOUT;
+        }
+        m
+    }
+}
+
+/// One readiness notification from [`Poller::wait`].
+#[derive(Clone, Copy, Debug)]
+pub struct Event {
+    /// The token the fd was registered with.
+    pub token: u64,
+    /// The fd has bytes to read (or a pending accept).
+    pub readable: bool,
+    /// The fd can take bytes.
+    pub writable: bool,
+    /// The peer closed or the fd errored; the connection is done.
+    /// Reported alongside `readable` so buffered bytes can still be
+    /// drained first.
+    pub closed: bool,
+}
+
+/// A safe wrapper around one epoll instance.
+pub struct Poller {
+    epfd: RawFd,
+}
+
+impl Poller {
+    /// Creates a new epoll instance (close-on-exec).
+    pub fn new() -> io::Result<Poller> {
+        // SAFETY: plain syscall, no pointers.
+        let epfd = unsafe { epoll_create1(EPOLL_CLOEXEC) };
+        if epfd < 0 {
+            return Err(last_errno());
+        }
+        Ok(Poller { epfd })
+    }
+
+    fn ctl(&self, op: c_int, fd: RawFd, ev: Option<EpollEvent>) -> io::Result<()> {
+        let mut ev = ev;
+        let ptr = ev
+            .as_mut()
+            .map(|e| e as *mut EpollEvent)
+            .unwrap_or(std::ptr::null_mut());
+        // SAFETY: `ptr` is either null (DEL) or points at a live
+        // EpollEvent on this stack frame for the duration of the call.
+        let rc = unsafe { epoll_ctl(self.epfd, op, fd, ptr) };
+        if rc < 0 {
+            return Err(last_errno());
+        }
+        Ok(())
+    }
+
+    /// Registers `fd` under `token` with the given interest.
+    pub fn add(&self, fd: RawFd, token: u64, interest: Interest) -> io::Result<()> {
+        self.ctl(
+            EPOLL_CTL_ADD,
+            fd,
+            Some(EpollEvent {
+                events: interest.mask(),
+                data: token,
+            }),
+        )
+    }
+
+    /// Changes the interest set of a registered fd.
+    pub fn modify(&self, fd: RawFd, token: u64, interest: Interest) -> io::Result<()> {
+        self.ctl(
+            EPOLL_CTL_MOD,
+            fd,
+            Some(EpollEvent {
+                events: interest.mask(),
+                data: token,
+            }),
+        )
+    }
+
+    /// Unregisters an fd. Call before closing it.
+    pub fn delete(&self, fd: RawFd) -> io::Result<()> {
+        self.ctl(EPOLL_CTL_DEL, fd, None)
+    }
+
+    /// Waits for readiness, appending into `events` (cleared first).
+    /// `timeout` of `None` blocks indefinitely. Returns the number of
+    /// events delivered; 0 on timeout. `EINTR` is retried internally.
+    pub fn wait(&self, events: &mut Vec<Event>, timeout: Option<Duration>) -> io::Result<usize> {
+        events.clear();
+        const CAP: usize = 256;
+        let mut raw = [EpollEvent { events: 0, data: 0 }; CAP];
+        let timeout_ms: c_int = match timeout {
+            None => -1,
+            // Round sub-millisecond timeouts up to 1ms so short waits
+            // still sleep instead of spinning.
+            Some(d) if d.is_zero() => 0,
+            Some(d) => d.as_millis().clamp(1, i32::MAX as u128) as c_int,
+        };
+        loop {
+            // SAFETY: `raw` is a live buffer of CAP epoll_event slots;
+            // the kernel writes at most CAP entries.
+            let n = unsafe { epoll_wait(self.epfd, raw.as_mut_ptr(), CAP as c_int, timeout_ms) };
+            if n < 0 {
+                let err = last_errno();
+                if err.raw_os_error() == Some(EINTR) {
+                    continue;
+                }
+                return Err(err);
+            }
+            for e in raw.iter().take(n as usize) {
+                let bits = e.events;
+                events.push(Event {
+                    token: e.data,
+                    readable: bits & (EPOLLIN | EPOLLRDHUP | EPOLLHUP) != 0,
+                    writable: bits & EPOLLOUT != 0,
+                    closed: bits & (EPOLLERR | EPOLLHUP | EPOLLRDHUP) != 0,
+                });
+            }
+            return Ok(n as usize);
+        }
+    }
+}
+
+impl Drop for Poller {
+    fn drop(&mut self) {
+        // SAFETY: epfd is a valid fd owned exclusively by this Poller.
+        unsafe {
+            let _ = close(self.epfd);
+        }
+    }
+}
+
+// The epoll fd is just an fd: safe to move across threads and to share
+// (epoll_ctl/epoll_wait are thread-safe); each worker owns its own
+// Poller here regardless.
+unsafe impl Send for Poller {}
+unsafe impl Sync for Poller {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::io::{Read, Write};
+    use std::os::fd::AsRawFd;
+    use std::os::unix::net::UnixStream;
+
+    #[test]
+    fn readiness_roundtrip_on_a_socketpair() {
+        let poller = Poller::new().unwrap();
+        let (mut a, mut b) = UnixStream::pair().unwrap();
+        a.set_nonblocking(true).unwrap();
+        b.set_nonblocking(true).unwrap();
+        poller.add(b.as_raw_fd(), 7, Interest::READ).unwrap();
+
+        // Nothing written yet: a short wait times out.
+        let mut events = Vec::new();
+        let n = poller
+            .wait(&mut events, Some(Duration::from_millis(10)))
+            .unwrap();
+        assert_eq!(n, 0);
+
+        a.write_all(b"ping").unwrap();
+        let n = poller
+            .wait(&mut events, Some(Duration::from_secs(5)))
+            .unwrap();
+        assert_eq!(n, 1);
+        assert_eq!(events[0].token, 7);
+        assert!(events[0].readable);
+        assert!(!events[0].closed);
+        let mut buf = [0u8; 8];
+        assert_eq!(b.read(&mut buf).unwrap(), 4);
+
+        // Level-triggered: after draining, the next wait times out
+        // again.
+        let n = poller
+            .wait(&mut events, Some(Duration::from_millis(10)))
+            .unwrap();
+        assert_eq!(n, 0);
+
+        // Peer close surfaces as a closed (and readable) event.
+        drop(a);
+        let n = poller
+            .wait(&mut events, Some(Duration::from_secs(5)))
+            .unwrap();
+        assert_eq!(n, 1);
+        assert!(events[0].closed);
+
+        poller.delete(b.as_raw_fd()).unwrap();
+    }
+
+    #[test]
+    fn write_interest_fires_when_buffer_has_room() {
+        let poller = Poller::new().unwrap();
+        let (a, _b) = UnixStream::pair().unwrap();
+        a.set_nonblocking(true).unwrap();
+        poller.add(a.as_raw_fd(), 1, Interest::READ_WRITE).unwrap();
+        let mut events = Vec::new();
+        poller
+            .wait(&mut events, Some(Duration::from_secs(5)))
+            .unwrap();
+        assert!(events.iter().any(|e| e.token == 1 && e.writable));
+        // Dropping write interest stops the wakeups.
+        poller.modify(a.as_raw_fd(), 1, Interest::READ).unwrap();
+        let n = poller
+            .wait(&mut events, Some(Duration::from_millis(10)))
+            .unwrap();
+        assert_eq!(n, 0);
+    }
+}

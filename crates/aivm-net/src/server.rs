@@ -1,5 +1,28 @@
-//! The std-only TCP server: thread-per-connection over a
+//! The std-only TCP server: an event-driven readiness loop over a
 //! [`ServeHandle`], with admission control.
+//!
+//! ## Architecture
+//!
+//! One accept thread plus a fixed pool of worker threads
+//! ([`NetServerConfig::workers`]), each running its own epoll instance
+//! ([`crate::poller`]). Connections are dispatched round-robin; a
+//! worker multiplexes its share of non-blocking sockets, so 10k+ open
+//! connections cost 10k socket buffers — not 10k stacks. Each
+//! connection is a small state machine:
+//!
+//! * a [`FrameBuffer`] accumulates whatever bytes `read` returns at
+//!   readiness and yields complete, checksum-validated frames in place;
+//! * requests are decoded **zero-copy** ([`crate::decode_request_ref`])
+//!   straight out of that read buffer — a Submit batch allocates
+//!   nothing until its rows are materialized for ingest;
+//! * responses are appended to a write buffer and flushed on write
+//!   readiness, never blocking the worker.
+//!
+//! Reads that must consult the scheduler (`Fresh`, `Flush`, `Metrics`)
+//! do not park the worker either: the request becomes a *pending
+//! ticket* ([`ServeHandle::begin_read`]) polled on the worker's tick,
+//! and further frames from that connection wait (pipelining stays
+//! ordered) while other connections keep being served.
 //!
 //! ## Admission control
 //!
@@ -11,36 +34,57 @@
 //!    half-written.
 //! 2. **Queue high water** — a `Submit` arriving while the scheduler's
 //!    ingest queue sits at or above
-//!    [`NetServerConfig::submit_high_water`] is answered with
-//!    [`ErrorCode::Overloaded`] without ingesting *any* of its batch,
-//!    which is what makes client-side submit retries safe. Below the
-//!    mark, submits ride the bounded queue's own backpressure.
-//! 3. **Deadlines** — a request whose budget is already spent is
-//!    answered [`ErrorCode::DeadlineExceeded`] instead of being
-//!    started; reads additionally give up (typed, not torn) when the
-//!    reply misses the remaining budget while queued behind a backlog.
+//!    [`NetServerConfig::submit_high_water`] outstanding events is
+//!    answered with [`ErrorCode::Overloaded`] without ingesting *any*
+//!    of its batch, which is what makes client-side submit retries
+//!    safe. Below the mark (or with the mark disabled), submits ride
+//!    the event-weighted bounded queue; one that finds the queue at
+//!    hard capacity is *parked* on its connection and re-offered each
+//!    poll tick — the event-loop equivalent of blocking backpressure —
+//!    until admitted or its deadline expires, in which case it too is
+//!    answered `Overloaded`, still before any side effect.
+//! 3. **Deadlines** — a pending read whose budget expires while queued
+//!    behind a backlog is answered [`ErrorCode::DeadlineExceeded`]
+//!    (typed, not torn).
 //!
 //! A corrupt inbound frame is answered with a best-effort
 //! [`ErrorCode::BadRequest`] and the connection is closed — a byte
 //! stream cannot be resynchronised past garbage, exactly like the WAL's
 //! hard-corruption rule.
 //!
-//! ## Shutdown
+//! ## Shutdown and drain
 //!
-//! [`NetServer::shutdown`] stops accepting, then *drains*: connection
-//! threads observe the stop flag at their next request boundary, finish
-//! the in-flight request, and exit; `shutdown` joins every one of them
-//! before returning, so no reply is ever abandoned mid-write.
+//! [`NetServer::shutdown`] (and equivalently dropping the server —
+//! `Drop` runs the identical sequence, so no thread is ever leaked)
+//! proceeds in order:
+//!
+//! 1. the accept thread observes the stop flag within
+//!    [`NetServerConfig::poll_interval`], stops accepting, and wakes
+//!    every worker;
+//! 2. workers stop parsing *new* frames, resolve every in-flight
+//!    pending reply, and flush every write buffer — bounded by a
+//!    [`DRAIN_GRACE`] grace period after which stragglers are closed;
+//! 3. `shutdown` joins the workers, then the accept thread, before
+//!    returning — so no reply is abandoned mid-write and every
+//!    `ServeHandle` clone is dropped (a subsequent
+//!    `ServeServer::shutdown` cannot hang on this server's handles).
 
 use crate::frame::{
-    read_hello, recv_request, send_response, write_hello_reply, ErrorCode, FrameError,
-    HandshakeStatus, NetMetrics, Request, RequestFrame, Response, WireReadResult, NET_VERSION,
+    append_frame, decode_request_ref, encode_response, ErrorCode, FrameBuffer, FrameError,
+    HandshakeStatus, NetMetrics, RequestRef, Response, SubmitRef, WireReadResult, NET_MAGIC,
+    NET_VERSION,
 };
-use aivm_engine::{fxhash, WRow};
-use aivm_serve::{DeadlineError, MetricsSnapshot, ReadMode, ServeHandle};
-use std::collections::HashMap;
+use crate::poller::{Event, Interest, Poller};
+use aivm_engine::{fxhash, Modification, WRow};
+use aivm_serve::{
+    DeadlineError, MetricsSnapshot, MetricsTicket, ReadMode, ReadTicket, ServeHandle, TrySendError,
+};
+use std::collections::VecDeque;
+use std::io::{ErrorKind, Write};
 use std::net::{TcpListener, TcpStream, ToSocketAddrs};
-use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::os::fd::AsRawFd;
+use std::os::unix::net::UnixStream;
+use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
 use std::sync::{Arc, Mutex};
 use std::thread::JoinHandle;
 use std::time::{Duration, Instant};
@@ -52,27 +96,47 @@ pub struct NetServerConfig {
     /// is rejected at the handshake with [`HandshakeStatus::Overloaded`].
     pub max_connections: usize,
     /// Reject `Submit` requests while the scheduler queue holds at
-    /// least this many messages. `None` disables the check (pure
-    /// backpressure).
+    /// least this many outstanding *events* (the queue charges capacity
+    /// per modification, not per message). `None` disables the check;
+    /// submits that find the queue at hard capacity are then parked on
+    /// the connection and retried each poll tick until admitted or
+    /// their deadline expires.
     pub submit_high_water: Option<usize>,
     /// Deadline applied to requests that carry none (`deadline_ms` 0).
     pub default_deadline: Duration,
-    /// How often the accept loop polls for shutdown.
+    /// The tick at which workers poll pending scheduler replies, check
+    /// deadlines, and (with the accept thread) observe shutdown.
     pub poll_interval: Duration,
+    /// Event-loop worker threads. `0` sizes the pool from the machine's
+    /// available parallelism (clamped to [2, 8]).
+    pub workers: usize,
 }
 
 impl Default for NetServerConfig {
     fn default() -> Self {
         NetServerConfig {
-            max_connections: 64,
+            max_connections: 4096,
             submit_high_water: None,
             default_deadline: Duration::from_secs(5),
             poll_interval: Duration::from_millis(1),
+            workers: 0,
         }
     }
 }
 
-/// Network-layer counters, shared across connection threads.
+impl NetServerConfig {
+    fn effective_workers(&self) -> usize {
+        if self.workers > 0 {
+            return self.workers;
+        }
+        std::thread::available_parallelism()
+            .map(|n| n.get())
+            .unwrap_or(4)
+            .clamp(2, 8)
+    }
+}
+
+/// Network-layer counters, shared across workers.
 #[derive(Default)]
 struct NetStats {
     connections_active: AtomicU64,
@@ -84,8 +148,31 @@ struct NetStats {
     deadline_rejections: AtomicU64,
 }
 
-/// A running TCP server. Dropping it without calling
-/// [`NetServer::shutdown`] leaks the accept thread; call `shutdown`.
+/// Immutable context shared by the accept thread and every worker.
+struct Shared {
+    n_tables: usize,
+    cfg: NetServerConfig,
+    stop: Arc<AtomicBool>,
+    stats: Arc<NetStats>,
+    /// Admitted (cap-counted) connections currently open.
+    open: AtomicUsize,
+}
+
+/// How long a drain may keep resolving in-flight replies and flushing
+/// write buffers before stragglers are force-closed.
+const DRAIN_GRACE: Duration = Duration::from_secs(1);
+
+/// Pause reading a connection whose write buffer backs up past this
+/// (the peer is not draining replies); resume below it.
+const WBUF_HIGH: usize = 256 * 1024;
+
+/// How long an over-cap connection may dawdle before its handshake
+/// arrives; past this it is closed without the courtesy reply.
+const REJECT_HELLO_CUTOFF: Duration = Duration::from_millis(250);
+
+/// A running TCP server. [`NetServer::shutdown`] stops and drains it;
+/// dropping it without calling `shutdown` performs the *same* full
+/// drain (no thread outlives the value).
 pub struct NetServer {
     addr: std::net::SocketAddr,
     stop: Arc<AtomicBool>,
@@ -108,11 +195,16 @@ impl NetServer {
         listener.set_nonblocking(true)?;
         let local = listener.local_addr()?;
         let stop = Arc::new(AtomicBool::new(false));
-        let accept_stop = Arc::clone(&stop);
-        let stats = Arc::new(NetStats::default());
-        let accept_join = std::thread::spawn(move || {
-            accept_loop(listener, handle, n_tables, cfg, accept_stop, stats)
+        let shared = Arc::new(Shared {
+            n_tables,
+            cfg,
+            stop: Arc::clone(&stop),
+            stats: Arc::new(NetStats::default()),
+            open: AtomicUsize::new(0),
         });
+        let accept_join = std::thread::Builder::new()
+            .name("aivm-net-accept".into())
+            .spawn(move || accept_loop(listener, handle, shared))?;
         Ok(NetServer {
             addr: local,
             stop,
@@ -125,9 +217,14 @@ impl NetServer {
         self.addr
     }
 
-    /// Stops accepting, drains every open connection (each finishes its
-    /// in-flight request), and joins all threads.
+    /// Stops accepting, drains every open connection (pending replies
+    /// resolved, write buffers flushed, bounded by [`DRAIN_GRACE`]),
+    /// and joins every thread.
     pub fn shutdown(mut self) {
+        self.stop_and_join();
+    }
+
+    fn stop_and_join(&mut self) {
         self.stop.store(true, Ordering::SeqCst);
         if let Some(j) = self.accept_join.take() {
             let _ = j.join();
@@ -135,257 +232,931 @@ impl NetServer {
     }
 }
 
-fn accept_loop(
-    listener: TcpListener,
-    handle: ServeHandle,
-    n_tables: usize,
-    cfg: NetServerConfig,
-    stop: Arc<AtomicBool>,
-    stats: Arc<NetStats>,
-) {
-    let mut conns: HashMap<u64, JoinHandle<()>> = HashMap::new();
-    let mut next_id = 0u64;
-    let done: Arc<Mutex<Vec<u64>>> = Arc::new(Mutex::new(Vec::new()));
-    while !stop.load(Ordering::SeqCst) {
-        // Reap finished connection threads so the map stays bounded.
-        for id in done.lock().unwrap_or_else(|e| e.into_inner()).drain(..) {
-            if let Some(j) = conns.remove(&id) {
-                let _ = j.join();
-            }
+impl Drop for NetServer {
+    fn drop(&mut self) {
+        self.stop_and_join();
+    }
+}
+
+/// A connection freshly accepted, on its way to a worker.
+struct NewConn {
+    stream: TcpStream,
+    /// Counted against the connection cap. Non-admitted connections get
+    /// a handshake-level `Overloaded` reply and are closed.
+    admitted: bool,
+}
+
+/// The accept thread's view of one worker.
+struct WorkerHandle {
+    inbox: Arc<Mutex<VecDeque<NewConn>>>,
+    /// Writing a byte wakes the worker's poller.
+    wake_tx: UnixStream,
+    join: JoinHandle<()>,
+}
+
+fn wake(handle: &WorkerHandle) {
+    // Best-effort: a full pipe already guarantees a pending wakeup.
+    let _ = (&handle.wake_tx).write(&[1]);
+}
+
+fn accept_loop(listener: TcpListener, handle: ServeHandle, shared: Arc<Shared>) {
+    let n_workers = shared.cfg.effective_workers();
+    let mut workers = Vec::with_capacity(n_workers);
+    for i in 0..n_workers {
+        match spawn_worker(i, handle.clone(), Arc::clone(&shared)) {
+            Ok(w) => workers.push(w),
+            Err(_) if !workers.is_empty() => break, // run with fewer
+            Err(_) => return,                       // cannot serve at all
         }
-        match listener.accept() {
-            Ok((stream, _)) => {
-                stats.connections_total.fetch_add(1, Ordering::Relaxed);
-                if conns.len() >= cfg.max_connections.max(1) {
-                    stats.connections_rejected.fetch_add(1, Ordering::Relaxed);
-                    reject_connection(stream);
-                    continue;
+    }
+    drop(handle);
+
+    let poller = match Poller::new() {
+        Ok(p) => p,
+        Err(_) => return,
+    };
+    let _ = poller.add(listener.as_raw_fd(), 0, Interest::READ);
+    let tick = shared.cfg.poll_interval.max(Duration::from_millis(1));
+    let mut events = Vec::new();
+    let mut rr = 0usize;
+    while !shared.stop.load(Ordering::SeqCst) {
+        let _ = poller.wait(&mut events, Some(tick));
+        loop {
+            match listener.accept() {
+                Ok((stream, _)) => {
+                    shared
+                        .stats
+                        .connections_total
+                        .fetch_add(1, Ordering::Relaxed);
+                    let cap = shared.cfg.max_connections.max(1);
+                    // Reserve a cap slot optimistically; workers release
+                    // it when the connection closes.
+                    let admitted = shared.open.fetch_add(1, Ordering::SeqCst) < cap;
+                    if !admitted {
+                        shared.open.fetch_sub(1, Ordering::SeqCst);
+                        shared
+                            .stats
+                            .connections_rejected
+                            .fetch_add(1, Ordering::Relaxed);
+                    }
+                    let w = &workers[rr % workers.len()];
+                    rr = rr.wrapping_add(1);
+                    w.inbox
+                        .lock()
+                        .unwrap_or_else(|e| e.into_inner())
+                        .push_back(NewConn { stream, admitted });
+                    wake(w);
                 }
-                let id = next_id;
-                next_id += 1;
-                let ctx = ConnCtx {
-                    handle: handle.clone(),
-                    n_tables,
-                    cfg: cfg.clone(),
-                    stop: Arc::clone(&stop),
-                    stats: Arc::clone(&stats),
-                };
-                let done = Arc::clone(&done);
-                conns.insert(
-                    id,
-                    std::thread::spawn(move || {
-                        serve_connection(stream, ctx);
-                        done.lock().unwrap_or_else(|e| e.into_inner()).push(id);
-                    }),
-                );
+                Err(e) if e.kind() == ErrorKind::WouldBlock => break,
+                Err(_) => break,
             }
-            Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => {
-                std::thread::sleep(cfg.poll_interval);
-            }
-            Err(_) => std::thread::sleep(cfg.poll_interval),
         }
     }
-    // Drain: connection threads see the stop flag at their next request
-    // boundary and exit after finishing in-flight work.
-    for (_, j) in conns.drain() {
-        let _ = j.join();
+    drop(listener);
+    for w in &workers {
+        wake(w);
+    }
+    for w in workers {
+        let _ = w.join.join();
     }
 }
 
-/// Answers an over-cap connection with a typed handshake rejection
-/// (best-effort: the peer may already be gone).
-fn reject_connection(mut stream: TcpStream) {
-    let _ = stream.set_read_timeout(Some(Duration::from_millis(100)));
-    let _ = read_hello(&mut stream);
-    let _ = write_hello_reply(&mut stream, HandshakeStatus::Overloaded);
-}
-
-struct ConnCtx {
+fn spawn_worker(
+    index: usize,
     handle: ServeHandle,
-    n_tables: usize,
-    cfg: NetServerConfig,
-    stop: Arc<AtomicBool>,
-    stats: Arc<NetStats>,
+    shared: Arc<Shared>,
+) -> std::io::Result<WorkerHandle> {
+    let inbox: Arc<Mutex<VecDeque<NewConn>>> = Arc::new(Mutex::new(VecDeque::new()));
+    let (wake_tx, wake_rx) = UnixStream::pair()?;
+    wake_tx.set_nonblocking(true)?;
+    wake_rx.set_nonblocking(true)?;
+    let poller = Poller::new()?;
+    poller.add(wake_rx.as_raw_fd(), WAKE_TOKEN, Interest::READ)?;
+    let worker_inbox = Arc::clone(&inbox);
+    let join = std::thread::Builder::new()
+        .name(format!("aivm-net-worker-{index}"))
+        .spawn(move || {
+            Worker {
+                shared,
+                handle,
+                poller,
+                wake_rx,
+                inbox: worker_inbox,
+                conns: Vec::new(),
+                free: Vec::new(),
+            }
+            .run()
+        })?;
+    Ok(WorkerHandle {
+        inbox,
+        wake_tx,
+        join,
+    })
 }
 
-fn serve_connection(mut stream: TcpStream, ctx: ConnCtx) {
-    ctx.stats.connections_active.fetch_add(1, Ordering::Relaxed);
-    let _ = stream.set_nodelay(true);
-    let status = match read_hello(&mut stream) {
-        Ok(v) if v == NET_VERSION => HandshakeStatus::Ok,
-        Ok(_) => HandshakeStatus::VersionMismatch,
-        Err(_) => {
-            ctx.stats.connections_active.fetch_sub(1, Ordering::Relaxed);
+const WAKE_TOKEN: u64 = 0;
+
+fn token_of(slot: usize) -> u64 {
+    slot as u64 + 1
+}
+
+fn slot_of(token: u64) -> usize {
+    (token - 1) as usize
+}
+
+/// Where a connection is in its lifecycle.
+#[derive(PartialEq, Eq)]
+enum Phase {
+    /// Waiting for the fixed-size client hello.
+    Hello,
+    /// Handshake done; frames flow.
+    Active,
+}
+
+/// A scheduler round-trip in flight for one connection. While one is
+/// pending the connection's later frames stay buffered (pipelining
+/// order), but every *other* connection keeps being served.
+enum Pending {
+    /// A submit the ingest queue had no room for. The event-loop
+    /// equivalent of the blocking server's backpressure: the decoded
+    /// batch parks here and re-attempts admission every tick, replying
+    /// `SubmitOk` the moment capacity frees — the client waits on its
+    /// reply instead of sleeping through a retry backoff. Nothing was
+    /// enqueued while parked, so expiring the deadline into an
+    /// `Overloaded` rejection stays side-effect free and retry-safe.
+    Submit {
+        table: usize,
+        mods: Vec<Modification>,
+        started: Instant,
+        deadline: Duration,
+    },
+    Read {
+        ticket: ReadTicket,
+        fresh: bool,
+        want_rows: bool,
+        started: Instant,
+        deadline: Duration,
+    },
+    Flush {
+        ticket: ReadTicket,
+        started: Instant,
+        deadline: Duration,
+    },
+    Metrics {
+        ticket: MetricsTicket,
+        started: Instant,
+        deadline: Duration,
+    },
+}
+
+/// Per-connection state machine.
+struct Conn {
+    stream: TcpStream,
+    rbuf: FrameBuffer,
+    wbuf: Vec<u8>,
+    /// Bytes of `wbuf` already written to the socket.
+    wpos: usize,
+    phase: Phase,
+    admitted: bool,
+    opened: Instant,
+    /// Finish flushing `wbuf`, then close (handshake rejections,
+    /// post-corrupt error replies, drain).
+    close_after_flush: bool,
+    pending: Option<Pending>,
+    /// Interest currently registered with the poller.
+    registered: Interest,
+    /// Marked for removal at the end of the current dispatch.
+    dead: bool,
+}
+
+impl Conn {
+    fn wbuf_len(&self) -> usize {
+        self.wbuf.len() - self.wpos
+    }
+
+    /// The interest this connection should be registered for right now:
+    /// read while it may parse (no pending reply, no backed-up write
+    /// buffer), write while bytes wait to flush.
+    fn desired_interest(&self) -> Interest {
+        Interest {
+            readable: self.pending.is_none()
+                && !self.close_after_flush
+                && self.wbuf_len() < WBUF_HIGH,
+            writable: self.wbuf_len() > 0,
+        }
+    }
+}
+
+struct Worker {
+    shared: Arc<Shared>,
+    handle: ServeHandle,
+    poller: Poller,
+    wake_rx: UnixStream,
+    inbox: Arc<Mutex<VecDeque<NewConn>>>,
+    conns: Vec<Option<Conn>>,
+    free: Vec<usize>,
+}
+
+impl Worker {
+    fn run(mut self) {
+        let tick = self.shared.cfg.poll_interval.max(Duration::from_millis(1));
+        // A parked submit is waiting for the scheduler to drain the
+        // ingest queue, which happens on the scheduler's own
+        // (sub-)millisecond cadence — retrying it on the full tick
+        // would make the retry tick the ingest ceiling for small client
+        // counts. Reads park on scheduler *replies* that take a tick to
+        // produce anyway, so they keep the coarser cadence.
+        let submit_tick = tick.min(Duration::from_micros(500));
+        let mut events: Vec<Event> = Vec::new();
+        let mut drain_started: Option<Instant> = None;
+        loop {
+            let stopping = self.shared.stop.load(Ordering::SeqCst);
+            if stopping && drain_started.is_none() {
+                drain_started = Some(Instant::now());
+                self.begin_drain();
+            }
+            let timeout = if self.has_parked_submit() {
+                submit_tick
+            } else if stopping || self.needs_tick() {
+                tick
+            } else {
+                Duration::from_millis(200)
+            };
+            let _ = self.poller.wait(&mut events, Some(timeout));
+            for &ev in &events {
+                if ev.token == WAKE_TOKEN {
+                    self.drain_wake();
+                } else {
+                    self.dispatch(slot_of(ev.token), ev);
+                }
+            }
+            self.admit_new(stopping || drain_started.is_some());
+            self.poll_pendings();
+            self.sweep_reject_cutoffs();
+            if let Some(t0) = drain_started {
+                let force = t0.elapsed() >= DRAIN_GRACE;
+                self.drain_step(force);
+                if self.conns.iter().all(Option::is_none) {
+                    break;
+                }
+            }
+        }
+    }
+
+    /// True when some connection needs timer-driven progress (pending
+    /// scheduler replies, over-cap handshake cutoffs).
+    fn needs_tick(&self) -> bool {
+        self.conns
+            .iter()
+            .flatten()
+            .any(|c| c.pending.is_some() || (!c.admitted && c.phase == Phase::Hello))
+    }
+
+    /// True when some connection holds a submit parked on a full ingest
+    /// queue — the one pending kind whose progress is gated purely on
+    /// this worker re-offering it.
+    fn has_parked_submit(&self) -> bool {
+        self.conns
+            .iter()
+            .flatten()
+            .any(|c| matches!(c.pending, Some(Pending::Submit { .. })))
+    }
+
+    fn drain_wake(&mut self) {
+        let mut sink = [0u8; 64];
+        while matches!(std::io::Read::read(&mut &self.wake_rx, &mut sink), Ok(n) if n > 0) {}
+    }
+
+    /// Moves freshly dispatched connections from the inbox into slots.
+    /// During a drain new connections are closed unserved.
+    fn admit_new(&mut self, draining: bool) {
+        loop {
+            let new = self
+                .inbox
+                .lock()
+                .unwrap_or_else(|e| e.into_inner())
+                .pop_front();
+            let Some(new) = new else { break };
+            if draining {
+                if new.admitted {
+                    self.shared.open.fetch_sub(1, Ordering::SeqCst);
+                }
+                continue; // stream drops → closed
+            }
+            let _ = new.stream.set_nonblocking(true);
+            let _ = new.stream.set_nodelay(true);
+            let slot = self.free.pop().unwrap_or_else(|| {
+                self.conns.push(None);
+                self.conns.len() - 1
+            });
+            let registered = Interest::READ;
+            if self
+                .poller
+                .add(new.stream.as_raw_fd(), token_of(slot), registered)
+                .is_err()
+            {
+                if new.admitted {
+                    self.shared.open.fetch_sub(1, Ordering::SeqCst);
+                }
+                self.free.push(slot);
+                continue;
+            }
+            if new.admitted {
+                self.shared
+                    .stats
+                    .connections_active
+                    .fetch_add(1, Ordering::Relaxed);
+            }
+            self.conns[slot] = Some(Conn {
+                stream: new.stream,
+                rbuf: FrameBuffer::new(),
+                wbuf: Vec::new(),
+                wpos: 0,
+                phase: Phase::Hello,
+                admitted: new.admitted,
+                opened: Instant::now(),
+                close_after_flush: false,
+                pending: None,
+                registered,
+                dead: false,
+            });
+            // The hello may already be buffered in the kernel; the
+            // level-triggered poller would tell us, but serving it now
+            // saves a tick.
+            self.dispatch(
+                slot,
+                Event {
+                    token: token_of(slot),
+                    readable: true,
+                    writable: false,
+                    closed: false,
+                },
+            );
+        }
+    }
+
+    /// Handles one readiness event for one connection.
+    fn dispatch(&mut self, slot: usize, ev: Event) {
+        let shared = Arc::clone(&self.shared);
+        let handle = self.handle.clone();
+        let Some(conn) = self.conns.get_mut(slot).and_then(Option::as_mut) else {
+            return;
+        };
+        if ev.readable {
+            handle_readable(&shared, &handle, conn);
+        }
+        if ev.writable {
+            flush_wbuf(conn);
+        }
+        if ev.closed && !ev.readable {
+            conn.dead = true;
+        }
+        self.finish_dispatch(slot);
+    }
+
+    /// Applies the outcome of any mutation pass: close dead connections,
+    /// re-register interest for live ones.
+    fn finish_dispatch(&mut self, slot: usize) {
+        let Some(conn) = self.conns.get_mut(slot).and_then(Option::as_mut) else {
+            return;
+        };
+        if conn.dead {
+            self.close(slot);
             return;
         }
-    };
-    if write_hello_reply(&mut stream, status).is_err() || status != HandshakeStatus::Ok {
-        ctx.stats.connections_active.fetch_sub(1, Ordering::Relaxed);
-        return;
-    }
-    // Bound every blocking read so the drain in `shutdown` cannot hang
-    // behind an idle connection holding its socket open.
-    let _ = stream.set_read_timeout(Some(ctx.cfg.poll_interval.max(Duration::from_millis(1))));
-    while !ctx.stop.load(Ordering::SeqCst) {
-        let req = match recv_request(&mut stream) {
-            Ok(req) => req,
-            Err(e) if e.is_timeout() => continue,
-            Err(FrameError::Closed) | Err(FrameError::Io(_)) => break,
-            Err(FrameError::Corrupt(err)) => {
-                // The stream cannot be resynchronised; answer with a
-                // typed error (best-effort) and drop the connection.
-                let _ = send_response(
-                    &mut stream,
-                    &Response::Error {
-                        code: ErrorCode::BadRequest,
-                        message: format!("undecodable request: {err}"),
-                    },
-                );
-                break;
-            }
-        };
-        ctx.stats.requests.fetch_add(1, Ordering::Relaxed);
-        let resp = handle_request(&req, &ctx);
-        if send_response(&mut stream, &resp).is_err() {
-            break;
+        let desired = conn.desired_interest();
+        if desired != conn.registered
+            && self
+                .poller
+                .modify(conn.stream.as_raw_fd(), token_of(slot), desired)
+                .is_ok()
+        {
+            conn.registered = desired;
         }
     }
-    ctx.stats.connections_active.fetch_sub(1, Ordering::Relaxed);
+
+    /// Polls every in-flight scheduler ticket; a resolved one queues its
+    /// response and lets the connection resume parsing buffered frames.
+    fn poll_pendings(&mut self) {
+        let shared = Arc::clone(&self.shared);
+        let handle = self.handle.clone();
+        for slot in 0..self.conns.len() {
+            let Some(conn) = self.conns[slot].as_mut() else {
+                continue;
+            };
+            if conn.pending.is_none() {
+                continue;
+            }
+            if poll_pending(&shared, &handle, conn) {
+                // Resolved: frames that queued up behind the pending
+                // reply parse now, without waiting for new readability.
+                process(&shared, &handle, conn);
+                flush_wbuf(conn);
+                self.finish_dispatch(slot);
+            }
+        }
+    }
+
+    /// Closes over-cap connections whose hello never arrived.
+    fn sweep_reject_cutoffs(&mut self) {
+        for slot in 0..self.conns.len() {
+            let Some(conn) = self.conns[slot].as_mut() else {
+                continue;
+            };
+            if !conn.admitted
+                && conn.phase == Phase::Hello
+                && conn.opened.elapsed() >= REJECT_HELLO_CUTOFF
+            {
+                conn.dead = true;
+                self.finish_dispatch(slot);
+            }
+        }
+    }
+
+    /// Entering shutdown: no new frames are parsed; in-flight pendings
+    /// and unflushed replies get the grace period.
+    fn begin_drain(&mut self) {
+        for slot in 0..self.conns.len() {
+            if let Some(conn) = self.conns[slot].as_mut() {
+                conn.close_after_flush = true;
+                self.finish_dispatch(slot);
+            }
+        }
+    }
+
+    /// One drain iteration: flush what can flush, close what is done —
+    /// or everything, once the grace period lapsed.
+    fn drain_step(&mut self, force: bool) {
+        for slot in 0..self.conns.len() {
+            let Some(conn) = self.conns[slot].as_mut() else {
+                continue;
+            };
+            flush_wbuf(conn);
+            if force || (conn.pending.is_none() && conn.wbuf_len() == 0) {
+                conn.dead = true;
+            }
+            self.finish_dispatch(slot);
+        }
+    }
+
+    fn close(&mut self, slot: usize) {
+        if let Some(conn) = self.conns[slot].take() {
+            let _ = self.poller.delete(conn.stream.as_raw_fd());
+            if conn.admitted {
+                self.shared.open.fetch_sub(1, Ordering::SeqCst);
+                self.shared
+                    .stats
+                    .connections_active
+                    .fetch_sub(1, Ordering::Relaxed);
+            }
+            self.free.push(slot);
+        }
+    }
+}
+
+/// Reads until `WouldBlock`/EOF, parsing as bytes land. Bounded passes
+/// per event so one firehose connection cannot starve its worker.
+fn handle_readable(shared: &Shared, handle: &ServeHandle, conn: &mut Conn) {
+    for _ in 0..8 {
+        if conn.dead
+            || conn.pending.is_some()
+            || conn.close_after_flush
+            || conn.wbuf_len() >= WBUF_HIGH
+        {
+            break;
+        }
+        match conn.rbuf.fill_from(&mut conn.stream) {
+            // EOF. Clean at a frame boundary, torn mid-frame — either
+            // way the peer is gone and no reply can land: close.
+            Ok(0) => {
+                conn.dead = true;
+                break;
+            }
+            Ok(_) => process(shared, handle, conn),
+            Err(e) if e.kind() == ErrorKind::Interrupted => continue,
+            Err(e) if e.kind() == ErrorKind::WouldBlock => break,
+            Err(_) => {
+                conn.dead = true;
+                break;
+            }
+        }
+    }
+    flush_wbuf(conn);
+}
+
+/// Parses everything currently buffered: the handshake, then frames
+/// until the buffer runs dry, a scheduler round-trip starts, or the
+/// stream turns corrupt.
+fn process(shared: &Shared, handle: &ServeHandle, conn: &mut Conn) {
+    if conn.phase == Phase::Hello && !handle_hello(conn) {
+        return;
+    }
+    while conn.phase == Phase::Active
+        && !conn.dead
+        && conn.pending.is_none()
+        && !conn.close_after_flush
+        && conn.wbuf_len() < WBUF_HIGH
+    {
+        match conn.rbuf.next_frame() {
+            Ok(None) => break,
+            Ok(Some(range)) => {
+                shared.stats.requests.fetch_add(1, Ordering::Relaxed);
+                let outcome = {
+                    let payload = conn.rbuf.payload(range);
+                    handle_frame(shared, handle, payload)
+                };
+                match outcome {
+                    FrameOutcome::Reply(resp) => queue_response(conn, &resp),
+                    FrameOutcome::Wait(p) => conn.pending = Some(p),
+                    FrameOutcome::Corrupt(err) => {
+                        corrupt_teardown(conn, &err);
+                        return;
+                    }
+                }
+            }
+            Err(FrameError::Corrupt(err)) => {
+                corrupt_teardown(conn, &err);
+                return;
+            }
+            // next_frame never yields Closed/Io; treat defensively.
+            Err(_) => {
+                conn.dead = true;
+                return;
+            }
+        }
+    }
+}
+
+/// A corrupt stream cannot be resynchronised: answer with a typed
+/// error (best-effort) and close once it flushes.
+fn corrupt_teardown(conn: &mut Conn, err: &aivm_engine::EngineError) {
+    queue_response(
+        conn,
+        &Response::Error {
+            code: ErrorCode::BadRequest,
+            message: format!("undecodable request: {err}"),
+        },
+    );
+    conn.close_after_flush = true;
+}
+
+/// Consumes the 6-byte hello once buffered. Returns true when the
+/// connection moved to `Active`.
+fn handle_hello(conn: &mut Conn) -> bool {
+    let Some(hello) = conn.rbuf.take(6) else {
+        return false;
+    };
+    let mut fixed = [0u8; 6];
+    fixed.copy_from_slice(hello);
+    if &fixed[..4] != NET_MAGIC {
+        // Not our protocol: close silently (same as the blocking
+        // server's failed read_hello).
+        conn.dead = true;
+        return false;
+    }
+    let version = u16::from_le_bytes([fixed[4], fixed[5]]);
+    let status = if !conn.admitted {
+        HandshakeStatus::Overloaded
+    } else if version == NET_VERSION {
+        HandshakeStatus::Ok
+    } else {
+        HandshakeStatus::VersionMismatch
+    };
+    conn.wbuf.extend_from_slice(NET_MAGIC);
+    conn.wbuf.extend_from_slice(&NET_VERSION.to_le_bytes());
+    conn.wbuf.push(match status {
+        HandshakeStatus::Ok => 0,
+        HandshakeStatus::Overloaded => 1,
+        HandshakeStatus::VersionMismatch => 2,
+    });
+    if status == HandshakeStatus::Ok {
+        conn.phase = Phase::Active;
+        true
+    } else {
+        conn.close_after_flush = true;
+        false
+    }
+}
+
+/// What one decoded frame turns into.
+enum FrameOutcome {
+    /// Answer immediately.
+    Reply(Response),
+    /// A scheduler round-trip started; poll the ticket.
+    Wait(Pending),
+    /// Undecodable payload below the frame checksum: drop the
+    /// connection after a best-effort error reply.
+    Corrupt(aivm_engine::EngineError),
 }
 
 /// The request's remaining deadline budget (`deadline_ms` 0 falls back
 /// to the configured default).
-fn deadline_of(req: &RequestFrame, cfg: &NetServerConfig) -> Duration {
-    if req.deadline_ms == 0 {
+fn deadline_of(deadline_ms: u32, cfg: &NetServerConfig) -> Duration {
+    if deadline_ms == 0 {
         cfg.default_deadline
     } else {
-        Duration::from_millis(u64::from(req.deadline_ms))
+        Duration::from_millis(u64::from(deadline_ms))
     }
 }
 
-fn handle_request(req: &RequestFrame, ctx: &ConnCtx) -> Response {
-    let deadline = deadline_of(req, &ctx.cfg);
-    match &req.request {
-        Request::Ping => Response::Pong,
-        Request::Submit { table, mods } => submit(*table, mods, ctx),
-        Request::Read { fresh, want_rows } => read(*fresh, *want_rows, deadline, ctx),
-        Request::Metrics => metrics(ctx),
-        Request::Flush => match read(true, false, deadline, ctx) {
-            Response::ReadOk(r) => Response::FlushOk {
-                flush_cost: r.flush_cost,
-                violated: r.violated,
-            },
-            other => other,
+fn handle_frame(shared: &Shared, handle: &ServeHandle, payload: &[u8]) -> FrameOutcome {
+    let frame = match decode_request_ref(payload) {
+        Ok(f) => f,
+        Err(err) => return FrameOutcome::Corrupt(err),
+    };
+    let deadline = deadline_of(frame.deadline_ms, &shared.cfg);
+    match frame.request {
+        RequestRef::Ping => FrameOutcome::Reply(Response::Pong),
+        RequestRef::Submit(s) => submit(shared, handle, s, deadline),
+        RequestRef::Read { fresh, want_rows } => {
+            // Stale reads are answered straight from the published
+            // flush-boundary snapshot: no scheduler round-trip, the
+            // checksum is precomputed, and rows are cloned only when
+            // the client asked for them.
+            if !fresh {
+                if let Some(snap) = handle.snapshot_for_read() {
+                    return FrameOutcome::Reply(Response::ReadOk(WireReadResult {
+                        fresh: false,
+                        lag: snap.lag(),
+                        flush_cost: 0.0,
+                        violated: false,
+                        checksum: snap.checksum,
+                        rows: want_rows.then(|| snap.rows.clone()),
+                    }));
+                }
+            }
+            let mode = if fresh {
+                ReadMode::Fresh
+            } else {
+                ReadMode::Stale
+            };
+            match handle.begin_read(mode) {
+                Some(ticket) => FrameOutcome::Wait(Pending::Read {
+                    ticket,
+                    fresh,
+                    want_rows,
+                    started: Instant::now(),
+                    deadline,
+                }),
+                None => FrameOutcome::Reply(unavailable(handle)),
+            }
+        }
+        RequestRef::Metrics => match handle.begin_metrics() {
+            Some(ticket) => FrameOutcome::Wait(Pending::Metrics {
+                ticket,
+                started: Instant::now(),
+                deadline,
+            }),
+            None => FrameOutcome::Reply(unavailable(handle)),
+        },
+        RequestRef::Flush => match handle.begin_read(ReadMode::Fresh) {
+            Some(ticket) => FrameOutcome::Wait(Pending::Flush {
+                ticket,
+                started: Instant::now(),
+                deadline,
+            }),
+            None => FrameOutcome::Reply(unavailable(handle)),
         },
     }
 }
 
-fn submit(table: u32, mods: &[aivm_engine::Modification], ctx: &ConnCtx) -> Response {
-    if (table as usize) >= ctx.n_tables {
-        return Response::Error {
+fn submit(
+    shared: &Shared,
+    handle: &ServeHandle,
+    s: SubmitRef<'_>,
+    deadline: Duration,
+) -> FrameOutcome {
+    if (s.table as usize) >= shared.n_tables {
+        return FrameOutcome::Reply(Response::Error {
             code: ErrorCode::BadRequest,
-            message: format!("table {table} out of range ({} tables)", ctx.n_tables),
-        };
+            message: format!(
+                "table {} out of range ({} tables)",
+                s.table, shared.n_tables
+            ),
+        });
     }
     // Admission check for the WHOLE batch before the first ingest: a
     // rejected submit has provably had no side effect, so the client may
     // retry it without double-applying.
-    if let Some(hw) = ctx.cfg.submit_high_water {
-        if ctx.handle.queue_depth() >= hw {
-            ctx.stats
+    if let Some(hw) = shared.cfg.submit_high_water {
+        if handle.queue_depth() >= hw {
+            shared
+                .stats
                 .overload_rejections
                 .fetch_add(1, Ordering::Relaxed);
-            return Response::Error {
+            return FrameOutcome::Reply(Response::Error {
                 code: ErrorCode::Overloaded,
-                message: format!(
-                    "ingest queue at {} (high water {hw})",
-                    ctx.handle.queue_depth()
-                ),
-            };
-        }
-    }
-    for m in mods {
-        if !ctx.handle.ingest_dml(table as usize, m.clone()) {
-            return unavailable(ctx);
-        }
-    }
-    ctx.stats
-        .submitted_events
-        .fetch_add(mods.len() as u64, Ordering::Relaxed);
-    Response::SubmitOk {
-        accepted: mods.len() as u64,
-    }
-}
-
-fn read(fresh: bool, want_rows: bool, deadline: Duration, ctx: &ConnCtx) -> Response {
-    // Stale reads are answered straight from the published
-    // flush-boundary snapshot: no scheduler round-trip, the checksum is
-    // precomputed, and rows are cloned only when the client asked for
-    // them. Deadlines cannot fire here — there is nothing to wait for.
-    if !fresh {
-        if let Some(snap) = ctx.handle.snapshot_for_read() {
-            return Response::ReadOk(WireReadResult {
-                fresh: false,
-                lag: snap.lag(),
-                flush_cost: 0.0,
-                violated: false,
-                checksum: snap.checksum,
-                rows: want_rows.then(|| snap.rows.clone()),
+                message: format!("ingest queue at {} (high water {hw})", handle.queue_depth()),
             });
         }
     }
-    let mode = if fresh {
-        ReadMode::Fresh
-    } else {
-        ReadMode::Stale
+    // The only allocations on the submit path: materializing the rows
+    // the engine will keep. The frame itself was decoded zero-copy.
+    let mut mods: Vec<Modification> = Vec::new();
+    if let Err(err) = s.decode_mods_into(&mut mods) {
+        // Unreachable in practice (decode_request_ref validated), but
+        // typed rather than trusted.
+        return FrameOutcome::Reply(Response::Error {
+            code: ErrorCode::BadRequest,
+            message: format!("undecodable request: {err}"),
+        });
+    }
+    let table = s.table as usize;
+    match try_submit(shared, handle, table, &mods) {
+        None => FrameOutcome::Wait(Pending::Submit {
+            table,
+            mods,
+            started: Instant::now(),
+            deadline,
+        }),
+        Some(resp) => FrameOutcome::Reply(resp),
+    }
+}
+
+/// One admission attempt for a decoded batch. `None` means the queue is
+/// full right now — park and retry; a response ends the request.
+fn try_submit(
+    shared: &Shared,
+    handle: &ServeHandle,
+    table: usize,
+    mods: &[Modification],
+) -> Option<Response> {
+    let accepted = mods.len() as u64;
+    // The clone is cheap (rows are `Arc`s) and keeps the batch owned by
+    // the connection until admission actually succeeds.
+    match handle.try_ingest_batch(table, mods.to_vec()) {
+        Ok(()) => {
+            shared
+                .stats
+                .submitted_events
+                .fetch_add(accepted, Ordering::Relaxed);
+            Some(Response::SubmitOk { accepted })
+        }
+        Err(TrySendError::Full) => None,
+        Err(TrySendError::Disconnected) => Some(unavailable(handle)),
+    }
+}
+
+/// Polls one pending ticket. Returns true when it resolved (a response
+/// was queued and `conn.pending` cleared).
+fn poll_pending(shared: &Shared, handle: &ServeHandle, conn: &mut Conn) -> bool {
+    let Some(pending) = conn.pending.as_ref() else {
+        return false;
     };
-    let started = Instant::now();
-    match ctx.handle.read_deadline(mode, deadline) {
-        Ok(Ok(r)) => {
-            let checksum = r.rows.as_deref().map(rows_checksum).unwrap_or(0);
-            Response::ReadOk(WireReadResult {
-                fresh,
-                lag: r.lag,
+    let resolved: Option<Response> = match pending {
+        Pending::Submit {
+            table,
+            mods,
+            started,
+            deadline,
+        } => match try_submit(shared, handle, *table, mods) {
+            Some(resp) => Some(resp),
+            None if started.elapsed() >= *deadline => {
+                // Still nothing enqueued, so the rejection is
+                // retry-safe — Overloaded, not DeadlineExceeded.
+                shared
+                    .stats
+                    .overload_rejections
+                    .fetch_add(1, Ordering::Relaxed);
+                Some(Response::Error {
+                    code: ErrorCode::Overloaded,
+                    message: format!("ingest queue stayed at capacity for {deadline:?}"),
+                })
+            }
+            None => None,
+        },
+        Pending::Read {
+            ticket,
+            fresh,
+            want_rows,
+            started,
+            deadline,
+        } => match ticket.try_take() {
+            Ok(Some(Ok(r))) => {
+                let checksum = r.rows.as_deref().map(rows_checksum).unwrap_or(0);
+                Some(Response::ReadOk(WireReadResult {
+                    fresh: *fresh,
+                    lag: r.lag,
+                    flush_cost: r.flush_cost,
+                    violated: r.violated,
+                    checksum,
+                    rows: if *want_rows { r.rows } else { None },
+                }))
+            }
+            Ok(Some(Err(err))) => Some(Response::Error {
+                code: ErrorCode::Internal,
+                message: err.to_string(),
+            }),
+            Ok(None) => deadline_check(shared, *started, *deadline),
+            Err(DeadlineError::Disconnected) | Err(_) => Some(stale_unavailable(shared)),
+        },
+        Pending::Flush {
+            ticket,
+            started,
+            deadline,
+        } => match ticket.try_take() {
+            Ok(Some(Ok(r))) => Some(Response::FlushOk {
                 flush_cost: r.flush_cost,
                 violated: r.violated,
-                checksum,
-                rows: if want_rows { r.rows } else { None },
-            })
-        }
-        Ok(Err(err)) => Response::Error {
-            code: ErrorCode::Internal,
-            message: err.to_string(),
+            }),
+            Ok(Some(Err(err))) => Some(Response::Error {
+                code: ErrorCode::Internal,
+                message: err.to_string(),
+            }),
+            Ok(None) => deadline_check(shared, *started, *deadline),
+            Err(_) => Some(stale_unavailable(shared)),
         },
-        Err(DeadlineError::TimedOut) => {
-            ctx.stats
-                .deadline_rejections
-                .fetch_add(1, Ordering::Relaxed);
-            Response::Error {
-                code: ErrorCode::DeadlineExceeded,
-                message: format!(
-                    "read missed its {deadline:?} deadline after {:?} queued",
-                    started.elapsed()
-                ),
-            }
+        Pending::Metrics {
+            ticket,
+            started,
+            deadline,
+        } => match ticket.try_take() {
+            Ok(Some(snap)) => Some(Response::MetricsOk(Box::new(net_metrics(
+                &snap,
+                &shared.stats,
+            )))),
+            Ok(None) => deadline_check(shared, *started, *deadline),
+            Err(_) => Some(stale_unavailable(shared)),
+        },
+    };
+    match resolved {
+        Some(resp) => {
+            conn.pending = None;
+            queue_response(conn, &resp);
+            true
         }
-        Err(DeadlineError::Disconnected) => unavailable(ctx),
+        None => false,
     }
 }
 
-fn metrics(ctx: &ConnCtx) -> Response {
-    match ctx.handle.metrics() {
-        Some(snap) => Response::MetricsOk(Box::new(net_metrics(&snap, &ctx.stats))),
-        None => unavailable(ctx),
+/// `None` = keep waiting; a response once the budget is spent.
+fn deadline_check(shared: &Shared, started: Instant, deadline: Duration) -> Option<Response> {
+    if started.elapsed() < deadline {
+        return None;
     }
+    shared
+        .stats
+        .deadline_rejections
+        .fetch_add(1, Ordering::Relaxed);
+    Some(Response::Error {
+        code: ErrorCode::DeadlineExceeded,
+        message: format!(
+            "read missed its {deadline:?} deadline after {:?} queued",
+            started.elapsed()
+        ),
+    })
 }
 
-fn unavailable(ctx: &ConnCtx) -> Response {
+fn unavailable(handle: &ServeHandle) -> Response {
     Response::Error {
         code: ErrorCode::Unavailable,
-        message: match ctx.handle.last_error() {
+        message: match handle.last_error() {
             Some(e) => format!("scheduler stopped: {e}"),
             None => "scheduler stopped".into(),
         },
+    }
+}
+
+/// `unavailable` for contexts that only have the shared state (the
+/// pending poller); the ticket's disconnect already names the cause.
+fn stale_unavailable(_shared: &Shared) -> Response {
+    Response::Error {
+        code: ErrorCode::Unavailable,
+        message: "scheduler stopped".into(),
+    }
+}
+
+fn queue_response(conn: &mut Conn, resp: &Response) {
+    append_frame(&mut conn.wbuf, &encode_response(resp));
+}
+
+/// Writes buffered response bytes until the socket would block.
+fn flush_wbuf(conn: &mut Conn) {
+    while conn.wpos < conn.wbuf.len() {
+        match conn.stream.write(&conn.wbuf[conn.wpos..]) {
+            Ok(0) => {
+                conn.dead = true;
+                return;
+            }
+            Ok(n) => conn.wpos += n,
+            Err(e) if e.kind() == ErrorKind::Interrupted => continue,
+            Err(e) if e.kind() == ErrorKind::WouldBlock => break,
+            Err(_) => {
+                conn.dead = true;
+                return;
+            }
+        }
+    }
+    if conn.wpos == conn.wbuf.len() {
+        conn.wbuf.clear();
+        conn.wpos = 0;
+        if conn.close_after_flush {
+            conn.dead = true;
+        }
+    } else if conn.wpos > WBUF_HIGH {
+        // Keep the buffer from holding a long-dead prefix.
+        conn.wbuf.drain(..conn.wpos);
+        conn.wpos = 0;
     }
 }
 

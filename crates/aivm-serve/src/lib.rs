@@ -53,8 +53,11 @@ pub mod wal;
 pub use fault::{CostOverrun, FaultPlan};
 pub use metrics::{HistogramSnapshot, LatencyHistogram, MetricsSnapshot};
 pub use policy::{AsSolverPolicy, FlushPolicy, NaiveFlush, OnlineFlush, PlannedFlush};
+pub use queue::TrySendError;
 pub use runtime::{MaintenanceRuntime, ReadMode, ReadResult, ServeConfig, TickReport};
-pub use server::{DeadlineError, ServeError, ServeHandle, ServeServer, ServerConfig};
+pub use server::{
+    DeadlineError, MetricsTicket, ReadTicket, ServeError, ServeHandle, ServeServer, ServerConfig,
+};
 pub use trace::{Trace, TraceStep};
 pub use wal::{
     read_wal, Checkpoint, EngineCheckpoint, FileWal, MemWal, WalReadOutcome, WalRecord, WalStorage,

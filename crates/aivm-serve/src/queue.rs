@@ -18,6 +18,21 @@
 //! Plain `Mutex<VecDeque>` + two `Condvar`s — the same building blocks
 //! as `sync_channel`, with the queue state open for inspection
 //! (`len`, `shed_count`).
+//!
+//! ## Weighted admission
+//!
+//! Capacity is measured in *weight units*, not messages. A message
+//! admitted with [`Sender::send_weighted`] or
+//! [`Sender::try_send_weighted`] charges its weight (a DML batch
+//! charges one unit per modification) against the capacity, so the
+//! bound is on outstanding *events*, however they are framed. This is
+//! what keeps the maintenance backlog — and with it the cost of any
+//! single flush — bounded no matter how ingest is batched on the wire.
+//! Control messages (reads, metrics) are admitted with
+//! [`Sender::send_control`], which bypasses the capacity check
+//! entirely: they are few (at most one in flight per connection), must
+//! never be refused for backlog reasons, and a frontend event loop
+//! must never block on them.
 
 use std::collections::VecDeque;
 use std::sync::{Arc, Condvar, Mutex, MutexGuard};
@@ -37,6 +52,17 @@ pub struct Receiver<T> {
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
 pub struct SendError;
 
+/// Why a non-blocking send failed.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum TrySendError {
+    /// The queue is at capacity (and shedding, if enabled, could not
+    /// make room). The message was not enqueued — callers that must not
+    /// block (event loops) translate this to an `Overloaded` rejection.
+    Full,
+    /// The consumer disconnected; the message was not delivered.
+    Disconnected,
+}
+
 /// Why a receive returned without a message.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
 pub enum RecvError {
@@ -55,10 +81,29 @@ struct Inner<T> {
 }
 
 struct State<T> {
-    buf: VecDeque<(T, bool)>,
+    /// `(message, sheddable, weight)`.
+    buf: VecDeque<(T, bool, usize)>,
+    /// Sum of queued weights (what capacity bounds).
+    weight: usize,
     senders: usize,
     receiver_alive: bool,
     shed: u64,
+}
+
+impl<T> State<T> {
+    /// Evicts the oldest sheddable message, crediting its weight.
+    /// Returns false when nothing sheddable is queued.
+    fn shed_one(&mut self) -> bool {
+        let Some(idx) = self.buf.iter().position(|(_, s, _)| *s) else {
+            return false;
+        };
+        let (_, _, w) = self.buf.remove(idx).expect("index from position");
+        self.weight -= w;
+        // The counter is in weight units (events), matching what the
+        // message carried.
+        self.shed += w as u64;
+        true
+    }
 }
 
 impl<T> Inner<T> {
@@ -85,6 +130,7 @@ pub fn channel<T>(capacity: usize, high_water: Option<usize>) -> (Sender<T>, Rec
     let inner = Arc::new(Inner {
         state: Mutex::new(State {
             buf: VecDeque::with_capacity(capacity.min(4096)),
+            weight: 0,
             senders: 1,
             receiver_alive: true,
             shed: 0,
@@ -103,28 +149,33 @@ pub fn channel<T>(capacity: usize, high_water: Option<usize>) -> (Sender<T>, Rec
 }
 
 impl<T> Sender<T> {
-    /// Sends a message, blocking while the queue is full. `sheddable`
-    /// marks the message as droppable under overload — any send
-    /// arriving past the high-water mark evicts the oldest queued
+    /// Sends a weight-1 message, blocking while the queue is full.
+    /// `sheddable` marks the message as droppable under overload — any
+    /// send arriving past the high-water mark evicts the oldest queued
     /// *sheddable* message (if one exists) instead of blocking.
     pub fn send(&self, item: T, sheddable: bool) -> Result<(), SendError> {
+        self.send_weighted(item, sheddable, 1)
+    }
+
+    /// [`Sender::send`] with an explicit weight: the message charges
+    /// `weight` units (clamped to `1..=capacity` so one oversized
+    /// message can still be admitted into an empty queue) against the
+    /// channel's capacity.
+    pub fn send_weighted(&self, item: T, sheddable: bool, weight: usize) -> Result<(), SendError> {
+        let w = weight.clamp(1, self.inner.capacity);
         let mut st = self.inner.lock();
         loop {
             if !st.receiver_alive {
                 return Err(SendError);
             }
             if let Some(h) = self.inner.high_water {
-                if st.buf.len() >= h {
-                    // Past the high-water mark: shed the oldest
-                    // sheddable message to make room.
-                    if let Some(idx) = st.buf.iter().position(|(_, s)| *s) {
-                        st.buf.remove(idx);
-                        st.shed += 1;
-                    }
-                }
+                // Past the high-water mark: shed the oldest sheddable
+                // messages to make room.
+                while st.weight + w > h && st.shed_one() {}
             }
-            if st.buf.len() < self.inner.capacity {
-                st.buf.push_back((item, sheddable));
+            if st.weight + w <= self.inner.capacity {
+                st.buf.push_back((item, sheddable, w));
+                st.weight += w;
                 drop(st);
                 self.inner.not_empty.notify_one();
                 return Ok(());
@@ -137,17 +188,67 @@ impl<T> Sender<T> {
         }
     }
 
-    /// Messages currently queued.
+    /// Sends a weight-1 message without blocking: a full queue (after
+    /// any shedding) is a typed [`TrySendError::Full`] instead of a
+    /// wait. Same admission semantics as [`Sender::send`] otherwise.
+    pub fn try_send(&self, item: T, sheddable: bool) -> Result<(), TrySendError> {
+        self.try_send_weighted(item, sheddable, 1)
+    }
+
+    /// [`Sender::try_send`] with an explicit weight (see
+    /// [`Sender::send_weighted`]).
+    pub fn try_send_weighted(
+        &self,
+        item: T,
+        sheddable: bool,
+        weight: usize,
+    ) -> Result<(), TrySendError> {
+        let w = weight.clamp(1, self.inner.capacity);
+        let mut st = self.inner.lock();
+        if !st.receiver_alive {
+            return Err(TrySendError::Disconnected);
+        }
+        if let Some(h) = self.inner.high_water {
+            while st.weight + w > h && st.shed_one() {}
+        }
+        if st.weight + w <= self.inner.capacity {
+            st.buf.push_back((item, sheddable, w));
+            st.weight += w;
+            drop(st);
+            self.inner.not_empty.notify_one();
+            Ok(())
+        } else {
+            Err(TrySendError::Full)
+        }
+    }
+
+    /// Sends a control message (request/reply traffic: reads, metrics),
+    /// bypassing the capacity check: it occupies no weight, is never
+    /// sheddable, and never blocks. The only failure is a dead
+    /// consumer. Bounded in practice by one in-flight request per
+    /// connection.
+    pub fn send_control(&self, item: T) -> Result<(), SendError> {
+        let mut st = self.inner.lock();
+        if !st.receiver_alive {
+            return Err(SendError);
+        }
+        st.buf.push_back((item, false, 0));
+        drop(st);
+        self.inner.not_empty.notify_one();
+        Ok(())
+    }
+
+    /// Queued weight (events, not messages; control messages are free).
     pub fn len(&self) -> usize {
-        self.inner.lock().buf.len()
+        self.inner.lock().weight
     }
 
-    /// True when nothing is queued.
+    /// True when nothing is queued (not even control messages).
     pub fn is_empty(&self) -> bool {
-        self.len() == 0
+        self.inner.lock().buf.is_empty()
     }
 
-    /// Messages dropped by overload shedding so far.
+    /// Weight units (events) dropped by overload shedding so far.
     pub fn shed_count(&self) -> u64 {
         self.inner.lock().shed
     }
@@ -182,9 +283,10 @@ impl<T> Receiver<T> {
         let deadline = Instant::now() + timeout;
         let mut st = self.inner.lock();
         loop {
-            if let Some((item, _)) = st.buf.pop_front() {
+            if let Some((item, _, w)) = st.buf.pop_front() {
+                st.weight -= w;
                 drop(st);
-                self.inner.not_full.notify_one();
+                self.inner.not_full.notify_all();
                 return Ok(item);
             }
             if st.senders == 0 {
@@ -206,9 +308,10 @@ impl<T> Receiver<T> {
     /// Receives without waiting. `Err(Timeout)` doubles as "empty".
     pub fn try_recv(&self) -> Result<T, RecvError> {
         let mut st = self.inner.lock();
-        if let Some((item, _)) = st.buf.pop_front() {
+        if let Some((item, _, w)) = st.buf.pop_front() {
+            st.weight -= w;
             drop(st);
-            self.inner.not_full.notify_one();
+            self.inner.not_full.notify_all();
             return Ok(item);
         }
         if st.senders == 0 {
@@ -217,17 +320,17 @@ impl<T> Receiver<T> {
         Err(RecvError::Timeout)
     }
 
-    /// Messages currently queued.
+    /// Queued weight (events, not messages; control messages are free).
     pub fn len(&self) -> usize {
-        self.inner.lock().buf.len()
+        self.inner.lock().weight
     }
 
-    /// True when nothing is queued.
+    /// True when nothing is queued (not even control messages).
     pub fn is_empty(&self) -> bool {
-        self.len() == 0
+        self.inner.lock().buf.is_empty()
     }
 
-    /// Messages dropped by overload shedding so far.
+    /// Weight units (events) dropped by overload shedding so far.
     pub fn shed_count(&self) -> u64 {
         self.inner.lock().shed
     }
@@ -310,6 +413,31 @@ mod tests {
             assert!(got.contains(&odd), "{odd} was shed: {got:?}");
         }
         assert_eq!(tx.shed_count(), 10 - got.len() as u64);
+    }
+
+    #[test]
+    fn try_send_reports_full_and_disconnected() {
+        let (tx, rx) = channel(2, None);
+        tx.try_send(1, true).unwrap();
+        tx.try_send(2, true).unwrap();
+        assert_eq!(tx.try_send(3, true), Err(TrySendError::Full));
+        assert_eq!(rx.recv_timeout(Duration::from_secs(1)).unwrap(), 1);
+        tx.try_send(3, true).unwrap();
+        drop(rx);
+        assert_eq!(tx.try_send(4, true), Err(TrySendError::Disconnected));
+    }
+
+    #[test]
+    fn try_send_sheds_past_high_water_like_send() {
+        let (tx, rx) = channel(4, Some(2));
+        tx.try_send("a", true).unwrap();
+        tx.try_send("b", true).unwrap();
+        // At the mark: the oldest sheddable is evicted, the new message
+        // lands.
+        tx.try_send("c", true).unwrap();
+        assert_eq!(tx.shed_count(), 1);
+        assert_eq!(rx.recv_timeout(Duration::from_secs(1)).unwrap(), "b");
+        assert_eq!(rx.recv_timeout(Duration::from_secs(1)).unwrap(), "c");
     }
 
     #[test]

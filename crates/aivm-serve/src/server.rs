@@ -38,11 +38,13 @@
 
 use crate::fault::FaultPlan;
 use crate::metrics::MetricsSnapshot;
-use crate::queue::{channel, Receiver, RecvError, Sender};
+use crate::queue::{channel, Receiver, RecvError, Sender, TrySendError};
 use crate::runtime::{MaintenanceRuntime, ReadMode, ReadResult};
 use aivm_engine::{EngineError, Modification, ViewSnapshot};
 use std::sync::atomic::{AtomicU64, Ordering};
-use std::sync::mpsc::{sync_channel, RecvTimeoutError, SyncSender, TrySendError};
+use std::sync::mpsc::{
+    sync_channel, RecvTimeoutError, SyncSender, TrySendError as MpscTrySendError,
+};
 use std::sync::{Arc, Mutex, RwLock};
 use std::thread::JoinHandle;
 use std::time::{Duration, Instant};
@@ -123,6 +125,12 @@ enum Msg {
         table: usize,
         m: Modification,
     },
+    /// A whole submit batch as one queue message: one lock acquisition
+    /// and one wakeup per wire frame instead of one per modification.
+    DmlBatch {
+        table: usize,
+        mods: Vec<Modification>,
+    },
     Read {
         mode: ReadMode,
         enqueued: Instant,
@@ -200,6 +208,29 @@ impl ServeHandle {
         self.tx.send(Msg::Dml { table, m }, true).is_ok()
     }
 
+    /// Ingests a whole DML batch as **one** queue message, without
+    /// blocking: a full queue is a typed [`TrySendError::Full`] the
+    /// caller can turn into an `Overloaded` rejection (nothing was
+    /// enqueued, so a retry is side-effect free). The batch is applied
+    /// in order by the scheduler; this is the event-loop server's
+    /// ingest path — one lock acquisition and one scheduler wakeup per
+    /// wire frame instead of one per modification.
+    ///
+    /// The batch charges one capacity unit *per modification*, so the
+    /// admission bound is on outstanding events regardless of how they
+    /// are batched on the wire. That keeps the maintenance backlog —
+    /// and with it the cost of any single flush or forced refresh —
+    /// as bounded as the old modification-at-a-time path kept it.
+    pub fn try_ingest_batch(
+        &self,
+        table: usize,
+        mods: Vec<Modification>,
+    ) -> Result<(), TrySendError> {
+        let weight = mods.len();
+        self.tx
+            .try_send_weighted(Msg::DmlBatch { table, mods }, true, weight)
+    }
+
     /// Serves a read. Stale reads are answered wait-free from the
     /// published [`ViewSnapshot`] when one exists (engine backends) —
     /// no scheduler round-trip, no queue wait, and they keep working
@@ -216,14 +247,11 @@ impl ServeHandle {
         }
         let (reply, rx) = sync_channel(1);
         self.tx
-            .send(
-                Msg::Read {
-                    mode,
-                    enqueued: Instant::now(),
-                    reply,
-                },
-                false,
-            )
+            .send_control(Msg::Read {
+                mode,
+                enqueued: Instant::now(),
+                reply,
+            })
             .ok()?;
         rx.recv().ok()
     }
@@ -244,14 +272,11 @@ impl ServeHandle {
         }
         let (reply, rx) = sync_channel(1);
         self.tx
-            .send(
-                Msg::Read {
-                    mode,
-                    enqueued: Instant::now(),
-                    reply,
-                },
-                false,
-            )
+            .send_control(Msg::Read {
+                mode,
+                enqueued: Instant::now(),
+                reply,
+            })
             .map_err(|_| DeadlineError::Disconnected)?;
         match rx.recv_timeout(timeout) {
             Ok(r) => Ok(r),
@@ -260,12 +285,44 @@ impl ServeHandle {
         }
     }
 
+    /// Starts a read without waiting for the reply: the scheduler
+    /// executes it in queue order and the returned [`ReadTicket`] is
+    /// polled with [`ReadTicket::try_take`]. Built for event-loop
+    /// frontends that must never park a thread per in-flight read.
+    /// Stale reads are still best served via
+    /// [`ServeHandle::snapshot_for_read`] first — this path always
+    /// takes the scheduler round trip. The send itself applies the
+    /// queue's backpressure (reads are unsheddable). `None` if the
+    /// server is gone.
+    pub fn begin_read(&self, mode: ReadMode) -> Option<ReadTicket> {
+        let (reply, rx) = sync_channel(1);
+        self.tx
+            .send_control(Msg::Read {
+                mode,
+                enqueued: Instant::now(),
+                reply,
+            })
+            .ok()?;
+        Some(ReadTicket { rx })
+    }
+
+    /// Starts a metrics fetch without waiting; poll the returned
+    /// [`MetricsTicket`]. `None` if the server is gone.
+    pub fn begin_metrics(&self) -> Option<MetricsTicket> {
+        let (reply, rx) = sync_channel(1);
+        self.tx.send_control(Msg::Metrics { reply }).ok()?;
+        Some(MetricsTicket {
+            rx,
+            snapshot_reads: Arc::clone(&self.snapshot_reads),
+        })
+    }
+
     /// Fetches a metrics snapshot (includes live queue depths, shed
     /// counts and the last scheduler error). `None` if the server is
     /// gone.
     pub fn metrics(&self) -> Option<MetricsSnapshot> {
         let (reply, rx) = sync_channel(1);
-        self.tx.send(Msg::Metrics { reply }, false).ok()?;
+        self.tx.send_control(Msg::Metrics { reply }).ok()?;
         let mut snap = rx.recv().ok()?;
         // Snapshot-served reads never pass through the scheduler; the
         // handles' shared counter is the only place they are counted.
@@ -284,6 +341,52 @@ impl ServeHandle {
             .lock()
             .unwrap_or_else(|e| e.into_inner())
             .clone()
+    }
+}
+
+/// An in-flight scheduler read started with [`ServeHandle::begin_read`].
+/// Dropping the ticket abandons the reply (the scheduler may still
+/// execute the read; its reply is discarded best-effort, never blocking
+/// the scheduler) — the same give-up semantics as
+/// [`ServeHandle::read_deadline`] timing out.
+pub struct ReadTicket {
+    rx: std::sync::mpsc::Receiver<Result<ReadResult, EngineError>>,
+}
+
+impl ReadTicket {
+    /// Polls for the reply without blocking. `Ok(None)` means "not yet";
+    /// `Err` means the scheduler is gone.
+    pub fn try_take(&self) -> Result<Option<Result<ReadResult, EngineError>>, DeadlineError> {
+        match self.rx.try_recv() {
+            Ok(r) => Ok(Some(r)),
+            Err(std::sync::mpsc::TryRecvError::Empty) => Ok(None),
+            Err(std::sync::mpsc::TryRecvError::Disconnected) => Err(DeadlineError::Disconnected),
+        }
+    }
+}
+
+/// An in-flight metrics fetch started with
+/// [`ServeHandle::begin_metrics`].
+pub struct MetricsTicket {
+    rx: std::sync::mpsc::Receiver<MetricsSnapshot>,
+    snapshot_reads: Arc<AtomicU64>,
+}
+
+impl MetricsTicket {
+    /// Polls for the snapshot without blocking. `Ok(None)` means "not
+    /// yet"; `Err` means the scheduler is gone.
+    pub fn try_take(&self) -> Result<Option<MetricsSnapshot>, DeadlineError> {
+        match self.rx.try_recv() {
+            Ok(mut snap) => {
+                // Snapshot-served reads never pass through the
+                // scheduler; the handles' shared counter is the only
+                // place they are counted.
+                snap.snapshot_reads = self.snapshot_reads.load(Ordering::Relaxed);
+                Ok(Some(snap))
+            }
+            Err(std::sync::mpsc::TryRecvError::Empty) => Ok(None),
+            Err(std::sync::mpsc::TryRecvError::Disconnected) => Err(DeadlineError::Disconnected),
+        }
     }
 }
 
@@ -382,14 +485,19 @@ fn scheduler_loop(
                 // +1 counts the message being consumed, so a lone
                 // quickly-drained message still registers as depth 1.
                 st.max_depth = st.max_depth.max(rx.len() + 1);
-                handle_msg(&mut runtime, msg, &rx, &mut st);
-                let mut drained = 1usize;
+                // Drain up to `max_batch` *events* before ticking: the
+                // weight each message returns (its modification count)
+                // is what the next flush must pay for, and compensation
+                // cost grows superlinearly in that backlog. Counting
+                // messages here would let batched ingest smuggle in
+                // batch-size times more backlog per tick than the
+                // single-mod path the budget was calibrated for.
+                let mut drained = handle_msg(&mut runtime, msg, &rx, &mut st).max(1);
                 while drained < cfg.max_batch.max(1) {
                     match rx.try_recv() {
                         Ok(msg) => {
                             st.max_depth = st.max_depth.max(rx.len() + 1);
-                            handle_msg(&mut runtime, msg, &rx, &mut st);
-                            drained += 1;
+                            drained += handle_msg(&mut runtime, msg, &rx, &mut st).max(1);
                         }
                         Err(_) => break,
                     }
@@ -427,12 +535,20 @@ fn scheduler_loop(
     runtime
 }
 
+/// Applies one queue message and returns its *event weight* — how many
+/// pending-delta events it added. The drain loop charges this weight
+/// (not a per-message unit) against [`ServerConfig::max_batch`], so the
+/// backlog a tick can accumulate before flushing is bounded in events
+/// however ingest is framed: 256 single-mod messages and four 64-mod
+/// batches cost the same drain budget. Control messages (reads,
+/// metrics) add no flush work and return 0; the drain loop still
+/// charges every message a minimum of 1 so it always terminates.
 fn handle_msg(
     runtime: &mut MaintenanceRuntime,
     msg: Msg,
     rx: &Receiver<Msg>,
     st: &mut SchedulerState,
-) {
+) -> usize {
     match msg {
         Msg::Count { table, k } => {
             if table < runtime.n() {
@@ -440,6 +556,7 @@ fn handle_msg(
             } else {
                 st.ingest_errors += 1;
             }
+            1
         }
         Msg::Dml { table, m } => {
             // A rejected DML mutated nothing: count it, record it, keep
@@ -452,6 +569,24 @@ fn handle_msg(
                     source,
                 });
             }
+            1
+        }
+        Msg::DmlBatch { table, mods } => {
+            // Same per-modification failure semantics as a stream of
+            // Msg::Dml: a bad modification is counted and recorded, the
+            // rest of the batch still applies.
+            let weight = mods.len();
+            for m in mods {
+                if let Err(source) = runtime.ingest_dml(table, m) {
+                    st.ingest_errors += 1;
+                    st.poison(ServeError {
+                        ticks: runtime.metrics().ticks,
+                        during: "ingest",
+                        source,
+                    });
+                }
+            }
+            weight
         }
         Msg::Read {
             mode,
@@ -460,6 +595,7 @@ fn handle_msg(
         } => {
             let result = runtime.read_at(mode, enqueued);
             let _ = reply_best_effort(reply, result);
+            0
         }
         Msg::Metrics { reply } => {
             let mut snap = runtime.metrics();
@@ -474,6 +610,7 @@ fn handle_msg(
                 .as_ref()
                 .map(|e| e.to_string());
             let _ = reply_best_effort(reply, snap);
+            0
         }
     }
 }
@@ -482,7 +619,7 @@ fn handle_msg(
 fn reply_best_effort<T>(reply: SyncSender<T>, value: T) -> Result<(), ()> {
     match reply.try_send(value) {
         Ok(()) => Ok(()),
-        Err(TrySendError::Full(_)) | Err(TrySendError::Disconnected(_)) => Err(()),
+        Err(MpscTrySendError::Full(_)) | Err(MpscTrySendError::Disconnected(_)) => Err(()),
     }
 }
 
@@ -753,7 +890,7 @@ mod tests {
     fn overload_sheds_oldest_ingest_and_counts_it() {
         let rt = model_runtime();
         let cfg = ServerConfig {
-            queue_capacity: 64,
+            queue_capacity: 1024,
             shed_high_water: Some(8),
             // Slow ticks so the queue actually fills.
             tick_interval: Duration::from_millis(20),
