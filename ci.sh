@@ -79,6 +79,21 @@ cargo test -q --release --test snapshot_consistency
 cargo test -q --release --test columnar_delta
 cargo test -q --release -p aivm-net --test zero_alloc
 
+echo "==> shard gate (equivalence at widths 1/2/4/8, sharded loadgen, kill-one-shard)"
+# Property tests: a key-partitioned ShardedRuntime is bit-identical to a
+# single runtime at widths 1/2/4/8 under randomized partial flushes, and
+# mis-keyed partitioners fail co-location validation.
+cargo test -q --release --test shard_equivalence
+# 4-shard serving over TCP: hashed submits, scatter-gather reads,
+# per-shard budgets C/4, cost-proportional rebalancing. Fails on any
+# budget violation, protocol error, or throughput under the floor.
+AIVM_BENCH_LABEL=ci ./target/release/repro loadgen --quick --duration 5s \
+  --shards 4 --min-throughput 40000 >/dev/null
+# Kill one of three shards mid-stream over the wire: typed
+# ShardUnavailable rejections, degraded reads, WAL recovery + rejoin,
+# merged checksum equal to direct evaluation.
+./target/release/repro chaos --seeds 2 --events 1000 --shards 3 >/dev/null
+
 echo "==> serve throughput baseline (BENCH_serve.json)"
 AIVM_BENCH_FAST=1 AIVM_BENCH_LABEL=ci cargo bench -p aivm-bench --bench serve >/dev/null
 

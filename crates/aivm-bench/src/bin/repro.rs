@@ -350,6 +350,9 @@ struct ServeArgs {
     min_throughput: Option<f64>,
     min_reads: Option<f64>,
     max_stale_p99_ms: Option<f64>,
+    shards: Option<usize>,
+    skew: Option<f64>,
+    rebalance: Option<aivm_shard::RebalancePolicy>,
 }
 
 fn parse_duration(s: &str) -> Option<std::time::Duration> {
@@ -513,6 +516,7 @@ fn run_loadgen(csv: bool, quick: bool, sargs: &ServeArgs) {
         budget: sargs.budget,
         quick,
         flush_threads: sargs.flush_threads.unwrap_or(1),
+        skew: sargs.skew,
         ..Default::default()
     }) {
         Ok(e) => e,
@@ -539,6 +543,8 @@ fn run_loadgen(csv: bool, quick: bool, sargs: &ServeArgs) {
         quick,
         wal_sync: sargs.wal_sync,
         max_conns: sargs.max_conns,
+        shards: sargs.shards.unwrap_or(1),
+        rebalance: sargs.rebalance.unwrap_or(defaults.rebalance),
         ..Default::default()
     };
     let r = match run_loadgen(&exp, &opts) {
@@ -560,7 +566,7 @@ fn run_loadgen(csv: bool, quick: bool, sargs: &ServeArgs) {
     );
     t.note(format!(
         "{} clients, mix {}:{}, batch {}, policy {}, read mode {:?}, \
-         flush threads {}, budget C = {:.1}{}",
+         flush threads {}, budget C = {:.1}{}{}{}",
         opts.clients,
         opts.submit_weight,
         opts.read_weight,
@@ -571,6 +577,19 @@ fn run_loadgen(csv: bool, quick: bool, sargs: &ServeArgs) {
         exp.budget,
         match &opts.wal_sync {
             Some(p) => format!(", WAL fsync {p}"),
+            None => String::new(),
+        },
+        if opts.shards > 1 {
+            format!(
+                ", {} shards (rebalance {})",
+                opts.shards,
+                opts.rebalance.name()
+            )
+        } else {
+            String::new()
+        },
+        match sargs.skew {
+            Some(s) => format!(", zipf skew {s}"),
             None => String::new(),
         }
     ));
@@ -628,35 +647,54 @@ fn run_loadgen(csv: bool, quick: bool, sargs: &ServeArgs) {
     for (k, v) in rows {
         t.row(vec![k.to_string(), v]);
     }
+    if r.shards > 1 {
+        t.row(vec![
+            "shards (live)".to_string(),
+            format!("{} ({})", r.net.shards, r.net.shards_live),
+        ]);
+        t.row(vec![
+            "budget rebalances".to_string(),
+            r.rebalances.to_string(),
+        ]);
+        t.row(vec![
+            "staleness max (events)".to_string(),
+            r.net.staleness_max.to_string(),
+        ]);
+    }
     print_table(&t, csv);
 
-    // Tracked baseline: BENCH_net.json at the repo root.
+    // Tracked baseline: BENCH_net.json at the repo root. Sharded runs
+    // record under their own key prefix so the single-runtime baseline
+    // stays comparable across PRs.
+    let prefix = if r.shards > 1 {
+        format!("loadgen/shards{}/", r.shards)
+    } else {
+        "loadgen/".to_string()
+    };
     let mut suite = aivm_bench::harness::Suite::new("net");
-    suite.record_value("loadgen/events_per_sec", r.events_per_sec());
-    suite.record_value("loadgen/reads_per_sec", r.reads_per_sec());
-    suite.record_value(
-        "loadgen/flush_threads",
-        sargs.flush_threads.unwrap_or(1) as f64,
-    );
-    suite.record_value("loadgen/snapshot_reads", r.net.snapshot_reads as f64);
-    suite.record_value("loadgen/submit_p99_ns", sub.p99 as f64);
-    suite.record_value("loadgen/read_stale_p50_ns", stale.p50 as f64);
-    suite.record_value("loadgen/read_stale_p99_ns", stale.p99 as f64);
-    suite.record_value("loadgen/read_fresh_p50_ns", fresh.p50 as f64);
-    suite.record_value("loadgen/read_fresh_p99_ns", fresh.p99 as f64);
-    suite.record_value(
-        "loadgen/overload_retries",
-        r.retries.overload_retries as f64,
-    );
-    suite.record_value(
-        "loadgen/server_overload_rejections",
+    let mut rec = |name: &str, v: f64| suite.record_value(&format!("{prefix}{name}"), v);
+    rec("events_per_sec", r.events_per_sec());
+    rec("reads_per_sec", r.reads_per_sec());
+    rec("flush_threads", sargs.flush_threads.unwrap_or(1) as f64);
+    rec("snapshot_reads", r.net.snapshot_reads as f64);
+    rec("submit_p99_ns", sub.p99 as f64);
+    rec("read_stale_p50_ns", stale.p50 as f64);
+    rec("read_stale_p99_ns", stale.p99 as f64);
+    rec("read_fresh_p50_ns", fresh.p50 as f64);
+    rec("read_fresh_p99_ns", fresh.p99 as f64);
+    rec("overload_retries", r.retries.overload_retries as f64);
+    rec(
+        "server_overload_rejections",
         r.net.overload_rejections as f64,
     );
-    suite.record_value("loadgen/shed_events", r.net.shed_events as f64);
-    suite.record_value(
-        "loadgen/budget_violations",
+    rec("shed_events", r.net.shed_events as f64);
+    rec(
+        "budget_violations",
         (r.client_violations + r.runtime.constraint_violations) as f64,
     );
+    if r.shards > 1 {
+        rec("budget_rebalances", r.rebalances as f64);
+    }
     suite.finish();
 
     let mut failed = false;
@@ -702,6 +740,189 @@ fn run_loadgen(csv: bool, quick: bool, sargs: &ServeArgs) {
             failed = true;
         }
     }
+    if failed {
+        std::process::exit(1);
+    }
+}
+
+/// The shards=1/2/4/8 scaling sweep plus the skewed-stream rebalance
+/// comparison, recorded into BENCH_net.json. Finite streams: each run
+/// submits the same `events_each`-per-table workload to completion, so
+/// events/s measures sustained wire throughput at that width.
+fn run_shardsweep(csv: bool, quick: bool, sargs: &ServeArgs) {
+    use aivm_bench::loadgen::{run_loadgen, LoadgenOptions};
+    use aivm_bench::serve::{ServeExperiment, ServeOptions};
+    use aivm_shard::RebalancePolicy;
+    let events_each = sargs.events.unwrap_or(if quick { 4_000 } else { 20_000 });
+    let duration = sargs.duration.unwrap_or(std::time::Duration::from_secs(60));
+    let policy = sargs.policy.clone().unwrap_or_else(|| "online".into());
+    let build = |skew: Option<f64>| {
+        ServeExperiment::build(ServeOptions {
+            events_each,
+            budget: sargs.budget,
+            quick,
+            flush_threads: sargs.flush_threads.unwrap_or(1),
+            skew,
+            ..Default::default()
+        })
+    };
+    let exp = match build(None) {
+        Ok(e) => e,
+        Err(e) => {
+            eprintln!("shardsweep setup failed: {e}");
+            std::process::exit(1);
+        }
+    };
+    let mk_opts = |shards: usize, rebalance: RebalancePolicy| LoadgenOptions {
+        clients: sargs.clients.unwrap_or(4),
+        batch: sargs.batch.unwrap_or(64),
+        duration,
+        events_each,
+        policy: policy.clone(),
+        budget: sargs.budget,
+        quick,
+        shards,
+        rebalance,
+        max_conns: sargs.max_conns,
+        ..LoadgenOptions::default()
+    };
+    let mut suite = aivm_bench::harness::Suite::new("net");
+    let mut failed = false;
+    let ms = |ns: u64| format!("{:.2}", ns as f64 / 1e6);
+
+    let mut t = ExpTable::new(
+        "Shard scaling sweep (loopback TCP, finite uniform streams)",
+        &[
+            "shards",
+            "events/s",
+            "speedup",
+            "reads/s",
+            "fresh_p99_ms",
+            "viol",
+            "rebalances",
+        ],
+    );
+    t.note(format!(
+        "{events_each} events/table, policy {policy}, budget C = {:.1} split C/N across shards, \
+         {} hardware threads",
+        exp.budget,
+        std::thread::available_parallelism().map_or(1, |n| n.get()),
+    ));
+    let mut base_tput = None;
+    for shards in [1usize, 2, 4, 8] {
+        let r = match run_loadgen(&exp, &mk_opts(shards, RebalancePolicy::CostProportional)) {
+            Ok(r) => r,
+            Err(e) => {
+                eprintln!("shardsweep shards={shards} failed: {e}");
+                failed = true;
+                continue;
+            }
+        };
+        let viol = r.client_violations + r.runtime.constraint_violations;
+        if !r.ok() || viol > 0 {
+            eprintln!(
+                "shardsweep shards={shards} FAILED: {viol} budget violation(s), \
+                 {} protocol error(s){}",
+                r.protocol_errors,
+                r.last_error
+                    .as_deref()
+                    .map(|e| format!(" — {e}"))
+                    .unwrap_or_default()
+            );
+            failed = true;
+        }
+        let tput = r.events_per_sec();
+        if shards == 1 {
+            base_tput = Some(tput);
+        }
+        let speedup = base_tput.map_or(1.0, |b| tput / b);
+        let fresh = r.fresh_lat.snapshot();
+        t.row(vec![
+            shards.to_string(),
+            format!("{tput:.0}"),
+            format!("{speedup:.2}x"),
+            format!("{:.0}", r.reads_per_sec()),
+            ms(fresh.p99),
+            viol.to_string(),
+            r.rebalances.to_string(),
+        ]);
+        suite.record_value(&format!("shardsweep/{shards}/events_per_sec"), tput);
+        suite.record_value(
+            &format!("shardsweep/{shards}/budget_violations"),
+            viol as f64,
+        );
+        suite.record_value(
+            &format!("shardsweep/{shards}/read_fresh_p99_ns"),
+            fresh.p99 as f64,
+        );
+    }
+    print_table(&t, csv);
+
+    // Skewed-stream half: the same sweep harness with zipfian key skew,
+    // 4 shards, uniform vs cost-proportional budget split — the
+    // rebalancer's whole reason to exist.
+    let skew = sargs.skew.unwrap_or(1.1);
+    let mut t2 = ExpTable::new(
+        "Skewed stream (zipf keys, 4 shards): budget rebalance policies",
+        &[
+            "rebalance",
+            "events/s",
+            "fresh_p99_ms",
+            "stale_p99_ms",
+            "q_max",
+            "viol",
+            "rebalances",
+        ],
+    );
+    t2.note(format!(
+        "zipf exponent {skew}: hot keys pile onto the shards owning them; \
+         cost-proportional moves budget to those shards each epoch"
+    ));
+    match build(Some(skew)) {
+        Ok(skew_exp) => {
+            for rebalance in [RebalancePolicy::Uniform, RebalancePolicy::CostProportional] {
+                let r = match run_loadgen(&skew_exp, &mk_opts(4, rebalance)) {
+                    Ok(r) => r,
+                    Err(e) => {
+                        eprintln!("shardsweep skew {} failed: {e}", rebalance.name());
+                        failed = true;
+                        continue;
+                    }
+                };
+                let viol = r.client_violations + r.runtime.constraint_violations;
+                if !r.ok() || viol > 0 {
+                    eprintln!(
+                        "shardsweep skew {} FAILED: {viol} violation(s), {} protocol error(s)",
+                        rebalance.name(),
+                        r.protocol_errors
+                    );
+                    failed = true;
+                }
+                let fresh = r.fresh_lat.snapshot();
+                let stale = r.stale_lat.snapshot();
+                t2.row(vec![
+                    rebalance.name().to_string(),
+                    format!("{:.0}", r.events_per_sec()),
+                    ms(fresh.p99),
+                    ms(stale.p99),
+                    r.runtime.max_queue_depth.to_string(),
+                    viol.to_string(),
+                    r.rebalances.to_string(),
+                ]);
+                let key = |m: &str| format!("shardsweep/skew/{}/{m}", rebalance.name());
+                suite.record_value(&key("events_per_sec"), r.events_per_sec());
+                suite.record_value(&key("read_fresh_p99_ns"), fresh.p99 as f64);
+                suite.record_value(&key("max_queue_depth"), r.runtime.max_queue_depth as f64);
+                suite.record_value(&key("budget_violations"), viol as f64);
+            }
+        }
+        Err(e) => {
+            eprintln!("shardsweep skew setup failed: {e}");
+            failed = true;
+        }
+    }
+    print_table(&t2, csv);
+    suite.finish();
     if failed {
         std::process::exit(1);
     }
@@ -783,6 +1004,47 @@ fn run_chaos(csv: bool, sargs: &ServeArgs) {
             eprintln!("chaos divergence: {f}");
         }
         std::process::exit(1);
+    }
+    // With --shards N, additionally kill one shard of a wire-served
+    // N-shard deployment mid-stream and prove degraded serving +
+    // WAL-recovery + rejoin (merged checksum == direct evaluation).
+    if let Some(shards) = sargs.shards.filter(|&n| n > 1) {
+        use aivm_bench::chaos::run_shard_kill;
+        let kill = match run_shard_kill(&exp, shards, 1) {
+            Ok(r) => r,
+            Err(e) => {
+                eprintln!("shard-kill cycle failed to run: {e}");
+                std::process::exit(1);
+            }
+        };
+        let mut kt = ExpTable::new(
+            "Chaos: kill-one-shard, degraded serving, WAL recovery + rejoin",
+            &[
+                "shards",
+                "victim",
+                "wal_recs",
+                "rejections",
+                "live_accepts",
+                "merged==direct",
+                "status",
+            ],
+        );
+        kt.row(vec![
+            kill.shards.to_string(),
+            kill.victim.to_string(),
+            kill.victim_wal_records.to_string(),
+            kill.unavailable_rejections.to_string(),
+            kill.degraded_accepts.to_string(),
+            (kill.merged_checksum == kill.direct_checksum).to_string(),
+            if kill.ok() { "ok" } else { "FAIL" }.to_string(),
+        ]);
+        print_table(&kt, csv);
+        if !kill.ok() {
+            for f in &kill.failures {
+                eprintln!("shard-kill divergence: {f}");
+            }
+            std::process::exit(1);
+        }
     }
 }
 
@@ -1003,6 +1265,36 @@ fn main() {
                     }
                 }
             }
+            "--shards" => {
+                let v = take("--shards");
+                match v.parse::<usize>() {
+                    Ok(n) if n > 0 => sargs.shards = Some(n),
+                    _ => {
+                        eprintln!("--shards needs a positive integer");
+                        std::process::exit(2);
+                    }
+                }
+            }
+            "--skew" => {
+                let v = take("--skew");
+                match v.parse::<f64>() {
+                    Ok(s) if s >= 0.0 => sargs.skew = Some(s),
+                    _ => {
+                        eprintln!("--skew needs a nonnegative zipf exponent (e.g. 1.1)");
+                        std::process::exit(2);
+                    }
+                }
+            }
+            "--rebalance" => {
+                let v = take("--rebalance");
+                match aivm_shard::RebalancePolicy::parse(&v) {
+                    Some(p) => sargs.rebalance = Some(p),
+                    None => {
+                        eprintln!("--rebalance needs uniform or cost");
+                        std::process::exit(2);
+                    }
+                }
+            }
             _ if !a.starts_with("--") => targets.push(a.as_str()),
             _ => {}
         }
@@ -1032,10 +1324,11 @@ fn main() {
             "serve" => run_serve(csv, quick, &sargs),
             "chaos" => run_chaos(csv, &sargs),
             "loadgen" => run_loadgen(csv, quick, &sargs),
+            "shardsweep" => run_shardsweep(csv, quick, &sargs),
             other => {
                 eprintln!("unknown target: {other}");
                 eprintln!(
-                    "targets: intro fig1 fig4 fig5 fig6 fig7 bounds adapt concave refresh ablation serve chaos loadgen all"
+                    "targets: intro fig1 fig4 fig5 fig6 fig7 bounds adapt concave refresh ablation serve chaos loadgen shardsweep all"
                 );
                 std::process::exit(2);
             }

@@ -32,15 +32,19 @@
 //! bit-for-bit from its seed alone.
 
 use crate::serve::{ServeExperiment, ServeOptions};
+use aivm_client::{Client, ClientConfig};
 use aivm_core::Counts;
-use aivm_engine::{EngineError, Modification};
+use aivm_engine::{EngineError, Modification, WRow};
+use aivm_net::{NetServer, NetServerConfig};
 use aivm_serve::{
-    read_wal, Checkpoint, FaultPlan, MaintenanceRuntime, MemWal, MetricsSnapshot, ReadMode, Trace,
-    WalStorage, WalWriter,
+    read_wal, Checkpoint, FaultPlan, MaintenanceRuntime, MemWal, MetricsSnapshot, ReadMode,
+    ServeServer, ServerConfig, Trace, WalStorage, WalWriter,
 };
+use aivm_shard::{MergeSpec, ShardRouter};
 use aivm_sim::replay::{verify_recovery_prefix, ReplayStep};
 use rand::rngs::SmallRng;
 use rand::{Rng, SeedableRng};
+use std::time::Duration;
 
 /// Options of a chaos run.
 #[derive(Clone, Debug)]
@@ -618,6 +622,327 @@ pub fn chaos_experiment(events: usize, seed: u64) -> Result<ServeExperiment, Eng
     })
 }
 
+// ---------------------------------------------------------------------
+// Kill-one-shard chaos (`repro chaos --shards N`)
+// ---------------------------------------------------------------------
+
+/// Outcome of one kill-one-shard cycle (see [`run_shard_kill`]).
+///
+/// The cycle proves the sharded serving path's failure story end to
+/// end, over the real wire protocol: while one shard is dead its keys
+/// are rejected with the retry-safe `ShardUnavailable` code and merged
+/// reads carry `degraded = true`, the *other* shards keep accepting
+/// and serving, and after WAL recovery + rejoin the merged fresh read
+/// is checksum-identical to evaluating the view definition from
+/// scratch over every shard's base tables.
+#[derive(Debug)]
+pub struct ShardKillReport {
+    /// Shard count of the cycle.
+    pub shards: usize,
+    /// Index of the killed shard.
+    pub victim: usize,
+    /// WAL records the victim had durably logged when it died.
+    pub victim_wal_records: u64,
+    /// Wire-level `ShardUnavailable` rejections the client observed.
+    pub unavailable_rejections: u64,
+    /// Batches live shards accepted while the victim was down.
+    pub degraded_accepts: u64,
+    /// Merged fresh-read checksum after recovery + rejoin.
+    pub merged_checksum: u64,
+    /// Checksum of direct evaluation over the final shard databases.
+    pub direct_checksum: u64,
+    /// Divergences; empty on success.
+    pub failures: Vec<String>,
+}
+
+impl ShardKillReport {
+    /// True when every phase behaved as specified.
+    pub fn ok(&self) -> bool {
+        self.failures.is_empty()
+    }
+}
+
+/// Pops the next pre-split batch owned by shard `s`, if any.
+fn take_batch(
+    queues: &[Vec<(usize, Vec<Modification>)>],
+    next: &mut [usize],
+    s: usize,
+) -> Option<(usize, Vec<Modification>)> {
+    let item = queues[s].get(next[s]).cloned()?;
+    next[s] += 1;
+    Some(item)
+}
+
+/// Kills one shard of an N-shard wire-served deployment mid-stream,
+/// asserts degraded-but-live serving, recovers the victim from its WAL
+/// and rejoins it, then checks the merged result against direct
+/// evaluation. All traffic flows through a real TCP client so the
+/// typed `ShardUnavailable` rejection and the `degraded` read flag are
+/// exercised exactly as a production client would see them.
+pub fn run_shard_kill(
+    exp: &ServeExperiment,
+    shards: usize,
+    seed: u64,
+) -> Result<ShardKillReport, EngineError> {
+    let net_err = |e: std::io::Error| EngineError::Maintenance {
+        message: format!("shard-kill net setup: {e}"),
+    };
+    let (runtimes, part) = exp.sharded_runtimes("online", shards)?;
+    let genesis = exp.partition_genesis(&part)?;
+    let victim = (seed as usize) % shards;
+
+    // Pre-split both update streams into per-shard batches so every
+    // submit targets exactly one shard — phase accounting (who must
+    // reject, who must accept) is then deterministic.
+    let mut queues: Vec<Vec<(usize, Vec<Modification>)>> = vec![Vec::new(); shards];
+    for (pos, stream) in [
+        (exp.ps_pos, &exp.ps_stream),
+        (exp.supp_pos, &exp.supp_stream),
+    ] {
+        for chunk in stream.chunks(8) {
+            for (s, sub) in part.split_batch(pos, chunk.to_vec())? {
+                queues[s].push((pos, sub));
+            }
+        }
+    }
+    let victim_mods: usize = queues[victim].iter().map(|(_, b)| b.len()).sum();
+    let warmup_mods: usize = queues[victim].iter().take(2).map(|(_, b)| b.len()).sum();
+    if victim_mods < warmup_mods + 16 {
+        return Err(EngineError::Maintenance {
+            message: format!(
+                "shard-kill needs more victim traffic ({victim_mods} mods); raise events"
+            ),
+        });
+    }
+    // The victim dies once it has durably logged about half its
+    // traffic: safely past the warmup (so pre-kill assertions see a
+    // healthy deployment) and safely before its queue runs dry (so the
+    // kill always surfaces while we are still submitting). Its tick
+    // interval is pushed out so idle ticks — which are WAL-logged for
+    // schedule reproduction — cannot race the count.
+    let kill_after = (victim_mods / 2).max(warmup_mods + 8) as u64;
+
+    let mut wals = Vec::with_capacity(shards);
+    let mut servers: Vec<Option<ServeServer>> = Vec::with_capacity(shards);
+    for (i, mut rt) in runtimes.into_iter().enumerate() {
+        let wal = MemWal::new();
+        rt.attach_wal(WalWriter::create(Box::new(wal.clone()), 4)?);
+        wals.push(wal);
+        let cfg = if i == victim {
+            ServerConfig {
+                faults: FaultPlan {
+                    kill_at_record: Some(kill_after),
+                    ..FaultPlan::none()
+                },
+                tick_interval: Duration::from_secs(3600),
+                ..ServerConfig::default()
+            }
+        } else {
+            ServerConfig::default()
+        };
+        servers.push(Some(ServeServer::spawn(rt, cfg)));
+    }
+    let handles = servers
+        .iter()
+        .map(|s| s.as_ref().expect("just spawned").handle())
+        .collect();
+    let router = ShardRouter::new(handles, part, exp.view_def(), exp.budget)?;
+    let net = NetServer::bind_sharded("127.0.0.1:0", router.clone(), NetServerConfig::default())
+        .map_err(net_err)?;
+    // Fail fast on rejections: the cycle counts them itself.
+    let client = Client::new(
+        net.local_addr(),
+        ClientConfig {
+            retries: 0,
+            ..ClientConfig::default()
+        },
+    )
+    .map_err(net_err)?;
+
+    let mut report = ShardKillReport {
+        shards,
+        victim,
+        victim_wal_records: 0,
+        unavailable_rejections: 0,
+        degraded_accepts: 0,
+        merged_checksum: 0,
+        direct_checksum: 0,
+        failures: Vec::new(),
+    };
+    let mut next = vec![0usize; shards];
+
+    // Phase 1 — warmup: a little traffic everywhere, then a fresh read
+    // that must span the full key space.
+    for _ in 0..2 {
+        for s in 0..shards {
+            if let Some((pos, batch)) = take_batch(&queues, &mut next, s) {
+                if let Err(e) = client.submit(pos as u32, batch) {
+                    report
+                        .failures
+                        .push(format!("warmup submit to shard {s}: {e}"));
+                }
+            }
+        }
+    }
+    match client.read(true, false) {
+        Ok(r) if r.degraded => report
+            .failures
+            .push("pre-kill fresh read reported degraded".into()),
+        Ok(_) => {}
+        Err(e) => report.failures.push(format!("pre-kill fresh read: {e}")),
+    }
+
+    // Phase 2 — pump the victim until the kill fault surfaces as a
+    // typed ShardUnavailable rejection. Short sleeps let the victim's
+    // scheduler drain (and hit its record count) between submits.
+    let mut died = false;
+    while let Some((pos, batch)) = take_batch(&queues, &mut next, victim) {
+        match client.submit(pos as u32, batch) {
+            Ok(_) => std::thread::sleep(Duration::from_millis(1)),
+            Err(e) if e.is_shard_unavailable() => {
+                report.unavailable_rejections += 1;
+                died = true;
+                break;
+            }
+            Err(e) => {
+                report
+                    .failures
+                    .push(format!("unexpected error while killing shard: {e}"));
+                break;
+            }
+        }
+    }
+    if !died {
+        report
+            .failures
+            .push("kill fault never surfaced as ShardUnavailable".into());
+    }
+
+    // Phase 3 — degraded serving: victim-bound submits keep rejecting,
+    // live-shard submits keep landing, and both read paths flag the
+    // partial key space.
+    if let Some((pos, batch)) = take_batch(&queues, &mut next, victim) {
+        match client.submit(pos as u32, batch) {
+            Err(e) if e.is_shard_unavailable() => report.unavailable_rejections += 1,
+            Err(e) => report
+                .failures
+                .push(format!("dead-shard submit failed oddly: {e}")),
+            Ok(_) => report
+                .failures
+                .push("dead-shard submit was accepted".into()),
+        }
+    }
+    for s in (0..shards).filter(|&s| s != victim) {
+        if let Some((pos, batch)) = take_batch(&queues, &mut next, s) {
+            match client.submit(pos as u32, batch) {
+                Ok(_) => report.degraded_accepts += 1,
+                Err(e) => report
+                    .failures
+                    .push(format!("live shard {s} rejected during outage: {e}")),
+            }
+        }
+    }
+    for fresh in [false, true] {
+        match client.read(fresh, false) {
+            Ok(r) if !r.degraded => report.failures.push(format!(
+                "{} read not flagged degraded during outage",
+                if fresh { "fresh" } else { "stale" }
+            )),
+            Ok(_) => {}
+            Err(e) => report
+                .failures
+                .push(format!("read during outage failed: {e}")),
+        }
+    }
+
+    // Phase 4 — recover the victim from its durable WAL prefix onto its
+    // genesis partition, rejoin it, and verify the degradation clears.
+    let dead_rt = servers[victim]
+        .take()
+        .expect("victim server present")
+        .shutdown();
+    report.victim_wal_records = dead_rt.wal_records();
+    let wal_bytes = wals[victim].bytes();
+    match read_wal(&wal_bytes) {
+        Ok(o) => {
+            if (o.records.len() as u64) < kill_after {
+                report.failures.push(format!(
+                    "victim WAL has {} records, expected ≥ {kill_after}",
+                    o.records.len()
+                ));
+            }
+        }
+        Err(e) => report.failures.push(format!("victim WAL unreadable: {e}")),
+    }
+    let recovered = MaintenanceRuntime::recover(
+        exp.shard_config(shards),
+        exp.policy("online").expect("known policy"),
+        &wal_bytes,
+        None,
+        genesis[victim].clone(),
+        &|db| exp.make_view(db),
+    )?;
+    let reborn = ServeServer::spawn(recovered, ServerConfig::default());
+    router.rejoin(victim, reborn.handle());
+    servers[victim] = Some(reborn);
+    match client.read(true, false) {
+        Ok(r) if r.degraded => report
+            .failures
+            .push("fresh read still degraded after rejoin".into()),
+        Ok(r) if r.violated => report
+            .failures
+            .push("post-rejoin fresh read violated budget".into()),
+        Ok(_) => {}
+        Err(e) => report.failures.push(format!("post-rejoin fresh read: {e}")),
+    }
+
+    // Phase 5 — the rejoined deployment ingests everywhere again; the
+    // final merged fresh read must match direct evaluation.
+    for _ in 0..2 {
+        for s in 0..shards {
+            if let Some((pos, batch)) = take_batch(&queues, &mut next, s) {
+                if let Err(e) = client.submit(pos as u32, batch) {
+                    report
+                        .failures
+                        .push(format!("post-rejoin submit to shard {s}: {e}"));
+                }
+            }
+        }
+    }
+    match client.read(true, false) {
+        Ok(r) => {
+            report.merged_checksum = r.checksum;
+            if r.degraded || r.violated {
+                report
+                    .failures
+                    .push("final fresh read degraded or over budget".into());
+            }
+        }
+        Err(e) => report.failures.push(format!("final fresh read: {e}")),
+    }
+
+    drop(client);
+    net.shutdown();
+    drop(router);
+    let merge = MergeSpec::from_def(exp.view_def())?;
+    let mut direct_parts: Vec<Vec<WRow>> = Vec::with_capacity(shards);
+    for server in servers.into_iter().flatten() {
+        let rt = server.shutdown();
+        let db = rt.database().ok_or_else(|| EngineError::Maintenance {
+            message: "shard-kill needs engine-backed shards".into(),
+        })?;
+        direct_parts.push(exp.make_view(db)?.result());
+    }
+    report.direct_checksum = MergeSpec::checksum(&merge.merge(&direct_parts)?);
+    if report.merged_checksum != report.direct_checksum {
+        report.failures.push(format!(
+            "merged checksum {} != direct evaluation {}",
+            report.merged_checksum, report.direct_checksum
+        ));
+    }
+    Ok(report)
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -639,6 +964,17 @@ mod tests {
             assert!(s.crash_cycles > 0);
             assert!(s.wal_records > 0);
         }
+    }
+
+    #[test]
+    fn kill_one_shard_recovers_and_matches_direct_eval() {
+        let exp = chaos_experiment(240, 2005).expect("build");
+        let report = run_shard_kill(&exp, 3, 1).expect("cycle runs");
+        assert!(report.ok(), "failures: {:#?}", report.failures);
+        assert!(report.unavailable_rejections >= 1, "no rejection observed");
+        assert!(report.degraded_accepts >= 1, "live shards never accepted");
+        assert!(report.victim_wal_records >= 1);
+        assert_eq!(report.merged_checksum, report.direct_checksum);
     }
 
     #[test]

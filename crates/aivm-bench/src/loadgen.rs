@@ -35,6 +35,7 @@ use aivm_net::{NetMetrics, NetServer, NetServerConfig};
 use aivm_serve::{
     FileWal, LatencyHistogram, MetricsSnapshot, ServeServer, ServerConfig, WalSyncPolicy, WalWriter,
 };
+use aivm_shard::{merge_metrics, Coordinator, CoordinatorConfig, RebalancePolicy, ShardRouter};
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 use std::sync::atomic::{AtomicBool, Ordering};
@@ -110,6 +111,14 @@ pub struct LoadgenOptions {
     /// server multiplexes connections over a fixed worker pool, so caps
     /// in the thousands cost socket buffers, not threads.
     pub max_conns: Option<usize>,
+    /// Key-partitioned shards behind the server. `1` runs the classic
+    /// single-runtime stack; `> 1` spawns one independent scheduler per
+    /// shard behind a [`ShardRouter`] plus the budget-rebalancing
+    /// coordinator.
+    pub shards: usize,
+    /// How the coordinator divides the global budget across shards
+    /// (only consulted at `shards > 1`).
+    pub rebalance: RebalancePolicy,
 }
 
 impl Default for LoadgenOptions {
@@ -130,6 +139,8 @@ impl Default for LoadgenOptions {
             wal_sync: None,
             submit_high_water: None,
             max_conns: None,
+            shards: 1,
+            rebalance: RebalancePolicy::CostProportional,
         }
     }
 }
@@ -230,6 +241,10 @@ pub struct LoadgenReport {
     /// paper view is auto-indexed on every join column, so any nonzero
     /// value is a physical-design regression and fails the run.
     pub scan_fallbacks: u64,
+    /// Shards behind the server (1 = unsharded stack).
+    pub shards: usize,
+    /// Budget pushes the coordinator issued (0 when unsharded).
+    pub rebalances: u64,
 }
 
 impl LoadgenReport {
@@ -393,46 +408,26 @@ fn streams_done(cursors: &[Mutex<TableStream>]) -> bool {
     })
 }
 
-/// Runs the closed-loop load generator against a freshly spawned
-/// serve + net stack on a loopback port.
-pub fn run_loadgen(
+/// What the shared closed-loop drive phase measured, before the server
+/// stack's own teardown counters are folded in.
+struct DriveOutcome {
+    merged: WorkerStats,
+    elapsed: Duration,
+    submit_window: Duration,
+    net: NetMetrics,
+}
+
+/// Spawns the closed-loop workers against `addr`, waits out the
+/// duration cap (or both streams draining), then issues the final
+/// control round trip on a fresh client: one fresh read — the validity
+/// invariant must hold at quiescence too — and the closing metrics
+/// frame with the net-layer counters. Identical for the single-runtime
+/// and sharded stacks; the wire protocol hides the difference.
+fn drive_workers(
+    addr: std::net::SocketAddr,
     exp: &ServeExperiment,
     opts: &LoadgenOptions,
-) -> Result<LoadgenReport, EngineError> {
-    let policy = exp
-        .policy(&opts.policy)
-        .unwrap_or_else(|| panic!("unknown policy {:?}", opts.policy));
-    let mut runtime = exp.runtime(policy)?;
-    let wal_path = match &opts.wal_sync {
-        Some(p) => {
-            let path = std::env::temp_dir().join(format!(
-                "aivm_loadgen_wal_{}_{}.log",
-                std::process::id(),
-                opts.seed
-            ));
-            let _ = std::fs::remove_file(&path);
-            runtime.attach_wal(WalWriter::create(
-                Box::new(FileWal::create(&path)?),
-                p.sync_every(),
-            )?);
-            Some(path)
-        }
-        None => None,
-    };
-    let serve = ServeServer::spawn(runtime, ServerConfig::default());
-    let net = NetServer::bind(
-        "127.0.0.1:0",
-        serve.handle(),
-        exp.costs.len(),
-        NetServerConfig {
-            max_connections: opts.max_conns.unwrap_or(opts.clients + 8),
-            submit_high_water: opts.submit_high_water,
-            ..NetServerConfig::default()
-        },
-    )
-    .map_err(|e| EngineError::io("loadgen bind", e))?;
-    let addr = net.local_addr();
-
+) -> Result<DriveOutcome, EngineError> {
     let cursors: Arc<Vec<Mutex<TableStream>>> = Arc::new(vec![
         Mutex::new(TableStream {
             table: exp.ps_pos,
@@ -463,8 +458,8 @@ pub fn run_loadgen(
         })
         .collect();
 
-    // Coordinator: end at the duration cap or as soon as the finite
-    // streams drain, whichever comes first.
+    // End at the duration cap or as soon as the finite streams drain,
+    // whichever comes first.
     let deadline = started + opts.duration;
     while Instant::now() < deadline && !streams_done(&cursors) {
         std::thread::sleep(Duration::from_millis(2));
@@ -480,9 +475,6 @@ pub fn run_loadgen(
         .map(|t| t.duration_since(started))
         .unwrap_or(elapsed);
 
-    // Final control round trip on a fresh client: one fresh read (the
-    // validity invariant must hold at quiescence too) and the closing
-    // metrics frame with the net-layer counters.
     let control = Client::new(addr, client_config(opts, u64::MAX))
         .map_err(|e| EngineError::io("loadgen control client", e))?;
     let final_read = control
@@ -490,13 +482,110 @@ pub fn run_loadgen(
         .map_err(|e| EngineError::Maintenance {
             message: format!("loadgen final fresh read failed: {e}"),
         })?;
+    merged.reads_fresh += 1;
     if final_read.violated {
         merged.violations += 1;
     }
-    let net_metrics = control.metrics().map_err(|e| EngineError::Maintenance {
+    let net = control.metrics().map_err(|e| EngineError::Maintenance {
         message: format!("loadgen final metrics failed: {e}"),
     })?;
-    drop(control);
+    Ok(DriveOutcome {
+        merged,
+        elapsed,
+        submit_window,
+        net,
+    })
+}
+
+fn report_of(
+    outcome: DriveOutcome,
+    runtime: MetricsSnapshot,
+    scan_fallbacks: u64,
+    shards: usize,
+    rebalances: u64,
+) -> LoadgenReport {
+    let DriveOutcome {
+        merged,
+        elapsed,
+        submit_window,
+        net,
+    } = outcome;
+    LoadgenReport {
+        submit_window,
+        elapsed,
+        events_submitted: merged.events_submitted,
+        submits: merged.submits,
+        reads_stale: merged.reads_stale,
+        reads_fresh: merged.reads_fresh,
+        submit_lat: merged.submit_lat,
+        stale_lat: merged.stale_lat,
+        fresh_lat: merged.fresh_lat,
+        overload_failures: merged.overload_failures,
+        protocol_errors: merged.protocol_errors,
+        client_violations: merged.violations,
+        retries: merged.retries,
+        last_error: merged.last_error,
+        net,
+        runtime,
+        scan_fallbacks,
+        shards,
+        rebalances,
+    }
+}
+
+fn net_config(opts: &LoadgenOptions) -> NetServerConfig {
+    NetServerConfig {
+        max_connections: opts.max_conns.unwrap_or(opts.clients + 8),
+        submit_high_water: opts.submit_high_water,
+        ..NetServerConfig::default()
+    }
+}
+
+fn loadgen_wal_path(opts: &LoadgenOptions, shard: Option<usize>) -> std::path::PathBuf {
+    let suffix = shard.map(|i| format!("_s{i}")).unwrap_or_default();
+    std::env::temp_dir().join(format!(
+        "aivm_loadgen_wal_{}_{}{suffix}.log",
+        std::process::id(),
+        opts.seed
+    ))
+}
+
+/// Runs the closed-loop load generator against a freshly spawned
+/// serve + net stack on a loopback port. `opts.shards > 1` stands up
+/// the sharded stack: N independent schedulers behind a
+/// [`ShardRouter`]-backed server plus the budget coordinator.
+pub fn run_loadgen(
+    exp: &ServeExperiment,
+    opts: &LoadgenOptions,
+) -> Result<LoadgenReport, EngineError> {
+    if opts.shards > 1 {
+        return run_loadgen_sharded(exp, opts);
+    }
+    let policy = exp
+        .policy(&opts.policy)
+        .unwrap_or_else(|| panic!("unknown policy {:?}", opts.policy));
+    let mut runtime = exp.runtime(policy)?;
+    let wal_path = match &opts.wal_sync {
+        Some(p) => {
+            let path = loadgen_wal_path(opts, None);
+            let _ = std::fs::remove_file(&path);
+            runtime.attach_wal(WalWriter::create(
+                Box::new(FileWal::create(&path)?),
+                p.sync_every(),
+            )?);
+            Some(path)
+        }
+        None => None,
+    };
+    let serve = ServeServer::spawn(runtime, ServerConfig::default());
+    let net = NetServer::bind(
+        "127.0.0.1:0",
+        serve.handle(),
+        exp.costs.len(),
+        net_config(opts),
+    )
+    .map_err(|e| EngineError::io("loadgen bind", e))?;
+    let outcome = drive_workers(net.local_addr(), exp, opts)?;
     net.shutdown();
     let runtime = serve.shutdown();
     let scan_fallbacks = runtime
@@ -507,25 +596,67 @@ pub fn run_loadgen(
     if let Some(p) = wal_path {
         let _ = std::fs::remove_file(p);
     }
-    Ok(LoadgenReport {
-        submit_window,
-        elapsed,
-        events_submitted: merged.events_submitted,
-        submits: merged.submits,
-        reads_stale: merged.reads_stale,
-        reads_fresh: merged.reads_fresh + 1,
-        submit_lat: merged.submit_lat,
-        stale_lat: merged.stale_lat,
-        fresh_lat: merged.fresh_lat,
-        overload_failures: merged.overload_failures,
-        protocol_errors: merged.protocol_errors,
-        client_violations: merged.violations,
-        retries: merged.retries,
-        last_error: merged.last_error,
-        net: net_metrics,
-        runtime: runtime_metrics,
+    Ok(report_of(outcome, runtime_metrics, scan_fallbacks, 1, 0))
+}
+
+/// The sharded stack: key-partitions the pristine database, spawns one
+/// [`ServeServer`] per shard (each with its own scheduler, queues,
+/// snapshot slot, and — when a WAL policy is set — its own WAL file),
+/// fronts them with a [`ShardRouter`]-backed [`NetServer`], and runs
+/// the budget-rebalancing [`Coordinator`] for the whole window.
+fn run_loadgen_sharded(
+    exp: &ServeExperiment,
+    opts: &LoadgenOptions,
+) -> Result<LoadgenReport, EngineError> {
+    let (runtimes, part) = exp.sharded_runtimes(&opts.policy, opts.shards)?;
+    let mut serves = Vec::with_capacity(opts.shards);
+    let mut wal_paths = Vec::new();
+    for (i, mut runtime) in runtimes.into_iter().enumerate() {
+        if let Some(p) = &opts.wal_sync {
+            let path = loadgen_wal_path(opts, Some(i));
+            let _ = std::fs::remove_file(&path);
+            runtime.attach_wal(WalWriter::create(
+                Box::new(FileWal::create(&path)?),
+                p.sync_every(),
+            )?);
+            wal_paths.push(path);
+        }
+        serves.push(ServeServer::spawn(runtime, ServerConfig::default()));
+    }
+    let handles = serves.iter().map(|s| s.handle()).collect();
+    let router = ShardRouter::new(handles, part, exp.view_def(), exp.budget)?;
+    let coordinator = Coordinator::spawn(
+        router.clone(),
+        CoordinatorConfig {
+            policy: opts.rebalance,
+            ..CoordinatorConfig::default()
+        },
+    );
+    let net = NetServer::bind_sharded("127.0.0.1:0", router, net_config(opts))
+        .map_err(|e| EngineError::io("loadgen sharded bind", e))?;
+    let outcome = drive_workers(net.local_addr(), exp, opts)?;
+    let coord_stats = coordinator.stop();
+    net.shutdown();
+    let mut scan_fallbacks = 0u64;
+    let mut shard_metrics = Vec::with_capacity(opts.shards);
+    for serve in serves {
+        let runtime = serve.shutdown();
+        scan_fallbacks += runtime
+            .maintenance_stats()
+            .map(|s| s.exec.scan_fallbacks)
+            .unwrap_or(0);
+        shard_metrics.push(runtime.metrics());
+    }
+    for p in wal_paths {
+        let _ = std::fs::remove_file(p);
+    }
+    Ok(report_of(
+        outcome,
+        merge_metrics(&shard_metrics),
         scan_fallbacks,
-    })
+        opts.shards,
+        coord_stats.rebalances,
+    ))
 }
 
 #[cfg(test)]
@@ -558,5 +689,39 @@ mod tests {
         assert!(r.reads_fresh >= 1);
         assert_eq!(r.net.submitted_events, 1200);
         assert_eq!(r.net.connections_rejected, 0);
+    }
+
+    #[test]
+    fn quick_sharded_loadgen_run_is_clean_and_complete() {
+        let exp = ServeExperiment::build(ServeOptions {
+            events_each: 400,
+            quick: true,
+            ..Default::default()
+        })
+        .expect("build");
+        let opts = LoadgenOptions {
+            clients: 3,
+            events_each: 400,
+            batch: 32,
+            duration: Duration::from_secs(30),
+            quick: true,
+            shards: 4,
+            ..Default::default()
+        };
+        let r = run_loadgen(&exp, &opts).expect("sharded loadgen");
+        assert!(r.ok(), "violations or errors: {:?}", r.last_error);
+        // Every update routes to exactly one shard (updates never move
+        // a row's partition key), so the merged ingest count equals the
+        // stream total — nothing duplicated, nothing lost.
+        assert_eq!(r.events_submitted, 800);
+        assert_eq!(r.runtime.events_ingested, 800);
+        assert_eq!(r.shards, 4);
+        assert_eq!(r.net.shards, 4);
+        assert_eq!(r.net.shards_live, 4);
+        assert!(r.reads_fresh >= 1);
+        assert!(
+            r.runtime.budget_rebalances > 0 || r.rebalances == 0,
+            "runtime rebalance counter and coordinator stats disagree"
+        );
     }
 }

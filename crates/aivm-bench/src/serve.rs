@@ -11,16 +11,17 @@
 use aivm_core::{CostFn, CostModel, Instance};
 use aivm_engine::{
     estimate_cost_functions, CostConstants, Database, EngineError, MaterializedView, MinStrategy,
-    Modification,
+    Modification, TableId, ViewDef,
 };
 use aivm_serve::{
     AsSolverPolicy, FaultPlan, FileWal, FlushPolicy, MaintenanceRuntime, MetricsSnapshot,
     NaiveFlush, OnlineFlush, PlannedFlush, ReadMode, ServeConfig, ServeServer, ServerConfig, Trace,
     WalSyncPolicy, WalWriter,
 };
+use aivm_shard::{partition_database, Partitioner};
 use aivm_sim::replay::{replay_policy, ReplayStep};
 use aivm_solver::AdaptSchedule;
-use aivm_tpcr::{generate, install_paper_view, pregenerate_streams, TpcrConfig};
+use aivm_tpcr::{generate, install_paper_view, pregenerate_streams_skewed, TpcrConfig};
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::Arc;
 use std::time::{Duration, Instant};
@@ -52,6 +53,10 @@ pub struct ServeOptions {
     /// Worker threads for delta propagation inside engine flushes
     /// (`1` = serial); see `MaterializedView::set_flush_threads`.
     pub flush_threads: usize,
+    /// Zipf exponent for the update streams' key choice; `None` is the
+    /// paper's uniform stream. Under hash sharding a skewed stream
+    /// concentrates flush work on the shards owning the hot keys.
+    pub skew: Option<f64>,
 }
 
 impl Default for ServeOptions {
@@ -65,6 +70,7 @@ impl Default for ServeOptions {
             fault: FaultPlan::none(),
             wal_sync: None,
             flush_threads: 1,
+            skew: None,
         }
     }
 }
@@ -74,6 +80,10 @@ impl Default for ServeOptions {
 /// policy's schedule.
 pub struct ServeExperiment {
     data: aivm_tpcr::TpcrDatabase,
+    /// The paper view's definition (base-table order, join predicates),
+    /// needed by the shard router's co-location validation and merge
+    /// plan.
+    view_def: ViewDef,
     /// Measured cost function per view base table.
     pub costs: Vec<CostModel>,
     /// The refresh budget `C` in effect.
@@ -165,8 +175,10 @@ impl ServeExperiment {
             budget,
         );
         let schedule = AdaptSchedule::precompute(&est);
-        let (ps_stream, supp_stream) = pregenerate_streams(&data, opts.events_each, opts.seed ^ 1);
+        let (ps_stream, supp_stream) =
+            pregenerate_streams_skewed(&data, opts.events_each, opts.seed ^ 1, opts.skew);
         Ok(ServeExperiment {
+            view_def: view.def().clone(),
             data,
             costs,
             budget,
@@ -218,6 +230,81 @@ impl ServeExperiment {
     /// indexes `build` created.
     pub fn make_view(&self, db: &Database) -> Result<MaterializedView, EngineError> {
         aivm_tpcr::paper_view(db, MinStrategy::Multiset)
+    }
+
+    /// The paper view's definition.
+    pub fn view_def(&self) -> &ViewDef {
+        &self.view_def
+    }
+
+    /// The hash partitioner for an `shards`-way split of the paper
+    /// view: `partsupp` partitions on `suppkey` (column 2) and
+    /// `supplier` on `suppkey` (column 0) — the PartSupp⋈Supplier join
+    /// key, so joined rows co-locate and no cross-shard compensation is
+    /// ever needed ([`Partitioner::validate`] asserts this against the
+    /// view's join predicates). `nation` and `region` are replicated.
+    pub fn partitioner(&self, shards: usize) -> Result<Partitioner, EngineError> {
+        let mut key_cols = vec![None; self.costs.len()];
+        key_cols[self.ps_pos] = Some(2); // partsupp.suppkey
+        key_cols[self.supp_pos] = Some(0); // supplier.suppkey
+        let part = Partitioner::new(shards, key_cols)?;
+        part.validate(&self.view_def)?;
+        Ok(part)
+    }
+
+    /// [`TableId`]s of the view's base tables, in view-canonical order
+    /// (the order `costs` / the partitioner's `key_cols` use).
+    pub fn view_table_ids(&self) -> Vec<TableId> {
+        self.view_def
+            .tables
+            .iter()
+            .map(|name| {
+                self.data
+                    .db
+                    .table_id(name)
+                    .expect("view base table exists in the generated database")
+            })
+            .collect()
+    }
+
+    /// Per-shard runtime configuration: the same measured costs with
+    /// the uniform budget share `C / N` (the coordinator rebalances
+    /// from there).
+    pub fn shard_config(&self, shards: usize) -> ServeConfig {
+        ServeConfig::new(self.costs.clone(), self.budget / shards as f64)
+            .with_flush_threads(self.opts.flush_threads)
+    }
+
+    /// Key-partitions a fresh clone of the pristine database — shard
+    /// `i`'s genesis state for WAL recovery.
+    pub fn partition_genesis(&self, part: &Partitioner) -> Result<Vec<Database>, EngineError> {
+        partition_database(&self.data.db, &self.view_table_ids(), part)
+    }
+
+    /// Builds `shards` independent engine-backed runtimes over a key
+    /// partition of the pristine database, each with its own paper view
+    /// and the uniform budget share `C / N`.
+    pub fn sharded_runtimes(
+        &self,
+        policy_name: &str,
+        shards: usize,
+    ) -> Result<(Vec<MaintenanceRuntime>, Partitioner), EngineError> {
+        let part = self.partitioner(shards)?;
+        let dbs = self.partition_genesis(&part)?;
+        let mut runtimes = Vec::with_capacity(shards);
+        for db in dbs {
+            let view = self.make_view(&db)?;
+            let policy = self
+                .policy(policy_name)
+                .unwrap_or_else(|| panic!("unknown policy {policy_name:?}"));
+            runtimes.push(MaintenanceRuntime::engine(
+                self.shard_config(shards),
+                policy,
+                db,
+                view,
+            )?);
+        }
+        Ok((runtimes, part))
     }
 
     /// Runs the full threaded experiment for one policy: a scheduler

@@ -123,6 +123,20 @@ impl ClientError {
             } | ClientError::Handshake(HandshakeStatus::Overloaded)
         )
     }
+
+    /// True when a sharded server rejected the request because its
+    /// owning shard is down. Guaranteed to precede any side effect, so
+    /// retrying is safe — and useful, since a killed shard may rejoin
+    /// after recovery.
+    pub fn is_shard_unavailable(&self) -> bool {
+        matches!(
+            self,
+            ClientError::Rejected {
+                code: ErrorCode::ShardUnavailable,
+                ..
+            }
+        )
+    }
 }
 
 /// Retry counters, for loadgen summaries.
@@ -200,9 +214,17 @@ impl Client {
         }
     }
 
-    /// Fetches a metrics snapshot.
+    /// Fetches a metrics snapshot (aggregated across shards on a
+    /// sharded server).
     pub fn metrics(&self) -> Result<NetMetrics, ClientError> {
-        match self.request(Request::Metrics)? {
+        self.metrics_detailed(false)
+    }
+
+    /// Fetches a metrics snapshot, optionally including the per-shard
+    /// breakdown (`per_shard`; a single-runtime server answers with its
+    /// one shard).
+    pub fn metrics_detailed(&self, per_shard: bool) -> Result<NetMetrics, ClientError> {
+        match self.request(Request::Metrics { per_shard })? {
             Response::MetricsOk(m) => Ok(*m),
             _ => Err(ClientError::UnexpectedResponse("expected MetricsOk")),
         }
@@ -237,12 +259,13 @@ impl Client {
                 Ok(resp) => return Ok(resp),
                 Err(e) => e,
             };
-            // The server guarantees Overloaded rejections precede any
-            // side effect (retry-safe for every request kind); a
-            // transport failure is only safe to retry when the request
-            // is idempotent.
+            // The server guarantees Overloaded and ShardUnavailable
+            // rejections precede any side effect (retry-safe for every
+            // request kind); a transport failure is only safe to retry
+            // when the request is idempotent.
             let overload = err.is_overload();
             let retryable = overload
+                || err.is_shard_unavailable()
                 || (idempotent && matches!(err, ClientError::Io(_) | ClientError::Protocol(_)));
             attempt += 1;
             if !retryable || attempt > self.cfg.retries {

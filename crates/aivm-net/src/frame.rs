@@ -38,14 +38,16 @@
 //!   kind 0 Ping
 //!   kind 1 Submit  table u32 | count u32 | modification...
 //!   kind 2 Read    mode u8 (0 stale, 1 fresh) | want_rows u8
-//!   kind 3 Metrics
+//!   kind 3 Metrics per_shard u8
 //!   kind 4 Flush
 //! response: kind u8 | body
 //!   kind 0 Pong
 //!   kind 1 SubmitOk  accepted u64
 //!   kind 2 ReadOk    fresh u8 | lag u64 | flush_cost f64 | violated u8
-//!                    | checksum u64 | has_rows u8 [| count u32 | (row, w i64)...]
+//!                    | degraded u8 | checksum u64
+//!                    | has_rows u8 [| count u32 | (row, w i64)...]
 //!   kind 3 MetricsOk NetMetrics fields in declaration order
+//!                    [| per-shard rows when requested]
 //!   kind 4 FlushOk   flush_cost f64 | violated u8
 //!   kind 5 Error     code u8 | message str
 //! ```
@@ -67,8 +69,10 @@ use std::io::{ErrorKind, Read, Write};
 /// Handshake magic, both directions.
 pub const NET_MAGIC: &[u8; 4] = b"ANET";
 /// Protocol version negotiated at the handshake. v2 added
-/// `snapshot_reads` to the metrics frame.
-pub const NET_VERSION: u16 = 2;
+/// `snapshot_reads` to the metrics frame; v3 added sharding (the
+/// `degraded` read flag, `ShardUnavailable`, the metrics `per_shard`
+/// request flag and shard aggregate/breakdown metrics fields).
+pub const NET_VERSION: u16 = 3;
 /// Bytes of framing before each payload (length + checksum).
 pub const FRAME_HEADER_LEN: usize = 12;
 /// Hard cap on a single frame's payload. A length prefix beyond this is
@@ -315,7 +319,11 @@ pub enum Request {
         want_rows: bool,
     },
     /// Fetch a [`NetMetrics`] snapshot.
-    Metrics,
+    Metrics {
+        /// Also return the per-shard breakdown rows (shards > 1 adds a
+        /// row per shard slot; the aggregate fields are always present).
+        per_shard: bool,
+    },
     /// Force a full flush without reading rows (a fresh read minus the
     /// payload).
     Flush,
@@ -361,7 +369,10 @@ pub fn encode_request(f: &RequestFrame) -> Vec<u8> {
             buf.put_u8(u8::from(*fresh));
             buf.put_u8(u8::from(*want_rows));
         }
-        Request::Metrics => buf.put_u8(3),
+        Request::Metrics { per_shard } => {
+            buf.put_u8(3);
+            buf.put_u8(u8::from(*per_shard));
+        }
         Request::Flush => buf.put_u8(4),
     }
     buf.freeze().to_vec()
@@ -415,7 +426,14 @@ pub fn decode_request(payload: &[u8]) -> Result<RequestFrame, EngineError> {
                 want_rows: buf.get_u8() != 0,
             }
         }
-        3 => Request::Metrics,
+        3 => {
+            if buf.remaining() < 1 {
+                return Err(corrupt(ctx, "metrics flags", &buf));
+            }
+            Request::Metrics {
+                per_shard: buf.get_u8() != 0,
+            }
+        }
         4 => Request::Flush,
         other => return Err(corrupt(ctx, &format!("request kind {other}"), &buf)),
     };
@@ -447,13 +465,19 @@ pub enum ErrorCode {
     Unavailable,
     /// An engine error while executing the request.
     Internal,
+    /// The shard owning the submitted key is down (sharded serving
+    /// only). Rejected *before any side effect* — the router checks
+    /// every target shard's liveness before enqueueing anything — so a
+    /// submit carrying this code is safe to retry (it will succeed once
+    /// the shard's WAL recovery rejoins it).
+    ShardUnavailable,
 }
 
 impl ErrorCode {
     /// Whether a client may retry a *submit* carrying this code without
     /// risking double-apply. Idempotent requests retry on more.
     pub fn is_retry_safe(self) -> bool {
-        matches!(self, ErrorCode::Overloaded)
+        matches!(self, ErrorCode::Overloaded | ErrorCode::ShardUnavailable)
     }
 
     fn as_u8(self) -> u8 {
@@ -463,6 +487,7 @@ impl ErrorCode {
             ErrorCode::BadRequest => 2,
             ErrorCode::Unavailable => 3,
             ErrorCode::Internal => 4,
+            ErrorCode::ShardUnavailable => 5,
         }
     }
 
@@ -473,6 +498,7 @@ impl ErrorCode {
             2 => Some(ErrorCode::BadRequest),
             3 => Some(ErrorCode::Unavailable),
             4 => Some(ErrorCode::Internal),
+            5 => Some(ErrorCode::ShardUnavailable),
             _ => None,
         }
     }
@@ -486,6 +512,7 @@ impl std::fmt::Display for ErrorCode {
             ErrorCode::BadRequest => "bad request",
             ErrorCode::Unavailable => "unavailable",
             ErrorCode::Internal => "internal",
+            ErrorCode::ShardUnavailable => "shard unavailable",
         })
     }
 }
@@ -501,6 +528,10 @@ pub struct WireReadResult {
     pub flush_cost: f64,
     /// Whether the read broke the ≤ C guarantee.
     pub violated: bool,
+    /// Sharded serving only: true when at least one shard could not
+    /// contribute (dead, or no published snapshot yet), so the result
+    /// covers only part of the key space. Always false unsharded.
+    pub degraded: bool,
     /// Order-independent content checksum of the materialized view —
     /// always present, so clients can verify convergence without
     /// shipping rows.
@@ -566,8 +597,45 @@ pub struct NetMetrics {
     pub overload_rejections: u64,
     /// Requests rejected with [`ErrorCode::DeadlineExceeded`].
     pub deadline_rejections: u64,
-    /// The scheduler's poisoning error, if any.
+    /// Shard slots configured (1 unsharded).
+    pub shards: u64,
+    /// Shard slots currently live.
+    pub shards_live: u64,
+    /// Worst per-shard snapshot staleness (pending modifications not
+    /// reflected in that shard's published snapshot).
+    pub staleness_max: u64,
+    /// Total refresh budget currently in force (sum of per-shard
+    /// budgets `C_i` — equals the global `C` modulo rebalance float).
+    pub budget: f64,
+    /// Cross-shard budget rebalances applied (sum of per-shard pushes).
+    pub budget_rebalances: u64,
+    /// The scheduler's poisoning error, if any (first failing shard).
     pub last_error: Option<String>,
+    /// Per-shard breakdown, present when the request set `per_shard`.
+    pub per_shard: Option<Vec<ShardMetricsRow>>,
+}
+
+/// One shard's slice of the metrics breakdown (sharded serving; the
+/// aggregate fields in [`NetMetrics`] are sums/maxes over these).
+#[derive(Clone, Debug, Default, PartialEq)]
+pub struct ShardMetricsRow {
+    /// Shard slot index.
+    pub shard: u32,
+    /// Whether the slot currently has a live runtime.
+    pub live: bool,
+    /// DML events ingested into this shard's runtime.
+    pub events_ingested: u64,
+    /// This shard's ingest-queue depth at snapshot time.
+    pub queue_depth: u64,
+    /// Non-zero flush actions executed by this shard.
+    pub flush_count: u64,
+    /// Total model cost charged by this shard's flushes.
+    pub total_flush_cost: f64,
+    /// This shard's refresh budget `C_i` (the coordinator moves it).
+    pub budget: f64,
+    /// Snapshot staleness: pending modifications not reflected in this
+    /// shard's published snapshot.
+    pub staleness: u64,
 }
 
 /// The server's answer to one request.
@@ -616,6 +684,7 @@ pub fn encode_response(r: &Response) -> Vec<u8> {
             buf.put_u64_le(rr.lag);
             buf.put_f64_le(rr.flush_cost);
             buf.put_u8(u8::from(rr.violated));
+            buf.put_u8(u8::from(rr.degraded));
             buf.put_u64_le(rr.checksum);
             match &rr.rows {
                 None => buf.put_u8(0),
@@ -656,11 +725,33 @@ pub fn encode_response(r: &Response) -> Vec<u8> {
             buf.put_u64_le(m.submitted_events);
             buf.put_u64_le(m.overload_rejections);
             buf.put_u64_le(m.deadline_rejections);
+            buf.put_u64_le(m.shards);
+            buf.put_u64_le(m.shards_live);
+            buf.put_u64_le(m.staleness_max);
+            buf.put_f64_le(m.budget);
+            buf.put_u64_le(m.budget_rebalances);
             match &m.last_error {
                 None => buf.put_u8(0),
                 Some(e) => {
                     buf.put_u8(1);
                     put_str(&mut buf, e);
+                }
+            }
+            match &m.per_shard {
+                None => buf.put_u8(0),
+                Some(rows) => {
+                    buf.put_u8(1);
+                    buf.put_u32_le(rows.len() as u32);
+                    for s in rows {
+                        buf.put_u32_le(s.shard);
+                        buf.put_u8(u8::from(s.live));
+                        buf.put_u64_le(s.events_ingested);
+                        buf.put_u64_le(s.queue_depth);
+                        buf.put_u64_le(s.flush_count);
+                        buf.put_f64_le(s.total_flush_cost);
+                        buf.put_f64_le(s.budget);
+                        buf.put_u64_le(s.staleness);
+                    }
                 }
             }
         }
@@ -700,13 +791,14 @@ pub fn decode_response(payload: &[u8]) -> Result<Response, EngineError> {
             }
         }
         2 => {
-            if buf.remaining() < 27 {
+            if buf.remaining() < 28 {
                 return Err(corrupt(ctx, "read-ok header", &buf));
             }
             let fresh = buf.get_u8() != 0;
             let lag = buf.get_u64_le();
             let flush_cost = buf.get_f64_le();
             let violated = buf.get_u8() != 0;
+            let degraded = buf.get_u8() != 0;
             let sum = buf.get_u64_le();
             let rows = match buf.get_u8() {
                 0 => None,
@@ -735,14 +827,15 @@ pub fn decode_response(payload: &[u8]) -> Result<Response, EngineError> {
                 lag,
                 flush_cost,
                 violated,
+                degraded,
                 checksum: sum,
                 rows,
             })
         }
         3 => {
-            // 10 u64 + f64 + flag, 7 u64, 7 u64 + flag: checked as one
-            // block before the fixed-width reads.
-            const FIXED: usize = 24 * 8 + 2;
+            // All fixed-width fields (u64/f64 plus the degraded and
+            // error flags), checked as one block before the reads.
+            const FIXED: usize = 29 * 8 + 2;
             if buf.remaining() < FIXED {
                 return Err(corrupt(ctx, "metrics", &buf));
             }
@@ -772,7 +865,13 @@ pub fn decode_response(payload: &[u8]) -> Result<Response, EngineError> {
                 submitted_events: buf.get_u64_le(),
                 overload_rejections: buf.get_u64_le(),
                 deadline_rejections: buf.get_u64_le(),
+                shards: buf.get_u64_le(),
+                shards_live: buf.get_u64_le(),
+                staleness_max: buf.get_u64_le(),
+                budget: buf.get_f64_le(),
+                budget_rebalances: buf.get_u64_le(),
                 last_error: None,
+                per_shard: None,
             };
             if buf.remaining() < 1 {
                 return Err(corrupt(ctx, "metrics error flag", &buf));
@@ -781,6 +880,39 @@ pub fn decode_response(payload: &[u8]) -> Result<Response, EngineError> {
                 0 => None,
                 1 => Some(get_str(&mut buf, ctx)?),
                 other => return Err(corrupt(ctx, &format!("error flag {other}"), &buf)),
+            };
+            if buf.remaining() < 1 {
+                return Err(corrupt(ctx, "metrics shard flag", &buf));
+            }
+            m.per_shard = match buf.get_u8() {
+                0 => None,
+                1 => {
+                    if buf.remaining() < 4 {
+                        return Err(corrupt(ctx, "shard row count", &buf));
+                    }
+                    let count = buf.get_u32_le() as usize;
+                    // Each row is 53 fixed bytes; reject impossible
+                    // counts before allocating.
+                    const ROW: usize = 4 + 1 + 6 * 8;
+                    if count * ROW > buf.remaining() {
+                        return Err(corrupt(ctx, &format!("shard row count {count}"), &buf));
+                    }
+                    let mut rows = Vec::with_capacity(count);
+                    for _ in 0..count {
+                        rows.push(ShardMetricsRow {
+                            shard: buf.get_u32_le(),
+                            live: buf.get_u8() != 0,
+                            events_ingested: buf.get_u64_le(),
+                            queue_depth: buf.get_u64_le(),
+                            flush_count: buf.get_u64_le(),
+                            total_flush_cost: buf.get_f64_le(),
+                            budget: buf.get_f64_le(),
+                            staleness: buf.get_u64_le(),
+                        });
+                    }
+                    Some(rows)
+                }
+                other => return Err(corrupt(ctx, &format!("shard flag {other}"), &buf)),
             };
             Response::MetricsOk(Box::new(m))
         }
@@ -1159,7 +1291,10 @@ pub enum RequestRef<'a> {
         want_rows: bool,
     },
     /// Fetch a metrics snapshot.
-    Metrics,
+    Metrics {
+        /// Also return the per-shard breakdown rows.
+        per_shard: bool,
+    },
     /// Force a full flush.
     Flush,
 }
@@ -1191,7 +1326,7 @@ impl RequestRefFrame<'_> {
                 }
             }
             RequestRef::Read { fresh, want_rows } => Request::Read { fresh, want_rows },
-            RequestRef::Metrics => Request::Metrics,
+            RequestRef::Metrics { per_shard } => Request::Metrics { per_shard },
             RequestRef::Flush => Request::Flush,
         };
         Ok(RequestFrame {
@@ -1243,7 +1378,9 @@ pub fn decode_request_ref(payload: &[u8]) -> Result<RequestRefFrame<'_>, EngineE
                 want_rows: cur.get_u8(ctx, "read flags")? != 0,
             }
         }
-        3 => RequestRef::Metrics,
+        3 => RequestRef::Metrics {
+            per_shard: cur.get_u8(ctx, "metrics flags")? != 0,
+        },
         4 => RequestRef::Flush,
         other => return Err(cur.corrupt(ctx, &format!("request kind {other}"))),
     };
@@ -1309,7 +1446,9 @@ mod tests {
                 fresh: rng.gen_bool(0.5),
                 want_rows: rng.gen_bool(0.5),
             },
-            3 => Request::Metrics,
+            3 => Request::Metrics {
+                per_shard: rng.gen_bool(0.5),
+            },
             _ => Request::Flush,
         };
         RequestFrame {
@@ -1345,9 +1484,28 @@ mod tests {
             submitted_events: rng.gen_range(0..u64::MAX),
             overload_rejections: rng.gen_range(0..u64::MAX),
             deadline_rejections: rng.gen_range(0..u64::MAX),
+            shards: rng.gen_range(1..9u64),
+            shards_live: rng.gen_range(0..9u64),
+            staleness_max: rng.gen_range(0..u64::MAX),
+            budget: rng.gen_range(0.0..1e6),
+            budget_rebalances: rng.gen_range(0..u64::MAX),
             last_error: rng
                 .gen_bool(0.3)
                 .then(|| "scheduler tick failed: boom".to_string()),
+            per_shard: rng.gen_bool(0.4).then(|| {
+                (0..rng.gen_range(1..5u32))
+                    .map(|i| ShardMetricsRow {
+                        shard: i,
+                        live: rng.gen_bool(0.8),
+                        events_ingested: rng.gen_range(0..u64::MAX),
+                        queue_depth: rng.gen_range(0..10_000u64),
+                        flush_count: rng.gen_range(0..u64::MAX),
+                        total_flush_cost: rng.gen_range(0.0..1e9),
+                        budget: rng.gen_range(0.0..1e6),
+                        staleness: rng.gen_range(0..100_000u64),
+                    })
+                    .collect()
+            }),
         }
     }
 
@@ -1362,6 +1520,7 @@ mod tests {
                 lag: rng.gen_range(0..1000u64),
                 flush_cost: rng.gen_range(0.0..1e6),
                 violated: rng.gen_bool(0.1),
+                degraded: rng.gen_bool(0.1),
                 checksum: rng.gen_range(0..u64::MAX),
                 rows: rng.gen_bool(0.6).then(|| {
                     (0..rng.gen_range(0..8usize))
@@ -1375,7 +1534,7 @@ mod tests {
                 violated: rng.gen_bool(0.1),
             },
             _ => Response::Error {
-                code: ErrorCode::from_u8(rng.gen_range(0..5u8)).unwrap(),
+                code: ErrorCode::from_u8(rng.gen_range(0..6u8)).unwrap(),
                 message: "typed failure".into(),
             },
         }
@@ -1458,7 +1617,7 @@ mod tests {
     fn frame_layer_detects_flipped_bytes() {
         let payload = encode_request(&RequestFrame {
             deadline_ms: 250,
-            request: Request::Metrics,
+            request: Request::Metrics { per_shard: false },
         });
         let mut wire = Vec::new();
         write_frame(&mut wire, &payload).unwrap();
@@ -1615,7 +1774,7 @@ mod tests {
     fn frame_buffer_preserves_torn_vs_corrupt_taxonomy() {
         let payload = encode_request(&RequestFrame {
             deadline_ms: 99,
-            request: Request::Metrics,
+            request: Request::Metrics { per_shard: false },
         });
         let mut wire = Vec::new();
         write_frame(&mut wire, &payload).unwrap();

@@ -40,6 +40,7 @@ pub use frame::{
     read_frame, read_hello, read_hello_reply, recv_request, recv_response, send_request,
     send_response, write_frame, write_hello, write_hello_reply, ErrorCode, FrameBuffer, FrameError,
     HandshakeStatus, NetMetrics, Request, RequestFrame, RequestRef, RequestRefFrame, Response,
-    SubmitRef, WireReadResult, FRAME_HEADER_LEN, MAX_FRAME_LEN, NET_MAGIC, NET_VERSION,
+    ShardMetricsRow, SubmitRef, WireReadResult, FRAME_HEADER_LEN, MAX_FRAME_LEN, NET_MAGIC,
+    NET_VERSION,
 };
 pub use server::{NetServer, NetServerConfig};

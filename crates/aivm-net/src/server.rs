@@ -71,14 +71,15 @@
 
 use crate::frame::{
     append_frame, decode_request_ref, encode_response, ErrorCode, FrameBuffer, FrameError,
-    HandshakeStatus, NetMetrics, RequestRef, Response, SubmitRef, WireReadResult, NET_MAGIC,
-    NET_VERSION,
+    HandshakeStatus, NetMetrics, RequestRef, Response, ShardMetricsRow, SubmitRef, WireReadResult,
+    NET_MAGIC, NET_VERSION,
 };
 use crate::poller::{Event, Interest, Poller};
 use aivm_engine::{fxhash, Modification, WRow};
 use aivm_serve::{
     DeadlineError, MetricsSnapshot, MetricsTicket, ReadMode, ReadTicket, ServeHandle, TrySendError,
 };
+use aivm_shard::{merge_metrics, RouteError, ShardRouter};
 use std::collections::VecDeque;
 use std::io::{ErrorKind, Write};
 use std::net::{TcpListener, TcpStream, ToSocketAddrs};
@@ -179,6 +180,16 @@ pub struct NetServer {
     accept_join: Option<JoinHandle<()>>,
 }
 
+/// What a worker's requests are routed against: one scheduler handle,
+/// or a shard router fanning out over several.
+#[derive(Clone)]
+enum Backend {
+    /// The unsharded fast path — identical to the pre-sharding server.
+    Single(ServeHandle),
+    /// Key-partitioned shards behind a [`ShardRouter`].
+    Sharded(ShardRouter),
+}
+
 impl NetServer {
     /// Binds `addr` (e.g. `"127.0.0.1:0"`) and starts accepting.
     ///
@@ -188,6 +199,31 @@ impl NetServer {
     pub fn bind(
         addr: impl ToSocketAddrs,
         handle: ServeHandle,
+        n_tables: usize,
+        cfg: NetServerConfig,
+    ) -> std::io::Result<NetServer> {
+        NetServer::bind_backend(addr, Backend::Single(handle), n_tables, cfg)
+    }
+
+    /// Binds a *sharded* server: submits hash to their owning shard,
+    /// stale reads scatter-gather the per-shard snapshots, fresh reads
+    /// and flushes fan out, and metrics aggregate across shards. The
+    /// router carries the partitioner, merge plan and per-shard
+    /// handles; the caller typically also spawns an
+    /// [`aivm_shard::Coordinator`] over a clone of the same router so
+    /// budget rebalancing and serving observe the same shard liveness.
+    pub fn bind_sharded(
+        addr: impl ToSocketAddrs,
+        router: ShardRouter,
+        cfg: NetServerConfig,
+    ) -> std::io::Result<NetServer> {
+        let n_tables = router.partitioner().key_cols().len();
+        NetServer::bind_backend(addr, Backend::Sharded(router), n_tables, cfg)
+    }
+
+    fn bind_backend(
+        addr: impl ToSocketAddrs,
+        backend: Backend,
         n_tables: usize,
         cfg: NetServerConfig,
     ) -> std::io::Result<NetServer> {
@@ -204,7 +240,7 @@ impl NetServer {
         });
         let accept_join = std::thread::Builder::new()
             .name("aivm-net-accept".into())
-            .spawn(move || accept_loop(listener, handle, shared))?;
+            .spawn(move || accept_loop(listener, backend, shared))?;
         Ok(NetServer {
             addr: local,
             stop,
@@ -259,17 +295,17 @@ fn wake(handle: &WorkerHandle) {
     let _ = (&handle.wake_tx).write(&[1]);
 }
 
-fn accept_loop(listener: TcpListener, handle: ServeHandle, shared: Arc<Shared>) {
+fn accept_loop(listener: TcpListener, backend: Backend, shared: Arc<Shared>) {
     let n_workers = shared.cfg.effective_workers();
     let mut workers = Vec::with_capacity(n_workers);
     for i in 0..n_workers {
-        match spawn_worker(i, handle.clone(), Arc::clone(&shared)) {
+        match spawn_worker(i, backend.clone(), Arc::clone(&shared)) {
             Ok(w) => workers.push(w),
             Err(_) if !workers.is_empty() => break, // run with fewer
             Err(_) => return,                       // cannot serve at all
         }
     }
-    drop(handle);
+    drop(backend);
 
     let poller = match Poller::new() {
         Ok(p) => p,
@@ -323,7 +359,7 @@ fn accept_loop(listener: TcpListener, handle: ServeHandle, shared: Arc<Shared>) 
 
 fn spawn_worker(
     index: usize,
-    handle: ServeHandle,
+    backend: Backend,
     shared: Arc<Shared>,
 ) -> std::io::Result<WorkerHandle> {
     let inbox: Arc<Mutex<VecDeque<NewConn>>> = Arc::new(Mutex::new(VecDeque::new()));
@@ -338,7 +374,7 @@ fn spawn_worker(
         .spawn(move || {
             Worker {
                 shared,
-                handle,
+                backend,
                 poller,
                 wake_rx,
                 inbox: worker_inbox,
@@ -390,10 +426,43 @@ enum Pending {
         started: Instant,
         deadline: Duration,
     },
+    /// The sharded submit in flight: sub-batches not yet admitted park
+    /// here and re-attempt each tick, like [`Pending::Submit`]. Once
+    /// *any* sub-batch is admitted the request has had a side effect;
+    /// from then on a failure resolves to `Internal` (not retry-safe)
+    /// instead of the pre-admission `Overloaded`/`ShardUnavailable`
+    /// rejections.
+    SubmitSharded {
+        table: usize,
+        /// Per-shard sub-batches still awaiting admission.
+        parts: Vec<(usize, Vec<Modification>)>,
+        /// Events admitted so far (across already-admitted sub-batches).
+        accepted: u64,
+        /// Sub-batch count at split time, for error messages.
+        total: usize,
+        started: Instant,
+        deadline: Duration,
+    },
     Read {
         ticket: ReadTicket,
         fresh: bool,
         want_rows: bool,
+        started: Instant,
+        deadline: Duration,
+    },
+    /// A fresh read (or flush, with `flush`) fanned out across shards:
+    /// per-shard tickets resolve independently; the reply merges them
+    /// once the last one lands. A shard dying mid-flight is skipped and
+    /// flags the merged result degraded rather than failing the read.
+    ReadSharded {
+        /// Outstanding `(shard, ticket)` pairs.
+        tickets: Vec<(usize, ReadTicket)>,
+        /// Results gathered so far.
+        results: Vec<aivm_serve::ReadResult>,
+        degraded: bool,
+        want_rows: bool,
+        /// Reply `FlushOk` instead of `ReadOk`.
+        flush: bool,
         started: Instant,
         deadline: Duration,
     },
@@ -404,6 +473,16 @@ enum Pending {
     },
     Metrics {
         ticket: MetricsTicket,
+        per_shard: bool,
+        started: Instant,
+        deadline: Duration,
+    },
+    /// Metrics fanned out across shards; merged once every live shard
+    /// answered (dead ones are skipped).
+    MetricsSharded {
+        tickets: Vec<(usize, MetricsTicket)>,
+        snaps: Vec<(usize, MetricsSnapshot)>,
+        per_shard: bool,
         started: Instant,
         deadline: Duration,
     },
@@ -449,7 +528,7 @@ impl Conn {
 
 struct Worker {
     shared: Arc<Shared>,
-    handle: ServeHandle,
+    backend: Backend,
     poller: Poller,
     wake_rx: UnixStream,
     inbox: Arc<Mutex<VecDeque<NewConn>>>,
@@ -516,10 +595,12 @@ impl Worker {
     /// queue — the one pending kind whose progress is gated purely on
     /// this worker re-offering it.
     fn has_parked_submit(&self) -> bool {
-        self.conns
-            .iter()
-            .flatten()
-            .any(|c| matches!(c.pending, Some(Pending::Submit { .. })))
+        self.conns.iter().flatten().any(|c| {
+            matches!(
+                c.pending,
+                Some(Pending::Submit { .. }) | Some(Pending::SubmitSharded { .. })
+            )
+        })
     }
 
     fn drain_wake(&mut self) {
@@ -598,12 +679,12 @@ impl Worker {
     /// Handles one readiness event for one connection.
     fn dispatch(&mut self, slot: usize, ev: Event) {
         let shared = Arc::clone(&self.shared);
-        let handle = self.handle.clone();
+        let backend = self.backend.clone();
         let Some(conn) = self.conns.get_mut(slot).and_then(Option::as_mut) else {
             return;
         };
         if ev.readable {
-            handle_readable(&shared, &handle, conn);
+            handle_readable(&shared, &backend, conn);
         }
         if ev.writable {
             flush_wbuf(conn);
@@ -639,7 +720,7 @@ impl Worker {
     /// response and lets the connection resume parsing buffered frames.
     fn poll_pendings(&mut self) {
         let shared = Arc::clone(&self.shared);
-        let handle = self.handle.clone();
+        let backend = self.backend.clone();
         for slot in 0..self.conns.len() {
             let Some(conn) = self.conns[slot].as_mut() else {
                 continue;
@@ -647,10 +728,10 @@ impl Worker {
             if conn.pending.is_none() {
                 continue;
             }
-            if poll_pending(&shared, &handle, conn) {
+            if poll_pending(&shared, &backend, conn) {
                 // Resolved: frames that queued up behind the pending
                 // reply parse now, without waiting for new readability.
-                process(&shared, &handle, conn);
+                process(&shared, &backend, conn);
                 flush_wbuf(conn);
                 self.finish_dispatch(slot);
             }
@@ -716,7 +797,7 @@ impl Worker {
 
 /// Reads until `WouldBlock`/EOF, parsing as bytes land. Bounded passes
 /// per event so one firehose connection cannot starve its worker.
-fn handle_readable(shared: &Shared, handle: &ServeHandle, conn: &mut Conn) {
+fn handle_readable(shared: &Shared, backend: &Backend, conn: &mut Conn) {
     for _ in 0..8 {
         if conn.dead
             || conn.pending.is_some()
@@ -732,7 +813,7 @@ fn handle_readable(shared: &Shared, handle: &ServeHandle, conn: &mut Conn) {
                 conn.dead = true;
                 break;
             }
-            Ok(_) => process(shared, handle, conn),
+            Ok(_) => process(shared, backend, conn),
             Err(e) if e.kind() == ErrorKind::Interrupted => continue,
             Err(e) if e.kind() == ErrorKind::WouldBlock => break,
             Err(_) => {
@@ -747,7 +828,7 @@ fn handle_readable(shared: &Shared, handle: &ServeHandle, conn: &mut Conn) {
 /// Parses everything currently buffered: the handshake, then frames
 /// until the buffer runs dry, a scheduler round-trip starts, or the
 /// stream turns corrupt.
-fn process(shared: &Shared, handle: &ServeHandle, conn: &mut Conn) {
+fn process(shared: &Shared, backend: &Backend, conn: &mut Conn) {
     if conn.phase == Phase::Hello && !handle_hello(conn) {
         return;
     }
@@ -763,7 +844,7 @@ fn process(shared: &Shared, handle: &ServeHandle, conn: &mut Conn) {
                 shared.stats.requests.fetch_add(1, Ordering::Relaxed);
                 let outcome = {
                     let payload = conn.rbuf.payload(range);
-                    handle_frame(shared, handle, payload)
+                    handle_frame(shared, backend, payload)
                 };
                 match outcome {
                     FrameOutcome::Reply(resp) => queue_response(conn, &resp),
@@ -859,13 +940,25 @@ fn deadline_of(deadline_ms: u32, cfg: &NetServerConfig) -> Duration {
     }
 }
 
-fn handle_frame(shared: &Shared, handle: &ServeHandle, payload: &[u8]) -> FrameOutcome {
+fn handle_frame(shared: &Shared, backend: &Backend, payload: &[u8]) -> FrameOutcome {
     let frame = match decode_request_ref(payload) {
         Ok(f) => f,
         Err(err) => return FrameOutcome::Corrupt(err),
     };
     let deadline = deadline_of(frame.deadline_ms, &shared.cfg);
-    match frame.request {
+    match backend {
+        Backend::Single(handle) => handle_frame_single(shared, handle, frame.request, deadline),
+        Backend::Sharded(router) => handle_frame_sharded(shared, router, frame.request, deadline),
+    }
+}
+
+fn handle_frame_single(
+    shared: &Shared,
+    handle: &ServeHandle,
+    request: RequestRef<'_>,
+    deadline: Duration,
+) -> FrameOutcome {
+    match request {
         RequestRef::Ping => FrameOutcome::Reply(Response::Pong),
         RequestRef::Submit(s) => submit(shared, handle, s, deadline),
         RequestRef::Read { fresh, want_rows } => {
@@ -880,6 +973,7 @@ fn handle_frame(shared: &Shared, handle: &ServeHandle, payload: &[u8]) -> FrameO
                         lag: snap.lag(),
                         flush_cost: 0.0,
                         violated: false,
+                        degraded: false,
                         checksum: snap.checksum,
                         rows: want_rows.then(|| snap.rows.clone()),
                     }));
@@ -901,9 +995,10 @@ fn handle_frame(shared: &Shared, handle: &ServeHandle, payload: &[u8]) -> FrameO
                 None => FrameOutcome::Reply(unavailable(handle)),
             }
         }
-        RequestRef::Metrics => match handle.begin_metrics() {
+        RequestRef::Metrics { per_shard } => match handle.begin_metrics() {
             Some(ticket) => FrameOutcome::Wait(Pending::Metrics {
                 ticket,
+                per_shard,
                 started: Instant::now(),
                 deadline,
             }),
@@ -918,6 +1013,105 @@ fn handle_frame(shared: &Shared, handle: &ServeHandle, payload: &[u8]) -> FrameO
             None => FrameOutcome::Reply(unavailable(handle)),
         },
     }
+}
+
+fn handle_frame_sharded(
+    shared: &Shared,
+    router: &ShardRouter,
+    request: RequestRef<'_>,
+    deadline: Duration,
+) -> FrameOutcome {
+    match request {
+        RequestRef::Ping => FrameOutcome::Reply(Response::Pong),
+        RequestRef::Submit(s) => submit_sharded(shared, router, s, deadline),
+        RequestRef::Read { fresh, want_rows } => {
+            if !fresh {
+                // Merged scatter-gather over the per-shard published
+                // snapshots — still wait-free: no scheduler round-trip
+                // on any shard, dead shards skipped and flagged.
+                return match router.read_stale() {
+                    Ok(m) => FrameOutcome::Reply(Response::ReadOk(WireReadResult {
+                        fresh: false,
+                        lag: m.lag,
+                        flush_cost: 0.0,
+                        violated: false,
+                        degraded: m.degraded,
+                        checksum: m.checksum,
+                        rows: want_rows.then_some(m.rows),
+                    })),
+                    Err(err) => FrameOutcome::Reply(Response::Error {
+                        code: ErrorCode::Internal,
+                        message: format!("shard merge failed: {err}"),
+                    }),
+                };
+            }
+            begin_fanout_read(router, want_rows, false, deadline)
+        }
+        RequestRef::Flush => begin_fanout_read(router, false, true, deadline),
+        RequestRef::Metrics { per_shard } => {
+            let mut tickets = Vec::new();
+            let mut any_slot = false;
+            for i in 0..router.shards() {
+                let Some(handle) = router.handle(i) else {
+                    continue;
+                };
+                any_slot = true;
+                match handle.begin_metrics() {
+                    Some(t) => tickets.push((i, t)),
+                    None => router.mark_dead(i),
+                }
+            }
+            if tickets.is_empty() {
+                let _ = any_slot;
+                return FrameOutcome::Reply(all_shards_unavailable());
+            }
+            FrameOutcome::Wait(Pending::MetricsSharded {
+                tickets,
+                snaps: Vec::new(),
+                per_shard,
+                started: Instant::now(),
+                deadline,
+            })
+        }
+    }
+}
+
+/// Fans a fresh read (or flush) out to every live shard. Shards that
+/// refuse a ticket are marked dead; the eventual merge is flagged
+/// degraded when any slot was skipped.
+fn begin_fanout_read(
+    router: &ShardRouter,
+    want_rows: bool,
+    flush: bool,
+    deadline: Duration,
+) -> FrameOutcome {
+    let mut tickets = Vec::new();
+    let mut degraded = false;
+    for i in 0..router.shards() {
+        let Some(handle) = router.handle(i) else {
+            degraded = true;
+            continue;
+        };
+        match handle.begin_read(ReadMode::Fresh) {
+            Some(t) => tickets.push((i, t)),
+            None => {
+                router.mark_dead(i);
+                degraded = true;
+            }
+        }
+    }
+    if tickets.is_empty() {
+        return FrameOutcome::Reply(all_shards_unavailable());
+    }
+    FrameOutcome::Wait(Pending::ReadSharded {
+        tickets,
+        results: Vec::new(),
+        degraded,
+        want_rows,
+        flush,
+        started: Instant::now(),
+        deadline,
+    })
 }
 
 fn submit(
@@ -997,10 +1191,157 @@ fn try_submit(
     }
 }
 
-/// Polls one pending ticket. Returns true when it resolved (a response
-/// was queued and `conn.pending` cleared).
-fn poll_pending(shared: &Shared, handle: &ServeHandle, conn: &mut Conn) -> bool {
-    let Some(pending) = conn.pending.as_ref() else {
+/// The sharded submit entry point. The whole batch is split by owning
+/// shard and admission-checked against *every* target shard before the
+/// first sub-batch is enqueued, so pre-admission rejections
+/// (`BadRequest`, `Overloaded`, `ShardUnavailable`) are retry-safe: no
+/// shard has seen any part of the batch.
+fn submit_sharded(
+    shared: &Shared,
+    router: &ShardRouter,
+    s: SubmitRef<'_>,
+    deadline: Duration,
+) -> FrameOutcome {
+    if (s.table as usize) >= shared.n_tables {
+        return FrameOutcome::Reply(Response::Error {
+            code: ErrorCode::BadRequest,
+            message: format!(
+                "table {} out of range ({} tables)",
+                s.table, shared.n_tables
+            ),
+        });
+    }
+    let mut mods: Vec<Modification> = Vec::new();
+    if let Err(err) = s.decode_mods_into(&mut mods) {
+        return FrameOutcome::Reply(Response::Error {
+            code: ErrorCode::BadRequest,
+            message: format!("undecodable request: {err}"),
+        });
+    }
+    let table = s.table as usize;
+    // Routing errors (repartitioning update, arity too short for the
+    // partition column) are the client's fault — typed, before any
+    // side effect.
+    let mut parts = match router.split_batch(table, mods) {
+        Ok(p) => p,
+        Err(err) => {
+            return FrameOutcome::Reply(Response::Error {
+                code: ErrorCode::BadRequest,
+                message: format!("unroutable batch: {err}"),
+            })
+        }
+    };
+    if parts.is_empty() {
+        return FrameOutcome::Reply(Response::SubmitOk { accepted: 0 });
+    }
+    // Pre-check every target shard: liveness, then high water. Failing
+    // here — before the first enqueue — is what keeps retries safe even
+    // though the batch spans shards.
+    for (shard, _) in &parts {
+        let Some(handle) = router.handle(*shard) else {
+            return FrameOutcome::Reply(shard_unavailable(*shard));
+        };
+        if let Some(hw) = shared.cfg.submit_high_water {
+            let depth = handle.queue_depth();
+            if depth >= hw {
+                shared
+                    .stats
+                    .overload_rejections
+                    .fetch_add(1, Ordering::Relaxed);
+                return FrameOutcome::Reply(Response::Error {
+                    code: ErrorCode::Overloaded,
+                    message: format!("shard {shard} ingest queue at {depth} (high water {hw})"),
+                });
+            }
+        }
+    }
+    let total = parts.len();
+    let mut accepted = 0u64;
+    match try_submit_sharded(shared, router, table, &mut parts, &mut accepted, total) {
+        Some(resp) => FrameOutcome::Reply(resp),
+        None => FrameOutcome::Wait(Pending::SubmitSharded {
+            table,
+            parts,
+            accepted,
+            total,
+            started: Instant::now(),
+            deadline,
+        }),
+    }
+}
+
+/// One admission round over the remaining sub-batches. `None` parks the
+/// submit (some queue is full); a response ends the request — `SubmitOk`
+/// once every sub-batch is in, `ShardUnavailable` (retry-safe) when a
+/// target died before anything was admitted, `Internal` when a target
+/// died *after* part of the batch was admitted (the client must
+/// reconcile, not blindly retry).
+fn try_submit_sharded(
+    shared: &Shared,
+    router: &ShardRouter,
+    table: usize,
+    parts: &mut Vec<(usize, Vec<Modification>)>,
+    accepted: &mut u64,
+    total: usize,
+) -> Option<Response> {
+    let mut i = 0;
+    while i < parts.len() {
+        let (shard, mods) = &parts[i];
+        let shard = *shard;
+        let events = mods.len() as u64;
+        // Clone keeps the sub-batch owned by the connection until its
+        // admission actually succeeds (rows are `Arc`s; cheap).
+        match router.try_submit_shard(shard, table, mods.clone()) {
+            Ok(()) => {
+                *accepted += events;
+                shared
+                    .stats
+                    .submitted_events
+                    .fetch_add(events, Ordering::Relaxed);
+                parts.swap_remove(i);
+            }
+            Err(RouteError::Overloaded(_)) => i += 1,
+            Err(RouteError::ShardUnavailable(_)) => {
+                if *accepted == 0 {
+                    return Some(shard_unavailable(shard));
+                }
+                return Some(Response::Error {
+                    code: ErrorCode::Internal,
+                    message: format!(
+                        "partial submit: shard {shard} died after {} events \
+                         ({} of {total} sub-batches) were admitted",
+                        *accepted,
+                        total - parts.len()
+                    ),
+                });
+            }
+        }
+    }
+    parts.is_empty().then_some(Response::SubmitOk {
+        accepted: *accepted,
+    })
+}
+
+/// The retry-safe rejection for a submit whose owning shard is dead:
+/// nothing was enqueued anywhere.
+fn shard_unavailable(shard: usize) -> Response {
+    Response::Error {
+        code: ErrorCode::ShardUnavailable,
+        message: format!("shard {shard} unavailable; batch rejected before any side effect"),
+    }
+}
+
+fn all_shards_unavailable() -> Response {
+    Response::Error {
+        code: ErrorCode::Unavailable,
+        message: "all shards unavailable".into(),
+    }
+}
+
+/// Polls one pending ticket (or ticket fan-out). Returns true when it
+/// resolved (a response was queued and `conn.pending` cleared).
+fn poll_pending(shared: &Shared, backend: &Backend, conn: &mut Conn) -> bool {
+    let Some(pending) = conn.pending.as_mut() else {
         return false;
     };
     let resolved: Option<Response> = match pending {
@@ -1009,22 +1350,70 @@ fn poll_pending(shared: &Shared, handle: &ServeHandle, conn: &mut Conn) -> bool 
             mods,
             started,
             deadline,
-        } => match try_submit(shared, handle, *table, mods) {
-            Some(resp) => Some(resp),
-            None if started.elapsed() >= *deadline => {
-                // Still nothing enqueued, so the rejection is
-                // retry-safe — Overloaded, not DeadlineExceeded.
-                shared
-                    .stats
-                    .overload_rejections
-                    .fetch_add(1, Ordering::Relaxed);
-                Some(Response::Error {
-                    code: ErrorCode::Overloaded,
-                    message: format!("ingest queue stayed at capacity for {deadline:?}"),
-                })
+        } => {
+            let Backend::Single(handle) = backend else {
+                return mismatched_pending(conn);
+            };
+            match try_submit(shared, handle, *table, mods) {
+                Some(resp) => Some(resp),
+                None if started.elapsed() >= *deadline => {
+                    // Still nothing enqueued, so the rejection is
+                    // retry-safe — Overloaded, not DeadlineExceeded.
+                    shared
+                        .stats
+                        .overload_rejections
+                        .fetch_add(1, Ordering::Relaxed);
+                    Some(Response::Error {
+                        code: ErrorCode::Overloaded,
+                        message: format!("ingest queue stayed at capacity for {deadline:?}"),
+                    })
+                }
+                None => None,
             }
-            None => None,
-        },
+        }
+        Pending::SubmitSharded {
+            table,
+            parts,
+            accepted,
+            total,
+            started,
+            deadline,
+        } => {
+            let Backend::Sharded(router) = backend else {
+                return mismatched_pending(conn);
+            };
+            match try_submit_sharded(shared, router, *table, parts, accepted, *total) {
+                Some(resp) => Some(resp),
+                None if started.elapsed() >= *deadline => {
+                    shared
+                        .stats
+                        .overload_rejections
+                        .fetch_add(1, Ordering::Relaxed);
+                    if *accepted == 0 {
+                        // Nothing enqueued on any shard: retry-safe.
+                        Some(Response::Error {
+                            code: ErrorCode::Overloaded,
+                            message: format!(
+                                "shard ingest queues stayed at capacity for {deadline:?}"
+                            ),
+                        })
+                    } else {
+                        // Part of the batch is in; an Overloaded reply
+                        // would invite a double-applying retry. Be
+                        // honest instead.
+                        Some(Response::Error {
+                            code: ErrorCode::Internal,
+                            message: format!(
+                                "partial submit: {accepted} events admitted, \
+                                 {} of {total} sub-batches still queued at deadline",
+                                parts.len()
+                            ),
+                        })
+                    }
+                }
+                None => None,
+            }
+        }
         Pending::Read {
             ticket,
             fresh,
@@ -1039,6 +1428,7 @@ fn poll_pending(shared: &Shared, handle: &ServeHandle, conn: &mut Conn) -> bool 
                     lag: r.lag,
                     flush_cost: r.flush_cost,
                     violated: r.violated,
+                    degraded: false,
                     checksum,
                     rows: if *want_rows { r.rows } else { None },
                 }))
@@ -1050,6 +1440,73 @@ fn poll_pending(shared: &Shared, handle: &ServeHandle, conn: &mut Conn) -> bool 
             Ok(None) => deadline_check(shared, *started, *deadline),
             Err(DeadlineError::Disconnected) | Err(_) => Some(stale_unavailable(shared)),
         },
+        Pending::ReadSharded {
+            tickets,
+            results,
+            degraded,
+            want_rows,
+            flush,
+            started,
+            deadline,
+        } => {
+            let Backend::Sharded(router) = backend else {
+                return mismatched_pending(conn);
+            };
+            let mut failed: Option<Response> = None;
+            let mut i = 0;
+            while i < tickets.len() {
+                let (shard, ticket) = &tickets[i];
+                let shard = *shard;
+                match ticket.try_take() {
+                    Ok(Some(Ok(r))) => {
+                        results.push(r);
+                        tickets.swap_remove(i);
+                    }
+                    Ok(Some(Err(err))) => {
+                        failed = Some(Response::Error {
+                            code: ErrorCode::Internal,
+                            message: err.to_string(),
+                        });
+                        break;
+                    }
+                    Ok(None) => i += 1,
+                    Err(_) => {
+                        // The shard died mid-read: skip it, serve the
+                        // survivors, flag the merge degraded.
+                        router.mark_dead(shard);
+                        *degraded = true;
+                        tickets.swap_remove(i);
+                    }
+                }
+            }
+            if failed.is_some() {
+                failed
+            } else if !tickets.is_empty() {
+                deadline_check(shared, *started, *deadline)
+            } else if results.is_empty() {
+                Some(all_shards_unavailable())
+            } else {
+                match router.merge_reads(results) {
+                    Ok(m) if *flush => Some(Response::FlushOk {
+                        flush_cost: m.flush_cost,
+                        violated: m.violated,
+                    }),
+                    Ok(m) => Some(Response::ReadOk(WireReadResult {
+                        fresh: true,
+                        lag: m.lag,
+                        flush_cost: m.flush_cost,
+                        violated: m.violated,
+                        degraded: *degraded,
+                        checksum: m.checksum,
+                        rows: want_rows.then_some(m.rows),
+                    })),
+                    Err(err) => Some(Response::Error {
+                        code: ErrorCode::Internal,
+                        message: format!("shard merge failed: {err}"),
+                    }),
+                }
+            }
+        }
         Pending::Flush {
             ticket,
             started,
@@ -1068,16 +1525,68 @@ fn poll_pending(shared: &Shared, handle: &ServeHandle, conn: &mut Conn) -> bool 
         },
         Pending::Metrics {
             ticket,
+            per_shard,
             started,
             deadline,
         } => match ticket.try_take() {
-            Ok(Some(snap)) => Some(Response::MetricsOk(Box::new(net_metrics(
-                &snap,
-                &shared.stats,
-            )))),
+            Ok(Some(snap)) => {
+                let mut nm = net_metrics(&snap, &shared.stats);
+                if let Backend::Single(handle) = backend {
+                    nm.staleness_max = handle.snapshot_for_read().map(|s| s.lag()).unwrap_or(0);
+                }
+                if *per_shard {
+                    nm.per_shard = Some(vec![ShardMetricsRow {
+                        shard: 0,
+                        live: true,
+                        events_ingested: snap.events_ingested,
+                        queue_depth: snap.queue_depth as u64,
+                        flush_count: snap.flush_count,
+                        total_flush_cost: snap.total_flush_cost,
+                        budget: snap.budget,
+                        staleness: nm.staleness_max,
+                    }]);
+                }
+                Some(Response::MetricsOk(Box::new(nm)))
+            }
             Ok(None) => deadline_check(shared, *started, *deadline),
             Err(_) => Some(stale_unavailable(shared)),
         },
+        Pending::MetricsSharded {
+            tickets,
+            snaps,
+            per_shard,
+            started,
+            deadline,
+        } => {
+            let Backend::Sharded(router) = backend else {
+                return mismatched_pending(conn);
+            };
+            let mut i = 0;
+            while i < tickets.len() {
+                let (shard, ticket) = &tickets[i];
+                let shard = *shard;
+                match ticket.try_take() {
+                    Ok(Some(snap)) => {
+                        snaps.push((shard, snap));
+                        tickets.swap_remove(i);
+                    }
+                    Ok(None) => i += 1,
+                    Err(_) => {
+                        router.mark_dead(shard);
+                        tickets.swap_remove(i);
+                    }
+                }
+            }
+            if !tickets.is_empty() {
+                deadline_check(shared, *started, *deadline)
+            } else if snaps.is_empty() {
+                Some(all_shards_unavailable())
+            } else {
+                Some(Response::MetricsOk(Box::new(sharded_metrics(
+                    shared, router, snaps, *per_shard,
+                ))))
+            }
+        }
     };
     match resolved {
         Some(resp) => {
@@ -1087,6 +1596,72 @@ fn poll_pending(shared: &Shared, handle: &ServeHandle, conn: &mut Conn) -> bool 
         }
         None => false,
     }
+}
+
+/// Defensive: a pending variant met the wrong backend kind (cannot
+/// happen — variants are constructed per backend). Fail the request
+/// typed rather than panicking the worker.
+fn mismatched_pending(conn: &mut Conn) -> bool {
+    conn.pending = None;
+    queue_response(
+        conn,
+        &Response::Error {
+            code: ErrorCode::Internal,
+            message: "pending request does not match server backend".into(),
+        },
+    );
+    true
+}
+
+/// Folds the gathered per-shard snapshots into the merged wire metrics:
+/// counters sum, staleness takes the worst shard, and the optional
+/// per-shard breakdown includes dead slots with `live: false`.
+fn sharded_metrics(
+    shared: &Shared,
+    router: &ShardRouter,
+    snaps: &[(usize, MetricsSnapshot)],
+    per_shard: bool,
+) -> NetMetrics {
+    let merged = merge_metrics(&snaps.iter().map(|(_, m)| m.clone()).collect::<Vec<_>>());
+    let mut nm = net_metrics(&merged, &shared.stats);
+    nm.shards = router.shards() as u64;
+    nm.shards_live = snaps.len() as u64;
+    let lag_of = |i: usize| -> u64 {
+        router
+            .handle(i)
+            .and_then(|h| h.snapshot_for_read())
+            .map(|s| s.lag())
+            .unwrap_or(0)
+    };
+    nm.staleness_max = (0..router.shards()).map(lag_of).max().unwrap_or(0);
+    if per_shard {
+        let rows = (0..router.shards())
+            .map(|i| match snaps.iter().find(|(s, _)| *s == i) {
+                Some((_, m)) => ShardMetricsRow {
+                    shard: i as u32,
+                    live: true,
+                    events_ingested: m.events_ingested,
+                    queue_depth: m.queue_depth as u64,
+                    flush_count: m.flush_count,
+                    total_flush_cost: m.total_flush_cost,
+                    budget: m.budget,
+                    staleness: lag_of(i),
+                },
+                None => ShardMetricsRow {
+                    shard: i as u32,
+                    live: false,
+                    events_ingested: 0,
+                    queue_depth: 0,
+                    flush_count: 0,
+                    total_flush_cost: 0.0,
+                    budget: 0.0,
+                    staleness: 0,
+                },
+            })
+            .collect();
+        nm.per_shard = Some(rows);
+    }
+    nm
 }
 
 /// `None` = keep waiting; a response once the budget is spent.
@@ -1189,6 +1764,12 @@ fn net_metrics(snap: &MetricsSnapshot, stats: &NetStats) -> NetMetrics {
         submitted_events: stats.submitted_events.load(Ordering::Relaxed),
         overload_rejections: stats.overload_rejections.load(Ordering::Relaxed),
         deadline_rejections: stats.deadline_rejections.load(Ordering::Relaxed),
+        shards: 1,
+        shards_live: 1,
+        staleness_max: 0,
+        budget: snap.budget,
+        budget_rebalances: snap.budget_rebalances,
+        per_shard: None,
         last_error: snap.last_error.clone(),
     }
 }

@@ -132,7 +132,7 @@ fn submit_read_metrics_over_the_wire() {
     };
     assert_eq!(wire_checksum, direct_checksum);
 
-    match roundtrip(&mut s, Request::Metrics) {
+    match roundtrip(&mut s, Request::Metrics { per_shard: false }) {
         Response::MetricsOk(m) => {
             assert_eq!(m.events_ingested, 10);
             assert_eq!(m.submitted_events, 10);
@@ -195,7 +195,7 @@ fn stale_reads_serve_from_published_snapshot() {
     assert!(!stale.fresh);
     assert_eq!(stale.lag, 0);
     assert_eq!(stale.rows.expect("want_rows").len(), 8);
-    match roundtrip(&mut s, Request::Metrics) {
+    match roundtrip(&mut s, Request::Metrics { per_shard: false }) {
         Response::MetricsOk(m) => {
             assert!(
                 m.snapshot_reads >= 1,

@@ -93,7 +93,7 @@ fn decoding_read_ping_metrics_flush_allocates_nothing() {
             fresh: true,
             want_rows: false,
         },
-        Request::Metrics,
+        Request::Metrics { per_shard: false },
         Request::Flush,
     ]
     .into_iter()

@@ -193,6 +193,12 @@ pub struct MetricsSnapshot {
     /// only). A non-`None` value means the scheduler hit a hard engine
     /// error and stopped maintaining.
     pub last_error: Option<String>,
+    /// The refresh budget `C` currently in force (a shard coordinator
+    /// may rebalance it mid-run).
+    pub budget: f64,
+    /// Times the budget was changed mid-run by
+    /// [`MaintenanceRuntime::set_budget`](crate::MaintenanceRuntime::set_budget).
+    pub budget_rebalances: u64,
 }
 
 /// Mutable counter state owned by the runtime.
@@ -291,6 +297,8 @@ impl Metrics {
             shed_events: 0,
             ingest_errors: 0,
             last_error: None,
+            budget: 0.0,
+            budget_rebalances: 0,
         }
     }
 }

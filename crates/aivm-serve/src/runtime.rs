@@ -165,6 +165,7 @@ pub struct MaintenanceRuntime {
     faults: FaultPlan,
     demoted: bool,
     overrun_streak: u32,
+    rebalances: u64,
 }
 
 impl MaintenanceRuntime {
@@ -193,6 +194,7 @@ impl MaintenanceRuntime {
             faults: FaultPlan::none(),
             demoted: false,
             overrun_streak: 0,
+            rebalances: 0,
         }
     }
 
@@ -372,6 +374,9 @@ impl MaintenanceRuntime {
             WalRecord::Forced => {
                 self.forced_refresh()?;
             }
+            WalRecord::SetBudget { budget } => {
+                self.set_budget(*budget)?;
+            }
         }
         Ok(())
     }
@@ -387,6 +392,7 @@ impl MaintenanceRuntime {
             }),
             WalRecord::Tick => self.tick().map(|_| ()),
             WalRecord::Forced => self.forced_refresh().map(|_| ()),
+            WalRecord::SetBudget { budget } => self.set_budget(*budget),
         }
     }
 
@@ -394,6 +400,35 @@ impl MaintenanceRuntime {
     /// event is appended to it.
     pub fn attach_wal(&mut self, wal: WalWriter) {
         self.wal = Some(wal);
+    }
+
+    /// The refresh budget `C` currently in force.
+    pub fn budget(&self) -> f64 {
+        self.ctx.budget
+    }
+
+    /// Changes the refresh budget `C` mid-run — the shard coordinator's
+    /// rebalancing hook. The policy is re-armed with the new context,
+    /// so its internal rate/amortization estimates restart from this
+    /// tick (the same semantics as recovery hand-off). The change is
+    /// WAL-logged: `Tick` records carry no action, so replay must see
+    /// the same budget at every tick to reproduce the live flush
+    /// schedule. A bitwise-unchanged budget is a no-op, keeping the log
+    /// free of idle coordinator epochs.
+    pub fn set_budget(&mut self, budget: f64) -> Result<(), EngineError> {
+        if budget.to_bits() == self.ctx.budget.to_bits() {
+            return Ok(());
+        }
+        if !(budget.is_finite() && budget > 0.0) {
+            return Err(EngineError::Maintenance {
+                message: format!("refresh budget must be finite and positive, got {budget}"),
+            });
+        }
+        self.ctx.budget = budget;
+        self.policy.reset(&self.ctx);
+        self.rebalances += 1;
+        self.wal_log(WalRecord::SetBudget { budget })?;
+        Ok(())
     }
 
     /// Installs a fault-injection plan (see [`FaultPlan`]).
@@ -467,6 +502,16 @@ impl MaintenanceRuntime {
         match &self.backend {
             Backend::Model => None,
             Backend::Engine(e) => Some(e.db.content_checksum()),
+        }
+    }
+
+    /// The live database (engine backend only). Equivalence and chaos
+    /// harnesses use it to evaluate the view definition directly over
+    /// the base tables and compare against the maintained result.
+    pub fn database(&self) -> Option<&aivm_engine::Database> {
+        match &self.backend {
+            Backend::Model => None,
+            Backend::Engine(e) => Some(&e.db),
         }
     }
 
@@ -722,6 +767,8 @@ impl MaintenanceRuntime {
             snap.wal_sync_every = w.sync_every();
         }
         snap.degraded = self.demoted;
+        snap.budget = self.ctx.budget;
+        snap.budget_rebalances = self.rebalances;
         snap
     }
 
@@ -1128,6 +1175,58 @@ mod tests {
         .unwrap();
         assert_eq!(from_genesis.view_checksum().unwrap(), expect_view);
         assert_eq!(from_genesis.pending(), &expect_pending);
+    }
+
+    #[test]
+    fn budget_rebalance_is_wal_logged_and_replayed() {
+        let mem = MemWal::new();
+        let (mut rt, genesis) = tiny_engine(Box::new(NaiveFlush::new()), 5.0);
+        rt.attach_wal(WalWriter::create(Box::new(mem.clone()), 1).unwrap());
+        let mut checkpoint = None;
+        for i in 0..30i64 {
+            rt.ingest_dml(0, Modification::Insert(row![i])).unwrap();
+            if i % 3 == 0 {
+                rt.tick().unwrap();
+            }
+            if i == 10 {
+                // A coordinator epoch shrinks the budget; the policy now
+                // flushes on a different schedule than the original C.
+                rt.set_budget(2.5).unwrap();
+            }
+            if i == 17 {
+                // Checkpoint *after* the rebalance: shadow replay must
+                // apply the SetBudget record to agree with it.
+                checkpoint = Some(rt.checkpoint());
+            }
+        }
+        // A bitwise-identical budget is a no-op and adds no record.
+        let records_before = rt.wal_records();
+        rt.set_budget(2.5).unwrap();
+        assert_eq!(rt.wal_records(), records_before);
+        assert_eq!(rt.metrics().budget_rebalances, 1);
+        assert_eq!(rt.budget(), 2.5);
+        let expect_view = rt.view_checksum().unwrap();
+        let expect_pending = rt.pending().clone();
+        drop(rt);
+        let cfg = ServeConfig::new(vec![CostModel::linear(0.5, 0.1)], 5.0);
+        for ck in [checkpoint.as_ref(), None] {
+            let recovered = MaintenanceRuntime::recover(
+                cfg.clone(),
+                Box::new(NaiveFlush::new()),
+                &mem.bytes(),
+                ck,
+                genesis.clone(),
+                &make_tiny_view,
+            )
+            .unwrap();
+            assert_eq!(recovered.view_checksum().unwrap(), expect_view);
+            assert_eq!(recovered.pending(), &expect_pending);
+            assert_eq!(
+                recovered.budget(),
+                2.5,
+                "replay must land on the live budget"
+            );
+        }
     }
 
     #[test]

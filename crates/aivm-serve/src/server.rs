@@ -139,6 +139,12 @@ enum Msg {
     Metrics {
         reply: SyncSender<MetricsSnapshot>,
     },
+    /// A coordinator-initiated refresh-budget change (fire-and-forget:
+    /// the coordinator observes the effect through the next metrics
+    /// snapshot, never blocking on the scheduler).
+    SetBudget {
+        budget: f64,
+    },
 }
 
 /// Why a deadline-bounded request produced no result.
@@ -328,6 +334,16 @@ impl ServeHandle {
         // handles' shared counter is the only place they are counted.
         snap.snapshot_reads = self.snapshot_reads.load(Ordering::Relaxed);
         Some(snap)
+    }
+
+    /// Requests a refresh-budget change, applied by the scheduler in
+    /// queue order (control message: charges no event weight and is
+    /// never shed). Returns `false` if the server is gone. The shard
+    /// coordinator calls this each rebalance epoch; the new budget is
+    /// WAL-logged by the runtime so recovery replays the same flush
+    /// schedule.
+    pub fn set_budget(&self, budget: f64) -> bool {
+        self.tx.send_control(Msg::SetBudget { budget }).is_ok()
     }
 
     /// Current ingest-queue depth (approximate).
@@ -610,6 +626,19 @@ fn handle_msg(
                 .as_ref()
                 .map(|e| e.to_string());
             let _ = reply_best_effort(reply, snap);
+            0
+        }
+        Msg::SetBudget { budget } => {
+            // An invalid budget (or a WAL append failure) poisons the
+            // server like a failed ingest would: the flush schedule can
+            // no longer be reproduced from the log.
+            if let Err(source) = runtime.set_budget(budget) {
+                st.poison(ServeError {
+                    ticks: runtime.metrics().ticks,
+                    during: "set-budget",
+                    source,
+                });
+            }
             0
         }
     }

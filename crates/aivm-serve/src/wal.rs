@@ -75,6 +75,14 @@ pub enum WalRecord {
         /// Number of modifications ingested.
         k: u64,
     },
+    /// A refresh-budget change (a shard coordinator rebalancing `C`
+    /// across shards). Logged so recovery replays the exact flush
+    /// schedule the live run executed: `Tick` records carry no action,
+    /// so the policy must see the same budget at every replayed tick.
+    SetBudget {
+        /// The new refresh budget `C` for this runtime.
+        budget: f64,
+    },
 }
 
 impl WalRecord {
@@ -93,6 +101,10 @@ impl WalRecord {
                 b.put_u8(3);
                 b.put_u32_le(*table as u32);
                 b.put_u64_le(*k);
+            }
+            WalRecord::SetBudget { budget } => {
+                b.put_u8(4);
+                b.put_f64_le(*budget);
             }
         }
         b.freeze()
@@ -127,6 +139,14 @@ impl WalRecord {
                 let table = buf.get_u32_le() as usize;
                 let k = buf.get_u64_le();
                 WalRecord::Count { table, k }
+            }
+            4 => {
+                if buf.remaining() < 8 {
+                    return Err(corrupt("budget", &buf));
+                }
+                WalRecord::SetBudget {
+                    budget: buf.get_f64_le(),
+                }
             }
             other => return Err(corrupt(&format!("record kind {other}"), &buf)),
         };
@@ -621,6 +641,7 @@ mod tests {
                 },
             },
             WalRecord::Forced,
+            WalRecord::SetBudget { budget: 12.5 },
         ]
     }
 

@@ -1,0 +1,261 @@
+//! A synchronous sharded maintenance runtime: N independent
+//! [`MaintenanceRuntime`]s, each owning a disjoint key partition of the
+//! base data, driven through a single façade that routes ingests and
+//! merges reads.
+//!
+//! This is the single-threaded core the serving layer
+//! ([`crate::ShardRouter`]) builds on, and the object the equivalence
+//! tests exercise directly: every operation on a `ShardedRuntime` must
+//! be observationally identical to the same operation on one unsharded
+//! runtime over the union of the partitions.
+
+use aivm_engine::{Database, EngineError, Modification, TableId, WRow};
+use aivm_serve::{MaintenanceRuntime, ReadMode, ReadResult};
+
+use crate::merge::MergeSpec;
+use crate::partition::{Partitioner, Route};
+
+/// A merged read answer across shards.
+#[derive(Clone, Debug)]
+pub struct MergedRead {
+    /// Re-aggregated result rows (sorted; see [`MergeSpec::merge`]).
+    pub rows: Vec<WRow>,
+    /// Order-independent checksum of `rows`, comparable to a single
+    /// runtime's view checksum over the whole database.
+    pub checksum: u64,
+    /// Total pending modifications not reflected, summed over shards.
+    pub lag: u64,
+    /// The most expensive per-shard flush performed to serve the read
+    /// (each individually bounded by that shard's budget `C_i`).
+    pub flush_cost: f64,
+    /// Whether any shard broke its `≤ C_i` guarantee.
+    pub violated: bool,
+}
+
+/// N maintenance runtimes behind one partition-aware façade.
+pub struct ShardedRuntime {
+    shards: Vec<MaintenanceRuntime>,
+    part: Partitioner,
+    merge: MergeSpec,
+}
+
+impl ShardedRuntime {
+    /// Assembles a sharded runtime from per-shard runtimes (one per
+    /// partition produced by [`partition_database`]), checking that the
+    /// partitioner satisfies the co-location invariant for `def`.
+    pub fn new(
+        shards: Vec<MaintenanceRuntime>,
+        part: Partitioner,
+        def: &aivm_engine::ViewDef,
+    ) -> Result<Self, EngineError> {
+        if shards.len() != part.shards() {
+            return Err(EngineError::Maintenance {
+                message: format!(
+                    "{} runtimes for a {}-way partitioner",
+                    shards.len(),
+                    part.shards()
+                ),
+            });
+        }
+        part.validate(def)?;
+        let merge = MergeSpec::from_def(def)?;
+        Ok(ShardedRuntime {
+            shards,
+            part,
+            merge,
+        })
+    }
+
+    /// Number of shards.
+    pub fn n_shards(&self) -> usize {
+        self.shards.len()
+    }
+
+    /// The partitioner (for callers that pre-route batches).
+    pub fn partitioner(&self) -> &Partitioner {
+        &self.part
+    }
+
+    /// The merge plan (for callers that gather shard reads themselves).
+    pub fn merge_spec(&self) -> &MergeSpec {
+        &self.merge
+    }
+
+    /// Direct access to one shard's runtime.
+    pub fn shard(&self, i: usize) -> &MaintenanceRuntime {
+        &self.shards[i]
+    }
+
+    /// Mutable access to one shard's runtime (tests drive partial
+    /// flushes and budget changes through this).
+    pub fn shard_mut(&mut self, i: usize) -> &mut MaintenanceRuntime {
+        &mut self.shards[i]
+    }
+
+    /// Routes and applies one modification to the owning shard (or all
+    /// shards for replicated tables). `table` is the view-canonical
+    /// table position.
+    pub fn ingest_dml(&mut self, table: usize, m: Modification) -> Result<(), EngineError> {
+        match self.part.route(table, &m)? {
+            Route::One(s) => self.shards[s].ingest_dml(table, m),
+            Route::All => {
+                for shard in self.shards.iter_mut() {
+                    shard.ingest_dml(table, m.clone())?;
+                }
+                Ok(())
+            }
+        }
+    }
+
+    /// Runs one scheduler tick on every shard.
+    pub fn tick_all(&mut self) -> Result<(), EngineError> {
+        for shard in self.shards.iter_mut() {
+            shard.tick()?;
+        }
+        Ok(())
+    }
+
+    /// Serves a merged read: per-shard read (fresh reads flush each
+    /// shard under its own budget), then re-aggregation.
+    pub fn read(&mut self, mode: ReadMode) -> Result<MergedRead, EngineError> {
+        let mut results = Vec::with_capacity(self.shards.len());
+        for shard in self.shards.iter_mut() {
+            results.push(shard.read(mode)?);
+        }
+        merge_reads(&self.merge, &results)
+    }
+
+    /// The merged view checksum without flushing (stale contents).
+    pub fn checksum(&mut self) -> Result<u64, EngineError> {
+        Ok(self.read(ReadMode::Stale)?.checksum)
+    }
+
+    /// Replaces a shard's runtime in place (chaos tests: swap in a
+    /// runtime recovered from the shard's WAL) and returns the old one.
+    pub fn replace_shard(&mut self, i: usize, rt: MaintenanceRuntime) -> MaintenanceRuntime {
+        std::mem::replace(&mut self.shards[i], rt)
+    }
+}
+
+/// Merges per-shard [`ReadResult`]s into one [`MergedRead`].
+///
+/// Shared by the sync façade above and the threaded serving router.
+pub fn merge_reads(merge: &MergeSpec, results: &[ReadResult]) -> Result<MergedRead, EngineError> {
+    let mut parts = Vec::with_capacity(results.len());
+    let mut lag = 0u64;
+    let mut flush_cost = 0.0f64;
+    let mut violated = false;
+    for r in results {
+        let rows = r.rows.clone().ok_or_else(|| EngineError::Maintenance {
+            message: "shard read returned no rows (model backend cannot be sharded)".into(),
+        })?;
+        parts.push(rows);
+        lag += r.lag;
+        flush_cost = flush_cost.max(r.flush_cost);
+        violated |= r.violated;
+    }
+    let rows = merge.merge(&parts)?;
+    let checksum = MergeSpec::checksum(&rows);
+    Ok(MergedRead {
+        rows,
+        checksum,
+        lag,
+        flush_cost,
+        violated,
+    })
+}
+
+/// Splits `db` into one database per shard: partitioned tables keep
+/// only the rows whose key column hashes to the shard; replicated
+/// tables (and any table not named in `tables`) are kept whole.
+///
+/// `tables` pairs each view-canonical table position's [`TableId`] with
+/// the partitioner's position, i.e. `tables[p]` is the `TableId` of the
+/// table at partitioner position `p`.
+pub fn partition_database(
+    db: &Database,
+    tables: &[TableId],
+    part: &Partitioner,
+) -> Result<Vec<Database>, EngineError> {
+    if tables.len() != part.key_cols().len() {
+        return Err(EngineError::Maintenance {
+            message: format!(
+                "{} table ids for a partitioner over {} tables",
+                tables.len(),
+                part.key_cols().len()
+            ),
+        });
+    }
+    let mut out = Vec::with_capacity(part.shards());
+    for shard in 0..part.shards() {
+        let mut shard_db = db.clone();
+        for (pos, &tid) in tables.iter().enumerate() {
+            let Some(col) = part.key_cols()[pos] else {
+                continue; // replicated: keep whole
+            };
+            let evict: Vec<_> = shard_db
+                .table(tid)
+                .iter()
+                .filter(|(_, row)| part.shard_of_key(&row.values()[col]) != shard)
+                .map(|(id, _)| id)
+                .collect();
+            let t = shard_db.table_mut(tid);
+            for id in evict {
+                t.delete(id)?;
+            }
+        }
+        out.push(shard_db);
+    }
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use aivm_engine::index::IndexKind;
+    use aivm_engine::schema::Schema;
+    use aivm_engine::value::DataType;
+    use aivm_engine::{Row, Value};
+
+    fn tiny_db() -> (Database, TableId) {
+        let mut db = Database::new();
+        let t = db
+            .create_table(
+                "t",
+                Schema::new(vec![("k", DataType::Int), ("x", DataType::Float)]),
+            )
+            .unwrap();
+        db.table_mut(t).create_index(IndexKind::Hash, 0).unwrap();
+        for i in 0..100 {
+            db.table_mut(t)
+                .insert(Row::new(vec![Value::Int(i), Value::Float(i as f64)]))
+                .unwrap();
+        }
+        (db, t)
+    }
+
+    #[test]
+    fn partition_database_is_a_disjoint_cover() {
+        let (db, t) = tiny_db();
+        let part = Partitioner::new(4, vec![Some(0)]).unwrap();
+        let shards = partition_database(&db, &[t], &part).unwrap();
+        assert_eq!(shards.len(), 4);
+        let total: usize = shards.iter().map(|d| d.table(t).len()).sum();
+        assert_eq!(total, 100, "partitions must cover every row exactly once");
+        for (i, d) in shards.iter().enumerate() {
+            for (_, row) in d.table(t).iter() {
+                assert_eq!(part.shard_of_key(&row.values()[0]), i);
+            }
+        }
+    }
+
+    #[test]
+    fn replicated_tables_are_kept_whole() {
+        let (db, t) = tiny_db();
+        let part = Partitioner::new(3, vec![None]).unwrap();
+        let shards = partition_database(&db, &[t], &part).unwrap();
+        for d in &shards {
+            assert_eq!(d.table(t).len(), 100);
+        }
+    }
+}

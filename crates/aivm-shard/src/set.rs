@@ -1,0 +1,567 @@
+//! The threaded serving layer: a [`ShardRouter`] fronting N
+//! [`ServeServer`] handles, plus the [`Coordinator`] thread that
+//! rebalances the global refresh budget across shards each epoch.
+//!
+//! # Failure semantics
+//!
+//! A shard whose scheduler has died (crashed, or killed by a chaos
+//! plan) is detected on first use: its queue senders report
+//! `Disconnected`, after which the router marks the slot dead.
+//! Operations that *require* the dead shard (a submit routed to it)
+//! fail fast — the caller sees "shard unavailable", which is
+//! retry-safe because the rejection happens before any side effect.
+//! Operations that can proceed without it (stale scatter-gather reads,
+//! metrics) skip the dead shard and flag the merged result as
+//! *degraded*. A recovered server can [`ShardRouter::rejoin`] the slot
+//! at any time.
+//!
+//! # Budget-rebalance epoch protocol
+//!
+//! Every epoch the coordinator samples each live shard's
+//! [`MetricsSnapshot`] and computes a per-shard *pressure* weight:
+//!
+//! ```text
+//! w_i = Δ flush_cost_i + queue_depth_i · (Δ flush_cost_i / max(Δ events_i, 1)) + ε
+//! ```
+//!
+//! i.e. the observed flush work this epoch plus the backlog priced at
+//! the shard's own observed per-event cost — hot shards under a skewed
+//! stream report large `w_i`. The global budget `C` is then divided:
+//!
+//! - [`RebalancePolicy::Uniform`]: `C_i = C / N` (the baseline; never
+//!   moves).
+//! - [`RebalancePolicy::CostProportional`]: `C_i = C · w_i / Σ w_j`,
+//!   clamped below by `min_share · C / N` so a cold shard can always
+//!   afford at least a small flush (and re-normalised to sum to `C`).
+//!
+//! New budgets are pushed with [`ServeHandle::set_budget`], which the
+//! runtime WAL-logs (`WalRecord::SetBudget`) so crash recovery replays
+//! the exact same flush schedule. Dead shards are excluded and their
+//! budget share is redistributed over the live ones.
+
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::{Arc, Mutex, RwLock};
+use std::thread;
+use std::time::Duration;
+
+use aivm_engine::{EngineError, Modification, ViewDef, ViewSnapshot, WRow};
+use aivm_serve::{MetricsSnapshot, ReadResult, ServeHandle, TrySendError};
+
+use crate::merge::MergeSpec;
+use crate::partition::Partitioner;
+use crate::runtime::{merge_reads, MergedRead};
+
+/// Why a routed operation could not reach a shard.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum RouteError {
+    /// The owning shard is dead (marked unavailable). Retry-safe.
+    ShardUnavailable(usize),
+    /// The owning shard's queue is full (backpressure). Retry-safe.
+    Overloaded(usize),
+}
+
+/// A merged stale read served from per-shard snapshots.
+#[derive(Clone, Debug)]
+pub struct MergedSnapshot {
+    /// Re-aggregated rows over the live shards.
+    pub rows: Vec<WRow>,
+    /// Order-independent checksum of `rows`.
+    pub checksum: u64,
+    /// Total staleness (pending modifications) summed over live shards.
+    pub lag: u64,
+    /// True when at least one shard was dead or had no published
+    /// snapshot — `rows` then covers only part of the key space.
+    pub degraded: bool,
+}
+
+/// Cloneable façade over the per-shard [`ServeHandle`]s.
+#[derive(Clone)]
+pub struct ShardRouter {
+    inner: Arc<RouterInner>,
+}
+
+struct RouterInner {
+    slots: Vec<RwLock<Option<ServeHandle>>>,
+    part: Partitioner,
+    merge: MergeSpec,
+    /// The global refresh budget `C` the coordinator divides.
+    global_budget: f64,
+}
+
+impl ShardRouter {
+    /// Builds a router over per-shard handles. Validates the
+    /// co-location invariant against `def` and derives the merge plan.
+    /// `global_budget` is the total refresh budget the coordinator may
+    /// redistribute (each shard should already be configured with its
+    /// uniform share `C / N`).
+    pub fn new(
+        handles: Vec<ServeHandle>,
+        part: Partitioner,
+        def: &ViewDef,
+        global_budget: f64,
+    ) -> Result<Self, EngineError> {
+        if handles.len() != part.shards() {
+            return Err(EngineError::Maintenance {
+                message: format!(
+                    "{} handles for a {}-way partitioner",
+                    handles.len(),
+                    part.shards()
+                ),
+            });
+        }
+        part.validate(def)?;
+        let merge = MergeSpec::from_def(def)?;
+        Ok(ShardRouter {
+            inner: Arc::new(RouterInner {
+                slots: handles.into_iter().map(|h| RwLock::new(Some(h))).collect(),
+                part,
+                merge,
+                global_budget,
+            }),
+        })
+    }
+
+    /// Number of shard slots (dead or alive).
+    pub fn shards(&self) -> usize {
+        self.inner.slots.len()
+    }
+
+    /// The partitioner.
+    pub fn partitioner(&self) -> &Partitioner {
+        &self.inner.part
+    }
+
+    /// The merge plan.
+    pub fn merge_spec(&self) -> &MergeSpec {
+        &self.inner.merge
+    }
+
+    /// The global budget the coordinator divides.
+    pub fn global_budget(&self) -> f64 {
+        self.inner.global_budget
+    }
+
+    /// A clone of shard `i`'s handle, or `None` when the slot is dead.
+    pub fn handle(&self, i: usize) -> Option<ServeHandle> {
+        self.inner.slots[i].read().unwrap().clone()
+    }
+
+    /// Marks shard `i` dead, dropping its handle. Idempotent.
+    pub fn mark_dead(&self, i: usize) {
+        *self.inner.slots[i].write().unwrap() = None;
+    }
+
+    /// Rejoins a recovered shard at slot `i`.
+    pub fn rejoin(&self, i: usize, handle: ServeHandle) {
+        *self.inner.slots[i].write().unwrap() = Some(handle);
+    }
+
+    /// Indices of live shards.
+    pub fn live_shards(&self) -> Vec<usize> {
+        (0..self.shards())
+            .filter(|&i| self.inner.slots[i].read().unwrap().is_some())
+            .collect()
+    }
+
+    /// Splits a batch by owning shard (see [`Partitioner::split_batch`]).
+    pub fn split_batch(
+        &self,
+        table: usize,
+        mods: Vec<Modification>,
+    ) -> Result<Vec<(usize, Vec<Modification>)>, EngineError> {
+        self.inner.part.split_batch(table, mods)
+    }
+
+    /// Tries to enqueue one per-shard sub-batch. On `Disconnected` the
+    /// slot is marked dead and the caller gets
+    /// [`RouteError::ShardUnavailable`]; a full queue maps to
+    /// [`RouteError::Overloaded`]. Both are rejected before any side
+    /// effect, so retrying is safe.
+    pub fn try_submit_shard(
+        &self,
+        shard: usize,
+        table: usize,
+        mods: Vec<Modification>,
+    ) -> Result<(), RouteError> {
+        let Some(handle) = self.handle(shard) else {
+            return Err(RouteError::ShardUnavailable(shard));
+        };
+        match handle.try_ingest_batch(table, mods) {
+            Ok(()) => Ok(()),
+            Err(TrySendError::Disconnected) => {
+                self.mark_dead(shard);
+                Err(RouteError::ShardUnavailable(shard))
+            }
+            Err(_) => Err(RouteError::Overloaded(shard)),
+        }
+    }
+
+    /// Scatter-gathers the per-shard published snapshots into one
+    /// merged stale read. Never blocks on a scheduler: dead shards and
+    /// shards without a published snapshot yet are skipped and flagged
+    /// via `degraded`. Returns an error only if re-aggregation itself
+    /// fails (malformed rows).
+    pub fn read_stale(&self) -> Result<MergedSnapshot, EngineError> {
+        let mut parts: Vec<Vec<WRow>> = Vec::with_capacity(self.shards());
+        let mut lag = 0u64;
+        let mut degraded = false;
+        for i in 0..self.shards() {
+            let snap: Option<Arc<ViewSnapshot>> =
+                self.handle(i).and_then(|h| h.snapshot_for_read());
+            match snap {
+                Some(s) => {
+                    lag += s.lag();
+                    parts.push(s.rows.clone());
+                }
+                None => degraded = true,
+            }
+        }
+        let rows = self.inner.merge.merge(&parts)?;
+        let checksum = MergeSpec::checksum(&rows);
+        Ok(MergedSnapshot {
+            rows,
+            checksum,
+            lag,
+            degraded,
+        })
+    }
+
+    /// Merges fan-out fresh-read results gathered by the caller (the
+    /// network server collects per-shard tickets asynchronously).
+    pub fn merge_reads(&self, results: &[ReadResult]) -> Result<MergedRead, EngineError> {
+        merge_reads(&self.inner.merge, results)
+    }
+
+    /// Blocking merged fresh read across all live shards; `degraded`
+    /// reports whether any dead shard was skipped.
+    pub fn read_fresh(&self) -> Result<(MergedRead, bool), EngineError> {
+        let live = self.live_shards();
+        let degraded = live.len() < self.shards();
+        let mut results = Vec::with_capacity(live.len());
+        for i in live {
+            let Some(handle) = self.handle(i) else {
+                continue;
+            };
+            match handle.read(aivm_serve::ReadMode::Fresh) {
+                Some(r) => results.push(r?),
+                None => self.mark_dead(i),
+            }
+        }
+        Ok((self.merge_reads(&results)?, degraded))
+    }
+
+    /// Samples every live shard's metrics. Returns `(index, snapshot)`
+    /// pairs; shards that fail to answer are marked dead and skipped.
+    pub fn sample_metrics(&self) -> Vec<(usize, MetricsSnapshot)> {
+        let mut out = Vec::with_capacity(self.shards());
+        for i in 0..self.shards() {
+            let Some(handle) = self.handle(i) else {
+                continue;
+            };
+            match handle.metrics() {
+                Some(m) => out.push((i, m)),
+                None => self.mark_dead(i),
+            }
+        }
+        out
+    }
+}
+
+/// Aggregates per-shard metrics into one set-wide snapshot: counters
+/// sum, gauges (queue depth, staleness, max cost) take the max,
+/// `degraded` ORs, and the first shard error is surfaced. Histograms
+/// merge bucket-wise upstream; here the pre-snapshotted summaries keep
+/// the worst shard's tail (max of p99/max, count-weighted mean).
+pub fn merge_metrics(shards: &[MetricsSnapshot]) -> MetricsSnapshot {
+    let mut out = MetricsSnapshot::default();
+    for m in shards {
+        out.events_ingested += m.events_ingested;
+        out.ticks += m.ticks;
+        if out.flushes_per_table.len() < m.flushes_per_table.len() {
+            out.flushes_per_table.resize(m.flushes_per_table.len(), 0);
+            out.mods_flushed_per_table
+                .resize(m.mods_flushed_per_table.len(), 0);
+        }
+        for (i, v) in m.flushes_per_table.iter().enumerate() {
+            out.flushes_per_table[i] += v;
+        }
+        for (i, v) in m.mods_flushed_per_table.iter().enumerate() {
+            out.mods_flushed_per_table[i] += v;
+        }
+        out.flush_count += m.flush_count;
+        out.total_flush_cost += m.total_flush_cost;
+        out.max_flush_cost = out.max_flush_cost.max(m.max_flush_cost);
+        out.fresh_reads += m.fresh_reads;
+        out.stale_reads += m.stale_reads;
+        out.snapshot_reads += m.snapshot_reads;
+        out.queue_depth += m.queue_depth;
+        out.max_queue_depth = out.max_queue_depth.max(m.max_queue_depth);
+        out.constraint_violations += m.constraint_violations;
+        out.policy_demotions += m.policy_demotions;
+        out.flush_errors += m.flush_errors;
+        out.cost_overruns += m.cost_overruns;
+        out.recalibrations += m.recalibrations;
+        out.recoveries += m.recoveries;
+        out.wal_errors += m.wal_errors;
+        out.wal_records += m.wal_records;
+        out.wal_fsync_lag = out.wal_fsync_lag.max(m.wal_fsync_lag);
+        out.wal_sync_every = out.wal_sync_every.max(m.wal_sync_every);
+        out.degraded |= m.degraded;
+        out.shed_events += m.shed_events;
+        out.ingest_errors += m.ingest_errors;
+        if out.last_error.is_none() {
+            out.last_error = m.last_error.clone();
+        }
+        out.budget += m.budget;
+        out.budget_rebalances += m.budget_rebalances;
+
+        // Histogram summaries: keep the worst tail, count-weighted mean.
+        for (acc, part) in [
+            (&mut out.flush_cost_millis, &m.flush_cost_millis),
+            (&mut out.refresh_latency_ns, &m.refresh_latency_ns),
+        ] {
+            let combined = acc.count + part.count;
+            if combined > 0 {
+                acc.mean =
+                    (acc.mean * acc.count as f64 + part.mean * part.count as f64) / combined as f64;
+            }
+            acc.count = combined;
+            acc.p50 = acc.p50.max(part.p50);
+            acc.p90 = acc.p90.max(part.p90);
+            acc.p99 = acc.p99.max(part.p99);
+            acc.max = acc.max.max(part.max);
+        }
+    }
+    out
+}
+
+/// How the coordinator divides the global budget.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum RebalancePolicy {
+    /// `C / N` per shard, never moves. The baseline.
+    Uniform,
+    /// Proportional to observed per-shard flush pressure, floored at
+    /// `min_share · C / N` (see module docs).
+    CostProportional,
+}
+
+impl RebalancePolicy {
+    /// Parses a policy name (`uniform` | `cost`).
+    pub fn parse(s: &str) -> Option<Self> {
+        match s {
+            "uniform" => Some(RebalancePolicy::Uniform),
+            "cost" | "cost-proportional" => Some(RebalancePolicy::CostProportional),
+            _ => None,
+        }
+    }
+
+    /// The canonical name.
+    pub fn name(self) -> &'static str {
+        match self {
+            RebalancePolicy::Uniform => "uniform",
+            RebalancePolicy::CostProportional => "cost",
+        }
+    }
+}
+
+/// Coordinator configuration.
+#[derive(Clone, Debug)]
+pub struct CoordinatorConfig {
+    /// Sampling / rebalancing period.
+    pub epoch: Duration,
+    /// The division policy.
+    pub policy: RebalancePolicy,
+    /// Lower bound on a shard's share, as a fraction of the uniform
+    /// share `C / N` (cost-proportional only).
+    pub min_share: f64,
+}
+
+impl Default for CoordinatorConfig {
+    fn default() -> Self {
+        CoordinatorConfig {
+            epoch: Duration::from_millis(100),
+            policy: RebalancePolicy::CostProportional,
+            min_share: 0.25,
+        }
+    }
+}
+
+/// Summary of the coordinator's activity, for reporting.
+#[derive(Clone, Debug, Default)]
+pub struct CoordinatorStats {
+    /// Epochs that completed (metrics sampled).
+    pub epochs: u64,
+    /// Budget pushes actually issued (no-op epochs are skipped).
+    pub rebalances: u64,
+    /// The last computed per-shard budgets.
+    pub last_budgets: Vec<f64>,
+}
+
+/// The budget-rebalancing thread. Spawn with [`Coordinator::spawn`],
+/// stop with [`Coordinator::stop`].
+pub struct Coordinator {
+    stop: Arc<AtomicBool>,
+    stats: Arc<Mutex<CoordinatorStats>>,
+    join: Option<thread::JoinHandle<()>>,
+}
+
+impl Coordinator {
+    /// Spawns the epoch loop over `router`.
+    pub fn spawn(router: ShardRouter, cfg: CoordinatorConfig) -> Self {
+        let stop = Arc::new(AtomicBool::new(false));
+        let stats = Arc::new(Mutex::new(CoordinatorStats::default()));
+        let stop2 = Arc::clone(&stop);
+        let stats2 = Arc::clone(&stats);
+        let join = thread::Builder::new()
+            .name("aivm-shard-coordinator".into())
+            .spawn(move || epoch_loop(router, cfg, stop2, stats2))
+            .expect("spawn coordinator thread");
+        Coordinator {
+            stop,
+            stats,
+            join: Some(join),
+        }
+    }
+
+    /// Stops the loop and returns the activity summary.
+    pub fn stop(mut self) -> CoordinatorStats {
+        self.stop.store(true, Ordering::SeqCst);
+        if let Some(j) = self.join.take() {
+            let _ = j.join();
+        }
+        let stats = self.stats.lock().unwrap().clone();
+        stats
+    }
+}
+
+impl Drop for Coordinator {
+    fn drop(&mut self) {
+        self.stop.store(true, Ordering::SeqCst);
+        if let Some(j) = self.join.take() {
+            let _ = j.join();
+        }
+    }
+}
+
+fn epoch_loop(
+    router: ShardRouter,
+    cfg: CoordinatorConfig,
+    stop: Arc<AtomicBool>,
+    stats: Arc<Mutex<CoordinatorStats>>,
+) {
+    let n = router.shards();
+    let c = router.global_budget();
+    // Last observed cumulative (flush cost, events) per shard, for deltas.
+    let mut last: Vec<(f64, u64)> = vec![(0.0, 0); n];
+    let mut current: Vec<f64> = vec![f64::NAN; n];
+    while !stop.load(Ordering::SeqCst) {
+        thread::sleep(cfg.epoch);
+        if stop.load(Ordering::SeqCst) {
+            break;
+        }
+        let samples = router.sample_metrics();
+        if samples.is_empty() {
+            continue;
+        }
+        let live = samples.len();
+        let targets: Vec<(usize, f64)> = match cfg.policy {
+            RebalancePolicy::Uniform => {
+                // Redistribute only on membership change (shard death).
+                samples.iter().map(|(i, _)| (*i, c / live as f64)).collect()
+            }
+            RebalancePolicy::CostProportional => {
+                let eps = 1e-9;
+                let weights: Vec<(usize, f64)> = samples
+                    .iter()
+                    .map(|(i, m)| {
+                        let (lc, le) = last[*i];
+                        let dcost = (m.total_flush_cost - lc).max(0.0);
+                        let devents = m.events_ingested.saturating_sub(le);
+                        let per_event = dcost / (devents.max(1) as f64);
+                        let backlog = m.queue_depth as f64 * per_event;
+                        (*i, dcost + backlog + eps)
+                    })
+                    .collect();
+                let total: f64 = weights.iter().map(|(_, w)| w).sum();
+                let floor = cfg.min_share * c / n as f64;
+                // Proportional split, clamped below, re-normalised to C.
+                let mut t: Vec<(usize, f64)> = weights
+                    .iter()
+                    .map(|(i, w)| (*i, (c * w / total).max(floor)))
+                    .collect();
+                let sum: f64 = t.iter().map(|(_, b)| b).sum();
+                for (_, b) in t.iter_mut() {
+                    *b *= c / sum;
+                }
+                t
+            }
+        };
+        for (i, m) in &samples {
+            last[*i] = (m.total_flush_cost, m.events_ingested);
+        }
+        let mut pushed = 0u64;
+        for (i, b) in &targets {
+            // Skip sub-0.1% moves: avoids WAL churn from jitter.
+            let prev = current[*i];
+            if prev.is_finite() && (b - prev).abs() <= 1e-3 * prev {
+                continue;
+            }
+            if let Some(handle) = router.handle(*i) {
+                if handle.set_budget(*b) {
+                    current[*i] = *b;
+                    pushed += 1;
+                } else {
+                    router.mark_dead(*i);
+                }
+            }
+        }
+        let mut st = stats.lock().unwrap();
+        st.epochs += 1;
+        st.rebalances += pushed;
+        st.last_budgets = current.clone();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn rebalance_policy_parses() {
+        assert_eq!(
+            RebalancePolicy::parse("uniform"),
+            Some(RebalancePolicy::Uniform)
+        );
+        assert_eq!(
+            RebalancePolicy::parse("cost"),
+            Some(RebalancePolicy::CostProportional)
+        );
+        assert_eq!(RebalancePolicy::parse("nope"), None);
+        assert_eq!(RebalancePolicy::CostProportional.name(), "cost");
+    }
+
+    #[test]
+    fn merge_metrics_sums_counters_and_maxes_gauges() {
+        let a = MetricsSnapshot {
+            events_ingested: 10,
+            queue_depth: 3,
+            max_flush_cost: 5.0,
+            budget: 8.0,
+            ..Default::default()
+        };
+        let b = MetricsSnapshot {
+            events_ingested: 7,
+            queue_depth: 9,
+            max_flush_cost: 2.0,
+            budget: 8.0,
+            degraded: true,
+            ..Default::default()
+        };
+        let m = merge_metrics(&[a, b]);
+        assert_eq!(m.events_ingested, 17);
+        assert_eq!(m.queue_depth, 12);
+        assert_eq!(m.max_flush_cost, 5.0);
+        assert_eq!(m.budget, 16.0);
+        assert!(m.degraded);
+    }
+}

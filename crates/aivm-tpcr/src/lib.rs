@@ -26,7 +26,9 @@ pub mod gen;
 pub mod updates;
 
 pub use gen::{generate, TpcrConfig, TpcrDatabase};
-pub use updates::{pregenerate_streams, UpdateGen, UpdateKind};
+pub use updates::{
+    pregenerate_streams, pregenerate_streams_skewed, UpdateGen, UpdateKind, ZipfSampler,
+};
 
 use aivm_engine::{Database, EngineError, MaterializedView, MinStrategy};
 

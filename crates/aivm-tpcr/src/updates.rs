@@ -16,6 +16,35 @@ pub enum UpdateKind {
     SupplierNation,
 }
 
+/// Deterministic Zipf(`s`) sampler over `n` ranks, by inverse-CDF
+/// lookup on precomputed cumulative weights `w_r = 1/(r+1)^s`. Rank 0
+/// is the hottest; with `s = 0` every rank is equally likely.
+#[derive(Clone, Debug)]
+pub struct ZipfSampler {
+    cum: Vec<f64>,
+}
+
+impl ZipfSampler {
+    /// Builds the cumulative weight table for `n` ranks.
+    pub fn new(n: usize, s: f64) -> Self {
+        assert!(n > 0, "zipf sampler needs at least one rank");
+        let mut cum = Vec::with_capacity(n);
+        let mut acc = 0.0;
+        for r in 0..n {
+            acc += 1.0 / ((r + 1) as f64).powf(s);
+            cum.push(acc);
+        }
+        ZipfSampler { cum }
+    }
+
+    /// Draws one rank in `0..n` using a single uniform draw from `rng`.
+    pub fn sample(&self, rng: &mut StdRng) -> usize {
+        let total = *self.cum.last().expect("nonempty");
+        let u: f64 = rng.gen_range(0.0..total);
+        self.cum.partition_point(|&c| c < u).min(self.cum.len() - 1)
+    }
+}
+
 /// Deterministic generator of the paper's update stream, bound to a
 /// generated database's key sets.
 #[derive(Clone, Debug)]
@@ -25,35 +54,58 @@ pub struct UpdateGen {
     supp_keys: Vec<i64>,
     partsupp: TableId,
     supplier: TableId,
+    /// Zipf samplers over the partsupp/supplier key ranks; `None`
+    /// preserves the paper's uniform key choice (and its exact RNG
+    /// draw sequence, so pre-skew streams stay bit-identical).
+    skew: Option<(ZipfSampler, ZipfSampler)>,
 }
 
 impl UpdateGen {
     /// Creates a generator over the given database.
     pub fn new(data: &TpcrDatabase, seed: u64) -> Self {
-        let ps_keys = data
+        Self::with_skew(data, seed, None)
+    }
+
+    /// Creates a generator whose key choice follows Zipf(`skew`) over
+    /// the key ranks instead of the uniform draw — hot keys concentrate
+    /// the update stream (and, under hash sharding, the shards that own
+    /// them). `None` is the paper's uniform stream.
+    pub fn with_skew(data: &TpcrDatabase, seed: u64, skew: Option<f64>) -> Self {
+        let ps_keys: Vec<i64> = data
             .db
             .table(data.partsupp)
             .iter()
             .map(|(_, r)| r.get(0).as_int().expect("pskey"))
             .collect();
-        let supp_keys = data
+        let supp_keys: Vec<i64> = data
             .db
             .table(data.supplier)
             .iter()
             .map(|(_, r)| r.get(0).as_int().expect("suppkey"))
             .collect();
+        let skew = skew.map(|s| {
+            (
+                ZipfSampler::new(ps_keys.len(), s),
+                ZipfSampler::new(supp_keys.len(), s),
+            )
+        });
         UpdateGen {
             rng: StdRng::seed_from_u64(seed),
             ps_keys,
             supp_keys,
             partsupp: data.partsupp,
             supplier: data.supplier,
+            skew,
         }
     }
 
     /// A random `supplycost` update against the current database state.
     pub fn partsupp_update(&mut self, db: &Database) -> Modification {
-        let key = self.ps_keys[self.rng.gen_range(0..self.ps_keys.len())];
+        let idx = match &self.skew {
+            Some((z, _)) => z.sample(&mut self.rng),
+            None => self.rng.gen_range(0..self.ps_keys.len()),
+        };
+        let key = self.ps_keys[idx];
         let table = db.table(self.partsupp);
         let id = table
             .find_by(0, &Value::Int(key))
@@ -70,7 +122,11 @@ impl UpdateGen {
 
     /// A random `nationkey` update against the current database state.
     pub fn supplier_update(&mut self, db: &Database) -> Modification {
-        let key = self.supp_keys[self.rng.gen_range(0..self.supp_keys.len())];
+        let idx = match &self.skew {
+            Some((_, z)) => z.sample(&mut self.rng),
+            None => self.rng.gen_range(0..self.supp_keys.len()),
+        };
+        let key = self.supp_keys[idx];
         let table = db.table(self.supplier);
         let id = table
             .find_by(0, &Value::Int(key))
@@ -143,7 +199,22 @@ pub fn pregenerate_streams(
     count_each: usize,
     seed: u64,
 ) -> (Vec<Modification>, Vec<Modification>) {
-    let mut gen = UpdateGen::new(data, seed);
+    pregenerate_streams_skewed(data, count_each, seed, None)
+}
+
+/// [`pregenerate_streams`] with an optional Zipf key skew: `Some(s)`
+/// draws keys Zipf(`s`)-distributed over the key ranks, so a handful
+/// of hot keys dominate the stream. Under hash sharding every key owns
+/// exactly one shard, so a skewed stream concentrates flush work on
+/// the shards owning the hot ranks — the workload the cross-shard
+/// budget rebalancer exists for. `None` is exactly the uniform stream.
+pub fn pregenerate_streams_skewed(
+    data: &TpcrDatabase,
+    count_each: usize,
+    seed: u64,
+    skew: Option<f64>,
+) -> (Vec<Modification>, Vec<Modification>) {
+    let mut gen = UpdateGen::with_skew(data, seed, skew);
     let mut scratch = data.db.clone();
     let partsupp = gen.pregenerate(&mut scratch, UpdateKind::PartSuppCost, count_each);
     let supplier = gen.pregenerate(&mut scratch, UpdateKind::SupplierNation, count_each);
@@ -201,6 +272,52 @@ mod tests {
         let a = pregenerate_streams(&data, 10, 5);
         let b = pregenerate_streams(&data, 10, 5);
         assert_eq!(a, b);
+    }
+
+    #[test]
+    fn skewed_streams_are_deterministic_and_concentrated() {
+        let mut data = generate(&TpcrConfig::small(), 11);
+        let a = pregenerate_streams_skewed(&data, 200, 5, Some(1.2));
+        let b = pregenerate_streams_skewed(&data, 200, 5, Some(1.2));
+        assert_eq!(a, b);
+        // Zipf(1.2) concentrates: the hottest supplier key must account
+        // for far more than its uniform 1/100 share of updates.
+        let mut counts = std::collections::HashMap::new();
+        for m in &a.1 {
+            if let Modification::Update { old, .. } = m {
+                *counts.entry(old.get(0).as_int().unwrap()).or_insert(0u32) += 1;
+            }
+        }
+        let hottest = counts.values().copied().max().unwrap();
+        assert!(
+            hottest as f64 > 0.10 * a.1.len() as f64,
+            "hottest key got {hottest}/{} updates — not skewed",
+            a.1.len()
+        );
+        // The streams still replay cleanly in order.
+        for m in &a.0 {
+            data.db.apply(data.partsupp, m).expect("partsupp");
+        }
+        for m in &a.1 {
+            data.db.apply(data.supplier, m).expect("supplier");
+        }
+    }
+
+    #[test]
+    fn zero_skew_matches_no_skew_support() {
+        // Zipf(0) is uniform over ranks (different RNG draws than the
+        // gen_range path, so streams differ — but both must cover many
+        // distinct keys rather than collapsing onto one).
+        let data = generate(&TpcrConfig::small(), 11);
+        let (_, supp) = pregenerate_streams_skewed(&data, 200, 5, Some(0.0));
+        let distinct: std::collections::HashSet<i64> = supp
+            .iter()
+            .filter_map(|m| match m {
+                Modification::Update { old, .. } => old.get(0).as_int(),
+                _ => None,
+            })
+            .collect();
+        assert!(distinct.len() > 50, "zipf(0) must stay near-uniform");
     }
 
     #[test]
