@@ -94,6 +94,19 @@ AIVM_BENCH_LABEL=ci ./target/release/repro loadgen --quick --duration 5s \
 # merged checksum equal to direct evaluation.
 ./target/release/repro chaos --seeds 2 --events 1000 --shards 3 >/dev/null
 
+echo "==> failover gate (kill-the-leader, WAL tail-streamed follower promotion)"
+# Kill shard 0's leader at a sampled WAL boundary, direct and through
+# the deterministic fault proxy: zero acked-write loss, StaleEpoch
+# fencing of the deposed lineage, follower staleness <= C + replication
+# lag, merged checksum equal to direct evaluation. Timeboxed so a hung
+# promotion fails the gate instead of wedging CI.
+timeout 120 ./target/release/repro chaos --seeds 2 --events 1000 \
+  --shards 2 --replicas --kill-leader >/dev/null
+# Failover under live closed-loop load: --kill-leader murders a leader
+# mid-run; the gate requires >= 1 promotion and every shard live at exit.
+AIVM_BENCH_LABEL=ci timeout 120 ./target/release/repro loadgen --quick \
+  --duration 5s --shards 2 --replicas --kill-leader >/dev/null
+
 echo "==> serve throughput baseline (BENCH_serve.json)"
 AIVM_BENCH_FAST=1 AIVM_BENCH_LABEL=ci cargo bench -p aivm-bench --bench serve >/dev/null
 

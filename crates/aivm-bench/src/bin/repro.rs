@@ -65,6 +65,14 @@
 //!   --min-reads X          exit nonzero below X reads/s (CI gate)
 //!   --max-stale-p99-ms X   exit nonzero if the stale-read p99 exceeds
 //!                          X milliseconds (CI gate)
+//!   --shards N             key-partitioned shards behind the server
+//!                          (default: one per hardware thread, shown
+//!                          as "(auto)")
+//!   --replicas             attach a live follower to every shard (WAL
+//!                          tail-streaming over the wire, durable acks,
+//!                          failover monitor); needs --shards >= 2
+//!   --kill-leader          kill shard 0's leader mid-run and ride out
+//!                          the automatic failover (needs --replicas)
 //! ```
 //!
 //! `loadgen` appends its measured throughput, Stale/Fresh read latency
@@ -86,8 +94,13 @@
 //! field-by-field — view/db checksums, pending counts, trace, cost —
 //! against the uncrashed reference, plus seeded fault-injection cycles
 //! asserting graceful degradation. Flags: `--seeds N` (default 4),
-//! `--events N` ops per seed (default 400). Exits nonzero on any
-//! divergence.
+//! `--events N` ops per seed (default 400). With `--shards N` it also
+//! kills one shard of a wire-served deployment and proves degraded
+//! serving + recovery + rejoin; with `--replicas --kill-leader` it
+//! kills a replicated shard's *leader* at a sampled WAL boundary and
+//! asserts zero acknowledged-write loss, epoch fencing, and merged ==
+//! direct checksums after the follower's promotion. Exits nonzero on
+//! any divergence.
 //!
 //! `--quick` shrinks scales so the whole suite finishes in well under a
 //! minute; default scales match the paper's shapes (minutes).
@@ -353,6 +366,8 @@ struct ServeArgs {
     shards: Option<usize>,
     skew: Option<f64>,
     rebalance: Option<aivm_shard::RebalancePolicy>,
+    replicas: bool,
+    kill_leader: bool,
 }
 
 fn parse_duration(s: &str) -> Option<std::time::Duration> {
@@ -502,13 +517,28 @@ fn run_serve(csv: bool, quick: bool, sargs: &ServeArgs) {
 }
 
 fn run_loadgen(csv: bool, quick: bool, sargs: &ServeArgs) {
-    use aivm_bench::loadgen::{run_loadgen, LoadgenOptions};
+    use aivm_bench::loadgen::{auto_shards, run_loadgen, LoadgenOptions};
     use aivm_bench::serve::{ServeExperiment, ServeOptions, SERVE_POLICIES};
     if let Some(p) = &sargs.policy {
         if !SERVE_POLICIES.contains(&p.as_str()) {
             eprintln!("unknown policy: {p} (expected naive, online or planned)");
             std::process::exit(2);
         }
+    }
+    // Omitted --shards auto-picks one scheduler per hardware thread; a
+    // replicated run needs at least two shards to have a router.
+    let (shards, shards_auto) = match sargs.shards {
+        Some(n) => (n, false),
+        None if sargs.replicas => (auto_shards().max(2), true),
+        None => (auto_shards(), true),
+    };
+    if sargs.replicas && shards < 2 {
+        eprintln!("--replicas needs --shards >= 2");
+        std::process::exit(2);
+    }
+    if sargs.kill_leader && !sargs.replicas {
+        eprintln!("--kill-leader needs --replicas");
+        std::process::exit(2);
     }
     let events_each = sargs.events.unwrap_or(if quick { 5_000 } else { 20_000 });
     let exp = match ServeExperiment::build(ServeOptions {
@@ -543,8 +573,10 @@ fn run_loadgen(csv: bool, quick: bool, sargs: &ServeArgs) {
         quick,
         wal_sync: sargs.wal_sync,
         max_conns: sargs.max_conns,
-        shards: sargs.shards.unwrap_or(1),
+        shards,
         rebalance: sargs.rebalance.unwrap_or(defaults.rebalance),
+        replicas: sargs.replicas,
+        kill_leader: sargs.kill_leader,
         ..Default::default()
     };
     let r = match run_loadgen(&exp, &opts) {
@@ -581,10 +613,18 @@ fn run_loadgen(csv: bool, quick: bool, sargs: &ServeArgs) {
         },
         if opts.shards > 1 {
             format!(
-                ", {} shards (rebalance {})",
+                ", {} shards{} (rebalance {}){}",
                 opts.shards,
-                opts.rebalance.name()
+                if shards_auto { " (auto)" } else { "" },
+                opts.rebalance.name(),
+                match (opts.replicas, opts.kill_leader) {
+                    (true, true) => ", replicated, kill-leader",
+                    (true, false) => ", replicated",
+                    _ => "",
+                }
             )
+        } else if shards_auto {
+            ", 1 shard (auto)".to_string()
         } else {
             String::new()
         },
@@ -660,19 +700,55 @@ fn run_loadgen(csv: bool, quick: bool, sargs: &ServeArgs) {
             "staleness max (events)".to_string(),
             r.net.staleness_max.to_string(),
         ]);
+        if opts.replicas {
+            t.row(vec![
+                "failovers / cluster epoch".to_string(),
+                format!("{} / {}", r.net.failovers, r.net.cluster_epoch),
+            ]);
+            t.row(vec![
+                "replica lag max (records)".to_string(),
+                r.net.replica_lag_max.to_string(),
+            ]);
+        }
+        if opts.kill_leader {
+            t.row(vec![
+                "ambiguous events (ack died with leader)".to_string(),
+                r.ambiguous_events.to_string(),
+            ]);
+        }
+        if let Some(rows) = &r.net.per_shard {
+            for s in rows {
+                let health = match s.health {
+                    0 => "dead",
+                    1 => "live",
+                    _ => "live+replica",
+                };
+                t.row(vec![
+                    format!("shard {} epoch/health/lag", s.shard),
+                    format!("{} / {} / {}", s.epoch, health, s.replica_lag),
+                ]);
+            }
+        }
     }
     print_table(&t, csv);
 
     // Tracked baseline: BENCH_net.json at the repo root. Sharded runs
     // record under their own key prefix so the single-runtime baseline
     // stays comparable across PRs.
-    let prefix = if r.shards > 1 {
+    let prefix = if opts.replicas {
+        format!(
+            "loadgen/replicated{}{}/",
+            r.shards,
+            if opts.kill_leader { "-kill" } else { "" }
+        )
+    } else if r.shards > 1 {
         format!("loadgen/shards{}/", r.shards)
     } else {
         "loadgen/".to_string()
     };
     let mut suite = aivm_bench::harness::Suite::new("net");
     let mut rec = |name: &str, v: f64| suite.record_value(&format!("{prefix}{name}"), v);
+    rec("shards", r.shards as f64);
     rec("events_per_sec", r.events_per_sec());
     rec("reads_per_sec", r.reads_per_sec());
     rec("flush_threads", sargs.flush_threads.unwrap_or(1) as f64);
@@ -695,9 +771,24 @@ fn run_loadgen(csv: bool, quick: bool, sargs: &ServeArgs) {
     if r.shards > 1 {
         rec("budget_rebalances", r.rebalances as f64);
     }
+    if opts.replicas {
+        rec("failovers", r.net.failovers as f64);
+        rec("replica_lag_max", r.net.replica_lag_max as f64);
+    }
     suite.finish();
 
     let mut failed = false;
+    if opts.kill_leader && r.net.failovers == 0 {
+        eprintln!("loadgen FAILED: --kill-leader ran but no failover was executed");
+        failed = true;
+    }
+    if opts.kill_leader && r.net.shards_live < r.net.shards {
+        eprintln!(
+            "loadgen FAILED: {} of {} shards live after failover",
+            r.net.shards_live, r.net.shards
+        );
+        failed = true;
+    }
     if !r.ok() {
         eprintln!(
             "loadgen FAILED: {} budget violation(s), {} protocol error(s), \
@@ -806,10 +897,28 @@ fn run_shardsweep(csv: bool, quick: bool, sargs: &ServeArgs) {
         "{events_each} events/table, policy {policy}, budget C = {:.1} split C/N across shards, \
          {} hardware threads",
         exp.budget,
-        std::thread::available_parallelism().map_or(1, |n| n.get()),
+        aivm_bench::loadgen::auto_shards(),
     ));
+    // `--shards N` caps the sweep at N; omitted, the hardware width
+    // joins the classic 1/2/4/8 ladder (marked "(auto)" in its row).
+    let auto = aivm_bench::loadgen::auto_shards();
+    let (widths, auto_width): (Vec<usize>, Option<usize>) = match sargs.shards {
+        Some(n) => {
+            let mut w: Vec<usize> = [1usize, 2, 4, 8].into_iter().filter(|&x| x < n).collect();
+            w.push(n);
+            (w, None)
+        }
+        None => {
+            let mut w = vec![1usize, 2, 4, 8];
+            if !w.contains(&auto) {
+                w.push(auto);
+                w.sort_unstable();
+            }
+            (w, Some(auto))
+        }
+    };
     let mut base_tput = None;
-    for shards in [1usize, 2, 4, 8] {
+    for shards in widths {
         let r = match run_loadgen(&exp, &mk_opts(shards, RebalancePolicy::CostProportional)) {
             Ok(r) => r,
             Err(e) => {
@@ -838,7 +947,11 @@ fn run_shardsweep(csv: bool, quick: bool, sargs: &ServeArgs) {
         let speedup = base_tput.map_or(1.0, |b| tput / b);
         let fresh = r.fresh_lat.snapshot();
         t.row(vec![
-            shards.to_string(),
+            if auto_width == Some(shards) {
+                format!("{shards} (auto)")
+            } else {
+                shards.to_string()
+            },
             format!("{tput:.0}"),
             format!("{speedup:.2}x"),
             format!("{:.0}", r.reads_per_sec()),
@@ -1042,6 +1155,59 @@ fn run_chaos(csv: bool, sargs: &ServeArgs) {
         if !kill.ok() {
             for f in &kill.failures {
                 eprintln!("shard-kill divergence: {f}");
+            }
+            std::process::exit(1);
+        }
+    }
+    // With --replicas --kill-leader, kill one shard's *leader* in a
+    // fully replicated wire-served deployment at a sampled WAL boundary
+    // and prove automatic failover: zero acknowledged-write loss, the
+    // stale leader's epoch fenced, merged checksum == direct
+    // evaluation, and follower staleness bounded by C + replication
+    // lag throughout.
+    if sargs.replicas || sargs.kill_leader {
+        use aivm_bench::chaos::run_leader_kill;
+        if !(sargs.replicas && sargs.kill_leader) {
+            eprintln!("replicated chaos needs both --replicas and --kill-leader");
+            std::process::exit(2);
+        }
+        let shards = sargs.shards.filter(|&n| n > 1).unwrap_or(2);
+        let fail = match run_leader_kill(&exp, shards, 1, false) {
+            Ok(r) => r,
+            Err(e) => {
+                eprintln!("leader-kill cycle failed to run: {e}");
+                std::process::exit(1);
+            }
+        };
+        let mut ft = ExpTable::new(
+            "Chaos: kill-the-leader, WAL tail-streamed follower promotion",
+            &[
+                "shards",
+                "victim",
+                "acked_mods",
+                "fenced",
+                "epoch",
+                "lag_max",
+                "stale_viol",
+                "merged==direct",
+                "status",
+            ],
+        );
+        ft.row(vec![
+            fail.shards.to_string(),
+            fail.victim.to_string(),
+            fail.acked_mods.to_string(),
+            fail.stale_epoch_rejections.to_string(),
+            fail.promoted_epoch.to_string(),
+            fail.replica_lag_seen.to_string(),
+            fail.staleness_violations.to_string(),
+            (fail.merged_checksum == fail.direct_checksum).to_string(),
+            if fail.ok() { "ok" } else { "FAIL" }.to_string(),
+        ]);
+        print_table(&ft, csv);
+        if !fail.ok() {
+            for f in &fail.failures {
+                eprintln!("leader-kill divergence: {f}");
             }
             std::process::exit(1);
         }
@@ -1295,6 +1461,8 @@ fn main() {
                     }
                 }
             }
+            "--replicas" => sargs.replicas = true,
+            "--kill-leader" => sargs.kill_leader = true,
             _ if !a.starts_with("--") => targets.push(a.as_str()),
             _ => {}
         }

@@ -31,20 +31,25 @@
 //! Everything derives from the seed, so any reported failure reproduces
 //! bit-for-bit from its seed alone.
 
+use crate::proxy::{FaultPlanNet, FaultProxy};
 use crate::serve::{ServeExperiment, ServeOptions};
 use aivm_client::{Client, ClientConfig};
-use aivm_core::Counts;
+use aivm_core::{CostFn, Counts};
 use aivm_engine::{EngineError, Modification, WRow};
-use aivm_net::{NetServer, NetServerConfig};
+use aivm_net::{NetServer, NetServerConfig, Replica, ReplicaConfig};
 use aivm_serve::{
     read_wal, Checkpoint, FaultPlan, MaintenanceRuntime, MemWal, MetricsSnapshot, ReadMode,
-    ServeServer, ServerConfig, Trace, WalStorage, WalWriter,
+    ServeServer, ServerConfig, Trace, WalRecord, WalStorage, WalTail, WalWriter,
 };
-use aivm_shard::{MergeSpec, ShardRouter};
+use aivm_shard::{
+    FailoverConfig, FailoverMonitor, MergeSpec, Promoter, ReplicaStatus, ShardRouter,
+};
 use aivm_sim::replay::{verify_recovery_prefix, ReplayStep};
 use rand::rngs::SmallRng;
 use rand::{Rng, SeedableRng};
-use std::time::Duration;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Mutex};
+use std::time::{Duration, Instant};
 
 /// Options of a chaos run.
 #[derive(Clone, Debug)]
@@ -943,6 +948,765 @@ pub fn run_shard_kill(
     Ok(report)
 }
 
+// ---------------------------------------------------------------------
+// Kill-the-leader failover chaos (`repro chaos --shards N --replicas`)
+// ---------------------------------------------------------------------
+
+/// Outcome of one kill-the-leader failover cycle (see
+/// [`run_leader_kill`]).
+///
+/// The cycle proves the replication story end to end: every shard has a
+/// live follower tailing the leader's WAL over the wire; the victim
+/// leader is killed at a sampled WAL boundary; the failover monitor
+/// detects the death and promotes the follower (seal the leader's
+/// durable log, drain its tail into the follower, swap the slot, bump
+/// the fencing epoch); and four assertions hold — zero acknowledged
+/// writes lost, a stale-epoch submit is fenced and never applied, the
+/// post-failover merged fresh read is checksum-identical to direct
+/// evaluation over the final shard databases, and sampled follower
+/// staleness never exceeds `C` (in modifications) plus the replication
+/// lag.
+#[derive(Debug)]
+pub struct LeaderKillReport {
+    /// Shard count of the cycle.
+    pub shards: usize,
+    /// Index of the killed leader's shard.
+    pub victim: usize,
+    /// Whether client and victim-replica traffic ran through seeded
+    /// fault proxies (drop/delay/duplicate/corrupt/partition).
+    pub proxied: bool,
+    /// Modifications acknowledged under durable acks (survivors).
+    pub acked_mods: u64,
+    /// Wire-level `StaleEpoch` rejections observed.
+    pub stale_epoch_rejections: u64,
+    /// The victim shard's epoch after promotion (2 on first failover).
+    pub promoted_epoch: u64,
+    /// Worst replication lag sampled across all followers.
+    pub replica_lag_seen: u64,
+    /// Samples where a follower's staleness exceeded its bound.
+    pub staleness_violations: u64,
+    /// Circuit-breaker trips the client recorded (proxied runs).
+    pub breaker_trips: u64,
+    /// Merged fresh-read checksum after failover.
+    pub merged_checksum: u64,
+    /// Checksum of direct evaluation over the final shard databases.
+    pub direct_checksum: u64,
+    /// Divergences; empty on success.
+    pub failures: Vec<String>,
+}
+
+impl LeaderKillReport {
+    /// True when every assertion held.
+    pub fn ok(&self) -> bool {
+        self.failures.is_empty()
+    }
+}
+
+/// Largest modification count whose flush cost fits the budget on the
+/// cheaper of the two updated tables — the budget `C` expressed in
+/// modifications, for the staleness bound.
+fn budget_in_mods(exp: &ServeExperiment) -> u64 {
+    exp.costs[exp.ps_pos]
+        .max_batch(exp.budget)
+        .max(exp.costs[exp.supp_pos].max_batch(exp.budget))
+}
+
+/// Samples every attached follower's status into the report: worst lag,
+/// and staleness-bound violations. The bound is `C` in modifications
+/// plus the replication lag (each lagging WAL record carries at most
+/// one modification) plus a small slack for arrivals in flight between
+/// two scheduler ticks. The victim's follower is exempt from the
+/// staleness check: the kill harness freezes its leader's tick schedule
+/// (so the record count at the kill boundary is deterministic), which
+/// makes its staleness unbounded by design.
+fn sample_replication(
+    statuses: &[ReplicaStatus],
+    victim: usize,
+    c_mods: u64,
+    report: &mut LeaderKillReport,
+) {
+    const INFLIGHT_SLACK: u64 = 128;
+    for (i, st) in statuses.iter().enumerate() {
+        report.replica_lag_seen = report.replica_lag_seen.max(st.lag());
+        if i == victim || !st.healthy() {
+            continue;
+        }
+        if st.staleness() > c_mods + st.lag() + INFLIGHT_SLACK {
+            report.staleness_violations += 1;
+        }
+    }
+}
+
+/// Checks that `acked` (table position + modification, in ack order) is
+/// a subsequence of the `Dml` records in `log` — i.e. every
+/// acknowledged write survived, in order. Extra log entries (unacked
+/// but applied, or transport-retry duplicates) are permitted.
+fn acked_writes_survive(acked: &[(usize, Modification)], log: &[WalRecord]) -> bool {
+    let mut dml = log.iter().filter_map(|r| match r {
+        WalRecord::Dml { table, m } => Some((*table, m)),
+        _ => None,
+    });
+    'outer: for (t, m) in acked {
+        for (lt, lm) in dml.by_ref() {
+            if lt == *t && lm == m {
+                continue 'outer;
+            }
+        }
+        return false;
+    }
+    true
+}
+
+/// The victim shard's failover state as seen over the wire: `Some(new
+/// epoch)` once the cluster reports a completed promotion.
+fn observed_failover(client: &Client, victim: usize) -> Option<u64> {
+    let m = client.metrics_detailed(true).ok()?;
+    if m.failovers == 0 {
+        return None;
+    }
+    let rows = m.per_shard?;
+    let row = rows.iter().find(|r| r.shard == victim as u32)?;
+    (row.epoch > 1).then_some(row.epoch)
+}
+
+/// Submits one pre-split batch until it is acknowledged (durable acks:
+/// an `Ok` means applied *and* WAL-logged), tolerating transport faults
+/// from the proxy and refreshing the fencing epoch on `StaleEpoch`.
+/// Records acknowledged modifications into `acked`. Returns `false` if
+/// the batch could not be acknowledged before `deadline` (the caller
+/// decides whether that is a failure — while the victim is dying it is
+/// the expected signal).
+#[allow(clippy::too_many_arguments)]
+fn submit_until_acked(
+    client: &Client,
+    epochs: &mut [u64],
+    shard: usize,
+    pos: usize,
+    batch: &[Modification],
+    acked: &mut Vec<(usize, Modification)>,
+    report: &mut LeaderKillReport,
+    deadline: Duration,
+) -> bool {
+    let due = Instant::now() + deadline;
+    while Instant::now() < due {
+        match client.submit_fenced(epochs[shard], pos as u32, batch.to_vec()) {
+            Ok(_) => {
+                acked.extend(batch.iter().map(|m| (pos, m.clone())));
+                report.acked_mods += batch.len() as u64;
+                return true;
+            }
+            Err(e) if e.is_stale_epoch() => {
+                report.stale_epoch_rejections += 1;
+                if let Some(epoch) = observed_failover(client, shard) {
+                    epochs[shard] = epoch;
+                }
+            }
+            // Overload / transport damage / a dying shard: back off and
+            // retry. A retry can double-apply a batch whose ack was
+            // lost in flight — harmless here, because the loss check
+            // only requires acked writes to be a subsequence of the
+            // log, and merged-vs-direct compares the same final state.
+            Err(_) => std::thread::sleep(Duration::from_millis(10)),
+        }
+    }
+    false
+}
+
+/// A fresh merged read with transport-fault tolerance.
+fn read_fresh_tolerant(
+    client: &Client,
+    deadline: Duration,
+) -> Result<aivm_net::frame::WireReadResult, String> {
+    let due = Instant::now() + deadline;
+    let mut last = String::from("no attempt");
+    while Instant::now() < due {
+        match client.read(true, false) {
+            Ok(r) => return Ok(r),
+            Err(e) => {
+                last = e.to_string();
+                // A failed fresh read may still have cost the scheduler
+                // a forced flush; don't pile retries onto its queue.
+                std::thread::sleep(Duration::from_millis(50));
+            }
+        }
+    }
+    Err(last)
+}
+
+/// Kills one shard's leader at a sampled WAL boundary in a fully
+/// replicated N-shard deployment and drives automatic failover, over
+/// the real wire protocol (optionally through deterministic fault
+/// proxies). See [`LeaderKillReport`] for what is asserted.
+pub fn run_leader_kill(
+    exp: &ServeExperiment,
+    shards: usize,
+    seed: u64,
+    proxied: bool,
+) -> Result<LeaderKillReport, EngineError> {
+    let net_err = |e: std::io::Error| EngineError::Maintenance {
+        message: format!("leader-kill net setup: {e}"),
+    };
+    let (runtimes, part) = exp.sharded_runtimes("online", shards)?;
+    let genesis = exp.partition_genesis(&part)?;
+    let victim = (seed as usize) % shards;
+    let c_mods = budget_in_mods(exp);
+
+    // Pre-split the update streams per shard, as in `run_shard_kill`,
+    // so routing (and therefore the kill boundary) is deterministic.
+    let mut queues: Vec<Vec<(usize, Vec<Modification>)>> = vec![Vec::new(); shards];
+    for (pos, stream) in [
+        (exp.ps_pos, &exp.ps_stream),
+        (exp.supp_pos, &exp.supp_stream),
+    ] {
+        for chunk in stream.chunks(8) {
+            for (s, sub) in part.split_batch(pos, chunk.to_vec())? {
+                queues[s].push((pos, sub));
+            }
+        }
+    }
+    let victim_mods: usize = queues[victim].iter().map(|(_, b)| b.len()).sum();
+    let warmup_mods: usize = queues[victim].iter().take(2).map(|(_, b)| b.len()).sum();
+    if victim_mods < warmup_mods + 16 {
+        return Err(EngineError::Maintenance {
+            message: format!(
+                "leader-kill needs more victim traffic ({victim_mods} mods); raise events"
+            ),
+        });
+    }
+    // The kill fires at a seed-sampled WAL boundary strictly between
+    // the warmup and the victim queue running dry, so death always
+    // surfaces while traffic is still flowing.
+    let lo = (warmup_mods + 8) as u64;
+    let hi = (victim_mods - 4) as u64;
+    let kill_after =
+        lo + SmallRng::seed_from_u64(seed ^ 0xb01d).gen_range(0..hi.saturating_sub(lo).max(1));
+
+    // Leaders: every shard logs to an in-memory WAL; the victim's
+    // scheduler dies once it has durably logged `kill_after` records.
+    // Its tick interval is pushed out so idle ticks (which are logged)
+    // cannot race the record count.
+    let mut leader_wals = Vec::with_capacity(shards);
+    let mut servers: Vec<Option<ServeServer>> = Vec::with_capacity(shards);
+    for (i, mut rt) in runtimes.into_iter().enumerate() {
+        let wal = MemWal::new();
+        rt.attach_wal(WalWriter::create(Box::new(wal.clone()), 4)?);
+        leader_wals.push(wal);
+        let cfg = if i == victim {
+            ServerConfig {
+                faults: FaultPlan {
+                    kill_at_record: Some(kill_after),
+                    ..FaultPlan::none()
+                },
+                tick_interval: Duration::from_secs(3600),
+                ..ServerConfig::default()
+            }
+        } else {
+            ServerConfig::default()
+        };
+        servers.push(Some(ServeServer::spawn(rt, cfg)));
+    }
+    let handles = servers
+        .iter()
+        .map(|s| s.as_ref().expect("just spawned").handle())
+        .collect();
+    let router = ShardRouter::new(handles, part, exp.view_def(), exp.budget)?;
+    for (i, wal) in leader_wals.iter().enumerate() {
+        router.attach_wal_tail(i, WalTail::new(Box::new(wal.clone())));
+    }
+    // Durable acks: `SubmitOk` is only sent after apply + WAL append,
+    // which is what makes "zero acknowledged-write loss" assertable.
+    let net = NetServer::bind_sharded(
+        "127.0.0.1:0",
+        router.clone(),
+        NetServerConfig {
+            durable_acks: true,
+            ..NetServerConfig::default()
+        },
+    )
+    .map_err(net_err)?;
+
+    // Fault proxies (proxied runs): the client hop gets the lively
+    // drop/delay/duplicate/corrupt schedule; the victim's replica hop
+    // gets delay + drop + a one-way server→client partition, forcing
+    // the follower through its resume path repeatedly.
+    let proxies = if proxied {
+        // Milder than `lively`: every fault kind still fires, but rare
+        // enough that retry loops (each re-submit can double-apply and
+        // grow the flush work) do not snowball on a 1-core box.
+        let client_proxy = FaultProxy::spawn(
+            net.local_addr(),
+            FaultPlanNet {
+                seed,
+                delay_ppm: 48,
+                delay_max_ms: 2,
+                duplicate_ppm: 4,
+                corrupt_ppm: 4,
+                drop_ppm: 2,
+                partition_s2c_after: None,
+            },
+        )
+        .map_err(net_err)?;
+        let replica_proxy = FaultProxy::spawn(
+            net.local_addr(),
+            FaultPlanNet {
+                seed: seed ^ 0x9d2c,
+                delay_ppm: 64,
+                delay_max_ms: 2,
+                duplicate_ppm: 8,
+                corrupt_ppm: 8,
+                drop_ppm: 4,
+                partition_s2c_after: Some(256),
+            },
+        )
+        .map_err(net_err)?;
+        Some((client_proxy, replica_proxy))
+    } else {
+        None
+    };
+    let client_addr = proxies
+        .as_ref()
+        .map(|(c, _)| c.local_addr())
+        .unwrap_or_else(|| net.local_addr());
+    let victim_replica_addr = proxies
+        .as_ref()
+        .map(|(_, r)| r.local_addr())
+        .unwrap_or_else(|| net.local_addr());
+
+    // Followers: one standby per shard, each over its shard's genesis
+    // partition, re-logging into its own WAL (so it is replicable after
+    // promotion), tailing the leader server over the wire.
+    let mut replica_holders: Vec<Arc<Mutex<Option<Replica>>>> = Vec::with_capacity(shards);
+    let mut follower_wals = Vec::with_capacity(shards);
+    let mut statuses = Vec::with_capacity(shards);
+    for (i, db) in genesis.iter().enumerate() {
+        let db = db.clone();
+        let view = exp.make_view(&db)?;
+        let mut standby = MaintenanceRuntime::engine(
+            exp.shard_config(shards),
+            exp.policy("online").expect("known policy"),
+            db,
+            view,
+        )?;
+        let fwal = MemWal::new();
+        standby.attach_wal(WalWriter::create(Box::new(fwal.clone()), 4)?);
+        let status = ReplicaStatus::new();
+        let addr = if i == victim {
+            victim_replica_addr
+        } else {
+            net.local_addr()
+        };
+        let rep = Replica::spawn(
+            addr,
+            i as u32,
+            standby,
+            status.clone(),
+            ReplicaConfig {
+                // Snappy recovery from the proxy's one-way partition.
+                deadline: Duration::from_millis(250),
+                ..ReplicaConfig::default()
+            },
+        )
+        .map_err(net_err)?;
+        router.attach_replica(i, status.clone());
+        replica_holders.push(Arc::new(Mutex::new(Some(rep))));
+        follower_wals.push(fwal);
+        statuses.push(status);
+    }
+
+    // Promoters: when the monitor declares shard `i` dead, stop its
+    // follower, seal + drain the dead leader's durable log tail into
+    // it, and promote it — slot swap, epoch bump, new WAL tail.
+    let promoted_slots: Vec<Arc<Mutex<Option<ServeServer>>>> =
+        (0..shards).map(|_| Arc::new(Mutex::new(None))).collect();
+    let promo_failures: Arc<Mutex<Vec<String>>> = Arc::new(Mutex::new(Vec::new()));
+    let promoted_epoch = Arc::new(AtomicU64::new(0));
+    let promoters: Vec<Option<Promoter>> = (0..shards)
+        .map(|i| {
+            let holder = Arc::clone(&replica_holders[i]);
+            let lwal = leader_wals[i].clone();
+            let fwal = follower_wals[i].clone();
+            let slot = Arc::clone(&promoted_slots[i]);
+            let fails = Arc::clone(&promo_failures);
+            let ep = Arc::clone(&promoted_epoch);
+            let promoter: Promoter = Box::new(move |router: &ShardRouter, idx: usize| {
+                let Some(replica) = holder.lock().unwrap().take() else {
+                    fails
+                        .lock()
+                        .unwrap()
+                        .push(format!("shard {idx}: no replica to promote"));
+                    return;
+                };
+                let status = replica.status();
+                let mut rt = replica.stop();
+                // The dead leader's log is sealed (nothing appends to a
+                // dead scheduler's WAL); its durable, checksum-valid
+                // prefix is the authoritative record of every
+                // acknowledged write. Drain what the follower has not
+                // applied yet.
+                match read_wal(&lwal.bytes()) {
+                    Ok(o) => {
+                        for rec in o.records.iter().skip(status.applied() as usize) {
+                            if let Err(e) = rt.apply_record(rec) {
+                                fails
+                                    .lock()
+                                    .unwrap()
+                                    .push(format!("shard {idx}: drain apply failed: {e}"));
+                                break;
+                            }
+                        }
+                    }
+                    Err(e) => fails
+                        .lock()
+                        .unwrap()
+                        .push(format!("shard {idx}: sealed log unreadable: {e}")),
+                }
+                let server = ServeServer::spawn(rt, ServerConfig::default());
+                let tail = WalTail::new(Box::new(fwal.clone()));
+                let epoch = router.promote(idx, server.handle(), Some(tail));
+                ep.store(epoch, Ordering::SeqCst);
+                *slot.lock().unwrap() = Some(server);
+            });
+            Some(promoter)
+        })
+        .collect();
+    let monitor = FailoverMonitor::spawn(router.clone(), FailoverConfig::default(), promoters);
+
+    let client = Client::new(
+        client_addr,
+        ClientConfig {
+            retries: 0,
+            // Generous per-request deadline: a fresh read's forced
+            // flush over a proxy-churned backlog can run long in
+            // unoptimized builds, and a server-side DeadlineExceeded
+            // burns the whole window before the client can retry.
+            deadline: Duration::from_secs(3),
+            // Exercise the circuit breaker under injected faults; keep
+            // the cooldown short so it never stalls the accounting
+            // loops for long.
+            breaker_threshold: if proxied { 6 } else { 0 },
+            breaker_cooldown: Duration::from_millis(25),
+            ..ClientConfig::default()
+        },
+    )
+    .map_err(net_err)?;
+
+    let mut report = LeaderKillReport {
+        shards,
+        victim,
+        proxied,
+        acked_mods: 0,
+        stale_epoch_rejections: 0,
+        promoted_epoch: 0,
+        replica_lag_seen: 0,
+        staleness_violations: 0,
+        breaker_trips: 0,
+        merged_checksum: 0,
+        direct_checksum: 0,
+        failures: Vec::new(),
+    };
+    let mut epochs = vec![1u64; shards];
+    let mut acked: Vec<Vec<(usize, Modification)>> = vec![Vec::new(); shards];
+    let mut next = vec![0usize; shards];
+
+    // Phase 1 — warmup: traffic everywhere, a clean fresh read, and
+    // every follower healthy at least once.
+    for _ in 0..2 {
+        for (s, acked_s) in acked.iter_mut().enumerate() {
+            if let Some((pos, batch)) = take_batch(&queues, &mut next, s) {
+                if !submit_until_acked(
+                    &client,
+                    &mut epochs,
+                    s,
+                    pos,
+                    &batch,
+                    acked_s,
+                    &mut report,
+                    Duration::from_secs(10),
+                ) {
+                    report
+                        .failures
+                        .push(format!("warmup submit to shard {s} never acked"));
+                }
+            }
+        }
+    }
+    match read_fresh_tolerant(&client, Duration::from_secs(30)) {
+        Ok(r) if r.degraded => report
+            .failures
+            .push("pre-kill fresh read reported degraded".into()),
+        Ok(_) => {}
+        Err(e) => report.failures.push(format!("pre-kill fresh read: {e}")),
+    }
+    {
+        let due = Instant::now() + Duration::from_secs(10);
+        while statuses.iter().any(|s| !s.healthy()) && Instant::now() < due {
+            std::thread::sleep(Duration::from_millis(5));
+        }
+        for (i, s) in statuses.iter().enumerate() {
+            if !s.healthy() {
+                report
+                    .failures
+                    .push(format!("shard {i}'s follower never became healthy"));
+            }
+        }
+    }
+    sample_replication(&statuses, victim, c_mods, &mut report);
+
+    // Phase 2 — pump the victim toward its kill boundary. Death shows
+    // up either as a batch that cannot be acknowledged within the short
+    // deadline, or — when the monitor promotes faster than the retry
+    // loop gives up — as a StaleEpoch fence that bumped our epoch.
+    let mut died = false;
+    while let Some((pos, batch)) = take_batch(&queues, &mut next, victim) {
+        let landed = submit_until_acked(
+            &client,
+            &mut epochs,
+            victim,
+            pos,
+            &batch,
+            &mut acked[victim],
+            &mut report,
+            Duration::from_millis(400),
+        );
+        sample_replication(&statuses, victim, c_mods, &mut report);
+        if !landed || epochs[victim] > 1 {
+            died = true;
+            break;
+        }
+        std::thread::sleep(Duration::from_millis(1));
+    }
+    if !died {
+        report
+            .failures
+            .push("victim never died: its queue drained without a kill".into());
+    }
+
+    // Phase 3 — wait for the monitor to detect the death and the
+    // promoter to install the follower; observed over the wire.
+    let mut new_epoch = 0u64;
+    {
+        let due = Instant::now() + Duration::from_secs(20);
+        while Instant::now() < due {
+            if let Some(e) = observed_failover(&client, victim) {
+                new_epoch = e;
+                break;
+            }
+            std::thread::sleep(Duration::from_millis(10));
+        }
+    }
+    if new_epoch == 0 {
+        report
+            .failures
+            .push("failover never observed in wire metrics".into());
+    } else {
+        report.promoted_epoch = new_epoch;
+        if promoted_epoch.load(Ordering::SeqCst) != new_epoch {
+            report.failures.push(format!(
+                "wire epoch {new_epoch} != promoter epoch {}",
+                promoted_epoch.load(Ordering::SeqCst)
+            ));
+        }
+    }
+
+    // Phase 4 — fencing: a submit stamped with the pre-failover epoch
+    // must be rejected with StaleEpoch before any side effect; the same
+    // batch under the refreshed epoch must land.
+    if let Some((pos, batch)) = take_batch(&queues, &mut next, victim) {
+        let due = Instant::now() + Duration::from_secs(10);
+        let mut fenced = false;
+        while Instant::now() < due {
+            match client.submit_fenced(1, pos as u32, batch.to_vec()) {
+                Err(e) if e.is_stale_epoch() => {
+                    report.stale_epoch_rejections += 1;
+                    fenced = true;
+                    break;
+                }
+                Ok(_) => {
+                    report
+                        .failures
+                        .push("stale-epoch submit was accepted after failover".into());
+                    break;
+                }
+                // Transport damage from the proxy: try again.
+                Err(_) => std::thread::sleep(Duration::from_millis(2)),
+            }
+        }
+        if !fenced && report.failures.is_empty() {
+            report
+                .failures
+                .push("stale-epoch submit never drew a StaleEpoch rejection".into());
+        }
+        epochs[victim] = new_epoch.max(2);
+        if !submit_until_acked(
+            &client,
+            &mut epochs,
+            victim,
+            pos,
+            &batch,
+            &mut acked[victim],
+            &mut report,
+            Duration::from_secs(10),
+        ) {
+            report
+                .failures
+                .push("refreshed-epoch submit to promoted leader never acked".into());
+        }
+    }
+
+    // Phase 5 — the failed-over deployment serves everywhere again.
+    for _ in 0..2 {
+        for (s, acked_s) in acked.iter_mut().enumerate() {
+            if let Some((pos, batch)) = take_batch(&queues, &mut next, s) {
+                if !submit_until_acked(
+                    &client,
+                    &mut epochs,
+                    s,
+                    pos,
+                    &batch,
+                    acked_s,
+                    &mut report,
+                    Duration::from_secs(10),
+                ) {
+                    report
+                        .failures
+                        .push(format!("post-failover submit to shard {s} never acked"));
+                }
+            }
+        }
+        sample_replication(&statuses, victim, c_mods, &mut report);
+    }
+    match read_fresh_tolerant(&client, Duration::from_secs(30)) {
+        Ok(r) => {
+            report.merged_checksum = r.checksum;
+            if r.degraded {
+                report
+                    .failures
+                    .push("post-failover fresh read still degraded".into());
+            }
+            if r.violated {
+                report
+                    .failures
+                    .push("post-failover fresh read violated budget".into());
+            }
+        }
+        Err(e) => report
+            .failures
+            .push(format!("post-failover fresh read: {e}")),
+    }
+
+    // Phase 6 — convergence: with traffic stopped and everything
+    // flushed by the fresh read, every surviving follower must drain to
+    // zero staleness (its leader's idle ticks keep the lag oscillating
+    // near zero, so only staleness is required to hit exactly 0).
+    {
+        let survivors: Vec<usize> = (0..shards).filter(|&i| i != victim).collect();
+        let due = Instant::now() + Duration::from_secs(10);
+        let mut drained = vec![false; shards];
+        while Instant::now() < due && survivors.iter().any(|&i| !drained[i]) {
+            for &i in &survivors {
+                if statuses[i].healthy() && statuses[i].staleness() == 0 {
+                    drained[i] = true;
+                }
+            }
+            std::thread::sleep(Duration::from_millis(5));
+        }
+        for &i in &survivors {
+            if !drained[i] {
+                report.failures.push(format!(
+                    "shard {i}'s follower never drained (staleness {}, lag {})",
+                    statuses[i].staleness(),
+                    statuses[i].lag()
+                ));
+            }
+        }
+    }
+
+    report.breaker_trips = client.retry_stats().breaker_trips;
+    report
+        .failures
+        .extend(promo_failures.lock().unwrap().drain(..));
+
+    // Teardown, then the offline assertions.
+    monitor.stop();
+    drop(client);
+    for holder in &replica_holders {
+        if let Some(rep) = holder.lock().unwrap().take() {
+            let _ = rep.stop();
+        }
+    }
+    if let Some((cp, rp)) = proxies {
+        cp.shutdown();
+        rp.shutdown();
+    }
+    net.shutdown();
+    drop(router);
+
+    // Zero acked-write loss: every acknowledged modification must be a
+    // durable Dml record of its shard's final authoritative log — the
+    // promoted follower's re-log for the victim, the leader's own log
+    // elsewhere.
+    for s in 0..shards {
+        let log_bytes = if s == victim {
+            follower_wals[s].bytes()
+        } else {
+            leader_wals[s].bytes()
+        };
+        match read_wal(&log_bytes) {
+            Ok(o) => {
+                if !acked_writes_survive(&acked[s], &o.records) {
+                    report.failures.push(format!(
+                        "shard {s}: acked writes missing from the authoritative log \
+                         ({} acked, {} records)",
+                        acked[s].len(),
+                        o.records.len()
+                    ));
+                }
+            }
+            Err(e) => report
+                .failures
+                .push(format!("shard {s}: authoritative log unreadable: {e}")),
+        }
+    }
+
+    // Merged == direct: evaluate the view definition from scratch over
+    // every final shard database and compare checksums.
+    let merge = MergeSpec::from_def(exp.view_def())?;
+    let mut direct_parts: Vec<Vec<WRow>> = Vec::with_capacity(shards);
+    for (i, server) in servers.iter_mut().enumerate() {
+        let final_server = if i == victim {
+            // The original victim server object is a dead scheduler;
+            // reap it and use the promoted follower instead.
+            if let Some(dead) = server.take() {
+                let _ = dead.shutdown();
+            }
+            promoted_slots[i].lock().unwrap().take()
+        } else {
+            server.take()
+        };
+        let Some(final_server) = final_server else {
+            report
+                .failures
+                .push(format!("shard {i}: no final runtime to evaluate"));
+            continue;
+        };
+        let rt = final_server.shutdown();
+        let db = rt.database().ok_or_else(|| EngineError::Maintenance {
+            message: "leader-kill needs engine-backed shards".into(),
+        })?;
+        direct_parts.push(exp.make_view(db)?.result());
+    }
+    if direct_parts.len() == shards {
+        report.direct_checksum = MergeSpec::checksum(&merge.merge(&direct_parts)?);
+        if report.merged_checksum != report.direct_checksum {
+            report.failures.push(format!(
+                "merged checksum {} != direct evaluation {}",
+                report.merged_checksum, report.direct_checksum
+            ));
+        }
+    }
+    Ok(report)
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -974,6 +1738,29 @@ mod tests {
         assert!(report.unavailable_rejections >= 1, "no rejection observed");
         assert!(report.degraded_accepts >= 1, "live shards never accepted");
         assert!(report.victim_wal_records >= 1);
+        assert_eq!(report.merged_checksum, report.direct_checksum);
+    }
+
+    #[test]
+    fn leader_failover_direct_loses_no_acked_write() {
+        let exp = chaos_experiment(240, 2005).expect("build");
+        let report = run_leader_kill(&exp, 2, 1, false).expect("cycle runs");
+        assert!(report.ok(), "failures: {:#?}", report.failures);
+        assert!(report.acked_mods > 0, "nothing was acknowledged");
+        assert!(report.stale_epoch_rejections >= 1, "fence never fired");
+        assert_eq!(report.promoted_epoch, 2);
+        assert_eq!(report.staleness_violations, 0);
+        assert_eq!(report.merged_checksum, report.direct_checksum);
+    }
+
+    #[test]
+    fn leader_failover_through_fault_proxy() {
+        let exp = chaos_experiment(160, 2005).expect("build");
+        let report = run_leader_kill(&exp, 2, 2, true).expect("cycle runs");
+        assert!(report.ok(), "failures: {:#?}", report.failures);
+        assert!(report.acked_mods > 0, "nothing was acknowledged");
+        assert!(report.stale_epoch_rejections >= 1, "fence never fired");
+        assert_eq!(report.staleness_violations, 0);
         assert_eq!(report.merged_checksum, report.direct_checksum);
     }
 

@@ -20,6 +20,7 @@
 pub mod chaos;
 pub mod harness;
 pub mod loadgen;
+pub mod proxy;
 pub mod serve;
 
 use aivm_core::{Arrivals, CostModel, Counts, Instance};

@@ -31,11 +31,15 @@
 use crate::serve::ServeExperiment;
 use aivm_client::{Client, ClientConfig, ClientError, RetryStats};
 use aivm_engine::{EngineError, Modification};
-use aivm_net::{NetMetrics, NetServer, NetServerConfig};
+use aivm_net::{NetMetrics, NetServer, NetServerConfig, Replica, ReplicaConfig};
 use aivm_serve::{
-    FileWal, LatencyHistogram, MetricsSnapshot, ServeServer, ServerConfig, WalSyncPolicy, WalWriter,
+    read_wal, FaultPlan, FileWal, LatencyHistogram, MaintenanceRuntime, MemWal, MetricsSnapshot,
+    ServeServer, ServerConfig, WalSyncPolicy, WalTail, WalWriter,
 };
-use aivm_shard::{merge_metrics, Coordinator, CoordinatorConfig, RebalancePolicy, ShardRouter};
+use aivm_shard::{
+    merge_metrics, Coordinator, CoordinatorConfig, FailoverConfig, FailoverMonitor, Promoter,
+    RebalancePolicy, ReplicaStatus, ShardRouter,
+};
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 use std::sync::atomic::{AtomicBool, Ordering};
@@ -119,6 +123,20 @@ pub struct LoadgenOptions {
     /// How the coordinator divides the global budget across shards
     /// (only consulted at `shards > 1`).
     pub rebalance: RebalancePolicy,
+    /// Attach a live follower to every shard (sharded stack only):
+    /// each leader logs to an in-memory WAL that its replica tails
+    /// over the wire, submit acks turn durable (sent only after
+    /// apply + WAL append), and the failover monitor health-checks
+    /// every leader. Incompatible with `wal_sync`.
+    pub replicas: bool,
+    /// Kill shard 0's leader at a WAL record boundary mid-run and let
+    /// the monitor promote its follower while traffic keeps flowing.
+    /// Requires `replicas` and `shards > 1`. Submit errors during the
+    /// failover window are retried from an unmoved stream cursor, so
+    /// the batch whose ack died with the leader may be applied twice
+    /// — acceptable for this smoke (no checksum is asserted), and
+    /// exactly the ambiguity `chaos::run_leader_kill` pins down.
+    pub kill_leader: bool,
 }
 
 impl Default for LoadgenOptions {
@@ -141,8 +159,16 @@ impl Default for LoadgenOptions {
             max_conns: None,
             shards: 1,
             rebalance: RebalancePolicy::CostProportional,
+            replicas: false,
+            kill_leader: false,
         }
     }
+}
+
+/// The shard width picked when `--shards` is omitted: one scheduler
+/// per available hardware thread.
+pub fn auto_shards() -> usize {
+    std::thread::available_parallelism().map_or(1, |n| n.get())
 }
 
 /// One table's in-order replay cursor, locked across each submit round
@@ -169,6 +195,11 @@ struct WorkerStats {
     fresh_lat: LatencyHistogram,
     /// Requests that exhausted their bounded retries on `Overloaded`.
     overload_failures: u64,
+    /// Events whose submit raced a leader kill: the ack died with the
+    /// leader, so the outcome is unknown. The batch is abandoned, not
+    /// resubmitted (a blind resubmit would double-apply any prefix the
+    /// dead leader had durably logged).
+    ambiguous_events: u64,
     /// Hard failures: unexpected rejections, transport or codec errors.
     protocol_errors: u64,
     /// Fresh reads whose `violated` bit was set (flush cost > C).
@@ -188,6 +219,7 @@ impl WorkerStats {
         self.stale_lat.merge(&o.stale_lat);
         self.fresh_lat.merge(&o.fresh_lat);
         self.overload_failures += o.overload_failures;
+        self.ambiguous_events += o.ambiguous_events;
         self.protocol_errors += o.protocol_errors;
         self.violations += o.violations;
         if self.last_error.is_none() {
@@ -225,6 +257,11 @@ pub struct LoadgenReport {
     pub fresh_lat: LatencyHistogram,
     /// Requests that exhausted retries on `Overloaded`.
     pub overload_failures: u64,
+    /// Events abandoned because their submit raced a leader kill and
+    /// the ack was lost (`--kill-leader` only; see the durable-ack
+    /// contract — an unacked write carries no durability promise, and
+    /// resubmitting it blind could double-apply a logged prefix).
+    pub ambiguous_events: u64,
     /// Hard client-side failures (must be 0 for a passing run).
     pub protocol_errors: u64,
     /// Fresh reads that reported a budget violation (must be 0).
@@ -281,6 +318,8 @@ fn client_config(opts: &LoadgenOptions, worker: u64) -> ClientConfig {
         max_backoff: Duration::from_millis(20),
         pool: 1,
         seed: opts.seed ^ (worker.wrapping_mul(0x9E37_79B9_7F4A_7C15)),
+        breaker_threshold: 0,
+        breaker_cooldown: Duration::from_millis(100),
     }
 }
 
@@ -389,11 +428,23 @@ fn submit_next(
             // a later holder resubmits the same prefix.
             Err(e) if e.is_overload() => stats.overload_failures += 1,
             Err(e) => {
-                // A hard mid-batch failure may have half-applied the
-                // batch: poison this stream rather than desync it.
-                cur.dead = true;
-                stats.protocol_errors += 1;
-                stats.last_error = Some(format!("submit: {e}"));
+                if opts.kill_leader {
+                    // Failover window: the ack may have died with the
+                    // leader, so success is ambiguous — the dead
+                    // leader may have durably logged (and replicated)
+                    // any prefix of the batch. Resubmitting would
+                    // double-apply that prefix into the promoted
+                    // follower, so the batch is abandoned and counted;
+                    // an unacked write carries no durability promise.
+                    cur.pos = end;
+                    stats.ambiguous_events += n;
+                } else {
+                    // A hard mid-batch failure may have half-applied
+                    // the batch: poison this stream, don't desync it.
+                    cur.dead = true;
+                    stats.protocol_errors += 1;
+                    stats.last_error = Some(format!("submit: {e}"));
+                }
             }
         }
         return true;
@@ -486,9 +537,11 @@ fn drive_workers(
     if final_read.violated {
         merged.violations += 1;
     }
-    let net = control.metrics().map_err(|e| EngineError::Maintenance {
-        message: format!("loadgen final metrics failed: {e}"),
-    })?;
+    let net = control
+        .metrics_detailed(true)
+        .map_err(|e| EngineError::Maintenance {
+            message: format!("loadgen final metrics failed: {e}"),
+        })?;
     Ok(DriveOutcome {
         merged,
         elapsed,
@@ -521,6 +574,7 @@ fn report_of(
         stale_lat: merged.stale_lat,
         fresh_lat: merged.fresh_lat,
         overload_failures: merged.overload_failures,
+        ambiguous_events: merged.ambiguous_events,
         protocol_errors: merged.protocol_errors,
         client_violations: merged.violations,
         retries: merged.retries,
@@ -534,9 +588,13 @@ fn report_of(
 }
 
 fn net_config(opts: &LoadgenOptions) -> NetServerConfig {
+    // Each follower tails its leader's WAL through the same server, so
+    // the replicated stack needs one extra connection slot per shard.
+    let replica_conns = if opts.replicas { opts.shards } else { 0 };
     NetServerConfig {
-        max_connections: opts.max_conns.unwrap_or(opts.clients + 8),
+        max_connections: opts.max_conns.unwrap_or(opts.clients + 8) + replica_conns,
         submit_high_water: opts.submit_high_water,
+        durable_acks: opts.replicas,
         ..NetServerConfig::default()
     }
 }
@@ -558,6 +616,16 @@ pub fn run_loadgen(
     exp: &ServeExperiment,
     opts: &LoadgenOptions,
 ) -> Result<LoadgenReport, EngineError> {
+    if opts.replicas && opts.shards < 2 {
+        return Err(EngineError::Maintenance {
+            message: "replicas need the sharded stack (--shards >= 2)".into(),
+        });
+    }
+    if opts.kill_leader && !opts.replicas {
+        return Err(EngineError::Maintenance {
+            message: "--kill-leader needs --replicas (nobody to promote otherwise)".into(),
+        });
+    }
     if opts.shards > 1 {
         return run_loadgen_sharded(exp, opts);
     }
@@ -599,20 +667,182 @@ pub fn run_loadgen(
     Ok(report_of(outcome, runtime_metrics, scan_fallbacks, 1, 0))
 }
 
+/// A per-shard slot the failover promoter parks the follower's new
+/// leader server in (shared with the teardown/metrics path).
+type PromotedSlot = Arc<Mutex<Option<ServeServer>>>;
+
+/// Follower-side state of the replicated stack: one tailing replica
+/// per shard (held in a slot its promoter can steal), the slots
+/// promotions park new leaders in, and the promoter-armed failover
+/// monitor.
+struct ReplicationSet {
+    holders: Vec<Arc<Mutex<Option<Replica>>>>,
+    promoted: Vec<PromotedSlot>,
+    failures: Arc<Mutex<Vec<String>>>,
+    monitor: FailoverMonitor,
+}
+
+impl ReplicationSet {
+    /// Stops the monitor and every still-running replica, returning
+    /// the promoted-leader slots and any promotion failures (each one
+    /// fails the run).
+    fn teardown(self) -> (Vec<PromotedSlot>, Vec<String>) {
+        self.monitor.stop();
+        for holder in &self.holders {
+            if let Some(rep) = holder.lock().unwrap().take() {
+                let _ = rep.stop();
+            }
+        }
+        let failures = std::mem::take(&mut *self.failures.lock().unwrap());
+        (self.promoted, failures)
+    }
+}
+
+/// Spawns a follower per shard — a standby runtime on the shard's
+/// genesis partition, re-logging to its own in-memory WAL, tailing the
+/// leader's log over `addr` — and arms the [`FailoverMonitor`] with
+/// promoters that seal + drain a dead leader's log into its follower
+/// and swap it in.
+fn spawn_replication(
+    exp: &ServeExperiment,
+    genesis: Vec<aivm_engine::Database>,
+    opts: &LoadgenOptions,
+    router: &ShardRouter,
+    addr: std::net::SocketAddr,
+    leader_wals: &[MemWal],
+) -> Result<ReplicationSet, EngineError> {
+    let net_err = |e: std::io::Error| EngineError::io("loadgen replica setup", e);
+    let mut holders = Vec::with_capacity(opts.shards);
+    let mut follower_wals = Vec::with_capacity(opts.shards);
+    for (i, db) in genesis.into_iter().enumerate() {
+        let view = exp.make_view(&db)?;
+        let policy = exp
+            .policy(&opts.policy)
+            .unwrap_or_else(|| panic!("unknown policy {:?}", opts.policy));
+        let mut standby =
+            MaintenanceRuntime::engine(exp.shard_config(opts.shards), policy, db, view)?;
+        let fwal = MemWal::new();
+        standby.attach_wal(WalWriter::create(Box::new(fwal.clone()), 4)?);
+        let status = ReplicaStatus::new();
+        let rep = Replica::spawn(
+            addr,
+            i as u32,
+            standby,
+            status.clone(),
+            ReplicaConfig::default(),
+        )
+        .map_err(net_err)?;
+        router.attach_replica(i, status);
+        holders.push(Arc::new(Mutex::new(Some(rep))));
+        follower_wals.push(fwal);
+    }
+    let promoted: Vec<PromotedSlot> = (0..opts.shards)
+        .map(|_| Arc::new(Mutex::new(None)))
+        .collect();
+    let failures: Arc<Mutex<Vec<String>>> = Arc::new(Mutex::new(Vec::new()));
+    let promoters: Vec<Option<Promoter>> = (0..opts.shards)
+        .map(|i| {
+            let holder = Arc::clone(&holders[i]);
+            let lwal = leader_wals[i].clone();
+            let fwal = follower_wals[i].clone();
+            let slot = Arc::clone(&promoted[i]);
+            let fails = Arc::clone(&failures);
+            let promoter: Promoter = Box::new(move |router: &ShardRouter, idx: usize| {
+                let Some(replica) = holder.lock().unwrap().take() else {
+                    fails
+                        .lock()
+                        .unwrap()
+                        .push(format!("shard {idx}: no replica to promote"));
+                    return;
+                };
+                let status = replica.status();
+                let mut rt = replica.stop();
+                // The dead leader's log is sealed; drain the durable
+                // records the follower had not applied yet.
+                match read_wal(&lwal.bytes()) {
+                    Ok(o) => {
+                        for rec in o.records.iter().skip(status.applied() as usize) {
+                            if let Err(e) = rt.apply_record(rec) {
+                                fails
+                                    .lock()
+                                    .unwrap()
+                                    .push(format!("shard {idx}: drain apply failed: {e}"));
+                                break;
+                            }
+                        }
+                    }
+                    Err(e) => fails
+                        .lock()
+                        .unwrap()
+                        .push(format!("shard {idx}: sealed log unreadable: {e}")),
+                }
+                let server = ServeServer::spawn(rt, ServerConfig::default());
+                router.promote(
+                    idx,
+                    server.handle(),
+                    Some(WalTail::new(Box::new(fwal.clone()))),
+                );
+                *slot.lock().unwrap() = Some(server);
+            });
+            Some(promoter)
+        })
+        .collect();
+    // Gentler probing than the chaos suite's: a metrics probe parked
+    // behind a saturated closed-loop ingest queue must not read as
+    // death, so the deadline spans several debug-build flushes.
+    let monitor = FailoverMonitor::spawn(
+        router.clone(),
+        FailoverConfig {
+            probe_interval: Duration::from_millis(25),
+            ping_deadline: Duration::from_millis(400),
+            fail_threshold: 4,
+        },
+        promoters,
+    );
+    Ok(ReplicationSet {
+        holders,
+        promoted,
+        failures,
+        monitor,
+    })
+}
+
 /// The sharded stack: key-partitions the pristine database, spawns one
 /// [`ServeServer`] per shard (each with its own scheduler, queues,
 /// snapshot slot, and — when a WAL policy is set — its own WAL file),
 /// fronts them with a [`ShardRouter`]-backed [`NetServer`], and runs
-/// the budget-rebalancing [`Coordinator`] for the whole window.
+/// the budget-rebalancing [`Coordinator`] for the whole window. With
+/// `replicas` every shard also gets a live follower tailing its WAL
+/// over the wire, and with `kill_leader` shard 0's leader dies mid-run
+/// and the monitor promotes its follower under live traffic.
 fn run_loadgen_sharded(
     exp: &ServeExperiment,
     opts: &LoadgenOptions,
 ) -> Result<LoadgenReport, EngineError> {
+    if opts.replicas && opts.wal_sync.is_some() {
+        return Err(EngineError::Maintenance {
+            message: "replicated loadgen logs to per-shard in-memory WALs; drop --wal-sync".into(),
+        });
+    }
     let (runtimes, part) = exp.sharded_runtimes(&opts.policy, opts.shards)?;
-    let mut serves = Vec::with_capacity(opts.shards);
+    let genesis = if opts.replicas {
+        Some(exp.partition_genesis(&part)?)
+    } else {
+        None
+    };
+    // The kill (if any) fires once shard 0's leader has durably logged
+    // about a quarter of one table's events — a mid-run WAL record
+    // boundary, comfortably before its stream drains.
+    let kill_after = (opts.events_each as u64 / 4).max(32);
+    let mut serves: Vec<Option<ServeServer>> = Vec::with_capacity(opts.shards);
+    let mut leader_wals: Vec<MemWal> = Vec::new();
     let mut wal_paths = Vec::new();
     for (i, mut runtime) in runtimes.into_iter().enumerate() {
-        if let Some(p) = &opts.wal_sync {
+        if opts.replicas {
+            let wal = MemWal::new();
+            runtime.attach_wal(WalWriter::create(Box::new(wal.clone()), 4)?);
+            leader_wals.push(wal);
+        } else if let Some(p) = &opts.wal_sync {
             let path = loadgen_wal_path(opts, Some(i));
             let _ = std::fs::remove_file(&path);
             runtime.attach_wal(WalWriter::create(
@@ -621,10 +851,29 @@ fn run_loadgen_sharded(
             )?);
             wal_paths.push(path);
         }
-        serves.push(ServeServer::spawn(runtime, ServerConfig::default()));
+        let cfg = if opts.kill_leader && i == 0 {
+            ServerConfig {
+                faults: FaultPlan {
+                    kill_at_record: Some(kill_after),
+                    ..FaultPlan::none()
+                },
+                ..ServerConfig::default()
+            }
+        } else {
+            ServerConfig::default()
+        };
+        serves.push(Some(ServeServer::spawn(runtime, cfg)));
     }
-    let handles = serves.iter().map(|s| s.handle()).collect();
+    let handles = serves
+        .iter()
+        .map(|s| s.as_ref().expect("just spawned").handle())
+        .collect();
     let router = ShardRouter::new(handles, part, exp.view_def(), exp.budget)?;
+    if opts.replicas {
+        for (i, wal) in leader_wals.iter().enumerate() {
+            router.attach_wal_tail(i, WalTail::new(Box::new(wal.clone())));
+        }
+    }
     let coordinator = Coordinator::spawn(
         router.clone(),
         CoordinatorConfig {
@@ -632,14 +881,47 @@ fn run_loadgen_sharded(
             ..CoordinatorConfig::default()
         },
     );
-    let net = NetServer::bind_sharded("127.0.0.1:0", router, net_config(opts))
+    let net = NetServer::bind_sharded("127.0.0.1:0", router.clone(), net_config(opts))
         .map_err(|e| EngineError::io("loadgen sharded bind", e))?;
+    let replication = match genesis {
+        Some(g) => Some(spawn_replication(
+            exp,
+            g,
+            opts,
+            &router,
+            net.local_addr(),
+            &leader_wals,
+        )?),
+        None => None,
+    };
     let outcome = drive_workers(net.local_addr(), exp, opts)?;
     let coord_stats = coordinator.stop();
+    let (promoted, promo_failures) = match replication {
+        Some(r) => r.teardown(),
+        None => (Vec::new(), Vec::new()),
+    };
     net.shutdown();
+    drop(router);
     let mut scan_fallbacks = 0u64;
     let mut shard_metrics = Vec::with_capacity(opts.shards);
-    for serve in serves {
+    for (i, serve) in serves.into_iter().enumerate() {
+        // A promoted follower supersedes its dead leader: its runtime
+        // holds the shard's authoritative post-failover state. Reap
+        // the dead scheduler but keep its scan-fallback count (those
+        // were real engine regressions too).
+        let serve = match promoted.get(i).and_then(|s| s.lock().unwrap().take()) {
+            Some(new_leader) => {
+                if let Some(dead) = serve {
+                    let dead_rt = dead.shutdown();
+                    scan_fallbacks += dead_rt
+                        .maintenance_stats()
+                        .map(|s| s.exec.scan_fallbacks)
+                        .unwrap_or(0);
+                }
+                new_leader
+            }
+            None => serve.expect("spawned above"),
+        };
         let runtime = serve.shutdown();
         scan_fallbacks += runtime
             .maintenance_stats()
@@ -650,13 +932,18 @@ fn run_loadgen_sharded(
     for p in wal_paths {
         let _ = std::fs::remove_file(p);
     }
-    Ok(report_of(
+    let mut report = report_of(
         outcome,
         merge_metrics(&shard_metrics),
         scan_fallbacks,
         opts.shards,
         coord_stats.rebalances,
-    ))
+    );
+    for f in promo_failures {
+        report.protocol_errors += 1;
+        report.last_error.get_or_insert(format!("promotion: {f}"));
+    }
+    Ok(report)
 }
 
 #[cfg(test)]
@@ -722,6 +1009,79 @@ mod tests {
         assert!(
             r.runtime.budget_rebalances > 0 || r.rebalances == 0,
             "runtime rebalance counter and coordinator stats disagree"
+        );
+    }
+
+    #[test]
+    fn replicated_loadgen_reports_healthy_followers() {
+        let exp = ServeExperiment::build(ServeOptions {
+            events_each: 300,
+            quick: true,
+            ..Default::default()
+        })
+        .expect("build");
+        let opts = LoadgenOptions {
+            clients: 2,
+            events_each: 300,
+            batch: 16,
+            duration: Duration::from_secs(30),
+            quick: true,
+            shards: 2,
+            replicas: true,
+            ..Default::default()
+        };
+        let r = run_loadgen(&exp, &opts).expect("replicated loadgen");
+        assert!(r.ok(), "violations or errors: {:?}", r.last_error);
+        // Durable acks: every confirmed event was applied and logged.
+        assert_eq!(r.events_submitted, 600);
+        assert_eq!(r.runtime.events_ingested, 600);
+        assert_eq!(r.net.failovers, 0, "spurious failover under clean load");
+        let rows = r.net.per_shard.as_ref().expect("per-shard metrics");
+        assert_eq!(rows.len(), 2);
+        for row in rows {
+            assert_eq!(row.epoch, 1);
+            assert_eq!(row.health, 2, "follower not tailing shard {}", row.shard);
+        }
+    }
+
+    #[test]
+    fn kill_leader_loadgen_fails_over_under_load() {
+        let exp = ServeExperiment::build(ServeOptions {
+            events_each: 400,
+            quick: true,
+            ..Default::default()
+        })
+        .expect("build");
+        let opts = LoadgenOptions {
+            clients: 2,
+            events_each: 400,
+            batch: 16,
+            duration: Duration::from_secs(60),
+            quick: true,
+            shards: 2,
+            replicas: true,
+            kill_leader: true,
+            ..Default::default()
+        };
+        let r = run_loadgen(&exp, &opts).expect("kill-leader loadgen");
+        assert!(r.ok(), "violations or errors: {:?}", r.last_error);
+        // The closed loop rode out the failover: both finite streams
+        // drained. Batches whose ack died with the leader are counted
+        // ambiguous, never resubmitted (a blind resubmit could
+        // double-apply a logged prefix into the promoted follower).
+        assert_eq!(
+            r.events_submitted + r.ambiguous_events,
+            800,
+            "streams did not drain (submitted {} + ambiguous {})",
+            r.events_submitted,
+            r.ambiguous_events
+        );
+        assert!(r.net.failovers >= 1, "leader never failed over");
+        assert_eq!(r.net.shards_live, 2, "a shard is still dead");
+        let rows = r.net.per_shard.as_ref().expect("per-shard metrics");
+        assert!(
+            rows.iter().any(|s| s.epoch >= 2),
+            "no shard shows a promotion epoch: {rows:?}"
         );
     }
 }

@@ -26,6 +26,14 @@
 //!   stream cannot be resynchronised). Pool checkout is cheap enough to
 //!   share one `Client` across threads (`&self` methods, internal
 //!   locking).
+//! * **A circuit breaker** — after [`ClientConfig::breaker_threshold`]
+//!   consecutive transport-level failures the endpoint is presumed
+//!   down and requests fail fast with [`ClientError::CircuitOpen`]
+//!   (no dial, no deadline burned) until a jittered cooldown elapses;
+//!   then exactly one request is let through as a half-open probe —
+//!   its outcome closes or re-opens the circuit. Typed server
+//!   rejections (`Overloaded`, `StaleEpoch`, ...) prove the endpoint
+//!   alive and never trip the breaker.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
@@ -58,6 +66,13 @@ pub struct ClientConfig {
     pub pool: usize,
     /// Seed for backoff jitter (reproducible retry schedules).
     pub seed: u64,
+    /// Consecutive transport failures that open the circuit breaker
+    /// (`0` disables it).
+    pub breaker_threshold: u32,
+    /// How long an open circuit rejects before letting a half-open
+    /// probe through (jittered `× uniform(0.5, 1.0)` per trip, like
+    /// retry backoff, so a fleet of clients does not re-probe in sync).
+    pub breaker_cooldown: Duration,
 }
 
 impl Default for ClientConfig {
@@ -69,6 +84,8 @@ impl Default for ClientConfig {
             max_backoff: Duration::from_millis(200),
             pool: 2,
             seed: 0,
+            breaker_threshold: 0,
+            breaker_cooldown: Duration::from_millis(100),
         }
     }
 }
@@ -94,6 +111,10 @@ pub enum ClientError {
     DeadlineExceeded,
     /// The server replied with a frame of the wrong kind.
     UnexpectedResponse(&'static str),
+    /// The circuit breaker is open: recent consecutive transport
+    /// failures marked the endpoint down, and the cooldown has not
+    /// elapsed. Nothing was sent.
+    CircuitOpen,
 }
 
 impl std::fmt::Display for ClientError {
@@ -105,6 +126,7 @@ impl std::fmt::Display for ClientError {
             ClientError::Handshake(s) => write!(f, "handshake refused: {s:?}"),
             ClientError::DeadlineExceeded => write!(f, "deadline exceeded"),
             ClientError::UnexpectedResponse(what) => write!(f, "unexpected response: {what}"),
+            ClientError::CircuitOpen => write!(f, "circuit open: endpoint presumed down"),
         }
     }
 }
@@ -137,6 +159,19 @@ impl ClientError {
             }
         )
     }
+
+    /// True when a sharded server rejected a submit because it was
+    /// stamped with a pre-failover epoch. Guaranteed to precede any
+    /// side effect; refresh the epoch (from `Metrics`) and retry.
+    pub fn is_stale_epoch(&self) -> bool {
+        matches!(
+            self,
+            ClientError::Rejected {
+                code: ErrorCode::StaleEpoch,
+                ..
+            }
+        )
+    }
 }
 
 /// Retry counters, for loadgen summaries.
@@ -148,6 +183,20 @@ pub struct RetryStats {
     /// Retries triggered by transport errors (idempotent requests and
     /// pre-send dial failures only).
     pub transport_retries: u64,
+    /// Times the circuit breaker tripped open.
+    pub breaker_trips: u64,
+    /// Requests rejected fast with [`ClientError::CircuitOpen`].
+    pub breaker_rejections: u64,
+}
+
+/// Circuit-breaker state (see the crate docs).
+enum BreakerState {
+    /// Normal service; counts consecutive transport failures.
+    Closed { fails: u32 },
+    /// Failing fast until the cooldown elapses.
+    Open { until: Instant },
+    /// One probe request is in flight; its outcome decides.
+    HalfOpen,
 }
 
 /// A pooled, deadline-aware connection to one `aivm-net` server. Share
@@ -159,6 +208,9 @@ pub struct Client {
     rng: Mutex<SmallRng>,
     overload_retries: AtomicU64,
     transport_retries: AtomicU64,
+    breaker: Mutex<BreakerState>,
+    breaker_trips: AtomicU64,
+    breaker_rejections: AtomicU64,
 }
 
 impl Client {
@@ -175,6 +227,9 @@ impl Client {
             pool: Mutex::new(Vec::new()),
             overload_retries: AtomicU64::new(0),
             transport_retries: AtomicU64::new(0),
+            breaker: Mutex::new(BreakerState::Closed { fails: 0 }),
+            breaker_trips: AtomicU64::new(0),
+            breaker_rejections: AtomicU64::new(0),
         })
     }
 
@@ -183,6 +238,8 @@ impl Client {
         RetryStats {
             overload_retries: self.overload_retries.load(Ordering::Relaxed),
             transport_retries: self.transport_retries.load(Ordering::Relaxed),
+            breaker_trips: self.breaker_trips.load(Ordering::Relaxed),
+            breaker_rejections: self.breaker_rejections.load(Ordering::Relaxed),
         }
     }
 
@@ -199,7 +256,23 @@ impl Client {
     /// side effect; on success every modification was ingested, in
     /// order.
     pub fn submit(&self, table: u32, mods: Vec<Modification>) -> Result<u64, ClientError> {
-        match self.request(Request::Submit { table, mods })? {
+        self.submit_fenced(0, table, mods)
+    }
+
+    /// [`Client::submit`] stamped with the target shard's fencing
+    /// `epoch` (from a prior `Metrics` per-shard row; `0` skips the
+    /// check). A sharded server rejects the batch with
+    /// [`ErrorCode::StaleEpoch`] *before any side effect* when the
+    /// shard has failed over since — the caller refreshes the epoch
+    /// and retries safely, and a batch routed through a deposed
+    /// leader's view of the cluster is never double-applied.
+    pub fn submit_fenced(
+        &self,
+        epoch: u64,
+        table: u32,
+        mods: Vec<Modification>,
+    ) -> Result<u64, ClientError> {
+        match self.request(Request::Submit { epoch, table, mods })? {
             Response::SubmitOk { accepted } => Ok(accepted),
             _ => Err(ClientError::UnexpectedResponse("expected SubmitOk")),
         }
@@ -241,8 +314,8 @@ impl Client {
         }
     }
 
-    /// Runs one request under the deadline/retry policy described in
-    /// the crate docs.
+    /// Runs one request under the deadline/retry/breaker policy
+    /// described in the crate docs.
     pub fn request(&self, request: Request) -> Result<Response, ClientError> {
         let started = Instant::now();
         let idempotent = request.is_idempotent();
@@ -254,7 +327,17 @@ impl Client {
             if remaining.is_zero() {
                 return Err(ClientError::DeadlineExceeded);
             }
+            if !self.breaker_admit() {
+                self.breaker_rejections.fetch_add(1, Ordering::Relaxed);
+                return Err(ClientError::CircuitOpen);
+            }
             let outcome = self.attempt(&request, remaining);
+            match &outcome {
+                // Any reply frame — including a typed rejection —
+                // proves the endpoint alive.
+                Ok(_) | Err(ClientError::Rejected { .. }) => self.breaker_record(true),
+                Err(_) => self.breaker_record(false),
+            }
             let err = match outcome {
                 Ok(resp) => return Ok(resp),
                 Err(e) => e,
@@ -283,6 +366,66 @@ impl Client {
                 return Err(ClientError::DeadlineExceeded);
             }
             std::thread::sleep(sleep);
+        }
+    }
+
+    /// Whether the breaker lets a request through right now. An open
+    /// circuit whose cooldown elapsed flips to half-open and admits
+    /// exactly this caller as the probe.
+    fn breaker_admit(&self) -> bool {
+        if self.cfg.breaker_threshold == 0 {
+            return true;
+        }
+        let mut state = self.breaker.lock().unwrap_or_else(|e| e.into_inner());
+        match *state {
+            BreakerState::Closed { .. } => true,
+            BreakerState::Open { until } => {
+                if Instant::now() >= until {
+                    *state = BreakerState::HalfOpen;
+                    true
+                } else {
+                    false
+                }
+            }
+            // A probe is already in flight; don't pile on.
+            BreakerState::HalfOpen => false,
+        }
+    }
+
+    /// Feeds one attempt outcome to the breaker. Success (any reply
+    /// frame) closes it; a transport failure counts toward the
+    /// threshold, and a failed half-open probe re-opens immediately.
+    fn breaker_record(&self, success: bool) {
+        if self.cfg.breaker_threshold == 0 {
+            return;
+        }
+        let mut state = self.breaker.lock().unwrap_or_else(|e| e.into_inner());
+        if success {
+            *state = BreakerState::Closed { fails: 0 };
+            return;
+        }
+        let trip = match *state {
+            BreakerState::Closed { fails } => {
+                let fails = fails + 1;
+                if fails >= self.cfg.breaker_threshold {
+                    true
+                } else {
+                    *state = BreakerState::Closed { fails };
+                    false
+                }
+            }
+            BreakerState::HalfOpen => true,
+            BreakerState::Open { .. } => return,
+        };
+        if trip {
+            let factor = {
+                let mut rng = self.rng.lock().unwrap_or_else(|e| e.into_inner());
+                rng.gen_range(0.5..1.0)
+            };
+            *state = BreakerState::Open {
+                until: Instant::now() + self.cfg.breaker_cooldown.mul_f64(factor),
+            };
+            self.breaker_trips.fetch_add(1, Ordering::Relaxed);
         }
     }
 
@@ -446,5 +589,44 @@ mod tests {
         assert!(started.elapsed() < Duration::from_secs(2));
         // The dial failures counted as transport retries.
         assert_eq!(client.retry_stats().transport_retries, 2);
+    }
+
+    #[test]
+    fn breaker_opens_fails_fast_and_half_open_probes() {
+        let client = Client::new(
+            "127.0.0.1:1",
+            ClientConfig {
+                deadline: Duration::from_secs(2),
+                retries: 0,
+                backoff: Duration::from_millis(1),
+                breaker_threshold: 2,
+                breaker_cooldown: Duration::from_millis(50),
+                ..ClientConfig::default()
+            },
+        )
+        .unwrap();
+        let hard =
+            |e: &ClientError| matches!(e, ClientError::Io(_) | ClientError::DeadlineExceeded);
+        // Two consecutive hard failures trip the breaker open.
+        assert!(hard(&client.ping().unwrap_err()));
+        assert!(hard(&client.ping().unwrap_err()));
+        assert_eq!(client.retry_stats().breaker_trips, 1);
+        // Open circuit: fail fast, no dial, no deadline burned.
+        let t0 = Instant::now();
+        assert!(matches!(
+            client.ping().unwrap_err(),
+            ClientError::CircuitOpen
+        ));
+        assert!(t0.elapsed() < Duration::from_millis(20));
+        assert!(client.retry_stats().breaker_rejections >= 1);
+        // Cooldown elapsed (jitter only shortens it): exactly one probe
+        // goes through, fails on the dead endpoint, re-opens.
+        std::thread::sleep(Duration::from_millis(60));
+        assert!(hard(&client.ping().unwrap_err()));
+        assert_eq!(client.retry_stats().breaker_trips, 2);
+        assert!(matches!(
+            client.ping().unwrap_err(),
+            ClientError::CircuitOpen
+        ));
     }
 }

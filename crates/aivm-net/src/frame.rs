@@ -36,10 +36,11 @@
 //! ```text
 //! request:  deadline_ms u32 | kind u8 | body
 //!   kind 0 Ping
-//!   kind 1 Submit  table u32 | count u32 | modification...
+//!   kind 1 Submit  epoch u64 | table u32 | count u32 | modification...
 //!   kind 2 Read    mode u8 (0 stale, 1 fresh) | want_rows u8
 //!   kind 3 Metrics per_shard u8
 //!   kind 4 Flush
+//!   kind 5 ReplicaSubscribe shard u32 | from_record u64
 //! response: kind u8 | body
 //!   kind 0 Pong
 //!   kind 1 SubmitOk  accepted u64
@@ -50,6 +51,8 @@
 //!                    [| per-shard rows when requested]
 //!   kind 4 FlushOk   flush_cost f64 | violated u8
 //!   kind 5 Error     code u8 | message str
+//!   kind 6 WalSegment epoch u64 | from_record u64 | leader_records u64
+//!                    | len u32 | bytes (raw checksummed WAL frames)
 //! ```
 //!
 //! Values, rows and modifications reuse `aivm-engine`'s snapshot codec
@@ -71,8 +74,11 @@ pub const NET_MAGIC: &[u8; 4] = b"ANET";
 /// Protocol version negotiated at the handshake. v2 added
 /// `snapshot_reads` to the metrics frame; v3 added sharding (the
 /// `degraded` read flag, `ShardUnavailable`, the metrics `per_shard`
-/// request flag and shard aggregate/breakdown metrics fields).
-pub const NET_VERSION: u16 = 3;
+/// request flag and shard aggregate/breakdown metrics fields); v4 added
+/// replication (the submit `epoch` fence, `StaleEpoch`,
+/// `ReplicaSubscribe`/`WalSegment` frames, and per-shard
+/// health/epoch/replication-lag metrics fields).
+pub const NET_VERSION: u16 = 4;
 /// Bytes of framing before each payload (length + checksum).
 pub const FRAME_HEADER_LEN: usize = 12;
 /// Hard cap on a single frame's payload. A length prefix beyond this is
@@ -304,6 +310,13 @@ pub enum Request {
     /// `Overloaded` or `DeadlineExceeded` error no modification was
     /// applied, which is what makes retrying a submit safe.
     Submit {
+        /// The shard epoch this client believes is current (0 = skip
+        /// the fence check, the pre-replication behaviour). A sharded
+        /// server rejects the batch with [`ErrorCode::StaleEpoch`]
+        /// *before any side effect* when a target shard's epoch has
+        /// advanced past this — fencing writes routed to a deposed
+        /// leader.
+        epoch: u64,
         /// Base-table position within the view.
         table: u32,
         /// The modifications, applied in order.
@@ -327,6 +340,18 @@ pub enum Request {
     /// Force a full flush without reading rows (a fresh read minus the
     /// payload).
     Flush,
+    /// Subscribe-by-polling to a shard leader's WAL tail: return the
+    /// records from `from_record` onward (bounded by the frame cap) as
+    /// raw checksummed WAL frames. Idempotent and resumable — after a
+    /// torn tail or dropped connection the follower re-requests from
+    /// its last checksum-valid applied position.
+    ReplicaSubscribe {
+        /// Shard slot whose WAL tail to read.
+        shard: u32,
+        /// First record index wanted (0-based count of records already
+        /// applied by the follower).
+        from_record: u64,
+    },
 }
 
 impl Request {
@@ -356,8 +381,9 @@ pub fn encode_request(f: &RequestFrame) -> Vec<u8> {
     buf.put_u32_le(f.deadline_ms);
     match &f.request {
         Request::Ping => buf.put_u8(0),
-        Request::Submit { table, mods } => {
+        Request::Submit { epoch, table, mods } => {
             buf.put_u8(1);
+            buf.put_u64_le(*epoch);
             buf.put_u32_le(*table);
             buf.put_u32_le(mods.len() as u32);
             for m in mods {
@@ -374,6 +400,11 @@ pub fn encode_request(f: &RequestFrame) -> Vec<u8> {
             buf.put_u8(u8::from(*per_shard));
         }
         Request::Flush => buf.put_u8(4),
+        Request::ReplicaSubscribe { shard, from_record } => {
+            buf.put_u8(5);
+            buf.put_u32_le(*shard);
+            buf.put_u64_le(*from_record);
+        }
     }
     buf.freeze().to_vec()
 }
@@ -400,9 +431,10 @@ pub fn decode_request(payload: &[u8]) -> Result<RequestFrame, EngineError> {
     let request = match buf.get_u8() {
         0 => Request::Ping,
         1 => {
-            if buf.remaining() < 8 {
+            if buf.remaining() < 16 {
                 return Err(corrupt(ctx, "submit header", &buf));
             }
+            let epoch = buf.get_u64_le();
             let table = buf.get_u32_le();
             let count = buf.get_u32_le() as usize;
             // Each modification takes at least 6 bytes (tag + arity +
@@ -415,7 +447,7 @@ pub fn decode_request(payload: &[u8]) -> Result<RequestFrame, EngineError> {
             for _ in 0..count {
                 mods.push(get_modification(&mut buf, ctx)?);
             }
-            Request::Submit { table, mods }
+            Request::Submit { epoch, table, mods }
         }
         2 => {
             if buf.remaining() < 2 {
@@ -435,6 +467,15 @@ pub fn decode_request(payload: &[u8]) -> Result<RequestFrame, EngineError> {
             }
         }
         4 => Request::Flush,
+        5 => {
+            if buf.remaining() < 12 {
+                return Err(corrupt(ctx, "replica-subscribe", &buf));
+            }
+            Request::ReplicaSubscribe {
+                shard: buf.get_u32_le(),
+                from_record: buf.get_u64_le(),
+            }
+        }
         other => return Err(corrupt(ctx, &format!("request kind {other}"), &buf)),
     };
     if !buf.is_empty() {
@@ -471,13 +512,23 @@ pub enum ErrorCode {
     /// submit carrying this code is safe to retry (it will succeed once
     /// the shard's WAL recovery rejoins it).
     ShardUnavailable,
+    /// The submit carried a shard epoch older than the target shard's
+    /// current epoch — the client is talking through a view of the
+    /// cluster from before a failover. Rejected *before any side
+    /// effect* by the pre-admission fence, so retrying (after
+    /// refreshing the epoch from `Metrics`) is safe: the deposed
+    /// leader's writes can never double-apply.
+    StaleEpoch,
 }
 
 impl ErrorCode {
     /// Whether a client may retry a *submit* carrying this code without
     /// risking double-apply. Idempotent requests retry on more.
     pub fn is_retry_safe(self) -> bool {
-        matches!(self, ErrorCode::Overloaded | ErrorCode::ShardUnavailable)
+        matches!(
+            self,
+            ErrorCode::Overloaded | ErrorCode::ShardUnavailable | ErrorCode::StaleEpoch
+        )
     }
 
     fn as_u8(self) -> u8 {
@@ -488,6 +539,7 @@ impl ErrorCode {
             ErrorCode::Unavailable => 3,
             ErrorCode::Internal => 4,
             ErrorCode::ShardUnavailable => 5,
+            ErrorCode::StaleEpoch => 6,
         }
     }
 
@@ -499,6 +551,7 @@ impl ErrorCode {
             3 => Some(ErrorCode::Unavailable),
             4 => Some(ErrorCode::Internal),
             5 => Some(ErrorCode::ShardUnavailable),
+            6 => Some(ErrorCode::StaleEpoch),
             _ => None,
         }
     }
@@ -513,6 +566,7 @@ impl std::fmt::Display for ErrorCode {
             ErrorCode::Unavailable => "unavailable",
             ErrorCode::Internal => "internal",
             ErrorCode::ShardUnavailable => "shard unavailable",
+            ErrorCode::StaleEpoch => "stale epoch",
         })
     }
 }
@@ -609,6 +663,15 @@ pub struct NetMetrics {
     pub budget: f64,
     /// Cross-shard budget rebalances applied (sum of per-shard pushes).
     pub budget_rebalances: u64,
+    /// Leader failovers executed (follower promotions) over the
+    /// cluster's lifetime.
+    pub failovers: u64,
+    /// Sum of per-shard epochs — a cheap monotonic cluster-config
+    /// version: it advances exactly when any shard fails over.
+    pub cluster_epoch: u64,
+    /// Worst per-shard replication lag (leader WAL records not yet
+    /// applied by that shard's follower; 0 without replicas).
+    pub replica_lag_max: u64,
     /// The scheduler's poisoning error, if any (first failing shard).
     pub last_error: Option<String>,
     /// Per-shard breakdown, present when the request set `per_shard`.
@@ -636,6 +699,15 @@ pub struct ShardMetricsRow {
     /// Snapshot staleness: pending modifications not reflected in this
     /// shard's published snapshot.
     pub staleness: u64,
+    /// This shard's fencing epoch (starts at 1, bumped by every
+    /// promotion; a submit carrying an older epoch is rejected).
+    pub epoch: u64,
+    /// Leader WAL records not yet applied by this shard's follower
+    /// (0 when no replica is attached).
+    pub replica_lag: u64,
+    /// Health state: 0 = dead slot, 1 = live leader without a
+    /// follower, 2 = live leader with a replica tailing its WAL.
+    pub health: u8,
 }
 
 /// The server's answer to one request.
@@ -666,6 +738,24 @@ pub enum Response {
         code: ErrorCode,
         /// Human-readable detail.
         message: String,
+    },
+    /// A slice of a shard leader's WAL tail, answering
+    /// [`Request::ReplicaSubscribe`]. `bytes` holds whole checksummed
+    /// WAL record frames (no WAL file header) — exactly the bytes the
+    /// leader appended, so the follower re-validates each record's
+    /// checksum before applying. An empty `bytes` means the follower is
+    /// caught up.
+    WalSegment {
+        /// The shard's current fencing epoch, piggybacked so the
+        /// follower tracks leadership changes without extra requests.
+        epoch: u64,
+        /// Record index of the first record in `bytes`.
+        from_record: u64,
+        /// Total records in the leader's WAL — `leader_records -
+        /// (from_record + count)` is the follower's remaining lag.
+        leader_records: u64,
+        /// Raw WAL record frames (`len u32 | fxhash64 u64 | payload`).
+        bytes: Vec<u8>,
     },
 }
 
@@ -730,6 +820,9 @@ pub fn encode_response(r: &Response) -> Vec<u8> {
             buf.put_u64_le(m.staleness_max);
             buf.put_f64_le(m.budget);
             buf.put_u64_le(m.budget_rebalances);
+            buf.put_u64_le(m.failovers);
+            buf.put_u64_le(m.cluster_epoch);
+            buf.put_u64_le(m.replica_lag_max);
             match &m.last_error {
                 None => buf.put_u8(0),
                 Some(e) => {
@@ -751,6 +844,9 @@ pub fn encode_response(r: &Response) -> Vec<u8> {
                         buf.put_f64_le(s.total_flush_cost);
                         buf.put_f64_le(s.budget);
                         buf.put_u64_le(s.staleness);
+                        buf.put_u64_le(s.epoch);
+                        buf.put_u64_le(s.replica_lag);
+                        buf.put_u8(s.health);
                     }
                 }
             }
@@ -767,6 +863,19 @@ pub fn encode_response(r: &Response) -> Vec<u8> {
             buf.put_u8(5);
             buf.put_u8(code.as_u8());
             put_str(&mut buf, message);
+        }
+        Response::WalSegment {
+            epoch,
+            from_record,
+            leader_records,
+            bytes,
+        } => {
+            buf.put_u8(6);
+            buf.put_u64_le(*epoch);
+            buf.put_u64_le(*from_record);
+            buf.put_u64_le(*leader_records);
+            buf.put_u32_le(bytes.len() as u32);
+            buf.put_slice(bytes);
         }
     }
     buf.freeze().to_vec()
@@ -835,7 +944,7 @@ pub fn decode_response(payload: &[u8]) -> Result<Response, EngineError> {
         3 => {
             // All fixed-width fields (u64/f64 plus the degraded and
             // error flags), checked as one block before the reads.
-            const FIXED: usize = 29 * 8 + 2;
+            const FIXED: usize = 32 * 8 + 2;
             if buf.remaining() < FIXED {
                 return Err(corrupt(ctx, "metrics", &buf));
             }
@@ -870,6 +979,9 @@ pub fn decode_response(payload: &[u8]) -> Result<Response, EngineError> {
                 staleness_max: buf.get_u64_le(),
                 budget: buf.get_f64_le(),
                 budget_rebalances: buf.get_u64_le(),
+                failovers: buf.get_u64_le(),
+                cluster_epoch: buf.get_u64_le(),
+                replica_lag_max: buf.get_u64_le(),
                 last_error: None,
                 per_shard: None,
             };
@@ -891,9 +1003,9 @@ pub fn decode_response(payload: &[u8]) -> Result<Response, EngineError> {
                         return Err(corrupt(ctx, "shard row count", &buf));
                     }
                     let count = buf.get_u32_le() as usize;
-                    // Each row is 53 fixed bytes; reject impossible
+                    // Each row is 70 fixed bytes; reject impossible
                     // counts before allocating.
-                    const ROW: usize = 4 + 1 + 6 * 8;
+                    const ROW: usize = 4 + 2 + 8 * 8;
                     if count * ROW > buf.remaining() {
                         return Err(corrupt(ctx, &format!("shard row count {count}"), &buf));
                     }
@@ -908,6 +1020,9 @@ pub fn decode_response(payload: &[u8]) -> Result<Response, EngineError> {
                             total_flush_cost: buf.get_f64_le(),
                             budget: buf.get_f64_le(),
                             staleness: buf.get_u64_le(),
+                            epoch: buf.get_u64_le(),
+                            replica_lag: buf.get_u64_le(),
+                            health: buf.get_u8(),
                         });
                     }
                     Some(rows)
@@ -935,6 +1050,25 @@ pub fn decode_response(payload: &[u8]) -> Result<Response, EngineError> {
             Response::Error {
                 code,
                 message: get_str(&mut buf, ctx)?,
+            }
+        }
+        6 => {
+            if buf.remaining() < 28 {
+                return Err(corrupt(ctx, "wal-segment header", &buf));
+            }
+            let epoch = buf.get_u64_le();
+            let from_record = buf.get_u64_le();
+            let leader_records = buf.get_u64_le();
+            let len = buf.get_u32_le() as usize;
+            if len > buf.remaining() {
+                return Err(corrupt(ctx, &format!("wal-segment length {len}"), &buf));
+            }
+            let bytes = buf.copy_to_bytes(len).to_vec();
+            Response::WalSegment {
+                epoch,
+                from_record,
+                leader_records,
+                bytes,
             }
         }
         other => return Err(corrupt(ctx, &format!("response kind {other}"), &buf)),
@@ -1148,6 +1282,10 @@ impl<'a> SliceCursor<'a> {
         Ok(u32::from_le_bytes(self.get::<4>(context, what)?))
     }
 
+    fn get_u64_le(&mut self, context: &str, what: &str) -> Result<u64, EngineError> {
+        Ok(u64::from_le_bytes(self.get::<8>(context, what)?))
+    }
+
     fn get_i64_le(&mut self, context: &str, what: &str) -> Result<i64, EngineError> {
         Ok(i64::from_le_bytes(self.get::<8>(context, what)?))
     }
@@ -1248,6 +1386,9 @@ impl<'a> SliceCursor<'a> {
 /// only materializes.
 #[derive(Clone, Copy, Debug)]
 pub struct SubmitRef<'a> {
+    /// The client's view of the target shard's fencing epoch (0 =
+    /// skip the check).
+    pub epoch: u64,
     /// Base-table position within the view.
     pub table: u32,
     /// Number of modifications in [`mods`](SubmitRef::mods).
@@ -1297,6 +1438,13 @@ pub enum RequestRef<'a> {
     },
     /// Force a full flush.
     Flush,
+    /// Poll a shard leader's WAL tail (replication).
+    ReplicaSubscribe {
+        /// Shard slot whose WAL tail to read.
+        shard: u32,
+        /// First record index wanted.
+        from_record: u64,
+    },
 }
 
 /// A borrowed request plus its deadline budget — what
@@ -1321,6 +1469,7 @@ impl RequestRefFrame<'_> {
                 let mut mods = Vec::new();
                 s.decode_mods_into(&mut mods)?;
                 Request::Submit {
+                    epoch: s.epoch,
                     table: s.table,
                     mods,
                 }
@@ -1328,6 +1477,9 @@ impl RequestRefFrame<'_> {
             RequestRef::Read { fresh, want_rows } => Request::Read { fresh, want_rows },
             RequestRef::Metrics { per_shard } => Request::Metrics { per_shard },
             RequestRef::Flush => Request::Flush,
+            RequestRef::ReplicaSubscribe { shard, from_record } => {
+                Request::ReplicaSubscribe { shard, from_record }
+            }
         };
         Ok(RequestFrame {
             deadline_ms: self.deadline_ms,
@@ -1351,9 +1503,10 @@ pub fn decode_request_ref(payload: &[u8]) -> Result<RequestRefFrame<'_>, EngineE
     let request = match cur.get_u8(ctx, "header")? {
         0 => RequestRef::Ping,
         1 => {
-            if cur.remaining() < 8 {
+            if cur.remaining() < 16 {
                 return Err(cur.corrupt(ctx, "submit header"));
             }
+            let epoch = cur.get_u64_le(ctx, "submit header")?;
             let table = cur.get_u32_le(ctx, "submit header")?;
             let count = cur.get_u32_le(ctx, "submit header")?;
             if count as usize > cur.remaining() {
@@ -1364,6 +1517,7 @@ pub fn decode_request_ref(payload: &[u8]) -> Result<RequestRefFrame<'_>, EngineE
                 cur.skip_modification(ctx)?;
             }
             RequestRef::Submit(SubmitRef {
+                epoch,
                 table,
                 count,
                 mods: &payload[body_start..cur.pos],
@@ -1382,6 +1536,15 @@ pub fn decode_request_ref(payload: &[u8]) -> Result<RequestRefFrame<'_>, EngineE
             per_shard: cur.get_u8(ctx, "metrics flags")? != 0,
         },
         4 => RequestRef::Flush,
+        5 => {
+            if cur.remaining() < 12 {
+                return Err(cur.corrupt(ctx, "replica-subscribe"));
+            }
+            RequestRef::ReplicaSubscribe {
+                shard: cur.get_u32_le(ctx, "replica-subscribe")?,
+                from_record: cur.get_u64_le(ctx, "replica-subscribe")?,
+            }
+        }
         other => return Err(cur.corrupt(ctx, &format!("request kind {other}"))),
     };
     if cur.remaining() != 0 {
@@ -1434,9 +1597,10 @@ mod tests {
     }
 
     fn arb_request(rng: &mut SmallRng) -> RequestFrame {
-        let request = match rng.gen_range(0..5u32) {
+        let request = match rng.gen_range(0..6u32) {
             0 => Request::Ping,
             1 => Request::Submit {
+                epoch: rng.gen_range(0..1000u64),
                 table: rng.gen_range(0..8u32),
                 mods: (0..rng.gen_range(0..10usize))
                     .map(|_| arb_modification(rng))
@@ -1448,6 +1612,10 @@ mod tests {
             },
             3 => Request::Metrics {
                 per_shard: rng.gen_bool(0.5),
+            },
+            4 => Request::ReplicaSubscribe {
+                shard: rng.gen_range(0..8u32),
+                from_record: rng.gen_range(0..u64::MAX),
             },
             _ => Request::Flush,
         };
@@ -1489,6 +1657,9 @@ mod tests {
             staleness_max: rng.gen_range(0..u64::MAX),
             budget: rng.gen_range(0.0..1e6),
             budget_rebalances: rng.gen_range(0..u64::MAX),
+            failovers: rng.gen_range(0..10u64),
+            cluster_epoch: rng.gen_range(1..100u64),
+            replica_lag_max: rng.gen_range(0..100_000u64),
             last_error: rng
                 .gen_bool(0.3)
                 .then(|| "scheduler tick failed: boom".to_string()),
@@ -1503,6 +1674,9 @@ mod tests {
                         total_flush_cost: rng.gen_range(0.0..1e9),
                         budget: rng.gen_range(0.0..1e6),
                         staleness: rng.gen_range(0..100_000u64),
+                        epoch: rng.gen_range(1..50u64),
+                        replica_lag: rng.gen_range(0..100_000u64),
+                        health: rng.gen_range(0..3u8),
                     })
                     .collect()
             }),
@@ -1510,7 +1684,7 @@ mod tests {
     }
 
     fn arb_response(rng: &mut SmallRng) -> Response {
-        match rng.gen_range(0..6u32) {
+        match rng.gen_range(0..7u32) {
             0 => Response::Pong,
             1 => Response::SubmitOk {
                 accepted: rng.gen_range(0..u64::MAX),
@@ -1533,8 +1707,16 @@ mod tests {
                 flush_cost: rng.gen_range(0.0..1e6),
                 violated: rng.gen_bool(0.1),
             },
+            5 => Response::WalSegment {
+                epoch: rng.gen_range(1..50u64),
+                from_record: rng.gen_range(0..10_000u64),
+                leader_records: rng.gen_range(0..10_000u64),
+                bytes: (0..rng.gen_range(0..64usize))
+                    .map(|_| rng.gen_range(0..256u64) as u8)
+                    .collect(),
+            },
             _ => Response::Error {
-                code: ErrorCode::from_u8(rng.gen_range(0..6u8)).unwrap(),
+                code: ErrorCode::from_u8(rng.gen_range(0..7u8)).unwrap(),
                 message: "typed failure".into(),
             },
         }
@@ -1909,9 +2091,21 @@ mod tests {
             // effects, so only they are submit-retry-safe.
             assert_eq!(code.is_retry_safe(), code == ErrorCode::Overloaded);
         }
+        // The sharded rejections are also pre-admission: the router
+        // checks liveness/epoch before enqueueing anything.
+        for code in [ErrorCode::ShardUnavailable, ErrorCode::StaleEpoch] {
+            assert_eq!(ErrorCode::from_u8(code.as_u8()), Some(code));
+            assert!(code.is_retry_safe());
+        }
         assert_eq!(ErrorCode::from_u8(99), None);
         assert!(Request::Ping.is_idempotent());
+        assert!(Request::ReplicaSubscribe {
+            shard: 0,
+            from_record: 0
+        }
+        .is_idempotent());
         assert!(!Request::Submit {
+            epoch: 0,
             table: 0,
             mods: vec![]
         }

@@ -33,6 +33,7 @@
 
 pub mod frame;
 pub mod poller;
+pub mod replica;
 pub mod server;
 
 pub use frame::{
@@ -43,4 +44,5 @@ pub use frame::{
     ShardMetricsRow, SubmitRef, WireReadResult, FRAME_HEADER_LEN, MAX_FRAME_LEN, NET_MAGIC,
     NET_VERSION,
 };
+pub use replica::{Replica, ReplicaConfig};
 pub use server::{NetServer, NetServerConfig};

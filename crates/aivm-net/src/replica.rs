@@ -1,0 +1,243 @@
+//! The tailing follower: a thread that keeps a standby
+//! [`MaintenanceRuntime`] caught up with a shard leader's WAL over the
+//! wire, ready for promotion when the leader dies.
+//!
+//! ## Protocol
+//!
+//! The follower polls the leader with
+//! [`Request::ReplicaSubscribe`](crate::Request::ReplicaSubscribe)
+//! `{ shard, from_record }`, where `from_record` is the follower's own
+//! count of *applied* records — not the leader's, and not the
+//! follower's re-logged WAL length. The distinction matters twice:
+//!
+//! - the leader's log may gain records the follower has not seen
+//!   (that difference *is* the replication lag), and
+//! - the follower's own re-log may be shorter than what it applied
+//!   (`SetBudget` records that change nothing are not re-appended), so
+//!   neither log length can serve as the resume cursor.
+//!
+//! The reply is a [`WalSegment`](crate::Response::WalSegment) of raw,
+//! checksummed WAL record frames. Each record is re-validated
+//! ([`decode_segment`]) and applied through the runtime's recovery path
+//! ([`MaintenanceRuntime::apply_record`]): the leader's command log
+//! includes its `Tick`/`Forced` records, so the follower replays the
+//! exact flush schedule deterministically and never self-ticks. With a
+//! WAL attached to the follower runtime, every applied record is
+//! re-logged — the follower is itself recoverable, and replicable after
+//! promotion.
+//!
+//! ## Resume and torn tails
+//!
+//! The leader serves only whole checksum-valid records, re-scanning its
+//! log each poll, so a follower reconnecting after any cut (leader
+//! restart with torn-tail truncation included) resumes from its applied
+//! count with no gap. Should the served segment ever start *before*
+//! that count (a leader whose log was truncated under the follower),
+//! the overlapping records are skipped, never double-applied.
+//!
+//! Every poll publishes progress into a shared [`ReplicaStatus`]: the
+//! applied count, the leader's record count (their difference is the
+//! replication lag surfaced in `Metrics`), the leader epoch piggybacked
+//! on each segment, the follower's own staleness, and a health bit that
+//! clears on any transport or protocol failure.
+
+use std::net::{SocketAddr, TcpStream};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+use std::thread::JoinHandle;
+use std::time::Duration;
+
+use crate::frame::{
+    read_hello_reply, recv_response, send_request, write_hello, HandshakeStatus, Request,
+    RequestFrame, Response,
+};
+use aivm_serve::{decode_segment, MaintenanceRuntime};
+use aivm_shard::ReplicaStatus;
+
+/// Tuning for a [`Replica`]'s poll loop.
+#[derive(Clone, Debug)]
+pub struct ReplicaConfig {
+    /// How long to idle after a poll that found the follower caught up
+    /// (a poll that returned records repolls immediately).
+    pub poll_interval: Duration,
+    /// How long to back off after a failed connect or a torn session.
+    pub reconnect_backoff: Duration,
+    /// Per-request deadline stamped on subscribe frames.
+    pub deadline: Duration,
+}
+
+impl Default for ReplicaConfig {
+    fn default() -> Self {
+        ReplicaConfig {
+            poll_interval: Duration::from_millis(1),
+            reconnect_backoff: Duration::from_millis(10),
+            deadline: Duration::from_secs(1),
+        }
+    }
+}
+
+/// A running follower thread. [`Replica::stop`] returns the caught-up
+/// runtime for promotion.
+pub struct Replica {
+    stop: Arc<AtomicBool>,
+    status: ReplicaStatus,
+    join: Option<JoinHandle<MaintenanceRuntime>>,
+}
+
+impl Replica {
+    /// Spawns the tailing thread against the leader server at `addr`,
+    /// subscribing to `shard`'s WAL. `runtime` must be a standby built
+    /// from the same genesis state the leader's log starts at (its
+    /// applied-record cursor starts at `status.applied()`, so pass a
+    /// fresh status for a fresh standby).
+    pub fn spawn(
+        addr: SocketAddr,
+        shard: u32,
+        runtime: MaintenanceRuntime,
+        status: ReplicaStatus,
+        cfg: ReplicaConfig,
+    ) -> std::io::Result<Replica> {
+        let stop = Arc::new(AtomicBool::new(false));
+        let thread_stop = Arc::clone(&stop);
+        let thread_status = status.clone();
+        let join = std::thread::Builder::new()
+            .name(format!("aivm-replica-{shard}"))
+            .spawn(move || tail_loop(addr, shard, runtime, thread_status, cfg, thread_stop))?;
+        Ok(Replica {
+            stop,
+            status,
+            join: Some(join),
+        })
+    }
+
+    /// The shared replication status (same atomics the thread updates).
+    pub fn status(&self) -> ReplicaStatus {
+        self.status.clone()
+    }
+
+    /// Stops the poll loop and returns the runtime, caught up to
+    /// whatever the last successful poll applied. The caller promotes
+    /// it (typically after one final drain of the sealed leader log).
+    pub fn stop(mut self) -> MaintenanceRuntime {
+        self.stop.store(true, Ordering::SeqCst);
+        let join = self.join.take().expect("replica already stopped");
+        join.join().expect("replica thread panicked")
+    }
+}
+
+impl Drop for Replica {
+    fn drop(&mut self) {
+        self.stop.store(true, Ordering::SeqCst);
+        if let Some(join) = self.join.take() {
+            let _ = join.join();
+        }
+    }
+}
+
+/// One leader session: handshake, then subscribe/apply until the
+/// connection tears, the protocol desyncs, or the stop flag rises.
+/// Returns `true` when stopping (vs. needing a reconnect).
+fn tail_session(
+    stream: &mut TcpStream,
+    shard: u32,
+    runtime: &mut MaintenanceRuntime,
+    status: &ReplicaStatus,
+    cfg: &ReplicaConfig,
+    stop: &AtomicBool,
+) -> bool {
+    if write_hello(stream).is_err() {
+        return false;
+    }
+    if !matches!(read_hello_reply(stream), Ok(HandshakeStatus::Ok)) {
+        return false;
+    }
+    while !stop.load(Ordering::SeqCst) {
+        let applied = status.applied();
+        let frame = RequestFrame {
+            deadline_ms: cfg.deadline.as_millis().min(u32::MAX as u128) as u32,
+            request: Request::ReplicaSubscribe {
+                shard,
+                from_record: applied,
+            },
+        };
+        if send_request(stream, &frame).is_err() {
+            return false;
+        }
+        let (epoch, from_record, leader_records, bytes) = match recv_response(stream) {
+            Ok(Response::WalSegment {
+                epoch,
+                from_record,
+                leader_records,
+                bytes,
+            }) => (epoch, from_record, leader_records, bytes),
+            // Typed rejection (shard dead, tail missing) or transport
+            // failure: tear the session and retry from scratch.
+            Ok(_) | Err(_) => return false,
+        };
+        status.set_epoch(epoch);
+        status.set_leader_records(leader_records);
+        let records = match decode_segment(&bytes) {
+            Ok(r) => r,
+            Err(_) => return false, // transport damage: resubscribe
+        };
+        if from_record > applied {
+            // A gap the leader cannot serve (log vanished under us):
+            // this standby can no longer catch up by tailing.
+            status.set_healthy(false);
+            return false;
+        }
+        // Records before the cursor are duplicates (leader log
+        // truncated and rebuilt under us): skip, never double-apply.
+        let skip = (applied - from_record) as usize;
+        let mut cursor = applied;
+        for rec in records.iter().skip(skip) {
+            if runtime.apply_record(rec).is_err() {
+                // A record that fails to apply will fail on every
+                // retry; stop advancing and flag the standby.
+                status.set_healthy(false);
+                return false;
+            }
+            cursor += 1;
+            status.set_applied(cursor);
+        }
+        status.set_staleness(runtime.pending().total());
+        status.set_healthy(true);
+        if cursor >= leader_records {
+            std::thread::sleep(cfg.poll_interval);
+        }
+    }
+    true
+}
+
+fn tail_loop(
+    addr: SocketAddr,
+    shard: u32,
+    mut runtime: MaintenanceRuntime,
+    status: ReplicaStatus,
+    cfg: ReplicaConfig,
+    stop: Arc<AtomicBool>,
+) -> MaintenanceRuntime {
+    while !stop.load(Ordering::SeqCst) {
+        let session = TcpStream::connect_timeout(&addr, cfg.deadline).and_then(|s| {
+            s.set_nodelay(true)?;
+            s.set_read_timeout(Some(cfg.deadline))?;
+            s.set_write_timeout(Some(cfg.deadline))?;
+            Ok(s)
+        });
+        match session {
+            Ok(mut stream) => {
+                if tail_session(&mut stream, shard, &mut runtime, &status, &cfg, &stop) {
+                    break;
+                }
+                status.set_healthy(false);
+            }
+            Err(_) => status.set_healthy(false),
+        }
+        // Interruptible backoff so stop() never waits a full backoff.
+        let t0 = std::time::Instant::now();
+        while t0.elapsed() < cfg.reconnect_backoff && !stop.load(Ordering::SeqCst) {
+            std::thread::sleep(Duration::from_millis(1));
+        }
+    }
+    runtime
+}

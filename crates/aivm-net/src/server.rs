@@ -77,7 +77,8 @@ use crate::frame::{
 use crate::poller::{Event, Interest, Poller};
 use aivm_engine::{fxhash, Modification, WRow};
 use aivm_serve::{
-    DeadlineError, MetricsSnapshot, MetricsTicket, ReadMode, ReadTicket, ServeHandle, TrySendError,
+    ApplyTicket, DeadlineError, MetricsSnapshot, MetricsTicket, ReadMode, ReadTicket, ServeHandle,
+    TrySendError,
 };
 use aivm_shard::{merge_metrics, RouteError, ShardRouter};
 use std::collections::VecDeque;
@@ -111,6 +112,12 @@ pub struct NetServerConfig {
     /// Event-loop worker threads. `0` sizes the pool from the machine's
     /// available parallelism (clamped to [2, 8]).
     pub workers: usize,
+    /// Acknowledge a `Submit` only after the scheduler has *applied*
+    /// the batch (and appended it to the WAL, when one is attached),
+    /// instead of at enqueue. Slower — every submit takes a scheduler
+    /// round-trip — but an acknowledged write then survives a leader
+    /// crash, which is what the failover chaos experiments assert.
+    pub durable_acks: bool,
 }
 
 impl Default for NetServerConfig {
@@ -121,6 +128,7 @@ impl Default for NetServerConfig {
             default_deadline: Duration::from_secs(5),
             poll_interval: Duration::from_millis(1),
             workers: 0,
+            durable_acks: false,
         }
     }
 }
@@ -423,6 +431,10 @@ enum Pending {
     Submit {
         table: usize,
         mods: Vec<Modification>,
+        /// With [`NetServerConfig::durable_acks`]: the apply ticket of
+        /// an already-admitted batch — the reply waits for the
+        /// scheduler to apply (and WAL-append) it, not just enqueue it.
+        ticket: Option<ApplyTicket>,
         started: Instant,
         deadline: Duration,
     },
@@ -440,6 +452,9 @@ enum Pending {
         accepted: u64,
         /// Sub-batch count at split time, for error messages.
         total: usize,
+        /// With [`NetServerConfig::durable_acks`]: apply tickets of the
+        /// sub-batches already admitted; the reply waits for every one.
+        tickets: Vec<ApplyTicket>,
         started: Instant,
         deadline: Duration,
     },
@@ -1012,6 +1027,10 @@ fn handle_frame_single(
             }),
             None => FrameOutcome::Reply(unavailable(handle)),
         },
+        RequestRef::ReplicaSubscribe { .. } => FrameOutcome::Reply(Response::Error {
+            code: ErrorCode::BadRequest,
+            message: "replication requires a sharded server".into(),
+        }),
     }
 }
 
@@ -1073,6 +1092,44 @@ fn handle_frame_sharded(
                 deadline,
             })
         }
+        RequestRef::ReplicaSubscribe { shard, from_record } => {
+            FrameOutcome::Reply(replica_subscribe(router, shard, from_record))
+        }
+    }
+}
+
+/// How many WAL bytes one `WalSegment` reply may carry. A follower far
+/// behind pages through the log in bounded chunks instead of receiving
+/// one unbounded frame.
+const WAL_SEGMENT_MAX_BYTES: usize = 256 * 1024;
+
+/// Serves one page of a shard leader's WAL tail to a tailing follower,
+/// piggybacking the shard's current fencing epoch.
+fn replica_subscribe(router: &ShardRouter, shard: u32, from_record: u64) -> Response {
+    let i = shard as usize;
+    if i >= router.shards() {
+        return Response::Error {
+            code: ErrorCode::BadRequest,
+            message: format!("shard {i} out of range ({} shards)", router.shards()),
+        };
+    }
+    let Some(tail) = router.wal_tail(i) else {
+        return Response::Error {
+            code: ErrorCode::ShardUnavailable,
+            message: format!("shard {i} has no replication tail attached"),
+        };
+    };
+    match tail.segment(from_record, WAL_SEGMENT_MAX_BYTES) {
+        Ok(seg) => Response::WalSegment {
+            epoch: router.epoch_of(i),
+            from_record: seg.from_record,
+            leader_records: seg.leader_records,
+            bytes: seg.bytes,
+        },
+        Err(err) => Response::Error {
+            code: ErrorCode::Internal,
+            message: format!("wal tail read failed: {err}"),
+        },
     }
 }
 
@@ -1157,37 +1214,68 @@ fn submit(
     }
     let table = s.table as usize;
     match try_submit(shared, handle, table, &mods) {
-        None => FrameOutcome::Wait(Pending::Submit {
+        SubmitStep::Parked => FrameOutcome::Wait(Pending::Submit {
             table,
             mods,
+            ticket: None,
             started: Instant::now(),
             deadline,
         }),
-        Some(resp) => FrameOutcome::Reply(resp),
+        SubmitStep::Durable(ticket) => FrameOutcome::Wait(Pending::Submit {
+            table,
+            mods,
+            ticket: Some(ticket),
+            started: Instant::now(),
+            deadline,
+        }),
+        SubmitStep::Reply(resp) => FrameOutcome::Reply(resp),
     }
 }
 
-/// One admission attempt for a decoded batch. `None` means the queue is
-/// full right now — park and retry; a response ends the request.
+/// The outcome of one single-backend admission attempt.
+enum SubmitStep {
+    /// The queue is full right now — park and retry each tick.
+    Parked,
+    /// The request resolved (`SubmitOk` at enqueue, or a typed error).
+    Reply(Response),
+    /// Admitted under durable acks: poll the apply ticket before
+    /// acknowledging.
+    Durable(ApplyTicket),
+}
+
+/// One admission attempt for a decoded batch.
 fn try_submit(
     shared: &Shared,
     handle: &ServeHandle,
     table: usize,
     mods: &[Modification],
-) -> Option<Response> {
+) -> SubmitStep {
     let accepted = mods.len() as u64;
     // The clone is cheap (rows are `Arc`s) and keeps the batch owned by
     // the connection until admission actually succeeds.
+    if shared.cfg.durable_acks {
+        return match handle.try_ingest_batch_tracked(table, mods.to_vec()) {
+            Ok(ticket) => {
+                shared
+                    .stats
+                    .submitted_events
+                    .fetch_add(accepted, Ordering::Relaxed);
+                SubmitStep::Durable(ticket)
+            }
+            Err(TrySendError::Full) => SubmitStep::Parked,
+            Err(TrySendError::Disconnected) => SubmitStep::Reply(unavailable(handle)),
+        };
+    }
     match handle.try_ingest_batch(table, mods.to_vec()) {
         Ok(()) => {
             shared
                 .stats
                 .submitted_events
                 .fetch_add(accepted, Ordering::Relaxed);
-            Some(Response::SubmitOk { accepted })
+            SubmitStep::Reply(Response::SubmitOk { accepted })
         }
-        Err(TrySendError::Full) => None,
-        Err(TrySendError::Disconnected) => Some(unavailable(handle)),
+        Err(TrySendError::Full) => SubmitStep::Parked,
+        Err(TrySendError::Disconnected) => SubmitStep::Reply(unavailable(handle)),
     }
 }
 
@@ -1234,10 +1322,23 @@ fn submit_sharded(
     if parts.is_empty() {
         return FrameOutcome::Reply(Response::SubmitOk { accepted: 0 });
     }
-    // Pre-check every target shard: liveness, then high water. Failing
-    // here — before the first enqueue — is what keeps retries safe even
-    // though the batch spans shards.
+    // Pre-check every target shard: epoch fence, then liveness, then
+    // high water. Failing here — before the first enqueue — is what
+    // keeps retries safe even though the batch spans shards.
     for (shard, _) in &parts {
+        if s.epoch != 0 {
+            let current = router.epoch_of(*shard);
+            if s.epoch < current {
+                return FrameOutcome::Reply(Response::Error {
+                    code: ErrorCode::StaleEpoch,
+                    message: format!(
+                        "shard {shard} is at epoch {current}, submit stamped epoch {}; \
+                         refresh the epoch and retry (nothing was enqueued)",
+                        s.epoch
+                    ),
+                });
+            }
+        }
         let Some(handle) = router.handle(*shard) else {
             return FrameOutcome::Reply(shard_unavailable(*shard));
         };
@@ -1257,13 +1358,23 @@ fn submit_sharded(
     }
     let total = parts.len();
     let mut accepted = 0u64;
-    match try_submit_sharded(shared, router, table, &mut parts, &mut accepted, total) {
+    let mut tickets = Vec::new();
+    match try_submit_sharded(
+        shared,
+        router,
+        table,
+        &mut parts,
+        &mut accepted,
+        total,
+        &mut tickets,
+    ) {
         Some(resp) => FrameOutcome::Reply(resp),
         None => FrameOutcome::Wait(Pending::SubmitSharded {
             table,
             parts,
             accepted,
             total,
+            tickets,
             started: Instant::now(),
             deadline,
         }),
@@ -1271,11 +1382,14 @@ fn submit_sharded(
 }
 
 /// One admission round over the remaining sub-batches. `None` parks the
-/// submit (some queue is full); a response ends the request — `SubmitOk`
-/// once every sub-batch is in, `ShardUnavailable` (retry-safe) when a
+/// submit (some queue is full, or — with durable acks — admitted
+/// sub-batches are still waiting on their apply tickets); a response
+/// ends the request — `SubmitOk` once every sub-batch is in (and, with
+/// durable acks, applied), `ShardUnavailable` (retry-safe) when a
 /// target died before anything was admitted, `Internal` when a target
 /// died *after* part of the batch was admitted (the client must
 /// reconcile, not blindly retry).
+#[allow(clippy::too_many_arguments)]
 fn try_submit_sharded(
     shared: &Shared,
     router: &ShardRouter,
@@ -1283,7 +1397,9 @@ fn try_submit_sharded(
     parts: &mut Vec<(usize, Vec<Modification>)>,
     accepted: &mut u64,
     total: usize,
+    tickets: &mut Vec<ApplyTicket>,
 ) -> Option<Response> {
+    let durable = shared.cfg.durable_acks;
     let mut i = 0;
     while i < parts.len() {
         let (shard, mods) = &parts[i];
@@ -1291,7 +1407,22 @@ fn try_submit_sharded(
         let events = mods.len() as u64;
         // Clone keeps the sub-batch owned by the connection until its
         // admission actually succeeds (rows are `Arc`s; cheap).
-        match router.try_submit_shard(shard, table, mods.clone()) {
+        let step = if durable {
+            match router.handle(shard) {
+                None => Err(RouteError::ShardUnavailable(shard)),
+                Some(h) => match h.try_ingest_batch_tracked(table, mods.clone()) {
+                    Ok(t) => {
+                        tickets.push(t);
+                        Ok(())
+                    }
+                    Err(TrySendError::Full) => Err(RouteError::Overloaded(shard)),
+                    Err(TrySendError::Disconnected) => Err(RouteError::ShardUnavailable(shard)),
+                },
+            }
+        } else {
+            router.try_submit_shard(shard, table, mods.clone())
+        };
+        match step {
             Ok(()) => {
                 *accepted += events;
                 shared
@@ -1317,7 +1448,7 @@ fn try_submit_sharded(
             }
         }
     }
-    parts.is_empty().then_some(Response::SubmitOk {
+    (parts.is_empty() && tickets.is_empty()).then_some(Response::SubmitOk {
         accepted: *accepted,
     })
 }
@@ -1338,6 +1469,59 @@ fn all_shards_unavailable() -> Response {
     }
 }
 
+/// Polls the apply tickets of an admitted durable-ack submit. `None`
+/// keeps waiting; `SubmitOk` once every ticket confirms its sub-batch
+/// applied (and WAL-logged). Every failure past this point is
+/// `Internal`/`DeadlineExceeded`, never retry-safe: the batch (or part
+/// of it) is already in a scheduler queue, and its durability is
+/// indeterminate at best.
+fn poll_apply_tickets(
+    shared: &Shared,
+    tickets: &mut Vec<ApplyTicket>,
+    accepted: u64,
+    started: Instant,
+    deadline: Duration,
+) -> Option<Response> {
+    let mut i = 0;
+    while i < tickets.len() {
+        match tickets[i].try_take() {
+            Ok(Some(Ok(()))) => {
+                tickets.swap_remove(i);
+            }
+            Ok(Some(Err(err))) => {
+                return Some(Response::Error {
+                    code: ErrorCode::Internal,
+                    message: format!("apply failed after admission: {err}"),
+                });
+            }
+            Ok(None) => i += 1,
+            Err(_) => {
+                return Some(Response::Error {
+                    code: ErrorCode::Internal,
+                    message: "scheduler stopped after admission; write durability indeterminate"
+                        .into(),
+                });
+            }
+        }
+    }
+    if tickets.is_empty() {
+        return Some(Response::SubmitOk { accepted });
+    }
+    if started.elapsed() >= deadline {
+        shared
+            .stats
+            .deadline_rejections
+            .fetch_add(1, Ordering::Relaxed);
+        return Some(Response::Error {
+            code: ErrorCode::DeadlineExceeded,
+            message: format!(
+                "batch admitted but not applied within {deadline:?}; durability indeterminate"
+            ),
+        });
+    }
+    None
+}
+
 /// Polls one pending ticket (or ticket fan-out). Returns true when it
 /// resolved (a response was queued and `conn.pending` cleared).
 fn poll_pending(shared: &Shared, backend: &Backend, conn: &mut Conn) -> bool {
@@ -1348,27 +1532,47 @@ fn poll_pending(shared: &Shared, backend: &Backend, conn: &mut Conn) -> bool {
         Pending::Submit {
             table,
             mods,
+            ticket,
             started,
             deadline,
         } => {
             let Backend::Single(handle) = backend else {
                 return mismatched_pending(conn);
             };
-            match try_submit(shared, handle, *table, mods) {
-                Some(resp) => Some(resp),
-                None if started.elapsed() >= *deadline => {
-                    // Still nothing enqueued, so the rejection is
-                    // retry-safe — Overloaded, not DeadlineExceeded.
-                    shared
-                        .stats
-                        .overload_rejections
-                        .fetch_add(1, Ordering::Relaxed);
-                    Some(Response::Error {
-                        code: ErrorCode::Overloaded,
-                        message: format!("ingest queue stayed at capacity for {deadline:?}"),
-                    })
+            if ticket.is_some() {
+                // Admitted under durable acks: the batch is in; only
+                // the apply outcome is outstanding.
+                let mut one = Vec::new();
+                if let Some(t) = ticket.take() {
+                    one.push(t);
                 }
-                None => None,
+                let resolved =
+                    poll_apply_tickets(shared, &mut one, mods.len() as u64, *started, *deadline);
+                if resolved.is_none() {
+                    *ticket = one.pop();
+                }
+                resolved
+            } else {
+                match try_submit(shared, handle, *table, mods) {
+                    SubmitStep::Reply(resp) => Some(resp),
+                    SubmitStep::Durable(t) => {
+                        *ticket = Some(t);
+                        None
+                    }
+                    SubmitStep::Parked if started.elapsed() >= *deadline => {
+                        // Still nothing enqueued, so the rejection is
+                        // retry-safe — Overloaded, not DeadlineExceeded.
+                        shared
+                            .stats
+                            .overload_rejections
+                            .fetch_add(1, Ordering::Relaxed);
+                        Some(Response::Error {
+                            code: ErrorCode::Overloaded,
+                            message: format!("ingest queue stayed at capacity for {deadline:?}"),
+                        })
+                    }
+                    SubmitStep::Parked => None,
+                }
             }
         }
         Pending::SubmitSharded {
@@ -1376,14 +1580,20 @@ fn poll_pending(shared: &Shared, backend: &Backend, conn: &mut Conn) -> bool {
             parts,
             accepted,
             total,
+            tickets,
             started,
             deadline,
         } => {
             let Backend::Sharded(router) = backend else {
                 return mismatched_pending(conn);
             };
-            match try_submit_sharded(shared, router, *table, parts, accepted, *total) {
+            match try_submit_sharded(shared, router, *table, parts, accepted, *total, tickets) {
                 Some(resp) => Some(resp),
+                None if parts.is_empty() => {
+                    // Every sub-batch is admitted; with durable acks
+                    // the reply now waits on the apply tickets.
+                    poll_apply_tickets(shared, tickets, *accepted, *started, *deadline)
+                }
                 None if started.elapsed() >= *deadline => {
                     shared
                         .stats
@@ -1544,6 +1754,9 @@ fn poll_pending(shared: &Shared, backend: &Backend, conn: &mut Conn) -> bool {
                         total_flush_cost: snap.total_flush_cost,
                         budget: snap.budget,
                         staleness: nm.staleness_max,
+                        epoch: 0,
+                        replica_lag: 0,
+                        health: 1,
                     }]);
                 }
                 Some(Response::MetricsOk(Box::new(nm)))
@@ -1633,7 +1846,12 @@ fn sharded_metrics(
             .map(|s| s.lag())
             .unwrap_or(0)
     };
+    let replica_lag_of =
+        |i: usize| -> u64 { router.replica_status(i).map(|r| r.lag()).unwrap_or(0) };
     nm.staleness_max = (0..router.shards()).map(lag_of).max().unwrap_or(0);
+    nm.failovers = router.failovers();
+    nm.cluster_epoch = router.cluster_epoch();
+    nm.replica_lag_max = (0..router.shards()).map(replica_lag_of).max().unwrap_or(0);
     if per_shard {
         let rows = (0..router.shards())
             .map(|i| match snaps.iter().find(|(s, _)| *s == i) {
@@ -1646,6 +1864,9 @@ fn sharded_metrics(
                     total_flush_cost: m.total_flush_cost,
                     budget: m.budget,
                     staleness: lag_of(i),
+                    epoch: router.epoch_of(i),
+                    replica_lag: replica_lag_of(i),
+                    health: shard_health(router, i, true),
                 },
                 None => ShardMetricsRow {
                     shard: i as u32,
@@ -1656,12 +1877,28 @@ fn sharded_metrics(
                     total_flush_cost: 0.0,
                     budget: 0.0,
                     staleness: 0,
+                    epoch: router.epoch_of(i),
+                    replica_lag: replica_lag_of(i),
+                    health: shard_health(router, i, false),
                 },
             })
             .collect();
         nm.per_shard = Some(rows);
     }
     nm
+}
+
+/// The per-shard health code surfaced in metrics rows: 0 = leader dead,
+/// 1 = leader live with no (healthy) follower tailing, 2 = leader live
+/// with a healthy follower.
+fn shard_health(router: &ShardRouter, i: usize, live: bool) -> u8 {
+    if !live {
+        return 0;
+    }
+    match router.replica_status(i) {
+        Some(r) if r.healthy() => 2,
+        _ => 1,
+    }
 }
 
 /// `None` = keep waiting; a response once the budget is spent.
@@ -1769,6 +2006,9 @@ fn net_metrics(snap: &MetricsSnapshot, stats: &NetStats) -> NetMetrics {
         staleness_max: 0,
         budget: snap.budget,
         budget_rebalances: snap.budget_rebalances,
+        failovers: 0,
+        cluster_epoch: 0,
+        replica_lag_max: 0,
         per_shard: None,
         last_error: snap.last_error.clone(),
     }

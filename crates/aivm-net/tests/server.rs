@@ -86,6 +86,7 @@ fn submit_read_metrics_over_the_wire() {
     match roundtrip(
         &mut s,
         Request::Submit {
+            epoch: 0,
             table: 0,
             mods: mods.clone(),
         },
@@ -159,7 +160,14 @@ fn stale_reads_serve_from_published_snapshot() {
     let rig = spawn_rig(NetServerConfig::default());
     let mut s = connect(&rig.net);
     let mods: Vec<Modification> = (0..8i64).map(|i| Modification::Insert(row![i])).collect();
-    match roundtrip(&mut s, Request::Submit { table: 0, mods }) {
+    match roundtrip(
+        &mut s,
+        Request::Submit {
+            epoch: 0,
+            table: 0,
+            mods,
+        },
+    ) {
         Response::SubmitOk { accepted } => assert_eq!(accepted, 8),
         other => panic!("submit: {other:?}"),
     }
@@ -240,6 +248,7 @@ fn unknown_table_is_bad_request_not_poison() {
     match roundtrip(
         &mut s,
         Request::Submit {
+            epoch: 0,
             table: 9,
             mods: vec![Modification::Insert(row![1i64])],
         },

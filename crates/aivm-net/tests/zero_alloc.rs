@@ -54,7 +54,11 @@ fn submit_payload() -> Vec<u8> {
     ];
     encode_request(&RequestFrame {
         deadline_ms: 250,
-        request: Request::Submit { table: 3, mods },
+        request: Request::Submit {
+            epoch: 0,
+            table: 3,
+            mods,
+        },
     })
 }
 

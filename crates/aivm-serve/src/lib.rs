@@ -56,10 +56,11 @@ pub use policy::{AsSolverPolicy, FlushPolicy, NaiveFlush, OnlineFlush, PlannedFl
 pub use queue::TrySendError;
 pub use runtime::{MaintenanceRuntime, ReadMode, ReadResult, ServeConfig, TickReport};
 pub use server::{
-    DeadlineError, MetricsTicket, ReadTicket, ServeError, ServeHandle, ServeServer, ServerConfig,
+    ApplyTicket, DeadlineError, MetricsTicket, ReadTicket, ServeError, ServeHandle, ServeServer,
+    ServerConfig,
 };
 pub use trace::{Trace, TraceStep};
 pub use wal::{
-    read_wal, Checkpoint, EngineCheckpoint, FileWal, MemWal, WalReadOutcome, WalRecord, WalStorage,
-    WalSyncPolicy, WalWriter,
+    decode_segment, read_wal, Checkpoint, EngineCheckpoint, FileWal, MemWal, WalReadOutcome,
+    WalRecord, WalSegment, WalStorage, WalSyncPolicy, WalTail, WalWriter,
 };

@@ -396,6 +396,20 @@ impl MaintenanceRuntime {
         }
     }
 
+    /// Applies one replicated log record to this (engine-backed)
+    /// runtime — the follower path of WAL tail-streaming.
+    ///
+    /// Semantically identical to the engine-replay phase of
+    /// [`MaintenanceRuntime::recover`], but incremental: a follower
+    /// applies records as segments arrive instead of replaying a whole
+    /// image at once. With a WAL of its own attached, each applied
+    /// record is re-logged (`ingest_dml`/`tick`/`forced_refresh` log
+    /// after applying), so the follower's log mirrors the leader's and
+    /// the follower is itself recoverable and promotable.
+    pub fn apply_record(&mut self, rec: &WalRecord) -> Result<(), EngineError> {
+        self.replay_engine(rec)
+    }
+
     /// Attaches a write-ahead log; every subsequent state-changing
     /// event is appended to it.
     pub fn attach_wal(&mut self, wal: WalWriter) {

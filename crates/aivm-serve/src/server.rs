@@ -41,7 +41,7 @@ use crate::metrics::MetricsSnapshot;
 use crate::queue::{channel, Receiver, RecvError, Sender, TrySendError};
 use crate::runtime::{MaintenanceRuntime, ReadMode, ReadResult};
 use aivm_engine::{EngineError, Modification, ViewSnapshot};
-use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::mpsc::{
     sync_channel, RecvTimeoutError, SyncSender, TrySendError as MpscTrySendError,
 };
@@ -127,9 +127,12 @@ enum Msg {
     },
     /// A whole submit batch as one queue message: one lock acquisition
     /// and one wakeup per wire frame instead of one per modification.
+    /// With `done` set, the scheduler reports apply+WAL-append
+    /// completion through it — the durable-ack path.
     DmlBatch {
         table: usize,
         mods: Vec<Modification>,
+        done: Option<SyncSender<Result<(), EngineError>>>,
     },
     Read {
         mode: ReadMode,
@@ -145,6 +148,10 @@ enum Msg {
     SetBudget {
         budget: f64,
     },
+    /// A no-op control message: its only effect is forcing the
+    /// scheduler through a loop iteration, where a pending fence flag
+    /// is observed and acknowledged.
+    FenceProbe,
 }
 
 /// Why a deadline-bounded request produced no result.
@@ -165,6 +172,8 @@ pub struct ServeHandle {
     last_error: Arc<Mutex<Option<ServeError>>>,
     snapshot: SnapshotSlot,
     snapshot_reads: Arc<AtomicU64>,
+    fenced: Arc<AtomicBool>,
+    fence_seen: Arc<AtomicBool>,
 }
 
 impl ServeHandle {
@@ -200,10 +209,46 @@ impl ServeHandle {
             violated: false,
         })
     }
+    /// Fences this server: every subsequent ingest (through *any* clone
+    /// of the handle) is rejected, the scheduler stops ticking and
+    /// WAL-appending, and only reads and metrics keep being served.
+    ///
+    /// This is the stale-leader barrier of shard failover: the router
+    /// fences the suspect leader *before* sealing its log and promoting
+    /// the follower, so no record can be appended after the seal point
+    /// and no write is double-applied. Fencing is idempotent and
+    /// irreversible — a fenced leader rejoins by recovering from its
+    /// log as a fresh server, never by un-fencing.
+    pub fn fence(&self) {
+        self.fenced.store(true, Ordering::SeqCst);
+    }
+
+    /// Whether [`ServeHandle::fence`] has been called on this server.
+    pub fn is_fenced(&self) -> bool {
+        self.fenced.load(Ordering::SeqCst)
+    }
+
+    /// Whether the fence is *effective*: the scheduler has observed the
+    /// fence flag (so no further apply/append can race it), or it is
+    /// gone entirely. Promotion spins briefly on this before sealing
+    /// the leader's log.
+    pub fn fence_acknowledged(&self) -> bool {
+        if self.fence_seen.load(Ordering::SeqCst) {
+            return true;
+        }
+        // A dead scheduler can never apply anything again: the fence is
+        // vacuously effective. Probing with a control send is safe — a
+        // live scheduler just answers one extra metrics request.
+        self.tx.send_control(Msg::FenceProbe).is_err()
+    }
+
     /// Ingests `k` anonymous events for `table` (model backend).
     /// Blocks while the queue is full (unless shedding is on); returns
     /// `false` if the server is gone.
     pub fn ingest_count(&self, table: usize, k: u64) -> bool {
+        if self.is_fenced() {
+            return false;
+        }
         self.tx.send(Msg::Count { table, k }, true).is_ok()
     }
 
@@ -211,6 +256,9 @@ impl ServeHandle {
     /// the queue is full (unless shedding is on); returns `false` if
     /// the server is gone.
     pub fn ingest_dml(&self, table: usize, m: Modification) -> bool {
+        if self.is_fenced() {
+            return false;
+        }
         self.tx.send(Msg::Dml { table, m }, true).is_ok()
     }
 
@@ -232,9 +280,51 @@ impl ServeHandle {
         table: usize,
         mods: Vec<Modification>,
     ) -> Result<(), TrySendError> {
+        if self.is_fenced() {
+            return Err(TrySendError::Disconnected);
+        }
         let weight = mods.len();
-        self.tx
-            .try_send_weighted(Msg::DmlBatch { table, mods }, true, weight)
+        self.tx.try_send_weighted(
+            Msg::DmlBatch {
+                table,
+                mods,
+                done: None,
+            },
+            true,
+            weight,
+        )
+    }
+
+    /// [`ServeHandle::try_ingest_batch`] with an apply acknowledgement:
+    /// the returned [`ApplyTicket`] completes once the scheduler has
+    /// applied the whole batch **and** WAL-logged it (each record is
+    /// appended after its modification applies). Frontends that promise
+    /// "an acknowledged write survives leader failover" reply to the
+    /// client only after the ticket completes: acknowledged ⟹ in the
+    /// log ⟹ replayed by the promoted follower. A ticket that reports
+    /// the scheduler gone means the batch outcome is *indeterminate*
+    /// (it may or may not have been applied before the crash) — exactly
+    /// the cases the chaos harness treats as unacknowledged.
+    pub fn try_ingest_batch_tracked(
+        &self,
+        table: usize,
+        mods: Vec<Modification>,
+    ) -> Result<ApplyTicket, TrySendError> {
+        if self.is_fenced() {
+            return Err(TrySendError::Disconnected);
+        }
+        let weight = mods.len();
+        let (done, rx) = sync_channel(1);
+        self.tx.try_send_weighted(
+            Msg::DmlBatch {
+                table,
+                mods,
+                done: Some(done),
+            },
+            true,
+            weight,
+        )?;
+        Ok(ApplyTicket { rx })
     }
 
     /// Serves a read. Stale reads are answered wait-free from the
@@ -381,6 +471,26 @@ impl ReadTicket {
     }
 }
 
+/// An in-flight durable-ack batch started with
+/// [`ServeHandle::try_ingest_batch_tracked`]. Completes after the
+/// batch has applied and been WAL-logged.
+pub struct ApplyTicket {
+    rx: std::sync::mpsc::Receiver<Result<(), EngineError>>,
+}
+
+impl ApplyTicket {
+    /// Polls for completion without blocking. `Ok(None)` means "not
+    /// yet"; `Err` means the scheduler died with the batch outcome
+    /// indeterminate.
+    pub fn try_take(&self) -> Result<Option<Result<(), EngineError>>, DeadlineError> {
+        match self.rx.try_recv() {
+            Ok(r) => Ok(Some(r)),
+            Err(std::sync::mpsc::TryRecvError::Empty) => Ok(None),
+            Err(std::sync::mpsc::TryRecvError::Disconnected) => Err(DeadlineError::Disconnected),
+        }
+    }
+}
+
 /// An in-flight metrics fetch started with
 /// [`ServeHandle::begin_metrics`].
 pub struct MetricsTicket {
@@ -422,15 +532,20 @@ impl ServeServer {
         // Publish the initial snapshot before the first client can
         // read, so stale reads are wait-free from the very start.
         let snapshot: SnapshotSlot = Arc::new(RwLock::new(runtime.view_snapshot()));
+        let fenced = Arc::new(AtomicBool::new(false));
+        let fence_seen = Arc::new(AtomicBool::new(false));
         let handle = ServeHandle {
             tx,
             last_error: Arc::clone(&last_error),
             snapshot: Arc::clone(&snapshot),
             snapshot_reads: Arc::new(AtomicU64::new(0)),
+            fenced: Arc::clone(&fenced),
+            fence_seen: Arc::clone(&fence_seen),
         };
         runtime.set_faults(cfg.faults.clone());
-        let join =
-            std::thread::spawn(move || scheduler_loop(runtime, rx, last_error, snapshot, cfg));
+        let join = std::thread::spawn(move || {
+            scheduler_loop(runtime, rx, last_error, snapshot, fenced, fence_seen, cfg)
+        });
         ServeServer { handle, join }
     }
 
@@ -458,11 +573,23 @@ struct SchedulerState {
     ingest_errors: u64,
     max_depth: usize,
     last_error: Arc<Mutex<Option<ServeError>>>,
+    fenced: Arc<AtomicBool>,
 }
 
 impl SchedulerState {
     fn poison(&self, err: ServeError) {
         *self.last_error.lock().unwrap_or_else(|e| e.into_inner()) = Some(err);
+    }
+
+    fn fenced(&self) -> bool {
+        self.fenced.load(Ordering::SeqCst)
+    }
+}
+
+/// The error a fenced server returns for mutating requests.
+fn fenced_error() -> EngineError {
+    EngineError::Maintenance {
+        message: "server is fenced (superseded by a promoted replica)".into(),
     }
 }
 
@@ -471,12 +598,15 @@ fn scheduler_loop(
     rx: Receiver<Msg>,
     last_error: Arc<Mutex<Option<ServeError>>>,
     snapshot: SnapshotSlot,
+    fenced: Arc<AtomicBool>,
+    fence_seen: Arc<AtomicBool>,
     cfg: ServerConfig,
 ) -> MaintenanceRuntime {
     let mut st = SchedulerState {
         ingest_errors: 0,
         max_depth: 0,
         last_error,
+        fenced,
     };
     // Re-publish only when the view actually flushed (the snapshot
     // `Arc` changes identity at every flush boundary and nowhere else),
@@ -530,6 +660,16 @@ fn scheduler_loop(
         if disconnected {
             break;
         }
+        if st.fenced() {
+            // A fenced leader must not append another log record: no
+            // ticks, no kills to honour — just keep answering reads and
+            // metrics until every handle is dropped. Acknowledging the
+            // fence here (after the drain above rejected any ingest)
+            // gives promotion a happens-before edge: once acknowledged,
+            // the sealed log can no longer grow.
+            fence_seen.store(true, Ordering::SeqCst);
+            continue;
+        }
         let ticks = runtime.metrics().ticks;
         if let Err(source) = runtime.tick() {
             // A failed tick poisons the server: the flush (or its WAL
@@ -567,7 +707,9 @@ fn handle_msg(
 ) -> usize {
     match msg {
         Msg::Count { table, k } => {
-            if table < runtime.n() {
+            if st.fenced() {
+                st.ingest_errors += 1;
+            } else if table < runtime.n() {
                 runtime.ingest_count(table, k);
             } else {
                 st.ingest_errors += 1;
@@ -575,6 +717,12 @@ fn handle_msg(
             1
         }
         Msg::Dml { table, m } => {
+            if st.fenced() {
+                // Ingests racing the fence are dropped unapplied (and
+                // therefore unlogged): the sealed log cannot grow.
+                st.ingest_errors += 1;
+                return 1;
+            }
             // A rejected DML mutated nothing: count it, record it, keep
             // serving.
             if let Err(source) = runtime.ingest_dml(table, m) {
@@ -587,20 +735,43 @@ fn handle_msg(
             }
             1
         }
-        Msg::DmlBatch { table, mods } => {
+        Msg::DmlBatch { table, mods, done } => {
+            let weight = mods.len();
+            if st.fenced() {
+                st.ingest_errors += weight as u64;
+                if let Some(done) = done {
+                    let _ = reply_best_effort(done, Err(fenced_error()));
+                }
+                return weight;
+            }
             // Same per-modification failure semantics as a stream of
             // Msg::Dml: a bad modification is counted and recorded, the
             // rest of the batch still applies.
-            let weight = mods.len();
+            let mut first_err: Option<EngineError> = None;
             for m in mods {
                 if let Err(source) = runtime.ingest_dml(table, m) {
                     st.ingest_errors += 1;
+                    if first_err.is_none() {
+                        first_err = Some(source.clone());
+                    }
                     st.poison(ServeError {
                         ticks: runtime.metrics().ticks,
                         during: "ingest",
                         source,
                     });
                 }
+            }
+            if let Some(done) = done {
+                // Every applied modification is WAL-logged by the time
+                // we get here (ingest logs after applying), so this
+                // acknowledgement really is a durability acknowledgement.
+                let _ = reply_best_effort(
+                    done,
+                    match first_err {
+                        None => Ok(()),
+                        Some(e) => Err(e),
+                    },
+                );
             }
             weight
         }
@@ -609,7 +780,13 @@ fn handle_msg(
             enqueued,
             reply,
         } => {
-            let result = runtime.read_at(mode, enqueued);
+            let result = if st.fenced() && mode == ReadMode::Fresh {
+                // A fresh read flushes (and logs); a fenced server must
+                // not. Stale reads keep serving the sealed state.
+                Err(fenced_error())
+            } else {
+                runtime.read_at(mode, enqueued)
+            };
             let _ = reply_best_effort(reply, result);
             0
         }
@@ -629,6 +806,12 @@ fn handle_msg(
             0
         }
         Msg::SetBudget { budget } => {
+            if st.fenced() {
+                // A budget change is WAL-logged; the sealed log of a
+                // fenced leader must not grow. Dropped silently — the
+                // coordinator rebalances against the promoted replica.
+                return 0;
+            }
             // An invalid budget (or a WAL append failure) poisons the
             // server like a failed ingest would: the flush schedule can
             // no longer be reproduced from the log.
@@ -641,6 +824,7 @@ fn handle_msg(
             }
             0
         }
+        Msg::FenceProbe => 0,
     }
 }
 
@@ -913,6 +1097,107 @@ mod tests {
         drop(h);
         let runtime = server.shutdown();
         assert!(runtime.wal_records() >= 10);
+    }
+
+    #[test]
+    fn tracked_batch_acknowledges_after_apply_and_wal_append() {
+        use crate::wal::{read_wal, MemWal, WalWriter};
+        use aivm_engine::{
+            row, DataType, Database, MaterializedView, MinStrategy, Schema, ViewDef,
+        };
+        let mem = MemWal::new();
+        let mut db = Database::new();
+        let t = db
+            .create_table("t", Schema::new(vec![("id", DataType::Int)]))
+            .unwrap();
+        db.set_key_column(t, 0);
+        let view = MaterializedView::new(
+            &db,
+            ViewDef {
+                name: "v".into(),
+                tables: vec!["t".into()],
+                join_preds: vec![],
+                filters: vec![None],
+                residual: None,
+                projection: None,
+                aggregate: None,
+                distinct: false,
+            },
+            MinStrategy::Multiset,
+        )
+        .unwrap();
+        let cfg = ServeConfig::new(vec![CostModel::linear(0.5, 0.1)], 50.0);
+        let mut rt =
+            MaintenanceRuntime::engine(cfg, Box::new(crate::policy::NaiveFlush::new()), db, view)
+                .unwrap();
+        rt.attach_wal(WalWriter::create(Box::new(mem.clone()), 1).unwrap());
+        let server = ServeServer::spawn(rt, ServerConfig::default());
+        let h = server.handle();
+        let mods: Vec<aivm_engine::Modification> = (0..5i64)
+            .map(|i| aivm_engine::Modification::Insert(row![i]))
+            .collect();
+        let ticket = h.try_ingest_batch_tracked(0, mods).expect("enqueued");
+        let deadline = Instant::now() + Duration::from_secs(5);
+        let outcome = loop {
+            match ticket.try_take().expect("scheduler alive") {
+                Some(r) => break r,
+                None => {
+                    assert!(Instant::now() < deadline, "ack never arrived");
+                    std::thread::sleep(Duration::from_millis(1));
+                }
+            }
+        };
+        outcome.expect("batch applied");
+        // The acknowledgement implies durability: all 5 DML records are
+        // already in the log.
+        let dml = read_wal(&mem.bytes())
+            .unwrap()
+            .records
+            .iter()
+            .filter(|r| matches!(r, crate::wal::WalRecord::Dml { .. }))
+            .count();
+        assert_eq!(dml, 5);
+        drop(h);
+        server.shutdown();
+    }
+
+    #[test]
+    fn fenced_server_rejects_ingest_and_stops_logging() {
+        use crate::wal::{MemWal, WalWriter};
+        let mem = MemWal::new();
+        let mut rt = model_runtime();
+        rt.attach_wal(WalWriter::create(Box::new(mem.clone()), 1).unwrap());
+        let server = ServeServer::spawn(rt, ServerConfig::default());
+        let h = server.handle();
+        assert!(h.ingest_count(0, 1));
+        h.fence();
+        let deadline = Instant::now() + Duration::from_secs(5);
+        while !h.fence_acknowledged() {
+            assert!(Instant::now() < deadline, "fence never acknowledged");
+            std::thread::sleep(Duration::from_millis(1));
+        }
+        // Every ingest path rejects without touching the scheduler.
+        assert!(!h.ingest_count(0, 1));
+        assert!(!h.ingest_dml(
+            0,
+            aivm_engine::Modification::Insert(aivm_engine::row![1i64])
+        ));
+        assert!(matches!(
+            h.try_ingest_batch(0, vec![]),
+            Err(TrySendError::Disconnected)
+        ));
+        // Fresh reads (which would flush and log) error; metrics and
+        // stale state stay available.
+        let r = h.read(ReadMode::Fresh).expect("scheduler still replies");
+        assert!(r.is_err(), "fresh read on a fenced server must fail");
+        assert!(h.metrics().is_some());
+        // The sealed log stops growing: no ticks are appended while
+        // fenced.
+        let frozen = mem.bytes().len();
+        std::thread::sleep(Duration::from_millis(20));
+        assert_eq!(mem.bytes().len(), frozen, "fenced leader appended to WAL");
+        drop(h);
+        server.shutdown();
     }
 
     #[test]

@@ -474,6 +474,148 @@ pub fn read_wal(bytes: &[u8]) -> Result<WalReadOutcome, EngineError> {
     })
 }
 
+/// One batch of raw WAL record frames served to a tailing follower.
+///
+/// `bytes` holds `count` whole, checksum-valid record frames (length +
+/// checksum + payload, exactly as they appear in the log, *without* the
+/// log header) starting at record index `from_record`.
+/// `leader_records` is the total number of checksum-valid records the
+/// leader's log held at read time, so the receiver can compute its
+/// replication lag as `leader_records - (from_record + count)`.
+#[derive(Clone, Debug)]
+pub struct WalSegment {
+    /// Record index of the first frame in `bytes`.
+    pub from_record: u64,
+    /// Number of whole record frames in `bytes`.
+    pub count: u64,
+    /// Checksum-valid records in the leader's log at read time.
+    pub leader_records: u64,
+    /// The raw record frames (no log header).
+    pub bytes: Vec<u8>,
+}
+
+/// Walks record frames in `bytes[pos..]`, returning the byte range of
+/// each complete, checksum-valid frame. Stops (without error) at the
+/// first torn or checksum-failing frame — the crash-semantics tail.
+fn scan_frames(bytes: &[u8], mut pos: usize) -> Vec<(usize, usize)> {
+    let mut ranges = Vec::new();
+    while bytes.len() - pos >= FRAME_LEN {
+        let len = u32::from_le_bytes(bytes[pos..pos + 4].try_into().unwrap()) as usize;
+        let sum = u64::from_le_bytes(bytes[pos + 4..pos + 12].try_into().unwrap());
+        let payload_start = pos + FRAME_LEN;
+        if payload_start + len > bytes.len()
+            || checksum(&bytes[payload_start..payload_start + len]) != sum
+        {
+            break;
+        }
+        ranges.push((pos, payload_start + len));
+        pos = payload_start + len;
+    }
+    ranges
+}
+
+/// A shared read handle over a leader's WAL, serving byte segments of
+/// whole records to tailing followers.
+///
+/// The tail re-scans the log on every call (the log is the source of
+/// truth, including after torn-tail truncation), so a segment never
+/// contains a record the leader has not durably framed, and a follower
+/// that reconnects after any cut can resume from its own applied count
+/// with no gap and no duplicate.
+#[derive(Clone)]
+pub struct WalTail {
+    storage: Arc<Mutex<Box<dyn WalStorage>>>,
+}
+
+impl WalTail {
+    /// Wraps a log storage for tailing (typically a [`MemWal`] clone or
+    /// a reopened [`FileWal`]).
+    pub fn new(storage: Box<dyn WalStorage>) -> Self {
+        WalTail {
+            storage: Arc::new(Mutex::new(storage)),
+        }
+    }
+
+    /// Reads a segment of whole records starting at `from_record`,
+    /// bounded by `max_bytes` (at least one record is returned when any
+    /// is available). `from_record` at or past the end of the log
+    /// yields an empty segment carrying the current `leader_records`.
+    pub fn segment(&self, from_record: u64, max_bytes: usize) -> Result<WalSegment, EngineError> {
+        let bytes = self
+            .storage
+            .lock()
+            .expect("wal tail storage poisoned")
+            .read_all()?;
+        let corrupt = |what: &str| EngineError::Corrupt {
+            context: "wal tail".to_string(),
+            offset: 0,
+            message: what.to_string(),
+        };
+        if bytes.len() < WAL_HEADER_LEN || &bytes[..4] != WAL_MAGIC {
+            return Err(corrupt("log header"));
+        }
+        let version = u16::from_le_bytes([bytes[4], bytes[5]]);
+        if version != WAL_VERSION {
+            return Err(EngineError::Unsupported {
+                message: format!("wal version {version} (supported: {WAL_VERSION})"),
+            });
+        }
+        let ranges = scan_frames(&bytes, WAL_HEADER_LEN);
+        let leader_records = ranges.len() as u64;
+        let skip = (from_record.min(leader_records)) as usize;
+        let mut out = Vec::new();
+        let mut count = 0u64;
+        for &(start, end) in &ranges[skip..] {
+            if count > 0 && out.len() + (end - start) > max_bytes {
+                break;
+            }
+            out.extend_from_slice(&bytes[start..end]);
+            count += 1;
+        }
+        Ok(WalSegment {
+            from_record: skip as u64,
+            count,
+            leader_records,
+            bytes: out,
+        })
+    }
+}
+
+/// Decodes a follower-received segment of raw record frames.
+///
+/// Unlike [`read_wal`], a segment has no header and no legitimate torn
+/// tail — the leader only ships whole checksum-valid records — so any
+/// framing or checksum failure is a hard [`EngineError::Corrupt`]
+/// (transport damage; the follower should drop the connection and
+/// re-subscribe from its applied count).
+pub fn decode_segment(bytes: &[u8]) -> Result<Vec<WalRecord>, EngineError> {
+    let corrupt = |offset: usize, what: &str| EngineError::Corrupt {
+        context: "wal segment".to_string(),
+        offset: offset as u64,
+        message: what.to_string(),
+    };
+    let mut records = Vec::new();
+    let mut pos = 0usize;
+    while pos < bytes.len() {
+        if bytes.len() - pos < FRAME_LEN {
+            return Err(corrupt(pos, "torn frame header"));
+        }
+        let len = u32::from_le_bytes(bytes[pos..pos + 4].try_into().unwrap()) as usize;
+        let sum = u64::from_le_bytes(bytes[pos + 4..pos + 12].try_into().unwrap());
+        let payload_start = pos + FRAME_LEN;
+        if payload_start + len > bytes.len() {
+            return Err(corrupt(pos, "torn record payload"));
+        }
+        let payload = &bytes[payload_start..payload_start + len];
+        if checksum(payload) != sum {
+            return Err(corrupt(pos, "record checksum mismatch"));
+        }
+        records.push(WalRecord::decode(Bytes::from(payload))?);
+        pos = payload_start + len;
+    }
+    Ok(records)
+}
+
 /// A durability checkpoint: everything needed to rebuild runtime state
 /// at a known log position without replaying the whole log.
 ///
@@ -797,6 +939,71 @@ mod tests {
             engine: None,
         };
         assert_eq!(Checkpoint::decode(&model.encode()).unwrap(), model);
+    }
+
+    #[test]
+    fn wal_tail_segments_resume_without_gap_or_duplicate() {
+        let recs = sample_records();
+        let mem = write_log(&recs, 1);
+        let tail = WalTail::new(Box::new(mem.clone()));
+        // Tiny max_bytes forces multi-segment paging; applied-count
+        // resume must walk the whole log exactly once.
+        let mut applied = Vec::new();
+        let mut from = 0u64;
+        loop {
+            let seg = tail.segment(from, 1).unwrap();
+            assert_eq!(seg.from_record, from);
+            assert_eq!(seg.leader_records, recs.len() as u64);
+            if seg.count == 0 {
+                assert!(seg.bytes.is_empty());
+                break;
+            }
+            applied.extend(decode_segment(&seg.bytes).unwrap());
+            from += seg.count;
+        }
+        assert_eq!(applied, recs);
+        // Past-the-end subscription is an empty segment, not an error.
+        let seg = tail.segment(recs.len() as u64 + 10, 1 << 16).unwrap();
+        assert_eq!(seg.count, 0);
+        assert_eq!(seg.leader_records, recs.len() as u64);
+    }
+
+    #[test]
+    fn wal_tail_never_serves_a_torn_record() {
+        let recs = sample_records();
+        let mem = write_log(&recs, 1);
+        let full = mem.bytes();
+        for cut in WAL_HEADER_LEN..full.len() {
+            mem.truncate(cut);
+            let tail = WalTail::new(Box::new(mem.clone()));
+            let seg = tail.segment(0, 1 << 20).unwrap();
+            let durable = read_wal(&full[..cut]).unwrap().records.len() as u64;
+            assert_eq!(seg.leader_records, durable, "cut at {cut}");
+            assert_eq!(seg.count, durable);
+            assert_eq!(
+                decode_segment(&seg.bytes).unwrap(),
+                recs[..durable as usize]
+            );
+            // Restore for the next iteration.
+            mem.truncate(0);
+            let mut m = mem.clone();
+            m.append(&full).unwrap();
+        }
+    }
+
+    #[test]
+    fn corrupted_segment_is_a_hard_error() {
+        let recs = sample_records();
+        let mem = write_log(&recs, 1);
+        let tail = WalTail::new(Box::new(mem));
+        let seg = tail.segment(0, 1 << 20).unwrap();
+        for i in 0..seg.bytes.len() {
+            let mut bad = seg.bytes.clone();
+            bad[i] ^= 0x40;
+            assert!(decode_segment(&bad).is_err(), "flip at byte {i}");
+        }
+        let torn = &seg.bytes[..seg.bytes.len() - 1];
+        assert!(decode_segment(torn).is_err());
     }
 
     #[test]

@@ -1,0 +1,87 @@
+//! Typed construction/routing errors for the sharding layer.
+//!
+//! The partitioner, the sync façade and the router used to report
+//! wiring mistakes (mismatched shard counts, unshardable backends) as
+//! stringly `EngineError::Maintenance` values built at each call site.
+//! [`ShardError`] names each failure, keeps the numbers machine-readable
+//! for callers that want to react (e.g. resize and retry), and converts
+//! into [`EngineError`] at the boundary so existing `?` chains keep
+//! working.
+
+use aivm_engine::EngineError;
+
+/// Why a sharded runtime or router could not be assembled or serve.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum ShardError {
+    /// A per-shard collection's length does not match the partitioner's
+    /// shard count.
+    ShardCountMismatch {
+        /// What was being wired in (`"handles"`, `"runtimes"`,
+        /// `"table ids"`, ...).
+        what: &'static str,
+        /// The collection's length.
+        got: usize,
+        /// The partitioner's shard count (or key-column count).
+        want: usize,
+    },
+    /// A shard read produced no rows to merge — the shard runs a model
+    /// backend, which cannot participate in scatter-gather.
+    UnmergeableRead,
+    /// A shard slot needed by the operation has no live runtime.
+    ShardDead {
+        /// The dead slot's index.
+        shard: usize,
+    },
+}
+
+impl std::fmt::Display for ShardError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ShardError::ShardCountMismatch { what, got, want } => {
+                write!(f, "{got} {what} for a {want}-way partitioner")
+            }
+            ShardError::UnmergeableRead => {
+                write!(
+                    f,
+                    "shard read returned no rows (model backend cannot be sharded)"
+                )
+            }
+            ShardError::ShardDead { shard } => write!(f, "shard {shard} is dead"),
+        }
+    }
+}
+
+impl std::error::Error for ShardError {}
+
+impl From<ShardError> for EngineError {
+    fn from(e: ShardError) -> EngineError {
+        EngineError::Maintenance {
+            message: e.to_string(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn shard_errors_convert_to_engine_errors_with_stable_messages() {
+        let e: EngineError = ShardError::ShardCountMismatch {
+            what: "handles",
+            got: 3,
+            want: 4,
+        }
+        .into();
+        let EngineError::Maintenance { message } = e else {
+            panic!("expected Maintenance");
+        };
+        assert_eq!(message, "3 handles for a 4-way partitioner");
+
+        let e: EngineError = ShardError::UnmergeableRead.into();
+        assert!(e.to_string().contains("model backend"));
+
+        let e: EngineError = ShardError::ShardDead { shard: 2 }.into();
+        assert!(e.to_string().contains("shard 2 is dead"));
+    }
+}

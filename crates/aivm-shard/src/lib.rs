@@ -22,15 +22,18 @@
 //! The *co-location invariant* (join-key partitioning ⇒ no cross-shard
 //! join compensation) is documented and checked in [`partition`].
 
+pub mod error;
 pub mod merge;
 pub mod partition;
 pub mod runtime;
 pub mod set;
 
+pub use error::ShardError;
 pub use merge::MergeSpec;
 pub use partition::{Partitioner, Route};
 pub use runtime::{merge_reads, partition_database, MergedRead, ShardedRuntime};
 pub use set::{
-    merge_metrics, Coordinator, CoordinatorConfig, CoordinatorStats, MergedSnapshot,
-    RebalancePolicy, RouteError, ShardRouter,
+    merge_metrics, Coordinator, CoordinatorConfig, CoordinatorStats, FailoverConfig,
+    FailoverMonitor, FailoverStats, MergedSnapshot, Promoter, RebalancePolicy, ReplicaStatus,
+    RouteError, ShardRouter,
 };

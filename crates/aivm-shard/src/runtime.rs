@@ -12,6 +12,7 @@
 use aivm_engine::{Database, EngineError, Modification, TableId, WRow};
 use aivm_serve::{MaintenanceRuntime, ReadMode, ReadResult};
 
+use crate::error::ShardError;
 use crate::merge::MergeSpec;
 use crate::partition::{Partitioner, Route};
 
@@ -49,13 +50,12 @@ impl ShardedRuntime {
         def: &aivm_engine::ViewDef,
     ) -> Result<Self, EngineError> {
         if shards.len() != part.shards() {
-            return Err(EngineError::Maintenance {
-                message: format!(
-                    "{} runtimes for a {}-way partitioner",
-                    shards.len(),
-                    part.shards()
-                ),
-            });
+            return Err(ShardError::ShardCountMismatch {
+                what: "runtimes",
+                got: shards.len(),
+                want: part.shards(),
+            }
+            .into());
         }
         part.validate(def)?;
         let merge = MergeSpec::from_def(def)?;
@@ -146,9 +146,10 @@ pub fn merge_reads(merge: &MergeSpec, results: &[ReadResult]) -> Result<MergedRe
     let mut flush_cost = 0.0f64;
     let mut violated = false;
     for r in results {
-        let rows = r.rows.clone().ok_or_else(|| EngineError::Maintenance {
-            message: "shard read returned no rows (model backend cannot be sharded)".into(),
-        })?;
+        let rows = r
+            .rows
+            .clone()
+            .ok_or_else(|| EngineError::from(ShardError::UnmergeableRead))?;
         parts.push(rows);
         lag += r.lag;
         flush_cost = flush_cost.max(r.flush_cost);
@@ -178,13 +179,12 @@ pub fn partition_database(
     part: &Partitioner,
 ) -> Result<Vec<Database>, EngineError> {
     if tables.len() != part.key_cols().len() {
-        return Err(EngineError::Maintenance {
-            message: format!(
-                "{} table ids for a partitioner over {} tables",
-                tables.len(),
-                part.key_cols().len()
-            ),
-        });
+        return Err(ShardError::ShardCountMismatch {
+            what: "table ids",
+            got: tables.len(),
+            want: part.key_cols().len(),
+        }
+        .into());
     }
     let mut out = Vec::with_capacity(part.shards());
     for shard in 0..part.shards() {

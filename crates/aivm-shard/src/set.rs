@@ -39,14 +39,15 @@
 //! the exact same flush schedule. Dead shards are excluded and their
 //! budget share is redistributed over the live ones.
 
-use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::{Arc, Mutex, RwLock};
 use std::thread;
-use std::time::Duration;
+use std::time::{Duration, Instant};
 
 use aivm_engine::{EngineError, Modification, ViewDef, ViewSnapshot, WRow};
-use aivm_serve::{MetricsSnapshot, ReadResult, ServeHandle, TrySendError};
+use aivm_serve::{DeadlineError, MetricsSnapshot, ReadResult, ServeHandle, TrySendError, WalTail};
 
+use crate::error::ShardError;
 use crate::merge::MergeSpec;
 use crate::partition::Partitioner;
 use crate::runtime::{merge_reads, MergedRead};
@@ -74,6 +75,87 @@ pub struct MergedSnapshot {
     pub degraded: bool,
 }
 
+/// Live replication state for one shard's follower, shared between the
+/// replica thread (writer) and the router/metrics path (readers).
+/// Cloning shares the same atomics.
+#[derive(Clone, Debug, Default)]
+pub struct ReplicaStatus {
+    inner: Arc<ReplicaStatusInner>,
+}
+
+#[derive(Debug, Default)]
+struct ReplicaStatusInner {
+    applied: AtomicU64,
+    leader_records: AtomicU64,
+    epoch: AtomicU64,
+    staleness: AtomicU64,
+    healthy: AtomicBool,
+}
+
+impl ReplicaStatus {
+    /// A fresh status (nothing applied, unhealthy until the first
+    /// successful poll).
+    pub fn new() -> ReplicaStatus {
+        ReplicaStatus::default()
+    }
+
+    /// WAL records the follower has applied.
+    pub fn applied(&self) -> u64 {
+        self.inner.applied.load(Ordering::SeqCst)
+    }
+
+    /// Updates the applied-record count.
+    pub fn set_applied(&self, v: u64) {
+        self.inner.applied.store(v, Ordering::SeqCst);
+    }
+
+    /// Total records in the leader's WAL at the last poll.
+    pub fn leader_records(&self) -> u64 {
+        self.inner.leader_records.load(Ordering::SeqCst)
+    }
+
+    /// Updates the leader's record count.
+    pub fn set_leader_records(&self, v: u64) {
+        self.inner.leader_records.store(v, Ordering::SeqCst);
+    }
+
+    /// Replication lag: leader records not yet applied here.
+    pub fn lag(&self) -> u64 {
+        self.leader_records().saturating_sub(self.applied())
+    }
+
+    /// The leader epoch observed at the last poll.
+    pub fn epoch(&self) -> u64 {
+        self.inner.epoch.load(Ordering::SeqCst)
+    }
+
+    /// Updates the observed leader epoch.
+    pub fn set_epoch(&self, v: u64) {
+        self.inner.epoch.store(v, Ordering::SeqCst);
+    }
+
+    /// The follower view's own staleness (pending modifications not
+    /// yet flushed into its materialized view).
+    pub fn staleness(&self) -> u64 {
+        self.inner.staleness.load(Ordering::SeqCst)
+    }
+
+    /// Updates the follower staleness gauge.
+    pub fn set_staleness(&self, v: u64) {
+        self.inner.staleness.store(v, Ordering::SeqCst);
+    }
+
+    /// Whether the last poll cycle succeeded.
+    pub fn healthy(&self) -> bool {
+        self.inner.healthy.load(Ordering::SeqCst)
+    }
+
+    /// Marks the replica healthy/unhealthy.
+    pub fn set_healthy(&self, v: bool) {
+        self.inner.healthy.store(v, Ordering::SeqCst);
+    }
+}
+
 /// Cloneable façade over the per-shard [`ServeHandle`]s.
 #[derive(Clone)]
 pub struct ShardRouter {
@@ -86,6 +168,17 @@ struct RouterInner {
     merge: MergeSpec,
     /// The global refresh budget `C` the coordinator divides.
     global_budget: f64,
+    /// Per-shard fencing epochs. Start at 1 (0 on the wire means
+    /// "skip the check") and bump on every promotion, so a submit
+    /// stamped with a pre-failover epoch is rejected pre-admission.
+    epochs: Vec<AtomicU64>,
+    /// Leader WAL tails registered for replication (one per shard).
+    tails: Vec<RwLock<Option<WalTail>>>,
+    /// Follower replication status (one per shard, when a replica is
+    /// attached).
+    replicas: Vec<RwLock<Option<ReplicaStatus>>>,
+    /// Follower promotions executed over the router's lifetime.
+    failovers: AtomicU64,
 }
 
 impl ShardRouter {
@@ -101,22 +194,26 @@ impl ShardRouter {
         global_budget: f64,
     ) -> Result<Self, EngineError> {
         if handles.len() != part.shards() {
-            return Err(EngineError::Maintenance {
-                message: format!(
-                    "{} handles for a {}-way partitioner",
-                    handles.len(),
-                    part.shards()
-                ),
-            });
+            return Err(ShardError::ShardCountMismatch {
+                what: "handles",
+                got: handles.len(),
+                want: part.shards(),
+            }
+            .into());
         }
         part.validate(def)?;
         let merge = MergeSpec::from_def(def)?;
+        let n = handles.len();
         Ok(ShardRouter {
             inner: Arc::new(RouterInner {
                 slots: handles.into_iter().map(|h| RwLock::new(Some(h))).collect(),
                 part,
                 merge,
                 global_budget,
+                epochs: (0..n).map(|_| AtomicU64::new(1)).collect(),
+                tails: (0..n).map(|_| RwLock::new(None)).collect(),
+                replicas: (0..n).map(|_| RwLock::new(None)).collect(),
+                failovers: AtomicU64::new(0),
             }),
         })
     }
@@ -154,6 +251,68 @@ impl ShardRouter {
     /// Rejoins a recovered shard at slot `i`.
     pub fn rejoin(&self, i: usize, handle: ServeHandle) {
         *self.inner.slots[i].write().unwrap() = Some(handle);
+    }
+
+    /// Shard `i`'s current fencing epoch (starts at 1, bumped by every
+    /// promotion).
+    pub fn epoch_of(&self, i: usize) -> u64 {
+        self.inner.epochs[i].load(Ordering::SeqCst)
+    }
+
+    /// Sum of per-shard epochs — a monotonic cluster-config version
+    /// that advances exactly when any shard fails over.
+    pub fn cluster_epoch(&self) -> u64 {
+        self.inner
+            .epochs
+            .iter()
+            .map(|e| e.load(Ordering::SeqCst))
+            .sum()
+    }
+
+    /// Follower promotions executed over the router's lifetime.
+    pub fn failovers(&self) -> u64 {
+        self.inner.failovers.load(Ordering::SeqCst)
+    }
+
+    /// Registers shard `i`'s leader WAL tail so the network layer can
+    /// serve `ReplicaSubscribe` requests against it.
+    pub fn attach_wal_tail(&self, i: usize, tail: WalTail) {
+        *self.inner.tails[i].write().unwrap() = Some(tail);
+    }
+
+    /// Shard `i`'s registered WAL tail, if any.
+    pub fn wal_tail(&self, i: usize) -> Option<WalTail> {
+        self.inner.tails[i].read().unwrap().clone()
+    }
+
+    /// Registers shard `i`'s follower status for metrics and staleness
+    /// accounting.
+    pub fn attach_replica(&self, i: usize, status: ReplicaStatus) {
+        *self.inner.replicas[i].write().unwrap() = Some(status);
+    }
+
+    /// Shard `i`'s follower status, if a replica is attached.
+    pub fn replica_status(&self, i: usize) -> Option<ReplicaStatus> {
+        self.inner.replicas[i].read().unwrap().clone()
+    }
+
+    /// Installs a promoted follower as shard `i`'s new leader: fences
+    /// whatever handle still occupies the slot (idempotent — the caller
+    /// normally fenced and sealed it already), swaps in `handle`, bumps
+    /// the fencing epoch so in-flight submits stamped with the old one
+    /// are rejected, detaches the consumed replica status, and
+    /// registers the new leader's WAL tail (the follower re-logged
+    /// every applied record, so it is itself replicable). Returns the
+    /// new epoch.
+    pub fn promote(&self, i: usize, handle: ServeHandle, tail: Option<WalTail>) -> u64 {
+        if let Some(old) = self.handle(i) {
+            old.fence();
+        }
+        *self.inner.slots[i].write().unwrap() = Some(handle);
+        *self.inner.replicas[i].write().unwrap() = None;
+        *self.inner.tails[i].write().unwrap() = tail;
+        self.inner.failovers.fetch_add(1, Ordering::SeqCst);
+        self.inner.epochs[i].fetch_add(1, Ordering::SeqCst) + 1
     }
 
     /// Indices of live shards.
@@ -519,6 +678,172 @@ fn epoch_loop(
         st.epochs += 1;
         st.rebalances += pushed;
         st.last_budgets = current.clone();
+    }
+}
+
+/// Failure-detection configuration for the [`FailoverMonitor`].
+#[derive(Clone, Debug)]
+pub struct FailoverConfig {
+    /// Probe period.
+    pub probe_interval: Duration,
+    /// How long one probe may wait for the shard's scheduler to answer
+    /// before it counts as a failure.
+    pub ping_deadline: Duration,
+    /// Consecutive probe failures before the shard is declared dead
+    /// and its promoter runs (a single missed deadline on a loaded
+    /// 1-core box is not a death sentence).
+    pub fail_threshold: u32,
+}
+
+impl Default for FailoverConfig {
+    fn default() -> Self {
+        FailoverConfig {
+            probe_interval: Duration::from_millis(10),
+            ping_deadline: Duration::from_millis(150),
+            fail_threshold: 3,
+        }
+    }
+}
+
+/// A one-shot promotion action for a shard: runs on the monitor thread
+/// after the shard is declared dead, with the router and the dead slot
+/// index. Expected to seal the old leader's log, catch the follower up,
+/// and call [`ShardRouter::promote`].
+pub type Promoter = Box<dyn FnOnce(&ShardRouter, usize) + Send>;
+
+/// Summary of the failover monitor's activity.
+#[derive(Clone, Debug, Default)]
+pub struct FailoverStats {
+    /// Probe rounds completed.
+    pub probes: u64,
+    /// Shards declared dead (promoter invoked or slot left dead).
+    pub failovers: u64,
+}
+
+/// The health-check/promotion thread: probes every live shard's
+/// scheduler each `probe_interval` via a metrics ticket; a shard that
+/// misses `ping_deadline` `fail_threshold` times in a row is marked
+/// dead and its [`Promoter`] (if any) runs to install the follower.
+pub struct FailoverMonitor {
+    stop: Arc<AtomicBool>,
+    stats: Arc<Mutex<FailoverStats>>,
+    join: Option<thread::JoinHandle<()>>,
+}
+
+impl FailoverMonitor {
+    /// Spawns the probe loop. `promoters[i]` (when present) runs at
+    /// most once, after shard `i` is declared dead.
+    pub fn spawn(
+        router: ShardRouter,
+        cfg: FailoverConfig,
+        promoters: Vec<Option<Promoter>>,
+    ) -> Self {
+        let stop = Arc::new(AtomicBool::new(false));
+        let stats = Arc::new(Mutex::new(FailoverStats::default()));
+        let stop2 = Arc::clone(&stop);
+        let stats2 = Arc::clone(&stats);
+        let join = thread::Builder::new()
+            .name("aivm-shard-failover".into())
+            .spawn(move || probe_loop(router, cfg, promoters, stop2, stats2))
+            .expect("spawn failover monitor thread");
+        FailoverMonitor {
+            stop,
+            stats,
+            join: Some(join),
+        }
+    }
+
+    /// Stops the loop and returns the activity summary.
+    pub fn stop(mut self) -> FailoverStats {
+        self.stop.store(true, Ordering::SeqCst);
+        if let Some(j) = self.join.take() {
+            let _ = j.join();
+        }
+        let stats = self.stats.lock().unwrap().clone();
+        stats
+    }
+}
+
+impl Drop for FailoverMonitor {
+    fn drop(&mut self) {
+        self.stop.store(true, Ordering::SeqCst);
+        if let Some(j) = self.join.take() {
+            let _ = j.join();
+        }
+    }
+}
+
+/// One liveness probe: enqueue a metrics request and poll its ticket
+/// until `deadline`. Queue-full is *not* a failure (the scheduler is
+/// alive, just busy); a dead sender, a disconnected ticket, or deadline
+/// expiry is.
+fn probe_shard(handle: &ServeHandle, deadline: Duration) -> bool {
+    let Some(ticket) = handle.begin_metrics() else {
+        // Control sends bypass capacity; None means a dead scheduler.
+        return false;
+    };
+    let due = Instant::now() + deadline;
+    loop {
+        match ticket.try_take() {
+            Ok(Some(_)) => return true,
+            Ok(None) => {
+                if Instant::now() >= due {
+                    return false;
+                }
+                thread::sleep(Duration::from_micros(200));
+            }
+            Err(DeadlineError::Disconnected) => return false,
+            Err(DeadlineError::TimedOut) => return false,
+        }
+    }
+}
+
+fn probe_loop(
+    router: ShardRouter,
+    cfg: FailoverConfig,
+    promoters: Vec<Option<Promoter>>,
+    stop: Arc<AtomicBool>,
+    stats: Arc<Mutex<FailoverStats>>,
+) {
+    let n = router.shards();
+    let mut strikes = vec![0u32; n];
+    let mut promoters: Vec<Option<Promoter>> = {
+        let mut p = promoters;
+        p.resize_with(n, || None);
+        p
+    };
+    while !stop.load(Ordering::SeqCst) {
+        thread::sleep(cfg.probe_interval);
+        if stop.load(Ordering::SeqCst) {
+            break;
+        }
+        for i in 0..n {
+            let Some(handle) = router.handle(i) else {
+                // Another path (a routed submit, a read) already marked
+                // the slot dead; run the pending promoter now instead
+                // of waiting for probe strikes that can never clear.
+                if let Some(promote) = promoters[i].take() {
+                    promote(&router, i);
+                    stats.lock().unwrap().failovers += 1;
+                }
+                continue;
+            };
+            if probe_shard(&handle, cfg.ping_deadline) {
+                strikes[i] = 0;
+                continue;
+            }
+            strikes[i] += 1;
+            if strikes[i] < cfg.fail_threshold {
+                continue;
+            }
+            strikes[i] = 0;
+            router.mark_dead(i);
+            if let Some(promote) = promoters[i].take() {
+                promote(&router, i);
+            }
+            stats.lock().unwrap().failovers += 1;
+        }
+        stats.lock().unwrap().probes += 1;
     }
 }
 

@@ -84,6 +84,7 @@ fn concurrent_clients_over_tcp_match_direct_evaluation() {
         max_backoff: Duration::from_millis(10),
         pool: 1,
         seed,
+        ..ClientConfig::default()
     };
 
     // Three writers race over the two table cursors; each holds a
