@@ -180,9 +180,13 @@ fn tail_session(
             Ok(r) => r,
             Err(_) => return false, // transport damage: resubscribe
         };
-        if from_record > applied {
-            // A gap the leader cannot serve (log vanished under us):
-            // this standby can no longer catch up by tailing.
+        if from_record > applied || leader_records < applied {
+            // Divergence: a gap the leader cannot serve (log vanished
+            // under us), or a leader log shorter than what we already
+            // applied (truncated/rebuilt — the tail clamps from_record
+            // to its end, so only the record count betrays it). Either
+            // way this standby can no longer catch up by tailing;
+            // surface it instead of polling forever as "healthy".
             status.set_healthy(false);
             return false;
         }

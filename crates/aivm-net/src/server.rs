@@ -446,6 +446,10 @@ enum Pending {
     /// rejections.
     SubmitSharded {
         table: usize,
+        /// The fencing epoch the submit was stamped with (0 skips the
+        /// check). Re-verified on every parked re-attempt: a failover
+        /// while the submit waits on a full queue must still fence it.
+        epoch: u64,
         /// Per-shard sub-batches still awaiting admission.
         parts: Vec<(usize, Vec<Modification>)>,
         /// Events admitted so far (across already-admitted sub-batches).
@@ -1329,14 +1333,7 @@ fn submit_sharded(
         if s.epoch != 0 {
             let current = router.epoch_of(*shard);
             if s.epoch < current {
-                return FrameOutcome::Reply(Response::Error {
-                    code: ErrorCode::StaleEpoch,
-                    message: format!(
-                        "shard {shard} is at epoch {current}, submit stamped epoch {}; \
-                         refresh the epoch and retry (nothing was enqueued)",
-                        s.epoch
-                    ),
-                });
+                return FrameOutcome::Reply(stale_epoch(*shard, current, s.epoch));
             }
         }
         let Some(handle) = router.handle(*shard) else {
@@ -1363,6 +1360,7 @@ fn submit_sharded(
         shared,
         router,
         table,
+        s.epoch,
         &mut parts,
         &mut accepted,
         total,
@@ -1371,6 +1369,7 @@ fn submit_sharded(
         Some(resp) => FrameOutcome::Reply(resp),
         None => FrameOutcome::Wait(Pending::SubmitSharded {
             table,
+            epoch: s.epoch,
             parts,
             accepted,
             total,
@@ -1394,11 +1393,28 @@ fn try_submit_sharded(
     shared: &Shared,
     router: &ShardRouter,
     table: usize,
+    epoch: u64,
     parts: &mut Vec<(usize, Vec<Modification>)>,
     accepted: &mut u64,
     total: usize,
     tickets: &mut Vec<ApplyTicket>,
 ) -> Option<Response> {
+    // Re-run the epoch fence on every admission round, not just the
+    // initial pre-check: a submit parked on a full queue can outlive a
+    // failover, and admitting it afterwards would feed the promoted
+    // follower a batch whose prefix may already have been drained from
+    // the dead leader's log — the double-apply the fence exists to
+    // reject. Rejection is only retry-safe while nothing has been
+    // admitted; past that point the partial-submit paths below own the
+    // error semantics.
+    if epoch != 0 && *accepted == 0 {
+        for (shard, _) in parts.iter() {
+            let current = router.epoch_of(*shard);
+            if epoch < current {
+                return Some(stale_epoch(*shard, current, epoch));
+            }
+        }
+    }
     let durable = shared.cfg.durable_acks;
     let mut i = 0;
     while i < parts.len() {
@@ -1451,6 +1467,18 @@ fn try_submit_sharded(
     (parts.is_empty() && tickets.is_empty()).then_some(Response::SubmitOk {
         accepted: *accepted,
     })
+}
+
+/// The retry-safe rejection for a submit stamped with a pre-failover
+/// epoch: nothing was enqueued anywhere.
+fn stale_epoch(shard: usize, current: u64, stamped: u64) -> Response {
+    Response::Error {
+        code: ErrorCode::StaleEpoch,
+        message: format!(
+            "shard {shard} is at epoch {current}, submit stamped epoch {stamped}; \
+             refresh the epoch and retry (nothing was enqueued)"
+        ),
+    }
 }
 
 /// The retry-safe rejection for a submit whose owning shard is dead:
@@ -1577,6 +1605,7 @@ fn poll_pending(shared: &Shared, backend: &Backend, conn: &mut Conn) -> bool {
         }
         Pending::SubmitSharded {
             table,
+            epoch,
             parts,
             accepted,
             total,
@@ -1587,7 +1616,9 @@ fn poll_pending(shared: &Shared, backend: &Backend, conn: &mut Conn) -> bool {
             let Backend::Sharded(router) = backend else {
                 return mismatched_pending(conn);
             };
-            match try_submit_sharded(shared, router, *table, parts, accepted, *total, tickets) {
+            match try_submit_sharded(
+                shared, router, *table, *epoch, parts, accepted, *total, tickets,
+            ) {
                 Some(resp) => Some(resp),
                 None if parts.is_empty() => {
                     // Every sub-batch is admitted; with durable acks

@@ -16,6 +16,19 @@ use std::io::Write;
 use std::net::TcpStream;
 use std::time::Duration;
 
+fn tiny_view_def() -> ViewDef {
+    ViewDef {
+        name: "v".into(),
+        tables: vec!["t".into()],
+        join_preds: vec![],
+        filters: vec![None],
+        residual: None,
+        projection: None,
+        aggregate: None,
+        distinct: false,
+    }
+}
+
 fn tiny_engine_runtime() -> (MaintenanceRuntime, Database) {
     let mut db = Database::new();
     let t = db
@@ -23,21 +36,7 @@ fn tiny_engine_runtime() -> (MaintenanceRuntime, Database) {
         .unwrap();
     db.set_key_column(t, 0);
     let genesis = db.clone();
-    let view = MaterializedView::new(
-        &db,
-        ViewDef {
-            name: "v".into(),
-            tables: vec!["t".into()],
-            join_preds: vec![],
-            filters: vec![None],
-            residual: None,
-            projection: None,
-            aggregate: None,
-            distinct: false,
-        },
-        MinStrategy::Multiset,
-    )
-    .unwrap();
+    let view = MaterializedView::new(&db, tiny_view_def(), MinStrategy::Multiset).unwrap();
     let cfg = ServeConfig::new(vec![CostModel::linear(0.5, 0.1)], 50.0);
     let rt = MaintenanceRuntime::engine(cfg, Box::new(NaiveFlush::new()), db, view).unwrap();
     (rt, genesis)
@@ -295,4 +294,79 @@ fn shutdown_drains_open_connections() {
     // the stop flag at its next request boundary).
     rig.net.shutdown();
     rig.serve.shutdown();
+}
+
+#[test]
+fn diverged_replica_goes_unhealthy_instead_of_polling_forever() {
+    use aivm_net::{Replica, ReplicaConfig};
+    use aivm_serve::{MemWal, WalTail, WalWriter};
+    use aivm_shard::{Partitioner, ReplicaStatus, ShardRouter};
+    use std::time::Instant;
+
+    // One-shard rig whose leader WAL is tailed by the router.
+    let (mut rt, _genesis) = tiny_engine_runtime();
+    let mem = MemWal::new();
+    rt.attach_wal(WalWriter::create(Box::new(mem.clone()), 1).unwrap());
+    let serve = ServeServer::spawn(rt, ServerConfig::default());
+    let part = Partitioner::single(1);
+    let router = ShardRouter::new(vec![serve.handle()], part, &tiny_view_def(), 50.0).unwrap();
+    router.attach_wal_tail(0, WalTail::new(Box::new(mem.clone())));
+    let net =
+        NetServer::bind_sharded("127.0.0.1:0", router.clone(), NetServerConfig::default()).unwrap();
+    assert!(serve
+        .handle()
+        .ingest_dml(0, Modification::Insert(row![1i64])));
+
+    // Control: a fresh standby catches up and turns healthy, proving
+    // the tail-stream path itself works in this rig.
+    let (standby, _) = tiny_engine_runtime();
+    let status = ReplicaStatus::new();
+    let rep = Replica::spawn(
+        net.local_addr(),
+        0,
+        standby,
+        status.clone(),
+        ReplicaConfig::default(),
+    )
+    .unwrap();
+    let deadline = Instant::now() + Duration::from_secs(10);
+    while !(status.healthy() && status.applied() >= 1) {
+        assert!(Instant::now() < deadline, "control replica never caught up");
+        std::thread::sleep(Duration::from_millis(1));
+    }
+    drop(rep);
+
+    // Divergence: a follower whose applied cursor lies beyond the
+    // leader's entire log (the log was truncated/rebuilt under it — the
+    // tail clamps from_record to its end, so only the record count
+    // betrays it) must flag itself unhealthy and stop, not sleep-poll
+    // forever reporting healthy while applying nothing.
+    let (standby, _) = tiny_engine_runtime();
+    let status = ReplicaStatus::new();
+    status.set_applied(1_000);
+    status.set_healthy(true);
+    let rep = Replica::spawn(
+        net.local_addr(),
+        0,
+        standby,
+        status.clone(),
+        ReplicaConfig::default(),
+    )
+    .unwrap();
+    let deadline = Instant::now() + Duration::from_secs(10);
+    while status.healthy() {
+        assert!(
+            Instant::now() < deadline,
+            "diverged replica kept reporting healthy"
+        );
+        std::thread::sleep(Duration::from_millis(1));
+    }
+    // And it must not fabricate progress past the leader's log.
+    assert_eq!(status.applied(), 1_000);
+    drop(rep);
+    net.shutdown();
+    // The router's slot still holds a scheduler handle; release it so
+    // the scheduler sees disconnect and `shutdown`'s join returns.
+    drop(router);
+    serve.shutdown();
 }

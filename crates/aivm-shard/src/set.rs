@@ -298,9 +298,9 @@ impl ShardRouter {
 
     /// Installs a promoted follower as shard `i`'s new leader: fences
     /// whatever handle still occupies the slot (idempotent — the caller
-    /// normally fenced and sealed it already), swaps in `handle`, bumps
-    /// the fencing epoch so in-flight submits stamped with the old one
-    /// are rejected, detaches the consumed replica status, and
+    /// normally fenced and sealed it already), bumps the fencing epoch
+    /// so in-flight submits stamped with the old one are rejected,
+    /// swaps in `handle`, detaches the consumed replica status, and
     /// registers the new leader's WAL tail (the follower re-logged
     /// every applied record, so it is itself replicable). Returns the
     /// new epoch.
@@ -308,11 +308,20 @@ impl ShardRouter {
         if let Some(old) = self.handle(i) {
             old.fence();
         }
+        // Bump the epoch *before* the new leader becomes reachable:
+        // any submit that can route to the promoted follower is then
+        // guaranteed to observe the post-failover epoch at the fence
+        // check. (The other order leaves a window where a stale-epoch
+        // submit passes the pre-check and is enqueued into the new
+        // leader — the double-apply the fence exists to reject.) A
+        // fresh-epoch submit racing the swap just sees an empty slot
+        // and gets the retry-safe ShardUnavailable.
+        let epoch = self.inner.epochs[i].fetch_add(1, Ordering::SeqCst) + 1;
         *self.inner.slots[i].write().unwrap() = Some(handle);
         *self.inner.replicas[i].write().unwrap() = None;
         *self.inner.tails[i].write().unwrap() = tail;
         self.inner.failovers.fetch_add(1, Ordering::SeqCst);
-        self.inner.epochs[i].fetch_add(1, Ordering::SeqCst) + 1
+        epoch
     }
 
     /// Indices of live shards.
@@ -837,6 +846,23 @@ fn probe_loop(
                 continue;
             }
             strikes[i] = 0;
+            // Fence the suspect *before* dropping its handle and
+            // running the promoter. A declared-dead leader can be
+            // merely slow (`fail_threshold` anticipates exactly that);
+            // unfenced it would keep acking and WAL-appending after
+            // the promoter's drain snapshot — acknowledged-write loss
+            // plus split-brain. Spinning on the acknowledgement makes
+            // the seal point a real happens-before edge: once the
+            // scheduler has observed the fence (or is gone, which
+            // acknowledges vacuously) its log can no longer grow.
+            handle.fence();
+            while !handle.fence_acknowledged() {
+                if stop.load(Ordering::SeqCst) {
+                    return;
+                }
+                thread::sleep(Duration::from_micros(200));
+            }
+            drop(handle);
             router.mark_dead(i);
             if let Some(promote) = promoters[i].take() {
                 promote(&router, i);
