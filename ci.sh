@@ -107,6 +107,22 @@ timeout 120 ./target/release/repro chaos --seeds 2 --events 1000 \
 AIVM_BENCH_LABEL=ci timeout 120 ./target/release/repro loadgen --quick \
   --duration 5s --shards 2 --replicas --kill-leader >/dev/null
 
+echo "==> multi-view registry gate (shared propagation + push subscriptions)"
+# Property tests over real sockets: the registry is bit-identical to N
+# independent single-view servers on the same stream; a subscriber
+# killed and resumed at every seq folds each batch exactly once with no
+# gap or duplicate; off-ring and never-draining subscribers degrade to
+# snapshot resync without stalling the flush path.
+cargo test -q --release -p aivm-net --test multiview_equivalence --test subscription_resume
+# Engine-level head-to-head: one registry serving 32 views must beat 32
+# independent runtimes, bit-identical checksums, zero violations.
+AIVM_BENCH_LABEL=ci ./target/release/repro --quick multiview --views 32 >/dev/null
+# One base-delta stream fanning to 32 registered views and 64 live push
+# subscribers over TCP: every folded delta checksum-verified, zero
+# per-view staleness violations, events/s floor enforced. Timeboxed.
+AIVM_BENCH_LABEL=ci timeout 120 ./target/release/repro loadgen --quick \
+  --duration 5s --views 32 --subscribers 64 --min-throughput 20000 >/dev/null
+
 echo "==> serve throughput baseline (BENCH_serve.json)"
 AIVM_BENCH_FAST=1 AIVM_BENCH_LABEL=ci cargo bench -p aivm-bench --bench serve >/dev/null
 

@@ -19,6 +19,8 @@
 //!   chaos      crash/recover + degradation chaos suite (robustness)
 //!   loadgen    closed-loop TCP load generator over aivm-net (emits
 //!              BENCH_net.json)
+//!   multiview  shared-propagation head-to-head: one registry serving N
+//!              views vs N independent runtimes (emits BENCH_serve.json)
 //!   all        every figure target above, in paper order (not serve)
 //! ```
 //!
@@ -73,7 +75,18 @@
 //!                          failover monitor); needs --shards >= 2
 //!   --kill-leader          kill shard 0's leader mid-run and ride out
 //!                          the automatic failover (needs --replicas)
+//!   --views N              register N paper-view variants in one view
+//!                          registry (shared delta propagation) instead
+//!                          of the single-view stack; single-sharded
+//!   --subscribers M        attach M live push subscribers that fold
+//!                          every delta batch and verify its post-fold
+//!                          checksum while the workers run
 //! ```
+//!
+//! `multiview` runs the engine-level shared-propagation head-to-head
+//! (one registry serving `--views N` vs N independent runtimes on the
+//! identical stream) and exits nonzero unless every view's final
+//! checksum is bit-identical across stacks and sharing wins wall-clock.
 //!
 //! `loadgen` appends its measured throughput, Stale/Fresh read latency
 //! quantiles and shed/retry counters to `BENCH_net.json` and exits
@@ -364,6 +377,8 @@ struct ServeArgs {
     min_reads: Option<f64>,
     max_stale_p99_ms: Option<f64>,
     shards: Option<usize>,
+    views: Option<usize>,
+    subscribers: Option<usize>,
     skew: Option<f64>,
     rebalance: Option<aivm_shard::RebalancePolicy>,
     replicas: bool,
@@ -525,13 +540,22 @@ fn run_loadgen(csv: bool, quick: bool, sargs: &ServeArgs) {
             std::process::exit(2);
         }
     }
+    let views = sargs.views.unwrap_or(1);
+    let subscribers = sargs.subscribers.unwrap_or(0);
+    let registry = views > 1 || subscribers > 0;
     // Omitted --shards auto-picks one scheduler per hardware thread; a
-    // replicated run needs at least two shards to have a router.
+    // replicated run needs at least two shards to have a router; the
+    // multi-view registry stack is single-sharded.
     let (shards, shards_auto) = match sargs.shards {
         Some(n) => (n, false),
+        None if registry => (1, false),
         None if sargs.replicas => (auto_shards().max(2), true),
         None => (auto_shards(), true),
     };
+    if registry && (shards > 1 || sargs.replicas) {
+        eprintln!("--views/--subscribers run the single-sharded registry stack (drop --shards/--replicas)");
+        std::process::exit(2);
+    }
     if sargs.replicas && shards < 2 {
         eprintln!("--replicas needs --shards >= 2");
         std::process::exit(2);
@@ -574,6 +598,9 @@ fn run_loadgen(csv: bool, quick: bool, sargs: &ServeArgs) {
         wal_sync: sargs.wal_sync,
         max_conns: sargs.max_conns,
         shards,
+        shards_auto,
+        views,
+        subscribers,
         rebalance: sargs.rebalance.unwrap_or(defaults.rebalance),
         replicas: sargs.replicas,
         kill_leader: sargs.kill_leader,
@@ -611,7 +638,12 @@ fn run_loadgen(csv: bool, quick: bool, sargs: &ServeArgs) {
             Some(p) => format!(", WAL fsync {p}"),
             None => String::new(),
         },
-        if opts.shards > 1 {
+        if registry {
+            format!(
+                ", registry: {} views, {} push subscribers",
+                opts.views, opts.subscribers
+            )
+        } else if opts.shards > 1 {
             format!(
                 ", {} shards{} (rebalance {}){}",
                 opts.shards,
@@ -730,12 +762,51 @@ fn run_loadgen(csv: bool, quick: bool, sargs: &ServeArgs) {
             }
         }
     }
+    if registry {
+        t.row(vec![
+            "views / push subscribers".to_string(),
+            format!("{} / {}", r.net.views, r.net.subscribers),
+        ]);
+        t.row(vec![
+            "delta batches pushed / max subscriber lag".to_string(),
+            format!("{} / {}", r.net.deltas_pushed, r.net.sub_lag_max),
+        ]);
+        t.row(vec![
+            "subscriber folds (snapshots/deltas/checksum errors)".to_string(),
+            format!(
+                "{}/{}/{}",
+                r.sub_snapshots, r.sub_deltas, r.sub_checksum_errors
+            ),
+        ]);
+        t.row(vec![
+            "staleness max (events)".to_string(),
+            r.net.staleness_max.to_string(),
+        ]);
+        if let Some(rows) = &r.net.per_view {
+            for v in rows {
+                t.row(vec![
+                    format!("view {} (group {})", v.view, v.group),
+                    format!(
+                        "flushes {}, pending {}, pushed {}, subs {}, lag {}, violations {}",
+                        v.flushes,
+                        v.pending,
+                        v.deltas_pushed,
+                        v.subscribers,
+                        v.sub_lag_max,
+                        v.violations
+                    ),
+                ]);
+            }
+        }
+    }
     print_table(&t, csv);
 
     // Tracked baseline: BENCH_net.json at the repo root. Sharded runs
     // record under their own key prefix so the single-runtime baseline
     // stays comparable across PRs.
-    let prefix = if opts.replicas {
+    let prefix = if registry {
+        format!("loadgen/views{views}/")
+    } else if opts.replicas {
         format!(
             "loadgen/replicated{}{}/",
             r.shards,
@@ -749,6 +820,7 @@ fn run_loadgen(csv: bool, quick: bool, sargs: &ServeArgs) {
     let mut suite = aivm_bench::harness::Suite::new("net");
     let mut rec = |name: &str, v: f64| suite.record_value(&format!("{prefix}{name}"), v);
     rec("shards", r.shards as f64);
+    rec("shards_auto", if r.net.shards_auto { 1.0 } else { 0.0 });
     rec("events_per_sec", r.events_per_sec());
     rec("reads_per_sec", r.reads_per_sec());
     rec("flush_threads", sargs.flush_threads.unwrap_or(1) as f64);
@@ -775,6 +847,15 @@ fn run_loadgen(csv: bool, quick: bool, sargs: &ServeArgs) {
         rec("failovers", r.net.failovers as f64);
         rec("replica_lag_max", r.net.replica_lag_max as f64);
     }
+    if registry {
+        rec("views", r.views as f64);
+        rec("subscribers", r.subscribers as f64);
+        rec("deltas_pushed", r.net.deltas_pushed as f64);
+        rec("sub_lag_max", r.net.sub_lag_max as f64);
+        rec("sub_deltas_folded", r.sub_deltas as f64);
+        rec("sub_checksum_errors", r.sub_checksum_errors as f64);
+        rec("staleness_max", r.net.staleness_max as f64);
+    }
     suite.finish();
 
     let mut failed = false;
@@ -790,11 +871,19 @@ fn run_loadgen(csv: bool, quick: bool, sargs: &ServeArgs) {
         failed = true;
     }
     if !r.ok() {
+        let per_view_violations: u64 = r
+            .net
+            .per_view
+            .as_ref()
+            .map(|rows| rows.iter().map(|v| v.violations).sum())
+            .unwrap_or(0);
         eprintln!(
-            "loadgen FAILED: {} budget violation(s), {} protocol error(s), \
-             {} engine scan fallback(s){}",
+            "loadgen FAILED: {} budget violation(s) ({} per-view), {} protocol error(s), \
+             {} subscriber checksum error(s), {} engine scan fallback(s){}",
             r.client_violations + r.runtime.constraint_violations,
+            per_view_violations,
             r.protocol_errors,
+            r.sub_checksum_errors,
             r.scan_fallbacks,
             match (&r.last_error, &r.net.last_error) {
                 (Some(e), _) | (None, Some(e)) => format!(" — {e}"),
@@ -1037,6 +1126,129 @@ fn run_shardsweep(csv: bool, quick: bool, sargs: &ServeArgs) {
     print_table(&t2, csv);
     suite.finish();
     if failed {
+        std::process::exit(1);
+    }
+}
+
+/// The shared-propagation head-to-head: one registry serving N views
+/// vs N independent single-view runtimes fed the identical stream.
+/// Appends to `BENCH_serve.json` and exits nonzero unless every view's
+/// final checksum is bit-identical across stacks, both stacks are
+/// violation-free, and sharing actually wins wall-clock.
+fn run_multiview_target(csv: bool, quick: bool, sargs: &ServeArgs) {
+    use aivm_bench::multiview::{run_multiview, MultiviewOptions};
+    use aivm_bench::serve::{ServeExperiment, ServeOptions, SERVE_POLICIES};
+    let defaults = MultiviewOptions::default();
+    let policy = sargs.policy.clone().unwrap_or(defaults.policy);
+    if !SERVE_POLICIES.contains(&policy.as_str()) {
+        eprintln!("unknown policy: {policy} (expected naive, online or planned)");
+        std::process::exit(2);
+    }
+    let views = sargs
+        .views
+        .unwrap_or(if quick { 8 } else { defaults.views });
+    let events_each = sargs.events.unwrap_or(if quick { 600 } else { 3_000 });
+    let exp = match ServeExperiment::build(ServeOptions {
+        events_each,
+        budget: sargs.budget,
+        quick,
+        ..Default::default()
+    }) {
+        Ok(e) => e,
+        Err(e) => {
+            eprintln!("multiview setup failed: {e}");
+            std::process::exit(1);
+        }
+    };
+    let opts = MultiviewOptions {
+        views,
+        batch: sargs.batch.unwrap_or(defaults.batch),
+        policy,
+    };
+    let r = match run_multiview(&exp, &opts) {
+        Ok(r) => r,
+        Err(e) => {
+            eprintln!("multiview run failed: {e}");
+            std::process::exit(1);
+        }
+    };
+    let mut t = ExpTable::new(
+        "Multi-view registry vs independent runtimes (shared propagation)",
+        &["metric", "shared registry", "independent"],
+    );
+    t.note(format!(
+        "{} views over one SPJ-sharing group, {} stream events, batch {}, \
+         policy {}, registry budget {:.1} (view-count-scaled from C = {:.1})",
+        r.views,
+        r.events,
+        opts.batch,
+        opts.policy,
+        exp.registry_budget(r.views),
+        exp.budget,
+    ));
+    t.row(vec![
+        "events/s".to_string(),
+        format!("{:.0}", r.shared_events_per_sec()),
+        format!("{:.0}", r.independent_events_per_sec()),
+    ]);
+    t.row(vec![
+        "elapsed (s)".to_string(),
+        format!("{:.3}", r.shared_elapsed.as_secs_f64()),
+        format!("{:.3}", r.independent_elapsed.as_secs_f64()),
+    ]);
+    t.row(vec![
+        "join propagations".to_string(),
+        format!("{} (+{} shared)", r.propagations, r.shared_propagations),
+        format!("~{}", r.propagations + r.shared_propagations),
+    ]);
+    t.row(vec![
+        "violations".to_string(),
+        r.violations.to_string(),
+        r.independent_violations.to_string(),
+    ]);
+    t.row(vec![
+        "checksum mismatches".to_string(),
+        r.checksum_mismatches.to_string(),
+        "-".to_string(),
+    ]);
+    t.row(vec![
+        "delta batches published".to_string(),
+        r.deltas_pushed.to_string(),
+        "-".to_string(),
+    ]);
+    t.row(vec![
+        "speedup".to_string(),
+        format!("{:.2}x", r.speedup()),
+        "1.00x".to_string(),
+    ]);
+    print_table(&t, csv);
+
+    let mut suite = aivm_bench::harness::Suite::new("serve");
+    let key = |m: &str| format!("multiview/views{}/{m}", r.views);
+    suite.record_value(&key("shared_events_per_sec"), r.shared_events_per_sec());
+    suite.record_value(
+        &key("independent_events_per_sec"),
+        r.independent_events_per_sec(),
+    );
+    suite.record_value(&key("speedup"), r.speedup());
+    suite.record_value(&key("shared_propagations"), r.shared_propagations as f64);
+    suite.record_value(&key("violations"), r.violations as f64);
+    suite.record_value(&key("checksum_mismatches"), r.checksum_mismatches as f64);
+    suite.finish();
+
+    if !r.ok() {
+        eprintln!(
+            "multiview FAILED: {} checksum mismatch(es), {} registry violation(s), \
+             {} independent violation(s)",
+            r.checksum_mismatches, r.violations, r.independent_violations
+        );
+        std::process::exit(1);
+    }
+    if r.speedup() <= 1.0 {
+        eprintln!(
+            "multiview FAILED: shared propagation did not win ({:.2}x <= 1.00x)",
+            r.speedup()
+        );
         std::process::exit(1);
     }
 }
@@ -1441,6 +1653,26 @@ fn main() {
                     }
                 }
             }
+            "--views" => {
+                let v = take("--views");
+                match v.parse::<usize>() {
+                    Ok(n) if n > 0 => sargs.views = Some(n),
+                    _ => {
+                        eprintln!("--views needs a positive integer");
+                        std::process::exit(2);
+                    }
+                }
+            }
+            "--subscribers" => {
+                let v = take("--subscribers");
+                match v.parse::<usize>() {
+                    Ok(n) => sargs.subscribers = Some(n),
+                    _ => {
+                        eprintln!("--subscribers needs an integer");
+                        std::process::exit(2);
+                    }
+                }
+            }
             "--skew" => {
                 let v = take("--skew");
                 match v.parse::<f64>() {
@@ -1493,10 +1725,11 @@ fn main() {
             "chaos" => run_chaos(csv, &sargs),
             "loadgen" => run_loadgen(csv, quick, &sargs),
             "shardsweep" => run_shardsweep(csv, quick, &sargs),
+            "multiview" => run_multiview_target(csv, quick, &sargs),
             other => {
                 eprintln!("unknown target: {other}");
                 eprintln!(
-                    "targets: intro fig1 fig4 fig5 fig6 fig7 bounds adapt concave refresh ablation serve chaos loadgen shardsweep all"
+                    "targets: intro fig1 fig4 fig5 fig6 fig7 bounds adapt concave refresh ablation serve chaos loadgen shardsweep multiview all"
                 );
                 std::process::exit(2);
             }

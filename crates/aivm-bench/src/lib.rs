@@ -20,6 +20,7 @@
 pub mod chaos;
 pub mod harness;
 pub mod loadgen;
+pub mod multiview;
 pub mod proxy;
 pub mod serve;
 

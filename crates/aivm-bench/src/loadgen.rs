@@ -29,12 +29,13 @@
 //! the paper's validity invariant under real socket concurrency.
 
 use crate::serve::ServeExperiment;
-use aivm_client::{Client, ClientConfig, ClientError, RetryStats};
-use aivm_engine::{EngineError, Modification};
+use aivm_client::{Client, ClientConfig, ClientError, RetryStats, SubscriptionEvent};
+use aivm_engine::{rows_checksum, EngineError, Modification, WRow};
 use aivm_net::{NetMetrics, NetServer, NetServerConfig, Replica, ReplicaConfig};
 use aivm_serve::{
-    read_wal, FaultPlan, FileWal, LatencyHistogram, MaintenanceRuntime, MemWal, MetricsSnapshot,
-    ServeServer, ServerConfig, WalSyncPolicy, WalTail, WalWriter,
+    fold_delta, read_wal, DeltaBatch, FaultPlan, FileWal, LatencyHistogram, MaintenanceRuntime,
+    MemWal, MetricsSnapshot, RegistryServer, ServeServer, ServerConfig, WalSyncPolicy, WalTail,
+    WalWriter,
 };
 use aivm_shard::{
     merge_metrics, Coordinator, CoordinatorConfig, FailoverConfig, FailoverMonitor, Promoter,
@@ -137,6 +138,21 @@ pub struct LoadgenOptions {
     /// — acceptable for this smoke (no checksum is asserted), and
     /// exactly the ambiguity `chaos::run_leader_kill` pins down.
     pub kill_leader: bool,
+    /// Whether `shards` was auto-picked from `available_parallelism`
+    /// rather than set explicitly; recorded in the server's
+    /// [`NetMetrics`] so bench rows from different machines stay
+    /// comparable.
+    pub shards_auto: bool,
+    /// Registered views (> 1 runs the multi-view registry stack: one
+    /// scheduler maintaining `views` paper-view variants that share
+    /// one SPJ core, submits targeting the registry's global table
+    /// axis). Incompatible with `shards > 1`.
+    pub views: usize,
+    /// Live push subscribers (registry stack only): each rides its own
+    /// connection, folds every pushed [`DeltaBatch`] into local state
+    /// and verifies the post-fold checksum — an end-to-end proof that
+    /// the push path ships exactly the maintained state.
+    pub subscribers: usize,
 }
 
 impl Default for LoadgenOptions {
@@ -161,6 +177,9 @@ impl Default for LoadgenOptions {
             rebalance: RebalancePolicy::CostProportional,
             replicas: false,
             kill_leader: false,
+            shards_auto: false,
+            views: 1,
+            subscribers: 0,
         }
     }
 }
@@ -282,6 +301,18 @@ pub struct LoadgenReport {
     pub shards: usize,
     /// Budget pushes the coordinator issued (0 when unsharded).
     pub rebalances: u64,
+    /// Views served (1 = single-view stack).
+    pub views: usize,
+    /// Push subscribers that ran (0 outside the registry stack).
+    pub subscribers: usize,
+    /// Delta batches subscribers received and folded.
+    pub sub_deltas: u64,
+    /// Snapshot (re)syncs subscribers received — the initial one each,
+    /// plus any slow-consumer resync.
+    pub sub_snapshots: u64,
+    /// Folded states whose checksum did not match the batch's (must
+    /// be 0: the push path ships exactly the maintained state).
+    pub sub_checksum_errors: u64,
 }
 
 impl LoadgenReport {
@@ -298,14 +329,21 @@ impl LoadgenReport {
     }
 
     /// True when the run upheld every invariant: no budget violation
-    /// observed by any client or by the runtime, no protocol errors,
-    /// no index-less scan fallback inside the engine, and the scheduler
+    /// observed by any client, by the runtime, or attributed to any
+    /// view; no protocol errors; no subscriber checksum mismatch; no
+    /// index-less scan fallback inside the engine; and the scheduler
     /// never stopped on an error.
     pub fn ok(&self) -> bool {
         self.client_violations == 0
             && self.runtime.constraint_violations == 0
             && self.protocol_errors == 0
             && self.scan_fallbacks == 0
+            && self.sub_checksum_errors == 0
+            && self
+                .net
+                .per_view
+                .as_ref()
+                .is_none_or(|rows| rows.iter().all(|r| r.violations == 0))
             && self.net.last_error.is_none()
     }
 }
@@ -584,17 +622,26 @@ fn report_of(
         scan_fallbacks,
         shards,
         rebalances,
+        views: 1,
+        subscribers: 0,
+        sub_deltas: 0,
+        sub_snapshots: 0,
+        sub_checksum_errors: 0,
     }
 }
 
 fn net_config(opts: &LoadgenOptions) -> NetServerConfig {
     // Each follower tails its leader's WAL through the same server, so
-    // the replicated stack needs one extra connection slot per shard.
+    // the replicated stack needs one extra connection slot per shard;
+    // each push subscriber needs its dedicated subscription connection
+    // plus its client's pooled one.
     let replica_conns = if opts.replicas { opts.shards } else { 0 };
+    let sub_conns = 2 * opts.subscribers;
     NetServerConfig {
-        max_connections: opts.max_conns.unwrap_or(opts.clients + 8) + replica_conns,
+        max_connections: opts.max_conns.unwrap_or(opts.clients + 8) + replica_conns + sub_conns,
         submit_high_water: opts.submit_high_water,
         durable_acks: opts.replicas,
+        shards_auto: opts.shards_auto,
         ..NetServerConfig::default()
     }
 }
@@ -625,6 +672,16 @@ pub fn run_loadgen(
         return Err(EngineError::Maintenance {
             message: "--kill-leader needs --replicas (nobody to promote otherwise)".into(),
         });
+    }
+    if opts.views > 1 || opts.subscribers > 0 {
+        if opts.shards > 1 || opts.replicas {
+            return Err(EngineError::Maintenance {
+                message:
+                    "the multi-view registry stack is single-sharded (drop --shards/--replicas)"
+                        .into(),
+            });
+        }
+        return run_loadgen_registry(exp, opts);
     }
     if opts.shards > 1 {
         return run_loadgen_sharded(exp, opts);
@@ -665,6 +722,179 @@ pub fn run_loadgen(
         let _ = std::fs::remove_file(p);
     }
     Ok(report_of(outcome, runtime_metrics, scan_fallbacks, 1, 0))
+}
+
+/// Per-subscriber tallies, merged into the report after join.
+#[derive(Default)]
+struct SubscriberStats {
+    deltas: u64,
+    snapshots: u64,
+    checksum_errors: u64,
+    protocol_errors: u64,
+    last_error: Option<String>,
+}
+
+impl SubscriberStats {
+    fn merge(&mut self, o: SubscriberStats) {
+        self.deltas += o.deltas;
+        self.snapshots += o.snapshots;
+        self.checksum_errors += o.checksum_errors;
+        self.protocol_errors += o.protocol_errors;
+        if self.last_error.is_none() {
+            self.last_error = o.last_error;
+        }
+    }
+}
+
+/// Folds every pushed event into local state and verifies each
+/// post-fold checksum — the subscriber-side half of the push
+/// contract. Runs until the server closes the stream or the main
+/// thread fires the subscription's stopper.
+fn subscriber_fold_loop(sub: aivm_client::Subscription, idx: u64) -> SubscriberStats {
+    let mut stats = SubscriberStats::default();
+    let mut state: Vec<WRow> = Vec::new();
+    for ev in sub {
+        match ev {
+            Ok(SubscriptionEvent::Snapshot { rows, checksum, .. }) => {
+                stats.snapshots += 1;
+                state = rows;
+                if rows_checksum(&state) != checksum {
+                    stats.checksum_errors += 1;
+                }
+            }
+            Ok(SubscriptionEvent::Delta {
+                view,
+                seq,
+                checksum,
+                staleness,
+                rows,
+            }) => {
+                stats.deltas += 1;
+                state = fold_delta(
+                    state,
+                    &DeltaBatch {
+                        view,
+                        seq,
+                        rows,
+                        checksum,
+                        staleness,
+                    },
+                );
+                if rows_checksum(&state) != checksum {
+                    stats.checksum_errors += 1;
+                }
+            }
+            Err(e) => {
+                stats.protocol_errors += 1;
+                stats.last_error = Some(format!("subscriber {idx}: {e}"));
+                break;
+            }
+        }
+    }
+    stats
+}
+
+/// The multi-view registry stack: one scheduler maintaining
+/// `opts.views` paper-view variants (a single sharing group, so every
+/// base-delta batch is propagated once and fanned out), fronted by a
+/// registry-backend [`NetServer`]. Push subscribers fold live delta
+/// batches concurrently with the closed-loop submit/read workers; the
+/// closing metrics frame carries the per-view breakdown.
+fn run_loadgen_registry(
+    exp: &ServeExperiment,
+    opts: &LoadgenOptions,
+) -> Result<LoadgenReport, EngineError> {
+    let views = opts.views.max(1);
+    let mut runtime = exp.registry_runtime(&opts.policy, views)?;
+    let wal_path = match &opts.wal_sync {
+        Some(p) => {
+            let path = loadgen_wal_path(opts, None);
+            let _ = std::fs::remove_file(&path);
+            runtime.attach_wal(WalWriter::create(
+                Box::new(FileWal::create(&path)?),
+                p.sync_every(),
+            )?);
+            Some(path)
+        }
+        None => None,
+    };
+    let server = RegistryServer::spawn(runtime, ServerConfig::default());
+    let net = NetServer::bind_registry("127.0.0.1:0", server.handle(), net_config(opts))
+        .map_err(|e| EngineError::io("loadgen registry bind", e))?;
+    let addr = net.local_addr();
+
+    // Subscriptions are opened on the main thread (so every stopper is
+    // in hand before the load starts) and handed to fold threads; they
+    // watch the whole run from the initial snapshot on.
+    let mut stoppers = Vec::with_capacity(opts.subscribers);
+    let mut subs = Vec::with_capacity(opts.subscribers);
+    for s in 0..opts.subscribers {
+        let view = (s % views) as u32;
+        let client = Client::new(addr, client_config(opts, (1u64 << 40) + s as u64))
+            .map_err(|e| EngineError::io("loadgen subscriber client", e))?;
+        let sub = client
+            .subscribe_head(view)
+            .map_err(|e| EngineError::Maintenance {
+                message: format!("subscriber {s} failed to subscribe to view {view}: {e}"),
+            })?;
+        stoppers.push(
+            sub.stopper()
+                .map_err(|e| EngineError::io("subscription stopper", e))?,
+        );
+        subs.push(
+            std::thread::Builder::new()
+                .stack_size(512 * 1024)
+                .name(format!("loadgen-sub-{s}"))
+                .spawn(move || subscriber_fold_loop(sub, s as u64))
+                .expect("spawn subscriber"),
+        );
+    }
+
+    let outcome = drive_workers(addr, exp, opts);
+    // The shared closing frame only asks per-shard; the view axis
+    // rides a dedicated control frame while subscribers still count.
+    let per_view_net = outcome.is_ok().then(|| {
+        Client::new(addr, client_config(opts, u64::MAX - 1))
+            .map_err(|e| EngineError::io("loadgen registry control", e))
+            .and_then(|c| {
+                c.metrics_full(false, true)
+                    .map_err(|e| EngineError::Maintenance {
+                        message: format!("loadgen per-view metrics failed: {e}"),
+                    })
+            })
+    });
+    // End the blocking fold loops, then reap them.
+    for st in &stoppers {
+        st.stop();
+    }
+    let mut sub_merged = SubscriberStats::default();
+    for s in subs {
+        sub_merged.merge(s.join().expect("subscriber thread"));
+    }
+    let mut outcome = outcome?;
+    if let Some(nm) = per_view_net {
+        outcome.net = nm?;
+    }
+    net.shutdown();
+    let runtime = server.shutdown();
+    let mm = runtime.metrics();
+    let scan_fallbacks = (0..runtime.view_count())
+        .map(|v| runtime.registry().view(v).stats.exec.scan_fallbacks)
+        .sum();
+    if let Some(p) = wal_path {
+        let _ = std::fs::remove_file(p);
+    }
+    let mut report = report_of(outcome, mm.global.clone(), scan_fallbacks, 1, 0);
+    report.views = views;
+    report.subscribers = opts.subscribers;
+    report.sub_deltas = sub_merged.deltas;
+    report.sub_snapshots = sub_merged.snapshots;
+    report.sub_checksum_errors = sub_merged.checksum_errors;
+    report.protocol_errors += sub_merged.protocol_errors;
+    if report.last_error.is_none() {
+        report.last_error = sub_merged.last_error;
+    }
+    Ok(report)
 }
 
 /// A per-shard slot the failover promoter parks the follower's new
@@ -976,6 +1206,46 @@ mod tests {
         assert!(r.reads_fresh >= 1);
         assert_eq!(r.net.submitted_events, 1200);
         assert_eq!(r.net.connections_rejected, 0);
+    }
+
+    #[test]
+    fn quick_registry_loadgen_pushes_verified_deltas() {
+        let exp = ServeExperiment::build(ServeOptions {
+            events_each: 400,
+            quick: true,
+            ..Default::default()
+        })
+        .expect("build");
+        let opts = LoadgenOptions {
+            clients: 2,
+            events_each: 400,
+            batch: 32,
+            duration: Duration::from_secs(30),
+            quick: true,
+            views: 3,
+            subscribers: 4,
+            ..Default::default()
+        };
+        let r = run_loadgen(&exp, &opts).expect("registry loadgen");
+        assert!(r.ok(), "violations or errors: {:?}", r.last_error);
+        assert_eq!(r.events_submitted, 800);
+        assert_eq!(r.runtime.events_ingested, 800);
+        assert_eq!(r.views, 3);
+        assert_eq!(r.net.views, 3);
+        assert_eq!(r.net.subscribers, 4, "all subscribers still attached");
+        // Every subscriber opens at the head (snapshot first), then
+        // folds pushed deltas whose post-fold checksums must all match.
+        assert!(
+            r.sub_snapshots >= 4,
+            "missing head snapshots: {}",
+            r.sub_snapshots
+        );
+        assert!(r.sub_deltas > 0, "no deltas pushed");
+        assert_eq!(r.sub_checksum_errors, 0);
+        let rows = r.net.per_view.as_ref().expect("per-view metrics");
+        assert_eq!(rows.len(), 3);
+        assert!(rows.iter().all(|v| v.violations == 0));
+        assert!(rows.iter().any(|v| v.deltas_pushed > 0));
     }
 
     #[test]

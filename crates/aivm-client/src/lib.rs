@@ -38,7 +38,7 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
-use aivm_engine::{EngineError, Modification};
+use aivm_engine::{EngineError, Modification, WRow};
 use aivm_net::{
     read_hello_reply, recv_response, send_request, write_hello, ErrorCode, FrameError,
     HandshakeStatus, NetMetrics, Request, RequestFrame, Response, WireReadResult,
@@ -278,10 +278,26 @@ impl Client {
         }
     }
 
-    /// Reads the view. `fresh` forces a flush-then-read (≤ C);
+    /// Reads view 0. `fresh` forces a flush-then-read (≤ C);
     /// `want_rows` ships the materialized rows, not just the checksum.
     pub fn read(&self, fresh: bool, want_rows: bool) -> Result<WireReadResult, ClientError> {
-        match self.request(Request::Read { fresh, want_rows })? {
+        self.read_view(0, fresh, want_rows)
+    }
+
+    /// Reads one registry view by id (single-view servers only have
+    /// view 0). Stale reads are served wait-free from the published
+    /// snapshot; fresh reads flush the view's sharing group first.
+    pub fn read_view(
+        &self,
+        view: u32,
+        fresh: bool,
+        want_rows: bool,
+    ) -> Result<WireReadResult, ClientError> {
+        match self.request(Request::Read {
+            view,
+            fresh,
+            want_rows,
+        })? {
             Response::ReadOk(r) => Ok(r),
             _ => Err(ClientError::UnexpectedResponse("expected ReadOk")),
         }
@@ -290,14 +306,24 @@ impl Client {
     /// Fetches a metrics snapshot (aggregated across shards on a
     /// sharded server).
     pub fn metrics(&self) -> Result<NetMetrics, ClientError> {
-        self.metrics_detailed(false)
+        self.metrics_full(false, false)
     }
 
     /// Fetches a metrics snapshot, optionally including the per-shard
     /// breakdown (`per_shard`; a single-runtime server answers with its
     /// one shard).
     pub fn metrics_detailed(&self, per_shard: bool) -> Result<NetMetrics, ClientError> {
-        match self.request(Request::Metrics { per_shard })? {
+        self.metrics_full(per_shard, false)
+    }
+
+    /// Fetches a metrics snapshot with any combination of the per-shard
+    /// and per-view breakdowns (the latter only a registry server
+    /// fills).
+    pub fn metrics_full(&self, per_shard: bool, per_view: bool) -> Result<NetMetrics, ClientError> {
+        match self.request(Request::Metrics {
+            per_shard,
+            per_view,
+        })? {
             Response::MetricsOk(m) => Ok(*m),
             _ => Err(ClientError::UnexpectedResponse("expected MetricsOk")),
         }
@@ -312,6 +338,71 @@ impl Client {
             } => Ok((flush_cost, violated)),
             _ => Err(ClientError::UnexpectedResponse("expected FlushOk")),
         }
+    }
+
+    /// Opens a live push subscription on a registry view, returning a
+    /// blocking [`Subscription`] iterator over
+    /// [`SubscriptionEvent`]s.
+    ///
+    /// `from_seq` is the first delta seq wanted (the subscriber's last
+    /// folded seq + 1); [`Client::subscribe_head`] starts from the
+    /// current snapshot instead. A `from_seq` the server no longer
+    /// holds deltas for degrades to a snapshot resync — the first
+    /// event is then a [`SubscriptionEvent::Snapshot`] replacing any
+    /// folded state, never an error.
+    ///
+    /// The subscription rides its own dedicated connection (pushes are
+    /// unsolicited frames; pooled request/reply connections never see
+    /// them), so dropping the `Subscription` closes it and the server
+    /// releases the subscriber slot.
+    pub fn subscribe(&self, view: u32, from_seq: u64) -> Result<Subscription, ClientError> {
+        let remaining = self.cfg.deadline;
+        let mut stream = self.dial(remaining)?;
+        let deadline_ms = remaining.as_millis().min(u128::from(u32::MAX)) as u32;
+        send_request(
+            &mut stream,
+            &RequestFrame {
+                deadline_ms,
+                request: Request::Subscribe { view, from_seq },
+            },
+        )
+        .map_err(ClientError::Io)?;
+        match recv_sub_response(&mut stream)? {
+            Response::SubscribeOk {
+                view: v,
+                seq,
+                resync,
+                checksum,
+                rows,
+            } => {
+                if v != view {
+                    return Err(ClientError::UnexpectedResponse(
+                        "SubscribeOk for a different view",
+                    ));
+                }
+                let pending = resync.then_some(SubscriptionEvent::Snapshot {
+                    view,
+                    seq,
+                    checksum,
+                    rows,
+                });
+                Ok(Subscription {
+                    stream,
+                    view,
+                    next_seq: seq + 1,
+                    pending,
+                    done: false,
+                })
+            }
+            Response::Error { code, message } => Err(ClientError::Rejected { code, message }),
+            _ => Err(ClientError::UnexpectedResponse("expected SubscribeOk")),
+        }
+    }
+
+    /// [`Client::subscribe`] starting from the current snapshot: the
+    /// first event is always the full state, then deltas follow.
+    pub fn subscribe_head(&self, view: u32) -> Result<Subscription, ClientError> {
+        self.subscribe(view, u64::MAX)
     }
 
     /// Runs one request under the deadline/retry/breaker policy
@@ -496,6 +587,12 @@ impl Client {
         if let Some(s) = self.pool.lock().unwrap_or_else(|e| e.into_inner()).pop() {
             return Ok(s);
         }
+        self.dial(remaining)
+    }
+
+    /// Dials and handshakes a fresh connection within the remaining
+    /// deadline, bypassing the pool.
+    fn dial(&self, remaining: Duration) -> Result<TcpStream, ClientError> {
         let mut stream =
             TcpStream::connect_timeout(&self.addr, remaining).map_err(ClientError::Io)?;
         stream.set_nodelay(true).map_err(ClientError::Io)?;
@@ -520,6 +617,257 @@ impl Client {
         let mut pool = self.pool.lock().unwrap_or_else(|e| e.into_inner());
         if pool.len() < self.cfg.pool {
             pool.push(stream);
+        }
+    }
+}
+
+/// Receives one frame on a subscription connection, mapping transport
+/// failures into [`ClientError`]. A clean server close surfaces as
+/// `Io(ConnectionReset)`; the iterator turns it into end-of-stream.
+fn recv_sub_response(stream: &mut TcpStream) -> Result<Response, ClientError> {
+    match recv_response(stream) {
+        Ok(resp) => Ok(resp),
+        Err(FrameError::Closed) => Err(ClientError::Io(std::io::Error::new(
+            std::io::ErrorKind::ConnectionReset,
+            "server closed the subscription",
+        ))),
+        Err(e) if e.is_timeout() => Err(ClientError::DeadlineExceeded),
+        Err(FrameError::Io(e)) => Err(ClientError::Io(e)),
+        Err(FrameError::Corrupt(e)) => Err(ClientError::Protocol(e)),
+    }
+}
+
+/// One event pushed on a live [`Subscription`].
+#[derive(Clone, Debug, PartialEq)]
+pub enum SubscriptionEvent {
+    /// A full-state resync. Replace any folded state with `rows` —
+    /// sent as the first event of a from-head subscribe, and mid-stream
+    /// whenever the subscriber fell off the server's bounded delta ring
+    /// (slow-consumer degradation: the server resyncs instead of
+    /// queueing without bound).
+    Snapshot {
+        /// The subscribed view.
+        view: u32,
+        /// The snapshot's flush seq.
+        seq: u64,
+        /// Content checksum of `rows`.
+        checksum: u64,
+        /// The full materialized view at `seq`.
+        rows: Vec<WRow>,
+    },
+    /// One delta batch: signed difference rows (weight > 0 added,
+    /// < 0 removed) taking the folded state from `seq - 1` to `seq`.
+    Delta {
+        /// The subscribed view.
+        view: u32,
+        /// The seq this delta produces.
+        seq: u64,
+        /// Content checksum of the folded state at `seq`.
+        checksum: u64,
+        /// The view's total pending backlog when this was published.
+        staleness: u64,
+        /// The signed difference rows.
+        rows: Vec<WRow>,
+    },
+}
+
+impl SubscriptionEvent {
+    /// The seq the event's state corresponds to.
+    pub fn seq(&self) -> u64 {
+        match self {
+            SubscriptionEvent::Snapshot { seq, .. } | SubscriptionEvent::Delta { seq, .. } => *seq,
+        }
+    }
+
+    /// The content checksum the subscriber's folded state must match
+    /// after applying this event.
+    pub fn checksum(&self) -> u64 {
+        match self {
+            SubscriptionEvent::Snapshot { checksum, .. }
+            | SubscriptionEvent::Delta { checksum, .. } => *checksum,
+        }
+    }
+}
+
+/// Closes a [`Subscription`]'s socket from another thread, unblocking
+/// its iterator (which then ends). Obtained via
+/// [`Subscription::stopper`].
+pub struct SubscriptionStopper {
+    stream: TcpStream,
+}
+
+impl SubscriptionStopper {
+    /// Shuts the subscription's connection down. The blocked iterator
+    /// wakes with end-of-stream.
+    pub fn stop(&self) {
+        let _ = self.stream.shutdown(std::net::Shutdown::Both);
+    }
+}
+
+/// A blocking iterator over the pushed events of one registry view,
+/// opened by [`Client::subscribe`].
+///
+/// The iterator yields [`SubscriptionEvent`]s in seq order and
+/// enforces the protocol's no-gap/no-duplicate discipline: a delta
+/// whose seq is not exactly `last + 1` ends the stream with an error
+/// (the server never sends one — a gap means the transport lied).
+/// Dropping the subscription closes its dedicated connection, which is
+/// how the server learns to release the subscriber slot; no explicit
+/// unsubscribe round-trip is required.
+pub struct Subscription {
+    stream: TcpStream,
+    view: u32,
+    next_seq: u64,
+    pending: Option<SubscriptionEvent>,
+    done: bool,
+}
+
+impl Subscription {
+    /// The subscribed view id.
+    pub fn view(&self) -> u32 {
+        self.view
+    }
+
+    /// The seq of the next delta the iterator expects.
+    pub fn next_seq(&self) -> u64 {
+        self.next_seq
+    }
+
+    /// A handle that closes this subscription's socket from another
+    /// thread, unblocking the iterator.
+    pub fn stopper(&self) -> std::io::Result<SubscriptionStopper> {
+        Ok(SubscriptionStopper {
+            stream: self.stream.try_clone()?,
+        })
+    }
+
+    /// Receives the next event, blocking at most `timeout`.
+    ///
+    /// `Ok(None)` means the wait timed out *between* frames — the
+    /// subscription is still live and the call can be repeated. Note
+    /// that a timeout that fires in the middle of a partially received
+    /// frame poisons the byte stream; use [`Subscription::stopper`] for
+    /// clean cross-thread shutdown and this only where the caller owns
+    /// the pacing (e.g. polling an idle view).
+    pub fn recv_timeout(
+        &mut self,
+        timeout: Duration,
+    ) -> Result<Option<SubscriptionEvent>, ClientError> {
+        match self.recv_event(Some(timeout)) {
+            Err(ClientError::DeadlineExceeded) => Ok(None),
+            other => other,
+        }
+    }
+
+    /// Core receive: returns `Ok(None)` at end-of-stream (server
+    /// closed), the next event otherwise.
+    fn recv_event(
+        &mut self,
+        timeout: Option<Duration>,
+    ) -> Result<Option<SubscriptionEvent>, ClientError> {
+        if let Some(ev) = self.pending.take() {
+            return Ok(Some(ev));
+        }
+        if self.done {
+            return Ok(None);
+        }
+        self.stream.set_read_timeout(timeout).map_err(|e| {
+            self.done = true;
+            ClientError::Io(e)
+        })?;
+        match recv_sub_response(&mut self.stream) {
+            Ok(Response::ViewDelta {
+                view,
+                seq,
+                checksum,
+                staleness,
+                rows,
+            }) => {
+                if view != self.view {
+                    self.done = true;
+                    return Err(ClientError::UnexpectedResponse(
+                        "ViewDelta for a different view",
+                    ));
+                }
+                if seq != self.next_seq {
+                    self.done = true;
+                    return Err(ClientError::UnexpectedResponse(
+                        "ViewDelta out of seq order (gap or duplicate)",
+                    ));
+                }
+                self.next_seq = seq + 1;
+                Ok(Some(SubscriptionEvent::Delta {
+                    view,
+                    seq,
+                    checksum,
+                    staleness,
+                    rows,
+                }))
+            }
+            Ok(Response::SubscribeOk {
+                view,
+                seq,
+                resync,
+                checksum,
+                rows,
+            }) => {
+                // Mid-stream resync: this subscriber fell off the delta
+                // ring and the server restarted it from a snapshot.
+                if view != self.view || !resync {
+                    self.done = true;
+                    return Err(ClientError::UnexpectedResponse(
+                        "unexpected SubscribeOk mid-stream",
+                    ));
+                }
+                self.next_seq = seq + 1;
+                Ok(Some(SubscriptionEvent::Snapshot {
+                    view,
+                    seq,
+                    checksum,
+                    rows,
+                }))
+            }
+            Ok(Response::Error { code, message }) => {
+                self.done = true;
+                Err(ClientError::Rejected { code, message })
+            }
+            Ok(_) => {
+                self.done = true;
+                Err(ClientError::UnexpectedResponse(
+                    "unexpected frame kind on a subscription",
+                ))
+            }
+            Err(ClientError::DeadlineExceeded) if timeout.is_some() => {
+                Err(ClientError::DeadlineExceeded)
+            }
+            Err(e) => {
+                // Transport end (including a clean server close or a
+                // stopper shutdown) terminates the stream.
+                self.done = true;
+                match e {
+                    ClientError::Io(ref io)
+                        if io.kind() == std::io::ErrorKind::ConnectionReset
+                            || io.kind() == std::io::ErrorKind::UnexpectedEof =>
+                    {
+                        Ok(None)
+                    }
+                    other => Err(other),
+                }
+            }
+        }
+    }
+}
+
+impl Iterator for Subscription {
+    type Item = Result<SubscriptionEvent, ClientError>;
+
+    /// Blocks until the next pushed event; `None` when the server (or a
+    /// [`SubscriptionStopper`]) closed the connection.
+    fn next(&mut self) -> Option<Self::Item> {
+        match self.recv_event(None) {
+            Ok(Some(ev)) => Some(Ok(ev)),
+            Ok(None) => None,
+            Err(e) => Some(Err(e)),
         }
     }
 }

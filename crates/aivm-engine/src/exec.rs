@@ -60,6 +60,21 @@ pub fn consolidate(rows: Vec<WRow>) -> Vec<WRow> {
     map.into_iter().filter(|&(_, w)| w != 0).collect()
 }
 
+/// Order-independent content checksum of a weighted row set: each
+/// `(row, weight)` pair is hashed with the seedless [`fxhash`] and
+/// combined by wrapping addition. Equal to
+/// [`MaterializedView::result_checksum`](crate::ivm::MaterializedView::result_checksum)
+/// over the same rows, and stable across runs and processes — the
+/// push-subscription protocol uses it so a client folding delta batches
+/// can verify its folded state against the server's published checksum.
+pub fn rows_checksum(rows: &[WRow]) -> u64 {
+    let mut acc: u64 = 0;
+    for rw in rows {
+        acc = acc.wrapping_add(fxhash::hash_one(rw));
+    }
+    acc
+}
+
 /// Keeps rows satisfying the predicate.
 pub fn filter(rows: Vec<WRow>, predicate: &Expr) -> Vec<WRow> {
     rows.into_iter()

@@ -485,10 +485,7 @@ impl MaterializedView {
     /// current state.
     fn publish_snapshot(&mut self) {
         let rows = self.result();
-        let mut checksum: u64 = 0;
-        for rw in &rows {
-            checksum = checksum.wrapping_add(crate::fxhash::hash_one(rw));
-        }
+        let checksum = exec::rows_checksum(&rows);
         self.snapshot = Arc::new(ViewSnapshot {
             rows,
             checksum,
@@ -511,11 +508,7 @@ impl MaterializedView {
     /// runs and processes. Crash-recovery tests use it to assert that a
     /// recovered view is bit-for-bit equivalent to an uncrashed one.
     pub fn result_checksum(&self) -> u64 {
-        let mut acc: u64 = 0;
-        for (row, w) in self.result() {
-            acc = acc.wrapping_add(crate::fxhash::hash_one(&(row, w)));
-        }
-        acc
+        exec::rows_checksum(&self.result())
     }
 
     /// Clones the pending delta tables in arrival order, for inclusion
@@ -573,46 +566,111 @@ impl MaterializedView {
             if k == 0 {
                 continue;
             }
-            if k > self.pending[i].len() {
-                return Err(EngineError::Maintenance {
-                    message: format!(
-                        "flush of {k} from table {i} exceeds pending {}",
-                        self.pending[i].len()
-                    ),
-                });
-            }
-            // The delta table precomputed the weighted entries at
-            // arrival (columnar layout): the flush reads one contiguous
-            // slice instead of reassembling Modification values.
-            let mut delta: Vec<WRow> = self.pending[i].take_weighted_prefix(k);
+            let delta = self.take_start_delta(i, k)?;
             report.mods_processed += k as u64;
-            // Cancel churn inside the batch before paying join fan-out
-            // for it: an update chain a→b→c contributes (−a,+b,−b,+c)
-            // and the ±b pair would otherwise be propagated through
-            // every join step and applied to the view just to annihilate
-            // there. The surviving multiset is identical, so flush
-            // results are bit-for-bit unchanged.
-            delta = exec::consolidate(delta);
-            if let Some(f) = &self.def.filters[i] {
-                delta = exec::filter(delta, f);
-            }
             if delta.is_empty() {
                 continue;
             }
             let mut stats = ExecStats::default();
-            let mut dj = self.propagate_chunked(db, i, delta, &mut stats)?;
-            if matches!(self.state, ViewState::Agg(_)) {
-                // Aggregate state walks the delta row by row, so cancel
-                // (−old, +new) pairs first: an unconsolidated stream
-                // could transiently delete a group extremum and force a
-                // spurious recompute. Bag state merges by key and checks
-                // multiplicities after the whole delta (see
-                // `apply_delta`), so it takes the stream raw.
-                dj = exec::consolidate(dj);
-            }
+            let dj = self.propagate_start_delta(db, i, delta, &mut stats)?;
             report.exec.merge(&stats);
-            self.apply_delta(&dj)?;
+            self.apply_propagated_delta(dj)?;
         }
+        self.finish_flush(db, &mut report)?;
+        Ok(report)
+    }
+
+    /// Consumes the next `k` pending modifications of table `i` and
+    /// returns the consolidated, locally filtered start-table delta —
+    /// the first leg of a flush step, split out so the multi-view
+    /// [`registry`](crate::registry) can run it once per sharing group.
+    pub(crate) fn take_start_delta(
+        &mut self,
+        i: usize,
+        k: usize,
+    ) -> Result<Vec<WRow>, EngineError> {
+        if k > self.pending[i].len() {
+            return Err(EngineError::Maintenance {
+                message: format!(
+                    "flush of {k} from table {i} exceeds pending {}",
+                    self.pending[i].len()
+                ),
+            });
+        }
+        // The delta table precomputed the weighted entries at
+        // arrival (columnar layout): the flush reads one contiguous
+        // slice instead of reassembling Modification values.
+        let mut delta: Vec<WRow> = self.pending[i].take_weighted_prefix(k);
+        // Cancel churn inside the batch before paying join fan-out
+        // for it: an update chain a→b→c contributes (−a,+b,−b,+c)
+        // and the ±b pair would otherwise be propagated through
+        // every join step and applied to the view just to annihilate
+        // there. The surviving multiset is identical, so flush
+        // results are bit-for-bit unchanged.
+        delta = exec::consolidate(delta);
+        if let Some(f) = &self.def.filters[i] {
+            delta = exec::filter(delta, f);
+        }
+        Ok(delta)
+    }
+
+    /// Consumes the next `k` pending modifications of table `i` without
+    /// materializing them — the group-member leg of a shared flush step,
+    /// where the leader's identical prefix was already propagated.
+    pub(crate) fn discard_start_prefix(&mut self, i: usize, k: usize) -> Result<(), EngineError> {
+        if k > self.pending[i].len() {
+            return Err(EngineError::Maintenance {
+                message: format!(
+                    "flush of {k} from table {i} exceeds pending {}",
+                    self.pending[i].len()
+                ),
+            });
+        }
+        self.pending[i].drop_prefix(k);
+        Ok(())
+    }
+
+    /// Propagates a start-table delta of table `i` through the join with
+    /// compensation (chunked across the configured flush threads),
+    /// returning the join delta in canonical column order with the
+    /// residual applied. Read-only; depends only on the SPJ core and the
+    /// pending compensation state, never on projection/aggregate, which
+    /// is what makes the output shareable across views with the same SPJ
+    /// signature and lockstep pending deltas.
+    pub(crate) fn propagate_start_delta(
+        &self,
+        db: &Database,
+        i: usize,
+        delta: Vec<WRow>,
+        stats: &mut ExecStats,
+    ) -> Result<Vec<WRow>, EngineError> {
+        self.propagate_chunked(db, i, delta, stats)
+    }
+
+    /// Applies a propagated canonical-order join delta to this view's
+    /// state (projection / aggregate / distinct are per-view and happen
+    /// here, not in propagation).
+    pub(crate) fn apply_propagated_delta(&mut self, mut dj: Vec<WRow>) -> Result<(), EngineError> {
+        if matches!(self.state, ViewState::Agg(_)) {
+            // Aggregate state walks the delta row by row, so cancel
+            // (−old, +new) pairs first: an unconsolidated stream
+            // could transiently delete a group extremum and force a
+            // spurious recompute. Bag state merges by key and checks
+            // multiplicities after the whole delta (see
+            // `apply_delta`), so it takes the stream raw.
+            dj = exec::consolidate(dj);
+        }
+        self.apply_delta(&dj)
+    }
+
+    /// Closes out one flush invocation: resolves a dirty extremum via
+    /// recompute, folds the report into the cumulative stats, advances
+    /// the flush sequence and republishes the snapshot.
+    pub(crate) fn finish_flush(
+        &mut self,
+        db: &Database,
+        report: &mut FlushReport,
+    ) -> Result<(), EngineError> {
         if self.dirty {
             self.recompute(db)?;
             report.recomputed = true;
@@ -623,7 +681,7 @@ impl MaterializedView {
         if self.snapshot_publishing {
             self.publish_snapshot();
         }
-        Ok(report)
+        Ok(())
     }
 
     /// Propagates a start-table delta, splitting it across the

@@ -21,6 +21,7 @@ pub mod index;
 pub mod ivm;
 pub mod logical;
 pub mod measure;
+pub mod registry;
 pub mod schema;
 pub mod shared;
 pub mod sql;
@@ -38,7 +39,7 @@ pub use db::{Database, TableId};
 pub use delta::{DeltaTable, Modification};
 pub use dml::{compile_dml, execute_dml, DmlStatement};
 pub use error::EngineError;
-pub use exec::{ExecStats, WRow};
+pub use exec::{rows_checksum, ExecStats, WRow};
 pub use expr::{ArithOp, CmpOp, Expr};
 pub use index::{Index, IndexKind, RowId};
 pub use ivm::{
@@ -47,6 +48,7 @@ pub use ivm::{
 };
 pub use logical::{AggFunc, LogicalPlan};
 pub use measure::{measure_cost_function, CostMeasurement, MeasureConfig};
+pub use registry::{Cell, RegistryFlushReport, RegistryStats, ViewRegistry};
 pub use schema::{Column, Row, Schema};
 pub use shared::SharedView;
 pub use sql::{parse_query, parse_view};

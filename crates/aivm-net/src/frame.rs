@@ -37,10 +37,12 @@
 //! request:  deadline_ms u32 | kind u8 | body
 //!   kind 0 Ping
 //!   kind 1 Submit  epoch u64 | table u32 | count u32 | modification...
-//!   kind 2 Read    mode u8 (0 stale, 1 fresh) | want_rows u8
-//!   kind 3 Metrics per_shard u8
+//!   kind 2 Read    view u32 | mode u8 (0 stale, 1 fresh) | want_rows u8
+//!   kind 3 Metrics per_shard u8 | per_view u8
 //!   kind 4 Flush
 //!   kind 5 ReplicaSubscribe shard u32 | from_record u64
+//!   kind 6 Subscribe view u32 | from_seq u64 (u64::MAX = from head)
+//!   kind 7 Unsubscribe view u32
 //! response: kind u8 | body
 //!   kind 0 Pong
 //!   kind 1 SubmitOk  accepted u64
@@ -49,10 +51,15 @@
 //!                    | has_rows u8 [| count u32 | (row, w i64)...]
 //!   kind 3 MetricsOk NetMetrics fields in declaration order
 //!                    [| per-shard rows when requested]
+//!                    [| per-view rows when requested]
 //!   kind 4 FlushOk   flush_cost f64 | violated u8
 //!   kind 5 Error     code u8 | message str
 //!   kind 6 WalSegment epoch u64 | from_record u64 | leader_records u64
 //!                    | len u32 | bytes (raw checksummed WAL frames)
+//!   kind 7 SubscribeOk view u32 | seq u64 | resync u8 | checksum u64
+//!                    | count u32 | (row, w i64)...
+//!   kind 8 ViewDelta view u32 | seq u64 | checksum u64 | staleness u64
+//!                    | count u32 | (row, w i64)...
 //! ```
 //!
 //! Values, rows and modifications reuse `aivm-engine`'s snapshot codec
@@ -77,8 +84,12 @@ pub const NET_MAGIC: &[u8; 4] = b"ANET";
 /// request flag and shard aggregate/breakdown metrics fields); v4 added
 /// replication (the submit `epoch` fence, `StaleEpoch`,
 /// `ReplicaSubscribe`/`WalSegment` frames, and per-shard
-/// health/epoch/replication-lag metrics fields).
-pub const NET_VERSION: u16 = 4;
+/// health/epoch/replication-lag metrics fields); v5 added multi-view
+/// serving (the read/unsubscribe `view` selector, push subscriptions
+/// via `Subscribe`/`SubscribeOk`/`ViewDelta`, the metrics `per_view`
+/// request flag plus view/subscriber aggregate and breakdown fields,
+/// and the resolved `shards_auto` flag).
+pub const NET_VERSION: u16 = 5;
 /// Bytes of framing before each payload (length + checksum).
 pub const FRAME_HEADER_LEN: usize = 12;
 /// Hard cap on a single frame's payload. A length prefix beyond this is
@@ -322,8 +333,10 @@ pub enum Request {
         /// The modifications, applied in order.
         mods: Vec<Modification>,
     },
-    /// Read the view.
+    /// Read a view.
     Read {
+        /// Registry view id (0 on a single-view server).
+        view: u32,
         /// Fresh (flush-then-read, ≤ C) or stale (free).
         fresh: bool,
         /// Return the materialized rows, not just the checksum. Row
@@ -336,6 +349,8 @@ pub enum Request {
         /// Also return the per-shard breakdown rows (shards > 1 adds a
         /// row per shard slot; the aggregate fields are always present).
         per_shard: bool,
+        /// Also return the per-view breakdown rows (registry serving).
+        per_view: bool,
     },
     /// Force a full flush without reading rows (a fresh read minus the
     /// payload).
@@ -351,6 +366,27 @@ pub enum Request {
         /// First record index wanted (0-based count of records already
         /// applied by the follower).
         from_record: u64,
+    },
+    /// Open a live push subscription on a registry view: the server
+    /// answers [`Response::SubscribeOk`], then pushes a
+    /// [`Response::ViewDelta`] for every flush boundary the view
+    /// crosses, in seq order with no gap and no duplicate. Idempotent
+    /// and resumable: after a dropped connection the client
+    /// re-subscribes from its last folded seq. A `from_seq` the server
+    /// no longer holds deltas for is answered with a snapshot resync
+    /// instead of an error.
+    Subscribe {
+        /// Registry view id.
+        view: u32,
+        /// First delta seq wanted (last folded seq + 1);
+        /// `u64::MAX` = start from the current snapshot.
+        from_seq: u64,
+    },
+    /// Close a push subscription on a view. The server stops pushing
+    /// deltas for it; already-buffered frames may still arrive.
+    Unsubscribe {
+        /// Registry view id.
+        view: u32,
     },
 }
 
@@ -390,20 +426,38 @@ pub fn encode_request(f: &RequestFrame) -> Vec<u8> {
                 put_modification(&mut buf, m);
             }
         }
-        Request::Read { fresh, want_rows } => {
+        Request::Read {
+            view,
+            fresh,
+            want_rows,
+        } => {
             buf.put_u8(2);
+            buf.put_u32_le(*view);
             buf.put_u8(u8::from(*fresh));
             buf.put_u8(u8::from(*want_rows));
         }
-        Request::Metrics { per_shard } => {
+        Request::Metrics {
+            per_shard,
+            per_view,
+        } => {
             buf.put_u8(3);
             buf.put_u8(u8::from(*per_shard));
+            buf.put_u8(u8::from(*per_view));
         }
         Request::Flush => buf.put_u8(4),
         Request::ReplicaSubscribe { shard, from_record } => {
             buf.put_u8(5);
             buf.put_u32_le(*shard);
             buf.put_u64_le(*from_record);
+        }
+        Request::Subscribe { view, from_seq } => {
+            buf.put_u8(6);
+            buf.put_u32_le(*view);
+            buf.put_u64_le(*from_seq);
+        }
+        Request::Unsubscribe { view } => {
+            buf.put_u8(7);
+            buf.put_u32_le(*view);
         }
     }
     buf.freeze().to_vec()
@@ -450,20 +504,22 @@ pub fn decode_request(payload: &[u8]) -> Result<RequestFrame, EngineError> {
             Request::Submit { epoch, table, mods }
         }
         2 => {
-            if buf.remaining() < 2 {
+            if buf.remaining() < 6 {
                 return Err(corrupt(ctx, "read flags", &buf));
             }
             Request::Read {
+                view: buf.get_u32_le(),
                 fresh: buf.get_u8() != 0,
                 want_rows: buf.get_u8() != 0,
             }
         }
         3 => {
-            if buf.remaining() < 1 {
+            if buf.remaining() < 2 {
                 return Err(corrupt(ctx, "metrics flags", &buf));
             }
             Request::Metrics {
                 per_shard: buf.get_u8() != 0,
+                per_view: buf.get_u8() != 0,
             }
         }
         4 => Request::Flush,
@@ -474,6 +530,23 @@ pub fn decode_request(payload: &[u8]) -> Result<RequestFrame, EngineError> {
             Request::ReplicaSubscribe {
                 shard: buf.get_u32_le(),
                 from_record: buf.get_u64_le(),
+            }
+        }
+        6 => {
+            if buf.remaining() < 12 {
+                return Err(corrupt(ctx, "subscribe", &buf));
+            }
+            Request::Subscribe {
+                view: buf.get_u32_le(),
+                from_seq: buf.get_u64_le(),
+            }
+        }
+        7 => {
+            if buf.remaining() < 4 {
+                return Err(corrupt(ctx, "unsubscribe", &buf));
+            }
+            Request::Unsubscribe {
+                view: buf.get_u32_le(),
             }
         }
         other => return Err(corrupt(ctx, &format!("request kind {other}"), &buf)),
@@ -672,10 +745,24 @@ pub struct NetMetrics {
     /// Worst per-shard replication lag (leader WAL records not yet
     /// applied by that shard's follower; 0 without replicas).
     pub replica_lag_max: u64,
+    /// True when the shard count was auto-picked from the host's
+    /// available parallelism rather than set explicitly — `shards`
+    /// always carries the *resolved* width either way.
+    pub shards_auto: bool,
+    /// Registered views (1 on a single-view server).
+    pub views: u64,
+    /// Live push subscribers across all views.
+    pub subscribers: u64,
+    /// Delta batches published across all views.
+    pub deltas_pushed: u64,
+    /// Worst observed subscriber lag (delta seqs behind head).
+    pub sub_lag_max: u64,
     /// The scheduler's poisoning error, if any (first failing shard).
     pub last_error: Option<String>,
     /// Per-shard breakdown, present when the request set `per_shard`.
     pub per_shard: Option<Vec<ShardMetricsRow>>,
+    /// Per-view breakdown, present when the request set `per_view`.
+    pub per_view: Option<Vec<ViewMetricsRow>>,
 }
 
 /// One shard's slice of the metrics breakdown (sharded serving; the
@@ -708,6 +795,30 @@ pub struct ShardMetricsRow {
     /// Health state: 0 = dead slot, 1 = live leader without a
     /// follower, 2 = live leader with a replica tailing its WAL.
     pub health: u8,
+}
+
+/// One view's slice of the metrics breakdown (registry serving; the
+/// view/subscriber aggregates in [`NetMetrics`] are sums/maxes over
+/// these).
+#[derive(Clone, Debug, Default, PartialEq)]
+pub struct ViewMetricsRow {
+    /// Registry view id.
+    pub view: u32,
+    /// Sharing-group index (views in one group propagate deltas once).
+    pub group: u32,
+    /// Flushes this view has closed (its delta seq head).
+    pub flushes: u64,
+    /// Total pending modifications not yet reflected in the view (the
+    /// staleness vector's sum).
+    pub pending: u64,
+    /// Per-view freshness violations (must stay 0).
+    pub violations: u64,
+    /// Delta batches published for this view.
+    pub deltas_pushed: u64,
+    /// Live push subscribers on this view.
+    pub subscribers: u64,
+    /// Largest observed subscriber lag on this view (seqs behind head).
+    pub sub_lag_max: u64,
 }
 
 /// The server's answer to one request.
@@ -756,6 +867,41 @@ pub enum Response {
         leader_records: u64,
         /// Raw WAL record frames (`len u32 | fxhash64 u64 | payload`).
         bytes: Vec<u8>,
+    },
+    /// A push subscription was accepted, answering
+    /// [`Request::Subscribe`] — and also sent mid-stream when a slow
+    /// subscriber fell off the server's delta ring and must restart
+    /// from a snapshot. With `resync` true, `rows` is the full
+    /// materialized view at `seq` (replacing any folded state); with
+    /// `resync` false, `rows` is empty and [`Response::ViewDelta`]
+    /// frames will flow starting at the requested seq.
+    SubscribeOk {
+        /// The subscribed view.
+        view: u32,
+        /// The snapshot's seq (resync) or the seq *before* the first
+        /// delta that will be pushed (resume-ack).
+        seq: u64,
+        /// Whether `rows` replaces the subscriber's folded state.
+        resync: bool,
+        /// Content checksum of the view at `seq`.
+        checksum: u64,
+        /// The snapshot rows (empty on a resume-ack).
+        rows: Vec<WRow>,
+    },
+    /// One pushed delta batch: the signed row difference taking the
+    /// subscriber's folded state from `seq - 1` to `seq`. Deltas for
+    /// one view arrive in seq order with no gap and no duplicate.
+    ViewDelta {
+        /// The subscribed view.
+        view: u32,
+        /// The seq this delta produces.
+        seq: u64,
+        /// Content checksum of the view at `seq` (fold verification).
+        checksum: u64,
+        /// The view's total pending backlog at publication.
+        staleness: u64,
+        /// Signed difference rows (weight > 0 added, < 0 removed).
+        rows: Vec<WRow>,
     },
 }
 
@@ -823,6 +969,11 @@ pub fn encode_response(r: &Response) -> Vec<u8> {
             buf.put_u64_le(m.failovers);
             buf.put_u64_le(m.cluster_epoch);
             buf.put_u64_le(m.replica_lag_max);
+            buf.put_u8(u8::from(m.shards_auto));
+            buf.put_u64_le(m.views);
+            buf.put_u64_le(m.subscribers);
+            buf.put_u64_le(m.deltas_pushed);
+            buf.put_u64_le(m.sub_lag_max);
             match &m.last_error {
                 None => buf.put_u8(0),
                 Some(e) => {
@@ -847,6 +998,23 @@ pub fn encode_response(r: &Response) -> Vec<u8> {
                         buf.put_u64_le(s.epoch);
                         buf.put_u64_le(s.replica_lag);
                         buf.put_u8(s.health);
+                    }
+                }
+            }
+            match &m.per_view {
+                None => buf.put_u8(0),
+                Some(rows) => {
+                    buf.put_u8(1);
+                    buf.put_u32_le(rows.len() as u32);
+                    for v in rows {
+                        buf.put_u32_le(v.view);
+                        buf.put_u32_le(v.group);
+                        buf.put_u64_le(v.flushes);
+                        buf.put_u64_le(v.pending);
+                        buf.put_u64_le(v.violations);
+                        buf.put_u64_le(v.deltas_pushed);
+                        buf.put_u64_le(v.subscribers);
+                        buf.put_u64_le(v.sub_lag_max);
                     }
                 }
             }
@@ -877,8 +1045,66 @@ pub fn encode_response(r: &Response) -> Vec<u8> {
             buf.put_u32_le(bytes.len() as u32);
             buf.put_slice(bytes);
         }
+        Response::SubscribeOk {
+            view,
+            seq,
+            resync,
+            checksum,
+            rows,
+        } => {
+            buf.put_u8(7);
+            buf.put_u32_le(*view);
+            buf.put_u64_le(*seq);
+            buf.put_u8(u8::from(*resync));
+            buf.put_u64_le(*checksum);
+            put_wrows(&mut buf, rows);
+        }
+        Response::ViewDelta {
+            view,
+            seq,
+            checksum,
+            staleness,
+            rows,
+        } => {
+            buf.put_u8(8);
+            buf.put_u32_le(*view);
+            buf.put_u64_le(*seq);
+            buf.put_u64_le(*checksum);
+            buf.put_u64_le(*staleness);
+            put_wrows(&mut buf, rows);
+        }
     }
     buf.freeze().to_vec()
+}
+
+/// Encodes a count-prefixed weighted-row list (the `ReadOk` row layout
+/// without its presence flag).
+fn put_wrows(buf: &mut BytesMut, rows: &[WRow]) {
+    buf.put_u32_le(rows.len() as u32);
+    for (row, w) in rows {
+        put_row(buf, row);
+        buf.put_i64_le(*w);
+    }
+}
+
+/// Decodes a count-prefixed weighted-row list.
+fn get_wrows(buf: &mut Bytes, ctx: &str) -> Result<Vec<WRow>, EngineError> {
+    if buf.remaining() < 4 {
+        return Err(corrupt(ctx, "row count", buf));
+    }
+    let count = buf.get_u32_le() as usize;
+    if count > buf.remaining() {
+        return Err(corrupt(ctx, &format!("row count {count}"), buf));
+    }
+    let mut rows = Vec::with_capacity(count);
+    for _ in 0..count {
+        let row = get_row(buf, ctx)?;
+        if buf.remaining() < 8 {
+            return Err(corrupt(ctx, "row weight", buf));
+        }
+        rows.push((row, buf.get_i64_le()));
+    }
+    Ok(rows)
 }
 
 /// Decodes a response payload. Every failure is a typed
@@ -942,9 +1168,10 @@ pub fn decode_response(payload: &[u8]) -> Result<Response, EngineError> {
             })
         }
         3 => {
-            // All fixed-width fields (u64/f64 plus the degraded and
-            // error flags), checked as one block before the reads.
-            const FIXED: usize = 32 * 8 + 2;
+            // All fixed-width fields (u64/f64 plus the degraded,
+            // shards-auto and error flags), checked as one block
+            // before the reads.
+            const FIXED: usize = 36 * 8 + 3;
             if buf.remaining() < FIXED {
                 return Err(corrupt(ctx, "metrics", &buf));
             }
@@ -982,8 +1209,14 @@ pub fn decode_response(payload: &[u8]) -> Result<Response, EngineError> {
                 failovers: buf.get_u64_le(),
                 cluster_epoch: buf.get_u64_le(),
                 replica_lag_max: buf.get_u64_le(),
+                shards_auto: buf.get_u8() != 0,
+                views: buf.get_u64_le(),
+                subscribers: buf.get_u64_le(),
+                deltas_pushed: buf.get_u64_le(),
+                sub_lag_max: buf.get_u64_le(),
                 last_error: None,
                 per_shard: None,
+                per_view: None,
             };
             if buf.remaining() < 1 {
                 return Err(corrupt(ctx, "metrics error flag", &buf));
@@ -1029,6 +1262,39 @@ pub fn decode_response(payload: &[u8]) -> Result<Response, EngineError> {
                 }
                 other => return Err(corrupt(ctx, &format!("shard flag {other}"), &buf)),
             };
+            if buf.remaining() < 1 {
+                return Err(corrupt(ctx, "metrics view flag", &buf));
+            }
+            m.per_view = match buf.get_u8() {
+                0 => None,
+                1 => {
+                    if buf.remaining() < 4 {
+                        return Err(corrupt(ctx, "view row count", &buf));
+                    }
+                    let count = buf.get_u32_le() as usize;
+                    // Each row is 56 fixed bytes; reject impossible
+                    // counts before allocating.
+                    const ROW: usize = 4 + 4 + 6 * 8;
+                    if count * ROW > buf.remaining() {
+                        return Err(corrupt(ctx, &format!("view row count {count}"), &buf));
+                    }
+                    let mut rows = Vec::with_capacity(count);
+                    for _ in 0..count {
+                        rows.push(ViewMetricsRow {
+                            view: buf.get_u32_le(),
+                            group: buf.get_u32_le(),
+                            flushes: buf.get_u64_le(),
+                            pending: buf.get_u64_le(),
+                            violations: buf.get_u64_le(),
+                            deltas_pushed: buf.get_u64_le(),
+                            subscribers: buf.get_u64_le(),
+                            sub_lag_max: buf.get_u64_le(),
+                        });
+                    }
+                    Some(rows)
+                }
+                other => return Err(corrupt(ctx, &format!("view flag {other}"), &buf)),
+            };
             Response::MetricsOk(Box::new(m))
         }
         4 => {
@@ -1069,6 +1335,38 @@ pub fn decode_response(payload: &[u8]) -> Result<Response, EngineError> {
                 from_record,
                 leader_records,
                 bytes,
+            }
+        }
+        7 => {
+            if buf.remaining() < 21 {
+                return Err(corrupt(ctx, "subscribe-ok header", &buf));
+            }
+            let view = buf.get_u32_le();
+            let seq = buf.get_u64_le();
+            let resync = buf.get_u8() != 0;
+            let checksum = buf.get_u64_le();
+            Response::SubscribeOk {
+                view,
+                seq,
+                resync,
+                checksum,
+                rows: get_wrows(&mut buf, ctx)?,
+            }
+        }
+        8 => {
+            if buf.remaining() < 28 {
+                return Err(corrupt(ctx, "view-delta header", &buf));
+            }
+            let view = buf.get_u32_le();
+            let seq = buf.get_u64_le();
+            let checksum = buf.get_u64_le();
+            let staleness = buf.get_u64_le();
+            Response::ViewDelta {
+                view,
+                seq,
+                checksum,
+                staleness,
+                rows: get_wrows(&mut buf, ctx)?,
             }
         }
         other => return Err(corrupt(ctx, &format!("response kind {other}"), &buf)),
@@ -1424,8 +1722,10 @@ pub enum RequestRef<'a> {
     Ping,
     /// Ingest a batch of DML (payload borrowed, pre-validated).
     Submit(SubmitRef<'a>),
-    /// Read the view.
+    /// Read a view.
     Read {
+        /// Registry view id (0 on a single-view server).
+        view: u32,
         /// Fresh (flush-then-read, ≤ C) or stale (free).
         fresh: bool,
         /// Return materialized rows, not just the checksum.
@@ -1435,6 +1735,8 @@ pub enum RequestRef<'a> {
     Metrics {
         /// Also return the per-shard breakdown rows.
         per_shard: bool,
+        /// Also return the per-view breakdown rows.
+        per_view: bool,
     },
     /// Force a full flush.
     Flush,
@@ -1444,6 +1746,19 @@ pub enum RequestRef<'a> {
         shard: u32,
         /// First record index wanted.
         from_record: u64,
+    },
+    /// Open a live push subscription on a registry view.
+    Subscribe {
+        /// Registry view id.
+        view: u32,
+        /// First delta seq wanted; `u64::MAX` = from the current
+        /// snapshot.
+        from_seq: u64,
+    },
+    /// Close a push subscription on a view.
+    Unsubscribe {
+        /// Registry view id.
+        view: u32,
     },
 }
 
@@ -1474,12 +1789,28 @@ impl RequestRefFrame<'_> {
                     mods,
                 }
             }
-            RequestRef::Read { fresh, want_rows } => Request::Read { fresh, want_rows },
-            RequestRef::Metrics { per_shard } => Request::Metrics { per_shard },
+            RequestRef::Read {
+                view,
+                fresh,
+                want_rows,
+            } => Request::Read {
+                view,
+                fresh,
+                want_rows,
+            },
+            RequestRef::Metrics {
+                per_shard,
+                per_view,
+            } => Request::Metrics {
+                per_shard,
+                per_view,
+            },
             RequestRef::Flush => Request::Flush,
             RequestRef::ReplicaSubscribe { shard, from_record } => {
                 Request::ReplicaSubscribe { shard, from_record }
             }
+            RequestRef::Subscribe { view, from_seq } => Request::Subscribe { view, from_seq },
+            RequestRef::Unsubscribe { view } => Request::Unsubscribe { view },
         };
         Ok(RequestFrame {
             deadline_ms: self.deadline_ms,
@@ -1524,17 +1855,24 @@ pub fn decode_request_ref(payload: &[u8]) -> Result<RequestRefFrame<'_>, EngineE
             })
         }
         2 => {
-            if cur.remaining() < 2 {
+            if cur.remaining() < 6 {
                 return Err(cur.corrupt(ctx, "read flags"));
             }
             RequestRef::Read {
+                view: cur.get_u32_le(ctx, "read flags")?,
                 fresh: cur.get_u8(ctx, "read flags")? != 0,
                 want_rows: cur.get_u8(ctx, "read flags")? != 0,
             }
         }
-        3 => RequestRef::Metrics {
-            per_shard: cur.get_u8(ctx, "metrics flags")? != 0,
-        },
+        3 => {
+            if cur.remaining() < 2 {
+                return Err(cur.corrupt(ctx, "metrics flags"));
+            }
+            RequestRef::Metrics {
+                per_shard: cur.get_u8(ctx, "metrics flags")? != 0,
+                per_view: cur.get_u8(ctx, "metrics flags")? != 0,
+            }
+        }
         4 => RequestRef::Flush,
         5 => {
             if cur.remaining() < 12 {
@@ -1543,6 +1881,23 @@ pub fn decode_request_ref(payload: &[u8]) -> Result<RequestRefFrame<'_>, EngineE
             RequestRef::ReplicaSubscribe {
                 shard: cur.get_u32_le(ctx, "replica-subscribe")?,
                 from_record: cur.get_u64_le(ctx, "replica-subscribe")?,
+            }
+        }
+        6 => {
+            if cur.remaining() < 12 {
+                return Err(cur.corrupt(ctx, "subscribe"));
+            }
+            RequestRef::Subscribe {
+                view: cur.get_u32_le(ctx, "subscribe")?,
+                from_seq: cur.get_u64_le(ctx, "subscribe")?,
+            }
+        }
+        7 => {
+            if cur.remaining() < 4 {
+                return Err(cur.corrupt(ctx, "unsubscribe"));
+            }
+            RequestRef::Unsubscribe {
+                view: cur.get_u32_le(ctx, "unsubscribe")?,
             }
         }
         other => return Err(cur.corrupt(ctx, &format!("request kind {other}"))),
@@ -1597,7 +1952,7 @@ mod tests {
     }
 
     fn arb_request(rng: &mut SmallRng) -> RequestFrame {
-        let request = match rng.gen_range(0..6u32) {
+        let request = match rng.gen_range(0..8u32) {
             0 => Request::Ping,
             1 => Request::Submit {
                 epoch: rng.gen_range(0..1000u64),
@@ -1607,15 +1962,28 @@ mod tests {
                     .collect(),
             },
             2 => Request::Read {
+                view: rng.gen_range(0..128u32),
                 fresh: rng.gen_bool(0.5),
                 want_rows: rng.gen_bool(0.5),
             },
             3 => Request::Metrics {
                 per_shard: rng.gen_bool(0.5),
+                per_view: rng.gen_bool(0.5),
             },
             4 => Request::ReplicaSubscribe {
                 shard: rng.gen_range(0..8u32),
                 from_record: rng.gen_range(0..u64::MAX),
+            },
+            5 => Request::Subscribe {
+                view: rng.gen_range(0..128u32),
+                from_seq: if rng.gen_bool(0.2) {
+                    u64::MAX
+                } else {
+                    rng.gen_range(0..100_000u64)
+                },
+            },
+            6 => Request::Unsubscribe {
+                view: rng.gen_range(0..128u32),
             },
             _ => Request::Flush,
         };
@@ -1660,6 +2028,11 @@ mod tests {
             failovers: rng.gen_range(0..10u64),
             cluster_epoch: rng.gen_range(1..100u64),
             replica_lag_max: rng.gen_range(0..100_000u64),
+            shards_auto: rng.gen_bool(0.5),
+            views: rng.gen_range(1..200u64),
+            subscribers: rng.gen_range(0..1000u64),
+            deltas_pushed: rng.gen_range(0..u64::MAX),
+            sub_lag_max: rng.gen_range(0..10_000u64),
             last_error: rng
                 .gen_bool(0.3)
                 .then(|| "scheduler tick failed: boom".to_string()),
@@ -1680,11 +2053,25 @@ mod tests {
                     })
                     .collect()
             }),
+            per_view: rng.gen_bool(0.4).then(|| {
+                (0..rng.gen_range(1..6u32))
+                    .map(|i| ViewMetricsRow {
+                        view: i,
+                        group: rng.gen_range(0..4u32),
+                        flushes: rng.gen_range(0..u64::MAX),
+                        pending: rng.gen_range(0..100_000u64),
+                        violations: rng.gen_range(0..3u64),
+                        deltas_pushed: rng.gen_range(0..u64::MAX),
+                        subscribers: rng.gen_range(0..100u64),
+                        sub_lag_max: rng.gen_range(0..10_000u64),
+                    })
+                    .collect()
+            }),
         }
     }
 
     fn arb_response(rng: &mut SmallRng) -> Response {
-        match rng.gen_range(0..7u32) {
+        match rng.gen_range(0..9u32) {
             0 => Response::Pong,
             1 => Response::SubmitOk {
                 accepted: rng.gen_range(0..u64::MAX),
@@ -1713,6 +2100,24 @@ mod tests {
                 leader_records: rng.gen_range(0..10_000u64),
                 bytes: (0..rng.gen_range(0..64usize))
                     .map(|_| rng.gen_range(0..256u64) as u8)
+                    .collect(),
+            },
+            6 => Response::SubscribeOk {
+                view: rng.gen_range(0..128u32),
+                seq: rng.gen_range(0..100_000u64),
+                resync: rng.gen_bool(0.3),
+                checksum: rng.gen_range(0..u64::MAX),
+                rows: (0..rng.gen_range(0..8usize))
+                    .map(|_| (arb_row(rng), rng.gen_range(1i64..5)))
+                    .collect(),
+            },
+            7 => Response::ViewDelta {
+                view: rng.gen_range(0..128u32),
+                seq: rng.gen_range(0..100_000u64),
+                checksum: rng.gen_range(0..u64::MAX),
+                staleness: rng.gen_range(0..10_000u64),
+                rows: (0..rng.gen_range(0..8usize))
+                    .map(|_| (arb_row(rng), rng.gen_range(-5i64..5)))
                     .collect(),
             },
             _ => Response::Error {
@@ -1799,7 +2204,10 @@ mod tests {
     fn frame_layer_detects_flipped_bytes() {
         let payload = encode_request(&RequestFrame {
             deadline_ms: 250,
-            request: Request::Metrics { per_shard: false },
+            request: Request::Metrics {
+                per_shard: false,
+                per_view: false,
+            },
         });
         let mut wire = Vec::new();
         write_frame(&mut wire, &payload).unwrap();
@@ -1956,7 +2364,10 @@ mod tests {
     fn frame_buffer_preserves_torn_vs_corrupt_taxonomy() {
         let payload = encode_request(&RequestFrame {
             deadline_ms: 99,
-            request: Request::Metrics { per_shard: false },
+            request: Request::Metrics {
+                per_shard: false,
+                per_view: false,
+            },
         });
         let mut wire = Vec::new();
         write_frame(&mut wire, &payload).unwrap();
@@ -2013,6 +2424,7 @@ mod tests {
         let f = RequestFrame {
             deadline_ms: 7,
             request: Request::Read {
+                view: 0,
                 fresh: true,
                 want_rows: false,
             },

@@ -71,14 +71,15 @@
 
 use crate::frame::{
     append_frame, decode_request_ref, encode_response, ErrorCode, FrameBuffer, FrameError,
-    HandshakeStatus, NetMetrics, RequestRef, Response, ShardMetricsRow, SubmitRef, WireReadResult,
-    NET_MAGIC, NET_VERSION,
+    HandshakeStatus, NetMetrics, RequestRef, Response, ShardMetricsRow, SubmitRef, ViewMetricsRow,
+    WireReadResult, NET_MAGIC, NET_VERSION,
 };
 use crate::poller::{Event, Interest, Poller};
 use aivm_engine::{fxhash, Modification, WRow};
 use aivm_serve::{
-    ApplyTicket, DeadlineError, MetricsSnapshot, MetricsTicket, ReadMode, ReadTicket, ServeHandle,
-    TrySendError,
+    ApplyTicket, DeadlineError, FetchOutcome, MetricsSnapshot, MetricsTicket, MultiMetricsSnapshot,
+    ReadMode, ReadTicket, RegistryApplyTicket, RegistryHandle, RegistryMetricsTicket,
+    RegistryReadTicket, ServeHandle, TrySendError,
 };
 use aivm_shard::{merge_metrics, RouteError, ShardRouter};
 use std::collections::VecDeque;
@@ -118,6 +119,10 @@ pub struct NetServerConfig {
     /// round-trip — but an acknowledged write then survives a leader
     /// crash, which is what the failover chaos experiments assert.
     pub durable_acks: bool,
+    /// Record in [`NetMetrics::shards_auto`] that the shard width was
+    /// resolved automatically (e.g. loadgen's `--shards auto`) rather
+    /// than pinned by the operator. Purely informational.
+    pub shards_auto: bool,
 }
 
 impl Default for NetServerConfig {
@@ -129,6 +134,7 @@ impl Default for NetServerConfig {
             poll_interval: Duration::from_millis(1),
             workers: 0,
             durable_acks: false,
+            shards_auto: false,
         }
     }
 }
@@ -175,6 +181,10 @@ const DRAIN_GRACE: Duration = Duration::from_secs(1);
 /// (the peer is not draining replies); resume below it.
 const WBUF_HIGH: usize = 256 * 1024;
 
+/// Delta batches pushed per subscription per worker tick, bounding one
+/// pump pass's frame burst (the rest follow next tick).
+const MAX_PUSH_BATCHES: usize = 16;
+
 /// How long an over-cap connection may dawdle before its handshake
 /// arrives; past this it is closed without the courtesy reply.
 const REJECT_HELLO_CUTOFF: Duration = Duration::from_millis(250);
@@ -196,6 +206,10 @@ enum Backend {
     Single(ServeHandle),
     /// Key-partitioned shards behind a [`ShardRouter`].
     Sharded(ShardRouter),
+    /// A multi-view registry runtime: per-view reads, per-view metrics
+    /// rows, and live push subscriptions over the registry's
+    /// [`aivm_serve::SubscriptionHub`].
+    Registry(RegistryHandle),
 }
 
 impl NetServer {
@@ -227,6 +241,22 @@ impl NetServer {
     ) -> std::io::Result<NetServer> {
         let n_tables = router.partitioner().key_cols().len();
         NetServer::bind_backend(addr, Backend::Sharded(router), n_tables, cfg)
+    }
+
+    /// Binds a *multi-view registry* server: submits target the
+    /// registry's global base-table axis, reads and subscriptions name
+    /// a view id, metrics carry per-view rows, and workers push
+    /// seq-tagged delta batches to subscribed connections at every
+    /// flush boundary (see [`Request::Subscribe`]).
+    ///
+    /// [`Request::Subscribe`]: crate::Request::Subscribe
+    pub fn bind_registry(
+        addr: impl ToSocketAddrs,
+        handle: RegistryHandle,
+        cfg: NetServerConfig,
+    ) -> std::io::Result<NetServer> {
+        let n_tables = handle.table_count();
+        NetServer::bind_backend(addr, Backend::Registry(handle), n_tables, cfg)
     }
 
     fn bind_backend(
@@ -505,6 +535,50 @@ enum Pending {
         started: Instant,
         deadline: Duration,
     },
+    /// A registry submit parked on a full queue (or, with durable acks,
+    /// waiting on its apply ticket) — the registry twin of
+    /// [`Pending::Submit`].
+    SubmitRegistry {
+        table: usize,
+        mods: Vec<Modification>,
+        ticket: Option<RegistryApplyTicket>,
+        started: Instant,
+        deadline: Duration,
+    },
+    /// A fresh per-view read through the registry scheduler (stale
+    /// reads are answered wait-free from the hub snapshot).
+    ReadRegistry {
+        ticket: RegistryReadTicket,
+        want_rows: bool,
+        started: Instant,
+        deadline: Duration,
+    },
+    /// A registry flush: one fresh read per view, merged into a single
+    /// `FlushOk` (group sharing means only the first member of each
+    /// group pays the drain; the rest see zero pending).
+    FlushRegistry {
+        tickets: Vec<RegistryReadTicket>,
+        flush_cost: f64,
+        violated: bool,
+        started: Instant,
+        deadline: Duration,
+    },
+    /// Registry metrics in flight; the reply attaches per-view rows
+    /// when the request asked for them.
+    MetricsRegistry {
+        ticket: RegistryMetricsTicket,
+        per_shard: bool,
+        per_view: bool,
+        started: Instant,
+        deadline: Duration,
+    },
+}
+
+/// One live push subscription held by a connection: the next delta seq
+/// this subscriber expects for its view.
+struct SubState {
+    view: u32,
+    next_seq: u64,
 }
 
 /// Per-connection state machine.
@@ -521,6 +595,10 @@ struct Conn {
     /// post-corrupt error replies, drain).
     close_after_flush: bool,
     pending: Option<Pending>,
+    /// Live push subscriptions (registry backend only). The worker's
+    /// tick pumps hub deltas into `wbuf` for each entry, bounded by
+    /// [`WBUF_HIGH`].
+    subs: Vec<SubState>,
     /// Interest currently registered with the poller.
     registered: Interest,
     /// Marked for removal at the end of the current dispatch.
@@ -590,6 +668,7 @@ impl Worker {
             }
             self.admit_new(stopping || drain_started.is_some());
             self.poll_pendings();
+            self.pump_subscriptions();
             self.sweep_reject_cutoffs();
             if let Some(t0) = drain_started {
                 let force = t0.elapsed() >= DRAIN_GRACE;
@@ -602,12 +681,12 @@ impl Worker {
     }
 
     /// True when some connection needs timer-driven progress (pending
-    /// scheduler replies, over-cap handshake cutoffs).
+    /// scheduler replies, live subscriptions to pump, over-cap
+    /// handshake cutoffs).
     fn needs_tick(&self) -> bool {
-        self.conns
-            .iter()
-            .flatten()
-            .any(|c| c.pending.is_some() || (!c.admitted && c.phase == Phase::Hello))
+        self.conns.iter().flatten().any(|c| {
+            c.pending.is_some() || !c.subs.is_empty() || (!c.admitted && c.phase == Phase::Hello)
+        })
     }
 
     /// True when some connection holds a submit parked on a full ingest
@@ -677,6 +756,7 @@ impl Worker {
                 opened: Instant::now(),
                 close_after_flush: false,
                 pending: None,
+                subs: Vec::new(),
                 registered,
                 dead: false,
             });
@@ -757,6 +837,78 @@ impl Worker {
         }
     }
 
+    /// Pushes new hub delta batches to every subscribed connection
+    /// (registry backend only). The per-subscriber buffer is the
+    /// connection's write buffer, bounded by [`WBUF_HIGH`]: a peer that
+    /// stops draining its socket stops receiving pushes, the hub's
+    /// bounded ring absorbs the backlog, and once the position falls
+    /// off the ring the subscriber is resynced from the snapshot — the
+    /// flush path never waits on a slow subscriber.
+    fn pump_subscriptions(&mut self) {
+        let Backend::Registry(handle) = &self.backend else {
+            return;
+        };
+        let hub = Arc::clone(handle.hub());
+        for slot in 0..self.conns.len() {
+            let Some(conn) = self.conns[slot].as_mut() else {
+                continue;
+            };
+            if conn.subs.is_empty() || conn.dead || conn.close_after_flush {
+                continue;
+            }
+            let mut queued = false;
+            for i in 0..conn.subs.len() {
+                if conn.wbuf_len() >= WBUF_HIGH {
+                    break;
+                }
+                let (sub_view, mut next_seq) = (conn.subs[i].view, conn.subs[i].next_seq);
+                let view = sub_view as usize;
+                let head = hub.head_seq(view);
+                if head >= next_seq {
+                    hub.note_lag(view, head - next_seq + 1);
+                }
+                match hub.fetch(view, next_seq, MAX_PUSH_BATCHES) {
+                    FetchOutcome::AtHead => {}
+                    FetchOutcome::Deltas(batches) => {
+                        for b in batches {
+                            queue_response(
+                                conn,
+                                &Response::ViewDelta {
+                                    view: b.view,
+                                    seq: b.seq,
+                                    checksum: b.checksum,
+                                    staleness: b.staleness,
+                                    rows: b.rows.clone(),
+                                },
+                            );
+                            next_seq = b.seq + 1;
+                            queued = true;
+                        }
+                    }
+                    FetchOutcome::Resync(snap) => {
+                        queue_response(
+                            conn,
+                            &Response::SubscribeOk {
+                                view: sub_view,
+                                seq: snap.seq,
+                                resync: true,
+                                checksum: snap.checksum,
+                                rows: snap.rows.clone(),
+                            },
+                        );
+                        next_seq = snap.seq + 1;
+                        queued = true;
+                    }
+                }
+                conn.subs[i].next_seq = next_seq;
+            }
+            if queued {
+                flush_wbuf(conn);
+                self.finish_dispatch(slot);
+            }
+        }
+    }
+
     /// Closes over-cap connections whose hello never arrived.
     fn sweep_reject_cutoffs(&mut self) {
         for slot in 0..self.conns.len() {
@@ -801,6 +953,13 @@ impl Worker {
 
     fn close(&mut self, slot: usize) {
         if let Some(conn) = self.conns[slot].take() {
+            if !conn.subs.is_empty() {
+                if let Backend::Registry(handle) = &self.backend {
+                    for s in &conn.subs {
+                        handle.hub().subscriber_closed(s.view as usize);
+                    }
+                }
+            }
             let _ = self.poller.delete(conn.stream.as_raw_fd());
             if conn.admitted {
                 self.shared.open.fetch_sub(1, Ordering::SeqCst);
@@ -868,6 +1027,33 @@ fn process(shared: &Shared, backend: &Backend, conn: &mut Conn) {
                 match outcome {
                     FrameOutcome::Reply(resp) => queue_response(conn, &resp),
                     FrameOutcome::Wait(p) => conn.pending = Some(p),
+                    FrameOutcome::Subscribe {
+                        view,
+                        next_seq,
+                        reply,
+                    } => {
+                        match conn.subs.iter_mut().find(|s| s.view == view) {
+                            // Re-subscribing an already-subscribed view
+                            // repositions it (no double bookkeeping).
+                            Some(s) => s.next_seq = next_seq,
+                            None => {
+                                conn.subs.push(SubState { view, next_seq });
+                                if let Backend::Registry(handle) = backend {
+                                    handle.hub().subscriber_opened(view as usize);
+                                }
+                            }
+                        }
+                        queue_response(conn, &reply);
+                    }
+                    FrameOutcome::Unsubscribe { view, reply } => {
+                        if let Some(pos) = conn.subs.iter().position(|s| s.view == view) {
+                            conn.subs.swap_remove(pos);
+                            if let Backend::Registry(handle) = backend {
+                                handle.hub().subscriber_closed(view as usize);
+                            }
+                        }
+                        queue_response(conn, &reply);
+                    }
                     FrameOutcome::Corrupt(err) => {
                         corrupt_teardown(conn, &err);
                         return;
@@ -944,6 +1130,15 @@ enum FrameOutcome {
     Reply(Response),
     /// A scheduler round-trip started; poll the ticket.
     Wait(Pending),
+    /// Register a push subscription on the connection (the position is
+    /// already resolved), then answer.
+    Subscribe {
+        view: u32,
+        next_seq: u64,
+        reply: Response,
+    },
+    /// Drop a push subscription from the connection, then answer.
+    Unsubscribe { view: u32, reply: Response },
     /// Undecodable payload below the frame checksum: drop the
     /// connection after a best-effort error reply.
     Corrupt(aivm_engine::EngineError),
@@ -968,6 +1163,25 @@ fn handle_frame(shared: &Shared, backend: &Backend, payload: &[u8]) -> FrameOutc
     match backend {
         Backend::Single(handle) => handle_frame_single(shared, handle, frame.request, deadline),
         Backend::Sharded(router) => handle_frame_sharded(shared, router, frame.request, deadline),
+        Backend::Registry(handle) => handle_frame_registry(shared, handle, frame.request, deadline),
+    }
+}
+
+/// The rejection for view-targeted requests naming a view the backend
+/// does not have (a single-view server only has view 0).
+fn bad_view(view: u32, views: usize) -> Response {
+    Response::Error {
+        code: ErrorCode::BadRequest,
+        message: format!("view {view} out of range ({views} views)"),
+    }
+}
+
+/// The rejection for `Subscribe`/`Unsubscribe` on a backend without a
+/// subscription hub.
+fn no_subscriptions() -> Response {
+    Response::Error {
+        code: ErrorCode::BadRequest,
+        message: "push subscriptions require a registry server".into(),
     }
 }
 
@@ -980,7 +1194,14 @@ fn handle_frame_single(
     match request {
         RequestRef::Ping => FrameOutcome::Reply(Response::Pong),
         RequestRef::Submit(s) => submit(shared, handle, s, deadline),
-        RequestRef::Read { fresh, want_rows } => {
+        RequestRef::Read {
+            view,
+            fresh,
+            want_rows,
+        } => {
+            if view != 0 {
+                return FrameOutcome::Reply(bad_view(view, 1));
+            }
             // Stale reads are answered straight from the published
             // flush-boundary snapshot: no scheduler round-trip, the
             // checksum is precomputed, and rows are cloned only when
@@ -1014,7 +1235,10 @@ fn handle_frame_single(
                 None => FrameOutcome::Reply(unavailable(handle)),
             }
         }
-        RequestRef::Metrics { per_shard } => match handle.begin_metrics() {
+        RequestRef::Metrics {
+            per_shard,
+            per_view: _,
+        } => match handle.begin_metrics() {
             Some(ticket) => FrameOutcome::Wait(Pending::Metrics {
                 ticket,
                 per_shard,
@@ -1035,6 +1259,9 @@ fn handle_frame_single(
             code: ErrorCode::BadRequest,
             message: "replication requires a sharded server".into(),
         }),
+        RequestRef::Subscribe { .. } | RequestRef::Unsubscribe { .. } => {
+            FrameOutcome::Reply(no_subscriptions())
+        }
     }
 }
 
@@ -1047,7 +1274,14 @@ fn handle_frame_sharded(
     match request {
         RequestRef::Ping => FrameOutcome::Reply(Response::Pong),
         RequestRef::Submit(s) => submit_sharded(shared, router, s, deadline),
-        RequestRef::Read { fresh, want_rows } => {
+        RequestRef::Read {
+            view,
+            fresh,
+            want_rows,
+        } => {
+            if view != 0 {
+                return FrameOutcome::Reply(bad_view(view, 1));
+            }
             if !fresh {
                 // Merged scatter-gather over the per-shard published
                 // snapshots — still wait-free: no scheduler round-trip
@@ -1071,7 +1305,10 @@ fn handle_frame_sharded(
             begin_fanout_read(router, want_rows, false, deadline)
         }
         RequestRef::Flush => begin_fanout_read(router, false, true, deadline),
-        RequestRef::Metrics { per_shard } => {
+        RequestRef::Metrics {
+            per_shard,
+            per_view: _,
+        } => {
             let mut tickets = Vec::new();
             let mut any_slot = false;
             for i in 0..router.shards() {
@@ -1099,6 +1336,161 @@ fn handle_frame_sharded(
         RequestRef::ReplicaSubscribe { shard, from_record } => {
             FrameOutcome::Reply(replica_subscribe(router, shard, from_record))
         }
+        RequestRef::Subscribe { .. } | RequestRef::Unsubscribe { .. } => {
+            FrameOutcome::Reply(no_subscriptions())
+        }
+    }
+}
+
+/// Routes one decoded frame against a multi-view registry backend.
+fn handle_frame_registry(
+    shared: &Shared,
+    handle: &RegistryHandle,
+    request: RequestRef<'_>,
+    deadline: Duration,
+) -> FrameOutcome {
+    match request {
+        RequestRef::Ping => FrameOutcome::Reply(Response::Pong),
+        RequestRef::Submit(s) => submit_registry(shared, handle, s, deadline),
+        RequestRef::Read {
+            view,
+            fresh,
+            want_rows,
+        } => {
+            let v = view as usize;
+            if v >= handle.view_count() {
+                return FrameOutcome::Reply(bad_view(view, handle.view_count()));
+            }
+            if !fresh {
+                // Wait-free off the hub's latest published snapshot,
+                // exactly like the single backend's stale path.
+                let Some(snap) = handle.snapshot_for_read(v) else {
+                    return FrameOutcome::Reply(registry_unavailable(handle));
+                };
+                return FrameOutcome::Reply(Response::ReadOk(WireReadResult {
+                    fresh: false,
+                    lag: snap.lag(),
+                    flush_cost: 0.0,
+                    violated: false,
+                    degraded: false,
+                    checksum: snap.checksum,
+                    rows: want_rows.then(|| snap.rows.clone()),
+                }));
+            }
+            match handle.begin_read(v, ReadMode::Fresh) {
+                Some(ticket) => FrameOutcome::Wait(Pending::ReadRegistry {
+                    ticket,
+                    want_rows,
+                    started: Instant::now(),
+                    deadline,
+                }),
+                None => FrameOutcome::Reply(registry_unavailable(handle)),
+            }
+        }
+        RequestRef::Flush => {
+            let mut tickets = Vec::with_capacity(handle.view_count());
+            for v in 0..handle.view_count() {
+                match handle.begin_read(v, ReadMode::Fresh) {
+                    Some(t) => tickets.push(t),
+                    None => return FrameOutcome::Reply(registry_unavailable(handle)),
+                }
+            }
+            FrameOutcome::Wait(Pending::FlushRegistry {
+                tickets,
+                flush_cost: 0.0,
+                violated: false,
+                started: Instant::now(),
+                deadline,
+            })
+        }
+        RequestRef::Metrics {
+            per_shard,
+            per_view,
+        } => match handle.begin_metrics() {
+            Some(ticket) => FrameOutcome::Wait(Pending::MetricsRegistry {
+                ticket,
+                per_shard,
+                per_view,
+                started: Instant::now(),
+                deadline,
+            }),
+            None => FrameOutcome::Reply(registry_unavailable(handle)),
+        },
+        RequestRef::ReplicaSubscribe { .. } => FrameOutcome::Reply(Response::Error {
+            code: ErrorCode::BadRequest,
+            message: "replication requires a sharded server".into(),
+        }),
+        RequestRef::Subscribe { view, from_seq } => subscribe_registry(handle, view, from_seq),
+        RequestRef::Unsubscribe { view } => {
+            if (view as usize) >= handle.view_count() {
+                return FrameOutcome::Reply(bad_view(view, handle.view_count()));
+            }
+            // The ack is a plain Pong: by the time it is queued, no
+            // further ViewDelta for this view follows it on the wire.
+            FrameOutcome::Unsubscribe {
+                view,
+                reply: Response::Pong,
+            }
+        }
+    }
+}
+
+/// Resolves a `Subscribe` request to its starting position and reply.
+///
+/// * `from_seq == u64::MAX` — start from the current snapshot: the
+///   reply is a resync carrying the full materialized rows.
+/// * `from_seq` still on the hub's delta ring — a resume-ack: the
+///   reply carries no rows and the pump pushes `ViewDelta` frames from
+///   exactly `from_seq` (no gap, no duplicate).
+/// * `from_seq` off the ring — the subscriber is too far behind (or
+///   from a previous incarnation): degrade to a snapshot resync
+///   instead of an error.
+fn subscribe_registry(handle: &RegistryHandle, view: u32, from_seq: u64) -> FrameOutcome {
+    let v = view as usize;
+    if v >= handle.view_count() {
+        return FrameOutcome::Reply(bad_view(view, handle.view_count()));
+    }
+    let hub = handle.hub();
+    let resync = |snap: &aivm_engine::ViewSnapshot| FrameOutcome::Subscribe {
+        view,
+        next_seq: snap.seq + 1,
+        reply: Response::SubscribeOk {
+            view,
+            seq: snap.seq,
+            resync: true,
+            checksum: snap.checksum,
+            rows: snap.rows.clone(),
+        },
+    };
+    if from_seq == u64::MAX {
+        return resync(&hub.snapshot(v));
+    }
+    match hub.fetch(v, from_seq, 1) {
+        FetchOutcome::AtHead | FetchOutcome::Deltas(_) => FrameOutcome::Subscribe {
+            view,
+            next_seq: from_seq,
+            reply: Response::SubscribeOk {
+                view,
+                seq: from_seq.saturating_sub(1),
+                resync: false,
+                // The subscriber verified this state when it folded the
+                // delta producing it; the ack doesn't recompute it.
+                checksum: 0,
+                rows: Vec::new(),
+            },
+        },
+        FetchOutcome::Resync(snap) => resync(&snap),
+    }
+}
+
+/// `unavailable` for the registry backend.
+fn registry_unavailable(handle: &RegistryHandle) -> Response {
+    Response::Error {
+        code: ErrorCode::Unavailable,
+        message: match handle.last_error() {
+            Some(e) => format!("scheduler stopped: {e}"),
+            None => "scheduler stopped".into(),
+        },
     }
 }
 
@@ -1280,6 +1672,143 @@ fn try_submit(
         }
         Err(TrySendError::Full) => SubmitStep::Parked,
         Err(TrySendError::Disconnected) => SubmitStep::Reply(unavailable(handle)),
+    }
+}
+
+/// The outcome of one registry-backend admission attempt.
+enum SubmitRegistryStep {
+    /// The queue is full right now — park and retry each tick.
+    Parked,
+    /// The request resolved (`SubmitOk` at enqueue, or a typed error).
+    Reply(Response),
+    /// Admitted under durable acks: poll the apply ticket before
+    /// acknowledging.
+    Durable(RegistryApplyTicket),
+}
+
+/// The registry submit entry point — the single-backend flow against
+/// the registry's global base-table axis.
+fn submit_registry(
+    shared: &Shared,
+    handle: &RegistryHandle,
+    s: SubmitRef<'_>,
+    deadline: Duration,
+) -> FrameOutcome {
+    if (s.table as usize) >= shared.n_tables {
+        return FrameOutcome::Reply(Response::Error {
+            code: ErrorCode::BadRequest,
+            message: format!(
+                "table {} out of range ({} tables)",
+                s.table, shared.n_tables
+            ),
+        });
+    }
+    if let Some(hw) = shared.cfg.submit_high_water {
+        if handle.queue_depth() >= hw {
+            shared
+                .stats
+                .overload_rejections
+                .fetch_add(1, Ordering::Relaxed);
+            return FrameOutcome::Reply(Response::Error {
+                code: ErrorCode::Overloaded,
+                message: format!("ingest queue at {} (high water {hw})", handle.queue_depth()),
+            });
+        }
+    }
+    let mut mods: Vec<Modification> = Vec::new();
+    if let Err(err) = s.decode_mods_into(&mut mods) {
+        return FrameOutcome::Reply(Response::Error {
+            code: ErrorCode::BadRequest,
+            message: format!("undecodable request: {err}"),
+        });
+    }
+    let table = s.table as usize;
+    match try_submit_registry(shared, handle, table, &mods) {
+        SubmitRegistryStep::Parked => FrameOutcome::Wait(Pending::SubmitRegistry {
+            table,
+            mods,
+            ticket: None,
+            started: Instant::now(),
+            deadline,
+        }),
+        SubmitRegistryStep::Durable(ticket) => FrameOutcome::Wait(Pending::SubmitRegistry {
+            table,
+            mods,
+            ticket: Some(ticket),
+            started: Instant::now(),
+            deadline,
+        }),
+        SubmitRegistryStep::Reply(resp) => FrameOutcome::Reply(resp),
+    }
+}
+
+/// One admission attempt for a decoded registry batch.
+fn try_submit_registry(
+    shared: &Shared,
+    handle: &RegistryHandle,
+    table: usize,
+    mods: &[Modification],
+) -> SubmitRegistryStep {
+    let accepted = mods.len() as u64;
+    if shared.cfg.durable_acks {
+        return match handle.try_ingest_batch_tracked(table, mods.to_vec()) {
+            Ok(ticket) => {
+                shared
+                    .stats
+                    .submitted_events
+                    .fetch_add(accepted, Ordering::Relaxed);
+                SubmitRegistryStep::Durable(ticket)
+            }
+            Err(TrySendError::Full) => SubmitRegistryStep::Parked,
+            Err(TrySendError::Disconnected) => {
+                SubmitRegistryStep::Reply(registry_unavailable(handle))
+            }
+        };
+    }
+    match handle.try_ingest_batch(table, mods.to_vec()) {
+        Ok(()) => {
+            shared
+                .stats
+                .submitted_events
+                .fetch_add(accepted, Ordering::Relaxed);
+            SubmitRegistryStep::Reply(Response::SubmitOk { accepted })
+        }
+        Err(TrySendError::Full) => SubmitRegistryStep::Parked,
+        Err(TrySendError::Disconnected) => SubmitRegistryStep::Reply(registry_unavailable(handle)),
+    }
+}
+
+/// Polls the apply ticket of an admitted durable-ack registry submit.
+fn poll_registry_apply(
+    shared: &Shared,
+    ticket: &RegistryApplyTicket,
+    accepted: u64,
+    started: Instant,
+    deadline: Duration,
+) -> Option<Response> {
+    match ticket.try_take() {
+        Ok(Some(Ok(()))) => Some(Response::SubmitOk { accepted }),
+        Ok(Some(Err(err))) => Some(Response::Error {
+            code: ErrorCode::Internal,
+            message: format!("apply failed after admission: {err}"),
+        }),
+        Ok(None) if started.elapsed() >= deadline => {
+            shared
+                .stats
+                .deadline_rejections
+                .fetch_add(1, Ordering::Relaxed);
+            Some(Response::Error {
+                code: ErrorCode::DeadlineExceeded,
+                message: format!(
+                    "batch admitted but not applied within {deadline:?}; durability indeterminate"
+                ),
+            })
+        }
+        Ok(None) => None,
+        Err(_) => Some(Response::Error {
+            code: ErrorCode::Internal,
+            message: "scheduler stopped after admission; write durability indeterminate".into(),
+        }),
     }
 }
 
@@ -1771,7 +2300,7 @@ fn poll_pending(shared: &Shared, backend: &Backend, conn: &mut Conn) -> bool {
             deadline,
         } => match ticket.try_take() {
             Ok(Some(snap)) => {
-                let mut nm = net_metrics(&snap, &shared.stats);
+                let mut nm = net_metrics(&snap, shared);
                 if let Backend::Single(handle) = backend {
                     nm.staleness_max = handle.snapshot_for_read().map(|s| s.lag()).unwrap_or(0);
                 }
@@ -1831,6 +2360,118 @@ fn poll_pending(shared: &Shared, backend: &Backend, conn: &mut Conn) -> bool {
                 ))))
             }
         }
+        Pending::SubmitRegistry {
+            table,
+            mods,
+            ticket,
+            started,
+            deadline,
+        } => {
+            let Backend::Registry(handle) = backend else {
+                return mismatched_pending(conn);
+            };
+            if let Some(t) = ticket.as_ref() {
+                poll_registry_apply(shared, t, mods.len() as u64, *started, *deadline)
+            } else {
+                match try_submit_registry(shared, handle, *table, mods) {
+                    SubmitRegistryStep::Reply(resp) => Some(resp),
+                    SubmitRegistryStep::Durable(t) => {
+                        *ticket = Some(t);
+                        None
+                    }
+                    SubmitRegistryStep::Parked if started.elapsed() >= *deadline => {
+                        shared
+                            .stats
+                            .overload_rejections
+                            .fetch_add(1, Ordering::Relaxed);
+                        Some(Response::Error {
+                            code: ErrorCode::Overloaded,
+                            message: format!("ingest queue stayed at capacity for {deadline:?}"),
+                        })
+                    }
+                    SubmitRegistryStep::Parked => None,
+                }
+            }
+        }
+        Pending::ReadRegistry {
+            ticket,
+            want_rows,
+            started,
+            deadline,
+        } => match ticket.try_take() {
+            Ok(Some(Ok(r))) => {
+                let checksum = r.rows.as_deref().map(rows_checksum).unwrap_or(0);
+                Some(Response::ReadOk(WireReadResult {
+                    fresh: true,
+                    lag: r.lag,
+                    flush_cost: r.flush_cost,
+                    violated: r.violated,
+                    degraded: false,
+                    checksum,
+                    rows: if *want_rows { r.rows } else { None },
+                }))
+            }
+            Ok(Some(Err(err))) => Some(Response::Error {
+                code: ErrorCode::Internal,
+                message: err.to_string(),
+            }),
+            Ok(None) => deadline_check(shared, *started, *deadline),
+            Err(_) => Some(stale_unavailable(shared)),
+        },
+        Pending::FlushRegistry {
+            tickets,
+            flush_cost,
+            violated,
+            started,
+            deadline,
+        } => {
+            let mut failed: Option<Response> = None;
+            let mut i = 0;
+            while i < tickets.len() {
+                match tickets[i].try_take() {
+                    Ok(Some(Ok(r))) => {
+                        *flush_cost += r.flush_cost;
+                        *violated |= r.violated;
+                        tickets.swap_remove(i);
+                    }
+                    Ok(Some(Err(err))) => {
+                        failed = Some(Response::Error {
+                            code: ErrorCode::Internal,
+                            message: err.to_string(),
+                        });
+                        break;
+                    }
+                    Ok(None) => i += 1,
+                    Err(_) => {
+                        failed = Some(stale_unavailable(shared));
+                        break;
+                    }
+                }
+            }
+            if failed.is_some() {
+                failed
+            } else if !tickets.is_empty() {
+                deadline_check(shared, *started, *deadline)
+            } else {
+                Some(Response::FlushOk {
+                    flush_cost: *flush_cost,
+                    violated: *violated,
+                })
+            }
+        }
+        Pending::MetricsRegistry {
+            ticket,
+            per_shard,
+            per_view,
+            started,
+            deadline,
+        } => match ticket.try_take() {
+            Ok(Some(mm)) => Some(Response::MetricsOk(Box::new(registry_net_metrics(
+                shared, &mm, *per_shard, *per_view,
+            )))),
+            Ok(None) => deadline_check(shared, *started, *deadline),
+            Err(_) => Some(stale_unavailable(shared)),
+        },
     };
     match resolved {
         Some(resp) => {
@@ -1867,7 +2508,7 @@ fn sharded_metrics(
     per_shard: bool,
 ) -> NetMetrics {
     let merged = merge_metrics(&snaps.iter().map(|(_, m)| m.clone()).collect::<Vec<_>>());
-    let mut nm = net_metrics(&merged, &shared.stats);
+    let mut nm = net_metrics(&merged, shared);
     nm.shards = router.shards() as u64;
     nm.shards_live = snaps.len() as u64;
     let lag_of = |i: usize| -> u64 {
@@ -2005,7 +2646,8 @@ fn flush_wbuf(conn: &mut Conn) {
 
 /// Folds a runtime snapshot and the net-layer counters into the wire
 /// metrics struct.
-fn net_metrics(snap: &MetricsSnapshot, stats: &NetStats) -> NetMetrics {
+fn net_metrics(snap: &MetricsSnapshot, shared: &Shared) -> NetMetrics {
+    let stats = &shared.stats;
     NetMetrics {
         events_ingested: snap.events_ingested,
         ticks: snap.ticks,
@@ -2040,9 +2682,65 @@ fn net_metrics(snap: &MetricsSnapshot, stats: &NetStats) -> NetMetrics {
         failovers: 0,
         cluster_epoch: 0,
         replica_lag_max: 0,
+        shards_auto: shared.cfg.shards_auto,
+        views: 1,
+        subscribers: 0,
+        deltas_pushed: 0,
+        sub_lag_max: 0,
         per_shard: None,
+        per_view: None,
         last_error: snap.last_error.clone(),
     }
+}
+
+/// Folds a registry metrics snapshot into the wire metrics struct:
+/// scheduler-global counters plus the view axis (fleet totals always,
+/// per-view rows when asked for).
+fn registry_net_metrics(
+    shared: &Shared,
+    mm: &MultiMetricsSnapshot,
+    per_shard: bool,
+    per_view: bool,
+) -> NetMetrics {
+    let mut nm = net_metrics(&mm.global, shared);
+    nm.views = mm.views.len() as u64;
+    nm.subscribers = mm.views.iter().map(|v| v.subscribers).sum();
+    nm.deltas_pushed = mm.views.iter().map(|v| v.deltas_pushed).sum();
+    nm.sub_lag_max = mm.views.iter().map(|v| v.sub_lag_max).max().unwrap_or(0);
+    nm.staleness_max = mm.views.iter().map(|v| v.pending).max().unwrap_or(0);
+    if per_shard {
+        nm.per_shard = Some(vec![ShardMetricsRow {
+            shard: 0,
+            live: true,
+            events_ingested: mm.global.events_ingested,
+            queue_depth: mm.global.queue_depth as u64,
+            flush_count: mm.global.flush_count,
+            total_flush_cost: mm.global.total_flush_cost,
+            budget: mm.global.budget,
+            staleness: nm.staleness_max,
+            epoch: 0,
+            replica_lag: 0,
+            health: 1,
+        }]);
+    }
+    if per_view {
+        nm.per_view = Some(
+            mm.views
+                .iter()
+                .map(|v| ViewMetricsRow {
+                    view: v.view,
+                    group: v.group,
+                    flushes: v.flushes,
+                    pending: v.pending,
+                    violations: v.violations,
+                    deltas_pushed: v.deltas_pushed,
+                    subscribers: v.subscribers,
+                    sub_lag_max: v.sub_lag_max,
+                })
+                .collect(),
+        );
+    }
+    nm
 }
 
 /// The same order-independent content checksum as

@@ -1,0 +1,261 @@
+//! Over-the-wire multi-view equivalence: one registry server answering
+//! N views must be bit-identical to N independent single-view servers
+//! fed the identical submit stream through real sockets.
+
+use aivm_core::CostModel;
+use aivm_engine::{
+    row, AggFunc, AggSpec, CmpOp, DataType, Database, Expr, JoinPred, MaterializedView,
+    MinStrategy, Modification, Schema, ViewDef, ViewRegistry,
+};
+use aivm_net::{
+    read_hello_reply, recv_response, send_request, write_hello, HandshakeStatus, NetServer,
+    NetServerConfig, Request, RequestFrame, Response,
+};
+use aivm_serve::{
+    MaintenanceRuntime, MultiConfig, NaiveFlush, RegistryRuntime, RegistryServer, ServeConfig,
+    ServeServer, ServerConfig,
+};
+use std::net::TcpStream;
+use std::time::Duration;
+
+fn base() -> Database {
+    let mut db = Database::new();
+    db.create_table(
+        "r",
+        Schema::new(vec![("k", DataType::Int), ("x", DataType::Float)]),
+    )
+    .unwrap();
+    db.create_table(
+        "s",
+        Schema::new(vec![("k", DataType::Int), ("y", DataType::Int)]),
+    )
+    .unwrap();
+    db
+}
+
+fn join_def(name: &str) -> ViewDef {
+    ViewDef {
+        name: name.into(),
+        tables: vec!["r".into(), "s".into()],
+        join_preds: vec![JoinPred {
+            left: (0, 0),
+            right: (1, 0),
+        }],
+        filters: vec![None, None],
+        residual: None,
+        projection: None,
+        aggregate: None,
+        distinct: false,
+    }
+}
+
+/// View variants cycling over one shared SPJ core (join/min/sum) plus a
+/// filtered variant whose different core starts its own sharing group.
+fn variant(i: usize) -> ViewDef {
+    let name = format!("v{i}");
+    match i % 4 {
+        0 => join_def(&name),
+        1 => ViewDef {
+            aggregate: Some(AggSpec {
+                group_by: vec![],
+                aggs: vec![(AggFunc::Min, Expr::col(1), "m".into())],
+            }),
+            ..join_def(&name)
+        },
+        2 => ViewDef {
+            aggregate: Some(AggSpec {
+                group_by: vec![0],
+                aggs: vec![(AggFunc::Sum, Expr::col(3), "s".into())],
+            }),
+            ..join_def(&name)
+        },
+        _ => ViewDef {
+            filters: vec![
+                None,
+                Some(Expr::Cmp(
+                    CmpOp::Gt,
+                    Box::new(Expr::col(1)),
+                    Box::new(Expr::lit(0i64)),
+                )),
+            ],
+            ..join_def(&name)
+        },
+    }
+}
+
+fn costs() -> Vec<CostModel> {
+    vec![CostModel::linear(0.5, 0.1), CostModel::linear(0.7, 0.2)]
+}
+
+fn registry_rig(views: usize) -> (RegistryServer, NetServer) {
+    let mut reg = ViewRegistry::new(base());
+    for i in 0..views {
+        reg.register_view(variant(i), MinStrategy::Multiset)
+            .unwrap();
+    }
+    let rt = RegistryRuntime::new(
+        MultiConfig::new(costs(), 1e6),
+        Box::new(NaiveFlush::new()),
+        reg,
+    )
+    .unwrap();
+    let server = RegistryServer::spawn(rt, ServerConfig::default());
+    let net = NetServer::bind_registry("127.0.0.1:0", server.handle(), NetServerConfig::default())
+        .unwrap();
+    (server, net)
+}
+
+fn solo_rig(def: ViewDef) -> (ServeServer, NetServer) {
+    let db = base();
+    let view = MaterializedView::new(&db, def, MinStrategy::Multiset).unwrap();
+    let rt = MaintenanceRuntime::engine(
+        ServeConfig::new(costs(), 1e6),
+        Box::new(NaiveFlush::new()),
+        db,
+        view,
+    )
+    .unwrap();
+    let serve = ServeServer::spawn(rt, ServerConfig::default());
+    let net =
+        NetServer::bind("127.0.0.1:0", serve.handle(), 2, NetServerConfig::default()).unwrap();
+    (serve, net)
+}
+
+fn connect(net: &NetServer) -> TcpStream {
+    let mut s = TcpStream::connect(net.local_addr()).unwrap();
+    s.set_read_timeout(Some(Duration::from_secs(10))).unwrap();
+    write_hello(&mut s).unwrap();
+    assert_eq!(read_hello_reply(&mut s).unwrap(), HandshakeStatus::Ok);
+    s
+}
+
+fn roundtrip(s: &mut TcpStream, request: Request) -> Response {
+    send_request(
+        s,
+        &RequestFrame {
+            deadline_ms: 10_000,
+            request,
+        },
+    )
+    .unwrap();
+    recv_response(s).unwrap()
+}
+
+/// Interleaved inserts with periodic deletes, addressed over the global
+/// table axis (0 = r, 1 = s) shared by both server shapes.
+fn stream() -> Vec<(u32, Modification)> {
+    (0..120i64)
+        .flat_map(|i| {
+            let mut v = vec![
+                (0u32, Modification::Insert(row![i % 7, (i as f64) * 0.5])),
+                (1u32, Modification::Insert(row![i % 7, i - 20])),
+            ];
+            if i % 5 == 4 {
+                v.push((1, Modification::Delete(row![(i - 1) % 7, i - 21])));
+            }
+            v
+        })
+        .collect()
+}
+
+fn feed(s: &mut TcpStream, events: &[(u32, Modification)]) {
+    for chunk in events.chunks(16) {
+        // Split the chunk into per-table runs (a Submit frame targets
+        // one table).
+        for table in [0u32, 1] {
+            let mods: Vec<Modification> = chunk
+                .iter()
+                .filter(|(t, _)| *t == table)
+                .map(|(_, m)| m.clone())
+                .collect();
+            if mods.is_empty() {
+                continue;
+            }
+            let n = mods.len() as u64;
+            match roundtrip(
+                s,
+                Request::Submit {
+                    epoch: 0,
+                    table,
+                    mods,
+                },
+            ) {
+                Response::SubmitOk { accepted } => assert_eq!(accepted, n),
+                other => panic!("submit: {other:?}"),
+            }
+        }
+    }
+}
+
+fn fresh_checksum(s: &mut TcpStream, view: u32) -> u64 {
+    match roundtrip(
+        s,
+        Request::Read {
+            view,
+            fresh: true,
+            want_rows: false,
+        },
+    ) {
+        Response::ReadOk(r) => {
+            assert!(r.fresh);
+            assert!(!r.violated);
+            r.checksum
+        }
+        other => panic!("read view {view}: {other:?}"),
+    }
+}
+
+#[test]
+fn registry_matches_independent_servers_over_the_wire() {
+    let views = 6;
+    let events = stream();
+
+    let (server, net) = registry_rig(views);
+    let mut ctl = connect(&net);
+    feed(&mut ctl, &events);
+    let shared: Vec<u64> = (0..views as u32)
+        .map(|v| fresh_checksum(&mut ctl, v))
+        .collect();
+
+    // Per-view metrics rows: every view present, join/min/sum variants
+    // in one sharing group, the filtered variant in its own.
+    let m = match roundtrip(
+        &mut ctl,
+        Request::Metrics {
+            per_shard: false,
+            per_view: true,
+        },
+    ) {
+        Response::MetricsOk(m) => m,
+        other => panic!("metrics: {other:?}"),
+    };
+    assert_eq!(m.views, views as u64);
+    let rows = m.per_view.as_ref().expect("per-view rows");
+    assert_eq!(rows.len(), views);
+    for (i, r) in rows.iter().enumerate() {
+        assert_eq!(r.view as usize, i);
+        assert_eq!(r.violations, 0);
+    }
+    assert_eq!(rows[0].group, rows[1].group);
+    assert_eq!(rows[0].group, rows[2].group);
+    assert_eq!(rows[0].group, rows[4].group);
+    assert_ne!(
+        rows[0].group, rows[3].group,
+        "filtered core shares no group"
+    );
+
+    net.shutdown();
+    server.shutdown();
+
+    // The same stream through independent single-view servers must land
+    // on bit-identical view contents.
+    for (i, &want) in shared.iter().enumerate() {
+        let (serve, net) = solo_rig(variant(i));
+        let mut s = connect(&net);
+        feed(&mut s, &events);
+        let got = fresh_checksum(&mut s, 0);
+        assert_eq!(got, want, "view {i} diverged from its independent twin");
+        net.shutdown();
+        serve.shutdown();
+    }
+}

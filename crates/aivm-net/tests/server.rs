@@ -98,6 +98,7 @@ fn submit_read_metrics_over_the_wire() {
     let read = roundtrip(
         &mut s,
         Request::Read {
+            view: 0,
             fresh: true,
             want_rows: true,
         },
@@ -132,7 +133,13 @@ fn submit_read_metrics_over_the_wire() {
     };
     assert_eq!(wire_checksum, direct_checksum);
 
-    match roundtrip(&mut s, Request::Metrics { per_shard: false }) {
+    match roundtrip(
+        &mut s,
+        Request::Metrics {
+            per_shard: false,
+            per_view: false,
+        },
+    ) {
         Response::MetricsOk(m) => {
             assert_eq!(m.events_ingested, 10);
             assert_eq!(m.submitted_events, 10);
@@ -173,6 +180,7 @@ fn stale_reads_serve_from_published_snapshot() {
     let fresh_checksum = match roundtrip(
         &mut s,
         Request::Read {
+            view: 0,
             fresh: true,
             want_rows: false,
         },
@@ -188,6 +196,7 @@ fn stale_reads_serve_from_published_snapshot() {
         match roundtrip(
             &mut s,
             Request::Read {
+                view: 0,
                 fresh: false,
                 want_rows: true,
             },
@@ -202,7 +211,13 @@ fn stale_reads_serve_from_published_snapshot() {
     assert!(!stale.fresh);
     assert_eq!(stale.lag, 0);
     assert_eq!(stale.rows.expect("want_rows").len(), 8);
-    match roundtrip(&mut s, Request::Metrics { per_shard: false }) {
+    match roundtrip(
+        &mut s,
+        Request::Metrics {
+            per_shard: false,
+            per_view: false,
+        },
+    ) {
         Response::MetricsOk(m) => {
             assert!(
                 m.snapshot_reads >= 1,

@@ -1,0 +1,343 @@
+//! Push-subscription resume properties over real sockets: a subscriber
+//! killed and reconnected at *any* seq folds every flushed batch
+//! exactly once in seq order (no gap, no duplicate) and its folded
+//! state checksum-matches a direct fresh read; a subscriber that fell
+//! off the delta ring — or never drained at all — is resynced from the
+//! snapshot instead of stalling the flush path.
+
+use aivm_core::CostModel;
+use aivm_engine::{
+    row, rows_checksum, AggFunc, AggSpec, DataType, Database, Expr, JoinPred, MinStrategy,
+    Modification, Schema, ViewDef, ViewRegistry, WRow,
+};
+use aivm_net::{
+    read_hello_reply, recv_response, send_request, write_hello, HandshakeStatus, NetServer,
+    NetServerConfig, Request, RequestFrame, Response,
+};
+use aivm_serve::{
+    fold_delta, DeltaBatch, MultiConfig, NaiveFlush, RegistryRuntime, RegistryServer, ServerConfig,
+};
+use std::net::TcpStream;
+use std::time::Duration;
+
+fn base() -> Database {
+    let mut db = Database::new();
+    db.create_table(
+        "r",
+        Schema::new(vec![("k", DataType::Int), ("x", DataType::Float)]),
+    )
+    .unwrap();
+    db.create_table(
+        "s",
+        Schema::new(vec![("k", DataType::Int), ("y", DataType::Int)]),
+    )
+    .unwrap();
+    db
+}
+
+fn join_def(name: &str) -> ViewDef {
+    ViewDef {
+        name: name.into(),
+        tables: vec!["r".into(), "s".into()],
+        join_preds: vec![JoinPred {
+            left: (0, 0),
+            right: (1, 0),
+        }],
+        filters: vec![None, None],
+        residual: None,
+        projection: None,
+        aggregate: None,
+        distinct: false,
+    }
+}
+
+fn rig() -> (RegistryServer, NetServer) {
+    let mut reg = ViewRegistry::new(base());
+    reg.register_view(join_def("v0"), MinStrategy::Multiset)
+        .unwrap();
+    reg.register_view(
+        ViewDef {
+            aggregate: Some(AggSpec {
+                group_by: vec![0],
+                aggs: vec![(AggFunc::Sum, Expr::col(3), "s".into())],
+            }),
+            ..join_def("v1")
+        },
+        MinStrategy::Multiset,
+    )
+    .unwrap();
+    let rt = RegistryRuntime::new(
+        MultiConfig::new(
+            vec![CostModel::linear(0.5, 0.1), CostModel::linear(0.7, 0.2)],
+            1e6,
+        ),
+        Box::new(NaiveFlush::new()),
+        reg,
+    )
+    .unwrap();
+    let server = RegistryServer::spawn(rt, ServerConfig::default());
+    let net = NetServer::bind_registry("127.0.0.1:0", server.handle(), NetServerConfig::default())
+        .unwrap();
+    (server, net)
+}
+
+fn connect(net: &NetServer) -> TcpStream {
+    let mut s = TcpStream::connect(net.local_addr()).unwrap();
+    s.set_read_timeout(Some(Duration::from_secs(10))).unwrap();
+    write_hello(&mut s).unwrap();
+    assert_eq!(read_hello_reply(&mut s).unwrap(), HandshakeStatus::Ok);
+    s
+}
+
+fn roundtrip(s: &mut TcpStream, request: Request) -> Response {
+    send_request(
+        s,
+        &RequestFrame {
+            deadline_ms: 10_000,
+            request,
+        },
+    )
+    .unwrap();
+    recv_response(s).unwrap()
+}
+
+/// One subscriber-side fold state machine over a raw socket.
+struct Sub {
+    stream: TcpStream,
+    view: u32,
+    state: Vec<WRow>,
+    /// Seq of the last snapshot or folded delta.
+    last_seq: u64,
+    deltas: u64,
+    resyncs: u64,
+}
+
+impl Sub {
+    /// Opens a subscription and applies the `SubscribeOk` reply: a
+    /// resync replaces the folded state, a resume-ack confirms the
+    /// requested position without rows.
+    fn open(net: &NetServer, view: u32, from_seq: u64, prev: Option<Sub>) -> Sub {
+        let mut stream = connect(net);
+        let reply = roundtrip(&mut stream, Request::Subscribe { view, from_seq });
+        let (mut state, mut last_seq, mut resyncs, deltas) = match prev {
+            Some(p) => (p.state, p.last_seq, p.resyncs, p.deltas),
+            None => (Vec::new(), 0, 0, 0),
+        };
+        match reply {
+            Response::SubscribeOk {
+                view: v,
+                seq,
+                resync,
+                checksum,
+                rows,
+            } => {
+                assert_eq!(v, view);
+                if resync {
+                    assert_eq!(
+                        rows_checksum(&rows),
+                        checksum,
+                        "resync snapshot fails its own checksum"
+                    );
+                    state = rows;
+                    last_seq = seq;
+                    resyncs += 1;
+                } else {
+                    assert_eq!(seq, from_seq.saturating_sub(1), "resume-ack seq");
+                    assert!(rows.is_empty(), "resume-ack carries no rows");
+                }
+            }
+            other => panic!("subscribe: {other:?}"),
+        }
+        Sub {
+            stream,
+            view,
+            state,
+            last_seq,
+            deltas,
+            resyncs,
+        }
+    }
+
+    /// Receives one pushed frame and folds it. Deltas must arrive in
+    /// strictly consecutive seq order; a pushed resync may jump ahead.
+    fn recv_fold(&mut self) {
+        match recv_response(&mut self.stream).expect("push frame") {
+            Response::ViewDelta {
+                view,
+                seq,
+                checksum,
+                staleness,
+                rows,
+            } => {
+                assert_eq!(view, self.view);
+                assert_eq!(
+                    seq,
+                    self.last_seq + 1,
+                    "delta seq gap or duplicate (last {})",
+                    self.last_seq
+                );
+                let state = std::mem::take(&mut self.state);
+                self.state = fold_delta(
+                    state,
+                    &DeltaBatch {
+                        view,
+                        seq,
+                        rows,
+                        checksum,
+                        staleness,
+                    },
+                );
+                assert_eq!(
+                    rows_checksum(&self.state),
+                    checksum,
+                    "post-fold state diverged at seq {seq}"
+                );
+                self.last_seq = seq;
+                self.deltas += 1;
+            }
+            Response::SubscribeOk {
+                view,
+                seq,
+                resync,
+                checksum,
+                rows,
+            } => {
+                assert_eq!(view, self.view);
+                assert!(resync, "unsolicited non-resync SubscribeOk");
+                assert!(seq > self.last_seq, "resync must move forward");
+                assert_eq!(rows_checksum(&rows), checksum);
+                self.state = rows;
+                self.last_seq = seq;
+                self.resyncs += 1;
+            }
+            other => panic!("push: {other:?}"),
+        }
+    }
+
+    /// Folds pushed frames until the local state checksum-matches
+    /// `target` (the direct fresh read's checksum).
+    fn drain_to(&mut self, target: u64) {
+        while rows_checksum(&self.state) != target {
+            self.recv_fold();
+        }
+    }
+}
+
+fn submit_round(ctl: &mut TcpStream, i: i64) {
+    for (table, m) in [
+        (0u32, Modification::Insert(row![i % 5, (i as f64) * 0.25])),
+        (1, Modification::Insert(row![i % 5, i])),
+    ] {
+        match roundtrip(
+            ctl,
+            Request::Submit {
+                epoch: 0,
+                table,
+                mods: vec![m],
+            },
+        ) {
+            Response::SubmitOk { accepted } => assert_eq!(accepted, 1),
+            other => panic!("submit: {other:?}"),
+        }
+    }
+}
+
+fn fresh_checksum(ctl: &mut TcpStream, view: u32) -> u64 {
+    match roundtrip(
+        ctl,
+        Request::Read {
+            view,
+            fresh: true,
+            want_rows: false,
+        },
+    ) {
+        Response::ReadOk(r) => {
+            assert!(!r.violated);
+            r.checksum
+        }
+        other => panic!("read: {other:?}"),
+    }
+}
+
+/// Kill/reconnect at every seq: the connection is dropped after *each*
+/// folded delta and reopened from `last_seq + 1`, so every seq in the
+/// run doubles as a resume point. The folded state must checksum-match
+/// the direct read after every round, with zero snapshot resyncs (every
+/// resume position is still on the ring).
+#[test]
+fn reconnect_at_every_seq_folds_each_batch_exactly_once() {
+    let (server, net) = rig();
+    let mut ctl = connect(&net);
+
+    let mut sub = Sub::open(&net, 0, u64::MAX, None);
+    assert_eq!(sub.resyncs, 1, "head subscribe starts from a snapshot");
+
+    for i in 0..30 {
+        submit_round(&mut ctl, i);
+        let target = fresh_checksum(&mut ctl, 0);
+        sub.drain_to(target);
+        // Kill the connection at this seq and resume exactly after it.
+        let from = sub.last_seq + 1;
+        sub = Sub::open(&net, 0, from, Some(sub));
+    }
+    assert!(sub.deltas >= 30, "every flush boundary was pushed");
+    assert_eq!(sub.resyncs, 1, "in-ring resumes never degrade to resync");
+
+    net.shutdown();
+    server.shutdown();
+}
+
+/// A resume position that has fallen off the bounded delta ring is
+/// answered with a snapshot resync (not an error, not a stall), after
+/// which the subscriber is immediately current.
+#[test]
+fn off_ring_resume_degrades_to_snapshot_resync() {
+    let (server, net) = rig();
+    let mut ctl = connect(&net);
+
+    // Push well past the ring capacity so seq 1 is long evicted.
+    let mut target = 0;
+    for i in 0..80 {
+        submit_round(&mut ctl, i);
+        target = fresh_checksum(&mut ctl, 1);
+    }
+    let sub = Sub::open(&net, 1, 1, None);
+    assert_eq!(sub.resyncs, 1, "off-ring resume must resync");
+    assert_eq!(
+        rows_checksum(&sub.state),
+        target,
+        "resync snapshot is not current"
+    );
+
+    net.shutdown();
+    server.shutdown();
+}
+
+/// A subscriber that never drains its socket must not stall the
+/// submit/flush path; after the run it reattaches via snapshot and is
+/// current immediately.
+#[test]
+fn unread_subscriber_never_stalls_flushes() {
+    let (server, net) = rig();
+    let mut ctl = connect(&net);
+
+    // Subscribed but never read from again.
+    let stalled = Sub::open(&net, 0, u64::MAX, None);
+
+    let mut target = 0;
+    for i in 0..80 {
+        submit_round(&mut ctl, i);
+        target = fresh_checksum(&mut ctl, 0);
+    }
+    drop(stalled);
+
+    let sub = Sub::open(&net, 0, u64::MAX, None);
+    assert_eq!(
+        rows_checksum(&sub.state),
+        target,
+        "fresh head subscribe after the stalled run is not current"
+    );
+
+    net.shutdown();
+    server.shutdown();
+}

@@ -94,10 +94,14 @@ fn decoding_read_ping_metrics_flush_allocates_nothing() {
     let frames: Vec<Vec<u8>> = [
         Request::Ping,
         Request::Read {
+            view: 0,
             fresh: true,
             want_rows: false,
         },
-        Request::Metrics { per_shard: false },
+        Request::Metrics {
+            per_shard: false,
+            per_view: false,
+        },
         Request::Flush,
     ]
     .into_iter()

@@ -43,6 +43,7 @@
 
 pub mod fault;
 pub mod metrics;
+pub mod multi;
 pub mod policy;
 pub mod queue;
 pub mod runtime;
@@ -52,6 +53,11 @@ pub mod wal;
 
 pub use fault::{CostOverrun, FaultPlan};
 pub use metrics::{HistogramSnapshot, LatencyHistogram, MetricsSnapshot};
+pub use multi::{
+    fold_delta, DeltaBatch, FetchOutcome, MultiConfig, MultiMetricsSnapshot, RegistryApplyTicket,
+    RegistryHandle, RegistryMetricsTicket, RegistryReadTicket, RegistryRuntime, RegistryServer,
+    SubscriptionHub, ViewMetricsSnapshot, APPLY_SHARE, DELTA_RING_CAP,
+};
 pub use policy::{AsSolverPolicy, FlushPolicy, NaiveFlush, OnlineFlush, PlannedFlush};
 pub use queue::TrySendError;
 pub use runtime::{MaintenanceRuntime, ReadMode, ReadResult, ServeConfig, TickReport};

@@ -377,6 +377,13 @@ impl MaintenanceRuntime {
             WalRecord::SetBudget { budget } => {
                 self.set_budget(*budget)?;
             }
+            WalRecord::ForcedView { .. } => {
+                return Err(EngineError::Corrupt {
+                    context: "wal".into(),
+                    offset: 0,
+                    message: "registry record in a single-view log".into(),
+                })
+            }
         }
         Ok(())
     }
@@ -393,6 +400,11 @@ impl MaintenanceRuntime {
             WalRecord::Tick => self.tick().map(|_| ()),
             WalRecord::Forced => self.forced_refresh().map(|_| ()),
             WalRecord::SetBudget { budget } => self.set_budget(*budget),
+            WalRecord::ForcedView { .. } => Err(EngineError::Corrupt {
+                context: "wal".into(),
+                offset: 0,
+                message: "registry record in a single-view log".into(),
+            }),
         }
     }
 

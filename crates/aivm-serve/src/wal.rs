@@ -83,6 +83,15 @@ pub enum WalRecord {
         /// The new refresh budget `C` for this runtime.
         budget: f64,
     },
+    /// A forced flush of one registered view's sharing group (the
+    /// second half of a per-view Fresh read on a multi-view
+    /// [`RegistryRuntime`](crate::multi::RegistryRuntime)). The plain
+    /// [`WalRecord::Forced`] carries no view axis, so registry logs use
+    /// this instead.
+    ForcedView {
+        /// The registry view id whose group was refreshed.
+        view: u32,
+    },
 }
 
 impl WalRecord {
@@ -105,6 +114,10 @@ impl WalRecord {
             WalRecord::SetBudget { budget } => {
                 b.put_u8(4);
                 b.put_f64_le(*budget);
+            }
+            WalRecord::ForcedView { view } => {
+                b.put_u8(5);
+                b.put_u32_le(*view);
             }
         }
         b.freeze()
@@ -146,6 +159,14 @@ impl WalRecord {
                 }
                 WalRecord::SetBudget {
                     budget: buf.get_f64_le(),
+                }
+            }
+            5 => {
+                if buf.remaining() < 4 {
+                    return Err(corrupt("view", &buf));
+                }
+                WalRecord::ForcedView {
+                    view: buf.get_u32_le(),
                 }
             }
             other => return Err(corrupt(&format!("record kind {other}"), &buf)),
@@ -784,6 +805,7 @@ mod tests {
             },
             WalRecord::Forced,
             WalRecord::SetBudget { budget: 12.5 },
+            WalRecord::ForcedView { view: 3 },
         ]
     }
 
