@@ -123,6 +123,19 @@ AIVM_BENCH_LABEL=ci ./target/release/repro --quick multiview --views 32 >/dev/nu
 AIVM_BENCH_LABEL=ci timeout 120 ./target/release/repro loadgen --quick \
   --duration 5s --views 32 --subscribers 64 --min-throughput 20000 >/dev/null
 
+echo "==> skew gate (heavy-light equivalence + zipfian skewsweep smoke)"
+# Property tests: heavy-light partitioned maintenance is bit-identical
+# to the unpartitioned engine across random promotion thresholds, flush
+# widths 1/2/4/8, mid-stream reclassification points, and WAL
+# recovery-replay.
+cargo test -q --release --test heavy_light_equivalence
+# Quick zipfian sweep over PartSupp ⋈ Supplier: paired plain/heavy runs
+# must agree bit-for-bit at every skew, with zero freshness violations,
+# zero scan fallbacks, heavy p99 within a fixed resilience factor of
+# the uniform baseline, and a p99 win at the top skew. Timeboxed so a
+# wedged classifier fails the gate instead of hanging CI.
+AIVM_BENCH_LABEL=ci timeout 180 ./target/release/repro --quick skewsweep >/dev/null
+
 echo "==> serve throughput baseline (BENCH_serve.json)"
 AIVM_BENCH_FAST=1 AIVM_BENCH_LABEL=ci cargo bench -p aivm-bench --bench serve >/dev/null
 

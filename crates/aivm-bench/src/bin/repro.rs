@@ -21,6 +21,9 @@
 //!              BENCH_net.json)
 //!   multiview  shared-propagation head-to-head: one registry serving N
 //!              views vs N independent runtimes (emits BENCH_serve.json)
+//!   skewsweep  heavy-light partitioned maintenance vs the plain engine
+//!              under zipfian streams, s ∈ {0, 0.6, 1.0, 1.4} (emits
+//!              BENCH_serve.json)
 //!   all        every figure target above, in paper order (not serve)
 //! ```
 //!
@@ -81,12 +84,26 @@
 //!   --subscribers M        attach M live push subscribers that fold
 //!                          every delta batch and verify its post-fold
 //!                          checksum while the workers run
+//!   --skew S               zipf exponent of the generated update keys
+//!                          (default uniform); recorded in the summary
+//!                          and in every BENCH_net.json row
+//!   --heavy-light          enable heavy-light partitioned maintenance
+//!                          on the served view(s); results stay
+//!                          bit-identical, the summary gains the heavy
+//!                          key/hit counters
 //! ```
 //!
 //! `multiview` runs the engine-level shared-propagation head-to-head
 //! (one registry serving `--views N` vs N independent runtimes on the
 //! identical stream) and exits nonzero unless every view's final
 //! checksum is bit-identical across stacks and sharing wins wall-clock.
+//!
+//! `skewsweep` replays zipfian update streams through paired runtimes —
+//! heavy-light partitioning on vs off, everything else identical — and
+//! exits nonzero if checksums diverge, any run violates validity or
+//! falls back to a scan, or heavy-light misses its fresh-read p99 gates
+//! (see `aivm_bench::skew`). `--skew S` narrows the sweep to {0, S};
+//! `--events`, `--batch` and `--budget` carry over.
 //!
 //! `loadgen` appends its measured throughput, Stale/Fresh read latency
 //! quantiles and shed/retry counters to `BENCH_net.json` and exits
@@ -383,6 +400,7 @@ struct ServeArgs {
     rebalance: Option<aivm_shard::RebalancePolicy>,
     replicas: bool,
     kill_leader: bool,
+    heavy_light: bool,
 }
 
 fn parse_duration(s: &str) -> Option<std::time::Duration> {
@@ -427,6 +445,8 @@ fn run_serve(csv: bool, quick: bool, sargs: &ServeArgs) {
         fault,
         wal_sync: sargs.wal_sync,
         flush_threads: sargs.flush_threads.unwrap_or(1),
+        skew: sargs.skew,
+        heavy_light: sargs.heavy_light,
         ..Default::default()
     };
     let exp = match ServeExperiment::build(opts) {
@@ -531,6 +551,165 @@ fn run_serve(csv: bool, quick: bool, sargs: &ServeArgs) {
     }
 }
 
+/// The heavy-light skew sweep: paired plain/heavy runs of the
+/// PartSupp ⋈ Supplier view per zipf exponent (see `aivm_bench::skew`),
+/// recorded into BENCH_serve.json. Exits nonzero if any pair's final
+/// checksums diverge, any run reports a validity violation or a join
+/// scan fallback, or the heavy-light runtime misses its latency gates:
+/// its fresh-read p99 under the heaviest skew must stay within a fixed
+/// factor of its own uniform baseline, and at zipf 1.4 it must beat the
+/// plain runtime's p99 by the headline factor.
+fn run_skewsweep(csv: bool, quick: bool, sargs: &ServeArgs) {
+    use aivm_bench::skew::{run_skew_config, SkewOptions, SKEW_POINTS};
+    // The p99 gates need support: at the default batch the full sweep
+    // measures ~300 fresh reads per run, the quick smoke ~50.
+    let opts = SkewOptions {
+        events_each: sargs.events.unwrap_or(if quick { 4_000 } else { 20_000 }),
+        batch: sargs.batch.unwrap_or(64),
+        quick,
+        budget: sargs.budget,
+        ..SkewOptions::default()
+    };
+    // --skew S narrows the sweep to {uniform, S}; the uniform point
+    // always runs because it anchors the resilience gate.
+    let skews: Vec<f64> = match sargs.skew {
+        Some(s) if s > 0.0 => vec![0.0, s],
+        _ => SKEW_POINTS.to_vec(),
+    };
+    // Quick mode runs the small scale where fan-outs (and thus the
+    // cancellation win) are modest; gate softer there.
+    let (headline_gain, resilience_factor) = if quick { (1.2, 2.5) } else { (2.0, 2.5) };
+    let mut t = ExpTable::new(
+        "Skew sweep: heavy-light vs plain propagation (PartSupp ⋈ Supplier MIN view)",
+        &[
+            "skew",
+            "plain_p50_ms",
+            "plain_p99_ms",
+            "heavy_p50_ms",
+            "heavy_p99_ms",
+            "p99_gain",
+            "heavy_keys",
+            "reclass",
+            "h/l_hits",
+            "viol",
+        ],
+    );
+    t.note(format!(
+        "{} events/table, fresh read every {} events, paired runs share \
+         database, streams, policy and budget — only the propagation \
+         strategy differs, so checksums must match bit-for-bit",
+        opts.events_each, opts.batch
+    ));
+    let ms = |ns: u64| format!("{:.3}", ns as f64 / 1e6);
+    let mut suite = aivm_bench::harness::Suite::new("serve");
+    let mut failed = false;
+    let mut heavy_uniform_p99 = None;
+    let top_skew = skews.iter().cloned().fold(0.0f64, f64::max);
+    for &s in &skews {
+        let (plain, heavy) = match (
+            run_skew_config(&opts, s, false),
+            run_skew_config(&opts, s, true),
+        ) {
+            (Ok(p), Ok(h)) => (p, h),
+            (Err(e), _) | (_, Err(e)) => {
+                eprintln!("skewsweep s={s} failed: {e}");
+                failed = true;
+                continue;
+            }
+        };
+        if plain.checksum != heavy.checksum {
+            eprintln!(
+                "skewsweep s={s} FAILED: heavy-light diverged from the plain \
+                 engine (checksum {:#x} vs {:#x})",
+                heavy.checksum, plain.checksum
+            );
+            failed = true;
+        }
+        for r in [&plain, &heavy] {
+            if r.violations > 0 {
+                eprintln!(
+                    "skewsweep s={s} FAILED: {} freshness violation(s) \
+                     (heavy_light={})",
+                    r.violations, r.heavy_light
+                );
+                failed = true;
+            }
+            if r.scan_fallbacks > 0 {
+                eprintln!(
+                    "skewsweep s={s} FAILED: {} join scan fallback(s) \
+                     (heavy_light={}) — the view is auto-indexed",
+                    r.scan_fallbacks, r.heavy_light
+                );
+                failed = true;
+            }
+        }
+        if s >= 1.0 && (heavy.heavy_keys == 0 || heavy.heavy_hits == 0) {
+            eprintln!(
+                "skewsweep s={s} FAILED: zipf {s} promoted {} key(s) with {} \
+                 heavy hit(s) — the hot suppliers must go heavy",
+                heavy.heavy_keys, heavy.heavy_hits
+            );
+            failed = true;
+        }
+        let gain = plain.fresh_p99_ns as f64 / heavy.fresh_p99_ns.max(1) as f64;
+        if s == 0.0 {
+            heavy_uniform_p99 = Some(heavy.fresh_p99_ns);
+        } else if let Some(base) = heavy_uniform_p99 {
+            let factor = heavy.fresh_p99_ns as f64 / base.max(1) as f64;
+            if factor > resilience_factor {
+                eprintln!(
+                    "skewsweep s={s} FAILED: heavy-light fresh p99 {:.3} ms is \
+                     {factor:.2}x its uniform baseline {:.3} ms (max {resilience_factor})",
+                    heavy.fresh_p99_ns as f64 / 1e6,
+                    base as f64 / 1e6
+                );
+                failed = true;
+            }
+        }
+        if s == top_skew && s >= 1.0 && gain < headline_gain {
+            eprintln!(
+                "skewsweep s={s} FAILED: heavy-light p99 gain {gain:.2}x below \
+                 the {headline_gain}x gate (plain {:.3} ms, heavy {:.3} ms)",
+                plain.fresh_p99_ns as f64 / 1e6,
+                heavy.fresh_p99_ns as f64 / 1e6
+            );
+            failed = true;
+        }
+        t.row(vec![
+            format!("{s}"),
+            ms(plain.fresh_p50_ns),
+            ms(plain.fresh_p99_ns),
+            ms(heavy.fresh_p50_ns),
+            ms(heavy.fresh_p99_ns),
+            format!("{gain:.2}x"),
+            heavy.heavy_keys.to_string(),
+            heavy.reclassifications.to_string(),
+            format!("{}/{}", heavy.heavy_hits, heavy.light_hits),
+            (plain.violations + heavy.violations).to_string(),
+        ]);
+        let key = |m: &str| format!("skewsweep/s{s}/{m}");
+        suite.record_value(&key("skew"), s);
+        suite.record_value(&key("plain_p99_ns"), plain.fresh_p99_ns as f64);
+        suite.record_value(&key("heavy_p99_ns"), heavy.fresh_p99_ns as f64);
+        suite.record_value(&key("p99_gain"), gain);
+        suite.record_value(&key("heavy_keys"), heavy.heavy_keys as f64);
+        suite.record_value(&key("reclassifications"), heavy.reclassifications as f64);
+        suite.record_value(&key("heavy_hits"), heavy.heavy_hits as f64);
+        suite.record_value(&key("light_hits"), heavy.light_hits as f64);
+        suite.record_value(&key("plain_rows_emitted"), plain.rows_emitted as f64);
+        suite.record_value(&key("heavy_rows_emitted"), heavy.rows_emitted as f64);
+        suite.record_value(
+            &key("violations"),
+            (plain.violations + heavy.violations) as f64,
+        );
+    }
+    print_table(&t, csv);
+    suite.finish();
+    if failed {
+        std::process::exit(1);
+    }
+}
+
 fn run_loadgen(csv: bool, quick: bool, sargs: &ServeArgs) {
     use aivm_bench::loadgen::{auto_shards, run_loadgen, LoadgenOptions};
     use aivm_bench::serve::{ServeExperiment, ServeOptions, SERVE_POLICIES};
@@ -571,6 +750,7 @@ fn run_loadgen(csv: bool, quick: bool, sargs: &ServeArgs) {
         quick,
         flush_threads: sargs.flush_threads.unwrap_or(1),
         skew: sargs.skew,
+        heavy_light: sargs.heavy_light,
         ..Default::default()
     }) {
         Ok(e) => e,
@@ -719,6 +899,19 @@ fn run_loadgen(csv: bool, quick: bool, sargs: &ServeArgs) {
     for (k, v) in rows {
         t.row(vec![k.to_string(), v]);
     }
+    if let Some(s) = sargs.skew {
+        t.row(vec!["zipf skew".to_string(), format!("{s}")]);
+    }
+    if sargs.heavy_light {
+        t.row(vec![
+            "heavy keys / reclassifications".to_string(),
+            format!("{} / {}", r.net.heavy_keys, r.net.heavy_reclassifications),
+        ]);
+        t.row(vec![
+            "heavy/light delta hits".to_string(),
+            format!("{} / {}", r.net.heavy_hits, r.net.light_hits),
+        ]);
+    }
     if r.shards > 1 {
         t.row(vec![
             "shards (live)".to_string(),
@@ -840,6 +1033,16 @@ fn run_loadgen(csv: bool, quick: bool, sargs: &ServeArgs) {
         "budget_violations",
         (r.client_violations + r.runtime.constraint_violations) as f64,
     );
+    rec("skew", sargs.skew.unwrap_or(0.0));
+    if sargs.heavy_light {
+        rec("heavy_keys", r.net.heavy_keys as f64);
+        rec(
+            "heavy_reclassifications",
+            r.net.heavy_reclassifications as f64,
+        );
+        rec("heavy_hits", r.net.heavy_hits as f64);
+        rec("light_hits", r.net.light_hits as f64);
+    }
     if r.shards > 1 {
         rec("budget_rebalances", r.rebalances as f64);
     }
@@ -1695,6 +1898,7 @@ fn main() {
             }
             "--replicas" => sargs.replicas = true,
             "--kill-leader" => sargs.kill_leader = true,
+            "--heavy-light" => sargs.heavy_light = true,
             _ if !a.starts_with("--") => targets.push(a.as_str()),
             _ => {}
         }
@@ -1726,10 +1930,11 @@ fn main() {
             "loadgen" => run_loadgen(csv, quick, &sargs),
             "shardsweep" => run_shardsweep(csv, quick, &sargs),
             "multiview" => run_multiview_target(csv, quick, &sargs),
+            "skewsweep" => run_skewsweep(csv, quick, &sargs),
             other => {
                 eprintln!("unknown target: {other}");
                 eprintln!(
-                    "targets: intro fig1 fig4 fig5 fig6 fig7 bounds adapt concave refresh ablation serve chaos loadgen shardsweep multiview all"
+                    "targets: intro fig1 fig4 fig5 fig6 fig7 bounds adapt concave refresh ablation serve chaos loadgen shardsweep multiview skewsweep all"
                 );
                 std::process::exit(2);
             }

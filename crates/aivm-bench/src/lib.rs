@@ -23,6 +23,7 @@ pub mod loadgen;
 pub mod multiview;
 pub mod proxy;
 pub mod serve;
+pub mod skew;
 
 use aivm_core::{Arrivals, CostModel, Counts, Instance};
 

@@ -1,0 +1,295 @@
+//! Property tests: heavy-light partitioned maintenance must be
+//! bit-identical to the unpartitioned engine — across promotion
+//! thresholds, flush widths, mid-stream reclassification points and
+//! WAL recovery-replay. Classification is a pure routing decision; if
+//! any of these knobs can change a checksum, the partitioning is
+//! unsound.
+
+use aivm_bench::skew::SKEW_VIEW_SQL;
+use aivm_engine::{
+    estimate_cost_functions, parse_view, CostConstants, Database, EngineError, HeavyLightConfig,
+    MaterializedView, MinStrategy, Modification,
+};
+use aivm_serve::wal::{MemWal, WalWriter};
+use aivm_serve::{MaintenanceRuntime, NaiveFlush, ReadMode, ServeConfig};
+use aivm_tpcr::{generate, pregenerate_streams_skewed, TpcrConfig, TpcrDatabase};
+
+/// Same compressed-supplier scale the skew sweep's quick mode uses:
+/// the stock small PartSupp population over 25 suppliers (fan-out 80),
+/// so zipfian streams actually produce promotable keys.
+fn scale() -> TpcrConfig {
+    TpcrConfig {
+        suppliers: 25,
+        ..TpcrConfig::small()
+    }
+}
+
+fn skew_view(data: &mut TpcrDatabase) -> MaterializedView {
+    let def = parse_view(&data.db, "min_supplycost_ps_supp", SKEW_VIEW_SQL).unwrap();
+    MaterializedView::register(&mut data.db, def, MinStrategy::Multiset).unwrap()
+}
+
+/// The pre-generated zipfian streams, interleaved one PartSupp event
+/// then one Supplier event — the same order every replay in this file
+/// uses, so checksums are comparable across configurations.
+fn interleaved_events(data: &TpcrDatabase, each: usize, skew: f64) -> Vec<(usize, Modification)> {
+    let (ps, supp) = pregenerate_streams_skewed(data, each, 0x5eed, Some(skew));
+    let mut events = Vec::with_capacity(2 * each);
+    let mut ps = ps.into_iter();
+    let mut supp = supp.into_iter();
+    loop {
+        let mut any = false;
+        if let Some(m) = ps.next() {
+            events.push((0usize, m));
+            any = true;
+        }
+        if let Some(m) = supp.next() {
+            events.push((1usize, m));
+            any = true;
+        }
+        if !any {
+            return events;
+        }
+    }
+}
+
+/// Replays the stream through one plain view plus one view per config,
+/// all sharing a database, flushing every `width` events. Asserts every
+/// configured view matches the plain checksum at every flush boundary
+/// and returns the final checksum.
+fn replay_paired(width: usize, configs: &[HeavyLightConfig], skew: f64) -> u64 {
+    let mut data = generate(&scale(), 2005);
+    let mut plain = skew_view(&mut data);
+    let mut heavies: Vec<MaterializedView> = configs
+        .iter()
+        .map(|cfg| {
+            let mut v = skew_view(&mut data);
+            v.set_heavy_light(&data.db, *cfg).unwrap();
+            v
+        })
+        .collect();
+    let events = interleaved_events(&data, 256, skew);
+    let ids = [
+        data.db.table_id("partsupp").unwrap(),
+        data.db.table_id("supplier").unwrap(),
+    ];
+    let positions = [
+        plain.table_position("partsupp").unwrap(),
+        plain.table_position("supplier").unwrap(),
+    ];
+    let mut counts = vec![0u64; 2];
+    let mut boundary = 0usize;
+    for (i, (which, m)) in events.into_iter().enumerate() {
+        data.db.apply(ids[which], &m).unwrap();
+        plain.enqueue(positions[which], m.clone());
+        for v in &mut heavies {
+            v.enqueue(positions[which], m.clone());
+        }
+        counts[positions[which]] += 1;
+        if (i + 1) % width == 0 {
+            plain.flush(&data.db, &counts).unwrap();
+            for (vi, v) in heavies.iter_mut().enumerate() {
+                v.flush(&data.db, &counts).unwrap();
+                assert_eq!(
+                    v.result_checksum(),
+                    plain.result_checksum(),
+                    "config {vi} ({:?}) diverged at width {width} boundary {boundary}",
+                    configs[vi].promote_share,
+                );
+            }
+            counts = vec![0u64; 2];
+            boundary += 1;
+        }
+    }
+    plain.refresh(&data.db).unwrap();
+    for v in &mut heavies {
+        v.refresh(&data.db).unwrap();
+        assert_eq!(v.result_checksum(), plain.result_checksum());
+    }
+    plain.result_checksum()
+}
+
+/// xorshift64* — deterministic threshold sampling without a rand dep.
+fn xorshift(state: &mut u64) -> u64 {
+    let mut x = *state;
+    x ^= x << 13;
+    x ^= x >> 7;
+    x ^= x << 17;
+    *state = x;
+    x.wrapping_mul(0x2545_f491_4f6c_dd1d)
+}
+
+#[test]
+fn random_thresholds_and_flush_widths_are_bit_identical() {
+    let mut rng = 0x1cde_2005u64;
+    // Random promotion shares spanning promote-nothing (0.9) through
+    // promote-almost-everything (~0.002), plus the cost-model default.
+    let mut configs: Vec<HeavyLightConfig> = (0..5)
+        .map(|_| {
+            // Log-uniform over [0.002, 0.9].
+            let u = (xorshift(&mut rng) >> 11) as f64 / (1u64 << 53) as f64;
+            let share = 0.002 * (0.9f64 / 0.002).powf(u);
+            HeavyLightConfig::with_share(share)
+        })
+        .collect();
+    configs.push(HeavyLightConfig::from_cost_model());
+    for cfg in &mut configs {
+        // Classify early so short streams exercise promotion/demotion.
+        cfg.min_observations = 32;
+    }
+    let mut finals = Vec::new();
+    for width in [1usize, 2, 4, 8] {
+        finals.push(replay_paired(width, &configs, 1.2));
+    }
+    assert!(
+        finals.windows(2).all(|w| w[0] == w[1]),
+        "final checksum must not depend on flush width: {finals:?}"
+    );
+}
+
+#[test]
+fn midstream_enable_disable_reenable_is_bit_identical() {
+    let mut data = generate(&scale(), 2005);
+    let mut plain = skew_view(&mut data);
+    let mut toggled = skew_view(&mut data);
+    let events = interleaved_events(&data, 400, 1.4);
+    let ids = [
+        data.db.table_id("partsupp").unwrap(),
+        data.db.table_id("supplier").unwrap(),
+    ];
+    let positions = [
+        plain.table_position("partsupp").unwrap(),
+        plain.table_position("supplier").unwrap(),
+    ];
+    let mut cfg = HeavyLightConfig::from_cost_model();
+    cfg.min_observations = 64;
+    let mut counts = vec![0u64; 2];
+    let mut boundary = 0usize;
+    for (i, (which, m)) in events.into_iter().enumerate() {
+        data.db.apply(ids[which], &m).unwrap();
+        plain.enqueue(positions[which], m.clone());
+        toggled.enqueue(positions[which], m.clone());
+        counts[positions[which]] += 1;
+        if (i + 1) % 4 == 0 {
+            plain.flush(&data.db, &counts).unwrap();
+            toggled.flush(&data.db, &counts).unwrap();
+            assert_eq!(
+                toggled.result_checksum(),
+                plain.result_checksum(),
+                "diverged at boundary {boundary}"
+            );
+            counts = vec![0u64; 2];
+            // Reclassification points: enable after a cold start,
+            // drop every sketch and partial mid-stream, then rebuild
+            // classification from scratch with a different threshold.
+            match boundary {
+                10 => toggled.set_heavy_light(&data.db, cfg).unwrap(),
+                90 => toggled.clear_heavy_light(),
+                130 => {
+                    let mut aggressive = HeavyLightConfig::with_share(0.01);
+                    aggressive.min_observations = 32;
+                    toggled.set_heavy_light(&data.db, aggressive).unwrap();
+                }
+                _ => {}
+            }
+            boundary += 1;
+        }
+    }
+    plain.refresh(&data.db).unwrap();
+    toggled.refresh(&data.db).unwrap();
+    assert_eq!(toggled.result_checksum(), plain.result_checksum());
+    assert!(
+        toggled.stats.heavy.promotions > 0,
+        "zipf 1.4 must promote in both enabled phases: {:?}",
+        toggled.stats.heavy
+    );
+    assert!(toggled.stats.exec.heavy_hits > 0);
+    assert_eq!(toggled.stats.exec.scan_fallbacks, 0);
+}
+
+#[test]
+fn wal_recovery_replays_heavy_classification_bit_identically() {
+    let mut data = generate(&scale(), 2005);
+    // Install the view once so the genesis snapshot carries the join
+    // indexes; `make_view` then reconstructs over the recovered image.
+    let installed = skew_view(&mut data);
+    let events = interleaved_events(&data, 300, 1.4);
+    let genesis = data.db.clone();
+    let make_view = |db: &Database| -> Result<MaterializedView, EngineError> {
+        let def = parse_view(db, "min_supplycost_ps_supp", SKEW_VIEW_SQL)?;
+        let mut v = MaterializedView::new(db, def, MinStrategy::Multiset)?;
+        let mut cfg = HeavyLightConfig::from_cost_model();
+        cfg.min_observations = 64;
+        v.set_heavy_light(db, cfg)?;
+        Ok(v)
+    };
+    let positions = [
+        installed.table_position("partsupp").unwrap(),
+        installed.table_position("supplier").unwrap(),
+    ];
+    drop(installed);
+    let view = make_view(&data.db).unwrap();
+    let costs = estimate_cost_functions(&data.db, view.def(), &CostConstants::default()).unwrap();
+    let cfg = ServeConfig::new(costs, 1e9);
+    let mem = MemWal::new();
+    let mut rt =
+        MaintenanceRuntime::engine(cfg.clone(), Box::new(NaiveFlush::new()), data.db, view)
+            .unwrap();
+    rt.attach_wal(WalWriter::create(Box::new(mem.clone()), 4).unwrap());
+    let mut checkpoint = None;
+    for (i, (which, m)) in events.into_iter().enumerate() {
+        rt.ingest_dml(positions[which], m).unwrap();
+        if (i + 1) % 16 == 0 {
+            // Fresh reads force a full flush and are WAL-logged as
+            // `Forced` records, so recovery replays them exactly.
+            rt.read(ReadMode::Fresh).unwrap();
+        }
+        if i == 250 {
+            checkpoint = Some(rt.checkpoint());
+        }
+    }
+    rt.read(ReadMode::Fresh).unwrap();
+    let expect_view = rt.view_checksum().unwrap();
+    let expect_db = rt.db_checksum().unwrap();
+    let expect_pending = rt.pending().clone();
+    let expect_stats = *rt.maintenance_stats().unwrap();
+    assert!(
+        expect_stats.heavy.promotions > 0 && expect_stats.exec.heavy_hits > 0,
+        "the uncrashed run must actually classify: {expect_stats:?}"
+    );
+
+    // Crash; recover from checkpoint + WAL tail. The view is rebuilt by
+    // `make_view`, so the classifier restarts with an empty sketch —
+    // tail classification may differ from the uncrashed run, but the
+    // bit-identity invariant keeps every checksum equal regardless.
+    drop(rt);
+    let recovered = MaintenanceRuntime::recover(
+        cfg.clone(),
+        Box::new(NaiveFlush::new()),
+        &mem.bytes(),
+        checkpoint.as_ref(),
+        genesis.clone(),
+        &make_view,
+    )
+    .unwrap();
+    assert_eq!(recovered.view_checksum().unwrap(), expect_view);
+    assert_eq!(recovered.db_checksum().unwrap(), expect_db);
+    assert_eq!(recovered.pending(), &expect_pending);
+
+    // Full replay from genesis re-observes the entire stream, so it
+    // reproduces not just the results but the classification history:
+    // promotions, demotions, hit routing and emitted rows, exactly.
+    let from_genesis = MaintenanceRuntime::recover(
+        cfg,
+        Box::new(NaiveFlush::new()),
+        &mem.bytes(),
+        None,
+        genesis,
+        &make_view,
+    )
+    .unwrap();
+    assert_eq!(from_genesis.view_checksum().unwrap(), expect_view);
+    assert_eq!(from_genesis.db_checksum().unwrap(), expect_db);
+    assert_eq!(from_genesis.pending(), &expect_pending);
+    assert_eq!(*from_genesis.maintenance_stats().unwrap(), expect_stats);
+}

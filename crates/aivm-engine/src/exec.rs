@@ -39,6 +39,12 @@ pub struct ExecStats {
     /// (see `MaterializedView::register`) this must stay zero; the
     /// TPC-R repro asserts it.
     pub scan_fallbacks: u64,
+    /// Delta rows routed through a heavy key's materialized partial
+    /// (heavy-light partitioning; zero when disabled).
+    pub heavy_hits: u64,
+    /// Delta rows routed through the classic compensated index join at
+    /// a join step where a heavy-light split was active.
+    pub light_hits: u64,
 }
 
 impl ExecStats {
@@ -48,6 +54,8 @@ impl ExecStats {
         self.index_probes += other.index_probes;
         self.rows_emitted += other.rows_emitted;
         self.scan_fallbacks += other.scan_fallbacks;
+        self.heavy_hits += other.heavy_hits;
+        self.light_hits += other.light_hits;
     }
 }
 

@@ -33,6 +33,7 @@ use crate::error::EngineError;
 use crate::exec::{self, ExecStats, WRow};
 use crate::expr::Expr;
 use crate::fxhash::FxHashMap;
+use crate::heavy::{HeavyLightConfig, HeavyLightState, HeavyLightStats, HeavyTrackerSnapshot};
 use crate::index::IndexKind;
 use crate::logical::{AggFunc, LogicalPlan};
 use crate::schema::Row;
@@ -200,6 +201,8 @@ pub struct MaintenanceStats {
     pub exec: ExecStats,
     /// Full recomputations triggered (Recompute strategy).
     pub recomputes: u64,
+    /// Heavy-light partitioning counters (all zero when disabled).
+    pub heavy: HeavyLightStats,
 }
 
 /// Per-aggregate incremental state within one group.
@@ -286,6 +289,9 @@ pub struct MaterializedView {
     snapshot_publishing: bool,
     /// The snapshot published at the last flush boundary.
     snapshot: Arc<ViewSnapshot>,
+    /// Heavy-light key partitioning state; `None` keeps the classic
+    /// unpartitioned propagation (see [`MaterializedView::set_heavy_light`]).
+    heavy: Option<HeavyLightState>,
     /// Cumulative maintenance counters.
     pub stats: MaintenanceStats,
 }
@@ -335,6 +341,7 @@ impl MaterializedView {
                 staleness: vec![0; n],
                 seq: 0,
             }),
+            heavy: None,
             stats: MaintenanceStats::default(),
         };
         view.recompute(db)?;
@@ -400,10 +407,57 @@ impl MaterializedView {
         self.def.tables.iter().position(|t| t == name)
     }
 
+    /// Enables heavy-light partitioned join maintenance (see
+    /// [`crate::heavy`]): per-key frequency tracking on every join
+    /// column, materialized partials for heavy keys, and dynamic
+    /// reclassification at flush boundaries. Results are bit-identical
+    /// to the unpartitioned engine for any configuration — only the
+    /// propagation strategy per key changes.
+    ///
+    /// Call after construction and before ingesting; re-enabling
+    /// mid-life is allowed (state rebuilds from an empty sketch, which
+    /// only resets classification, never results). Intended for
+    /// standalone views: on a [`crate::registry`]-managed view the state
+    /// is inert (promotion only happens inside [`MaterializedView::flush`],
+    /// which the registry bypasses), so shared propagation is unaffected.
+    pub fn set_heavy_light(
+        &mut self,
+        db: &Database,
+        config: HeavyLightConfig,
+    ) -> Result<(), EngineError> {
+        let mut state = HeavyLightState::build(db, &self.def, config)?;
+        if let Some(old) = &self.heavy {
+            state.stats.promotions = old.stats.promotions;
+            state.stats.demotions = old.stats.demotions;
+        }
+        self.heavy = Some(state);
+        Ok(())
+    }
+
+    /// Disables heavy-light partitioning, dropping all sketches and
+    /// partials. The next flush propagates every key through the light
+    /// path; results are unchanged.
+    pub fn clear_heavy_light(&mut self) {
+        self.heavy = None;
+    }
+
+    /// Whether heavy-light partitioning is enabled.
+    pub fn heavy_light_enabled(&self) -> bool {
+        self.heavy.is_some()
+    }
+
+    /// Per-tracker heavy-light diagnostics (`None` when disabled).
+    pub fn heavy_light_trackers(&self) -> Option<Vec<HeavyTrackerSnapshot>> {
+        self.heavy.as_ref().map(|h| h.tracker_snapshots(&self.def))
+    }
+
     /// Appends a newly arrived modification of the `i`-th base table to
     /// its delta table. The caller must have already applied it to the
     /// base table (arrival-time semantics of §2).
     pub fn enqueue(&mut self, i: usize, m: Modification) {
+        if let Some(h) = &mut self.heavy {
+            h.observe(i, &m);
+        }
         self.pending[i].push(m);
     }
 
@@ -424,6 +478,9 @@ impl MaterializedView {
             });
         }
         db.apply(self.table_ids[i], &m)?;
+        if let Some(h) = &mut self.heavy {
+            h.observe(i, &m);
+        }
         self.pending[i].push(m);
         Ok(())
     }
@@ -532,6 +589,13 @@ impl MaterializedView {
             });
         }
         self.pending = mods.into_iter().map(DeltaTable::from).collect();
+        // Partials track `physical − pending`; a wholesale pending swap
+        // invalidates them. Classification restarts from an empty sketch
+        // (subsequent replayed enqueues re-observe), which never affects
+        // results — only where propagation work happens.
+        if let Some(h) = &mut self.heavy {
+            h.reset();
+        }
         self.recompute(db)?;
         // Like `new`, state (re)construction is not a maintenance-time
         // recompute.
@@ -561,6 +625,14 @@ impl MaterializedView {
             });
         }
         let mut report = FlushReport::default();
+        // Heavy-light reclassification is a flush-boundary event: keys
+        // whose observed frequency drifted across the threshold migrate
+        // between partitions *before* any prefix is consumed, so the
+        // migration sees the exact processed-prefix state and the flush
+        // result is bit-identical to the unpartitioned engine.
+        if let Some(h) = self.heavy.as_mut() {
+            h.reclassify(db, &self.table_ids, &self.pending, &self.def.filters);
+        }
         for (i, &c) in counts.iter().enumerate() {
             let k = c as usize;
             if k == 0 {
@@ -570,6 +642,21 @@ impl MaterializedView {
             report.mods_processed += k as u64;
             if delta.is_empty() {
                 continue;
+            }
+            // Keep the partials of trackers targeting table `i` equal to
+            // its processed-prefix rows: the prefix just left `pending`,
+            // so it joins the materialized side now. Fold the *unreduced*
+            // delta — partials must hold real target rows, since other
+            // tables' deltas expand against them.
+            let delta = match self.heavy.as_mut() {
+                Some(h) => {
+                    h.fold_flushed(i, &delta);
+                    h.reduce_start_delta(i, delta)
+                }
+                None => delta,
+            };
+            if delta.is_empty() {
+                continue; // hot-key churn cancelled entirely
             }
             let mut stats = ExecStats::default();
             let dj = self.propagate_start_delta(db, i, delta, &mut stats)?;
@@ -678,6 +765,9 @@ impl MaterializedView {
         self.stats.flushes += 1;
         self.stats.mods_processed += report.mods_processed;
         self.stats.exec.merge(&report.exec);
+        if let Some(h) = &self.heavy {
+            self.stats.heavy = h.stats;
+        }
         if self.snapshot_publishing {
             self.publish_snapshot();
         }
@@ -793,9 +883,53 @@ impl MaterializedView {
                     let pending = self.pending[target].weighted();
                     let filter = self.def.filters[target].as_ref();
                     stream = if table.index_on(target_col).is_some() {
-                        exec::join_index(
-                            &stream, delta_key, table, target_col, &pending, filter, stats,
-                        )
+                        let tracker = self
+                            .heavy
+                            .as_ref()
+                            .and_then(|h| h.tracker(target, target_col))
+                            .filter(|t| t.has_heavy());
+                        match tracker {
+                            Some(tr) => {
+                                // Heavy-light split: heavy keys expand
+                                // against their materialized partial
+                                // (processed-prefix rows — no pending
+                                // compensation needed); light keys take
+                                // the classic compensated index join.
+                                let mut light = Vec::with_capacity(stream.len());
+                                let mut heavy = Vec::new();
+                                for (r, w) in stream {
+                                    if tr.is_heavy(r.get(delta_key)) {
+                                        heavy.push((r, w));
+                                    } else {
+                                        light.push((r, w));
+                                    }
+                                }
+                                stats.heavy_hits += heavy.len() as u64;
+                                stats.light_hits += light.len() as u64;
+                                let mut out = if light.is_empty() {
+                                    Vec::new()
+                                } else {
+                                    exec::join_index(
+                                        &light, delta_key, table, target_col, &pending, filter,
+                                        stats,
+                                    )
+                                };
+                                for (d, w) in &heavy {
+                                    stats.index_probes += 1;
+                                    let partial = tr
+                                        .partial(d.get(delta_key))
+                                        .expect("heavy keys have partials");
+                                    for (row, pw) in partial {
+                                        stats.rows_emitted += 1;
+                                        out.push((d.concat(row), w * pw));
+                                    }
+                                }
+                                out
+                            }
+                            None => exec::join_index(
+                                &stream, delta_key, table, target_col, &pending, filter, stats,
+                            ),
+                        }
                     } else {
                         // No index on the join column: the per-batch
                         // scan shape. Counted, not silent — auto-indexed
@@ -1868,6 +2002,118 @@ mod tests {
                 "checksum diverged at {threads} threads"
             );
             assert_consistent(&db, &view);
+        }
+    }
+
+    #[test]
+    fn heavy_light_matches_unpartitioned_and_cancels_hot_key_churn() {
+        let (mut db, _, _) = setup_rs();
+        let mut plain =
+            MaterializedView::register(&mut db, min_view_def(), MinStrategy::Multiset).unwrap();
+        let mut heavy =
+            MaterializedView::register(&mut db, min_view_def(), MinStrategy::Multiset).unwrap();
+        let mut cfg = HeavyLightConfig::with_share(0.2);
+        cfg.min_observations = 16;
+        heavy.set_heavy_light(&db, cfg).unwrap();
+        assert!(heavy.heavy_light_enabled());
+
+        // Base data: key 0 fans out into 40 R rows, cold keys into 2.
+        for k in 0..5i64 {
+            let copies = if k == 0 { 40 } else { 2 };
+            for j in 0..copies {
+                let m = Modification::Insert(row![k, (k * 100 + j) as f64]);
+                let id = db.table_id("r").unwrap();
+                db.apply(id, &m).unwrap();
+                plain.enqueue(0, m.clone());
+                heavy.enqueue(0, m);
+            }
+            let m = Modification::Insert(row![k, "t0"]);
+            let id = db.table_id("s").unwrap();
+            db.apply(id, &m).unwrap();
+            plain.enqueue(1, m.clone());
+            heavy.enqueue(1, m);
+        }
+        plain.refresh(&db).unwrap();
+        heavy.refresh(&db).unwrap();
+        assert_eq!(plain.result_checksum(), heavy.result_checksum());
+
+        // Hot-key churn: the S row at key 0 cycles its tag, which the
+        // MIN view never reads. The heavy path must classify key 0
+        // heavy and cancel the churn before paying the 40-row fan-out.
+        let mut tag = String::from("t0");
+        for round in 0..20 {
+            for step in 0..8 {
+                let next = format!("t{}", round * 8 + step + 1);
+                let m = Modification::Update {
+                    old: row![0i64, tag.as_str()],
+                    new: row![0i64, next.as_str()],
+                };
+                let id = db.table_id("s").unwrap();
+                db.apply(id, &m).unwrap();
+                plain.enqueue(1, m.clone());
+                heavy.enqueue(1, m);
+                tag = next;
+            }
+            plain.flush(&db, &[0, 8]).unwrap();
+            heavy.flush(&db, &[0, 8]).unwrap();
+            assert_eq!(
+                plain.result_checksum(),
+                heavy.result_checksum(),
+                "diverged at round {round}"
+            );
+            assert_consistent(&db, &heavy);
+        }
+        assert!(heavy.stats.heavy.promotions > 0, "hot key must promote");
+        assert!(heavy.stats.heavy.heavy_keys > 0);
+        assert!(heavy.stats.exec.heavy_hits > 0, "heavy path must be taken");
+        assert_eq!(heavy.stats.exec.scan_fallbacks, 0);
+        assert!(
+            heavy.stats.exec.rows_emitted < plain.stats.exec.rows_emitted / 2,
+            "churn cancellation must cut emitted rows: heavy {} vs plain {}",
+            heavy.stats.exec.rows_emitted,
+            plain.stats.exec.rows_emitted
+        );
+        let trackers = heavy.heavy_light_trackers().unwrap();
+        assert!(trackers.iter().any(|t| t.heavy_keys > 0), "{trackers:?}");
+    }
+
+    #[test]
+    fn heavy_light_parallel_flush_matches_serial() {
+        // Heavy-light reduction and classification happen before
+        // chunking, so parallel flushes stay bit-identical — including
+        // the FlushReport counters.
+        for threads in [1usize, 2, 4, 8] {
+            let (mut db, _, _) = setup_rs();
+            let make = |db: &mut Database| {
+                let mut v =
+                    MaterializedView::register(db, min_view_def(), MinStrategy::Multiset).unwrap();
+                let mut cfg = HeavyLightConfig::with_share(0.1);
+                cfg.min_observations = 8;
+                v.set_heavy_light(db, cfg).unwrap();
+                v
+            };
+            let mut wide = make(&mut db);
+            let mut serial = make(&mut db);
+            wide.set_flush_threads(threads);
+            for i in 0..200i64 {
+                let m = Modification::Insert(row![i % 3, i as f64]);
+                let id = db.table_id("r").unwrap();
+                db.apply(id, &m).unwrap();
+                wide.enqueue(0, m.clone());
+                serial.enqueue(0, m);
+            }
+            for i in 0..80i64 {
+                let m = Modification::Insert(row![i % 3, "t"]);
+                let id = db.table_id("s").unwrap();
+                db.apply(id, &m).unwrap();
+                wide.enqueue(1, m.clone());
+                serial.enqueue(1, m);
+            }
+            let rw = wide.refresh(&db).unwrap();
+            let rs = serial.refresh(&db).unwrap();
+            assert_eq!(rw, rs, "FlushReport diverged at {threads} threads");
+            assert_eq!(wide.result_checksum(), serial.result_checksum());
+            assert_consistent(&db, &wide);
         }
     }
 

@@ -17,6 +17,7 @@ pub mod dml;
 pub mod error;
 pub mod exec;
 pub mod expr;
+pub mod heavy;
 pub mod index;
 pub mod ivm;
 pub mod logical;
@@ -41,6 +42,7 @@ pub use dml::{compile_dml, execute_dml, DmlStatement};
 pub use error::EngineError;
 pub use exec::{rows_checksum, ExecStats, WRow};
 pub use expr::{ArithOp, CmpOp, Expr};
+pub use heavy::{HeavyLightConfig, HeavyLightStats, HeavyTrackerSnapshot, SpaceSaving};
 pub use index::{Index, IndexKind, RowId};
 pub use ivm::{
     AggSpec, FlushReport, JoinPred, MaintenanceStats, MaterializedView, MinStrategy, ViewDef,

@@ -88,8 +88,10 @@ pub const NET_MAGIC: &[u8; 4] = b"ANET";
 /// serving (the read/unsubscribe `view` selector, push subscriptions
 /// via `Subscribe`/`SubscribeOk`/`ViewDelta`, the metrics `per_view`
 /// request flag plus view/subscriber aggregate and breakdown fields,
-/// and the resolved `shards_auto` flag).
-pub const NET_VERSION: u16 = 5;
+/// and the resolved `shards_auto` flag); v6 added heavy-light skew
+/// metrics (`heavy_keys`, `heavy_reclassifications`, `heavy_hits`,
+/// `light_hits`).
+pub const NET_VERSION: u16 = 6;
 /// Bytes of framing before each payload (length + checksum).
 pub const FRAME_HEADER_LEN: usize = 12;
 /// Hard cap on a single frame's payload. A length prefix beyond this is
@@ -757,6 +759,15 @@ pub struct NetMetrics {
     pub deltas_pushed: u64,
     /// Worst observed subscriber lag (delta seqs behind head).
     pub sub_lag_max: u64,
+    /// Join keys currently classified heavy by the engine's
+    /// heavy-light partitioner (0 when partitioning is off).
+    pub heavy_keys: u64,
+    /// Heavy-light reclassification events (promotions + demotions).
+    pub heavy_reclassifications: u64,
+    /// Delta rows routed through materialized heavy-key partials.
+    pub heavy_hits: u64,
+    /// Delta rows routed through the compensated light-key index join.
+    pub light_hits: u64,
     /// The scheduler's poisoning error, if any (first failing shard).
     pub last_error: Option<String>,
     /// Per-shard breakdown, present when the request set `per_shard`.
@@ -974,6 +985,10 @@ pub fn encode_response(r: &Response) -> Vec<u8> {
             buf.put_u64_le(m.subscribers);
             buf.put_u64_le(m.deltas_pushed);
             buf.put_u64_le(m.sub_lag_max);
+            buf.put_u64_le(m.heavy_keys);
+            buf.put_u64_le(m.heavy_reclassifications);
+            buf.put_u64_le(m.heavy_hits);
+            buf.put_u64_le(m.light_hits);
             match &m.last_error {
                 None => buf.put_u8(0),
                 Some(e) => {
@@ -1171,7 +1186,7 @@ pub fn decode_response(payload: &[u8]) -> Result<Response, EngineError> {
             // All fixed-width fields (u64/f64 plus the degraded,
             // shards-auto and error flags), checked as one block
             // before the reads.
-            const FIXED: usize = 36 * 8 + 3;
+            const FIXED: usize = 40 * 8 + 3;
             if buf.remaining() < FIXED {
                 return Err(corrupt(ctx, "metrics", &buf));
             }
@@ -1214,6 +1229,10 @@ pub fn decode_response(payload: &[u8]) -> Result<Response, EngineError> {
                 subscribers: buf.get_u64_le(),
                 deltas_pushed: buf.get_u64_le(),
                 sub_lag_max: buf.get_u64_le(),
+                heavy_keys: buf.get_u64_le(),
+                heavy_reclassifications: buf.get_u64_le(),
+                heavy_hits: buf.get_u64_le(),
+                light_hits: buf.get_u64_le(),
                 last_error: None,
                 per_shard: None,
                 per_view: None,
@@ -2033,6 +2052,10 @@ mod tests {
             subscribers: rng.gen_range(0..1000u64),
             deltas_pushed: rng.gen_range(0..u64::MAX),
             sub_lag_max: rng.gen_range(0..10_000u64),
+            heavy_keys: rng.gen_range(0..1000u64),
+            heavy_reclassifications: rng.gen_range(0..u64::MAX),
+            heavy_hits: rng.gen_range(0..u64::MAX),
+            light_hits: rng.gen_range(0..u64::MAX),
             last_error: rng
                 .gen_bool(0.3)
                 .then(|| "scheduler tick failed: boom".to_string()),

@@ -2687,6 +2687,10 @@ fn net_metrics(snap: &MetricsSnapshot, shared: &Shared) -> NetMetrics {
         subscribers: 0,
         deltas_pushed: 0,
         sub_lag_max: 0,
+        heavy_keys: snap.heavy_keys,
+        heavy_reclassifications: snap.heavy_reclassifications,
+        heavy_hits: snap.heavy_hits,
+        light_hits: snap.light_hits,
         per_shard: None,
         per_view: None,
         last_error: snap.last_error.clone(),

@@ -199,6 +199,17 @@ pub struct MetricsSnapshot {
     /// Times the budget was changed mid-run by
     /// [`MaintenanceRuntime::set_budget`](crate::MaintenanceRuntime::set_budget).
     pub budget_rebalances: u64,
+    /// Currently heavy join keys across the view's trackers (gauge;
+    /// zero when heavy-light partitioning is disabled).
+    pub heavy_keys: u64,
+    /// Cumulative heavy-light reclassification events (promotions +
+    /// demotions).
+    pub heavy_reclassifications: u64,
+    /// Delta rows propagated through a heavy key's materialized partial.
+    pub heavy_hits: u64,
+    /// Delta rows propagated through the classic compensated index join
+    /// at join steps where a heavy-light split was active.
+    pub light_hits: u64,
 }
 
 /// Mutable counter state owned by the runtime.
@@ -299,6 +310,10 @@ impl Metrics {
             last_error: None,
             budget: 0.0,
             budget_rebalances: 0,
+            heavy_keys: 0,
+            heavy_reclassifications: 0,
+            heavy_hits: 0,
+            light_hits: 0,
         }
     }
 }

@@ -795,6 +795,12 @@ impl MaintenanceRuntime {
         snap.degraded = self.demoted;
         snap.budget = self.ctx.budget;
         snap.budget_rebalances = self.rebalances;
+        if let Some(ms) = self.maintenance_stats() {
+            snap.heavy_keys = ms.heavy.heavy_keys;
+            snap.heavy_reclassifications = ms.heavy.reclassifications();
+            snap.heavy_hits = ms.exec.heavy_hits;
+            snap.light_hits = ms.exec.light_hits;
+        }
         snap
     }
 
